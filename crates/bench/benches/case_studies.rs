@@ -1,0 +1,47 @@
+//! Bench E1–E3/E11: end-to-end verification time of the paper's case
+//! studies (Sec. 5) — the per-example timings of the artifact notebook.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nqpv_core::casestudies::{deutsch, err_corr, qwalk, repeat_until_success};
+
+fn bench_case_studies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("case_studies");
+    group.sample_size(20);
+
+    let qec = err_corr(0.6, 0.8);
+    group.bench_function("e1_err_corr_total", |b| {
+        b.iter(|| {
+            let outcome = qec.verify().expect("runs");
+            assert!(outcome.status.verified());
+        })
+    });
+
+    let d = deutsch();
+    group.bench_function("e2_deutsch_total", |b| {
+        b.iter(|| {
+            let outcome = d.verify().expect("runs");
+            assert!(outcome.status.verified());
+        })
+    });
+
+    let w = qwalk();
+    group.bench_function("e3_qwalk_partial", |b| {
+        b.iter(|| {
+            let outcome = w.verify().expect("runs");
+            assert!(outcome.status.verified());
+        })
+    });
+
+    let rus = repeat_until_success();
+    group.bench_function("e11_rus_total_with_ranking", |b| {
+        b.iter(|| {
+            let outcome = rus.verify().expect("runs");
+            assert!(outcome.status.verified());
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_case_studies);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Bench E6: Grover verification time vs qubit count (paper Sec. 6.5 /
+//! Artifact Appendix C — "90 seconds for the 13-qubit Grover algorithm").
+//! The reproduced observable is the exponential growth *shape*; criterion
+//! sweeps the laptop-scale prefix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nqpv_core::casestudies::grover;
+
+fn bench_grover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grover_scaling");
+    group.sample_size(10);
+    for n in 2..=7usize {
+        let study = grover(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &study, |b, s| {
+            b.iter(|| {
+                let outcome = s.verify().expect("runs");
+                assert!(outcome.status.verified());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grover);
+criterion_main!(benches);

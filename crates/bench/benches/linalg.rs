@@ -1,0 +1,80 @@
+//! Substrate micro-benchmarks: the dense-linear-algebra primitives that
+//! dominate verification cost (the "calculation backend … in the worst
+//! case exponential in the number of qubits" of paper Sec. 6.4), including
+//! the embed-vs-in-place gate-conjugation ablation (E12a).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nqpv_bench::{random_density, random_hermitian};
+use nqpv_linalg::{cholesky, conjugate_gate, eigh, embed, is_psd, CMat};
+use nqpv_quantum::gates;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg_matmul");
+    group.sample_size(15);
+    for dim in [16usize, 64, 128] {
+        let a = random_hermitian(dim, 1);
+        let b = random_hermitian(dim, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |bch, _| {
+            bch.iter(|| a.mul(&b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eigh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg_eigh");
+    group.sample_size(10);
+    for dim in [8usize, 16, 32, 64] {
+        let a = random_hermitian(dim, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |bch, _| {
+            bch.iter(|| eigh(&a).expect("decomposes"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_psd_checks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg_psd");
+    group.sample_size(20);
+    for dim in [16usize, 64, 128] {
+        let g = random_hermitian(dim, 4);
+        let psd = g.mul(&g); // hermitian square is PSD
+        group.bench_with_input(BenchmarkId::new("cholesky", dim), &dim, |bch, _| {
+            bch.iter(|| cholesky(&psd.add_mat(&CMat::identity(dim).scale_re(1e-9))))
+        });
+        group.bench_with_input(BenchmarkId::new("is_psd", dim), &dim, |bch, _| {
+            bch.iter(|| assert!(is_psd(&psd, 1e-9)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gate_conjugation(c: &mut Criterion) {
+    // E12a: applying CX ρ CX† on an n-qubit density matrix.
+    let mut group = c.benchmark_group("linalg_conjugation");
+    group.sample_size(10);
+    for n in [6usize, 8, 10] {
+        let dim = 1usize << n;
+        let rho = random_density(dim, n as u64);
+        let g = gates::cx();
+        group.bench_with_input(BenchmarkId::new("embed_mul", n), &n, |bch, _| {
+            bch.iter(|| {
+                let big = embed(&g, &[0, 1], n);
+                big.conjugate(&rho)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("in_place", n), &n, |bch, _| {
+            bch.iter(|| conjugate_gate(&g, &[0, 1], n, &rho))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_eigh,
+    bench_psd_checks,
+    bench_gate_conjugation
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Bench E5: the `⊑_inf` decision procedure (paper Sec. 6.3) across space
+//! dimension and assertion-set size, for both satisfied and violated
+//! instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nqpv_bench::{holding_instance, violated_instance};
+use nqpv_solver::{assertion_le, LownerOptions};
+
+fn bench_lowner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lowner_inf");
+    group.sample_size(15);
+    for dim in [2usize, 8, 32, 64] {
+        for k in [1usize, 2, 4] {
+            let inst = holding_instance(dim, k, 42 + dim as u64 * 7 + k as u64);
+            group.bench_with_input(
+                BenchmarkId::new("holds", format!("d{dim}_k{k}")),
+                &inst,
+                |b, (t, p)| {
+                    b.iter(|| {
+                        assert!(assertion_le(t, p, LownerOptions::default())
+                            .unwrap()
+                            .holds())
+                    })
+                },
+            );
+            let inst2 = violated_instance(dim, k, 99 + dim as u64 * 7 + k as u64);
+            group.bench_with_input(
+                BenchmarkId::new("violated", format!("d{dim}_k{k}")),
+                &inst2,
+                |b, (t, p)| {
+                    b.iter(|| {
+                        assert!(!assertion_le(t, p, LownerOptions::default())
+                            .unwrap()
+                            .holds())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lowner);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Bench: denotational-set construction and forward execution — the
+//! semantic substrate the verification experiments sit on (paper Fig. 2 /
+//! Eq. 1 loop unrollings).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nqpv_lang::parse_stmt;
+use nqpv_quantum::{ket, OperatorLibrary, Register};
+use nqpv_semantics::{denote, denote_bounded, exec_all, DenoteOptions, ExecOptions};
+
+fn bench_denote_err_corr(c: &mut Criterion) {
+    let lib = OperatorLibrary::with_builtins();
+    let reg = Register::new(&["q", "q1", "q2"]).unwrap();
+    let prog = parse_stmt(
+        "[q1 q2] := 0; \
+         [q q1] *= CX; [q q2] *= CX; \
+         ( skip # [q] *= X # [q1] *= X # [q2] *= X ); \
+         [q q2] *= CX; [q q1] *= CX; \
+         if M01[q2] then if M01[q1] then [q] *= X end end",
+    )
+    .unwrap();
+    c.bench_function("semantics_denote_err_corr", |b| {
+        b.iter(|| {
+            let set = denote(&prog, &lib, &reg).expect("loop-free");
+            assert_eq!(set.len(), 4);
+        })
+    });
+}
+
+fn bench_qwalk_unrolling(c: &mut Criterion) {
+    let lib = OperatorLibrary::with_builtins();
+    let reg = Register::new(&["q1", "q2"]).unwrap();
+    let prog = parse_stmt(
+        "while MQWalk[q1 q2] do \
+         ( [q1 q2] *= W1; [q1 q2] *= W2 # [q1 q2] *= W2; [q1 q2] *= W1 ) end",
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("semantics_qwalk_unroll");
+    group.sample_size(10);
+    for depth in [2usize, 4, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| {
+                denote_bounded(
+                    &prog,
+                    &lib,
+                    &reg,
+                    DenoteOptions {
+                        loop_depth: d,
+                        max_set: 4096,
+                        dedupe: true,
+                    },
+                )
+                .expect("bounded")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_forward_exec(c: &mut Criterion) {
+    let lib = OperatorLibrary::with_builtins();
+    let reg = Register::new(&["q", "q1", "q2"]).unwrap();
+    let prog = parse_stmt(
+        "[q1 q2] := 0; [q q1] *= CX; [q q2] *= CX; \
+         ( skip # [q] *= X # [q1] *= X # [q2] *= X ); \
+         [q q2] *= CX; [q q1] *= CX; \
+         if M01[q2] then if M01[q1] then [q] *= X end end",
+    )
+    .unwrap();
+    let rho = ket("0++").projector();
+    c.bench_function("semantics_exec_all_err_corr", |b| {
+        b.iter(|| {
+            let outs = exec_all(&prog, &rho, &lib, &reg, ExecOptions::default()).unwrap();
+            assert!(!outs.is_empty());
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_denote_err_corr,
+    bench_qwalk_unrolling,
+    bench_forward_exec
+);
+criterion_main!(benches);

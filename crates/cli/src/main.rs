@@ -1,0 +1,139 @@
+//! `nqpv` — the command-line proof assistant for nondeterministic quantum
+//! programs (Rust reproduction of the ASPLOS '23 NQPV prototype).
+//!
+//! ```text
+//! nqpv verify FILE.nqpv      verify every proof in FILE, print show output
+//! nqpv show FILE.nqpv NAME   verify FILE, then print the named artifact
+//! nqpv check FILE.nqpv       parse only; report syntax errors
+//! nqpv ops                   list the built-in operator library
+//! ```
+//!
+//! Exit code 0 = everything verified; 1 = a proof was rejected;
+//! 2 = usage/parse/structural error.
+
+use nqpv_core::{Session, VcOptions};
+use nqpv_lang::parse_source;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let infer = if let Some(pos) = args.iter().position(|a| a == "--infer") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    match args.first().map(String::as_str) {
+        Some("verify") if args.len() == 2 => cmd_verify(&args[1], None, infer),
+        Some("show") if args.len() == 3 => cmd_verify(&args[1], Some(&args[2]), infer),
+        Some("check") if args.len() == 2 => cmd_check(&args[1]),
+        Some("ops") => cmd_ops(),
+        _ => {
+            eprintln!(
+                "usage:\n  nqpv verify [--infer] FILE.nqpv\n  nqpv show [--infer] FILE.nqpv NAME\n  nqpv check FILE.nqpv\n  nqpv ops\n\n  --infer   attempt wlp-fixpoint invariant inference for\n            while loops lacking an inv: annotation"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn read(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("error: cannot read '{path}': {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn cmd_check(path: &str) -> ExitCode {
+    let src = match read(path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    match parse_source(&src) {
+        Ok(file) => {
+            println!("OK: {} command(s)", file.commands.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_verify(path: &str, show: Option<&str>, infer: bool) -> ExitCode {
+    let src = match read(path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let base = Path::new(path)
+        .parent()
+        .map(|p| p.to_path_buf())
+        .unwrap_or_default();
+    let mut session = Session::new()
+        .with_options(VcOptions {
+            infer_invariants: infer,
+            ..VcOptions::default()
+        })
+        .with_base_dir(base);
+    if let Err(e) = session.run_str(&src) {
+        eprintln!("{e}");
+        return ExitCode::from(2);
+    }
+    for text in session.output() {
+        println!("{text}");
+    }
+    if let Some(name) = show {
+        match session.show(name) {
+            Ok(text) => println!("{text}"),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Exit status reflects verification results.
+    let file = match parse_source(&src) {
+        Ok(f) => f,
+        Err(_) => return ExitCode::from(2),
+    };
+    let mut all_ok = true;
+    for cmd in &file.commands {
+        if let nqpv_lang::Command::Def(nqpv_lang::Decl::Proof { name, .. }) = cmd {
+            match session.outcome(name) {
+                Some(o) if o.status.verified() => {
+                    println!("proof '{name}': verified");
+                }
+                Some(_) => {
+                    println!("proof '{name}': REJECTED");
+                    all_ok = false;
+                }
+                None => {
+                    all_ok = false;
+                }
+            }
+        }
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn cmd_ops() -> ExitCode {
+    let session = Session::new();
+    let mut names: Vec<&str> = [
+        "I", "X", "Y", "Z", "H", "S", "T", "CX", "C0X", "CZ", "SWAP", "CCX", "W1", "W2", "M01",
+        "Mpm", "MQWalk", "Zero", "P0", "P1", "Pp", "Pm",
+    ]
+    .to_vec();
+    names.sort_unstable();
+    for n in names {
+        if let Ok(text) = session.show(n) {
+            println!("{text}");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,356 @@
+//! Semantic quantum assertions: finite sets of quantum predicates.
+//!
+//! The paper takes `A ≜ 2^{P(H_V)}` — sets of hermitian operators `M` with
+//! `0 ⊑ M ⊑ I` — as its assertion language (Sec. 4), ordered by
+//! `Θ ⊑_inf Ψ  ⇔  ∀ρ. inf_{M∈Θ} tr(Mρ) ≤ inf_{N∈Ψ} tr(Nρ)`.
+//! [`Assertion`] is the finite, concrete realisation used by the verifier
+//! (the tool restricts to finite assertions, Sec. 6.3).
+
+use nqpv_lang::AssertionExpr;
+use nqpv_linalg::{embed, CMat};
+use nqpv_quantum::{OperatorLibrary, Register};
+use nqpv_solver::{assertion_le, LownerOptions, Verdict};
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::error::VerifError;
+
+/// A finite set of quantum predicates over a fixed register space.
+///
+/// # Examples
+///
+/// ```
+/// use nqpv_core::Assertion;
+/// use nqpv_linalg::CMat;
+/// let a = Assertion::identity(2);
+/// assert_eq!(a.dim(), 2);
+/// assert_eq!(a.ops().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Assertion {
+    dim: usize,
+    ops: Vec<CMat>,
+}
+
+impl Assertion {
+    /// Creates an assertion from explicit predicate matrices.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty sets and shape mismatches; elements are *not* checked
+    /// for the predicate interval here (wlp-generated intermediates can
+    /// carry rounding slack) — use [`Assertion::validate_predicates`] at
+    /// user-input boundaries.
+    pub fn from_ops(dim: usize, ops: Vec<CMat>) -> Result<Self, VerifError> {
+        if ops.is_empty() {
+            return Err(VerifError::EmptyAssertion);
+        }
+        for m in &ops {
+            if m.rows() != dim || m.cols() != dim {
+                return Err(VerifError::AssertionShape {
+                    expected: dim,
+                    got: m.rows(),
+                });
+            }
+        }
+        Ok(Assertion { dim, ops }.deduped())
+    }
+
+    /// The singleton `{I}` — the quantum analogue of `true`.
+    pub fn identity(dim: usize) -> Self {
+        Assertion {
+            dim,
+            ops: vec![CMat::identity(dim)],
+        }
+    }
+
+    /// The singleton `{0}` — the quantum analogue of `false`.
+    pub fn zero(dim: usize) -> Self {
+        Assertion {
+            dim,
+            ops: vec![CMat::zeros(dim, dim)],
+        }
+    }
+
+    /// Resolves a syntactic assertion against a library and register:
+    /// every `P[q̄]` term is embedded as a cylinder extension onto the full
+    /// register space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifError`] on unknown operators, kind/arity mismatches
+    /// or invalid predicates.
+    pub fn from_expr(
+        expr: &AssertionExpr,
+        lib: &OperatorLibrary,
+        reg: &Register,
+    ) -> Result<Self, VerifError> {
+        let n = reg.n_qubits();
+        let mut ops = Vec::with_capacity(expr.terms.len());
+        for term in &expr.terms {
+            let m = lib.predicate(&term.op).map_err(VerifError::Library)?;
+            let pos = reg.positions(&term.qubits).map_err(VerifError::Register)?;
+            let k = m.rows().trailing_zeros() as usize;
+            if k != pos.len() {
+                return Err(VerifError::ArityMismatch {
+                    op: term.op.clone(),
+                    expected: k,
+                    got: pos.len(),
+                });
+            }
+            ops.push(embed(&m, &pos, n));
+        }
+        Assertion::from_ops(reg.dim(), ops)
+    }
+
+    /// The space dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The predicate set.
+    pub fn ops(&self) -> &[CMat] {
+        &self.ops
+    }
+
+    /// Number of predicates in the set.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if the set is empty (cannot happen via constructors).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The guaranteed expected satisfaction `Exp(ρ ⊨ Θ) = inf_M tr(Mρ)`
+    /// (Definition 4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn expectation(&self, rho: &CMat) -> f64 {
+        assert_eq!(rho.rows(), self.dim, "state dimension mismatch");
+        self.ops
+            .iter()
+            .map(|m| m.trace_product(rho).re)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Element-wise map over the predicate set (used by the wp/wlp
+    /// transformer steps).
+    pub fn map<F: FnMut(&CMat) -> CMat>(&self, mut f: F) -> Assertion {
+        Assertion {
+            dim: self.dim,
+            ops: self.ops.iter().map(|m| f(m)).collect(),
+        }
+        .deduped()
+    }
+
+    /// Set union `Θ ∪ Ψ` (rule (Union) / nondeterministic choice in Fig. 5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifError::AssertionShape`] on dimension mismatch.
+    pub fn union(&self, other: &Assertion) -> Result<Assertion, VerifError> {
+        if self.dim != other.dim {
+            return Err(VerifError::AssertionShape {
+                expected: self.dim,
+                got: other.dim,
+            });
+        }
+        let mut ops = self.ops.clone();
+        ops.extend(other.ops.iter().cloned());
+        Ok(Assertion { dim: self.dim, ops }.deduped())
+    }
+
+    /// Element-wise (cartesian) sums `{A + B : A ∈ Θ, B ∈ Ψ}` — the
+    /// measurement-combination of rule (Meas) and the `P⁰(Ψ)+P¹(Θ)`
+    /// construction of rule (While).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifError::AssertionShape`] on dimension mismatch.
+    pub fn sum_pairwise(&self, other: &Assertion) -> Result<Assertion, VerifError> {
+        if self.dim != other.dim {
+            return Err(VerifError::AssertionShape {
+                expected: self.dim,
+                got: other.dim,
+            });
+        }
+        let mut ops = Vec::with_capacity(self.ops.len() * other.ops.len());
+        for a in &self.ops {
+            for b in &other.ops {
+                ops.push(a.add_mat(b));
+            }
+        }
+        Ok(Assertion { dim: self.dim, ops }.deduped())
+    }
+
+    /// Decides `self ⊑_inf other` with the solver.
+    ///
+    /// # Errors
+    ///
+    /// Wraps solver input failures.
+    pub fn le_inf(&self, other: &Assertion, opts: LownerOptions) -> Result<Verdict, VerifError> {
+        assertion_le(&self.ops, &other.ops, opts).map_err(VerifError::Solver)
+    }
+
+    /// Validates that every element lies in the predicate interval
+    /// `0 ⊑ M ⊑ I` (within `tol`).
+    pub fn validate_predicates(&self, tol: f64) -> bool {
+        self.ops
+            .iter()
+            .all(|m| nqpv_linalg::is_predicate(m, tol))
+    }
+
+    /// `true` if the two assertions contain the same predicates (as
+    /// matrices, within `tol`), regardless of order. Used by the proof
+    /// checker to match rule premises *syntactically* — semantic weakening
+    /// must go through the (Imp) rule, as in the paper.
+    pub fn approx_set_eq(&self, other: &Assertion, tol: f64) -> bool {
+        if self.dim != other.dim || self.ops.len() != other.ops.len() {
+            return false;
+        }
+        let mut used = vec![false; other.ops.len()];
+        'outer: for a in &self.ops {
+            for (j, b) in other.ops.iter().enumerate() {
+                if !used[j] && a.approx_eq(b, tol) {
+                    used[j] = true;
+                    continue 'outer;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Caps the set size, returning an error if exceeded (nondeterministic
+    /// branching multiplies set sizes; see `VcOptions::max_set`).
+    pub(crate) fn check_size(self, max: usize) -> Result<Self, VerifError> {
+        if self.ops.len() > max {
+            Err(VerifError::SetBlowup { limit: max })
+        } else {
+            Ok(self)
+        }
+    }
+
+    fn deduped(mut self) -> Self {
+        if self.ops.len() <= 1 {
+            return self;
+        }
+        let mut seen = HashSet::new();
+        self.ops.retain(|m| seen.insert(m.fingerprint(1e8)));
+        self
+    }
+}
+
+impl fmt::Display for Assertion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{{ {} predicate(s) on dim {} }}",
+            self.ops.len(),
+            self.dim
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nqpv_lang::OpApp;
+    use nqpv_quantum::ket;
+
+    fn reg2() -> Register {
+        Register::new(&["q1", "q2"]).unwrap()
+    }
+
+    #[test]
+    fn from_expr_embeds_onto_register() {
+        let lib = OperatorLibrary::with_builtins();
+        let expr = AssertionExpr::new(vec![OpApp::new("P0", &["q2"])]);
+        let a = Assertion::from_expr(&expr, &lib, &reg2()).unwrap();
+        assert_eq!(a.dim(), 4);
+        // P0 on q2 = I ⊗ |0⟩⟨0|: expectation 1 on |10⟩, 0 on |11⟩.
+        assert!((a.expectation(&ket("10").projector()) - 1.0).abs() < 1e-10);
+        assert!(a.expectation(&ket("11").projector()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn expectation_takes_the_infimum() {
+        let lib = OperatorLibrary::with_builtins();
+        let expr = AssertionExpr::new(vec![
+            OpApp::new("P0", &["q1"]),
+            OpApp::new("P1", &["q1"]),
+        ]);
+        let a = Assertion::from_expr(&expr, &lib, &reg2()).unwrap();
+        // On any state, min(tr(P0ρ), tr(P1ρ)) ≤ 1/2·tr(ρ).
+        let rho = ket("0+").projector();
+        assert!(a.expectation(&rho) < 1e-10 + 0.0f64.max(0.0)); // P1 gives 0
+    }
+
+    #[test]
+    fn union_and_sum_shapes() {
+        let a = Assertion::identity(2);
+        let b = Assertion::zero(2);
+        let u = a.union(&b).unwrap();
+        assert_eq!(u.len(), 2);
+        let s = a.sum_pairwise(&b).unwrap();
+        assert_eq!(s.len(), 1); // I + 0 = I
+        let bad = Assertion::identity(4);
+        assert!(a.union(&bad).is_err());
+    }
+
+    #[test]
+    fn dedupe_collapses_equal_predicates() {
+        let i = CMat::identity(2);
+        let a = Assertion::from_ops(2, vec![i.clone(), i.clone(), i]).unwrap();
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn le_inf_basic_directions() {
+        let half = Assertion::from_ops(2, vec![CMat::identity(2).scale_re(0.5)]).unwrap();
+        let one = Assertion::identity(2);
+        assert!(half
+            .le_inf(&one, LownerOptions::default())
+            .unwrap()
+            .holds());
+        assert!(!one
+            .le_inf(&half, LownerOptions::default())
+            .unwrap()
+            .holds());
+        // {0} ⊑_inf anything.
+        let zero = Assertion::zero(2);
+        assert!(zero.le_inf(&half, LownerOptions::default()).unwrap().holds());
+    }
+
+    #[test]
+    fn arity_and_kind_errors() {
+        let lib = OperatorLibrary::with_builtins();
+        let bad_arity = AssertionExpr::new(vec![OpApp::new("P0", &["q1", "q2"])]);
+        assert!(matches!(
+            Assertion::from_expr(&bad_arity, &lib, &reg2()),
+            Err(VerifError::ArityMismatch { .. })
+        ));
+        let not_pred = AssertionExpr::new(vec![OpApp::new("X", &["q1"])]);
+        assert!(matches!(
+            Assertion::from_expr(&not_pred, &lib, &reg2()),
+            Err(VerifError::Library(_))
+        ));
+        let unknown_q = AssertionExpr::new(vec![OpApp::new("P0", &["zz"])]);
+        assert!(matches!(
+            Assertion::from_expr(&unknown_q, &lib, &reg2()),
+            Err(VerifError::Register(_))
+        ));
+    }
+
+    #[test]
+    fn validate_predicates_flags_out_of_interval() {
+        let ok = Assertion::from_ops(2, vec![CMat::identity(2).scale_re(0.3)]).unwrap();
+        assert!(ok.validate_predicates(1e-8));
+        let bad = Assertion::from_ops(2, vec![CMat::identity(2).scale_re(1.7)]).unwrap();
+        assert!(!bad.validate_predicates(1e-8));
+    }
+}

@@ -1,0 +1,296 @@
+//! Semantic correctness (Definition 4.2) and its numerical checking.
+//!
+//! `⊨tot {Θ} S {Ψ}` iff for every state `ρ`:
+//! `Exp(ρ ⊨ Θ) ≤ inf { Exp(σ ⊨ Ψ) : σ ∈ [[S]](ρ) }`;
+//! partial correctness relaxes the bound by the non-termination mass
+//! `tr(ρ) − tr(σ)`. These definitions are *semantic*; this module evaluates
+//! them directly on states to cross-check the proof systems (experiment
+//! E10: numerical soundness).
+
+use crate::assertion::Assertion;
+use crate::error::VerifError;
+use nqpv_lang::Stmt;
+use nqpv_linalg::CMat;
+use nqpv_quantum::{OperatorLibrary, Register, SuperOp};
+use nqpv_semantics::{denote_bounded, DenoteOptions};
+
+/// The two correctness senses of Definition 4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// `⊨tot`.
+    Total,
+    /// `⊨par`.
+    Partial,
+}
+
+/// Evaluates the right-hand side of Definition 4.2 for a single state:
+/// `inf { Exp(σ ⊨ Ψ) (+ tr ρ − tr σ) : σ ∈ [[S]](ρ) }` over an explicit
+/// semantic set.
+pub fn guaranteed_post_expectation(
+    sense: Sense,
+    semantics: &[SuperOp],
+    rho: &CMat,
+    post: &Assertion,
+) -> f64 {
+    let trace_rho = rho.trace_re();
+    semantics
+        .iter()
+        .map(|e| {
+            let sigma = e.apply(rho);
+            let base = post.expectation(&sigma);
+            match sense {
+                Sense::Total => base,
+                Sense::Partial => base + trace_rho - sigma.trace_re(),
+            }
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Checks `⊨ {Θ} S {Ψ}` on one state within `tol`:
+/// `Exp(ρ ⊨ Θ) ≤ rhs + tol`.
+pub fn holds_on_state(
+    sense: Sense,
+    semantics: &[SuperOp],
+    rho: &CMat,
+    pre: &Assertion,
+    post: &Assertion,
+    tol: f64,
+) -> bool {
+    let lhs = pre.expectation(rho);
+    let rhs = guaranteed_post_expectation(sense, semantics, rho, post);
+    lhs <= rhs + tol
+}
+
+/// Checks a correctness formula on a family of sample states, using
+/// depth-bounded loop semantics. For loop-free programs this is exact; for
+/// loops, partial correctness is *conservatively approximated* (bounded
+/// unrollings have smaller traces, making the partial-correctness slack
+/// larger, so `false` results on loops should be confirmed at higher
+/// depth).
+///
+/// # Errors
+///
+/// Propagates semantic-enumeration failures.
+pub fn check_on_states(
+    sense: Sense,
+    stmt: &Stmt,
+    pre: &Assertion,
+    post: &Assertion,
+    lib: &OperatorLibrary,
+    reg: &Register,
+    states: &[CMat],
+    opts: DenoteOptions,
+    tol: f64,
+) -> Result<bool, VerifError> {
+    let semantics = denote_bounded(stmt, lib, reg, opts).map_err(VerifError::Semantics)?;
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(states.len().max(1));
+    if workers <= 1 || states.len() < 4 {
+        return Ok(states
+            .iter()
+            .all(|rho| holds_on_state(sense, &semantics, rho, pre, post, tol)));
+    }
+    // States are independent: fan the expectation evaluations out over
+    // scoped worker threads (each check multiplies dense 2^n matrices).
+    let chunk = states.len().div_ceil(workers);
+    let semantics = &semantics;
+    let ok = std::thread::scope(|scope| {
+        let handles: Vec<_> = states
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move || {
+                    part.iter()
+                        .all(|rho| holds_on_state(sense, semantics, rho, pre, post, tol))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .all(|h| h.join().expect("worker thread panicked"))
+    });
+    Ok(ok)
+}
+
+/// Deterministic pseudo-random density operators for sampling-based
+/// soundness checks (xorshift-seeded, no RNG dependency).
+pub fn sample_states(dim: usize, count: usize, seed: u64) -> Vec<CMat> {
+    let mut s = seed.max(1);
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s as f64 / u64::MAX as f64) * 2.0 - 1.0
+    };
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let g = CMat::from_fn(dim, dim, |_, _| nqpv_linalg::c(next(), next()));
+        let psd = g.mul(&g.adjoint());
+        let t = psd.trace_re().max(1e-12);
+        out.push(psd.scale_re(1.0 / t));
+    }
+    // Include the maximally mixed state and a few pure basis states.
+    out.push(CMat::identity(dim).scale_re(1.0 / dim as f64));
+    for k in 0..dim.min(2) {
+        out.push(nqpv_linalg::CVec::basis(dim, k).projector());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nqpv_lang::parse_stmt;
+    use nqpv_quantum::ket;
+
+    fn setup(names: &[&str]) -> (OperatorLibrary, Register) {
+        (
+            OperatorLibrary::with_builtins(),
+            Register::new(names).unwrap(),
+        )
+    }
+
+    #[test]
+    fn example_4_1_qec_statement_shape() {
+        // ⊨tot {[ψ]} ErrCorr {[ψ]} checked semantically on the full
+        // program (loop-free, exact).
+        let (lib, reg) = setup(&["q", "q1", "q2"]);
+        let s = parse_stmt(
+            "[q1 q2] := 0; \
+             [q q1] *= CX; [q q2] *= CX; \
+             ( skip # [q] *= X # [q1] *= X # [q2] *= X ); \
+             [q q2] *= CX; [q q1] *= CX; \
+             if M01[q2] then if M01[q1] then [q] *= X end end",
+        )
+        .unwrap();
+        let psi = nqpv_quantum::superpose(0.6, "0", 0.8, "1");
+        let pred = nqpv_linalg::embed(&psi.projector(), &[0], 3);
+        let pre = Assertion::from_ops(8, vec![pred.clone()]).unwrap();
+        let post = Assertion::from_ops(8, vec![pred]).unwrap();
+        let states = sample_states(8, 6, 11);
+        let ok = check_on_states(
+            Sense::Total,
+            &s,
+            &pre,
+            &post,
+            &lib,
+            &reg,
+            &states,
+            DenoteOptions::default(),
+            1e-8,
+        )
+        .unwrap();
+        assert!(ok);
+    }
+
+    #[test]
+    fn counterexample_of_sec_4_1_splits_singletons() {
+        // ⊨ {Θ} skip {Ψ} with Θ={P0,P1}, Ψ={I/2} holds as a set formula…
+        let (_, reg) = setup(&["q"]);
+        let dim = reg.dim();
+        let p0 = ket("0").projector();
+        let p1 = ket("1").projector();
+        let theta = Assertion::from_ops(dim, vec![p0.clone(), p1.clone()]).unwrap();
+        let psi = Assertion::from_ops(dim, vec![CMat::identity(2).scale_re(0.5)]).unwrap();
+        let sem = vec![SuperOp::identity(2)];
+        for rho in sample_states(2, 12, 3) {
+            assert!(holds_on_state(Sense::Total, &sem, &rho, &theta, &psi, 1e-9));
+        }
+        // …but neither singleton decomposition holds (paper Sec. 4.1).
+        let theta0 = Assertion::from_ops(dim, vec![p0.clone()]).unwrap();
+        assert!(!holds_on_state(
+            Sense::Total,
+            &sem,
+            &p0,
+            &theta0,
+            &psi,
+            1e-9
+        ));
+        let theta1 = Assertion::from_ops(dim, vec![p1.clone()]).unwrap();
+        assert!(!holds_on_state(
+            Sense::Total,
+            &sem,
+            &p1,
+            &theta1,
+            &psi,
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn lemma_4_1_total_implies_partial() {
+        let (lib, reg) = setup(&["q"]);
+        let s = parse_stmt("( [q] *= H # [q] *= X ); if M01[q] then abort else skip end")
+            .unwrap();
+        let sem = nqpv_semantics::denote(&s, &lib, &reg).unwrap();
+        let pre = Assertion::from_ops(2, vec![CMat::identity(2).scale_re(0.25)]).unwrap();
+        let post = Assertion::from_ops(2, vec![ket("0").projector()]).unwrap();
+        for rho in sample_states(2, 10, 17) {
+            if holds_on_state(Sense::Total, &sem, &rho, &pre, &post, 1e-9) {
+                assert!(holds_on_state(Sense::Partial, &sem, &rho, &pre, &post, 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_4_1_trivial_formulas() {
+        // ⊨tot {0} S {Ψ} and ⊨par {Θ} S {I}.
+        let (lib, reg) = setup(&["q"]);
+        let s = parse_stmt("if M01[q] then abort else [q] *= H end").unwrap();
+        let sem = nqpv_semantics::denote(&s, &lib, &reg).unwrap();
+        let zero = Assertion::zero(2);
+        let id = Assertion::identity(2);
+        let some_pre = Assertion::from_ops(2, vec![ket("+").projector()]).unwrap();
+        let some_post = Assertion::from_ops(2, vec![ket("1").projector()]).unwrap();
+        for rho in sample_states(2, 10, 23) {
+            assert!(holds_on_state(Sense::Total, &sem, &rho, &zero, &some_post, 1e-9));
+            assert!(holds_on_state(Sense::Partial, &sem, &rho, &some_pre, &id, 1e-9));
+        }
+    }
+
+    #[test]
+    fn qwalk_partial_correctness_i_to_zero() {
+        // ⊨par {I} QWalk {0}: the Sec. 5.3 non-termination statement,
+        // checked on bounded unrollings (trace of every output is ~0, so the
+        // partial-correctness slack covers everything).
+        let (lib, reg) = setup(&["q1", "q2"]);
+        let s = parse_stmt(
+            "[q1 q2] := 0; while MQWalk[q1 q2] do \
+             ( [q1 q2] *= W1; [q1 q2] *= W2 # [q1 q2] *= W2; [q1 q2] *= W1 ) end",
+        )
+        .unwrap();
+        let pre = Assertion::identity(4);
+        let post = Assertion::zero(4);
+        let opts = DenoteOptions {
+            loop_depth: 6,
+            max_set: 4096,
+            dedupe: true,
+        };
+        let ok = check_on_states(
+            Sense::Partial,
+            &s,
+            &pre,
+            &post,
+            &lib,
+            &reg,
+            &sample_states(4, 5, 31),
+            opts,
+            1e-8,
+        )
+        .unwrap();
+        assert!(ok);
+    }
+
+    #[test]
+    fn violated_formula_detected() {
+        // {I} (q *= X) {P0} is false on |0⟩⟨0|.
+        let (lib, reg) = setup(&["q"]);
+        let s = parse_stmt("[q] *= X").unwrap();
+        let sem = nqpv_semantics::denote(&s, &lib, &reg).unwrap();
+        let pre = Assertion::identity(2);
+        let post = Assertion::from_ops(2, vec![ket("0").projector()]).unwrap();
+        let rho = ket("0").projector();
+        assert!(!holds_on_state(Sense::Total, &sem, &rho, &pre, &post, 1e-9));
+    }
+}

@@ -1,0 +1,150 @@
+//! Error type of the verification engine.
+
+use nqpv_quantum::{LibraryError, RegisterError};
+use nqpv_semantics::SemanticsError;
+use nqpv_solver::SolverError;
+use std::fmt;
+
+/// Errors raised while generating or discharging verification conditions.
+#[derive(Debug)]
+pub enum VerifError {
+    /// Operator library failure (unknown name, wrong kind, …).
+    Library(LibraryError),
+    /// Qubit resolution failure.
+    Register(RegisterError),
+    /// Solver input failure.
+    Solver(SolverError),
+    /// Semantics failure (ranking certificates enumerate the loop body).
+    Semantics(SemanticsError),
+    /// An operator applied to the wrong number of qubits.
+    ArityMismatch {
+        /// Operator name.
+        op: String,
+        /// Its arity.
+        expected: usize,
+        /// Qubits supplied.
+        got: usize,
+    },
+    /// An assertion with no predicates.
+    EmptyAssertion,
+    /// Assertion dimension mismatch.
+    AssertionShape {
+        /// Expected dimension.
+        expected: usize,
+        /// Found dimension.
+        got: usize,
+    },
+    /// Assertion-set blow-up beyond the configured bound.
+    SetBlowup {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A while loop lacks the `inv:` annotation the mode requires.
+    MissingInvariant,
+    /// The supplied loop invariant fails its side condition
+    /// (the tool's "not a valid loop invariant" error, Sec. 6.2).
+    InvalidInvariant {
+        /// Rendered description of the failing check.
+        details: String,
+    },
+    /// Total correctness requested for a loop without a ranking
+    /// certificate.
+    MissingRanking,
+    /// A ranking certificate fails one of the Definition 4.3 conditions.
+    InvalidRanking {
+        /// Which condition failed.
+        details: String,
+    },
+    /// An interleaved `{ … }` cut assertion is not implied by the computed
+    /// verification condition.
+    CutFailed {
+        /// 0-based index of the cut in source order.
+        index: usize,
+        /// Rendered verdict.
+        details: String,
+    },
+    /// The user's precondition is not implied by the computed weakest
+    /// (liberal) precondition — the correctness formula is rejected.
+    PreconditionFailed {
+        /// Rendered verdict (the tool's "Order relation not satisfied").
+        details: String,
+    },
+    /// The solver could not resolve an order query either way.
+    Inconclusive {
+        /// Description of the unresolved query.
+        details: String,
+    },
+}
+
+impl fmt::Display for VerifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifError::Library(e) => write!(f, "{e}"),
+            VerifError::Register(e) => write!(f, "{e}"),
+            VerifError::Solver(e) => write!(f, "{e}"),
+            VerifError::Semantics(e) => write!(f, "{e}"),
+            VerifError::ArityMismatch { op, expected, got } => write!(
+                f,
+                "operator '{op}' acts on {expected} qubit(s) but was applied to {got}"
+            ),
+            VerifError::EmptyAssertion => write!(f, "assertion must contain a predicate"),
+            VerifError::AssertionShape { expected, got } => {
+                write!(f, "assertion dimension {got} does not match register {expected}")
+            }
+            VerifError::SetBlowup { limit } => {
+                write!(f, "assertion set exceeded the size limit of {limit}")
+            }
+            VerifError::MissingInvariant => {
+                write!(f, "while loop requires an 'inv:' annotation")
+            }
+            VerifError::InvalidInvariant { details } => {
+                write!(
+                    f,
+                    "Error:\n  Order relation not satisfied:\n  {details}\nError: The predicate is not a valid loop invariant."
+                )
+            }
+            VerifError::MissingRanking => write!(
+                f,
+                "total correctness of a while loop requires a ranking certificate"
+            ),
+            VerifError::InvalidRanking { details } => {
+                write!(f, "invalid ranking assertion: {details}")
+            }
+            VerifError::CutFailed { index, details } => {
+                write!(f, "cut assertion #{index} not implied: {details}")
+            }
+            VerifError::PreconditionFailed { details } => {
+                write!(f, "Error:\n  Order relation not satisfied:\n  {details}")
+            }
+            VerifError::Inconclusive { details } => {
+                write!(f, "order query inconclusive: {details}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifError {}
+
+impl From<LibraryError> for VerifError {
+    fn from(e: LibraryError) -> Self {
+        VerifError::Library(e)
+    }
+}
+
+impl From<RegisterError> for VerifError {
+    fn from(e: RegisterError) -> Self {
+        VerifError::Register(e)
+    }
+}
+
+impl From<SolverError> for VerifError {
+    fn from(e: SolverError) -> Self {
+        VerifError::Solver(e)
+    }
+}
+
+impl From<SemanticsError> for VerifError {
+    fn from(e: SemanticsError) -> Self {
+        VerifError::Semantics(e)
+    }
+}

@@ -1,0 +1,40 @@
+//! # nqpv-core
+//!
+//! The primary contribution of *Verification of Nondeterministic Quantum
+//! Programs* (ASPLOS '23), reproduced in Rust:
+//!
+//! * [`Assertion`] — finite sets of quantum predicates with the `⊑_inf`
+//!   order (paper Sec. 4);
+//! * [`backward`]/[`precondition`] — weakest-(liberal-)precondition
+//!   transformers and verification-condition generation (Fig. 5, Sec. 6.2),
+//!   with loop invariants and [`RankingCertificate`]s (Def. 4.3);
+//! * [`proof`] — explicit proof objects for the Hoare logic of Fig. 3 with
+//!   a side-condition checker (soundness enforced numerically);
+//! * [`verify_proof_term`] — the NQPV verifier: parse-bind-verify with
+//!   proof-outline generation and the `show` registry;
+//! * [`casestudies`] — the paper's Sec. 5 examples (QEC, Deutsch, QWalk),
+//!   Grover for the Sec. 6.5 scaling study, and a repeat-until-success
+//!   total-correctness example.
+
+pub mod angelic;
+mod assertion;
+pub mod casestudies;
+pub mod correctness;
+pub mod derivations;
+mod error;
+pub mod infer;
+mod outline;
+pub mod proof;
+mod ranking;
+pub mod refinement;
+mod session;
+mod transformer;
+mod verifier;
+
+pub use assertion::Assertion;
+pub use error::VerifError;
+pub use outline::{render_assertion, render_matrix, render_outline, PredicateRegistry};
+pub use ranking::{check_ranking, RankingCertificate};
+pub use session::{Session, SessionError};
+pub use verifier::{verify_proof_term, VerifyOutcome, VerifyStatus};
+pub use transformer::{backward, precondition, Annotated, AnnotatedNode, Mode, VcOptions};

@@ -1,0 +1,255 @@
+//! Proof-outline rendering and the predicate name registry.
+//!
+//! NQPV annotates "every sub-program statement … with the corresponding
+//! pre- and postconditions", naming freshly computed predicates `VAR0`,
+//! `VAR1`, … (paper Sec. 6.2); `show NAME end` then prints the matrix.
+//! [`PredicateRegistry`] owns the fingerprint→name map and the matrices;
+//! [`render_outline`] produces the annotated listing.
+
+use crate::transformer::{Annotated, AnnotatedNode};
+use nqpv_linalg::CMat;
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// Fingerprint quantisation used for name lookup.
+const FP_SCALE: f64 = 1e8;
+
+/// Maps predicate matrices to display names and back.
+#[derive(Debug, Clone, Default)]
+pub struct PredicateRegistry {
+    names: HashMap<u64, String>,
+    matrices: HashMap<String, CMat>,
+    next_var: usize,
+}
+
+impl PredicateRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        PredicateRegistry::default()
+    }
+
+    /// Registers a matrix under a user-facing display name (e.g.
+    /// `invN[q1 q2]`); also indexes the bare name (`invN`) for `show`.
+    pub fn register_named(&mut self, display: &str, m: &CMat) {
+        self.names
+            .entry(m.fingerprint(FP_SCALE))
+            .or_insert_with(|| display.to_string());
+        self.matrices.insert(display.to_string(), m.clone());
+        if let Some(bare) = display.split('[').next() {
+            self.matrices
+                .entry(bare.to_string())
+                .or_insert_with(|| m.clone());
+        }
+    }
+
+    /// Returns the display name for a matrix, allocating a fresh
+    /// `VARk[q̄]` name when unknown.
+    pub fn name_of(&mut self, m: &CMat, register_display: &str) -> String {
+        let fp = m.fingerprint(FP_SCALE);
+        if let Some(n) = self.names.get(&fp) {
+            return n.clone();
+        }
+        let bare = format!("VAR{}", self.next_var);
+        self.next_var += 1;
+        let display = format!("{bare}[{register_display}]");
+        self.names.insert(fp, display.clone());
+        self.matrices.insert(display.clone(), m.clone());
+        self.matrices.insert(bare, m.clone());
+        display
+    }
+
+    /// Looks up the matrix behind a (bare or full) name, for `show`.
+    pub fn matrix(&self, name: &str) -> Option<&CMat> {
+        self.matrices.get(name)
+    }
+
+    /// All registered display names (unordered).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.matrices.keys().map(String::as_str)
+    }
+}
+
+/// Renders an assertion as `{ name1 name2 … }` using (and extending) the
+/// registry.
+pub fn render_assertion(
+    a: &crate::assertion::Assertion,
+    registry: &mut PredicateRegistry,
+    register_display: &str,
+) -> String {
+    let names: Vec<String> = a
+        .ops()
+        .iter()
+        .map(|m| registry.name_of(m, register_display))
+        .collect();
+    format!("{{ {} }}", names.join(" "))
+}
+
+/// Renders the annotated proof outline in the tool's output format.
+pub fn render_outline(
+    qubits: &[String],
+    user_pre: Option<&str>,
+    ann: &Annotated,
+    post_display: &str,
+    registry: &mut PredicateRegistry,
+) -> String {
+    let register_display = qubits.join(" ");
+    let mut out = String::new();
+    let _ = writeln!(out, "proof [{register_display}] :");
+    if let Some(pre) = user_pre {
+        let _ = writeln!(out, "  {pre};");
+    }
+    let vc = render_assertion(&ann.pre, registry, &register_display);
+    let _ = writeln!(out, "  {vc}; // the Veri. Con.");
+    render_node(&mut out, ann, 1, registry, &register_display, false);
+    let _ = writeln!(out, ";\n  {post_display}");
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Renders a node; `with_pre` controls whether the node's own computed
+/// precondition is printed before it (sequence items print their own).
+fn render_node(
+    out: &mut String,
+    ann: &Annotated,
+    depth: usize,
+    registry: &mut PredicateRegistry,
+    reg_disp: &str,
+    with_pre: bool,
+) {
+    if with_pre {
+        let pre = render_assertion(&ann.pre, registry, reg_disp);
+        indent(out, depth);
+        out.push_str(&pre);
+        out.push_str(";\n");
+    }
+    match &ann.node {
+        AnnotatedNode::Skip => {
+            indent(out, depth);
+            out.push_str("skip");
+        }
+        AnnotatedNode::Abort => {
+            indent(out, depth);
+            out.push_str("abort");
+        }
+        AnnotatedNode::Assert => {
+            indent(out, depth);
+            let a = render_assertion(&ann.pre, registry, reg_disp);
+            out.push_str(&a);
+        }
+        AnnotatedNode::Init { qubits } => {
+            indent(out, depth);
+            let _ = write!(out, "[{}] := 0", qubits.join(" "));
+        }
+        AnnotatedNode::Unitary { qubits, op } => {
+            indent(out, depth);
+            let _ = write!(out, "[{}] *= {}", qubits.join(" "), op);
+        }
+        AnnotatedNode::Seq(items) => {
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(";\n");
+                }
+                render_node(out, item, depth, registry, reg_disp, i > 0);
+            }
+        }
+        AnnotatedNode::NDet(a, b) => {
+            indent(out, depth);
+            out.push_str("(\n");
+            render_node(out, a, depth + 1, registry, reg_disp, true);
+            out.push('\n');
+            indent(out, depth);
+            out.push_str("#\n");
+            render_node(out, b, depth + 1, registry, reg_disp, true);
+            out.push('\n');
+            indent(out, depth);
+            out.push(')');
+        }
+        AnnotatedNode::If {
+            meas,
+            qubits,
+            then_branch,
+            else_branch,
+        } => {
+            indent(out, depth);
+            let _ = write!(out, "if {}[{}] then\n", meas, qubits.join(" "));
+            render_node(out, then_branch, depth + 1, registry, reg_disp, true);
+            out.push('\n');
+            indent(out, depth);
+            out.push_str("else\n");
+            render_node(out, else_branch, depth + 1, registry, reg_disp, true);
+            out.push('\n');
+            indent(out, depth);
+            out.push_str("end");
+        }
+        AnnotatedNode::While {
+            meas,
+            qubits,
+            invariant,
+            body,
+            ..
+        } => {
+            let inv = render_assertion(invariant, registry, reg_disp);
+            indent(out, depth);
+            let _ = write!(out, "{{ inv : {} }};\n", inv.trim_start_matches("{ ").trim_end_matches(" }"));
+            indent(out, depth);
+            let _ = write!(out, "while {}[{}] do\n", meas, qubits.join(" "));
+            render_node(out, body, depth + 1, registry, reg_disp, true);
+            out.push('\n');
+            indent(out, depth);
+            out.push_str("end");
+        }
+    }
+}
+
+/// Pretty-prints a matrix for `show NAME end` output.
+pub fn render_matrix(name: &str, m: &CMat) -> String {
+    format!("{name} =\n{m}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assertion::Assertion;
+    use nqpv_linalg::CVec;
+
+    #[test]
+    fn registry_names_and_allocates() {
+        let mut reg = PredicateRegistry::new();
+        let p0 = CVec::basis(2, 0).projector();
+        reg.register_named("P0[q]", &p0);
+        assert_eq!(reg.name_of(&p0, "q"), "P0[q]");
+        let other = CMat::identity(2).scale_re(0.5);
+        let n = reg.name_of(&other, "q");
+        assert_eq!(n, "VAR0[q]");
+        // Stable on re-query.
+        assert_eq!(reg.name_of(&other, "q"), "VAR0[q]");
+        // Bare and full lookups work.
+        assert!(reg.matrix("VAR0").is_some());
+        assert!(reg.matrix("VAR0[q]").is_some());
+        assert!(reg.matrix("P0").is_some());
+    }
+
+    #[test]
+    fn render_assertion_uses_names() {
+        let mut reg = PredicateRegistry::new();
+        let p0 = CVec::basis(2, 0).projector();
+        reg.register_named("P0[q]", &p0);
+        let a = Assertion::from_ops(2, vec![p0, CMat::identity(2)]).unwrap();
+        let s = render_assertion(&a, &mut reg, "q");
+        assert!(s.contains("P0[q]"));
+        assert!(s.contains("VAR0[q]"));
+    }
+
+    #[test]
+    fn matrix_rendering() {
+        let m = CMat::identity(2);
+        let s = render_matrix("I", &m);
+        assert!(s.starts_with("I =\n"));
+        assert!(s.contains("1.0000"));
+    }
+}

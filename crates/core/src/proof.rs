@@ -1,0 +1,614 @@
+//! Proof objects for the Hoare logics of Fig. 3 (partial) and Sec. 4.2
+//! (total), with a side-condition checker.
+//!
+//! A [`ProofNode`] is a derivation tree; [`check_proof`] replays it,
+//! validating every rule application numerically and returning the
+//! established [`Formula`] `{Θ} S {Ψ}`. By Theorems 4.1/4.2 a checked tree
+//! witnesses semantic (partial/total) correctness — the integration suite
+//! re-verifies that claim by sampling (experiment E10).
+//!
+//! Unlike the backward verifier ([`crate::backward`]), which *computes*
+//! weakest preconditions, this module checks *user-built* derivations; the
+//! paper's Sec. 5 case studies are replayed this way in
+//! [`crate::casestudies`].
+
+use crate::assertion::Assertion;
+use crate::error::VerifError;
+use crate::ranking::{check_ranking, RankingCertificate};
+use crate::transformer::Mode;
+use nqpv_lang::Stmt;
+use nqpv_linalg::embed;
+use nqpv_quantum::{OperatorLibrary, Register, SuperOp};
+use nqpv_solver::{LownerOptions, Verdict};
+
+/// A correctness formula `{Θ} S {Ψ}` established by a proof.
+#[derive(Debug, Clone)]
+pub struct Formula {
+    /// Precondition.
+    pub pre: Assertion,
+    /// The program the formula is about.
+    pub stmt: Stmt,
+    /// Postcondition.
+    pub post: Assertion,
+}
+
+/// A derivation tree in the proof system.
+#[derive(Debug, Clone)]
+pub enum ProofNode {
+    /// (Skip): `{Θ} skip {Θ}`.
+    Skip {
+        /// The shared pre/postcondition.
+        theta: Assertion,
+    },
+    /// (Abort), partial mode: `{I} abort {0}`.
+    Abort,
+    /// (AbortT), total mode: `{0} abort {0}`.
+    AbortT,
+    /// (Init): `{Σᵢ |i⟩⟨0| Θ |0⟩⟨i|} q̄ := 0 {Θ}`.
+    Init {
+        /// Target qubits.
+        qubits: Vec<String>,
+        /// Postcondition.
+        post: Assertion,
+    },
+    /// (Unit): `{U† Θ U} q̄ *= U {Θ}`.
+    Unit {
+        /// Target qubits.
+        qubits: Vec<String>,
+        /// Unitary name.
+        op: String,
+        /// Postcondition.
+        post: Assertion,
+    },
+    /// (Seq): from `{Θ} S₀ {Θ'}` and `{Θ'} S₁ {Ψ}` conclude
+    /// `{Θ} S₀;S₁ {Ψ}`. The intermediate assertions must match exactly.
+    Seq(Box<ProofNode>, Box<ProofNode>),
+    /// (NDet): from `{Θ} S₀ {Ψ}` and `{Θ} S₁ {Ψ}` conclude
+    /// `{Θ} S₀□S₁ {Ψ}`.
+    NDet(Box<ProofNode>, Box<ProofNode>),
+    /// (Meas): from `{Θ₁} S₁ {Ψ}` and `{Θ₀} S₀ {Ψ}` conclude
+    /// `{P⁰(Θ₀)+P¹(Θ₁)} if M[q̄] then S₁ else S₀ end {Ψ}`.
+    Meas {
+        /// Measurement name.
+        meas: String,
+        /// Measured qubits.
+        qubits: Vec<String>,
+        /// Proof of the outcome-1 branch.
+        then_proof: Box<ProofNode>,
+        /// Proof of the outcome-0 branch.
+        else_proof: Box<ProofNode>,
+    },
+    /// (While)/(WhileT): from `{Θ} S {P⁰(Ψ)+P¹(Θ)}` conclude
+    /// `{P⁰(Ψ)+P¹(Θ)} while M[q̄] do S end {Ψ}`. In total mode a ranking
+    /// certificate must be supplied.
+    While {
+        /// Measurement name.
+        meas: String,
+        /// Measured qubits.
+        qubits: Vec<String>,
+        /// The loop invariant `Θ`.
+        invariant: Assertion,
+        /// The loop postcondition `Ψ`.
+        post: Assertion,
+        /// Proof of the body premise.
+        body_proof: Box<ProofNode>,
+        /// Ranking certificate (required in total mode).
+        ranking: Option<RankingCertificate>,
+    },
+    /// (Imp): from `Θ ⊑_inf Θ'`, `{Θ'} S {Ψ'}`, `Ψ' ⊑_inf Ψ` conclude
+    /// `{Θ} S {Ψ}`.
+    Imp {
+        /// The weakened precondition `Θ`.
+        pre: Assertion,
+        /// The inner derivation.
+        inner: Box<ProofNode>,
+        /// The strengthened postcondition `Ψ`.
+        post: Assertion,
+    },
+    /// (Union): from `{Θᵢ} S {Ψᵢ}` for all `i` conclude
+    /// `{∪Θᵢ} S {∪Ψᵢ}`.
+    Union(Vec<ProofNode>),
+}
+
+impl ProofNode {
+    /// Boxing helper for (Seq).
+    pub fn seq(a: ProofNode, b: ProofNode) -> ProofNode {
+        ProofNode::Seq(Box::new(a), Box::new(b))
+    }
+
+    /// Folds a chain of (Seq) applications left-to-right.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty list.
+    pub fn seq_all(nodes: Vec<ProofNode>) -> ProofNode {
+        let mut it = nodes.into_iter();
+        let first = it.next().expect("seq_all needs at least one node");
+        it.fold(first, ProofNode::seq)
+    }
+
+    /// Boxing helper for (NDet).
+    pub fn ndet(a: ProofNode, b: ProofNode) -> ProofNode {
+        ProofNode::NDet(Box::new(a), Box::new(b))
+    }
+
+    /// Folds a chain of (NDet) applications left-to-right.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty list.
+    pub fn ndet_all(nodes: Vec<ProofNode>) -> ProofNode {
+        let mut it = nodes.into_iter();
+        let first = it.next().expect("ndet_all needs at least one node");
+        it.fold(first, ProofNode::ndet)
+    }
+
+    /// Boxing helper for (Imp).
+    pub fn imp(pre: Assertion, inner: ProofNode, post: Assertion) -> ProofNode {
+        ProofNode::Imp {
+            pre,
+            inner: Box::new(inner),
+            post,
+        }
+    }
+}
+
+/// Matching tolerance for rule-premise assertion equality.
+const MATCH_TOL: f64 = 1e-8;
+
+/// Replays a derivation, checking every side condition.
+///
+/// # Errors
+///
+/// Returns [`VerifError`] describing the first failing rule application.
+pub fn check_proof(
+    node: &ProofNode,
+    mode: Mode,
+    lib: &OperatorLibrary,
+    reg: &Register,
+    lowner: LownerOptions,
+) -> Result<Formula, VerifError> {
+    let dim = reg.dim();
+    let n = reg.n_qubits();
+    match node {
+        ProofNode::Skip { theta } => Ok(Formula {
+            pre: theta.clone(),
+            stmt: Stmt::Skip,
+            post: theta.clone(),
+        }),
+        ProofNode::Abort => {
+            if mode != Mode::Partial {
+                return Err(VerifError::InvalidInvariant {
+                    details: "(Abort) is a partial-correctness rule; use (AbortT)".into(),
+                });
+            }
+            Ok(Formula {
+                pre: Assertion::identity(dim),
+                stmt: Stmt::Abort,
+                post: Assertion::zero(dim),
+            })
+        }
+        ProofNode::AbortT => {
+            if mode != Mode::Total {
+                return Err(VerifError::InvalidInvariant {
+                    details: "(AbortT) is a total-correctness rule; use (Abort)".into(),
+                });
+            }
+            Ok(Formula {
+                pre: Assertion::zero(dim),
+                stmt: Stmt::Abort,
+                post: Assertion::zero(dim),
+            })
+        }
+        ProofNode::Init { qubits, post } => {
+            let pos = reg.positions(qubits)?;
+            let setter = SuperOp::initializer(pos.len()).embed(&pos, n);
+            let pre = post.map(|m| setter.apply_heisenberg(m));
+            Ok(Formula {
+                pre,
+                stmt: Stmt::Init {
+                    qubits: qubits.clone(),
+                },
+                post: post.clone(),
+            })
+        }
+        ProofNode::Unit { qubits, op, post } => {
+            let u = lib.unitary(op)?;
+            let pos = reg.positions(qubits)?;
+            let k = u.rows().trailing_zeros() as usize;
+            if k != pos.len() {
+                return Err(VerifError::ArityMismatch {
+                    op: op.clone(),
+                    expected: k,
+                    got: pos.len(),
+                });
+            }
+            let pre = post.map(|m| nqpv_linalg::adjoint_conjugate_gate(u, &pos, n, m));
+            Ok(Formula {
+                pre,
+                stmt: Stmt::Unitary {
+                    qubits: qubits.clone(),
+                    op: op.clone(),
+                },
+                post: post.clone(),
+            })
+        }
+        ProofNode::Seq(a, b) => {
+            let fa = check_proof(a, mode, lib, reg, lowner)?;
+            let fb = check_proof(b, mode, lib, reg, lowner)?;
+            if !fa.post.approx_set_eq(&fb.pre, MATCH_TOL) {
+                return Err(VerifError::InvalidInvariant {
+                    details: "(Seq) premises do not share the intermediate assertion".into(),
+                });
+            }
+            Ok(Formula {
+                pre: fa.pre,
+                stmt: Stmt::seq(vec![fa.stmt, fb.stmt]),
+                post: fb.post,
+            })
+        }
+        ProofNode::NDet(a, b) => {
+            let fa = check_proof(a, mode, lib, reg, lowner)?;
+            let fb = check_proof(b, mode, lib, reg, lowner)?;
+            if !fa.pre.approx_set_eq(&fb.pre, MATCH_TOL) {
+                return Err(VerifError::InvalidInvariant {
+                    details: "(NDet) premises have different preconditions".into(),
+                });
+            }
+            if !fa.post.approx_set_eq(&fb.post, MATCH_TOL) {
+                return Err(VerifError::InvalidInvariant {
+                    details: "(NDet) premises have different postconditions".into(),
+                });
+            }
+            Ok(Formula {
+                pre: fa.pre,
+                stmt: Stmt::ndet(fa.stmt, fb.stmt),
+                post: fa.post,
+            })
+        }
+        ProofNode::Meas {
+            meas,
+            qubits,
+            then_proof,
+            else_proof,
+        } => {
+            let m = lib.measurement(meas)?;
+            let pos = reg.positions(qubits)?;
+            if m.n_qubits() != pos.len() {
+                return Err(VerifError::ArityMismatch {
+                    op: meas.clone(),
+                    expected: m.n_qubits(),
+                    got: pos.len(),
+                });
+            }
+            let p0 = embed(m.p0(), &pos, n);
+            let p1 = embed(m.p1(), &pos, n);
+            let ft = check_proof(then_proof, mode, lib, reg, lowner)?;
+            let fe = check_proof(else_proof, mode, lib, reg, lowner)?;
+            if !ft.post.approx_set_eq(&fe.post, MATCH_TOL) {
+                return Err(VerifError::InvalidInvariant {
+                    details: "(Meas) branch postconditions differ".into(),
+                });
+            }
+            let pre = fe
+                .pre
+                .map(|x| p0.conjugate(x))
+                .sum_pairwise(&ft.pre.map(|x| p1.conjugate(x)))?;
+            Ok(Formula {
+                pre,
+                stmt: Stmt::If {
+                    meas: meas.clone(),
+                    qubits: qubits.clone(),
+                    then_branch: Box::new(ft.stmt),
+                    else_branch: Box::new(fe.stmt),
+                },
+                post: ft.post,
+            })
+        }
+        ProofNode::While {
+            meas,
+            qubits,
+            invariant,
+            post,
+            body_proof,
+            ranking,
+        } => {
+            let m = lib.measurement(meas)?;
+            let pos = reg.positions(qubits)?;
+            if m.n_qubits() != pos.len() {
+                return Err(VerifError::ArityMismatch {
+                    op: meas.clone(),
+                    expected: m.n_qubits(),
+                    got: pos.len(),
+                });
+            }
+            let p0 = embed(m.p0(), &pos, n);
+            let p1 = embed(m.p1(), &pos, n);
+            let phi = post
+                .map(|x| p0.conjugate(x))
+                .sum_pairwise(&invariant.map(|x| p1.conjugate(x)))?;
+            let fb = check_proof(body_proof, mode, lib, reg, lowner)?;
+            if !fb.pre.approx_set_eq(invariant, MATCH_TOL) {
+                return Err(VerifError::InvalidInvariant {
+                    details: "(While) body premise precondition is not the invariant".into(),
+                });
+            }
+            if !fb.post.approx_set_eq(&phi, MATCH_TOL) {
+                return Err(VerifError::InvalidInvariant {
+                    details: "(While) body premise postcondition is not P⁰(Ψ)+P¹(Θ)".into(),
+                });
+            }
+            if mode == Mode::Total {
+                let cert = ranking.as_ref().ok_or(VerifError::MissingRanking)?;
+                check_ranking(cert, &phi, &fb.stmt, &p1, lib, reg, lowner)?;
+            }
+            Ok(Formula {
+                pre: phi,
+                stmt: Stmt::While {
+                    meas: meas.clone(),
+                    qubits: qubits.clone(),
+                    invariant: None,
+                    body: Box::new(fb.stmt),
+                },
+                post: post.clone(),
+            })
+        }
+        ProofNode::Imp { pre, inner, post } => {
+            let fi = check_proof(inner, mode, lib, reg, lowner)?;
+            match pre.le_inf(&fi.pre, lowner)? {
+                Verdict::Holds => {}
+                v => {
+                    return Err(VerifError::PreconditionFailed {
+                        details: format!("(Imp) premise Θ ⊑_inf Θ' fails: {v}"),
+                    })
+                }
+            }
+            match fi.post.le_inf(post, lowner)? {
+                Verdict::Holds => {}
+                v => {
+                    return Err(VerifError::PreconditionFailed {
+                        details: format!("(Imp) premise Ψ' ⊑_inf Ψ fails: {v}"),
+                    })
+                }
+            }
+            Ok(Formula {
+                pre: pre.clone(),
+                stmt: fi.stmt,
+                post: post.clone(),
+            })
+        }
+        ProofNode::Union(nodes) => {
+            if nodes.is_empty() {
+                return Err(VerifError::EmptyAssertion);
+            }
+            let formulas: Vec<Formula> = nodes
+                .iter()
+                .map(|p| check_proof(p, mode, lib, reg, lowner))
+                .collect::<Result<_, _>>()?;
+            let stmt = formulas[0].stmt.clone();
+            for f in &formulas[1..] {
+                if f.stmt != stmt {
+                    return Err(VerifError::InvalidInvariant {
+                        details: "(Union) premises are about different programs".into(),
+                    });
+                }
+            }
+            let mut pre = formulas[0].pre.clone();
+            let mut post = formulas[0].post.clone();
+            for f in &formulas[1..] {
+                pre = pre.union(&f.pre)?;
+                post = post.union(&f.post)?;
+            }
+            Ok(Formula { pre, stmt, post })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correctness::{holds_on_state, sample_states, Sense};
+    use nqpv_linalg::CMat;
+    use nqpv_quantum::ket;
+    use std::collections::HashMap;
+
+    fn setup(names: &[&str]) -> (OperatorLibrary, Register) {
+        (
+            OperatorLibrary::with_builtins(),
+            Register::new(names).unwrap(),
+        )
+    }
+
+    fn a1(dim: usize, m: CMat) -> Assertion {
+        Assertion::from_ops(dim, vec![m]).unwrap()
+    }
+
+    #[test]
+    fn unit_rule_formula() {
+        let (lib, reg) = setup(&["q"]);
+        let node = ProofNode::Unit {
+            qubits: vec!["q".into()],
+            op: "H".into(),
+            post: a1(2, ket("0").projector()),
+        };
+        let f = check_proof(&node, Mode::Total, &lib, &reg, LownerOptions::default()).unwrap();
+        assert!(f.pre.ops()[0].approx_eq(&ket("+").projector(), 1e-10));
+    }
+
+    #[test]
+    fn seq_requires_matching_interface() {
+        let (lib, reg) = setup(&["q"]);
+        // {H†P0H} H {P0} ; {P0} skip {P0} — OK.
+        let ok = ProofNode::seq(
+            ProofNode::Unit {
+                qubits: vec!["q".into()],
+                op: "H".into(),
+                post: a1(2, ket("0").projector()),
+            },
+            ProofNode::Skip {
+                theta: a1(2, ket("0").projector()),
+            },
+        );
+        assert!(check_proof(&ok, Mode::Total, &lib, &reg, LownerOptions::default()).is_ok());
+        // Mismatched interface fails.
+        let bad = ProofNode::seq(
+            ProofNode::Unit {
+                qubits: vec!["q".into()],
+                op: "H".into(),
+                post: a1(2, ket("0").projector()),
+            },
+            ProofNode::Skip {
+                theta: a1(2, ket("1").projector()),
+            },
+        );
+        assert!(check_proof(&bad, Mode::Total, &lib, &reg, LownerOptions::default()).is_err());
+    }
+
+    #[test]
+    fn ndet_rule_builds_choice_formula() {
+        let (lib, reg) = setup(&["q"]);
+        // {Θ} skip {Θ} and {Θ} q*=X {XΘX = Θ} with Θ = I/2 (X-invariant).
+        let theta = a1(2, CMat::identity(2).scale_re(0.5));
+        let node = ProofNode::ndet(
+            ProofNode::Skip {
+                theta: theta.clone(),
+            },
+            ProofNode::Unit {
+                qubits: vec!["q".into()],
+                op: "X".into(),
+                post: theta.clone(),
+            },
+        );
+        let f = check_proof(&node, Mode::Total, &lib, &reg, LownerOptions::default()).unwrap();
+        assert!(matches!(f.stmt, Stmt::NDet(_, _)));
+        // Soundness spot check.
+        let lib2 = OperatorLibrary::with_builtins();
+        let sem = nqpv_semantics::denote(&f.stmt, &lib2, &reg).unwrap();
+        for rho in sample_states(2, 8, 5) {
+            assert!(holds_on_state(Sense::Total, &sem, &rho, &f.pre, &f.post, 1e-8));
+        }
+    }
+
+    #[test]
+    fn abort_rules_respect_modes() {
+        let (lib, reg) = setup(&["q"]);
+        assert!(check_proof(&ProofNode::Abort, Mode::Partial, &lib, &reg, LownerOptions::default()).is_ok());
+        assert!(check_proof(&ProofNode::Abort, Mode::Total, &lib, &reg, LownerOptions::default()).is_err());
+        assert!(check_proof(&ProofNode::AbortT, Mode::Total, &lib, &reg, LownerOptions::default()).is_ok());
+        assert!(check_proof(&ProofNode::AbortT, Mode::Partial, &lib, &reg, LownerOptions::default()).is_err());
+    }
+
+    #[test]
+    fn imp_rule_checks_both_inclusions() {
+        let (lib, reg) = setup(&["q"]);
+        let half = a1(2, CMat::identity(2).scale_re(0.5));
+        let id = Assertion::identity(2);
+        // {I/2} skip {I} via Imp around {I} skip {I}? pre: I/2 ⊑ I ✓,
+        // post: I ⊑ I ✓.
+        let node = ProofNode::imp(
+            half.clone(),
+            ProofNode::Skip { theta: id.clone() },
+            id.clone(),
+        );
+        assert!(check_proof(&node, Mode::Total, &lib, &reg, LownerOptions::default()).is_ok());
+        // Illegal strengthening: {I} skip {I/2}.
+        let bad = ProofNode::imp(
+            id.clone(),
+            ProofNode::Skip { theta: id },
+            half,
+        );
+        assert!(check_proof(&bad, Mode::Total, &lib, &reg, LownerOptions::default()).is_err());
+    }
+
+    #[test]
+    fn union_rule_merges_formulas() {
+        let (lib, reg) = setup(&["q"]);
+        let n0 = ProofNode::Skip {
+            theta: a1(2, ket("0").projector()),
+        };
+        let n1 = ProofNode::Skip {
+            theta: a1(2, ket("1").projector()),
+        };
+        let f = check_proof(
+            &ProofNode::Union(vec![n0, n1]),
+            Mode::Total,
+            &lib,
+            &reg,
+            LownerOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(f.pre.len(), 2);
+        assert_eq!(f.post.len(), 2);
+    }
+
+    #[test]
+    fn while_rule_with_ranking_in_total_mode() {
+        let (lib, reg) = setup(&["q"]);
+        // Invariant Θ = {I}, post Ψ = {I}: body premise {I} H {P0(I)+P1(I) = I}.
+        let id = Assertion::identity(2);
+        let body = ProofNode::Unit {
+            qubits: vec!["q".into()],
+            op: "H".into(),
+            post: id.clone(),
+        };
+        let node = ProofNode::While {
+            meas: "M01".into(),
+            qubits: vec!["q".into()],
+            invariant: id.clone(),
+            post: id.clone(),
+            body_proof: Box::new(body),
+            ranking: Some(RankingCertificate::geometric(
+                2,
+                ket("1").projector(),
+                0.5,
+            )),
+        };
+        let f = check_proof(&node, Mode::Total, &lib, &reg, LownerOptions::default()).unwrap();
+        assert!(f.pre.ops()[0].approx_eq(&CMat::identity(2), 1e-9));
+        // Same node without ranking fails in total mode but passes partial.
+        let node2 = ProofNode::While {
+            meas: "M01".into(),
+            qubits: vec!["q".into()],
+            invariant: id.clone(),
+            post: id.clone(),
+            body_proof: Box::new(ProofNode::Unit {
+                qubits: vec!["q".into()],
+                op: "H".into(),
+                post: id.clone(),
+            }),
+            ranking: None,
+        };
+        assert!(matches!(
+            check_proof(&node2, Mode::Total, &lib, &reg, LownerOptions::default()),
+            Err(VerifError::MissingRanking)
+        ));
+        assert!(check_proof(&node2, Mode::Partial, &lib, &reg, LownerOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn checked_partial_proofs_are_semantically_sound_on_samples() {
+        // Build a few small derivations and verify Definition 4.2 on states.
+        let (lib, reg) = setup(&["q"]);
+        let p0 = a1(2, ket("0").projector());
+        let deriv = ProofNode::seq(
+            ProofNode::Unit {
+                qubits: vec!["q".into()],
+                op: "X".into(),
+                post: a1(2, ket("1").projector()),
+            },
+            ProofNode::Unit {
+                qubits: vec!["q".into()],
+                op: "X".into(),
+                post: p0.clone(),
+            },
+        );
+        // check interface: X†P0X = P1 must equal the first post.
+        let f = check_proof(&deriv, Mode::Partial, &lib, &reg, LownerOptions::default())
+            .expect("interface matches");
+        let sem = nqpv_semantics::denote(&f.stmt, &lib, &reg).unwrap();
+        for rho in sample_states(2, 10, 9) {
+            assert!(holds_on_state(Sense::Partial, &sem, &rho, &f.pre, &f.post, 1e-8));
+        }
+        let _ = HashMap::<usize, RankingCertificate>::new();
+    }
+}

@@ -1,0 +1,289 @@
+//! Session driver: executes whole NQPV source files
+//! (`def … end` / `show … end`), maintaining the operator library, proof
+//! outcomes and the `show` registry — the programmatic face of the CLI.
+
+use crate::error::VerifError;
+use crate::outline::{render_matrix, PredicateRegistry};
+use crate::ranking::RankingCertificate;
+use crate::transformer::VcOptions;
+use crate::verifier::{verify_proof_term, VerifyOutcome};
+use nqpv_lang::{parse_source, Command, Decl, SourceFile};
+use nqpv_quantum::OperatorLibrary;
+use std::collections::HashMap;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Errors produced while executing a source file.
+#[derive(Debug)]
+pub enum SessionError {
+    /// Parse failure.
+    Parse(nqpv_lang::ParseError),
+    /// `.npy` load failure.
+    Npy(String, nqpv_linalg::NpyError),
+    /// Operator registration failure.
+    Library(nqpv_quantum::LibraryError),
+    /// Verification failure (structural).
+    Verify {
+        /// The proof's `def` name.
+        name: String,
+        /// The underlying error.
+        error: VerifError,
+    },
+    /// `show` of an unknown name.
+    UnknownShow(String),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Parse(e) => write!(f, "{e}"),
+            SessionError::Npy(path, e) => write!(f, "loading '{path}': {e}"),
+            SessionError::Library(e) => write!(f, "{e}"),
+            SessionError::Verify { name, error } => {
+                write!(f, "verifying proof '{name}':\n{error}")
+            }
+            SessionError::UnknownShow(n) => write!(f, "show: unknown name '{n}'"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// An interactive-style NQPV session.
+///
+/// # Examples
+///
+/// ```
+/// use nqpv_core::Session;
+/// let mut session = Session::new();
+/// session.run_str(
+///     "def pf := proof [q] : { Pp[q] }; [q] *= H; { P0[q] } end show pf end",
+/// )?;
+/// assert!(session.outcome("pf").unwrap().status.verified());
+/// # Ok::<(), nqpv_core::SessionError>(())
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    lib: OperatorLibrary,
+    registry: PredicateRegistry,
+    outcomes: HashMap<String, VerifyOutcome>,
+    rankings: HashMap<String, HashMap<usize, RankingCertificate>>,
+    opts: VcOptions,
+    base_dir: PathBuf,
+    output: Vec<String>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// A fresh session with the built-in operator library and default
+    /// options.
+    pub fn new() -> Self {
+        Session {
+            lib: OperatorLibrary::with_builtins(),
+            registry: PredicateRegistry::new(),
+            outcomes: HashMap::new(),
+            rankings: HashMap::new(),
+            opts: VcOptions::default(),
+            base_dir: PathBuf::from("."),
+            output: Vec::new(),
+        }
+    }
+
+    /// Overrides the verification options.
+    pub fn with_options(mut self, opts: VcOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Sets the directory `.npy` paths are resolved against.
+    pub fn with_base_dir<P: Into<PathBuf>>(mut self, dir: P) -> Self {
+        self.base_dir = dir.into();
+        self
+    }
+
+    /// Mutable access to the operator library (to pre-register operators
+    /// programmatically, as tests and examples do).
+    pub fn library_mut(&mut self) -> &mut OperatorLibrary {
+        &mut self.lib
+    }
+
+    /// Supplies ranking certificates for the loops of a named proof
+    /// (keyed by pre-order loop index), for total-correctness runs.
+    pub fn set_rankings(&mut self, proof: &str, rankings: HashMap<usize, RankingCertificate>) {
+        self.rankings.insert(proof.to_string(), rankings);
+    }
+
+    /// Parses and executes NQPV source text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SessionError`] encountered.
+    pub fn run_str(&mut self, src: &str) -> Result<(), SessionError> {
+        let file = parse_source(src).map_err(SessionError::Parse)?;
+        self.run(&file)
+    }
+
+    /// Executes a parsed source file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SessionError`] encountered.
+    pub fn run(&mut self, file: &SourceFile) -> Result<(), SessionError> {
+        for cmd in &file.commands {
+            match cmd {
+                Command::Def(Decl::LoadOperator { name, path }) => {
+                    let full = self.base_dir.join(path);
+                    let m = nqpv_linalg::read_matrix(&full)
+                        .map_err(|e| SessionError::Npy(path.clone(), e))?;
+                    self.lib
+                        .insert_auto(name, m)
+                        .map_err(SessionError::Library)?;
+                }
+                Command::Def(Decl::Proof { name, term }) => {
+                    let empty = HashMap::new();
+                    let rankings = self.rankings.get(name).unwrap_or(&empty);
+                    let outcome = verify_proof_term(
+                        term,
+                        &self.lib,
+                        self.opts,
+                        rankings,
+                        &mut self.registry,
+                    )
+                    .map_err(|error| SessionError::Verify {
+                        name: name.clone(),
+                        error,
+                    })?;
+                    self.outcomes.insert(name.clone(), outcome);
+                }
+                Command::Show(name) => {
+                    let text = self.show(name)?;
+                    self.output.push(text);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders a proof outline or an operator matrix by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError::UnknownShow`] for unresolved names.
+    pub fn show(&self, name: &str) -> Result<String, SessionError> {
+        if let Some(outcome) = self.outcomes.get(name) {
+            let mut text = outcome.outline.clone();
+            match &outcome.status {
+                crate::verifier::VerifyStatus::Verified => {}
+                crate::verifier::VerifyStatus::PreconditionViolated { details } => {
+                    text.push_str(&format!("\nError:\n  {details}\n"));
+                }
+                crate::verifier::VerifyStatus::Unresolved { details } => {
+                    text.push_str(&format!("\nWarning: {details}\n"));
+                }
+            }
+            return Ok(text);
+        }
+        if let Some(m) = self.registry.matrix(name) {
+            return Ok(render_matrix(name, m));
+        }
+        if let Some(op) = self.lib.get(name) {
+            return Ok(match op {
+                nqpv_quantum::LibOp::Unitary(m) | nqpv_quantum::LibOp::Predicate(m) => {
+                    render_matrix(name, m)
+                }
+                nqpv_quantum::LibOp::Measurement(meas) => format!(
+                    "{name}.P0 =\n{}\n{name}.P1 =\n{}",
+                    meas.p0(),
+                    meas.p1()
+                ),
+            });
+        }
+        Err(SessionError::UnknownShow(name.to_string()))
+    }
+
+    /// The outcome for a named proof, if it has been verified.
+    pub fn outcome(&self, name: &str) -> Option<&VerifyOutcome> {
+        self.outcomes.get(name)
+    }
+
+    /// Output accumulated by `show` commands, in order.
+    pub fn output(&self) -> &[String] {
+        &self.output
+    }
+
+    /// The predicate registry (for `show VARk`-style queries).
+    pub fn registry(&self) -> &PredicateRegistry {
+        &self.registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_a_simple_proof_and_show() {
+        let mut s = Session::new();
+        s.run_str(
+            "def pf := proof [q] : { Pp[q] }; [q] *= H; { P0[q] } end\nshow pf end",
+        )
+        .unwrap();
+        assert!(s.outcome("pf").unwrap().status.verified());
+        assert_eq!(s.output().len(), 1);
+        assert!(s.output()[0].contains("proof [q]"));
+    }
+
+    #[test]
+    fn show_library_operators_and_measurements() {
+        let s = Session::new();
+        assert!(s.show("H").unwrap().contains("0.7071"));
+        let m01 = s.show("M01").unwrap();
+        assert!(m01.contains("M01.P0"));
+        assert!(m01.contains("M01.P1"));
+        assert!(matches!(
+            s.show("NOPE"),
+            Err(SessionError::UnknownShow(_))
+        ));
+    }
+
+    #[test]
+    fn load_command_reads_npy_files() {
+        let dir = std::env::temp_dir().join("nqpv_session_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = nqpv_quantum::gates::h();
+        nqpv_linalg::write_matrix(dir.join("had.npy"), &m).unwrap();
+        let mut s = Session::new().with_base_dir(&dir);
+        s.run_str("def MyH := load \"had.npy\" end").unwrap();
+        assert!(s.library_mut().unitary("MyH").is_ok());
+        // Broken path errors out.
+        let mut s2 = Session::new().with_base_dir(&dir);
+        let err = s2.run_str("def Q := load \"missing.npy\" end").unwrap_err();
+        assert!(matches!(err, SessionError::Npy(_, _)));
+    }
+
+    #[test]
+    fn structural_errors_carry_the_proof_name() {
+        let mut s = Session::new();
+        let err = s
+            .run_str("def broken := proof [q] : { I[q] }; [q] *= NOPE; { I[q] } end")
+            .unwrap_err();
+        match err {
+            SessionError::Verify { name, .. } => assert_eq!(name, "broken"),
+            other => panic!("expected verify error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn failed_precondition_shows_error_in_outline() {
+        let mut s = Session::new();
+        s.run_str("def pf := proof [q] : { P1[q] }; [q] *= H; { P0[q] } end\nshow pf end")
+            .unwrap();
+        assert!(!s.outcome("pf").unwrap().status.verified());
+        assert!(s.output()[0].contains("Order relation not satisfied"));
+    }
+}

@@ -1,0 +1,864 @@
+//! Weakest-(liberal-)precondition transformers (paper Fig. 5) and
+//! backward verification-condition generation.
+//!
+//! The verifier works exactly like the paper's tool (Sec. 6.2): "calculate
+//! the weakest preconditions in the backward direction, starting from the
+//! postcondition of the whole program". For `while` loops the user-supplied
+//! invariant is checked (`Θ_inv ⊑_inf wlp.body.(P⁰(Ψ)+P¹(Θ_inv))`) and the
+//! loop contributes `P⁰(Ψ)+P¹(Θ_inv)` as its precondition — rule (While).
+//! In total-correctness mode, `abort` maps to `{0}` and loops additionally
+//! require a [`RankingCertificate`] discharging Definition 4.3.
+
+use crate::assertion::Assertion;
+use crate::error::VerifError;
+pub use crate::ranking::RankingCertificate;
+use nqpv_lang::{AssertionExpr, Stmt};
+use nqpv_linalg::{adjoint_conjugate_gate, embed, CMat};
+use nqpv_quantum::{OperatorLibrary, Register, SuperOp};
+use nqpv_solver::{LownerOptions, Verdict};
+use std::collections::HashMap;
+
+/// Partial (`wlp`) vs total (`wp`) correctness mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Partial correctness: `abort` has wlp `{I}`; loops need invariants.
+    Partial,
+    /// Total correctness: `abort` has wp `{0}`; loops additionally need
+    /// ranking certificates.
+    Total,
+}
+
+/// Options for verification-condition generation.
+#[derive(Debug, Clone, Copy)]
+pub struct VcOptions {
+    /// Correctness mode.
+    pub mode: Mode,
+    /// `⊑_inf` solver options.
+    pub lowner: LownerOptions,
+    /// Bound on intermediate assertion-set sizes.
+    pub max_set: usize,
+    /// Attempt wlp-fixpoint invariant inference (see [`crate::infer`]) for
+    /// `while` loops lacking an `inv:` annotation, instead of failing with
+    /// [`VerifError::MissingInvariant`].
+    pub infer_invariants: bool,
+}
+
+impl Default for VcOptions {
+    fn default() -> Self {
+        VcOptions {
+            mode: Mode::Partial,
+            lowner: LownerOptions::default(),
+            max_set: 1024,
+            infer_invariants: false,
+        }
+    }
+}
+
+/// A statement annotated with the computed precondition at its entry —
+/// the data behind the tool's proof-outline output.
+#[derive(Debug, Clone)]
+pub struct Annotated {
+    /// The verification condition holding *before* this statement.
+    pub pre: Assertion,
+    /// The annotated statement structure.
+    pub node: AnnotatedNode,
+}
+
+/// Statement structure mirroring [`Stmt`], with computed annotations.
+#[derive(Debug, Clone)]
+pub enum AnnotatedNode {
+    /// `skip`.
+    Skip,
+    /// `abort`.
+    Abort,
+    /// A user cut assertion (checked against the computed condition).
+    Assert,
+    /// `q̄ := 0`.
+    Init {
+        /// Target qubits.
+        qubits: Vec<String>,
+    },
+    /// `q̄ *= U`.
+    Unitary {
+        /// Target qubits.
+        qubits: Vec<String>,
+        /// Unitary name.
+        op: String,
+    },
+    /// Sequential composition.
+    Seq(Vec<Annotated>),
+    /// Nondeterministic choice.
+    NDet(Box<Annotated>, Box<Annotated>),
+    /// Measurement conditional.
+    If {
+        /// Measurement name.
+        meas: String,
+        /// Measured qubits.
+        qubits: Vec<String>,
+        /// Outcome-1 branch.
+        then_branch: Box<Annotated>,
+        /// Outcome-0 branch.
+        else_branch: Box<Annotated>,
+    },
+    /// While loop with its (checked) invariant.
+    While {
+        /// Measurement name.
+        meas: String,
+        /// Measured qubits.
+        qubits: Vec<String>,
+        /// The loop id (pre-order numbering; keys ranking certificates).
+        loop_id: usize,
+        /// The resolved invariant assertion.
+        invariant: Assertion,
+        /// Annotated body.
+        body: Box<Annotated>,
+    },
+}
+
+/// Computes the annotated backward pass of `stmt` against `post`,
+/// discharging all embedded side conditions (cuts, invariants, rankings).
+///
+/// # Errors
+///
+/// Returns [`VerifError`] when any side condition fails or resources are
+/// exceeded; see the variants for the failure taxonomy.
+pub fn backward(
+    stmt: &Stmt,
+    post: &Assertion,
+    lib: &OperatorLibrary,
+    reg: &Register,
+    opts: VcOptions,
+    rankings: &HashMap<usize, RankingCertificate>,
+) -> Result<Annotated, VerifError> {
+    let mut ctx = Ctx {
+        lib,
+        reg,
+        opts,
+        rankings,
+        next_loop_id: 0,
+    };
+    let tagged = tag_loops(stmt, &mut ctx.next_loop_id);
+    ctx.go(&tagged, post)
+}
+
+/// Convenience wrapper returning only the computed weakest (liberal)
+/// precondition.
+///
+/// # Errors
+///
+/// Same as [`backward`].
+pub fn precondition(
+    stmt: &Stmt,
+    post: &Assertion,
+    lib: &OperatorLibrary,
+    reg: &Register,
+    opts: VcOptions,
+    rankings: &HashMap<usize, RankingCertificate>,
+) -> Result<Assertion, VerifError> {
+    Ok(backward(stmt, post, lib, reg, opts, rankings)?.pre)
+}
+
+/// Internal statement tree with pre-order loop ids.
+enum TStmt {
+    Skip,
+    Abort,
+    Assert(AssertionExpr),
+    Init(Vec<String>),
+    Unitary(Vec<String>, String),
+    Seq(Vec<TStmt>),
+    NDet(Box<TStmt>, Box<TStmt>),
+    If {
+        meas: String,
+        qubits: Vec<String>,
+        then_branch: Box<TStmt>,
+        else_branch: Box<TStmt>,
+    },
+    While {
+        meas: String,
+        qubits: Vec<String>,
+        invariant: Option<AssertionExpr>,
+        loop_id: usize,
+        body: Box<TStmt>,
+    },
+}
+
+fn tag_loops(stmt: &Stmt, counter: &mut usize) -> TStmt {
+    match stmt {
+        Stmt::Skip => TStmt::Skip,
+        Stmt::Abort => TStmt::Abort,
+        Stmt::Assert(a) => TStmt::Assert(a.clone()),
+        Stmt::Init { qubits } => TStmt::Init(qubits.clone()),
+        Stmt::Unitary { qubits, op } => TStmt::Unitary(qubits.clone(), op.clone()),
+        Stmt::Seq(items) => TStmt::Seq(items.iter().map(|s| tag_loops(s, counter)).collect()),
+        Stmt::NDet(a, b) => TStmt::NDet(
+            Box::new(tag_loops(a, counter)),
+            Box::new(tag_loops(b, counter)),
+        ),
+        Stmt::If {
+            meas,
+            qubits,
+            then_branch,
+            else_branch,
+        } => TStmt::If {
+            meas: meas.clone(),
+            qubits: qubits.clone(),
+            then_branch: Box::new(tag_loops(then_branch, counter)),
+            else_branch: Box::new(tag_loops(else_branch, counter)),
+        },
+        Stmt::While {
+            meas,
+            qubits,
+            invariant,
+            body,
+        } => {
+            let loop_id = *counter;
+            *counter += 1;
+            TStmt::While {
+                meas: meas.clone(),
+                qubits: qubits.clone(),
+                invariant: invariant.clone(),
+                loop_id,
+                body: Box::new(tag_loops(body, counter)),
+            }
+        }
+    }
+}
+
+struct Ctx<'a> {
+    lib: &'a OperatorLibrary,
+    reg: &'a Register,
+    opts: VcOptions,
+    rankings: &'a HashMap<usize, RankingCertificate>,
+    next_loop_id: usize,
+}
+
+impl Ctx<'_> {
+    fn go(&mut self, stmt: &TStmt, post: &Assertion) -> Result<Annotated, VerifError> {
+        let n = self.reg.n_qubits();
+        let dim = self.reg.dim();
+        match stmt {
+            TStmt::Skip => Ok(Annotated {
+                pre: post.clone(),
+                node: AnnotatedNode::Skip,
+            }),
+            TStmt::Abort => Ok(Annotated {
+                pre: match self.opts.mode {
+                    Mode::Partial => Assertion::identity(dim),
+                    Mode::Total => Assertion::zero(dim),
+                },
+                node: AnnotatedNode::Abort,
+            }),
+            TStmt::Assert(expr) => {
+                let a = Assertion::from_expr(expr, self.lib, self.reg)?;
+                if !a.validate_predicates(1e-6) {
+                    return Err(VerifError::InvalidInvariant {
+                        details: "cut assertion contains operators outside 0 ⊑ M ⊑ I".into(),
+                    });
+                }
+                match a.le_inf(post, self.opts.lowner)? {
+                    Verdict::Holds => Ok(Annotated {
+                        pre: a,
+                        node: AnnotatedNode::Assert,
+                    }),
+                    Verdict::Violated(v) => Err(VerifError::CutFailed {
+                        index: 0,
+                        details: format!(
+                            "cut assertion does not entail the computed condition (margin {:.3e})",
+                            v.margin
+                        ),
+                    }),
+                    Verdict::Inconclusive { lower, upper, .. } => {
+                        Err(VerifError::Inconclusive {
+                            details: format!(
+                                "cut assertion comparison unresolved in [{lower:.3e}, {upper:.3e}]"
+                            ),
+                        })
+                    }
+                }
+            }
+            TStmt::Init(qubits) => {
+                let pos = self.reg.positions(qubits)?;
+                let setter = SuperOp::initializer(pos.len()).embed(&pos, n);
+                let pre = post
+                    .map(|m| setter.apply_heisenberg(m))
+                    .check_size(self.opts.max_set)?;
+                Ok(Annotated {
+                    pre,
+                    node: AnnotatedNode::Init {
+                        qubits: qubits.clone(),
+                    },
+                })
+            }
+            TStmt::Unitary(qubits, op) => {
+                let u = self.lib.unitary(op)?;
+                let pos = self.reg.positions(qubits)?;
+                let k = u.rows().trailing_zeros() as usize;
+                if k != pos.len() {
+                    return Err(VerifError::ArityMismatch {
+                        op: op.clone(),
+                        expected: k,
+                        got: pos.len(),
+                    });
+                }
+                let pre = post
+                    .map(|m| adjoint_conjugate_gate(u, &pos, n, m))
+                    .check_size(self.opts.max_set)?;
+                Ok(Annotated {
+                    pre,
+                    node: AnnotatedNode::Unitary {
+                        qubits: qubits.clone(),
+                        op: op.clone(),
+                    },
+                })
+            }
+            TStmt::Seq(items) => {
+                let mut annotated_rev: Vec<Annotated> = Vec::with_capacity(items.len());
+                let mut current = post.clone();
+                for item in items.iter().rev() {
+                    let ann = self.go(item, &current)?;
+                    current = ann.pre.clone();
+                    annotated_rev.push(ann);
+                }
+                annotated_rev.reverse();
+                Ok(Annotated {
+                    pre: current,
+                    node: AnnotatedNode::Seq(annotated_rev),
+                })
+            }
+            TStmt::NDet(a, b) => {
+                let left = self.go(a, post)?;
+                let right = self.go(b, post)?;
+                let pre = left
+                    .pre
+                    .union(&right.pre)?
+                    .check_size(self.opts.max_set)?;
+                Ok(Annotated {
+                    pre,
+                    node: AnnotatedNode::NDet(Box::new(left), Box::new(right)),
+                })
+            }
+            TStmt::If {
+                meas,
+                qubits,
+                then_branch,
+                else_branch,
+            } => {
+                let (p0, p1) = self.branch_projectors(meas, qubits)?;
+                let then_ann = self.go(then_branch, post)?;
+                let else_ann = self.go(else_branch, post)?;
+                // xp.(if).M = P¹(xp.S₁.M) + P⁰(xp.S₀.M)  (Fig. 5)
+                let sandw1 = then_ann.pre.map(|m| p1.conjugate(m));
+                let sandw0 = else_ann.pre.map(|m| p0.conjugate(m));
+                let pre = sandw1
+                    .sum_pairwise(&sandw0)?
+                    .check_size(self.opts.max_set)?;
+                Ok(Annotated {
+                    pre,
+                    node: AnnotatedNode::If {
+                        meas: meas.clone(),
+                        qubits: qubits.clone(),
+                        then_branch: Box::new(then_ann),
+                        else_branch: Box::new(else_ann),
+                    },
+                })
+            }
+            TStmt::While {
+                meas,
+                qubits,
+                invariant,
+                loop_id,
+                body,
+            } => {
+                let inv = match invariant {
+                    Some(inv_expr) => {
+                        let inv = Assertion::from_expr(inv_expr, self.lib, self.reg)?;
+                        if !inv.validate_predicates(1e-6) {
+                            return Err(VerifError::InvalidInvariant {
+                                details: "invariant contains operators outside 0 ⊑ M ⊑ I"
+                                    .into(),
+                            });
+                        }
+                        inv
+                    }
+                    None if self.opts.infer_invariants => {
+                        // wlp-fixpoint inference (Lemma A.2); inner passes
+                        // run in partial mode — rankings are still checked
+                        // below for Mode::Total.
+                        let infer_opts = crate::infer::InferOptions {
+                            max_iters: 64,
+                            vc: VcOptions {
+                                mode: Mode::Partial,
+                                ..self.opts
+                            },
+                        };
+                        match crate::infer::infer_invariant(
+                            meas,
+                            qubits,
+                            &untag(body),
+                            post,
+                            self.lib,
+                            self.reg,
+                            infer_opts,
+                        )? {
+                            crate::infer::InferredInvariant::Found { invariant, .. } => invariant,
+                            crate::infer::InferredInvariant::NoFixpoint { .. } => {
+                                return Err(VerifError::MissingInvariant)
+                            }
+                        }
+                    }
+                    None => return Err(VerifError::MissingInvariant),
+                };
+                let (p0, p1) = self.branch_projectors(meas, qubits)?;
+                // Φ = P⁰(Ψ) + P¹(Θ_inv): the (While)-rule precondition.
+                let phi = post
+                    .map(|m| p0.conjugate(m))
+                    .sum_pairwise(&inv.map(|m| p1.conjugate(m)))?
+                    .check_size(self.opts.max_set)?;
+                let body_ann = self.go(body, &phi)?;
+                // Invariant validity: Θ_inv ⊑_inf wlp.body.Φ.
+                match inv.le_inf(&body_ann.pre, self.opts.lowner)? {
+                    Verdict::Holds => {}
+                    Verdict::Violated(v) => {
+                        return Err(VerifError::InvalidInvariant {
+                            details: format!(
+                                "{{ inv }} <= {{ wlp of loop body }} fails with margin {:.3e}",
+                                v.margin
+                            ),
+                        })
+                    }
+                    Verdict::Inconclusive { lower, upper, .. } => {
+                        return Err(VerifError::Inconclusive {
+                            details: format!(
+                                "invariant comparison unresolved in [{lower:.3e}, {upper:.3e}]"
+                            ),
+                        })
+                    }
+                }
+                if self.opts.mode == Mode::Total {
+                    let cert = self
+                        .rankings
+                        .get(loop_id)
+                        .ok_or(VerifError::MissingRanking)?;
+                    self.check_ranking(cert, &phi, body, &p1)?;
+                }
+                Ok(Annotated {
+                    pre: phi,
+                    node: AnnotatedNode::While {
+                        meas: meas.clone(),
+                        qubits: qubits.clone(),
+                        loop_id: *loop_id,
+                        invariant: inv,
+                        body: Box::new(body_ann),
+                    },
+                })
+            }
+        }
+    }
+
+    /// Resolves the embedded projectors `P⁰`, `P¹` of a measurement.
+    fn branch_projectors(
+        &self,
+        meas: &str,
+        qubits: &[String],
+    ) -> Result<(CMat, CMat), VerifError> {
+        let m = self.lib.measurement(meas)?;
+        let pos = self.reg.positions(qubits)?;
+        if m.n_qubits() != pos.len() {
+            return Err(VerifError::ArityMismatch {
+                op: meas.to_string(),
+                expected: m.n_qubits(),
+                got: pos.len(),
+            });
+        }
+        let n = self.reg.n_qubits();
+        Ok((embed(m.p0(), &pos, n), embed(m.p1(), &pos, n)))
+    }
+
+    /// Discharges a [`RankingCertificate`] via [`crate::ranking::check_ranking`].
+    fn check_ranking(
+        &self,
+        cert: &RankingCertificate,
+        phi: &Assertion,
+        body: &TStmt,
+        p1: &CMat,
+    ) -> Result<(), VerifError> {
+        crate::ranking::check_ranking(
+            cert,
+            phi,
+            &untag(body),
+            p1,
+            self.lib,
+            self.reg,
+            self.opts.lowner,
+        )
+    }
+}
+
+/// Reconstructs a plain [`Stmt`] from the tagged tree (for semantics calls).
+fn untag(stmt: &TStmt) -> Stmt {
+    match stmt {
+        TStmt::Skip => Stmt::Skip,
+        TStmt::Abort => Stmt::Abort,
+        TStmt::Assert(a) => Stmt::Assert(a.clone()),
+        TStmt::Init(q) => Stmt::Init { qubits: q.clone() },
+        TStmt::Unitary(q, op) => Stmt::Unitary {
+            qubits: q.clone(),
+            op: op.clone(),
+        },
+        TStmt::Seq(items) => Stmt::Seq(items.iter().map(untag).collect()),
+        TStmt::NDet(a, b) => Stmt::NDet(Box::new(untag(a)), Box::new(untag(b))),
+        TStmt::If {
+            meas,
+            qubits,
+            then_branch,
+            else_branch,
+        } => Stmt::If {
+            meas: meas.clone(),
+            qubits: qubits.clone(),
+            then_branch: Box::new(untag(then_branch)),
+            else_branch: Box::new(untag(else_branch)),
+        },
+        TStmt::While {
+            meas,
+            qubits,
+            invariant,
+            body,
+            ..
+        } => Stmt::While {
+            meas: meas.clone(),
+            qubits: qubits.clone(),
+            invariant: invariant.clone(),
+            body: Box::new(untag(body)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nqpv_lang::{parse_stmt, OpApp};
+    use nqpv_linalg::{CVec, TOL};
+    use nqpv_quantum::ket;
+
+    fn setup(names: &[&str]) -> (OperatorLibrary, Register) {
+        (
+            OperatorLibrary::with_builtins(),
+            Register::new(names).unwrap(),
+        )
+    }
+
+    fn no_rankings() -> HashMap<usize, RankingCertificate> {
+        HashMap::new()
+    }
+
+    #[test]
+    fn unit_rule_is_adjoint_conjugation() {
+        let (lib, reg) = setup(&["q"]);
+        let s = parse_stmt("[q] *= H").unwrap();
+        // post = P0 ⇒ pre = H†P0H = |+⟩⟨+|.
+        let post = Assertion::from_expr(
+            &nqpv_lang::AssertionExpr::singleton(OpApp::new("P0", &["q"])),
+            &lib,
+            &reg,
+        )
+        .unwrap();
+        let pre = precondition(&s, &post, &lib, &reg, VcOptions::default(), &no_rankings())
+            .unwrap();
+        assert_eq!(pre.len(), 1);
+        let plus = ket("+").projector();
+        assert!(pre.ops()[0].approx_eq(&plus, TOL));
+    }
+
+    #[test]
+    fn init_rule_matches_fig5_formula() {
+        let (lib, reg) = setup(&["q"]);
+        let s = parse_stmt("[q] := 0").unwrap();
+        // xp.(q:=0).M = Σ_i |i⟩⟨0| M |0⟩⟨i| = ⟨0|M|0⟩·I (1 qubit).
+        let m = ket("+").projector();
+        let post = Assertion::from_ops(2, vec![m.clone()]).unwrap();
+        let pre = precondition(&s, &post, &lib, &reg, VcOptions::default(), &no_rankings())
+            .unwrap();
+        let expected = CMat::identity(2).scale_re(m[(0, 0)].re);
+        assert!(pre.ops()[0].approx_eq(&expected, TOL));
+    }
+
+    #[test]
+    fn abort_differs_between_modes() {
+        let (lib, reg) = setup(&["q"]);
+        let s = Stmt::Abort;
+        let post = Assertion::zero(2);
+        let wlp = precondition(
+            &s,
+            &post,
+            &lib,
+            &reg,
+            VcOptions {
+                mode: Mode::Partial,
+                ..VcOptions::default()
+            },
+            &no_rankings(),
+        )
+        .unwrap();
+        assert!(wlp.ops()[0].approx_eq(&CMat::identity(2), TOL));
+        let wp = precondition(
+            &s,
+            &post,
+            &lib,
+            &reg,
+            VcOptions {
+                mode: Mode::Total,
+                ..VcOptions::default()
+            },
+            &no_rankings(),
+        )
+        .unwrap();
+        assert!(wp.ops()[0].is_zero(TOL));
+    }
+
+    #[test]
+    fn ndet_takes_union() {
+        let (lib, reg) = setup(&["q"]);
+        let s = parse_stmt("( skip # [q] *= X )").unwrap();
+        let post = Assertion::from_expr(
+            &nqpv_lang::AssertionExpr::singleton(OpApp::new("P0", &["q"])),
+            &lib,
+            &reg,
+        )
+        .unwrap();
+        let pre = precondition(&s, &post, &lib, &reg, VcOptions::default(), &no_rankings())
+            .unwrap();
+        // {P0, X P0 X = P1}.
+        assert_eq!(pre.len(), 2);
+    }
+
+    #[test]
+    fn if_rule_combines_branch_preconditions() {
+        let (lib, reg) = setup(&["q"]);
+        // if M01 then X else skip: post P0.
+        let s = parse_stmt("if M01[q] then [q] *= X else skip end").unwrap();
+        let post = Assertion::from_expr(
+            &nqpv_lang::AssertionExpr::singleton(OpApp::new("P0", &["q"])),
+            &lib,
+            &reg,
+        )
+        .unwrap();
+        let pre = precondition(&s, &post, &lib, &reg, VcOptions::default(), &no_rankings())
+            .unwrap();
+        // pre = P1(X†P0X)P1 + P0(P0)P0 = P1·P1·P1 + P0 = P1 + P0 = I.
+        assert_eq!(pre.len(), 1);
+        assert!(pre.ops()[0].approx_eq(&CMat::identity(2), 1e-9));
+    }
+
+    #[test]
+    fn wp_duality_on_random_loopfree_programs() {
+        // tr(wlp.S.M · ρ) vs Exp over semantics: for deterministic S the
+        // identity tr(E†(M)ρ) = tr(M·E(ρ)) must hold; for nondeterministic
+        // sets, the wlp set elements must each correspond to a semantic
+        // branch (Lemma A.1(2) for wlp: E†(M) + I - E†(I)).
+        let (lib, reg) = setup(&["q1", "q2"]);
+        let srcs = [
+            "[q1] *= H; [q1 q2] *= CX",
+            "if M01[q1] then [q2] *= X else [q2] *= H end",
+            "[q1] := 0; ( skip # [q1] *= X )",
+        ];
+        for src in srcs {
+            let s = parse_stmt(src).unwrap();
+            let m = ket("00").projector();
+            let post = Assertion::from_ops(4, vec![m.clone()]).unwrap();
+            let opts = VcOptions {
+                mode: Mode::Total,
+                ..VcOptions::default()
+            };
+            let pre = precondition(&s, &post, &lib, &reg, opts, &no_rankings()).unwrap();
+            let sem = nqpv_semantics::denote(&s, &lib, &reg).unwrap();
+            // wp set = {E†(M) : E ∈ [[S]]} (Lemma A.1(1)): same cardinality
+            // after dedupe and pointwise agreement of expectations.
+            let rho = ket("++").projector();
+            let wp_vals: Vec<f64> = pre
+                .ops()
+                .iter()
+                .map(|w| w.trace_product(&rho).re)
+                .collect();
+            let sem_vals: Vec<f64> = sem
+                .iter()
+                .map(|e| e.apply(&rho).trace_product(&m).re)
+                .collect();
+            for sv in &sem_vals {
+                assert!(
+                    wp_vals.iter().any(|wv| (wv - sv).abs() < 1e-8),
+                    "{src}: semantic value {sv} missing from wp values {wp_vals:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn while_requires_invariant() {
+        let (lib, reg) = setup(&["q"]);
+        let s = parse_stmt("while M01[q] do [q] *= H end").unwrap();
+        let post = Assertion::identity(2);
+        let err = precondition(&s, &post, &lib, &reg, VcOptions::default(), &no_rankings())
+            .unwrap_err();
+        assert!(matches!(err, VerifError::MissingInvariant));
+    }
+
+    #[test]
+    fn qwalk_invariant_is_accepted_and_p0_rejected() {
+        let (mut lib, reg) = {
+            let (l, r) = setup(&["q1", "q2"]);
+            (l, r)
+        };
+        // invN = [|00⟩] + [(|01⟩+|11⟩)/√2] as a single predicate (sum of two
+        // orthogonal rank-1 projectors).
+        let n00 = ket("00").projector();
+        let v = CVec::new(vec![
+            nqpv_linalg::cr(0.0),
+            nqpv_linalg::cr(std::f64::consts::FRAC_1_SQRT_2),
+            nqpv_linalg::cr(0.0),
+            nqpv_linalg::cr(std::f64::consts::FRAC_1_SQRT_2),
+        ]);
+        let inv_n = n00.add_mat(&v.projector());
+        lib.insert_predicate("invN", inv_n).unwrap();
+        let src = "{ inv : invN[q1 q2] }; while MQWalk[q1 q2] do \
+                   ( [q1 q2] *= W1; [q1 q2] *= W2 # [q1 q2] *= W2; [q1 q2] *= W1 ) end";
+        let s = parse_stmt(src).unwrap();
+        let post = Assertion::zero(4);
+        let pre = precondition(&s, &post, &lib, &reg, VcOptions::default(), &no_rankings())
+            .unwrap();
+        // Φ = P⁰(0) + P¹(invN) = invN (its support avoids |10⟩).
+        assert_eq!(pre.len(), 1);
+        // Now the paper's Sec. 6.2 error scenario: invariant P0[q1] fails.
+        let bad_src = "{ inv : P0[q1] }; while MQWalk[q1 q2] do \
+                       ( [q1 q2] *= W1; [q1 q2] *= W2 # [q1 q2] *= W2; [q1 q2] *= W1 ) end";
+        let bad = parse_stmt(bad_src).unwrap();
+        let err = precondition(&bad, &post, &lib, &reg, VcOptions::default(), &no_rankings())
+            .unwrap_err();
+        assert!(
+            matches!(err, VerifError::InvalidInvariant { .. }),
+            "got {err:?}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("not a valid loop invariant"), "{msg}");
+    }
+
+    #[test]
+    fn total_mode_requires_and_checks_rankings() {
+        let (lib, reg) = setup(&["q"]);
+        // Repeat-until-success: continue on outcome 1, body H.
+        let src = "{ inv : I[q] }; while M01[q] do [q] *= H end";
+        let s = parse_stmt(src).unwrap();
+        let post = Assertion::identity(2);
+        let opts = VcOptions {
+            mode: Mode::Total,
+            ..VcOptions::default()
+        };
+        // Missing ranking.
+        let err = precondition(&s, &post, &lib, &reg, opts, &no_rankings()).unwrap_err();
+        assert!(matches!(err, VerifError::MissingRanking));
+        // Valid geometric ranking: R_0 = I, R_1 = |1⟩⟨1|, γ = 1/2.
+        let mut rankings = HashMap::new();
+        rankings.insert(
+            0,
+            RankingCertificate {
+                prefix: vec![CMat::identity(2), ket("1").projector()],
+                tail_factor: 0.5,
+            },
+        );
+        let pre = precondition(&s, &post, &lib, &reg, opts, &rankings).unwrap();
+        // Φ = P0(I) + P1(I) = I.
+        assert!(pre.ops()[0].approx_eq(&CMat::identity(2), 1e-9));
+        // Invalid ranking: non-decreasing prefix.
+        let mut bad = HashMap::new();
+        bad.insert(
+            0,
+            RankingCertificate {
+                prefix: vec![ket("1").projector(), CMat::identity(2)],
+                tail_factor: 0.5,
+            },
+        );
+        let err2 = precondition(&s, &post, &lib, &reg, opts, &bad).unwrap_err();
+        assert!(matches!(err2, VerifError::InvalidRanking { .. }));
+        // Invalid ranking: tail factor ≥ 1.
+        let mut bad2 = HashMap::new();
+        bad2.insert(
+            0,
+            RankingCertificate {
+                prefix: vec![CMat::identity(2), ket("1").projector()],
+                tail_factor: 1.0,
+            },
+        );
+        let err3 = precondition(&s, &post, &lib, &reg, opts, &bad2).unwrap_err();
+        assert!(matches!(err3, VerifError::InvalidRanking { .. }));
+    }
+
+    #[test]
+    fn nonterminating_loop_rejects_all_rankings() {
+        // while M01[q] (continue on 1) do skip: from |1⟩ never terminates,
+        // so no valid ranking certificate can exist: P¹∘E†(R_i) = P1 R_i P1
+        // must shrink below γR_k, but condition (1) forces R_0 ⊒ Φ ∋ P1
+        // mass... concretely any candidate fails.
+        let (lib, reg) = setup(&["q"]);
+        let src = "{ inv : P1[q] }; while M01[q] do skip end";
+        let s = parse_stmt(src).unwrap();
+        let post = Assertion::zero(2);
+        let opts = VcOptions {
+            mode: Mode::Total,
+            ..VcOptions::default()
+        };
+        let mut rankings = HashMap::new();
+        rankings.insert(
+            0,
+            RankingCertificate {
+                prefix: vec![CMat::identity(2)],
+                tail_factor: 0.9,
+            },
+        );
+        let err = precondition(&s, &post, &lib, &reg, opts, &rankings).unwrap_err();
+        assert!(matches!(err, VerifError::InvalidRanking { .. }));
+    }
+
+    #[test]
+    fn cut_assertions_are_checked() {
+        let (lib, reg) = setup(&["q"]);
+        // Valid cut: {Pp} before H with post P0 (wlp = |+⟩⟨+| = Pp).
+        let ok = parse_stmt("{ Pp[q] }; [q] *= H").unwrap();
+        let post = Assertion::from_expr(
+            &nqpv_lang::AssertionExpr::singleton(OpApp::new("P0", &["q"])),
+            &lib,
+            &reg,
+        )
+        .unwrap();
+        assert!(
+            precondition(&ok, &post, &lib, &reg, VcOptions::default(), &no_rankings()).is_ok()
+        );
+        // Invalid cut: {P1} before H with post P0.
+        let bad = parse_stmt("{ P1[q] }; [q] *= H").unwrap();
+        let err = precondition(&bad, &post, &lib, &reg, VcOptions::default(), &no_rankings())
+            .unwrap_err();
+        assert!(matches!(err, VerifError::CutFailed { .. }));
+    }
+
+    #[test]
+    fn annotation_structure_records_intermediate_conditions() {
+        let (lib, reg) = setup(&["q"]);
+        let s = parse_stmt("[q] *= H; [q] *= H").unwrap();
+        let post = Assertion::from_expr(
+            &nqpv_lang::AssertionExpr::singleton(OpApp::new("P0", &["q"])),
+            &lib,
+            &reg,
+        )
+        .unwrap();
+        let ann = backward(&s, &post, &lib, &reg, VcOptions::default(), &no_rankings())
+            .unwrap();
+        // H;H = I so the overall pre is P0 again.
+        assert!(ann.pre.ops()[0].approx_eq(&ket("0").projector(), 1e-9));
+        match &ann.node {
+            AnnotatedNode::Seq(items) => {
+                assert_eq!(items.len(), 2);
+                // Before the second H the condition is |+⟩⟨+|.
+                assert!(items[1].pre.ops()[0].approx_eq(&ket("+").projector(), 1e-9));
+            }
+            other => panic!("expected Seq, got {other:?}"),
+        }
+    }
+}

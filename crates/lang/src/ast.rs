@@ -1,0 +1,518 @@
+//! Abstract syntax of the nondeterministic quantum while-language and of
+//! the NQPV input language.
+//!
+//! The statement grammar follows paper Sec. 3.1:
+//!
+//! ```text
+//! S ::= skip | abort | q̄ := 0 | q̄ *= U | S₀; S₁ | S₀ □ S₁
+//!     | if M[q̄] then S₁ else S₀ end | while M[q̄] do S end
+//! ```
+//!
+//! Operator names (`U`, `M`) are symbolic at this level; the verifier binds
+//! them to matrices from an operator library. Assertions are finite sets of
+//! named predicate applications, mirroring the tool's `{ P[q] Q[q1 q2] }`
+//! syntax.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An ordered tuple of distinct qubit names (`q̄` in the paper).
+pub type QTuple = Vec<String>;
+
+/// A named operator applied to a qubit tuple, e.g. `invN[q1 q2]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpApp {
+    /// Operator name, resolved later against the operator library.
+    pub op: String,
+    /// The qubits the operator acts on, in order.
+    pub qubits: QTuple,
+}
+
+impl OpApp {
+    /// Convenience constructor.
+    pub fn new<S: Into<String>, Q: AsRef<str>>(op: S, qubits: &[Q]) -> Self {
+        OpApp {
+            op: op.into(),
+            qubits: qubits.iter().map(|q| q.as_ref().to_string()).collect(),
+        }
+    }
+}
+
+impl fmt::Display for OpApp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.op, self.qubits.join(" "))
+    }
+}
+
+/// A syntactic quantum assertion: a finite *set* of predicate applications
+/// `{ M₁[q̄₁] M₂[q̄₂] … }` (paper Sec. 4: assertions are sets of hermitian
+/// operators).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssertionExpr {
+    /// The predicate terms; the set is their union.
+    pub terms: Vec<OpApp>,
+}
+
+impl AssertionExpr {
+    /// Creates an assertion from its terms.
+    pub fn new(terms: Vec<OpApp>) -> Self {
+        AssertionExpr { terms }
+    }
+
+    /// A singleton assertion.
+    pub fn singleton(term: OpApp) -> Self {
+        AssertionExpr { terms: vec![term] }
+    }
+}
+
+impl fmt::Display for AssertionExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{ ")?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, " }}")
+    }
+}
+
+/// A statement of the nondeterministic quantum while-language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `skip` — the no-op.
+    Skip,
+    /// `abort` — halts with no proper state.
+    Abort,
+    /// `q̄ := 0` — initialise every qubit of the tuple to `|0⟩`.
+    Init {
+        /// Target qubits.
+        qubits: QTuple,
+    },
+    /// `q̄ *= U` — apply unitary `U` to the tuple.
+    Unitary {
+        /// Target qubits.
+        qubits: QTuple,
+        /// Name of the unitary operator.
+        op: String,
+    },
+    /// `S₀; S₁; …` — sequential composition (kept n-ary for readability;
+    /// semantically right-associated binary composition).
+    Seq(Vec<Stmt>),
+    /// `S₀ □ S₁` — demonic nondeterministic choice (`#` in tool syntax).
+    NDet(Box<Stmt>, Box<Stmt>),
+    /// `if M[q̄] then S₁ else S₀ end` — measurement conditional. Outcome 1
+    /// runs `then_branch`, outcome 0 runs `else_branch` (paper Fig. 2).
+    If {
+        /// Name of the two-outcome measurement.
+        meas: String,
+        /// Measured qubits.
+        qubits: QTuple,
+        /// Branch for outcome 1.
+        then_branch: Box<Stmt>,
+        /// Branch for outcome 0.
+        else_branch: Box<Stmt>,
+    },
+    /// `while M[q̄] do S end` — outcome 1 continues, outcome 0 exits.
+    While {
+        /// Name of the two-outcome measurement.
+        meas: String,
+        /// Measured qubits.
+        qubits: QTuple,
+        /// Loop invariant annotation (`{ inv: … }` in tool syntax), if any.
+        invariant: Option<AssertionExpr>,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `{ Θ }` — an interleaved proof-outline annotation (a cut point).
+    /// Semantically a no-op; the verifier checks it as an (Imp) step and
+    /// resumes backward computation from it.
+    Assert(AssertionExpr),
+}
+
+impl Stmt {
+    /// Sequential composition, flattening nested sequences.
+    pub fn seq(stmts: Vec<Stmt>) -> Stmt {
+        let mut flat = Vec::new();
+        for s in stmts {
+            match s {
+                Stmt::Seq(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Stmt::Skip,
+            1 => flat.into_iter().next().expect("len checked"),
+            _ => Stmt::Seq(flat),
+        }
+    }
+
+    /// Binary nondeterministic choice.
+    pub fn ndet(a: Stmt, b: Stmt) -> Stmt {
+        Stmt::NDet(Box::new(a), Box::new(b))
+    }
+
+    /// N-ary nondeterministic choice, left-associated (the paper notes `□`
+    /// is associative, Ex. 3.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty list.
+    pub fn ndet_all(branches: Vec<Stmt>) -> Stmt {
+        let mut it = branches.into_iter();
+        let first = it.next().expect("ndet_all needs at least one branch");
+        it.fold(first, Stmt::ndet)
+    }
+
+    /// `q̄ := 0`.
+    pub fn init<Q: AsRef<str>>(qubits: &[Q]) -> Stmt {
+        Stmt::Init {
+            qubits: qubits.iter().map(|q| q.as_ref().to_string()).collect(),
+        }
+    }
+
+    /// `q̄ *= U`.
+    pub fn unitary<Q: AsRef<str>, S: Into<String>>(qubits: &[Q], op: S) -> Stmt {
+        Stmt::Unitary {
+            qubits: qubits.iter().map(|q| q.as_ref().to_string()).collect(),
+            op: op.into(),
+        }
+    }
+
+    /// `if M[q̄] then S₁ else S₀ end`.
+    pub fn if_meas<Q: AsRef<str>, S: Into<String>>(
+        meas: S,
+        qubits: &[Q],
+        then_branch: Stmt,
+        else_branch: Stmt,
+    ) -> Stmt {
+        Stmt::If {
+            meas: meas.into(),
+            qubits: qubits.iter().map(|q| q.as_ref().to_string()).collect(),
+            then_branch: Box::new(then_branch),
+            else_branch: Box::new(else_branch),
+        }
+    }
+
+    /// The paper's `if M[q̄] then S end` sugar (`else skip`).
+    pub fn if_then<Q: AsRef<str>, S: Into<String>>(meas: S, qubits: &[Q], then_branch: Stmt) -> Stmt {
+        Stmt::if_meas(meas, qubits, then_branch, Stmt::Skip)
+    }
+
+    /// `while M[q̄] do S end` without an invariant annotation.
+    pub fn while_meas<Q: AsRef<str>, S: Into<String>>(meas: S, qubits: &[Q], body: Stmt) -> Stmt {
+        Stmt::While {
+            meas: meas.into(),
+            qubits: qubits.iter().map(|q| q.as_ref().to_string()).collect(),
+            invariant: None,
+            body: Box::new(body),
+        }
+    }
+
+    /// `while M[q̄] do S end` with an invariant annotation.
+    pub fn while_inv<Q: AsRef<str>, S: Into<String>>(
+        meas: S,
+        qubits: &[Q],
+        invariant: AssertionExpr,
+        body: Stmt,
+    ) -> Stmt {
+        Stmt::While {
+            meas: meas.into(),
+            qubits: qubits.iter().map(|q| q.as_ref().to_string()).collect(),
+            invariant: Some(invariant),
+            body: Box::new(body),
+        }
+    }
+
+    /// The paper's `measure q` sugar: `if M0,1[q] then skip else skip end`
+    /// (Example 3.4); `meas` names the measurement to use.
+    pub fn measure<Q: AsRef<str>, S: Into<String>>(meas: S, qubits: &[Q]) -> Stmt {
+        Stmt::if_meas(meas, qubits, Stmt::Skip, Stmt::Skip)
+    }
+
+    /// The set of quantum variables `qv(S)` (paper Sec. 3.1), in
+    /// first-occurrence order.
+    pub fn quantum_variables(&self) -> Vec<String> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        self.collect_qv(&mut seen, &mut out);
+        out
+    }
+
+    fn collect_qv(&self, seen: &mut BTreeSet<String>, out: &mut Vec<String>) {
+        let push_all = |qs: &QTuple, seen: &mut BTreeSet<String>, out: &mut Vec<String>| {
+            for q in qs {
+                if seen.insert(q.clone()) {
+                    out.push(q.clone());
+                }
+            }
+        };
+        match self {
+            Stmt::Skip | Stmt::Abort => {}
+            Stmt::Assert(a) => {
+                for t in &a.terms {
+                    push_all(&t.qubits, seen, out);
+                }
+            }
+            Stmt::Init { qubits } | Stmt::Unitary { qubits, .. } => push_all(qubits, seen, out),
+            Stmt::Seq(ss) => {
+                for s in ss {
+                    s.collect_qv(seen, out);
+                }
+            }
+            Stmt::NDet(a, b) => {
+                a.collect_qv(seen, out);
+                b.collect_qv(seen, out);
+            }
+            Stmt::If {
+                qubits,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                push_all(qubits, seen, out);
+                then_branch.collect_qv(seen, out);
+                else_branch.collect_qv(seen, out);
+            }
+            Stmt::While { qubits, body, .. } => {
+                push_all(qubits, seen, out);
+                body.collect_qv(seen, out);
+            }
+        }
+    }
+
+    /// The names of every operator (unitary or measurement) referenced.
+    pub fn operator_names(&self) -> Vec<String> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        self.collect_ops(&mut seen, &mut out);
+        out
+    }
+
+    fn collect_ops(&self, seen: &mut BTreeSet<String>, out: &mut Vec<String>) {
+        let push = |name: &str, seen: &mut BTreeSet<String>, out: &mut Vec<String>| {
+            if seen.insert(name.to_string()) {
+                out.push(name.to_string());
+            }
+        };
+        match self {
+            Stmt::Skip | Stmt::Abort | Stmt::Init { .. } => {}
+            Stmt::Assert(a) => {
+                for t in &a.terms {
+                    push(&t.op, seen, out);
+                }
+            }
+            Stmt::Unitary { op, .. } => push(op, seen, out),
+            Stmt::Seq(ss) => {
+                for s in ss {
+                    s.collect_ops(seen, out);
+                }
+            }
+            Stmt::NDet(a, b) => {
+                a.collect_ops(seen, out);
+                b.collect_ops(seen, out);
+            }
+            Stmt::If {
+                meas,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                push(meas, seen, out);
+                then_branch.collect_ops(seen, out);
+                else_branch.collect_ops(seen, out);
+            }
+            Stmt::While { meas, body, .. } => {
+                push(meas, seen, out);
+                body.collect_ops(seen, out);
+            }
+        }
+    }
+
+    /// `true` if the statement contains a `while` loop.
+    pub fn has_loop(&self) -> bool {
+        match self {
+            Stmt::While { .. } => true,
+            Stmt::Seq(ss) => ss.iter().any(Stmt::has_loop),
+            Stmt::NDet(a, b) => a.has_loop() || b.has_loop(),
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => then_branch.has_loop() || else_branch.has_loop(),
+            _ => false,
+        }
+    }
+
+    /// `true` if the statement contains a nondeterministic choice.
+    pub fn has_ndet(&self) -> bool {
+        match self {
+            Stmt::NDet(_, _) => true,
+            Stmt::Seq(ss) => ss.iter().any(Stmt::has_ndet),
+            Stmt::While { body, .. } => body.has_ndet(),
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => then_branch.has_ndet() || else_branch.has_ndet(),
+            _ => false,
+        }
+    }
+
+    /// Number of AST nodes; a size measure for benchmarks.
+    pub fn size(&self) -> usize {
+        1 + match self {
+            Stmt::Seq(ss) => ss.iter().map(Stmt::size).sum(),
+            Stmt::NDet(a, b) => a.size() + b.size(),
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => then_branch.size() + else_branch.size(),
+            Stmt::While { body, .. } => body.size(),
+            _ => 0,
+        }
+    }
+}
+
+/// A proof term: the correctness formula `{Θ} S {Ψ}` plus the register
+/// declaration, as written in `def pf := proof[q̄] : … end`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProofTerm {
+    /// Declared register (`proof [q1 q2]`).
+    pub qubits: QTuple,
+    /// Precondition; `None` asks the tool for the weakest precondition
+    /// (Sec. 6.1: "allows users to omit preconditions").
+    pub pre: Option<AssertionExpr>,
+    /// The program body.
+    pub body: Stmt,
+    /// Postcondition.
+    pub post: AssertionExpr,
+}
+
+/// A top-level declaration in an NQPV source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decl {
+    /// `def name := load "file.npy" end`.
+    LoadOperator {
+        /// Binding name.
+        name: String,
+        /// Path to the `.npy` file.
+        path: String,
+    },
+    /// `def name := proof [q̄] : … end`.
+    Proof {
+        /// Binding name.
+        name: String,
+        /// The proof term.
+        term: ProofTerm,
+    },
+}
+
+/// A top-level command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// A `def … end` declaration.
+    Def(Decl),
+    /// `show name end` — print an operator or proof outline.
+    Show(String),
+}
+
+/// A parsed NQPV source file.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SourceFile {
+    /// Commands in source order.
+    pub commands: Vec<Command>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Stmt {
+        Stmt::seq(vec![
+            Stmt::init(&["q1", "q2"]),
+            Stmt::while_meas(
+                "MQWalk",
+                &["q1", "q2"],
+                Stmt::ndet(
+                    Stmt::seq(vec![
+                        Stmt::unitary(&["q1", "q2"], "W1"),
+                        Stmt::unitary(&["q1", "q2"], "W2"),
+                    ]),
+                    Stmt::seq(vec![
+                        Stmt::unitary(&["q1", "q2"], "W2"),
+                        Stmt::unitary(&["q1", "q2"], "W1"),
+                    ]),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn seq_flattens() {
+        let s = Stmt::seq(vec![
+            Stmt::Skip,
+            Stmt::seq(vec![Stmt::Abort, Stmt::Skip]),
+        ]);
+        match s {
+            Stmt::Seq(items) => assert_eq!(items.len(), 3),
+            other => panic!("expected Seq, got {other:?}"),
+        }
+        assert_eq!(Stmt::seq(vec![]), Stmt::Skip);
+        assert_eq!(Stmt::seq(vec![Stmt::Abort]), Stmt::Abort);
+    }
+
+    #[test]
+    fn quantum_variables_in_order() {
+        assert_eq!(sample().quantum_variables(), vec!["q1", "q2"]);
+        let s = Stmt::seq(vec![Stmt::unitary(&["b"], "X"), Stmt::init(&["a"])]);
+        assert_eq!(s.quantum_variables(), vec!["b", "a"]);
+    }
+
+    #[test]
+    fn operator_names_unique() {
+        assert_eq!(sample().operator_names(), vec!["MQWalk", "W1", "W2"]);
+    }
+
+    #[test]
+    fn ndet_all_left_associates() {
+        let s = Stmt::ndet_all(vec![Stmt::Skip, Stmt::Abort, Stmt::Skip]);
+        match s {
+            Stmt::NDet(left, _) => assert!(matches!(*left, Stmt::NDet(_, _))),
+            other => panic!("expected NDet, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn structure_predicates() {
+        let s = sample();
+        assert!(s.has_loop());
+        assert!(s.has_ndet());
+        assert!(!Stmt::Skip.has_loop());
+        assert!(s.size() > 5);
+    }
+
+    #[test]
+    fn measure_sugar_shape() {
+        let m = Stmt::measure("M01", &["q"]);
+        assert!(matches!(
+            m,
+            Stmt::If {
+                ref then_branch,
+                ref else_branch,
+                ..
+            } if **then_branch == Stmt::Skip && **else_branch == Stmt::Skip
+        ));
+    }
+
+    #[test]
+    fn assertion_display() {
+        let a = AssertionExpr::new(vec![
+            OpApp::new("I", &["q1"]),
+            OpApp::new("P0", &["q2"]),
+        ]);
+        assert_eq!(a.to_string(), "{ I[q1] P0[q2] }");
+    }
+}

@@ -1,0 +1,381 @@
+//! Lexer for the NQPV input language (paper Sec. 6.1).
+//!
+//! The concrete syntax follows the paper's listings:
+//!
+//! ```text
+//! def invN := load "invN.npy" end
+//! def pf := proof [q1 q2] :
+//!   { I[q1] };
+//!   [q1 q2] := 0;
+//!   { inv : invN[q1 q2] };
+//!   while MQWalk[q1 q2] do
+//!     ( [q1 q2] *= W1; [q1 q2] *= W2
+//!     # [q1 q2] *= W2; [q1 q2] *= W1 )
+//!   end;
+//!   { Zero[q1] }
+//! end
+//! show pf end
+//! ```
+//!
+//! `//` starts a line comment. `#` is the tool's rendering of the paper's
+//! nondeterministic-choice `□`.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Token kinds of the NQPV language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier (qubit or operator or proof name).
+    Ident(String),
+    /// Integer literal (only `0` is meaningful, in `q̄ := 0`).
+    Int(u64),
+    /// String literal (npy path).
+    Str(String),
+    /// `def`
+    Def,
+    /// `end`
+    End,
+    /// `load`
+    Load,
+    /// `proof`
+    Proof,
+    /// `show`
+    Show,
+    /// `skip`
+    Skip,
+    /// `abort`
+    Abort,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `do`
+    Do,
+    /// `inv`
+    Inv,
+    /// `:=`
+    Assign,
+    /// `*=`
+    StarAssign,
+    /// `;`
+    Semi,
+    /// `#` (nondeterministic choice `□`)
+    Choice,
+    /// `:`
+    Colon,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier '{s}'"),
+            Tok::Int(n) => write!(f, "integer {n}"),
+            Tok::Str(s) => write!(f, "string \"{s}\""),
+            Tok::Def => write!(f, "'def'"),
+            Tok::End => write!(f, "'end'"),
+            Tok::Load => write!(f, "'load'"),
+            Tok::Proof => write!(f, "'proof'"),
+            Tok::Show => write!(f, "'show'"),
+            Tok::Skip => write!(f, "'skip'"),
+            Tok::Abort => write!(f, "'abort'"),
+            Tok::If => write!(f, "'if'"),
+            Tok::Then => write!(f, "'then'"),
+            Tok::Else => write!(f, "'else'"),
+            Tok::While => write!(f, "'while'"),
+            Tok::Do => write!(f, "'do'"),
+            Tok::Inv => write!(f, "'inv'"),
+            Tok::Assign => write!(f, "':='"),
+            Tok::StarAssign => write!(f, "'*='"),
+            Tok::Semi => write!(f, "';'"),
+            Tok::Choice => write!(f, "'#'"),
+            Tok::Colon => write!(f, "':'"),
+            Tok::LParen => write!(f, "'('"),
+            Tok::RParen => write!(f, "')'"),
+            Tok::LBracket => write!(f, "'['"),
+            Tok::RBracket => write!(f, "']'"),
+            Tok::LBrace => write!(f, "'{{'"),
+            Tok::RBrace => write!(f, "'}}'"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Kind and payload.
+    pub tok: Tok,
+    /// Position of the first character.
+    pub span: Span,
+}
+
+/// Lexical errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// Where.
+    pub span: Span,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenises NQPV source text.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unknown characters or unterminated strings.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+    while i < chars.len() {
+        let span = Span { line, col };
+        let ch = chars[i];
+        // Whitespace.
+        if ch == '\n' {
+            line += 1;
+            col = 1;
+            i += 1;
+            continue;
+        }
+        if ch.is_whitespace() {
+            col += 1;
+            i += 1;
+            continue;
+        }
+        // Line comments.
+        if ch == '/' && chars.get(i + 1) == Some(&'/') {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Two-character operators.
+        if ch == ':' && chars.get(i + 1) == Some(&'=') {
+            out.push(Token {
+                tok: Tok::Assign,
+                span,
+            });
+            i += 2;
+            col += 2;
+            continue;
+        }
+        if ch == '*' && chars.get(i + 1) == Some(&'=') {
+            out.push(Token {
+                tok: Tok::StarAssign,
+                span,
+            });
+            i += 2;
+            col += 2;
+            continue;
+        }
+        // Single-character tokens.
+        let single = match ch {
+            ';' => Some(Tok::Semi),
+            '#' => Some(Tok::Choice),
+            ':' => Some(Tok::Colon),
+            '(' => Some(Tok::LParen),
+            ')' => Some(Tok::RParen),
+            '[' => Some(Tok::LBracket),
+            ']' => Some(Tok::RBracket),
+            '{' => Some(Tok::LBrace),
+            '}' => Some(Tok::RBrace),
+            _ => None,
+        };
+        if let Some(tok) = single {
+            out.push(Token { tok, span });
+            i += 1;
+            col += 1;
+            continue;
+        }
+        // String literals.
+        if ch == '"' {
+            let mut s = String::new();
+            let mut j = i + 1;
+            let mut closed = false;
+            while j < chars.len() {
+                if chars[j] == '"' {
+                    closed = true;
+                    break;
+                }
+                if chars[j] == '\n' {
+                    break;
+                }
+                s.push(chars[j]);
+                j += 1;
+            }
+            if !closed {
+                return Err(LexError {
+                    message: "unterminated string literal".into(),
+                    span,
+                });
+            }
+            let len = j - i + 1;
+            out.push(Token {
+                tok: Tok::Str(s),
+                span,
+            });
+            i = j + 1;
+            col += len;
+            continue;
+        }
+        // Numbers.
+        if ch.is_ascii_digit() {
+            let mut j = i;
+            while j < chars.len() && chars[j].is_ascii_digit() {
+                j += 1;
+            }
+            let text: String = chars[i..j].iter().collect();
+            let n: u64 = text.parse().map_err(|_| LexError {
+                message: format!("invalid integer literal '{text}'"),
+                span,
+            })?;
+            out.push(Token {
+                tok: Tok::Int(n),
+                span,
+            });
+            col += j - i;
+            i = j;
+            continue;
+        }
+        // Identifiers and keywords.
+        if ch.is_alphabetic() || ch == '_' {
+            let mut j = i;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            let word: String = chars[i..j].iter().collect();
+            let tok = match word.as_str() {
+                "def" => Tok::Def,
+                "end" => Tok::End,
+                "load" => Tok::Load,
+                "proof" => Tok::Proof,
+                "show" => Tok::Show,
+                "skip" => Tok::Skip,
+                "abort" => Tok::Abort,
+                "if" => Tok::If,
+                "then" => Tok::Then,
+                "else" => Tok::Else,
+                "while" => Tok::While,
+                "do" => Tok::Do,
+                "inv" => Tok::Inv,
+                _ => Tok::Ident(word),
+            };
+            out.push(Token { tok, span });
+            col += j - i;
+            i = j;
+            continue;
+        }
+        return Err(LexError {
+            message: format!("unexpected character '{ch}'"),
+            span,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_paper_example_header() {
+        let toks = lex("def invN := load \"invN.npy\" end").unwrap();
+        let kinds: Vec<Tok> = toks.into_iter().map(|t| t.tok).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Tok::Def,
+                Tok::Ident("invN".into()),
+                Tok::Assign,
+                Tok::Load,
+                Tok::Str("invN.npy".into()),
+                Tok::End
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_statements_and_operators() {
+        let toks = lex("[q1 q2] := 0; [q1 q2] *= W1 # skip").unwrap();
+        let kinds: Vec<Tok> = toks.into_iter().map(|t| t.tok).collect();
+        assert!(kinds.contains(&Tok::Assign));
+        assert!(kinds.contains(&Tok::StarAssign));
+        assert!(kinds.contains(&Tok::Choice));
+        assert!(kinds.contains(&Tok::Int(0)));
+        assert!(kinds.contains(&Tok::Skip));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("skip // the rest is ignored ; abort\nabort").unwrap();
+        let kinds: Vec<Tok> = toks.into_iter().map(|t| t.tok).collect();
+        assert_eq!(kinds, vec![Tok::Skip, Tok::Abort]);
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let toks = lex("skip\n  abort").unwrap();
+        assert_eq!(toks[0].span, Span { line: 1, col: 1 });
+        assert_eq!(toks[1].span, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn inv_is_a_keyword() {
+        let toks = lex("{ inv : invN[q1] }").unwrap();
+        assert_eq!(toks[1].tok, Tok::Inv);
+        assert_eq!(toks[3].tok, Tok::Ident("invN".into()));
+    }
+
+    #[test]
+    fn error_on_unterminated_string() {
+        let err = lex("load \"oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn error_on_unknown_char() {
+        let err = lex("skip $ abort").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.span.col, 6);
+    }
+}

@@ -1,0 +1,266 @@
+//! Pretty-printer emitting NQPV concrete syntax from the AST.
+//!
+//! `parse_stmt(pretty(s)) == s` up to `Seq` normalisation — checked by
+//! round-trip tests. The printer is also used by the verifier to render
+//! annotated proof outlines (paper Sec. 6.2).
+
+use crate::ast::{AssertionExpr, Command, Decl, ProofTerm, SourceFile, Stmt};
+use std::fmt::Write;
+
+const INDENT: &str = "  ";
+
+fn push_indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str(INDENT);
+    }
+}
+
+fn fmt_qtuple(qs: &[String]) -> String {
+    format!("[{}]", qs.join(" "))
+}
+
+/// Renders an assertion in tool syntax, e.g. `{ I[q1] P0[q2] }`.
+pub fn pretty_assertion(a: &AssertionExpr) -> String {
+    let terms: Vec<String> = a
+        .terms
+        .iter()
+        .map(|t| format!("{}{}", t.op, fmt_qtuple(&t.qubits)))
+        .collect();
+    format!("{{ {} }}", terms.join(" "))
+}
+
+/// Renders a statement as NQPV source.
+pub fn pretty_stmt(s: &Stmt) -> String {
+    let mut out = String::new();
+    write_stmt(&mut out, s, 0);
+    out
+}
+
+fn write_stmt(out: &mut String, s: &Stmt, depth: usize) {
+    match s {
+        Stmt::Skip => {
+            push_indent(out, depth);
+            out.push_str("skip");
+        }
+        Stmt::Abort => {
+            push_indent(out, depth);
+            out.push_str("abort");
+        }
+        Stmt::Assert(a) => {
+            push_indent(out, depth);
+            out.push_str(&pretty_assertion(a));
+        }
+        Stmt::Init { qubits } => {
+            push_indent(out, depth);
+            let _ = write!(out, "{} := 0", fmt_qtuple(qubits));
+        }
+        Stmt::Unitary { qubits, op } => {
+            push_indent(out, depth);
+            let _ = write!(out, "{} *= {}", fmt_qtuple(qubits), op);
+        }
+        Stmt::Seq(items) => {
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(";\n");
+                }
+                write_stmt(out, item, depth);
+            }
+        }
+        Stmt::NDet(a, b) => {
+            push_indent(out, depth);
+            out.push_str("(\n");
+            write_stmt(out, a, depth + 1);
+            out.push('\n');
+            push_indent(out, depth);
+            out.push_str("#\n");
+            write_stmt(out, b, depth + 1);
+            out.push('\n');
+            push_indent(out, depth);
+            out.push(')');
+        }
+        Stmt::If {
+            meas,
+            qubits,
+            then_branch,
+            else_branch,
+        } => {
+            push_indent(out, depth);
+            let _ = write!(out, "if {}{} then\n", meas, fmt_qtuple(qubits));
+            write_stmt(out, then_branch, depth + 1);
+            out.push('\n');
+            if **else_branch != Stmt::Skip {
+                push_indent(out, depth);
+                out.push_str("else\n");
+                write_stmt(out, else_branch, depth + 1);
+                out.push('\n');
+            }
+            push_indent(out, depth);
+            out.push_str("end");
+        }
+        Stmt::While {
+            meas,
+            qubits,
+            invariant,
+            body,
+        } => {
+            if let Some(inv) = invariant {
+                push_indent(out, depth);
+                let terms: Vec<String> = inv
+                    .terms
+                    .iter()
+                    .map(|t| format!("{}{}", t.op, fmt_qtuple(&t.qubits)))
+                    .collect();
+                let _ = write!(out, "{{ inv : {} }};\n", terms.join(" "));
+            }
+            push_indent(out, depth);
+            let _ = write!(out, "while {}{} do\n", meas, fmt_qtuple(qubits));
+            write_stmt(out, body, depth + 1);
+            out.push('\n');
+            push_indent(out, depth);
+            out.push_str("end");
+        }
+    }
+}
+
+/// Renders a proof term as `proof [q̄] : … end` body contents (without the
+/// surrounding `def`).
+pub fn pretty_proof_term(t: &ProofTerm) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "proof {} :\n", fmt_qtuple(&t.qubits));
+    if let Some(pre) = &t.pre {
+        push_indent(&mut out, 1);
+        out.push_str(&pretty_assertion(pre));
+        out.push_str(";\n");
+    }
+    // Print the body at depth 1, then the postcondition.
+    let body = pretty_stmt_at(&t.body, 1);
+    if !body.trim().is_empty() && t.body != Stmt::Skip {
+        out.push_str(&body);
+        out.push_str(";\n");
+    }
+    push_indent(&mut out, 1);
+    out.push_str(&pretty_assertion(&t.post));
+    out
+}
+
+fn pretty_stmt_at(s: &Stmt, depth: usize) -> String {
+    let mut out = String::new();
+    write_stmt(&mut out, s, depth);
+    out
+}
+
+/// Renders a whole source file.
+pub fn pretty_source(f: &SourceFile) -> String {
+    let mut out = String::new();
+    for cmd in &f.commands {
+        match cmd {
+            Command::Def(Decl::LoadOperator { name, path }) => {
+                let _ = writeln!(out, "def {name} := load \"{path}\" end");
+            }
+            Command::Def(Decl::Proof { name, term }) => {
+                let _ = writeln!(out, "def {name} := {}\nend", pretty_proof_term(term));
+            }
+            Command::Show(name) => {
+                let _ = writeln!(out, "show {name} end");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::OpApp;
+    use crate::parser::{parse_source, parse_stmt};
+
+    fn qwalk_stmt() -> Stmt {
+        Stmt::seq(vec![
+            Stmt::init(&["q1", "q2"]),
+            Stmt::while_inv(
+                "MQWalk",
+                &["q1", "q2"],
+                AssertionExpr::singleton(OpApp::new("invN", &["q1", "q2"])),
+                Stmt::ndet(
+                    Stmt::seq(vec![
+                        Stmt::unitary(&["q1", "q2"], "W1"),
+                        Stmt::unitary(&["q1", "q2"], "W2"),
+                    ]),
+                    Stmt::seq(vec![
+                        Stmt::unitary(&["q1", "q2"], "W2"),
+                        Stmt::unitary(&["q1", "q2"], "W1"),
+                    ]),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn stmt_round_trip() {
+        let s = qwalk_stmt();
+        let printed = pretty_stmt(&s);
+        let back = parse_stmt(&printed).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn round_trips_conditionals_and_aborts() {
+        for src in [
+            "skip",
+            "abort",
+            "[q] := 0",
+            "[q1 q2] *= CX",
+            "if M[q] then skip else abort end",
+            "if M[q] then [q] *= X end",
+            "while M[q] do [q] *= H end",
+            "( skip # abort )",
+        ] {
+            let s = parse_stmt(src).unwrap();
+            let printed = pretty_stmt(&s);
+            let back = parse_stmt(&printed).unwrap();
+            assert_eq!(back, s, "round trip failed for {src}");
+        }
+    }
+
+    #[test]
+    fn source_file_round_trip() {
+        let src = r#"def op := load "op.npy" end
+def pf := proof [q1 q2] :
+  { I[q1] };
+  [q1 q2] := 0;
+  { inv : invN[q1 q2] };
+  while MQWalk[q1 q2] do
+    ( [q1 q2] *= W1; [q1 q2] *= W2 # [q1 q2] *= W2; [q1 q2] *= W1 )
+  end;
+  { Zero[q1] }
+end
+show pf end
+"#;
+        let parsed = parse_source(src).unwrap();
+        let printed = pretty_source(&parsed);
+        let reparsed = parse_source(&printed).unwrap();
+        assert_eq!(parsed, reparsed);
+    }
+
+    #[test]
+    fn assertion_formatting() {
+        let a = AssertionExpr::new(vec![
+            OpApp::new("P0", &["q1"]),
+            OpApp::new("I", &["q2"]),
+        ]);
+        assert_eq!(pretty_assertion(&a), "{ P0[q1] I[q2] }");
+    }
+
+    #[test]
+    fn proof_without_pre_prints_and_reparses() {
+        let src = r#"def pf := proof [q] :
+  [q] *= H;
+  { I[q] }
+end
+"#;
+        let parsed = parse_source(src).unwrap();
+        let printed = pretty_source(&parsed);
+        let reparsed = parse_source(&printed).unwrap();
+        assert_eq!(parsed, reparsed);
+    }
+}

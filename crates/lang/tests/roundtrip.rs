@@ -1,0 +1,152 @@
+//! Property-based round-trip tests: `parse(pretty(ast)) == ast` for
+//! randomly generated programs, and parser robustness on junk input.
+
+use nqpv_lang::{parse_source, parse_stmt, pretty_stmt, AssertionExpr, OpApp, Stmt};
+use proptest::prelude::*;
+
+fn qubit_name() -> impl Strategy<Value = String> {
+    prop_oneof![Just("q".to_string()), Just("q1".to_string()), Just("q2".to_string())]
+}
+
+fn op_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("X".to_string()),
+        Just("H".to_string()),
+        Just("CX".to_string()),
+        Just("M01".to_string()),
+        Just("invN".to_string())
+    ]
+}
+
+fn assertion_expr() -> impl Strategy<Value = AssertionExpr> {
+    proptest::collection::vec((op_name(), proptest::collection::vec(qubit_name(), 1..3)), 1..3)
+        .prop_map(|terms| {
+            AssertionExpr::new(
+                terms
+                    .into_iter()
+                    .map(|(op, mut qs)| {
+                        qs.dedup();
+                        OpApp { op, qubits: qs }
+                    })
+                    .collect(),
+            )
+        })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        Just(Stmt::Skip),
+        Just(Stmt::Abort),
+        qubit_name().prop_map(|q| Stmt::Init { qubits: vec![q] }),
+        (qubit_name(), op_name()).prop_map(|(q, op)| Stmt::Unitary {
+            qubits: vec![q],
+            op
+        }),
+        assertion_expr().prop_map(Stmt::Assert),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Stmt::seq),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Stmt::ndet(a, b)),
+            (op_name(), qubit_name(), inner.clone(), inner.clone()).prop_map(
+                |(m, q, t, e)| Stmt::If {
+                    meas: m,
+                    qubits: vec![q],
+                    then_branch: Box::new(t),
+                    else_branch: Box::new(e),
+                }
+            ),
+            (op_name(), qubit_name(), inner).prop_map(|(m, q, b)| Stmt::While {
+                meas: m,
+                qubits: vec![q],
+                invariant: None,
+                body: Box::new(b),
+            }),
+        ]
+    })
+}
+
+/// Normalises a statement the way parsing normalises it (`Seq` flattening,
+/// empty-seq collapse), so round-trips compare canonical forms.
+fn normalise(s: &Stmt) -> Stmt {
+    match s {
+        Stmt::Seq(items) => Stmt::seq(items.iter().map(normalise).collect()),
+        Stmt::NDet(a, b) => Stmt::ndet(normalise(a), normalise(b)),
+        Stmt::If {
+            meas,
+            qubits,
+            then_branch,
+            else_branch,
+        } => Stmt::If {
+            meas: meas.clone(),
+            qubits: qubits.clone(),
+            then_branch: Box::new(normalise(then_branch)),
+            else_branch: Box::new(normalise(else_branch)),
+        },
+        Stmt::While {
+            meas,
+            qubits,
+            invariant,
+            body,
+        } => Stmt::While {
+            meas: meas.clone(),
+            qubits: qubits.clone(),
+            invariant: invariant.clone(),
+            body: Box::new(normalise(body)),
+        },
+        other => other.clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn pretty_parse_round_trip(s in stmt_strategy()) {
+        let canon = normalise(&s);
+        let printed = pretty_stmt(&canon);
+        let reparsed = parse_stmt(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\nsource:\n{printed}"));
+        prop_assert_eq!(reparsed, canon);
+    }
+
+    #[test]
+    fn parser_never_panics_on_junk(junk in "[ -~]{0,80}") {
+        // Any ASCII input must produce Ok or Err, never a panic.
+        let _ = parse_stmt(&junk);
+        let _ = parse_source(&junk);
+    }
+
+    #[test]
+    fn quantum_variables_are_closed_under_round_trip(s in stmt_strategy()) {
+        let canon = normalise(&s);
+        let printed = pretty_stmt(&canon);
+        if let Ok(back) = parse_stmt(&printed) {
+            prop_assert_eq!(back.quantum_variables(), canon.quantum_variables());
+            prop_assert_eq!(back.operator_names(), canon.operator_names());
+        }
+    }
+}
+
+#[test]
+fn deeply_nested_programs_round_trip() {
+    let mut src = String::from("skip");
+    for _ in 0..30 {
+        src = format!("( {src} # abort )");
+    }
+    let s = parse_stmt(&src).unwrap();
+    let printed = pretty_stmt(&s);
+    assert_eq!(parse_stmt(&printed).unwrap(), s);
+}
+
+#[test]
+fn error_positions_survive_embedding_in_large_files() {
+    let mut src = String::new();
+    for i in 0..50 {
+        src.push_str(&format!("// filler line {i}\n"));
+    }
+    src.push_str("def p := proof [q] : { I[q] }; [q] *= ; { I[q] } end\n");
+    let err = parse_source(&src).unwrap_err();
+    assert_eq!(err.span.line, 51);
+}

@@ -1,0 +1,214 @@
+//! Cholesky factorisation and fast positive-semidefiniteness tests.
+//!
+//! The Löwner order `A ⊑ B` ("B − A is positive") is the single most
+//! frequently decided question in the verifier: every (Imp) side condition
+//! and every singleton `⊑_inf` test reduces to it (paper Sec. 6.3: "simply
+//! checking if the eigenvalues of N − M are all nonnegative"). A tolerance
+//! Cholesky factorisation decides it in one `O(n³/3)` pass — much cheaper
+//! than a full eigendecomposition.
+
+use crate::complex::{Complex, TOL};
+use crate::matrix::CMat;
+
+/// Attempts an exact Cholesky factorisation `A = L·L†` with `L` lower
+/// triangular. Returns `None` if `A` is not (numerically) positive definite.
+///
+/// The strict positivity requirement makes this unsuitable for *semi*definite
+/// inputs; use [`is_psd`] for those.
+pub fn cholesky(a: &CMat) -> Option<CMat> {
+    if !a.is_square() {
+        return None;
+    }
+    let n = a.rows();
+    let mut l = CMat::zeros(n, n);
+    for j in 0..n {
+        // Diagonal entry.
+        let mut d = a[(j, j)].re;
+        for k in 0..j {
+            d -= l[(j, k)].norm_sqr();
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return None;
+        }
+        let dj = d.sqrt();
+        l[(j, j)] = Complex::real(dj);
+        // Column below the diagonal.
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)].conj();
+            }
+            l[(i, j)] = s / dj;
+        }
+    }
+    Some(l)
+}
+
+/// Decides whether a hermitian matrix is positive semidefinite within an
+/// absolute tolerance `tol ≥ 0`: returns `true` iff `A + tol·I` admits a
+/// Cholesky factorisation, i.e. iff `λ_min(A) > -tol` up to rounding.
+///
+/// The input is hermitised first so callers may pass matrices with tiny
+/// anti-hermitian drift.
+///
+/// # Examples
+///
+/// ```
+/// use nqpv_linalg::{CMat, is_psd};
+/// let p = CMat::from_real(2, 2, &[1.0, 0.0, 0.0, 0.0]); // |0⟩⟨0|
+/// assert!(is_psd(&p, 1e-9));
+/// let m = CMat::from_real(2, 2, &[-1.0, 0.0, 0.0, 1.0]);
+/// assert!(!is_psd(&m, 1e-9));
+/// ```
+pub fn is_psd(a: &CMat, tol: f64) -> bool {
+    if !a.is_square() {
+        return false;
+    }
+    let n = a.rows();
+    if n == 0 {
+        return true;
+    }
+    let mut shifted = a.hermitize();
+    // Scale-aware shift: tol is treated as absolute but we never shift by
+    // less than machine noise relative to the matrix magnitude.
+    let shift = tol.max(1e-14 * shifted.max_abs());
+    for i in 0..n {
+        shifted[(i, i)] += Complex::real(shift);
+    }
+    cholesky(&shifted).is_some()
+}
+
+/// Decides the Löwner order `A ⊑ B` within tolerance: `B − A ⪰ -tol·I`.
+///
+/// # Examples
+///
+/// ```
+/// use nqpv_linalg::{CMat, lowner_le};
+/// let half = CMat::identity(2).scale_re(0.5);
+/// let id = CMat::identity(2);
+/// assert!(lowner_le(&half, &id, 1e-9));
+/// assert!(!lowner_le(&id, &half, 1e-9));
+/// ```
+pub fn lowner_le(a: &CMat, b: &CMat, tol: f64) -> bool {
+    is_psd(&b.sub_mat(a), tol)
+}
+
+/// Decides whether a hermitian matrix is a *quantum predicate*, i.e.
+/// `0 ⊑ M ⊑ I` within tolerance (the set `P(H_V)` of the paper, Sec. 4).
+pub fn is_predicate(m: &CMat, tol: f64) -> bool {
+    m.is_square()
+        && m.is_hermitian(tol.max(TOL))
+        && is_psd(m, tol)
+        && lowner_le(m, &CMat::identity(m.rows()), tol)
+}
+
+/// Decides whether a matrix is a partial density operator: hermitian,
+/// positive, and `tr ρ ≤ 1 + tol` (Selinger's convention, paper Sec. 2).
+pub fn is_partial_density(rho: &CMat, tol: f64) -> bool {
+    rho.is_square()
+        && rho.is_hermitian(tol.max(TOL))
+        && is_psd(rho, tol)
+        && rho.trace_re() <= 1.0 + tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{c, cr};
+    use crate::eigen::eigh;
+
+    #[test]
+    fn factorises_spd() {
+        let a = CMat::from_real(3, 3, &[4.0, 2.0, 0.0, 2.0, 5.0, 1.0, 0.0, 1.0, 3.0]);
+        let l = cholesky(&a).expect("SPD matrix must factor");
+        let rec = l.mul(&l.adjoint());
+        assert!(rec.approx_eq(&a, 1e-10));
+        // Lower triangular
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert!(l[(i, j)].is_zero(1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn complex_spd() {
+        let a = CMat::from_vec(
+            2,
+            2,
+            vec![cr(2.0), c(0.0, -0.5), c(0.0, 0.5), cr(2.0)],
+        );
+        let l = cholesky(&a).expect("complex SPD must factor");
+        assert!(l.mul(&l.adjoint()).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = CMat::from_real(2, 2, &[1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        assert!(cholesky(&a).is_none());
+        assert!(!is_psd(&a, 1e-9));
+    }
+
+    #[test]
+    fn semidefinite_rank_deficient_passes_is_psd() {
+        // |+⟩⟨+| is PSD but singular; exact Cholesky may fail, is_psd must not.
+        let p = CMat::from_real(2, 2, &[0.5, 0.5, 0.5, 0.5]);
+        assert!(is_psd(&p, 1e-9));
+    }
+
+    #[test]
+    fn psd_agrees_with_eigenvalues_on_samples() {
+        let mut seed = 99u64;
+        let next = move |s: &mut u64| {
+            *s ^= *s << 13;
+            *s ^= *s >> 7;
+            *s ^= *s << 17;
+            (*s as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        for n in [2usize, 3, 4, 6] {
+            for _ in 0..20 {
+                let g = CMat::from_fn(n, n, |_, _| c(next(&mut seed), next(&mut seed)));
+                let h = g.add_mat(&g.adjoint()).scale_re(0.5);
+                let min = eigh(&h).unwrap().min();
+                let by_chol = is_psd(&h, 1e-9);
+                let by_eig = min >= -1e-9;
+                // Allow disagreement only in a razor-thin band around zero.
+                if min.abs() > 1e-7 {
+                    assert_eq!(by_chol, by_eig, "n={n}, min eig {min}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lowner_is_a_partial_order_on_samples() {
+        let a = CMat::identity(3).scale_re(0.3);
+        let b = CMat::identity(3).scale_re(0.7);
+        assert!(lowner_le(&a, &b, 1e-12));
+        assert!(lowner_le(&a, &a, 1e-12)); // reflexive
+        assert!(!lowner_le(&b, &a, 1e-12)); // antisymmetric direction
+    }
+
+    #[test]
+    fn predicate_check() {
+        assert!(is_predicate(&CMat::identity(4), 1e-9));
+        assert!(is_predicate(&CMat::zeros(4, 4), 1e-9));
+        assert!(is_predicate(&CMat::identity(4).scale_re(0.5), 1e-9));
+        assert!(!is_predicate(&CMat::identity(4).scale_re(1.5), 1e-9));
+        assert!(!is_predicate(&CMat::identity(4).scale_re(-0.5), 1e-9));
+    }
+
+    #[test]
+    fn partial_density_check() {
+        let rho = CMat::from_real(2, 2, &[0.5, 0.0, 0.0, 0.25]);
+        assert!(is_partial_density(&rho, 1e-9));
+        let too_big = CMat::identity(2);
+        assert!(!is_partial_density(&too_big, 1e-9)); // trace 2 > 1
+    }
+
+    #[test]
+    fn non_square_is_not_psd() {
+        assert!(!is_psd(&CMat::zeros(2, 3), 1e-9));
+        assert!(cholesky(&CMat::zeros(2, 3)).is_none());
+    }
+}

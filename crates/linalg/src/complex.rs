@@ -1,0 +1,329 @@
+//! Complex scalars over `f64`.
+//!
+//! The sanctioned dependency set contains no complex-number crate, so NQPV
+//! carries its own minimal implementation. Only what the verification stack
+//! needs is provided: field arithmetic, conjugation, modulus, polar helpers
+//! and approximate comparison.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Default absolute tolerance used for approximate comparisons throughout the
+/// workspace.
+pub const TOL: f64 = 1e-9;
+
+/// A complex number with `f64` components.
+///
+/// # Examples
+///
+/// ```
+/// use nqpv_linalg::Complex;
+/// let i = Complex::I;
+/// assert_eq!(i * i, Complex::new(-1.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `self` is exactly zero.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        debug_assert!(d > 0.0, "attempt to invert zero");
+        Complex::new(self.re / d, -self.im / d)
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        Complex::from_polar(self.abs().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Complex::new(self.re * s, self.im * s)
+    }
+
+    /// `true` if both components are within `tol` of `other`'s.
+    #[inline]
+    pub fn approx_eq(self, other: Complex, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+
+    /// `true` if the modulus is within `tol` of zero.
+    #[inline]
+    pub fn is_zero(self, tol: f64) -> bool {
+        self.abs() <= tol
+    }
+
+    /// `true` if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        self.scale(1.0 / rhs)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+/// Shorthand constructor for a complex number.
+///
+/// # Examples
+///
+/// ```
+/// use nqpv_linalg::{c, Complex};
+/// assert_eq!(c(1.0, -2.0), Complex::new(1.0, -2.0));
+/// ```
+#[inline]
+pub const fn c(re: f64, im: f64) -> Complex {
+    Complex::new(re, im)
+}
+
+/// Shorthand constructor for a purely real complex number.
+#[inline]
+pub const fn cr(re: f64) -> Complex {
+    Complex::real(re)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        let a = c(1.5, -2.0);
+        let b = c(-0.5, 3.25);
+        let z = c(0.25, 0.125);
+        assert!((a + b).approx_eq(b + a, TOL));
+        assert!((a * b).approx_eq(b * a, TOL));
+        assert!(((a + b) * z).approx_eq(a * z + b * z, TOL));
+        assert!((a * a.recip()).approx_eq(Complex::ONE, TOL));
+    }
+
+    #[test]
+    fn conjugation_and_modulus() {
+        let a = c(3.0, 4.0);
+        assert_eq!(a.abs(), 5.0);
+        assert_eq!(a.conj(), c(3.0, -4.0));
+        assert!((a * a.conj()).approx_eq(cr(25.0), TOL));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let a = c(-1.0, 1.0);
+        let b = Complex::from_polar(a.abs(), a.arg());
+        assert!(a.approx_eq(b, 1e-12));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &z in &[c(4.0, 0.0), c(0.0, 2.0), c(-1.0, 0.0), c(3.0, -4.0)] {
+            let s = z.sqrt();
+            assert!((s * s).approx_eq(z, 1e-9), "sqrt({z}) = {s}");
+        }
+    }
+
+    #[test]
+    fn division() {
+        let a = c(1.0, 2.0);
+        let b = c(3.0, -1.0);
+        assert!(((a / b) * b).approx_eq(a, 1e-12));
+    }
+
+    #[test]
+    fn display_signs() {
+        assert_eq!(c(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(c(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut a = c(1.0, 1.0);
+        a += c(1.0, 0.0);
+        a -= c(0.0, 1.0);
+        a *= c(2.0, 0.0);
+        a /= c(1.0, 0.0);
+        assert!(a.approx_eq(c(4.0, 0.0), TOL));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Complex = (0..4).map(|k| c(k as f64, 1.0)).sum();
+        assert!(total.approx_eq(c(6.0, 4.0), TOL));
+    }
+}

@@ -1,0 +1,395 @@
+//! Hermitian eigendecomposition via the cyclic complex Jacobi method.
+//!
+//! Quantum predicates, density operators and observables are all hermitian;
+//! their spectra drive the Löwner-order tests and the `⊑_inf` decision
+//! procedure of the paper (Sec. 6.3). The Jacobi method is slow for very
+//! large matrices but unconditionally robust, which is what a verifier
+//! needs; the `nqpv-solver` crate layers faster Lanczos-based extreme
+//! eigenvalue routines on top for the performance experiments.
+
+use crate::complex::{cr, Complex};
+use crate::matrix::{CMat, CVec};
+
+/// Result of a hermitian eigendecomposition `A = V · diag(λ) · V†`.
+///
+/// Eigenvalues are real and sorted ascending; `vectors.col(k)` is the
+/// eigenvector for `values[k]`.
+#[derive(Debug, Clone)]
+pub struct Eigh {
+    /// Eigenvalues, ascending.
+    pub values: Vec<f64>,
+    /// Unitary matrix whose columns are the eigenvectors.
+    pub vectors: CMat,
+}
+
+impl Eigh {
+    /// Reconstructs `V · diag(λ) · V†`; used in tests and spectral projections.
+    pub fn reconstruct(&self) -> CMat {
+        let _n = self.values.len();
+        let d = CMat::diag(&self.values.iter().map(|&x| cr(x)).collect::<Vec<_>>());
+        let v = &self.vectors;
+        v.mul(&d).mul(&v.adjoint())
+    }
+
+    /// The eigenvector for `values[k]`.
+    pub fn vector(&self, k: usize) -> CVec {
+        self.vectors.col(k)
+    }
+
+    /// Smallest eigenvalue.
+    pub fn min(&self) -> f64 {
+        self.values[0]
+    }
+
+    /// Largest eigenvalue.
+    pub fn max(&self) -> f64 {
+        *self.values.last().expect("empty spectrum")
+    }
+
+    /// Spectral projector onto the eigenspace of eigenvalues within
+    /// `tol` of `lambda`. This realises the observable→measurement
+    /// construction of Sec. 2 of the paper.
+    pub fn eigenprojector(&self, lambda: f64, tol: f64) -> CMat {
+        let n = self.values.len();
+        let mut p = CMat::zeros(n, n);
+        for (k, &v) in self.values.iter().enumerate() {
+            if (v - lambda).abs() <= tol {
+                let col = self.vector(k);
+                p += &col.projector();
+            }
+        }
+        p
+    }
+
+    /// Distinct eigenvalues (within `tol`), ascending.
+    pub fn distinct_values(&self, tol: f64) -> Vec<f64> {
+        let mut out: Vec<f64> = Vec::new();
+        for &v in &self.values {
+            if out.last().is_none_or(|&last| (v - last).abs() > tol) {
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+/// Error raised when an eigendecomposition is requested for an unsuitable
+/// matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EighError {
+    /// The matrix is not square.
+    NotSquare,
+    /// The matrix is not hermitian within the documented tolerance.
+    NotHermitian,
+    /// Jacobi sweeps failed to converge (pathological input, e.g. NaNs).
+    NoConvergence,
+}
+
+impl std::fmt::Display for EighError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EighError::NotSquare => write!(f, "matrix is not square"),
+            EighError::NotHermitian => write!(f, "matrix is not hermitian"),
+            EighError::NoConvergence => write!(f, "jacobi iteration failed to converge"),
+        }
+    }
+}
+
+impl std::error::Error for EighError {}
+
+/// Maximum number of full Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 64;
+
+/// Hermitian eigendecomposition.
+///
+/// The input is symmetrised (`(A+A†)/2`) first, so tiny hermiticity drift
+/// from upstream arithmetic is tolerated; inputs that are *structurally*
+/// non-hermitian are rejected.
+///
+/// # Errors
+///
+/// Returns [`EighError`] if the matrix is not square, not hermitian within
+/// `1e-7`, or the iteration does not converge.
+///
+/// # Examples
+///
+/// ```
+/// use nqpv_linalg::{CMat, eigh};
+/// let z = CMat::from_real(2, 2, &[1.0, 0.0, 0.0, -1.0]);
+/// let e = eigh(&z)?;
+/// assert!((e.values[0] + 1.0).abs() < 1e-10);
+/// assert!((e.values[1] - 1.0).abs() < 1e-10);
+/// # Ok::<(), nqpv_linalg::EighError>(())
+/// ```
+pub fn eigh(a: &CMat) -> Result<Eigh, EighError> {
+    if !a.is_square() {
+        return Err(EighError::NotSquare);
+    }
+    if !a.is_hermitian(1e-7) {
+        return Err(EighError::NotHermitian);
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(Eigh {
+            values: vec![],
+            vectors: CMat::zeros(0, 0),
+        });
+    }
+    let mut m = a.hermitize();
+    let mut v = CMat::identity(n);
+
+    // Convergence threshold scales with the matrix magnitude.
+    let scale = m.max_abs().max(1.0);
+    let eps = 1e-14 * scale;
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += m[(p, q)].norm_sqr();
+            }
+        }
+        if off.sqrt() <= eps * n as f64 {
+            return Ok(finish(m, v));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let g = m[(p, q)];
+                let gabs = g.abs();
+                if gabs <= eps {
+                    continue;
+                }
+                // Phase factor turning the (p,q) block real-symmetric.
+                let phase = g.scale(1.0 / gabs); // e^{iφ}
+                let alpha = m[(p, p)].re;
+                let beta = m[(q, q)].re;
+                // Classical real Jacobi rotation on the phased block.
+                let tau = (beta - alpha) / (2.0 * gabs);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // U is identity except:
+                //   U_pp = c        U_pq = s
+                //   U_qp = -s·e^{-iφ}   U_qq = c·e^{-iφ}
+                let e_m = phase.conj(); // e^{-iφ}
+                let u_pp = cr(c);
+                let u_pq = cr(s);
+                let u_qp = e_m.scale(-s);
+                let u_qq = e_m.scale(c);
+
+                // A ← U† A U: first columns (A·U), then rows (U†·A).
+                for i in 0..n {
+                    let aip = m[(i, p)];
+                    let aiq = m[(i, q)];
+                    m[(i, p)] = aip * u_pp + aiq * u_qp;
+                    m[(i, q)] = aip * u_pq + aiq * u_qq;
+                }
+                for j in 0..n {
+                    let apj = m[(p, j)];
+                    let aqj = m[(q, j)];
+                    m[(p, j)] = u_pp.conj() * apj + u_qp.conj() * aqj;
+                    m[(q, j)] = u_pq.conj() * apj + u_qq.conj() * aqj;
+                }
+                // Accumulate the eigenvector basis: V ← V·U.
+                for i in 0..n {
+                    let vip = v[(i, p)];
+                    let viq = v[(i, q)];
+                    v[(i, p)] = vip * u_pp + viq * u_qp;
+                    v[(i, q)] = vip * u_pq + viq * u_qq;
+                }
+                // Numerically pin the annihilated entries.
+                m[(p, q)] = Complex::ZERO;
+                m[(q, p)] = Complex::ZERO;
+            }
+        }
+        if m.has_nan() {
+            return Err(EighError::NoConvergence);
+        }
+    }
+    // One last check: accept if the residual is small anyway.
+    let mut off = 0.0f64;
+    for p in 0..n {
+        for q in (p + 1)..n {
+            off += m[(p, q)].norm_sqr();
+        }
+    }
+    if off.sqrt() <= 1e-8 * scale * n as f64 {
+        Ok(finish(m, v))
+    } else {
+        Err(EighError::NoConvergence)
+    }
+}
+
+fn finish(m: CMat, v: CMat) -> Eigh {
+    let n = m.rows();
+    let mut idx: Vec<usize> = (0..n).collect();
+    let values_raw: Vec<f64> = (0..n).map(|i| m[(i, i)].re).collect();
+    idx.sort_by(|&a, &b| values_raw[a].partial_cmp(&values_raw[b]).expect("NaN eigenvalue"));
+    let values: Vec<f64> = idx.iter().map(|&i| values_raw[i]).collect();
+    let vectors = CMat::from_fn(n, n, |i, j| v[(i, idx[j])]);
+    Eigh { values, vectors }
+}
+
+/// Smallest eigenvalue of a hermitian matrix.
+///
+/// # Errors
+///
+/// Propagates [`EighError`] from [`eigh`].
+pub fn min_eigenvalue(a: &CMat) -> Result<f64, EighError> {
+    Ok(eigh(a)?.min())
+}
+
+/// Largest eigenvalue of a hermitian matrix.
+///
+/// # Errors
+///
+/// Propagates [`EighError`] from [`eigh`].
+pub fn max_eigenvalue(a: &CMat) -> Result<f64, EighError> {
+    Ok(eigh(a)?.max())
+}
+
+/// Hermitian square root `√A` of a positive semidefinite matrix.
+///
+/// Negative eigenvalues within `tol` of zero are clamped; larger negative
+/// eigenvalues are an error because the square root would not be hermitian.
+///
+/// # Errors
+///
+/// Returns [`EighError::NotHermitian`] if `A` has an eigenvalue below `-tol`,
+/// and propagates decomposition failures.
+pub fn sqrtm_psd(a: &CMat, tol: f64) -> Result<CMat, EighError> {
+    let e = eigh(a)?;
+    if e.min() < -tol {
+        return Err(EighError::NotHermitian);
+    }
+    let d: Vec<Complex> = e
+        .values
+        .iter()
+        .map(|&x| cr(x.max(0.0).sqrt()))
+        .collect();
+    let v = &e.vectors;
+    Ok(v.mul(&CMat::diag(&d)).mul(&v.adjoint()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c;
+
+    fn random_hermitian(n: usize, seed: &mut u64) -> CMat {
+        // xorshift for deterministic pseudo-random tests without rand dep here
+        let next = move |s: &mut u64| {
+            *s ^= *s << 13;
+            *s ^= *s >> 7;
+            *s ^= *s << 17;
+            (*s as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let g = CMat::from_fn(n, n, |_, _| c(next(seed), next(seed)));
+        g.add_mat(&g.adjoint()).scale_re(0.5)
+    }
+
+    #[test]
+    fn diagonalises_pauli_x() {
+        let x = CMat::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let e = eigh(&x).unwrap();
+        assert!((e.values[0] + 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        assert!(e.reconstruct().approx_eq(&x, 1e-10));
+    }
+
+    #[test]
+    fn reconstructs_random_hermitians() {
+        let mut seed = 0x12345678u64;
+        for n in [1usize, 2, 3, 5, 8, 16] {
+            let a = random_hermitian(n, &mut seed);
+            let e = eigh(&a).unwrap();
+            assert!(
+                e.reconstruct().approx_eq(&a, 1e-8),
+                "reconstruction failed for n={n}"
+            );
+            // eigenvectors unitary
+            assert!(e.vectors.is_unitary(1e-8), "V not unitary for n={n}");
+            // ascending order
+            for w in e.values.windows(2) {
+                assert!(w[0] <= w[1] + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_satisfy_eigen_equation() {
+        let mut seed = 0xdeadbeefu64;
+        let a = random_hermitian(6, &mut seed);
+        let e = eigh(&a).unwrap();
+        for k in 0..6 {
+            let v = e.vector(k);
+            let av = a.mul_vec(&v);
+            let lv = v.scale(cr(e.values[k]));
+            assert!(av.approx_eq(&lv, 1e-8), "eigpair {k} fails");
+        }
+    }
+
+    #[test]
+    fn complex_hermitian_with_phases() {
+        // [[2, i],[-i, 2]] has eigenvalues 1 and 3.
+        let a = CMat::from_vec(
+            2,
+            2,
+            vec![c(2.0, 0.0), c(0.0, 1.0), c(0.0, -1.0), c(2.0, 0.0)],
+        );
+        let e = eigh(&a).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-10);
+        assert!((e.values[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_non_hermitian() {
+        let a = CMat::from_real(2, 2, &[0.0, 1.0, 0.0, 0.0]);
+        assert_eq!(eigh(&a).unwrap_err(), EighError::NotHermitian);
+        let b = CMat::zeros(2, 3);
+        assert_eq!(eigh(&b).unwrap_err(), EighError::NotSquare);
+    }
+
+    #[test]
+    fn eigenprojectors_sum_to_identity() {
+        let mut seed = 77u64;
+        let a = random_hermitian(5, &mut seed);
+        let e = eigh(&a).unwrap();
+        let mut sum = CMat::zeros(5, 5);
+        for lam in e.distinct_values(1e-8) {
+            sum += &e.eigenprojector(lam, 1e-8);
+        }
+        assert!(sum.approx_eq(&CMat::identity(5), 1e-7));
+    }
+
+    #[test]
+    fn sqrtm_squares_back() {
+        let mut seed = 31u64;
+        let g = random_hermitian(4, &mut seed);
+        let psd = g.mul(&g); // G² ⪰ 0 for hermitian G
+        let r = sqrtm_psd(&psd, 1e-9).unwrap();
+        assert!(r.mul(&r).approx_eq(&psd, 1e-7));
+        assert!(r.is_hermitian(1e-8));
+    }
+
+    #[test]
+    fn degenerate_spectrum() {
+        let a = CMat::identity(4).scale_re(2.5);
+        let e = eigh(&a).unwrap();
+        for &v in &e.values {
+            assert!((v - 2.5).abs() < 1e-12);
+        }
+        assert_eq!(e.distinct_values(1e-9), vec![2.5]);
+    }
+
+    #[test]
+    fn zero_dimensional() {
+        let a = CMat::zeros(0, 0);
+        let e = eigh(&a).unwrap();
+        assert!(e.values.is_empty());
+    }
+}

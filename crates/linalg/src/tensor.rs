@@ -1,0 +1,455 @@
+//! Qubit-register tensor operations: embeddings, fast gate application,
+//! qubit permutations and partial traces.
+//!
+//! Convention: a register of `n` qubits is indexed `0..n`, and the
+//! computational-basis index of the full space puts **qubit 0 in the most
+//! significant bit**, so `kron(A, B)` acts with `A` on lower-numbered qubits.
+//! `bit_of(i, q, n) = (i >> (n-1-q)) & 1`.
+
+use crate::complex::Complex;
+use crate::matrix::{CMat, CVec};
+
+/// Value of qubit `q`'s bit inside basis index `i` of an `n`-qubit space.
+#[inline]
+pub fn bit_of(i: usize, q: usize, n: usize) -> usize {
+    (i >> (n - 1 - q)) & 1
+}
+
+/// Basis index of an `n`-qubit register given one bit per qubit
+/// (`bits[0]` is qubit 0).
+///
+/// # Panics
+///
+/// Panics if any entry is not 0 or 1.
+pub fn index_of_bits(bits: &[usize]) -> usize {
+    let mut i = 0usize;
+    for &b in bits {
+        assert!(b <= 1, "bits must be 0 or 1");
+        i = (i << 1) | b;
+    }
+    i
+}
+
+/// Checks that `positions` are distinct and within `0..n`.
+fn validate_positions(positions: &[usize], n: usize) {
+    for (t, &p) in positions.iter().enumerate() {
+        assert!(p < n, "qubit position {p} out of range for {n} qubits");
+        for &q in &positions[..t] {
+            assert_ne!(p, q, "duplicate qubit position {p}");
+        }
+    }
+}
+
+/// Embeds a `k`-qubit operator into the full `n`-qubit space, acting on
+/// `positions` (in order: the operator's qubit `t` is register qubit
+/// `positions[t]`) and identity elsewhere. This is the cylinder extension
+/// used implicitly throughout the paper.
+///
+/// # Panics
+///
+/// Panics if the operator is not `2^k × 2^k` or positions are invalid.
+///
+/// # Examples
+///
+/// ```
+/// use nqpv_linalg::{CMat, embed};
+/// let x = CMat::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+/// // X on qubit 1 of 2 = I ⊗ X
+/// let e = embed(&x, &[1], 2);
+/// let expect = CMat::identity(2).kron(&x);
+/// assert!(e.approx_eq(&expect, 1e-12));
+/// ```
+pub fn embed(op: &CMat, positions: &[usize], n: usize) -> CMat {
+    let k = positions.len();
+    let dk = 1usize << k;
+    assert_eq!(op.rows(), dk, "operator acts on {k} qubits");
+    assert_eq!(op.cols(), dk, "operator acts on {k} qubits");
+    validate_positions(positions, n);
+    let dn = 1usize << n;
+    let rest_mask: usize = {
+        let mut m = dn - 1;
+        for &p in positions {
+            m &= !(1usize << (n - 1 - p));
+        }
+        m
+    };
+    let mut out = CMat::zeros(dn, dn);
+    for i in 0..dn {
+        let xi = extract_sub_index(i, positions, n);
+        let rest = i & rest_mask;
+        for xj in 0..dk {
+            let g = op[(xi, xj)];
+            if g.re == 0.0 && g.im == 0.0 {
+                continue;
+            }
+            let j = rest | deposit_sub_index(xj, positions, n);
+            out[(i, j)] = g;
+        }
+    }
+    out
+}
+
+/// Extracts the sub-index of `positions` bits from full index `i`.
+#[inline]
+fn extract_sub_index(i: usize, positions: &[usize], n: usize) -> usize {
+    let mut x = 0usize;
+    for &p in positions {
+        x = (x << 1) | bit_of(i, p, n);
+    }
+    x
+}
+
+/// Deposits sub-index `x` into the `positions` bits of an otherwise-zero
+/// full index.
+#[inline]
+fn deposit_sub_index(x: usize, positions: &[usize], n: usize) -> usize {
+    let k = positions.len();
+    let mut i = 0usize;
+    for (t, &p) in positions.iter().enumerate() {
+        let b = (x >> (k - 1 - t)) & 1;
+        i |= b << (n - 1 - p);
+    }
+    i
+}
+
+/// Applies a `k`-qubit gate to the virtual vector
+/// `v[t] = data[offset + t·stride]`, `t ∈ 0..2^n`, in place.
+/// This is the shared fast path behind state-vector evolution and
+/// matrix conjugation.
+fn apply_gate_strided(
+    gate: &CMat,
+    positions: &[usize],
+    n: usize,
+    data: &mut [Complex],
+    offset: usize,
+    stride: usize,
+) {
+    let k = positions.len();
+    let dk = 1usize << k;
+    debug_assert_eq!(gate.rows(), dk);
+    let dn = 1usize << n;
+    // Positions of the non-acted ("rest") qubits, as bit shifts.
+    let mut rest_shifts: Vec<usize> = Vec::with_capacity(n - k);
+    'outer: for q in 0..n {
+        for &p in positions {
+            if p == q {
+                continue 'outer;
+            }
+        }
+        rest_shifts.push(n - 1 - q);
+    }
+    debug_assert_eq!(rest_shifts.len(), n - k);
+    let sub_deposits: Vec<usize> = (0..dk).map(|x| deposit_sub_index(x, positions, n)).collect();
+    let mut gathered = vec![Complex::ZERO; dk];
+    let rest_count = dn >> k;
+    for r in 0..rest_count {
+        // Spread the bits of r into the rest positions.
+        let mut base = 0usize;
+        for (bi, &sh) in rest_shifts.iter().enumerate() {
+            let b = (r >> (rest_shifts.len() - 1 - bi)) & 1;
+            base |= b << sh;
+        }
+        for x in 0..dk {
+            gathered[x] = data[offset + (base | sub_deposits[x]) * stride];
+        }
+        for x in 0..dk {
+            let mut acc = Complex::ZERO;
+            for y in 0..dk {
+                acc += gate[(x, y)] * gathered[y];
+            }
+            data[offset + (base | sub_deposits[x]) * stride] = acc;
+        }
+    }
+}
+
+/// Applies a `k`-qubit gate to a `2^n` state vector in place:
+/// `v ← G_S · v`.
+///
+/// # Panics
+///
+/// Panics on dimension mismatches or invalid positions.
+pub fn apply_gate_vec(gate: &CMat, positions: &[usize], n: usize, v: &mut CVec) {
+    assert_eq!(v.dim(), 1usize << n, "state vector dimension mismatch");
+    validate_positions(positions, n);
+    assert_eq!(gate.rows(), 1usize << positions.len(), "gate size mismatch");
+    apply_gate_strided(gate, positions, n, v.as_mut_slice(), 0, 1);
+}
+
+/// Left-multiplies an embedded gate into a `2^n × 2^n` matrix in place:
+/// `M ← G_S · M`.
+pub fn apply_gate_left(gate: &CMat, positions: &[usize], n: usize, m: &mut CMat) {
+    let d = 1usize << n;
+    assert_eq!(m.rows(), d, "matrix dimension mismatch");
+    assert_eq!(m.cols(), d, "matrix dimension mismatch");
+    validate_positions(positions, n);
+    for j in 0..d {
+        apply_gate_strided(gate, positions, n, m.as_mut_slice(), j, d);
+    }
+}
+
+/// Right-multiplies the adjoint of an embedded gate into a matrix in place:
+/// `M ← M · G_S†`.
+pub fn apply_gate_right_adjoint(gate: &CMat, positions: &[usize], n: usize, m: &mut CMat) {
+    let d = 1usize << n;
+    assert_eq!(m.rows(), d, "matrix dimension mismatch");
+    assert_eq!(m.cols(), d, "matrix dimension mismatch");
+    validate_positions(positions, n);
+    // row · G† viewed as a left action of conj(G) on the row vector.
+    let gc = gate.conj();
+    for i in 0..d {
+        apply_gate_strided(&gc, positions, n, m.as_mut_slice(), i * d, 1);
+    }
+}
+
+/// Schrödinger-picture conjugation `M ← G_S · M · G_S†` without
+/// materialising the `2^n` embedding (e.g. `UρU†`).
+pub fn conjugate_gate(gate: &CMat, positions: &[usize], n: usize, m: &CMat) -> CMat {
+    let mut out = m.clone();
+    apply_gate_left(gate, positions, n, &mut out);
+    apply_gate_right_adjoint(gate, positions, n, &mut out);
+    out
+}
+
+/// Heisenberg-picture conjugation `M ← G_S† · M · G_S` (e.g. `U†MU`,
+/// the (Unit) rule of the proof system).
+pub fn adjoint_conjugate_gate(gate: &CMat, positions: &[usize], n: usize, m: &CMat) -> CMat {
+    let ga = gate.adjoint();
+    let mut out = m.clone();
+    apply_gate_left(&ga, positions, n, &mut out);
+    apply_gate_right_adjoint(&ga, positions, n, &mut out);
+    out
+}
+
+/// Partial trace over the qubits in `traced`, returning an operator on the
+/// remaining qubits (kept in their original relative order).
+///
+/// # Panics
+///
+/// Panics on invalid positions or dimension mismatch.
+///
+/// # Examples
+///
+/// ```
+/// use nqpv_linalg::{CMat, CVec, partial_trace};
+/// // Bell state (|00⟩+|11⟩)/√2: tracing either qubit leaves I/2.
+/// let mut bell = CVec::zeros(4);
+/// bell[0] = nqpv_linalg::c(std::f64::consts::FRAC_1_SQRT_2, 0.0);
+/// bell[3] = nqpv_linalg::c(std::f64::consts::FRAC_1_SQRT_2, 0.0);
+/// let rho = bell.projector();
+/// let reduced = partial_trace(&rho, &[1], 2);
+/// assert!(reduced.approx_eq(&CMat::identity(2).scale_re(0.5), 1e-12));
+/// ```
+pub fn partial_trace(m: &CMat, traced: &[usize], n: usize) -> CMat {
+    let d = 1usize << n;
+    assert_eq!(m.rows(), d, "matrix dimension mismatch");
+    assert_eq!(m.cols(), d, "matrix dimension mismatch");
+    validate_positions(traced, n);
+    let kept: Vec<usize> = (0..n).filter(|q| !traced.contains(q)).collect();
+    let nk = kept.len();
+    let dk = 1usize << nk;
+    let dt = 1usize << traced.len();
+    let mut out = CMat::zeros(dk, dk);
+    for a in 0..dk {
+        let ia = deposit_sub_index(a, &kept, n);
+        for b in 0..dk {
+            let ib = deposit_sub_index(b, &kept, n);
+            let mut acc = Complex::ZERO;
+            for t in 0..dt {
+                let it = deposit_sub_index(t, traced, n);
+                acc += m[(ia | it, ib | it)];
+            }
+            out[(a, b)] = acc;
+        }
+    }
+    out
+}
+
+/// Reorders the tensor factors of an `n`-qubit operator: in the result, the
+/// qubit at position `q` is the input's qubit `perm[q]`.
+///
+/// # Panics
+///
+/// Panics unless `perm` is a permutation of `0..n`.
+pub fn permute_qubits(m: &CMat, perm: &[usize], n: usize) -> CMat {
+    assert_eq!(perm.len(), n, "permutation length mismatch");
+    validate_positions(perm, n);
+    let d = 1usize << n;
+    assert_eq!(m.rows(), d, "matrix dimension mismatch");
+    assert_eq!(m.cols(), d, "matrix dimension mismatch");
+    let map = |i: usize| -> usize {
+        let mut j = 0usize;
+        for (q, &src) in perm.iter().enumerate() {
+            j |= bit_of(i, src, n) << (n - 1 - q);
+        }
+        j
+    };
+    // out[map(i)][map(j)] = m[i][j] ⇒ out[i'][j'] = m[inv(i')][inv(j')];
+    // build forward to avoid inverting.
+    let mut out = CMat::zeros(d, d);
+    for i in 0..d {
+        let mi = map(i);
+        for j in 0..d {
+            out[(mi, map(j))] = m[(i, j)];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{c, cr, TOL};
+
+    fn x() -> CMat {
+        CMat::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0])
+    }
+
+    fn h() -> CMat {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        CMat::from_real(2, 2, &[s, s, s, -s])
+    }
+
+    fn cx() -> CMat {
+        CMat::from_real(
+            4,
+            4,
+            &[
+                1.0, 0.0, 0.0, 0.0, //
+                0.0, 1.0, 0.0, 0.0, //
+                0.0, 0.0, 0.0, 1.0, //
+                0.0, 0.0, 1.0, 0.0,
+            ],
+        )
+    }
+
+    #[test]
+    fn embed_matches_kron() {
+        // X on qubit 0 of 3 = X ⊗ I ⊗ I
+        let e = embed(&x(), &[0], 3);
+        let expect = x().kron(&CMat::identity(4));
+        assert!(e.approx_eq(&expect, TOL));
+        // X on qubit 2 of 3 = I ⊗ I ⊗ X
+        let e2 = embed(&x(), &[2], 3);
+        let expect2 = CMat::identity(4).kron(&x());
+        assert!(e2.approx_eq(&expect2, TOL));
+    }
+
+    #[test]
+    fn embed_two_qubit_gate_ordered() {
+        // CX with control q0, target q1 on 2 qubits is CX itself.
+        let e = embed(&cx(), &[0, 1], 2);
+        assert!(e.approx_eq(&cx(), TOL));
+    }
+
+    #[test]
+    fn embed_reversed_positions_swaps_roles() {
+        // CX on positions [1,0]: control is qubit 1, target qubit 0.
+        let e = embed(&cx(), &[1, 0], 2);
+        // |01⟩ (q0=0,q1=1) → |11⟩
+        let v = CVec::basis(4, 0b01);
+        let out = e.mul_vec(&v);
+        assert!(out[0b11].approx_eq(Complex::ONE, TOL));
+        // |10⟩ stays (control q1 = 0)
+        let v2 = CVec::basis(4, 0b10);
+        let out2 = e.mul_vec(&v2);
+        assert!(out2[0b10].approx_eq(Complex::ONE, TOL));
+    }
+
+    #[test]
+    fn apply_gate_vec_matches_embed() {
+        let n = 4;
+        let mut state = CVec::zeros(1 << n);
+        // Superposition seed.
+        for i in 0..(1 << n) {
+            state[i] = c((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos());
+        }
+        let norm = state.norm();
+        let state = state.scale(cr(1.0 / norm));
+        for positions in [vec![0], vec![3], vec![1]] {
+            let mut fast = state.clone();
+            apply_gate_vec(&h(), &positions, n, &mut fast);
+            let slow = embed(&h(), &positions, n).mul_vec(&state);
+            assert!(fast.approx_eq(&slow, 1e-10), "positions {positions:?}");
+        }
+        // Two-qubit, non-adjacent, reversed order.
+        for positions in [vec![0, 2], vec![3, 1], vec![2, 3]] {
+            let mut fast = state.clone();
+            apply_gate_vec(&cx(), &positions, n, &mut fast);
+            let slow = embed(&cx(), &positions, n).mul_vec(&state);
+            assert!(fast.approx_eq(&slow, 1e-10), "positions {positions:?}");
+        }
+    }
+
+    #[test]
+    fn conjugate_gate_matches_explicit() {
+        let n = 3;
+        let d = 1 << n;
+        let m = CMat::from_fn(d, d, |i, j| c((i + 2 * j) as f64 * 0.1, (i as f64 - j as f64) * 0.05));
+        let m = m.add_mat(&m.adjoint()).scale_re(0.5);
+        for positions in [vec![1], vec![0, 2], vec![2, 0]] {
+            let g = if positions.len() == 1 { h() } else { cx() };
+            let big = embed(&g, &positions, n);
+            let expect = big.conjugate(&m);
+            let fast = conjugate_gate(&g, &positions, n, &m);
+            assert!(fast.approx_eq(&expect, 1e-10), "positions {positions:?}");
+            let expect_adj = big.adjoint_conjugate(&m);
+            let fast_adj = adjoint_conjugate_gate(&g, &positions, n, &m);
+            assert!(fast_adj.approx_eq(&expect_adj, 1e-10), "positions {positions:?}");
+        }
+    }
+
+    #[test]
+    fn partial_trace_of_product_state() {
+        // ρ = |0⟩⟨0| ⊗ |+⟩⟨+|; tracing qubit 1 gives |0⟩⟨0|.
+        let p0 = CVec::basis(2, 0).projector();
+        let plus = CVec::new(vec![cr(std::f64::consts::FRAC_1_SQRT_2); 2]).projector();
+        let rho = p0.kron(&plus);
+        let r = partial_trace(&rho, &[1], 2);
+        assert!(r.approx_eq(&p0, TOL));
+        let r2 = partial_trace(&rho, &[0], 2);
+        assert!(r2.approx_eq(&plus, TOL));
+    }
+
+    #[test]
+    fn partial_trace_preserves_trace() {
+        let n = 3;
+        let d = 1 << n;
+        let g = CMat::from_fn(d, d, |i, j| c((i * j) as f64 * 0.01, (i + j) as f64 * 0.02));
+        let rho = g.mul(&g.adjoint()); // PSD
+        let t = rho.trace_re();
+        let r = partial_trace(&rho, &[0, 2], n);
+        assert!((r.trace_re() - t).abs() < 1e-9);
+        assert_eq!(r.rows(), 2);
+    }
+
+    #[test]
+    fn permute_qubits_round_trip() {
+        let a = x().kron(&h()); // X on q0, H on q1
+        let swapped = permute_qubits(&a, &[1, 0], 2);
+        let expect = h().kron(&x());
+        assert!(swapped.approx_eq(&expect, TOL));
+        let back = permute_qubits(&swapped, &[1, 0], 2);
+        assert!(back.approx_eq(&a, TOL));
+    }
+
+    #[test]
+    fn bit_helpers() {
+        // |q0 q1 q2⟩ = |1 0 1⟩ ⇒ index 0b101 = 5
+        assert_eq!(index_of_bits(&[1, 0, 1]), 5);
+        assert_eq!(bit_of(5, 0, 3), 1);
+        assert_eq!(bit_of(5, 1, 3), 0);
+        assert_eq!(bit_of(5, 2, 3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate qubit position")]
+    fn duplicate_positions_panics() {
+        embed(&cx(), &[1, 1], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_position_panics() {
+        embed(&x(), &[3], 3);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the linear-algebra substrate: the invariants
+//! every downstream verification step silently relies on.
+
+use nqpv_linalg::{
+    c, cholesky, eigh, embed, is_psd, partial_trace, read_matrix_bytes, write_matrix_bytes,
+    CMat, CVec,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random complex matrix with entries in [-1, 1]².
+fn cmat(dim: usize) -> impl Strategy<Value = CMat> {
+    proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), dim * dim).prop_map(move |xs| {
+        CMat::from_vec(
+            dim,
+            dim,
+            xs.into_iter().map(|(re, im)| c(re, im)).collect(),
+        )
+    })
+}
+
+/// Strategy: a random hermitian matrix.
+fn hermitian(dim: usize) -> impl Strategy<Value = CMat> {
+    cmat(dim).prop_map(|g| g.add_mat(&g.adjoint()).scale_re(0.5))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn eigh_reconstructs_and_orders(h in hermitian(5)) {
+        let e = eigh(&h).unwrap();
+        prop_assert!(e.reconstruct().approx_eq(&h, 1e-7));
+        prop_assert!(e.vectors.is_unitary(1e-7));
+        for w in e.values.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-10);
+        }
+        // Trace = sum of eigenvalues.
+        let tr: f64 = e.values.iter().sum();
+        prop_assert!((tr - h.trace_re()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cholesky_and_eigenvalues_agree_on_psdness(h in hermitian(4)) {
+        let min = eigh(&h).unwrap().min();
+        // Outside a narrow band around zero the two tests must agree.
+        if min.abs() > 1e-6 {
+            prop_assert_eq!(is_psd(&h, 1e-9), min > 0.0);
+        }
+        // A hermitian square is always PSD.
+        let sq = h.mul(&h);
+        prop_assert!(is_psd(&sq, 1e-8));
+        let l = cholesky(&sq.add_mat(&CMat::identity(4).scale_re(1e-6)));
+        prop_assert!(l.is_some());
+    }
+
+    #[test]
+    fn adjoint_is_an_involution_and_antihomomorphism(a in cmat(4), b in cmat(4)) {
+        prop_assert!(a.adjoint().adjoint().approx_eq(&a, 1e-12));
+        prop_assert!(a.mul(&b).adjoint().approx_eq(&b.adjoint().mul(&a.adjoint()), 1e-9));
+    }
+
+    #[test]
+    fn trace_is_cyclic(a in cmat(4), b in cmat(4), cm in cmat(4)) {
+        let t1 = a.mul(&b).mul(&cm).trace();
+        let t2 = cm.mul(&a).mul(&b).trace();
+        prop_assert!(t1.approx_eq(t2, 1e-8));
+    }
+
+    #[test]
+    fn kron_respects_products(a in cmat(2), b in cmat(2), cm in cmat(2), d in cmat(2)) {
+        let lhs = a.kron(&b).mul(&cm.kron(&d));
+        let rhs = a.mul(&cm).kron(&b.mul(&d));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn partial_trace_is_trace_preserving_and_linear(a in hermitian(8), b in hermitian(8)) {
+        // 3-qubit space: trace out qubit 1.
+        let ta = partial_trace(&a, &[1], 3);
+        prop_assert!((ta.trace_re() - a.trace_re()).abs() < 1e-9);
+        let tsum = partial_trace(&a.add_mat(&b), &[1], 3);
+        prop_assert!(tsum.approx_eq(&ta.add_mat(&partial_trace(&b, &[1], 3)), 1e-9));
+    }
+
+    #[test]
+    fn embed_preserves_spectrum_support(h in hermitian(2)) {
+        // λ(M ⊗ I) = λ(M) each with doubled multiplicity.
+        let big = embed(&h, &[0], 2);
+        let small_eigs = eigh(&h).unwrap().values;
+        let big_eigs = eigh(&big).unwrap().values;
+        for lam in small_eigs {
+            let count = big_eigs.iter().filter(|&&x| (x - lam).abs() < 1e-7).count();
+            prop_assert!(count >= 2, "eigenvalue {lam} lost multiplicity");
+        }
+    }
+
+    #[test]
+    fn npy_round_trip_arbitrary(a in cmat(3)) {
+        let bytes = write_matrix_bytes(&a);
+        let back = read_matrix_bytes(&bytes).unwrap();
+        prop_assert!(back.approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn outer_products_are_rank_one_projectors(xs in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 4)) {
+        let v = CVec::new(xs.into_iter().map(|(re, im)| c(re, im)).collect());
+        prop_assume!(v.norm() > 1e-3);
+        let p = v.normalized().projector();
+        prop_assert!(p.is_hermitian(1e-10));
+        prop_assert!(p.mul(&p).approx_eq(&p, 1e-9));
+        prop_assert!((p.trace_re() - 1.0).abs() < 1e-9);
+        prop_assert!(is_psd(&p, 1e-9));
+    }
+
+    #[test]
+    fn lowner_order_respects_addition_of_psd(h in hermitian(3), g in cmat(3)) {
+        // h ⊑ h + GG† always.
+        let psd = g.mul(&g.adjoint());
+        prop_assert!(nqpv_linalg::lowner_le(&h, &h.add_mat(&psd), 1e-8));
+    }
+}

@@ -1,0 +1,116 @@
+//! Common noise channels.
+//!
+//! The paper models the QEC noise nondeterministically, but deterministic
+//! noise channels are useful as comparison baselines (a probabilistic
+//! bit-flip channel vs the nondeterministic `skip □ q*=X □ …` of Ex. 3.1)
+//! and for failure-injection tests.
+
+use crate::gates;
+use crate::superop::SuperOp;
+use nqpv_linalg::CMat;
+
+/// Bit-flip channel: applies `X` with probability `p`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ p ≤ 1`.
+pub fn bit_flip(p: f64) -> SuperOp {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    SuperOp::from_kraus(vec![
+        CMat::identity(2).scale_re((1.0 - p).sqrt()),
+        gates::x().scale_re(p.sqrt()),
+    ])
+    .expect("bit flip is a channel")
+}
+
+/// Phase-flip channel: applies `Z` with probability `p`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ p ≤ 1`.
+pub fn phase_flip(p: f64) -> SuperOp {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    SuperOp::from_kraus(vec![
+        CMat::identity(2).scale_re((1.0 - p).sqrt()),
+        gates::z().scale_re(p.sqrt()),
+    ])
+    .expect("phase flip is a channel")
+}
+
+/// Depolarising channel: with probability `p` replaces the state by one of
+/// `X,Y,Z` applied uniformly.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ p ≤ 1`.
+pub fn depolarizing(p: f64) -> SuperOp {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let q = (p / 3.0).sqrt();
+    SuperOp::from_kraus(vec![
+        CMat::identity(2).scale_re((1.0 - p).sqrt()),
+        gates::x().scale_re(q),
+        gates::y().scale_re(q),
+        gates::z().scale_re(q),
+    ])
+    .expect("depolarising is a channel")
+}
+
+/// Amplitude damping with decay probability `γ`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ γ ≤ 1`.
+pub fn amplitude_damping(gamma: f64) -> SuperOp {
+    assert!((0.0..=1.0).contains(&gamma), "gamma out of range");
+    let k0 = CMat::from_real(2, 2, &[1.0, 0.0, 0.0, (1.0 - gamma).sqrt()]);
+    let k1 = CMat::from_real(2, 2, &[0.0, gamma.sqrt(), 0.0, 0.0]);
+    SuperOp::from_kraus(vec![k0, k1]).expect("amplitude damping is a channel")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{ket, maximally_mixed};
+    use nqpv_linalg::TOL;
+
+    #[test]
+    fn channels_are_trace_preserving() {
+        for ch in [
+            bit_flip(0.1),
+            phase_flip(0.4),
+            depolarizing(0.75),
+            amplitude_damping(0.3),
+        ] {
+            assert!(ch.is_trace_preserving(1e-10));
+        }
+    }
+
+    #[test]
+    fn bit_flip_extremes() {
+        let id = bit_flip(0.0);
+        let flip = bit_flip(1.0);
+        let rho = ket("0").projector();
+        assert!(id.apply(&rho).approx_eq(&rho, TOL));
+        assert!(flip.apply(&rho).approx_eq(&ket("1").projector(), TOL));
+    }
+
+    #[test]
+    fn full_depolarizing_sends_to_maximally_mixed() {
+        let ch = depolarizing(0.75); // p=3/4 is the fully depolarising point
+        let rho = ket("0").projector();
+        assert!(ch.apply(&rho).approx_eq(&maximally_mixed(1), 1e-10));
+    }
+
+    #[test]
+    fn amplitude_damping_decays_excited_state() {
+        let ch = amplitude_damping(1.0);
+        let rho = ket("1").projector();
+        assert!(ch.apply(&rho).approx_eq(&ket("0").projector(), TOL));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn rejects_bad_probability() {
+        bit_flip(1.5);
+    }
+}

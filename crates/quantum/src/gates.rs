@@ -1,0 +1,314 @@
+//! Standard gate library.
+//!
+//! All unitaries used by the paper's examples: the Paulis, Hadamard, phase
+//! gates, CNOT (`CX`), the zero-controlled CNOT `C0X` from the Deutsch case
+//! study (Sec. 5.2), Toffoli, SWAP, and the quantum-walk operators `W1`/`W2`
+//! of Sec. 5.3. Matrices are written w.r.t. the computational basis.
+
+use nqpv_linalg::{c, cr, CMat, Complex};
+use std::f64::consts::FRAC_1_SQRT_2;
+
+/// Pauli-X (bit flip).
+pub fn x() -> CMat {
+    CMat::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0])
+}
+
+/// Pauli-Y.
+pub fn y() -> CMat {
+    CMat::from_vec(
+        2,
+        2,
+        vec![Complex::ZERO, c(0.0, -1.0), c(0.0, 1.0), Complex::ZERO],
+    )
+}
+
+/// Pauli-Z (phase flip).
+pub fn z() -> CMat {
+    CMat::from_real(2, 2, &[1.0, 0.0, 0.0, -1.0])
+}
+
+/// Hadamard.
+pub fn h() -> CMat {
+    CMat::from_real(
+        2,
+        2,
+        &[FRAC_1_SQRT_2, FRAC_1_SQRT_2, FRAC_1_SQRT_2, -FRAC_1_SQRT_2],
+    )
+}
+
+/// Phase gate `S = diag(1, i)`.
+pub fn s() -> CMat {
+    CMat::from_vec(2, 2, vec![Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::I])
+}
+
+/// `T = diag(1, e^{iπ/4})`.
+pub fn t() -> CMat {
+    CMat::from_vec(
+        2,
+        2,
+        vec![
+            Complex::ONE,
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::from_polar(1.0, std::f64::consts::FRAC_PI_4),
+        ],
+    )
+}
+
+/// Identity on `n` qubits.
+pub fn identity(n_qubits: usize) -> CMat {
+    CMat::identity(1 << n_qubits)
+}
+
+/// CNOT: `CX|x⟩|y⟩ = |x⟩|x⊕y⟩` (first qubit controls).
+pub fn cx() -> CMat {
+    CMat::from_real(
+        4,
+        4,
+        &[
+            1.0, 0.0, 0.0, 0.0, //
+            0.0, 1.0, 0.0, 0.0, //
+            0.0, 0.0, 0.0, 1.0, //
+            0.0, 0.0, 1.0, 0.0,
+        ],
+    )
+}
+
+/// Zero-controlled NOT: flips the target when the control is `|0⟩`;
+/// `C0X = (X⊗I)·CX·(X⊗I)` (paper Sec. 5.2, the balanced-f oracle).
+pub fn c0x() -> CMat {
+    let xi = x().kron(&CMat::identity(2));
+    xi.mul(&cx()).mul(&xi)
+}
+
+/// Controlled-Z.
+pub fn cz() -> CMat {
+    CMat::from_real(
+        4,
+        4,
+        &[
+            1.0, 0.0, 0.0, 0.0, //
+            0.0, 1.0, 0.0, 0.0, //
+            0.0, 0.0, 1.0, 0.0, //
+            0.0, 0.0, 0.0, -1.0,
+        ],
+    )
+}
+
+/// SWAP of two qubits.
+pub fn swap() -> CMat {
+    CMat::from_real(
+        4,
+        4,
+        &[
+            1.0, 0.0, 0.0, 0.0, //
+            0.0, 0.0, 1.0, 0.0, //
+            0.0, 1.0, 0.0, 0.0, //
+            0.0, 0.0, 0.0, 1.0,
+        ],
+    )
+}
+
+/// Toffoli (CCX): flips the third qubit when the first two are `|11⟩`.
+pub fn ccx() -> CMat {
+    let mut m = CMat::identity(8);
+    m[(6, 6)] = Complex::ZERO;
+    m[(7, 7)] = Complex::ZERO;
+    m[(6, 7)] = Complex::ONE;
+    m[(7, 6)] = Complex::ONE;
+    m
+}
+
+/// Generic controlled-`U` on 1+k qubits (control first).
+///
+/// # Panics
+///
+/// Panics if `u` is not square.
+pub fn controlled(u: &CMat) -> CMat {
+    assert!(u.is_square(), "controlled() needs a square matrix");
+    let d = u.rows();
+    let mut m = CMat::identity(2 * d);
+    for i in 0..d {
+        for j in 0..d {
+            m[(d + i, d + j)] = u[(i, j)];
+        }
+    }
+    m
+}
+
+/// Quantum-walk operator `W1` of paper Sec. 5.3 (basis `|00⟩,|01⟩,|10⟩,|11⟩`).
+pub fn walk_w1() -> CMat {
+    let k = 1.0 / 3.0_f64.sqrt();
+    CMat::from_real(
+        4,
+        4,
+        &[
+            1.0, 1.0, 0.0, -1.0, //
+            1.0, -1.0, 1.0, 0.0, //
+            0.0, 1.0, 1.0, 1.0, //
+            1.0, 0.0, -1.0, 1.0,
+        ],
+    )
+    .scale(cr(k))
+}
+
+/// Quantum-walk operator `W2` of paper Sec. 5.3.
+pub fn walk_w2() -> CMat {
+    let k = 1.0 / 3.0_f64.sqrt();
+    CMat::from_real(
+        4,
+        4,
+        &[
+            1.0, 1.0, 0.0, 1.0, //
+            -1.0, 1.0, -1.0, 0.0, //
+            0.0, 1.0, 1.0, -1.0, //
+            1.0, 0.0, -1.0, -1.0,
+        ],
+    )
+    .scale(cr(k))
+}
+
+/// Single-qubit rotation `R_y(θ) = exp(-iθY/2)`.
+pub fn ry(theta: f64) -> CMat {
+    let (s_, c_) = (theta / 2.0).sin_cos();
+    CMat::from_real(2, 2, &[c_, -s_, s_, c_])
+}
+
+/// Single-qubit rotation `R_z(θ) = diag(e^{-iθ/2}, e^{iθ/2})`.
+pub fn rz(theta: f64) -> CMat {
+    CMat::from_vec(
+        2,
+        2,
+        vec![
+            Complex::from_polar(1.0, -theta / 2.0),
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::from_polar(1.0, theta / 2.0),
+        ],
+    )
+}
+
+/// Looks up a named built-in gate (used by the NQPV operator library).
+/// Returns `None` for unknown names.
+pub fn by_name(name: &str) -> Option<CMat> {
+    match name {
+        "I" => Some(identity(1)),
+        "X" => Some(x()),
+        "Y" => Some(y()),
+        "Z" => Some(z()),
+        "H" => Some(h()),
+        "S" => Some(s()),
+        "T" => Some(t()),
+        "CX" | "CNOT" => Some(cx()),
+        "C0X" => Some(c0x()),
+        "CZ" => Some(cz()),
+        "SWAP" => Some(swap()),
+        "CCX" => Some(ccx()),
+        "W1" => Some(walk_w1()),
+        "W2" => Some(walk_w2()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nqpv_linalg::TOL;
+
+    #[test]
+    fn all_standard_gates_are_unitary() {
+        for (name, g) in [
+            ("X", x()),
+            ("Y", y()),
+            ("Z", z()),
+            ("H", h()),
+            ("S", s()),
+            ("T", t()),
+            ("CX", cx()),
+            ("C0X", c0x()),
+            ("CZ", cz()),
+            ("SWAP", swap()),
+            ("CCX", ccx()),
+            ("W1", walk_w1()),
+            ("W2", walk_w2()),
+        ] {
+            assert!(g.is_unitary(1e-10), "{name} must be unitary");
+        }
+    }
+
+    #[test]
+    fn pauli_relations() {
+        let (gx, gy, gz) = (x(), y(), z());
+        assert!(gx.mul(&gy).approx_eq(&gz.scale(Complex::I), TOL));
+        assert!(gy.mul(&gz).approx_eq(&gx.scale(Complex::I), TOL));
+        assert!(gz.mul(&gx).approx_eq(&gy.scale(Complex::I), TOL));
+    }
+
+    #[test]
+    fn hadamard_maps_basis_to_plus_minus() {
+        use nqpv_linalg::CVec;
+        let plus = h().mul_vec(&CVec::basis(2, 0));
+        assert!((plus[0].re - FRAC_1_SQRT_2).abs() < TOL);
+        assert!((plus[1].re - FRAC_1_SQRT_2).abs() < TOL);
+        let minus = h().mul_vec(&CVec::basis(2, 1));
+        assert!((minus[1].re + FRAC_1_SQRT_2).abs() < TOL);
+    }
+
+    #[test]
+    fn cx_truth_table() {
+        use nqpv_linalg::CVec;
+        for (inp, out) in [(0b00, 0b00), (0b01, 0b01), (0b10, 0b11), (0b11, 0b10)] {
+            let v = cx().mul_vec(&CVec::basis(4, inp));
+            assert!(v[out].approx_eq(Complex::ONE, TOL), "CX|{inp:02b}⟩");
+        }
+    }
+
+    #[test]
+    fn c0x_flips_on_zero_control() {
+        use nqpv_linalg::CVec;
+        for (inp, out) in [(0b00, 0b01), (0b01, 0b00), (0b10, 0b10), (0b11, 0b11)] {
+            let v = c0x().mul_vec(&CVec::basis(4, inp));
+            assert!(v[out].approx_eq(Complex::ONE, TOL), "C0X|{inp:02b}⟩");
+        }
+    }
+
+    #[test]
+    fn controlled_builds_cx_from_x() {
+        assert!(controlled(&x()).approx_eq(&cx(), TOL));
+        assert!(controlled(&z()).approx_eq(&cz(), TOL));
+    }
+
+    #[test]
+    fn ccx_truth_table() {
+        use nqpv_linalg::CVec;
+        let v = ccx().mul_vec(&CVec::basis(8, 0b110));
+        assert!(v[0b111].approx_eq(Complex::ONE, TOL));
+        let v2 = ccx().mul_vec(&CVec::basis(8, 0b010));
+        assert!(v2[0b010].approx_eq(Complex::ONE, TOL));
+    }
+
+    #[test]
+    fn walk_operators_fix_the_paper_identity() {
+        // Paper Sec. 5.3: W2·W1|00⟩ = |00⟩ is why the always-left scheduler
+        // never terminates.
+        use nqpv_linalg::CVec;
+        let v = walk_w2().mul(&walk_w1()).mul_vec(&CVec::basis(4, 0));
+        assert!(v[0].approx_eq(Complex::ONE, 1e-10));
+    }
+
+    #[test]
+    fn rotations_are_unitary_and_compose() {
+        let a = ry(0.7);
+        let b = ry(0.5);
+        assert!(a.is_unitary(1e-12));
+        assert!(a.mul(&b).approx_eq(&ry(1.2), 1e-12));
+        assert!(rz(0.3).is_unitary(1e-12));
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(by_name("H").is_some());
+        assert!(by_name("CNOT").is_some());
+        assert!(by_name("NOPE").is_none());
+    }
+}

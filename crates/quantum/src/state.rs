@@ -1,0 +1,141 @@
+//! Pure states, ensembles and partial density operators.
+//!
+//! Following the paper (and Selinger's convention), quantum states are
+//! *partial* density operators — positive operators with trace at most 1;
+//! a state of trace `p < 1` is "a legitimate state reached with
+//! probability `p`".
+
+use nqpv_linalg::{cr, CMat, CVec, is_partial_density};
+use std::f64::consts::FRAC_1_SQRT_2;
+
+/// Builds a pure state from a ket string over the alphabet `0 1 + -`,
+/// e.g. `ket("0+-")` = `|0⟩ ⊗ |+⟩ ⊗ |−⟩`.
+///
+/// # Panics
+///
+/// Panics on an empty string or unknown character.
+///
+/// # Examples
+///
+/// ```
+/// use nqpv_quantum::ket;
+/// let psi = ket("10");
+/// assert_eq!(psi.dim(), 4);
+/// assert!((psi.as_slice()[2].re - 1.0).abs() < 1e-12);
+/// ```
+pub fn ket(spec: &str) -> CVec {
+    assert!(!spec.is_empty(), "empty ket specification");
+    let mut state: Option<CVec> = None;
+    for ch in spec.chars() {
+        let q = match ch {
+            '0' => CVec::basis(2, 0),
+            '1' => CVec::basis(2, 1),
+            '+' => CVec::new(vec![cr(FRAC_1_SQRT_2), cr(FRAC_1_SQRT_2)]),
+            '-' => CVec::new(vec![cr(FRAC_1_SQRT_2), cr(-FRAC_1_SQRT_2)]),
+            other => panic!("unknown ket character '{other}' (expected 0, 1, + or -)"),
+        };
+        state = Some(match state {
+            None => q,
+            Some(s) => s.kron(&q),
+        });
+    }
+    state.expect("non-empty spec")
+}
+
+/// Builds the superposition `α·|a⟩ + β·|b⟩` of two ket strings (normalised
+/// by the caller's coefficients).
+///
+/// # Panics
+///
+/// Panics if the two kets have different dimension.
+pub fn superpose(alpha: f64, a: &str, beta: f64, b: &str) -> CVec {
+    let va = ket(a).scale(cr(alpha));
+    let vb = ket(b).scale(cr(beta));
+    &va + &vb
+}
+
+/// The density operator `[|ψ⟩] = |ψ⟩⟨ψ|` of a pure state.
+pub fn density(psi: &CVec) -> CMat {
+    psi.projector()
+}
+
+/// The maximally mixed state `I/d` on an `n`-qubit space.
+pub fn maximally_mixed(n_qubits: usize) -> CMat {
+    let d = 1usize << n_qubits;
+    CMat::identity(d).scale_re(1.0 / d as f64)
+}
+
+/// Mixes an ensemble `{(pᵢ, |ψᵢ⟩)}` into a density operator `Σ pᵢ[|ψᵢ⟩]`.
+///
+/// # Panics
+///
+/// Panics if probabilities are negative or dimensions mismatch.
+pub fn ensemble(parts: &[(f64, CVec)]) -> CMat {
+    assert!(!parts.is_empty(), "empty ensemble");
+    let d = parts[0].1.dim();
+    let mut rho = CMat::zeros(d, d);
+    for (p, psi) in parts {
+        assert!(*p >= 0.0, "negative ensemble probability");
+        assert_eq!(psi.dim(), d, "ensemble dimension mismatch");
+        rho += &psi.projector().scale_re(*p);
+    }
+    rho
+}
+
+/// Validates that `rho` is a partial density operator within `tol`
+/// (hermitian, positive, `tr ρ ≤ 1`).
+pub fn assert_state(rho: &CMat, tol: f64) {
+    assert!(
+        is_partial_density(rho, tol),
+        "not a partial density operator (trace {} )",
+        rho.trace_re()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nqpv_linalg::TOL;
+
+    #[test]
+    fn ket_strings() {
+        let v = ket("01");
+        assert!(v[1].re > 0.99);
+        let p = ket("+");
+        assert!((p[0].re - FRAC_1_SQRT_2).abs() < TOL);
+        assert!((p.norm() - 1.0).abs() < TOL);
+        let m = ket("-");
+        assert!((m[1].re + FRAC_1_SQRT_2).abs() < TOL);
+    }
+
+    #[test]
+    fn superpose_builds_bell_like_states() {
+        let bell = superpose(FRAC_1_SQRT_2, "00", FRAC_1_SQRT_2, "11");
+        assert!((bell.norm() - 1.0).abs() < TOL);
+        let rho = density(&bell);
+        assert!((rho.trace_re() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn maximally_mixed_equals_both_ensembles() {
+        // Eq. (5) of the paper: I/2 = ½(|0⟩⟨0|+|1⟩⟨1|) = ½(|+⟩⟨+|+|−⟩⟨−|).
+        let mm = maximally_mixed(1);
+        let e1 = ensemble(&[(0.5, ket("0")), (0.5, ket("1"))]);
+        let e2 = ensemble(&[(0.5, ket("+")), (0.5, ket("-"))]);
+        assert!(mm.approx_eq(&e1, TOL));
+        assert!(mm.approx_eq(&e2, TOL));
+    }
+
+    #[test]
+    fn ensemble_traces_add() {
+        let rho = ensemble(&[(0.25, ket("0")), (0.5, ket("1"))]);
+        assert!((rho.trace_re() - 0.75).abs() < TOL);
+        assert_state(&rho, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown ket character")]
+    fn bad_ket_char_panics() {
+        ket("0x");
+    }
+}

@@ -1,0 +1,526 @@
+//! Completely positive, trace-nonincreasing super-operators in Kraus form.
+//!
+//! A super-operator `E(ρ) = Σᵢ Kᵢ ρ Kᵢ†` is the denotation of a
+//! deterministic quantum program (paper Sec. 2/3.2); its adjoint
+//! `E†(M) = Σᵢ Kᵢ† M Kᵢ` drives the weakest-precondition calculus
+//! (`tr(E(ρ)·M) = tr(ρ·E†(M))`).
+
+use nqpv_linalg::{lowner_le, CMat, CVec};
+use std::fmt;
+
+/// Errors raised when constructing super-operators.
+#[derive(Debug)]
+pub enum SuperOpError {
+    /// Kraus operators have inconsistent shapes.
+    ShapeMismatch,
+    /// `Σ K†K ⊑ I` fails: the map increases trace.
+    TraceIncreasing,
+    /// No Kraus operators were supplied (use [`SuperOp::zero`] instead).
+    Empty,
+}
+
+impl fmt::Display for SuperOpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuperOpError::ShapeMismatch => write!(f, "kraus operator shape mismatch"),
+            SuperOpError::TraceIncreasing => {
+                write!(f, "kraus operators violate trace-nonincrease (ΣK†K ⋢ I)")
+            }
+            SuperOpError::Empty => write!(f, "empty kraus list"),
+        }
+    }
+}
+
+impl std::error::Error for SuperOpError {}
+
+/// A completely positive super-operator on a `dim`-dimensional space,
+/// stored as a list of Kraus operators. The zero map is the empty list
+/// (the paper's `0 = [[abort]]`), the identity is `{I}` (`1 = [[skip]]`).
+///
+/// # Examples
+///
+/// ```
+/// use nqpv_quantum::SuperOp;
+/// use nqpv_linalg::CMat;
+/// let id = SuperOp::identity(2);
+/// let rho = CMat::identity(2).scale_re(0.5);
+/// assert!(id.apply(&rho).approx_eq(&rho, 1e-12));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SuperOp {
+    dim: usize,
+    kraus: Vec<CMat>,
+}
+
+impl SuperOp {
+    /// Creates a super-operator from Kraus operators, validating shape and
+    /// trace-nonincrease (the standing assumption of the paper, Sec. 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SuperOpError`] on shape mismatch or if `Σ K†K ⋢ I`.
+    pub fn from_kraus(kraus: Vec<CMat>) -> Result<Self, SuperOpError> {
+        let dim = kraus.first().ok_or(SuperOpError::Empty)?.rows();
+        for k in &kraus {
+            if k.rows() != dim || k.cols() != dim {
+                return Err(SuperOpError::ShapeMismatch);
+            }
+        }
+        let op = SuperOp { dim, kraus };
+        if !op.is_trace_nonincreasing(1e-7) {
+            return Err(SuperOpError::TraceIncreasing);
+        }
+        Ok(op)
+    }
+
+    /// Creates a super-operator without the trace-nonincrease check.
+    /// Useful for intermediate algebra (e.g. `F − E` differences appear in
+    /// proofs, not in programs).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn from_kraus_unchecked(kraus: Vec<CMat>, dim: usize) -> Self {
+        for k in &kraus {
+            assert_eq!(k.rows(), dim, "kraus shape mismatch");
+            assert_eq!(k.cols(), dim, "kraus shape mismatch");
+        }
+        SuperOp { dim, kraus }
+    }
+
+    /// The identity super-operator `1` on a `dim`-dimensional space.
+    pub fn identity(dim: usize) -> Self {
+        SuperOp {
+            dim,
+            kraus: vec![CMat::identity(dim)],
+        }
+    }
+
+    /// The zero super-operator `0` (the denotation of `abort`).
+    pub fn zero(dim: usize) -> Self {
+        SuperOp { dim, kraus: vec![] }
+    }
+
+    /// The unitary evolution `ρ ↦ UρU†`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not square.
+    pub fn from_unitary(u: &CMat) -> Self {
+        assert!(u.is_square(), "unitary must be square");
+        SuperOp {
+            dim: u.rows(),
+            kraus: vec![u.clone()],
+        }
+    }
+
+    /// The projective branch `ρ ↦ PρP` for a single projector.
+    pub fn from_projector(p: &CMat) -> Self {
+        assert!(p.is_square(), "projector must be square");
+        SuperOp {
+            dim: p.rows(),
+            kraus: vec![p.clone()],
+        }
+    }
+
+    /// The initialisation map `Set0_q̄` on `n_sub` qubits (full space of the
+    /// same size): `ρ ↦ Σᵢ |0⟩⟨i| ρ |i⟩⟨0|`.
+    pub fn initializer(n_sub: usize) -> Self {
+        let d = 1usize << n_sub;
+        let zero = CVec::basis(d, 0);
+        let kraus = (0..d)
+            .map(|i| zero.outer(&CVec::basis(d, i)))
+            .collect();
+        SuperOp { dim: d, kraus }
+    }
+
+    /// The measurement super-operator `E_M(ρ) = Σ_o P_o ρ P_o` (all
+    /// post-measurement branches summed, paper Sec. 2).
+    pub fn from_measurement(m: &crate::measurement::Measurement) -> Self {
+        SuperOp {
+            dim: m.dim(),
+            kraus: vec![m.p0().clone(), m.p1().clone()],
+        }
+    }
+
+    /// Space dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The Kraus operators.
+    pub fn kraus(&self) -> &[CMat] {
+        &self.kraus
+    }
+
+    /// Number of Kraus operators.
+    pub fn kraus_len(&self) -> usize {
+        self.kraus.len()
+    }
+
+    /// Schrödinger-picture application `E(ρ) = Σ KρK†`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` has the wrong dimension.
+    pub fn apply(&self, rho: &CMat) -> CMat {
+        assert_eq!(rho.rows(), self.dim, "state dimension mismatch");
+        assert_eq!(rho.cols(), self.dim, "state dimension mismatch");
+        let mut out = CMat::zeros(self.dim, self.dim);
+        for k in &self.kraus {
+            out += &k.conjugate(rho);
+        }
+        out
+    }
+
+    /// Heisenberg-picture application `E†(M) = Σ K†MK` — the adjoint
+    /// super-operator used by wp/wlp.
+    pub fn apply_heisenberg(&self, m: &CMat) -> CMat {
+        assert_eq!(m.rows(), self.dim, "predicate dimension mismatch");
+        assert_eq!(m.cols(), self.dim, "predicate dimension mismatch");
+        let mut out = CMat::zeros(self.dim, self.dim);
+        for k in &self.kraus {
+            out += &k.adjoint_conjugate(m);
+        }
+        out
+    }
+
+    /// The adjoint super-operator `E†` as an explicit object (Kraus
+    /// operators conjugate-transposed). Note `E†` is generally not
+    /// trace-nonincreasing.
+    pub fn adjoint(&self) -> SuperOp {
+        SuperOp {
+            dim: self.dim,
+            kraus: self.kraus.iter().map(CMat::adjoint).collect(),
+        }
+    }
+
+    /// Composition `self ∘ other` (first `other`, then `self`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn compose(&self, other: &SuperOp) -> SuperOp {
+        assert_eq!(self.dim, other.dim, "composition dimension mismatch");
+        let mut kraus = Vec::with_capacity(self.kraus.len() * other.kraus.len());
+        for a in &self.kraus {
+            for b in &other.kraus {
+                kraus.push(a.mul(b));
+            }
+        }
+        SuperOp {
+            dim: self.dim,
+            kraus,
+        }
+    }
+
+    /// Sum `self + other` (concatenated Kraus lists); used to combine
+    /// measurement branches as in `[[if]] = [[S₀]]∘P⁰ + [[S₁]]∘P¹`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn add(&self, other: &SuperOp) -> SuperOp {
+        assert_eq!(self.dim, other.dim, "sum dimension mismatch");
+        let mut kraus = self.kraus.clone();
+        kraus.extend(other.kraus.iter().cloned());
+        SuperOp {
+            dim: self.dim,
+            kraus,
+        }
+    }
+
+    /// Probabilistic scaling `p·E` for `0 ≤ p` (Kraus operators scaled by
+    /// `√p`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p < 0`.
+    pub fn scale(&self, p: f64) -> SuperOp {
+        assert!(p >= 0.0, "negative probability");
+        let s = p.sqrt();
+        SuperOp {
+            dim: self.dim,
+            kraus: self.kraus.iter().map(|k| k.scale_re(s)).collect(),
+        }
+    }
+
+    /// `Σ K†K` — the "total activity" operator; `⊑ I` iff trace-nonincreasing,
+    /// `= I` iff trace-preserving.
+    pub fn completeness_operator(&self) -> CMat {
+        let mut sum = CMat::zeros(self.dim, self.dim);
+        for k in &self.kraus {
+            sum += &k.adjoint().mul(k);
+        }
+        sum
+    }
+
+    /// `true` if `Σ K†K ⊑ I` within `tol`.
+    pub fn is_trace_nonincreasing(&self, tol: f64) -> bool {
+        lowner_le(
+            &self.completeness_operator(),
+            &CMat::identity(self.dim),
+            tol,
+        )
+    }
+
+    /// `true` if `Σ K†K = I` within `tol`.
+    pub fn is_trace_preserving(&self, tol: f64) -> bool {
+        self.completeness_operator()
+            .approx_eq(&CMat::identity(self.dim), tol)
+    }
+
+    /// Drops Kraus operators that are numerically zero; returns the number
+    /// removed. Keeps semantics identical while bounding blow-up from long
+    /// compositions.
+    pub fn prune(&mut self, tol: f64) -> usize {
+        let before = self.kraus.len();
+        self.kraus.retain(|k| !k.is_zero(tol));
+        before - self.kraus.len()
+    }
+
+    /// The natural (Liouville) matrix representation: the `d²×d²` matrix
+    /// `Σ K ⊗ conj(K)` acting on vectorised states (row-major `vec`).
+    /// Two super-operators are equal as maps iff their natural matrices are
+    /// equal — used to deduplicate semantic sets.
+    pub fn natural_matrix(&self) -> CMat {
+        let d2 = self.dim * self.dim;
+        let mut out = CMat::zeros(d2, d2);
+        for k in &self.kraus {
+            out += &k.kron(&k.conj());
+        }
+        out
+    }
+
+    /// `true` if `self` and `other` denote the same linear map within `tol`.
+    pub fn approx_eq_map(&self, other: &SuperOp, tol: f64) -> bool {
+        self.dim == other.dim && self.natural_matrix().approx_eq(&other.natural_matrix(), tol)
+    }
+
+    /// Deduplication fingerprint of the underlying linear map.
+    pub fn map_fingerprint(&self, scale: f64) -> u64 {
+        self.natural_matrix().fingerprint(scale)
+    }
+
+    /// Tensor-extends the map with the identity on `extra` qubits appended
+    /// on the *right* (lower-significance side): the cylinder extension
+    /// `E ⊗ I` of the paper's notational conventions.
+    pub fn extend_right(&self, extra_qubits: usize) -> SuperOp {
+        let id = CMat::identity(1 << extra_qubits);
+        SuperOp {
+            dim: self.dim << extra_qubits,
+            kraus: self.kraus.iter().map(|k| k.kron(&id)).collect(),
+        }
+    }
+
+    /// Embeds this `k`-qubit map into an `n`-qubit space, acting on
+    /// `positions` (identity elsewhere).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map's dimension is not `2^positions.len()` or positions
+    /// are invalid.
+    pub fn embed(&self, positions: &[usize], n: usize) -> SuperOp {
+        assert_eq!(
+            self.dim,
+            1usize << positions.len(),
+            "map does not act on {} qubits",
+            positions.len()
+        );
+        SuperOp {
+            dim: 1usize << n,
+            kraus: self
+                .kraus
+                .iter()
+                .map(|k| nqpv_linalg::embed(k, positions, n))
+                .collect(),
+        }
+    }
+
+    /// The probability `tr(E(ρ))` that the computation it denotes reaches a
+    /// proper state from `ρ` (termination probability under that branch).
+    pub fn success_probability(&self, rho: &CMat) -> f64 {
+        self.apply(rho).trace_re()
+    }
+}
+
+impl fmt::Display for SuperOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SuperOp(dim={}, |kraus|={})", self.dim, self.kraus.len())
+    }
+}
+
+/// Duality check helper: `tr(E(ρ)·M) = tr(ρ·E†(M))`. Exposed for tests and
+/// the soundness experiments (E10).
+pub fn duality_gap(e: &SuperOp, rho: &CMat, m: &CMat) -> f64 {
+    let lhs = e.apply(rho).trace_product(m);
+    let rhs = rho.trace_product(&e.apply_heisenberg(m));
+    (lhs - rhs).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use nqpv_linalg::TOL;
+    use crate::measurement::Measurement;
+    use crate::state::{ket, maximally_mixed};
+    use nqpv_linalg::c;
+
+    fn random_density(n: usize, seed: &mut u64) -> CMat {
+        let next = move |s: &mut u64| {
+            *s ^= *s << 13;
+            *s ^= *s >> 7;
+            *s ^= *s << 17;
+            (*s as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let d = 1usize << n;
+        let g = CMat::from_fn(d, d, |_, _| c(next(seed), next(seed)));
+        let psd = g.mul(&g.adjoint());
+        let t = psd.trace_re();
+        psd.scale_re(1.0 / t)
+    }
+
+    #[test]
+    fn identity_and_zero() {
+        let rho = maximally_mixed(2);
+        assert!(SuperOp::identity(4).apply(&rho).approx_eq(&rho, TOL));
+        assert!(SuperOp::zero(4).apply(&rho).is_zero(TOL));
+        assert!(SuperOp::identity(4).is_trace_preserving(TOL));
+        assert!(SuperOp::zero(4).is_trace_nonincreasing(TOL));
+        assert!(!SuperOp::zero(4).is_trace_preserving(TOL));
+    }
+
+    #[test]
+    fn unitary_preserves_trace_and_purity() {
+        let e = SuperOp::from_unitary(&gates::h());
+        let rho = ket("0").projector();
+        let out = e.apply(&rho);
+        assert!((out.trace_re() - 1.0).abs() < TOL);
+        assert!(out.approx_eq(&ket("+").projector(), TOL));
+    }
+
+    #[test]
+    fn initializer_resets_any_state() {
+        let e = SuperOp::initializer(2);
+        assert!(e.is_trace_preserving(1e-10));
+        let mut seed = 5u64;
+        let rho = random_density(2, &mut seed);
+        let out = e.apply(&rho);
+        assert!(out.approx_eq(&ket("00").projector(), 1e-9));
+    }
+
+    #[test]
+    fn measurement_superop_is_trace_preserving() {
+        let e = SuperOp::from_measurement(&Measurement::computational());
+        assert!(e.is_trace_preserving(TOL));
+        let rho = ket("+").projector();
+        let out = e.apply(&rho);
+        // dephased: I/2
+        assert!(out.approx_eq(&maximally_mixed(1), TOL));
+    }
+
+    #[test]
+    fn duality_on_random_inputs() {
+        let mut seed = 42u64;
+        let m01 = Measurement::computational();
+        let branch =
+            SuperOp::from_projector(m01.p1()).compose(&SuperOp::from_unitary(&gates::h()));
+        for _ in 0..10 {
+            let rho = random_density(1, &mut seed);
+            let pred = random_density(1, &mut seed); // any hermitian works
+            assert!(duality_gap(&branch, &rho, &pred) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn compose_order_is_right_to_left() {
+        // (X ∘ H)(|0⟩⟨0|) = X(|+⟩⟨+|) = |+⟩⟨+|
+        let xh = SuperOp::from_unitary(&gates::x()).compose(&SuperOp::from_unitary(&gates::h()));
+        let out = xh.apply(&ket("0").projector());
+        assert!(out.approx_eq(&ket("+").projector(), TOL));
+        // (H ∘ X)(|0⟩⟨0|) = H(|1⟩⟨1|) = |−⟩⟨−|
+        let hx = SuperOp::from_unitary(&gates::h()).compose(&SuperOp::from_unitary(&gates::x()));
+        let out2 = hx.apply(&ket("0").projector());
+        assert!(out2.approx_eq(&ket("-").projector(), TOL));
+    }
+
+    #[test]
+    fn add_models_measurement_branch_sum() {
+        let m = Measurement::computational();
+        let b0 = SuperOp::from_projector(m.p0());
+        let b1 = SuperOp::from_projector(m.p1());
+        let sum = b0.add(&b1);
+        assert!(sum.approx_eq_map(&SuperOp::from_measurement(&m), TOL));
+    }
+
+    #[test]
+    fn scaling_by_probability() {
+        let e = SuperOp::identity(2).scale(0.25);
+        let rho = ket("0").projector();
+        assert!((e.apply(&rho).trace_re() - 0.25).abs() < TOL);
+    }
+
+    #[test]
+    fn from_kraus_validates() {
+        // Amplitude damping with γ=0.3 is a valid channel.
+        let g: f64 = 0.3;
+        let k0 = CMat::from_real(2, 2, &[1.0, 0.0, 0.0, (1.0 - g).sqrt()]);
+        let k1 = CMat::from_real(2, 2, &[0.0, g.sqrt(), 0.0, 0.0]);
+        let e = SuperOp::from_kraus(vec![k0, k1]).unwrap();
+        assert!(e.is_trace_preserving(1e-10));
+        // Doubling a unitary breaks trace-nonincrease.
+        let bad = SuperOp::from_kraus(vec![gates::x(), gates::x()]);
+        assert!(matches!(bad, Err(SuperOpError::TraceIncreasing)));
+        assert!(matches!(
+            SuperOp::from_kraus(vec![]),
+            Err(SuperOpError::Empty)
+        ));
+    }
+
+    #[test]
+    fn natural_matrix_detects_equality_of_maps() {
+        // PρP for P=|0⟩⟨0| equals |0⟩⟨0|ρ|0⟩⟨0| trivially; compare two
+        // different Kraus decompositions of the same dephasing map.
+        let m = Measurement::computational();
+        let deph1 = SuperOp::from_measurement(&m);
+        // Kraus {I/√2, Z/√2} is the same dephasing channel.
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let deph2 = SuperOp::from_kraus(vec![
+            CMat::identity(2).scale_re(s),
+            gates::z().scale_re(s),
+        ])
+        .unwrap();
+        assert!(deph1.approx_eq_map(&deph2, 1e-10));
+        assert_eq!(
+            deph1.map_fingerprint(1e6),
+            deph2.map_fingerprint(1e6)
+        );
+    }
+
+    #[test]
+    fn embed_acts_locally() {
+        let e = SuperOp::from_unitary(&gates::x()).embed(&[1], 2);
+        let rho = ket("00").projector();
+        let out = e.apply(&rho);
+        assert!(out.approx_eq(&ket("01").projector(), TOL));
+    }
+
+    #[test]
+    fn extend_right_is_cylinder_extension() {
+        let e = SuperOp::from_unitary(&gates::x()).extend_right(1);
+        assert_eq!(e.dim(), 4);
+        let out = e.apply(&ket("00").projector());
+        assert!(out.approx_eq(&ket("10").projector(), TOL));
+    }
+
+    #[test]
+    fn prune_drops_zero_kraus() {
+        let mut e = SuperOp::from_kraus_unchecked(
+            vec![CMat::identity(2), CMat::zeros(2, 2)],
+            2,
+        );
+        assert_eq!(e.prune(1e-12), 1);
+        assert_eq!(e.kraus_len(), 1);
+    }
+}

@@ -1,0 +1,541 @@
+//! The lifted denotational semantics of paper Fig. 2.
+//!
+//! `[[S]]` is a *set* of super-operators on `H_V`:
+//!
+//! ```text
+//! [[skip]]      = {1}                [[abort]]    = {0}
+//! [[q̄ := 0]]    = {Set0}             [[q̄ *= U]]   = {U}
+//! [[S₀; S₁]]    = [[S₁]] ∘ [[S₀]]    [[S₀ □ S₁]]  = [[S₀]] ∪ [[S₁]]
+//! [[if]]        = [[S₀]]∘P⁰ + [[S₁]]∘P¹
+//! [[while]]     = { Σᵢ P⁰∘ηᵢ∘P¹∘…∘η₁∘P¹ : η ∈ [[S]]^ℕ }
+//! ```
+//!
+//! Loop-free programs have finite semantics, computed exactly by
+//! [`denote`]. While-loops are approximated by the bounded unrollings
+//! `F_n^η` (Eq. 1) over *all* scheduler prefixes via [`denote_bounded`];
+//! the sequence is `⪯`-nondecreasing, so depth-`n` is the best finite
+//! under-approximation at that depth.
+
+use crate::error::SemanticsError;
+use nqpv_lang::Stmt;
+use nqpv_quantum::{OperatorLibrary, Register, SuperOp};
+use std::collections::HashSet;
+
+/// Options controlling semantic enumeration.
+#[derive(Debug, Clone, Copy)]
+pub struct DenoteOptions {
+    /// Loop unrolling depth (number of body iterations represented).
+    pub loop_depth: usize,
+    /// Maximum size of any intermediate semantic set.
+    pub max_set: usize,
+    /// Deduplicate super-operators that denote the same linear map.
+    pub dedupe: bool,
+}
+
+impl Default for DenoteOptions {
+    fn default() -> Self {
+        DenoteOptions {
+            loop_depth: 16,
+            max_set: 4096,
+            dedupe: true,
+        }
+    }
+}
+
+/// Exact denotational semantics of a loop-free program.
+///
+/// # Errors
+///
+/// Returns [`SemanticsError::LoopRequiresBound`] if the program contains a
+/// `while`, plus any resolution errors.
+///
+/// # Examples
+///
+/// ```
+/// use nqpv_lang::parse_stmt;
+/// use nqpv_quantum::{OperatorLibrary, Register};
+/// use nqpv_semantics::denote;
+///
+/// let s = parse_stmt("( skip # [q] *= X )").unwrap();
+/// let reg = Register::new(&["q"]).unwrap();
+/// let lib = OperatorLibrary::with_builtins();
+/// let set = denote(&s, &lib, &reg)?;
+/// assert_eq!(set.len(), 2); // {1, X}
+/// # Ok::<(), nqpv_semantics::SemanticsError>(())
+/// ```
+pub fn denote(
+    stmt: &Stmt,
+    lib: &OperatorLibrary,
+    reg: &Register,
+) -> Result<Vec<SuperOp>, SemanticsError> {
+    if stmt.has_loop() {
+        return Err(SemanticsError::LoopRequiresBound);
+    }
+    denote_bounded(stmt, lib, reg, DenoteOptions::default())
+}
+
+/// Denotational semantics with loops unrolled to `opts.loop_depth`
+/// iterations: the set `{F_n^η : η a scheduler prefix}` of paper Eq. 1 with
+/// `n = loop_depth`.
+///
+/// # Errors
+///
+/// Returns [`SemanticsError`] on unresolved operators, arity mismatches or
+/// set blow-up beyond `opts.max_set`.
+pub fn denote_bounded(
+    stmt: &Stmt,
+    lib: &OperatorLibrary,
+    reg: &Register,
+    opts: DenoteOptions,
+) -> Result<Vec<SuperOp>, SemanticsError> {
+    let ctx = Ctx { lib, reg, opts };
+    ctx.go(stmt)
+}
+
+struct Ctx<'a> {
+    lib: &'a OperatorLibrary,
+    reg: &'a Register,
+    opts: DenoteOptions,
+}
+
+impl Ctx<'_> {
+    fn dim(&self) -> usize {
+        self.reg.dim()
+    }
+
+    fn dedupe(&self, set: Vec<SuperOp>) -> Result<Vec<SuperOp>, SemanticsError> {
+        let set = if self.opts.dedupe && set.len() > 1 {
+            let mut seen = HashSet::new();
+            let mut out = Vec::new();
+            for op in set {
+                if seen.insert(op.map_fingerprint(1e7)) {
+                    out.push(op);
+                }
+            }
+            out
+        } else {
+            set
+        };
+        if set.len() > self.opts.max_set {
+            return Err(SemanticsError::SetBlowup {
+                limit: self.opts.max_set,
+            });
+        }
+        Ok(set)
+    }
+
+    /// Resolves `(measurement, qubit positions)` and embeds the two branch
+    /// projector super-operators `P⁰`, `P¹` into the full space.
+    fn branch_projectors(
+        &self,
+        meas: &str,
+        qubits: &[String],
+    ) -> Result<(SuperOp, SuperOp), SemanticsError> {
+        let m = self.lib.measurement(meas)?;
+        let pos = self.reg.positions(qubits)?;
+        if m.n_qubits() != pos.len() {
+            return Err(SemanticsError::ArityMismatch {
+                op: meas.to_string(),
+                expected: m.n_qubits(),
+                got: pos.len(),
+            });
+        }
+        let n = self.reg.n_qubits();
+        let p0 = SuperOp::from_projector(m.p0()).embed(&pos, n);
+        let p1 = SuperOp::from_projector(m.p1()).embed(&pos, n);
+        Ok((p0, p1))
+    }
+
+    fn go(&self, stmt: &Stmt) -> Result<Vec<SuperOp>, SemanticsError> {
+        let d = self.dim();
+        let n = self.reg.n_qubits();
+        match stmt {
+            Stmt::Skip | Stmt::Assert(_) => Ok(vec![SuperOp::identity(d)]),
+            Stmt::Abort => Ok(vec![SuperOp::zero(d)]),
+            Stmt::Init { qubits } => {
+                let pos = self.reg.positions(qubits)?;
+                Ok(vec![SuperOp::initializer(pos.len()).embed(&pos, n)])
+            }
+            Stmt::Unitary { qubits, op } => {
+                let u = self.lib.unitary(op)?;
+                let pos = self.reg.positions(qubits)?;
+                let k = (u.rows() as f64).log2() as usize;
+                if k != pos.len() {
+                    return Err(SemanticsError::ArityMismatch {
+                        op: op.clone(),
+                        expected: k,
+                        got: pos.len(),
+                    });
+                }
+                Ok(vec![SuperOp::from_unitary(u).embed(&pos, n)])
+            }
+            Stmt::Seq(items) => {
+                let mut acc = vec![SuperOp::identity(d)];
+                for item in items {
+                    let step = self.go(item)?;
+                    let mut next = Vec::with_capacity(acc.len() * step.len());
+                    for g in &step {
+                        for f in &acc {
+                            // later ∘ earlier
+                            next.push(g.compose(f));
+                        }
+                    }
+                    acc = self.dedupe(next)?;
+                }
+                Ok(acc)
+            }
+            Stmt::NDet(a, b) => {
+                let mut set = self.go(a)?;
+                set.extend(self.go(b)?);
+                self.dedupe(set)
+            }
+            Stmt::If {
+                meas,
+                qubits,
+                then_branch,
+                else_branch,
+            } => {
+                let (p0, p1) = self.branch_projectors(meas, qubits)?;
+                let else_set = self.go(else_branch)?;
+                let then_set = self.go(then_branch)?;
+                let mut out = Vec::with_capacity(else_set.len() * then_set.len());
+                for e0 in &else_set {
+                    let lhs = e0.compose(&p0);
+                    for e1 in &then_set {
+                        out.push(lhs.add(&e1.compose(&p1)));
+                    }
+                }
+                self.dedupe(out)
+            }
+            Stmt::While {
+                meas, qubits, body, ..
+            } => {
+                let (p0, p1) = self.branch_projectors(meas, qubits)?;
+                let body_set = self.go(body)?;
+                // F_0 = P⁰; F_{k+1} = P⁰ + F_k ∘ E ∘ P¹ (Lemma 3.2).
+                let mut frontier = vec![p0.clone()];
+                for _ in 0..self.opts.loop_depth {
+                    let mut next = Vec::with_capacity(frontier.len() * body_set.len());
+                    for g in &frontier {
+                        for e in &body_set {
+                            let mut tail = g.compose(&e.compose(&p1));
+                            tail.prune(1e-14);
+                            next.push(p0.clone().add(&tail));
+                        }
+                    }
+                    let next = self.dedupe(next)?;
+                    // Fixpoint detection: if nothing changed, stop early.
+                    if sets_equal(&frontier, &next) {
+                        frontier = next;
+                        break;
+                    }
+                    frontier = next;
+                }
+                Ok(frontier)
+            }
+        }
+    }
+}
+
+fn sets_equal(a: &[SuperOp], b: &[SuperOp]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let fp = |s: &[SuperOp]| {
+        let mut v: Vec<u64> = s.iter().map(|o| o.map_fingerprint(1e7)).collect();
+        v.sort_unstable();
+        v
+    };
+    fp(a) == fp(b)
+}
+
+/// Applies every super-operator of a semantic set to a state, returning the
+/// set `[[S]](ρ)` of possible outputs (deduplicated).
+pub fn apply_set(set: &[SuperOp], rho: &nqpv_linalg::CMat) -> Vec<nqpv_linalg::CMat> {
+    let mut out: Vec<nqpv_linalg::CMat> = Vec::with_capacity(set.len());
+    let mut seen = HashSet::new();
+    for e in set {
+        let sigma = e.apply(rho);
+        if seen.insert(sigma.fingerprint(1e7)) {
+            out.push(sigma);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nqpv_lang::parse_stmt;
+    use nqpv_linalg::TOL;
+    use nqpv_quantum::{ket, maximally_mixed};
+
+    fn setup(names: &[&str]) -> (OperatorLibrary, Register) {
+        (
+            OperatorLibrary::with_builtins(),
+            Register::new(names).unwrap(),
+        )
+    }
+
+    #[test]
+    fn skip_and_abort() {
+        let (lib, reg) = setup(&["q"]);
+        let s = denote(&Stmt::Skip, &lib, &reg).unwrap();
+        assert_eq!(s.len(), 1);
+        let rho = ket("0").projector();
+        assert!(s[0].apply(&rho).approx_eq(&rho, TOL));
+        let a = denote(&Stmt::Abort, &lib, &reg).unwrap();
+        assert!(a[0].apply(&rho).is_zero(TOL));
+    }
+
+    #[test]
+    fn example_3_3_nondeterministic_bitflip() {
+        // [[skip □ q*=X]] = {1, X}; outputs per paper Eq. 4.
+        let (lib, reg) = setup(&["q"]);
+        let s = parse_stmt("( skip # [q] *= X )").unwrap();
+        let set = denote(&s, &lib, &reg).unwrap();
+        assert_eq!(set.len(), 2);
+        let out0 = apply_set(&set, &ket("0").projector());
+        assert_eq!(out0.len(), 2); // {|0⟩⟨0|, |1⟩⟨1|}
+        let out_plus = apply_set(&set, &ket("+").projector());
+        assert_eq!(out_plus.len(), 1); // {|+⟩⟨+|} — X|+⟩ = |+⟩
+        let out_mm = apply_set(&set, &maximally_mixed(1));
+        assert_eq!(out_mm.len(), 1); // I/2 fixed by both
+    }
+
+    #[test]
+    fn sequential_composition_is_elementwise() {
+        let (lib, reg) = setup(&["q"]);
+        let s = parse_stmt("( skip # [q] *= X ); [q] *= H").unwrap();
+        let set = denote(&s, &lib, &reg).unwrap();
+        assert_eq!(set.len(), 2);
+        // outputs on |0⟩: H|0⟩=|+⟩ and HX|0⟩=H|1⟩=|−⟩
+        let outs = apply_set(&set, &ket("0").projector());
+        assert_eq!(outs.len(), 2);
+    }
+
+    #[test]
+    fn if_sums_measurement_branches() {
+        let (lib, reg) = setup(&["q"]);
+        // measure in computational basis, skip both ways = dephasing
+        let s = parse_stmt("if M01[q] then skip else skip end").unwrap();
+        let set = denote(&s, &lib, &reg).unwrap();
+        assert_eq!(set.len(), 1);
+        let out = set[0].apply(&ket("+").projector());
+        assert!(out.approx_eq(&maximally_mixed(1), TOL));
+    }
+
+    #[test]
+    fn if_with_nondet_branches_multiplies() {
+        let (lib, reg) = setup(&["q"]);
+        let s = parse_stmt("if M01[q] then ( skip # [q] *= X ) else ( skip # [q] *= H ) end")
+            .unwrap();
+        let set = denote(&s, &lib, &reg).unwrap();
+        assert_eq!(set.len(), 4);
+        for e in &set {
+            assert!(e.is_trace_preserving(1e-9));
+        }
+    }
+
+    #[test]
+    fn if_dedupes_branches_equal_as_maps() {
+        // Z fixes |0⟩⟨0|, so `else Z` collapses onto `else skip`: Z∘P⁰ = P⁰.
+        let (lib, reg) = setup(&["q"]);
+        let s = parse_stmt("if M01[q] then ( skip # [q] *= X ) else ( skip # [q] *= Z ) end")
+            .unwrap();
+        let set = denote(&s, &lib, &reg).unwrap();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn while_unrolling_terminating_loop() {
+        // while M01[q] (continue on |1⟩) do q *= X: from |1⟩ exits after one
+        // iteration with |0⟩.
+        let (lib, reg) = setup(&["q"]);
+        let s = parse_stmt("while M01[q] do [q] *= X end").unwrap();
+        let set = denote_bounded(&s, &lib, &reg, DenoteOptions::default()).unwrap();
+        assert_eq!(set.len(), 1); // deterministic body ⇒ one scheduler
+        let out = set[0].apply(&ket("1").projector());
+        assert!(out.approx_eq(&ket("0").projector(), 1e-9));
+        let out0 = set[0].apply(&ket("0").projector());
+        assert!(out0.approx_eq(&ket("0").projector(), 1e-9));
+    }
+
+    #[test]
+    fn while_with_hadamard_body_converges_in_trace() {
+        // while M01[q] do q *= H end from |1⟩: terminates with prob 1
+        // geometrically; at depth n the output trace is 1 - 2^{-n}-ish.
+        let (lib, reg) = setup(&["q"]);
+        let s = parse_stmt("while M01[q] do [q] *= H end").unwrap();
+        let opts = DenoteOptions {
+            loop_depth: 30,
+            ..DenoteOptions::default()
+        };
+        let set = denote_bounded(&s, &lib, &reg, opts).unwrap();
+        assert_eq!(set.len(), 1);
+        let out = set[0].apply(&ket("1").projector());
+        assert!((out.trace_re() - 1.0).abs() < 1e-6, "trace {}", out.trace_re());
+    }
+
+    #[test]
+    fn qwalk_loop_has_schedulers_but_no_termination() {
+        let (lib, reg) = setup(&["q1", "q2"]);
+        // The bare loop distinguishes schedulers on general inputs…
+        let loop_only = parse_stmt(
+            "while MQWalk[q1 q2] do \
+             ( [q1 q2] *= W1; [q1 q2] *= W2 # [q1 q2] *= W2; [q1 q2] *= W1 ) end",
+        )
+        .unwrap();
+        let opts = DenoteOptions {
+            loop_depth: 4,
+            max_set: 4096,
+            dedupe: true,
+        };
+        let set = denote_bounded(&loop_only, &lib, &reg, opts).unwrap();
+        assert!(set.len() > 1, "nondeterministic loop must have many branches");
+
+        // …but composed with the |00⟩ initialisation, every scheduler's
+        // F_n^η emits nothing: [[QWalk]] dedupes to the single zero map —
+        // the denotational face of the paper's Sec. 5.3 non-termination.
+        let full = parse_stmt(
+            "[q1 q2] := 0; while MQWalk[q1 q2] do \
+             ( [q1 q2] *= W1; [q1 q2] *= W2 # [q1 q2] *= W2; [q1 q2] *= W1 ) end",
+        )
+        .unwrap();
+        let full_set = denote_bounded(&full, &lib, &reg, opts).unwrap();
+        assert_eq!(full_set.len(), 1);
+        let rho = ket("11").projector(); // arbitrary: init resets it
+        assert!(full_set[0].apply(&rho).trace_re() < 1e-9);
+    }
+
+    #[test]
+    fn blowup_guard_trips() {
+        let (lib, reg) = setup(&["q"]);
+        // 2^8 = 256 branches with limit 100.
+        let mut branches = String::from("( skip # [q] *= X )");
+        let one = branches.clone();
+        for _ in 0..7 {
+            branches = format!("{branches}; {one}");
+        }
+        // Defeat dedupe by chaining distinct unitaries? Simpler: disable dedupe.
+        let s = parse_stmt(&branches).unwrap();
+        let opts = DenoteOptions {
+            loop_depth: 4,
+            max_set: 100,
+            dedupe: false,
+        };
+        let err = denote_bounded(&s, &lib, &reg, opts).unwrap_err();
+        assert!(matches!(err, SemanticsError::SetBlowup { .. }));
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let (lib, reg) = setup(&["q1", "q2"]);
+        let s = parse_stmt("[q1 q2] *= X").unwrap();
+        assert!(matches!(
+            denote(&s, &lib, &reg),
+            Err(SemanticsError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_operator_detected() {
+        let (lib, reg) = setup(&["q"]);
+        let s = parse_stmt("[q] *= NOPE").unwrap();
+        assert!(matches!(
+            denote(&s, &lib, &reg),
+            Err(SemanticsError::Library(_))
+        ));
+    }
+
+    #[test]
+    fn exact_semantics_rejects_loops() {
+        let (lib, reg) = setup(&["q"]);
+        let s = parse_stmt("while M01[q] do skip end").unwrap();
+        assert!(matches!(
+            denote(&s, &lib, &reg),
+            Err(SemanticsError::LoopRequiresBound)
+        ));
+    }
+
+    #[test]
+    fn all_semantic_ops_are_trace_nonincreasing() {
+        let (lib, reg) = setup(&["q1", "q2"]);
+        for src in [
+            "[q1] := 0",
+            "[q1 q2] *= CX; ( skip # [q2] *= X )",
+            "if M01[q1] then abort else skip end",
+            "while M01[q1] do [q1] *= H end",
+        ] {
+            let s = parse_stmt(src).unwrap();
+            let set =
+                denote_bounded(&s, &lib, &reg, DenoteOptions::default()).unwrap();
+            for e in &set {
+                assert!(e.is_trace_nonincreasing(1e-8), "{src}");
+            }
+        }
+    }
+
+    #[test]
+    fn err_corr_denotation_matches_example_3_2() {
+        // The four super-operators of [[ErrCorr]] all restore qubit q.
+        let (lib, reg) = setup(&["q", "q1", "q2"]);
+        let s = parse_stmt(
+            "[q1 q2] := 0; \
+             [q q1] *= CX; [q q2] *= CX; \
+             ( skip # [q] *= X # [q1] *= X # [q2] *= X ); \
+             [q q2] *= CX; [q q1] *= CX; \
+             if M01[q2] then if M01[q1] then [q] *= X end end",
+        )
+        .unwrap();
+        let set = denote(&s, &lib, &reg).unwrap();
+        assert_eq!(set.len(), 4);
+        // For |ψ⟩ = 0.6|0⟩+0.8|1⟩ on q with junk on ancillas, the reduced
+        // state on q is restored by every branch.
+        let psi = nqpv_quantum::superpose(0.6, "0", 0.8, "1");
+        let rho = psi.kron(&ket("1+")).projector();
+        for e in &set {
+            let out = e.apply(&rho);
+            let red = nqpv_linalg::partial_trace(&out, &[1, 2], 3);
+            assert!(red.approx_eq(&psi.projector(), 1e-9));
+        }
+    }
+
+    #[test]
+    fn dedupe_collapses_identical_branches() {
+        let (lib, reg) = setup(&["q"]);
+        let s = parse_stmt("( skip # skip )").unwrap();
+        let set = denote(&s, &lib, &reg).unwrap();
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn apply_set_dedupes_outputs() {
+        let (lib, reg) = setup(&["q"]);
+        let s = parse_stmt("( skip # [q] *= Z )").unwrap();
+        let set = denote(&s, &lib, &reg).unwrap();
+        assert_eq!(set.len(), 2);
+        // On |0⟩⟨0| both agree.
+        let outs = apply_set(&set, &ket("0").projector());
+        assert_eq!(outs.len(), 1);
+    }
+
+    #[test]
+    fn fixpoint_detection_stops_unrolling() {
+        // while M01[q] do skip end: P1 branch never exits; F_n stabilises at
+        // F_1 = P0 + 0 (body=skip keeps state in P1 eigenspace; each further
+        // unroll only adds the same P0∘P1ⁿ chain which is P0∘P1 = 0).
+        let (lib, reg) = setup(&["q"]);
+        let s = parse_stmt("while M01[q] do skip end").unwrap();
+        let opts = DenoteOptions {
+            loop_depth: 1000, // must terminate early via fixpoint detection
+            ..DenoteOptions::default()
+        };
+        let set = denote_bounded(&s, &lib, &reg, opts).unwrap();
+        assert_eq!(set.len(), 1);
+        let out = set[0].apply(&ket("1").projector());
+        assert!(out.is_zero(1e-10)); // never terminates from |1⟩
+        let out0 = set[0].apply(&ket("0").projector());
+        assert!((out0.trace_re() - 1.0).abs() < 1e-10);
+    }
+}

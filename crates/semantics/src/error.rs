@@ -1,0 +1,64 @@
+//! Error type shared by the semantics routines.
+
+use nqpv_quantum::{LibraryError, RegisterError};
+use std::fmt;
+
+/// Errors raised while interpreting a program.
+#[derive(Debug)]
+pub enum SemanticsError {
+    /// Operator lookup/kind failure.
+    Library(LibraryError),
+    /// Qubit resolution failure.
+    Register(RegisterError),
+    /// An operator was applied to the wrong number of qubits.
+    ArityMismatch {
+        /// Operator name.
+        op: String,
+        /// Qubits the operator acts on.
+        expected: usize,
+        /// Qubits supplied at the use site.
+        got: usize,
+    },
+    /// A semantic set exceeded the configured size bound (nondeterministic
+    /// blow-up); raise `max_set` or simplify the program.
+    SetBlowup {
+        /// The configured limit that was hit.
+        limit: usize,
+    },
+    /// Exact (unbounded) semantics was requested for a program containing a
+    /// `while` loop.
+    LoopRequiresBound,
+}
+
+impl fmt::Display for SemanticsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemanticsError::Library(e) => write!(f, "{e}"),
+            SemanticsError::Register(e) => write!(f, "{e}"),
+            SemanticsError::ArityMismatch { op, expected, got } => write!(
+                f,
+                "operator '{op}' acts on {expected} qubit(s) but was applied to {got}"
+            ),
+            SemanticsError::SetBlowup { limit } => {
+                write!(f, "semantic set exceeded the size limit of {limit}")
+            }
+            SemanticsError::LoopRequiresBound => {
+                write!(f, "exact semantics of a while loop is infinite; use denote_bounded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SemanticsError {}
+
+impl From<LibraryError> for SemanticsError {
+    fn from(e: LibraryError) -> Self {
+        SemanticsError::Library(e)
+    }
+}
+
+impl From<RegisterError> for SemanticsError {
+    fn from(e: RegisterError) -> Self {
+        SemanticsError::Register(e)
+    }
+}

@@ -1,0 +1,446 @@
+//! Forward (operational) execution of programs on density operators.
+//!
+//! Complements the denotational view: `exec_all` computes the output *set*
+//! `[[S]](ρ)` directly on states, `exec_scheduled` runs one scheduler.
+//! Forward execution is exact for loop-free programs and fuel-bounded for
+//! loops (dropping the not-yet-exited mass, a trace-nonincreasing
+//! under-approximation, consistent with `F_n^η ⪯ [[while]]`).
+
+use crate::error::SemanticsError;
+use crate::scheduler::{Choice, Scheduler};
+use nqpv_lang::Stmt;
+use nqpv_linalg::CMat;
+use nqpv_quantum::{Measurement, OperatorLibrary, Register};
+use std::collections::HashSet;
+
+/// Options for set-valued forward execution.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Maximum loop iterations to execute.
+    pub fuel: usize,
+    /// Bound on the state-set size.
+    pub max_set: usize,
+    /// States with trace below this are treated as terminated branches.
+    pub mass_cutoff: f64,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            fuel: 64,
+            max_set: 4096,
+            mass_cutoff: 1e-12,
+        }
+    }
+}
+
+/// Computes the set of possible output states `[[S]](ρ)` by structural
+/// recursion on the program (deduplicated).
+///
+/// # Errors
+///
+/// Returns [`SemanticsError`] on resolution failures or set blow-up.
+///
+/// # Examples
+///
+/// ```
+/// use nqpv_lang::parse_stmt;
+/// use nqpv_quantum::{ket, OperatorLibrary, Register};
+/// use nqpv_semantics::{exec_all, ExecOptions};
+///
+/// let s = parse_stmt("( skip # [q] *= X )").unwrap();
+/// let outs = exec_all(
+///     &s,
+///     &ket("0").projector(),
+///     &OperatorLibrary::with_builtins(),
+///     &Register::new(&["q"]).unwrap(),
+///     ExecOptions::default(),
+/// )?;
+/// assert_eq!(outs.len(), 2); // {|0⟩⟨0|, |1⟩⟨1|}
+/// # Ok::<(), nqpv_semantics::SemanticsError>(())
+/// ```
+pub fn exec_all(
+    stmt: &Stmt,
+    rho: &CMat,
+    lib: &OperatorLibrary,
+    reg: &Register,
+    opts: ExecOptions,
+) -> Result<Vec<CMat>, SemanticsError> {
+    let ctx = FCtx { lib, reg, opts };
+    let out = ctx.go(stmt, rho.clone())?;
+    Ok(dedupe_states(out, opts.max_set)?)
+}
+
+/// Runs the program once under an explicit scheduler, returning the single
+/// output state. Loops run for at most `opts.fuel` iterations; remaining
+/// mass is dropped.
+///
+/// # Errors
+///
+/// Returns [`SemanticsError`] on resolution failures.
+pub fn exec_scheduled<S: Scheduler>(
+    stmt: &Stmt,
+    rho: &CMat,
+    lib: &OperatorLibrary,
+    reg: &Register,
+    sched: &mut S,
+    opts: ExecOptions,
+) -> Result<CMat, SemanticsError> {
+    let mut counter = 0usize;
+    exec_one(stmt, rho.clone(), lib, reg, sched, &mut counter, opts)
+}
+
+fn exec_one<S: Scheduler>(
+    stmt: &Stmt,
+    rho: CMat,
+    lib: &OperatorLibrary,
+    reg: &Register,
+    sched: &mut S,
+    counter: &mut usize,
+    opts: ExecOptions,
+) -> Result<CMat, SemanticsError> {
+    let n = reg.n_qubits();
+    match stmt {
+        Stmt::Skip | Stmt::Assert(_) => Ok(rho),
+        Stmt::Abort => Ok(CMat::zeros(rho.rows(), rho.cols())),
+        Stmt::Init { qubits } => {
+            let pos = reg.positions(qubits)?;
+            Ok(apply_init(&rho, &pos, n))
+        }
+        Stmt::Unitary { qubits, op } => {
+            let u = lib.unitary(op)?;
+            let pos = reg.positions(qubits)?;
+            check_arity(op, u.rows(), pos.len())?;
+            Ok(nqpv_linalg::conjugate_gate(u, &pos, n, &rho))
+        }
+        Stmt::Seq(items) => {
+            let mut acc = rho;
+            for item in items {
+                acc = exec_one(item, acc, lib, reg, sched, counter, opts)?;
+            }
+            Ok(acc)
+        }
+        Stmt::NDet(a, b) => {
+            let k = *counter;
+            *counter += 1;
+            match sched.decide(k) {
+                Choice::Left => exec_one(a, rho, lib, reg, sched, counter, opts),
+                Choice::Right => exec_one(b, rho, lib, reg, sched, counter, opts),
+            }
+        }
+        Stmt::If {
+            meas,
+            qubits,
+            then_branch,
+            else_branch,
+        } => {
+            let (m, pos) = resolve_meas(lib, reg, meas, qubits)?;
+            let rho0 = collapse(&m, 0, &rho, &pos, n);
+            let rho1 = collapse(&m, 1, &rho, &pos, n);
+            let out0 = exec_one(else_branch, rho0, lib, reg, sched, counter, opts)?;
+            let out1 = exec_one(then_branch, rho1, lib, reg, sched, counter, opts)?;
+            Ok(out0.add_mat(&out1))
+        }
+        Stmt::While {
+            meas, qubits, body, ..
+        } => {
+            let (m, pos) = resolve_meas(lib, reg, meas, qubits)?;
+            let mut exited = CMat::zeros(rho.rows(), rho.cols());
+            let mut circulating = rho;
+            for _ in 0..opts.fuel {
+                exited += &collapse(&m, 0, &circulating, &pos, n);
+                let cont = collapse(&m, 1, &circulating, &pos, n);
+                if cont.trace_re() < opts.mass_cutoff {
+                    return Ok(exited);
+                }
+                circulating = exec_one(body, cont, lib, reg, sched, counter, opts)?;
+            }
+            // Fuel exhausted: collect the final exit mass and drop the rest.
+            exited += &collapse(&m, 0, &circulating, &pos, n);
+            Ok(exited)
+        }
+    }
+}
+
+struct FCtx<'a> {
+    lib: &'a OperatorLibrary,
+    reg: &'a Register,
+    opts: ExecOptions,
+}
+
+impl FCtx<'_> {
+    fn go(&self, stmt: &Stmt, rho: CMat) -> Result<Vec<CMat>, SemanticsError> {
+        let n = self.reg.n_qubits();
+        match stmt {
+            Stmt::Skip | Stmt::Assert(_) => Ok(vec![rho]),
+            Stmt::Abort => Ok(vec![CMat::zeros(rho.rows(), rho.cols())]),
+            Stmt::Init { qubits } => {
+                let pos = self.reg.positions(qubits)?;
+                Ok(vec![apply_init(&rho, &pos, n)])
+            }
+            Stmt::Unitary { qubits, op } => {
+                let u = self.lib.unitary(op)?;
+                let pos = self.reg.positions(qubits)?;
+                check_arity(op, u.rows(), pos.len())?;
+                Ok(vec![nqpv_linalg::conjugate_gate(u, &pos, n, &rho)])
+            }
+            Stmt::Seq(items) => {
+                let mut acc = vec![rho];
+                for item in items {
+                    let mut next = Vec::new();
+                    for s in acc {
+                        next.extend(self.go(item, s)?);
+                    }
+                    acc = dedupe_states(next, self.opts.max_set)?;
+                }
+                Ok(acc)
+            }
+            Stmt::NDet(a, b) => {
+                let mut out = self.go(a, rho.clone())?;
+                out.extend(self.go(b, rho)?);
+                dedupe_states(out, self.opts.max_set)
+            }
+            Stmt::If {
+                meas,
+                qubits,
+                then_branch,
+                else_branch,
+            } => {
+                let (m, pos) = resolve_meas(self.lib, self.reg, meas, qubits)?;
+                let rho0 = collapse(&m, 0, &rho, &pos, n);
+                let rho1 = collapse(&m, 1, &rho, &pos, n);
+                let outs0 = self.go(else_branch, rho0)?;
+                let outs1 = self.go(then_branch, rho1)?;
+                let mut out = Vec::with_capacity(outs0.len() * outs1.len());
+                for a in &outs0 {
+                    for b in &outs1 {
+                        out.push(a.add_mat(b));
+                    }
+                }
+                dedupe_states(out, self.opts.max_set)
+            }
+            Stmt::While {
+                meas, qubits, body, ..
+            } => {
+                let (m, pos) = resolve_meas(self.lib, self.reg, meas, qubits)?;
+                self.while_go(&m, &pos, body, rho, self.opts.fuel)
+            }
+        }
+    }
+
+    fn while_go(
+        &self,
+        m: &Measurement,
+        pos: &[usize],
+        body: &Stmt,
+        rho: CMat,
+        fuel: usize,
+    ) -> Result<Vec<CMat>, SemanticsError> {
+        let n = self.reg.n_qubits();
+        let exit = collapse(m, 0, &rho, pos, n);
+        let cont = collapse(m, 1, &rho, pos, n);
+        if fuel == 0 || cont.trace_re() < self.opts.mass_cutoff {
+            return Ok(vec![exit]);
+        }
+        let mut out = Vec::new();
+        for s in self.go(body, cont)? {
+            for tail in self.while_go(m, pos, body, s, fuel - 1)? {
+                out.push(exit.add_mat(&tail));
+            }
+        }
+        dedupe_states(out, self.opts.max_set)
+    }
+}
+
+fn resolve_meas(
+    lib: &OperatorLibrary,
+    reg: &Register,
+    meas: &str,
+    qubits: &[String],
+) -> Result<(Measurement, Vec<usize>), SemanticsError> {
+    let m = lib.measurement(meas)?.clone();
+    let pos = reg.positions(qubits)?;
+    if m.n_qubits() != pos.len() {
+        return Err(SemanticsError::ArityMismatch {
+            op: meas.to_string(),
+            expected: m.n_qubits(),
+            got: pos.len(),
+        });
+    }
+    Ok((m, pos))
+}
+
+fn check_arity(op: &str, rows: usize, qubits: usize) -> Result<(), SemanticsError> {
+    let k = rows.trailing_zeros() as usize;
+    if 1usize << qubits != rows {
+        return Err(SemanticsError::ArityMismatch {
+            op: op.to_string(),
+            expected: k,
+            got: qubits,
+        });
+    }
+    Ok(())
+}
+
+fn collapse(m: &Measurement, outcome: usize, rho: &CMat, pos: &[usize], n: usize) -> CMat {
+    let p = nqpv_linalg::embed(m.projector(outcome), pos, n);
+    p.mul(rho).mul(&p)
+}
+
+fn apply_init(rho: &CMat, pos: &[usize], n: usize) -> CMat {
+    // Set0(ρ) = Σᵢ |0⟩⟨i| ρ |i⟩⟨0| on the sub-register.
+    let k = pos.len();
+    let dk = 1usize << k;
+    let mut out = CMat::zeros(rho.rows(), rho.cols());
+    let zero_base = nqpv_linalg::CVec::basis(dk, 0);
+    for i in 0..dk {
+        let ei = zero_base.outer(&nqpv_linalg::CVec::basis(dk, i));
+        let big = nqpv_linalg::embed(&ei, pos, n);
+        out += &big.conjugate(rho);
+    }
+    out
+}
+
+fn dedupe_states(states: Vec<CMat>, max_set: usize) -> Result<Vec<CMat>, SemanticsError> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for s in states {
+        if seen.insert(s.fingerprint(1e7)) {
+            out.push(s);
+        }
+    }
+    if out.len() > max_set {
+        return Err(SemanticsError::SetBlowup { limit: max_set });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::denote::{denote, apply_set};
+    use crate::scheduler::{AlwaysLeft, AlwaysRight, FromBits};
+    use nqpv_lang::parse_stmt;
+    use nqpv_quantum::ket;
+
+    fn setup(names: &[&str]) -> (OperatorLibrary, Register) {
+        (
+            OperatorLibrary::with_builtins(),
+            Register::new(names).unwrap(),
+        )
+    }
+
+    #[test]
+    fn forward_agrees_with_denotational_on_loopfree_programs() {
+        let (lib, reg) = setup(&["q1", "q2"]);
+        let progs = [
+            "skip",
+            "[q1] := 0",
+            "[q1 q2] *= CX",
+            "( skip # [q1] *= X )",
+            "if M01[q1] then [q2] *= X else skip end",
+            "( [q1] *= H # [q1] *= Z ); if M01[q1] then skip else abort end",
+        ];
+        let rho = ket("+1").projector();
+        for src in progs {
+            let s = parse_stmt(src).unwrap();
+            let via_denote = {
+                let set = denote(&s, &lib, &reg).unwrap();
+                apply_set(&set, &rho)
+            };
+            let via_exec = exec_all(&s, &rho, &lib, &reg, ExecOptions::default()).unwrap();
+            assert_eq!(via_denote.len(), via_exec.len(), "{src}");
+            for a in &via_denote {
+                assert!(
+                    via_exec.iter().any(|b| b.approx_eq(a, 1e-8)),
+                    "{src}: state missing in forward output"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scheduled_execution_selects_branches() {
+        let (lib, reg) = setup(&["q"]);
+        let s = parse_stmt("( skip # [q] *= X )").unwrap();
+        let rho = ket("0").projector();
+        let left =
+            exec_scheduled(&s, &rho, &lib, &reg, &mut AlwaysLeft, ExecOptions::default()).unwrap();
+        assert!(left.approx_eq(&rho, 1e-10));
+        let right =
+            exec_scheduled(&s, &rho, &lib, &reg, &mut AlwaysRight, ExecOptions::default())
+                .unwrap();
+        assert!(right.approx_eq(&ket("1").projector(), 1e-10));
+    }
+
+    #[test]
+    fn qwalk_never_terminates_under_sampled_schedulers() {
+        // Empirical check of the paper's Sec. 5.3 theorem: output trace is 0
+        // under every scheduler we try.
+        let (lib, reg) = setup(&["q1", "q2"]);
+        let s = parse_stmt(
+            "[q1 q2] := 0; while MQWalk[q1 q2] do \
+             ( [q1 q2] *= W1; [q1 q2] *= W2 # [q1 q2] *= W2; [q1 q2] *= W1 ) end",
+        )
+        .unwrap();
+        let rho = ket("11").projector(); // arbitrary input; init resets it
+        let opts = ExecOptions {
+            fuel: 40,
+            ..ExecOptions::default()
+        };
+        for seed in 1..12u64 {
+            let mut sched = FromBits::pseudo_random(seed, 64);
+            let out = exec_scheduled(&s, &rho, &lib, &reg, &mut sched, opts).unwrap();
+            assert!(
+                out.trace_re() < 1e-9,
+                "scheduler {seed} terminated with mass {}",
+                out.trace_re()
+            );
+        }
+    }
+
+    #[test]
+    fn terminating_loop_accumulates_exit_mass() {
+        let (lib, reg) = setup(&["q"]);
+        // while continue-on-1 do H: from |+⟩, terminates with probability 1.
+        let s = parse_stmt("while M01[q] do [q] *= H end").unwrap();
+        let rho = ket("+").projector();
+        let opts = ExecOptions {
+            fuel: 200,
+            ..ExecOptions::default()
+        };
+        let outs = exec_all(&s, &rho, &lib, &reg, opts).unwrap();
+        assert_eq!(outs.len(), 1);
+        assert!((outs[0].trace_re() - 1.0).abs() < 1e-9);
+        // Output should be supported on |0⟩⟨0| (exit state).
+        assert!(outs[0].approx_eq(&ket("0").projector(), 1e-9));
+    }
+
+    #[test]
+    fn nondet_inside_loop_produces_multiple_outcomes() {
+        let (lib, reg) = setup(&["q"]);
+        // body flips or dephases; outcomes depend on the scheduler.
+        let s = parse_stmt("while M01[q] do ( [q] *= X # [q] *= H ) end").unwrap();
+        let rho = ket("1").projector();
+        let opts = ExecOptions {
+            fuel: 8,
+            max_set: 1000,
+            mass_cutoff: 1e-12,
+        };
+        let outs = exec_all(&s, &rho, &lib, &reg, opts).unwrap();
+        assert!(outs.len() > 1);
+        for o in &outs {
+            assert!(o.trace_re() <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn abort_kills_mass() {
+        let (lib, reg) = setup(&["q"]);
+        let s = parse_stmt("if M01[q] then abort else skip end").unwrap();
+        let rho = ket("+").projector();
+        let outs = exec_all(&s, &rho, &lib, &reg, ExecOptions::default()).unwrap();
+        assert_eq!(outs.len(), 1);
+        assert!((outs[0].trace_re() - 0.5).abs() < 1e-10);
+    }
+}

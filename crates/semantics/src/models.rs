@@ -1,0 +1,218 @@
+//! The semantic-model separations of paper Sec. 3.3.
+//!
+//! Two negative results motivate the paper's design decisions, and both are
+//! made computational here:
+//!
+//! * **Example 3.3** — extending *pure-state* semantics to mixed states by
+//!   convex combination is ill-defined for nondeterministic programs: the
+//!   two ensembles `I/2 = ½[|0⟩]+½[|1⟩] = ½[|+⟩]+½[|−⟩]` yield different
+//!   output sets for `S ≜ skip □ q*=X`.
+//! * **Example 3.4** — the *relational* model is not compositional:
+//!   `[[T]] = [[T±]]` as state transformers, yet `[[T;S]]ʳ ≠ [[T±;S]]ʳ`.
+//!
+//! The integration suite (experiment E7/E8) asserts exactly these facts.
+
+use crate::denote::{apply_set, denote};
+use crate::error::SemanticsError;
+use nqpv_lang::{parse_stmt, Stmt};
+use nqpv_linalg::{CMat, CVec};
+use nqpv_quantum::{ket, OperatorLibrary, Register};
+use std::collections::HashSet;
+
+/// The nondeterministic bit-flip `S ≜ skip □ q*=X` of Example 3.3.
+pub fn example_program_s() -> Stmt {
+    parse_stmt("( skip # [q] *= X )").expect("fixed program parses")
+}
+
+/// `T ≜ q := 0; q *= H; measure q` of Example 3.4 (deterministic).
+pub fn example_program_t() -> Stmt {
+    parse_stmt("[q] := 0; [q] *= H; if M01[q] then skip else skip end")
+        .expect("fixed program parses")
+}
+
+/// `T± ≜ q := 0; measure± q` of Example 3.4 (deterministic).
+pub fn example_program_t_pm() -> Stmt {
+    parse_stmt("[q] := 0; if Mpm[q] then skip else skip end").expect("fixed program parses")
+}
+
+/// "Lifts" pure-state semantics to an ensemble by convex combination:
+/// `{ Σᵢ pᵢ·σᵢ : σᵢ ∈ [[S]]([|ψᵢ⟩]) }` — the (ill-defined) construction the
+/// paper warns against.
+///
+/// # Errors
+///
+/// Propagates semantic errors from evaluating `S` on the members.
+pub fn pure_state_convex_lift(
+    s: &Stmt,
+    ensemble: &[(f64, CVec)],
+    lib: &OperatorLibrary,
+    reg: &Register,
+) -> Result<Vec<CMat>, SemanticsError> {
+    let set = denote(s, lib, reg)?;
+    let per_member: Vec<Vec<CMat>> = ensemble
+        .iter()
+        .map(|(_, psi)| apply_set(&set, &psi.projector()))
+        .collect();
+    // Cartesian product over member output choices.
+    let mut combos: Vec<CMat> = vec![CMat::zeros(reg.dim(), reg.dim())];
+    for ((p, _), outs) in ensemble.iter().zip(&per_member) {
+        let mut next = Vec::with_capacity(combos.len() * outs.len());
+        for base in &combos {
+            for o in outs {
+                next.push(base.add_mat(&o.scale_re(*p)));
+            }
+        }
+        combos = next;
+    }
+    Ok(dedupe(combos))
+}
+
+/// Relational composition `[[T;S]]ʳ(ρ)` where `T`'s run is recorded as a
+/// pure-state ensemble: the adversary picks an element of `[[S]]` *per
+/// member* (Eq. 6 of the paper).
+///
+/// # Errors
+///
+/// Propagates semantic errors from evaluating `S`.
+pub fn relational_compose(
+    t_output_ensemble: &[(f64, CVec)],
+    s: &Stmt,
+    lib: &OperatorLibrary,
+    reg: &Register,
+) -> Result<Vec<CMat>, SemanticsError> {
+    pure_state_convex_lift(s, t_output_ensemble, lib, reg)
+}
+
+/// Results of the Example 3.3 computation.
+#[derive(Debug)]
+pub struct PureVsMixed {
+    /// `[[S]](I/2)` under the paper's mixed-state semantics.
+    pub mixed: Vec<CMat>,
+    /// Convex lift through the computational ensemble `½|0⟩,½|1⟩`.
+    pub via_computational: Vec<CMat>,
+    /// Convex lift through the `½|+⟩,½|−⟩` ensemble.
+    pub via_plus_minus: Vec<CMat>,
+}
+
+/// Runs Example 3.3 end to end.
+///
+/// # Errors
+///
+/// Propagates semantic errors (none for the fixed inputs).
+pub fn example_3_3() -> Result<PureVsMixed, SemanticsError> {
+    let lib = OperatorLibrary::with_builtins();
+    let reg = Register::new(&["q"]).expect("fixed register");
+    let s = example_program_s();
+    let set = denote(&s, &lib, &reg)?;
+    let mixed = apply_set(&set, &nqpv_quantum::maximally_mixed(1));
+    let comp = vec![(0.5, ket("0")), (0.5, ket("1"))];
+    let pm = vec![(0.5, ket("+")), (0.5, ket("-"))];
+    Ok(PureVsMixed {
+        mixed,
+        via_computational: pure_state_convex_lift(&s, &comp, &lib, &reg)?,
+        via_plus_minus: pure_state_convex_lift(&s, &pm, &lib, &reg)?,
+    })
+}
+
+/// Results of the Example 3.4 computation.
+#[derive(Debug)]
+pub struct RelationalVsLifted {
+    /// `true` iff `[[T]] = [[T±]]` as linear maps (they are).
+    pub t_maps_equal: bool,
+    /// `[[T;S]]ʳ(ρ)` — three distinguishable outputs.
+    pub relational_t_then_s: Vec<CMat>,
+    /// `[[T±;S]]ʳ(ρ)` — a single output.
+    pub relational_tpm_then_s: Vec<CMat>,
+    /// `[[T;S]](ρ)` in the lifted model.
+    pub lifted_t_then_s: Vec<CMat>,
+    /// `[[T±;S]](ρ)` in the lifted model.
+    pub lifted_tpm_then_s: Vec<CMat>,
+}
+
+/// Runs Example 3.4 end to end on a trace-1 input.
+///
+/// # Errors
+///
+/// Propagates semantic errors (none for the fixed inputs).
+pub fn example_3_4() -> Result<RelationalVsLifted, SemanticsError> {
+    let lib = OperatorLibrary::with_builtins();
+    let reg = Register::new(&["q"]).expect("fixed register");
+    let s = example_program_s();
+    let t = example_program_t();
+    let tpm = example_program_t_pm();
+
+    let t_set = denote(&t, &lib, &reg)?;
+    let tpm_set = denote(&tpm, &lib, &reg)?;
+    assert_eq!(t_set.len(), 1, "T is deterministic");
+    assert_eq!(tpm_set.len(), 1, "T± is deterministic");
+    let t_maps_equal = t_set[0].approx_eq_map(&tpm_set[0], 1e-10);
+
+    // The physically-recorded output ensembles of the two programs
+    // (Example 3.4): uniform over {|0⟩,|1⟩} vs uniform over {|+⟩,|−⟩}.
+    let ens_t = vec![(0.5, ket("0")), (0.5, ket("1"))];
+    let ens_tpm = vec![(0.5, ket("+")), (0.5, ket("-"))];
+
+    // Lifted composition: {E ∘ [[T]] : E ∈ [[S]]} applied to any trace-1 ρ.
+    let rho = ket("0").projector();
+    let s_set = denote(&s, &lib, &reg)?;
+    let lift = |tset: &[nqpv_quantum::SuperOp]| -> Vec<CMat> {
+        let mut outs = Vec::new();
+        for e in &s_set {
+            for f in tset {
+                outs.push(e.compose(f).apply(&rho));
+            }
+        }
+        dedupe(outs)
+    };
+
+    Ok(RelationalVsLifted {
+        t_maps_equal,
+        relational_t_then_s: relational_compose(&ens_t, &s, &lib, &reg)?,
+        relational_tpm_then_s: relational_compose(&ens_tpm, &s, &lib, &reg)?,
+        lifted_t_then_s: lift(&t_set),
+        lifted_tpm_then_s: lift(&tpm_set),
+    })
+}
+
+fn dedupe(states: Vec<CMat>) -> Vec<CMat> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for s in states {
+        if seen.insert(s.fingerprint(1e7)) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nqpv_quantum::maximally_mixed;
+
+    #[test]
+    fn pure_state_lift_is_ill_defined_exactly_as_in_the_paper() {
+        let demo = example_3_3().unwrap();
+        // Mixed-state semantics: a single output {I/2}.
+        assert_eq!(demo.mixed.len(), 1);
+        assert!(demo.mixed[0].approx_eq(&maximally_mixed(1), 1e-10));
+        // Computational ensemble: {|0⟩⟨0|, |1⟩⟨1|, I/2} — three outputs.
+        assert_eq!(demo.via_computational.len(), 3);
+        // ± ensemble: only {I/2}.
+        assert_eq!(demo.via_plus_minus.len(), 1);
+        assert!(demo.via_plus_minus[0].approx_eq(&maximally_mixed(1), 1e-10));
+    }
+
+    #[test]
+    fn relational_model_breaks_compositionality() {
+        let demo = example_3_4().unwrap();
+        assert!(demo.t_maps_equal, "[[T]] and [[T±]] must be the same map");
+        assert_eq!(demo.relational_t_then_s.len(), 3);
+        assert_eq!(demo.relational_tpm_then_s.len(), 1);
+        // Lifted semantics is compositional: identical outputs for T and T±.
+        assert_eq!(demo.lifted_t_then_s.len(), 1);
+        assert_eq!(demo.lifted_tpm_then_s.len(), 1);
+        assert!(demo.lifted_t_then_s[0].approx_eq(&demo.lifted_tpm_then_s[0], 1e-10));
+        assert!(demo.lifted_t_then_s[0].approx_eq(&maximally_mixed(1), 1e-10));
+    }
+}

@@ -1,0 +1,138 @@
+//! Schedulers resolving nondeterministic choices.
+//!
+//! The semantics of a `while` loop quantifies over schedulers
+//! `η ∈ [[S]]^ℕ` (paper Fig. 2). Operationally, a scheduler answers
+//! "left or right?" each time execution reaches a `□`. The QWalk case study
+//! (Sec. 5.3) proves non-termination under *every* scheduler; the forward
+//! interpreter uses these to spot-check that claim empirically.
+
+/// One resolution of a binary nondeterministic choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Choice {
+    /// Take the left operand of `□`.
+    Left,
+    /// Take the right operand.
+    Right,
+}
+
+/// A demonic-choice resolver. `decide` is called once per dynamically
+/// encountered `□`, in execution order.
+pub trait Scheduler {
+    /// Resolves the `k`-th choice (0-based global counter).
+    fn decide(&mut self, k: usize) -> Choice;
+}
+
+/// Always takes the left branch (the scheduler of the paper's
+/// `W2·W1|00⟩ = |00⟩` non-termination observation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysLeft;
+
+impl Scheduler for AlwaysLeft {
+    fn decide(&mut self, _k: usize) -> Choice {
+        Choice::Left
+    }
+}
+
+/// Always takes the right branch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysRight;
+
+impl Scheduler for AlwaysRight {
+    fn decide(&mut self, _k: usize) -> Choice {
+        Choice::Right
+    }
+}
+
+/// Alternates starting from the left.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Alternating;
+
+impl Scheduler for Alternating {
+    fn decide(&mut self, k: usize) -> Choice {
+        if k % 2 == 0 {
+            Choice::Left
+        } else {
+            Choice::Right
+        }
+    }
+}
+
+/// Replays a fixed bit pattern (`false` = left), cycling when exhausted.
+/// With pseudo-random bits this gives reproducible "random" schedulers
+/// without a RNG dependency.
+#[derive(Debug, Clone)]
+pub struct FromBits {
+    bits: Vec<bool>,
+}
+
+impl FromBits {
+    /// Creates a scheduler from the given pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty pattern.
+    pub fn new(bits: Vec<bool>) -> Self {
+        assert!(!bits.is_empty(), "scheduler pattern must be non-empty");
+        FromBits { bits }
+    }
+
+    /// Derives a pseudo-random pattern of `len` bits from a seed
+    /// (xorshift64*).
+    pub fn pseudo_random(seed: u64, len: usize) -> Self {
+        let mut s = seed.max(1);
+        let mut bits = Vec::with_capacity(len.max(1));
+        for _ in 0..len.max(1) {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            bits.push(s & 1 == 1);
+        }
+        FromBits { bits }
+    }
+}
+
+impl Scheduler for FromBits {
+    fn decide(&mut self, k: usize) -> Choice {
+        if self.bits[k % self.bits.len()] {
+            Choice::Right
+        } else {
+            Choice::Left
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedulers() {
+        assert_eq!(AlwaysLeft.decide(7), Choice::Left);
+        assert_eq!(AlwaysRight.decide(0), Choice::Right);
+    }
+
+    #[test]
+    fn alternating() {
+        let mut s = Alternating;
+        assert_eq!(s.decide(0), Choice::Left);
+        assert_eq!(s.decide(1), Choice::Right);
+        assert_eq!(s.decide(2), Choice::Left);
+    }
+
+    #[test]
+    fn from_bits_cycles() {
+        let mut s = FromBits::new(vec![false, true]);
+        assert_eq!(s.decide(0), Choice::Left);
+        assert_eq!(s.decide(1), Choice::Right);
+        assert_eq!(s.decide(2), Choice::Left);
+    }
+
+    #[test]
+    fn pseudo_random_is_deterministic() {
+        let a = FromBits::pseudo_random(42, 16);
+        let b = FromBits::pseudo_random(42, 16);
+        assert_eq!(a.bits, b.bits);
+        let c = FromBits::pseudo_random(43, 16);
+        assert_ne!(a.bits, c.bits);
+    }
+}

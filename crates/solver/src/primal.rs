@@ -1,0 +1,156 @@
+//! Primal witness search: projected supergradient ascent over density
+//! matrices.
+//!
+//! For the violation side of the `⊑_inf` decision we need an explicit state
+//! `ρ` with `tr(Mρ) > tr(Nρ) + ε` for **all** `M ∈ Θ` — the paper's SDP
+//! variable (Sec. 6.3). We maximise the concave function
+//! `f(ρ) = min_i tr(A_i·ρ)` over the density-matrix spectrahedron by
+//! supergradient ascent with Euclidean projection (eigendecompose, project
+//! the spectrum onto the probability simplex).
+
+use crate::simplex::project_to_simplex;
+use nqpv_linalg::{cr, eigh, CMat};
+
+/// Options for the primal ascent.
+#[derive(Debug, Clone, Copy)]
+pub struct PrimalOptions {
+    /// Iteration budget.
+    pub max_iter: usize,
+    /// Initial step size (decays as `1/√t`).
+    pub step: f64,
+}
+
+impl Default for PrimalOptions {
+    fn default() -> Self {
+        PrimalOptions {
+            max_iter: 300,
+            step: 0.8,
+        }
+    }
+}
+
+/// Projects a hermitian matrix onto the set of density operators
+/// (`ρ ⪰ 0`, `tr ρ = 1`) in Frobenius distance.
+///
+/// # Panics
+///
+/// Panics if the input is not square.
+pub fn project_to_density(m: &CMat) -> CMat {
+    assert!(m.is_square(), "projection needs a square matrix");
+    let h = m.hermitize();
+    let e = eigh(&h).expect("hermitian matrix decomposes");
+    let lam = project_to_simplex(&e.values);
+    let v = &e.vectors;
+    let d = CMat::diag(&lam.iter().map(|&x| cr(x)).collect::<Vec<_>>());
+    v.mul(&d).mul(&v.adjoint())
+}
+
+/// Maximises `f(ρ) = min_i tr(A_i·ρ)` over density matrices.
+///
+/// Returns the best value found and its maximiser. The `A_i` must be
+/// hermitian and share a dimension.
+///
+/// # Panics
+///
+/// Panics on an empty list or shape mismatch.
+pub fn max_min_expectation(mats: &[CMat], opts: PrimalOptions) -> (f64, CMat) {
+    assert!(!mats.is_empty(), "need at least one objective matrix");
+    let d = mats[0].rows();
+    for a in mats {
+        assert_eq!(a.rows(), d, "objective dimension mismatch");
+        assert_eq!(a.cols(), d, "objective dimension mismatch");
+    }
+    let value = |rho: &CMat| -> f64 {
+        mats.iter()
+            .map(|a| a.trace_product(rho).re)
+            .fold(f64::INFINITY, f64::min)
+    };
+    // Start from the maximally mixed state, plus warm starts at the top
+    // eigenvector of each A_i (the single-constraint optima).
+    let mut best_rho = CMat::identity(d).scale_re(1.0 / d as f64);
+    let mut best_val = value(&best_rho);
+    for a in mats {
+        let e = eigh(&a.hermitize()).expect("hermitian decomposes");
+        let top = e.vector(e.values.len() - 1).projector();
+        let v = value(&top);
+        if v > best_val {
+            best_val = v;
+            best_rho = top;
+        }
+    }
+
+    let mut rho = best_rho.clone();
+    for t in 0..opts.max_iter {
+        // Active constraint(s): the minimising index.
+        let mut active = 0usize;
+        let mut fmin = f64::INFINITY;
+        for (i, a) in mats.iter().enumerate() {
+            let v = a.trace_product(&rho).re;
+            if v < fmin {
+                fmin = v;
+                active = i;
+            }
+        }
+        if fmin > best_val {
+            best_val = fmin;
+            best_rho = rho.clone();
+        }
+        let eta = opts.step / ((t + 1) as f64).sqrt();
+        let stepped = rho.add_mat(&mats[active].scale_re(eta));
+        rho = project_to_density(&stepped);
+    }
+    let final_val = value(&rho);
+    if final_val > best_val {
+        best_val = final_val;
+        best_rho = rho;
+    }
+    (best_val, best_rho)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nqpv_linalg::{c, is_partial_density};
+
+    #[test]
+    fn projection_produces_density_operators() {
+        let m = CMat::from_fn(3, 3, |i, j| c(i as f64 - j as f64, (i * j) as f64 * 0.2));
+        let rho = project_to_density(&m);
+        assert!(is_partial_density(&rho, 1e-8));
+        assert!((rho.trace_re() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_fixes_density_operators() {
+        let rho = CMat::from_real(2, 2, &[0.75, 0.1, 0.1, 0.25]);
+        let p = project_to_density(&rho);
+        assert!(p.approx_eq(&rho, 1e-9));
+    }
+
+    #[test]
+    fn single_objective_finds_top_eigenvalue() {
+        // max tr(Zρ) over densities = 1 at |0⟩⟨0|.
+        let z = CMat::from_real(2, 2, &[1.0, 0.0, 0.0, -1.0]);
+        let (v, rho) = max_min_expectation(&[z], PrimalOptions::default());
+        assert!((v - 1.0).abs() < 1e-6);
+        assert!((rho[(0, 0)].re - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn two_conflicting_objectives_balance() {
+        // A1 = Z, A2 = -Z: min is maximised at 0 (any balanced state).
+        let z = CMat::from_real(2, 2, &[1.0, 0.0, 0.0, -1.0]);
+        let (v, _) = max_min_expectation(&[z.clone(), z.scale_re(-1.0)], PrimalOptions::default());
+        assert!(v.abs() < 1e-4, "value {v}");
+    }
+
+    #[test]
+    fn game_value_matches_known_example() {
+        // A1 = |0⟩⟨0|, A2 = |1⟩⟨1|: max_ρ min = 1/2 at ρ = I/2.
+        let p0 = CMat::from_real(2, 2, &[1.0, 0.0, 0.0, 0.0]);
+        let p1 = CMat::from_real(2, 2, &[0.0, 0.0, 0.0, 1.0]);
+        let (v, rho) = max_min_expectation(&[p0, p1], PrimalOptions::default());
+        assert!((v - 0.5).abs() < 1e-4, "value {v}");
+        assert!((rho.trace_re() - 1.0).abs() < 1e-8);
+    }
+}

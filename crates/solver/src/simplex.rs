@@ -1,0 +1,138 @@
+//! Probability-simplex utilities for the `⊑_inf` solvers.
+//!
+//! The dual solver minimises `λ_max(Σ w_M·M − N)` over the simplex
+//! `Δ = {w ≥ 0, Σw = 1}`; the primal solver projects density-operator
+//! iterates onto the spectrahedron, which reduces (after diagonalisation)
+//! to projecting the eigenvalue vector onto the simplex.
+
+/// Euclidean projection of `v` onto the probability simplex
+/// (Held–Wolfe–Crowder / sorting algorithm).
+///
+/// # Panics
+///
+/// Panics on empty input.
+pub fn project_to_simplex(v: &[f64]) -> Vec<f64> {
+    assert!(!v.is_empty(), "cannot project an empty vector");
+    let mut u: Vec<f64> = v.to_vec();
+    u.sort_by(|a, b| b.partial_cmp(a).expect("no NaNs in projection input"));
+    let mut css = 0.0;
+    let mut theta = 0.0;
+    for (i, &ui) in u.iter().enumerate() {
+        css += ui;
+        let t = (css - 1.0) / (i as f64 + 1.0);
+        if ui - t > 0.0 {
+            theta = t;
+        }
+    }
+    v.iter().map(|&x| (x - theta).max(0.0)).collect()
+}
+
+/// Multiplicative-weights (exponentiated-gradient) update on the simplex:
+/// `w'_i ∝ w_i · exp(-η·g_i)`, numerically stabilised.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn exp_gradient_step(w: &[f64], grad: &[f64], eta: f64) -> Vec<f64> {
+    assert_eq!(w.len(), grad.len(), "gradient length mismatch");
+    let m = grad
+        .iter()
+        .map(|&g| -eta * g)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let unnorm: Vec<f64> = w
+        .iter()
+        .zip(grad)
+        .map(|(&wi, &gi)| (wi.max(1e-300)).ln() + (-eta * gi - m))
+        .map(f64::exp)
+        .collect();
+    let z: f64 = unnorm.iter().sum();
+    if z <= 0.0 || !z.is_finite() {
+        return uniform(w.len());
+    }
+    unnorm.iter().map(|&x| x / z).collect()
+}
+
+/// The uniform distribution on `n` points.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn uniform(n: usize) -> Vec<f64> {
+    assert!(n > 0, "empty simplex");
+    vec![1.0 / n as f64; n]
+}
+
+/// `true` if `w` lies on the simplex within `tol`.
+pub fn is_distribution(w: &[f64], tol: f64) -> bool {
+    !w.is_empty()
+        && w.iter().all(|&x| x >= -tol)
+        && (w.iter().sum::<f64>() - 1.0).abs() <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_is_identity_on_simplex_points() {
+        let w = vec![0.2, 0.3, 0.5];
+        let p = project_to_simplex(&w);
+        for (a, b) in w.iter().zip(&p) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn projection_clamps_negative_mass() {
+        let p = project_to_simplex(&[1.5, -0.5]);
+        assert!(is_distribution(&p, 1e-12));
+        assert!((p[0] - 1.0).abs() < 1e-12);
+        assert!(p[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_of_uniform_shift() {
+        // Projecting c·1 always gives the uniform distribution.
+        let p = project_to_simplex(&[7.3, 7.3, 7.3, 7.3]);
+        for &x in &p {
+            assert!((x - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn projection_minimises_distance_on_samples() {
+        // Compare against brute-force grid on the 2-simplex.
+        let v = [0.9, -0.3, 0.1];
+        let p = project_to_simplex(&v);
+        let dist =
+            |a: &[f64]| -> f64 { a.iter().zip(&v).map(|(x, y)| (x - y) * (x - y)).sum() };
+        let d_opt = dist(&p);
+        let steps = 60;
+        for i in 0..=steps {
+            for j in 0..=(steps - i) {
+                let a = i as f64 / steps as f64;
+                let b = j as f64 / steps as f64;
+                let w = [a, b, 1.0 - a - b];
+                assert!(dist(&w) + 1e-9 >= d_opt);
+            }
+        }
+    }
+
+    #[test]
+    fn eg_step_stays_on_simplex_and_descends() {
+        let w = uniform(3);
+        let g = [1.0, 0.0, -1.0];
+        let w2 = exp_gradient_step(&w, &g, 0.5);
+        assert!(is_distribution(&w2, 1e-12));
+        // Mass moves toward the coordinate with the smallest gradient.
+        assert!(w2[2] > w2[1] && w2[1] > w2[0]);
+    }
+
+    #[test]
+    fn eg_step_handles_extreme_gradients() {
+        let w = uniform(2);
+        let w2 = exp_gradient_step(&w, &[1e8, -1e8], 1.0);
+        assert!(is_distribution(&w2, 1e-9));
+        assert!(w2[1] > 0.999);
+    }
+}

@@ -1,0 +1,97 @@
+//! Beyond the paper: stepwise refinement and angelic nondeterminism —
+//! the two future-work directions of Sec. 7, implemented and demonstrated.
+//!
+//! **Refinement.** Nondeterminism lets a specification leave decisions
+//! open; an implementation refines it by committing (`[[Impl]] ⊆ [[Spec]]`).
+//! Every demonic Hoare triple verified for the spec transports to the
+//! implementation for free.
+//!
+//! **Angelic nondeterminism.** Swapping `inf` for `sup` gives the
+//! cooperative reading: `skip □ q*=X` *can* move `|0⟩` to `|1⟩` even
+//! though it demonically need not.
+//!
+//! Run with: `cargo run --example refinement_and_angelic`
+
+use nqpv::core::angelic::{exp_sup, holds_angelic_on_state, le_sup};
+use nqpv::core::correctness::{holds_on_state, Sense};
+use nqpv::core::refinement::{refines_denotationally, refutes_by_wp};
+use nqpv::core::{Assertion, VcOptions};
+use nqpv::lang::parse_stmt;
+use nqpv::quantum::{ket, OperatorLibrary, Register};
+use nqpv::semantics::denote;
+use nqpv::solver::LownerOptions;
+
+fn main() {
+    let lib = OperatorLibrary::with_builtins();
+
+    // ----- Refinement: commit the QEC adversary to one error. ------------
+    let reg3 = Register::new(&["q", "q1", "q2"]).expect("register");
+    let spec = parse_stmt(
+        "[q1 q2] := 0; [q q1] *= CX; [q q2] *= CX; \
+         ( skip # [q] *= X # [q1] *= X # [q2] *= X ); \
+         [q q2] *= CX; [q q1] *= CX; \
+         if M01[q2] then if M01[q1] then [q] *= X end end",
+    )
+    .expect("parses");
+    println!("QEC spec: 4-way nondeterministic error");
+    for (label, committed) in [
+        ("no error", "skip"),
+        ("flip q", "[q] *= X"),
+        ("flip q1", "[q1] *= X"),
+    ] {
+        let imp_src = format!(
+            "[q1 q2] := 0; [q q1] *= CX; [q q2] *= CX; {committed}; \
+             [q q2] *= CX; [q q1] *= CX; \
+             if M01[q2] then if M01[q1] then [q] *= X end end"
+        );
+        let imp = parse_stmt(&imp_src).expect("parses");
+        let verdict = refines_denotationally(&spec, &imp, &lib, &reg3).expect("loop-free");
+        println!("  adversary commits to {label:>8}: refines = {}", verdict.refines());
+        assert!(verdict.refines());
+    }
+    // A *widened* adversary (adds a Y error) does not refine.
+    let widened = parse_stmt(
+        "[q1 q2] := 0; [q q1] *= CX; [q q2] *= CX; \
+         ( skip # [q] *= X # [q1] *= X # [q2] *= X # [q] *= Y ); \
+         [q q2] *= CX; [q q1] *= CX; \
+         if M01[q2] then if M01[q1] then [q] *= X end end",
+    )
+    .expect("parses");
+    let verdict = refines_denotationally(&spec, &widened, &lib, &reg3).expect("loop-free");
+    println!("  adversary adds a Y error     : refines = {}", verdict.refines());
+    assert!(!verdict.refines());
+    let refuted = refutes_by_wp(&spec, &widened, &lib, &reg3, 20, 7, VcOptions::default())
+        .expect("wp sampling runs");
+    println!("  wp sampling refutes it at trial {:?}", refuted);
+
+    // ----- Angelic vs demonic on the bit-flip choice. ---------------------
+    println!("\nangelic vs demonic for S = skip □ q*=X, from |0⟩, post P1:");
+    let reg1 = Register::new(&["q"]).expect("register");
+    let s = parse_stmt("( skip # [q] *= X )").expect("parses");
+    let sem = denote(&s, &lib, &reg1).expect("loop-free");
+    let p0 = Assertion::from_ops(2, vec![ket("0").projector()]).expect("assertion");
+    let p1 = Assertion::from_ops(2, vec![ket("1").projector()]).expect("assertion");
+    let rho = ket("0").projector();
+    let demonic = holds_on_state(Sense::Total, &sem, &rho, &p0, &p1, 1e-9);
+    let angelic = holds_angelic_on_state(&sem, &rho, &p0, &p1, 1e-9);
+    println!("  demonic {{P0}} S {{P1}} : {demonic}   (adversary refuses to flip)");
+    println!("  angelic {{P0}} S {{P1}} : {angelic}   (scheduler happily flips)");
+    assert!(!demonic && angelic);
+
+    // ----- The ⊑_sup order at work. ---------------------------------------
+    let half = Assertion::from_ops(
+        2,
+        vec![nqpv::linalg::CMat::identity(2).scale_re(0.5)],
+    )
+    .expect("assertion");
+    let both = Assertion::from_ops(2, vec![ket("0").projector(), ket("1").projector()])
+        .expect("assertion");
+    let v = le_sup(&half, &both, LownerOptions::default()).expect("solver runs");
+    println!("\n{{I/2}} ⊑_sup {{P0, P1}} : {}", v.holds());
+    println!(
+        "  (Expsup of {{P0,P1}} at I/2 is {:.2}, of {{I/2}} is {:.2})",
+        exp_sup(&nqpv::quantum::maximally_mixed(1), &both),
+        exp_sup(&nqpv::quantum::maximally_mixed(1), &half),
+    );
+    assert!(v.holds());
+}

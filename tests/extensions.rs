@@ -1,0 +1,191 @@
+//! Integration tests for the extension experiments E13–E18: explicit
+//! derivations, refinement, termination analysis, the phase-flip code,
+//! angelic nondeterminism, and wlp-fixpoint invariant inference.
+
+use nqpv::core::angelic::{holds_angelic_on_state, le_sup};
+use nqpv::core::casestudies::phase_flip_corr;
+use nqpv::core::correctness::{holds_on_state, Sense};
+use nqpv::core::derivations::{err_corr_derivation, qwalk_derivation};
+use nqpv::core::infer::{infer_invariant, InferOptions, InferredInvariant};
+use nqpv::core::refinement::{refines_denotationally, refutes_by_wp};
+use nqpv::core::{Assertion, Mode, VcOptions};
+use nqpv::lang::{parse_proof_body, parse_stmt};
+use nqpv::linalg::CMat;
+use nqpv::quantum::{ket, OperatorLibrary, Register};
+use nqpv::semantics::{
+    classify_termination, denote, termination_bounds, DenoteOptions, TerminationClass,
+};
+use nqpv::solver::LownerOptions;
+
+#[test]
+fn e13_derivations_replay_and_match_both_pipelines() {
+    let lib = OperatorLibrary::with_builtins();
+    let reg3 = Register::new(&["q", "q1", "q2"]).unwrap();
+    let (_, f_qec) =
+        err_corr_derivation(0.6, 0.8, &lib, &reg3, LownerOptions::default()).unwrap();
+    // The derivation's statement is the ErrCorr program, and its formula
+    // is the paper's Eq. 8.
+    assert!(f_qec.stmt.has_ndet());
+    let psi = nqpv::quantum::superpose(0.6, "0", 0.8, "1");
+    let expected = nqpv::linalg::embed(&psi.projector(), &[0], 3);
+    assert!(f_qec.pre.ops()[0].approx_eq(&expected, 1e-9));
+
+    let reg2 = Register::new(&["q1", "q2"]).unwrap();
+    let (_, f_walk) = qwalk_derivation(&lib, &reg2, LownerOptions::default()).unwrap();
+    assert!(f_walk.pre.ops()[0].approx_eq(&CMat::identity(4), 1e-9));
+    assert!(f_walk.post.ops()[0].is_zero(1e-12));
+}
+
+#[test]
+fn e14_refinement_preserves_verified_triples() {
+    // If Spec ⊑ Impl and ⊨ {Θ} Spec {Ψ}, then ⊨ {Θ} Impl {Ψ} — check the
+    // whole chain on the bit-flip choice.
+    let lib = OperatorLibrary::with_builtins();
+    let reg = Register::new(&["q"]).unwrap();
+    let spec = parse_stmt("( skip # [q] *= X )").unwrap();
+    let imp = parse_stmt("skip").unwrap();
+    assert!(refines_denotationally(&spec, &imp, &lib, &reg)
+        .unwrap()
+        .refines());
+    // A triple valid for the spec: {|+⟩⟨+|} S {|+⟩⟨+|} (X fixes |+⟩).
+    let plus = Assertion::from_ops(2, vec![ket("+").projector()]).unwrap();
+    let spec_sem = denote(&spec, &lib, &reg).unwrap();
+    let imp_sem = denote(&imp, &lib, &reg).unwrap();
+    for rho in nqpv::core::correctness::sample_states(2, 8, 44) {
+        if holds_on_state(Sense::Total, &spec_sem, &rho, &plus, &plus, 1e-9) {
+            assert!(holds_on_state(Sense::Total, &imp_sem, &rho, &plus, &plus, 1e-9));
+        }
+    }
+    // Non-refinement is refuted by wp sampling.
+    let widened = parse_stmt("( skip # [q] *= X # [q] *= H )").unwrap();
+    assert!(
+        refutes_by_wp(&spec, &widened, &lib, &reg, 20, 3, VcOptions::default())
+            .unwrap()
+            .is_some()
+    );
+}
+
+#[test]
+fn e15_termination_classification_matrix() {
+    let lib = OperatorLibrary::with_builtins();
+    let reg1 = Register::new(&["q"]).unwrap();
+    let reg2 = Register::new(&["q1", "q2"]).unwrap();
+    let opts = DenoteOptions {
+        loop_depth: 16,
+        max_set: 4096,
+        dedupe: true,
+    };
+    // Diverging.
+    let walk = parse_stmt(
+        "[q1 q2] := 0; while MQWalk[q1 q2] do \
+         ( [q1 q2] *= W1; [q1 q2] *= W2 # [q1 q2] *= W2; [q1 q2] *= W1 ) end",
+    )
+    .unwrap();
+    let b = termination_bounds(&walk, &ket("00").projector(), &lib, &reg2, opts).unwrap();
+    assert_eq!(classify_termination(b, 1e-6), TerminationClass::Diverging);
+    // Almost surely terminating.
+    let rus = parse_stmt("[q] := 0; [q] *= H; while M01[q] do [q] *= H end").unwrap();
+    let b2 = termination_bounds(&rus, &ket("0").projector(), &lib, &reg1, opts).unwrap();
+    assert_eq!(
+        classify_termination(b2, 1e-3),
+        TerminationClass::AlmostSurelyTerminating
+    );
+    // Scheduler dependent.
+    let lazy = parse_stmt("while M01[q] do ( [q] *= H # skip ) end").unwrap();
+    let b3 = termination_bounds(&lazy, &ket("1").projector(), &lib, &reg1, opts).unwrap();
+    assert_eq!(
+        classify_termination(b3, 1e-3),
+        TerminationClass::SchedulerDependent
+    );
+    assert!(b3.branches > 1);
+}
+
+#[test]
+fn e16_phase_flip_code_pipeline() {
+    let outcome = phase_flip_corr(0.6, 0.8).verify().unwrap();
+    assert!(outcome.status.verified());
+    // Its denotation also has 4 branches and protects the data qubit.
+    let study = phase_flip_corr(0.6, 0.8);
+    let reg = Register::new(&["q", "q1", "q2"]).unwrap();
+    let set = denote(&study.term.body, &study.library, &reg).unwrap();
+    assert_eq!(set.len(), 4);
+    let psi = nqpv::quantum::superpose(0.6, "0", 0.8, "1");
+    let rho = psi.kron(&ket("00")).projector();
+    for e in &set {
+        let out = e.apply(&rho);
+        let reduced = nqpv::linalg::partial_trace(&out, &[1, 2], 3);
+        assert!((psi.projector().trace_product(&reduced).re - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn e17_angelic_vs_demonic_full_stack() {
+    let lib = OperatorLibrary::with_builtins();
+    let reg = Register::new(&["q"]).unwrap();
+    let s = parse_stmt("( skip # [q] *= X )").unwrap();
+    let sem = denote(&s, &lib, &reg).unwrap();
+    let p0 = Assertion::from_ops(2, vec![ket("0").projector()]).unwrap();
+    let p1 = Assertion::from_ops(2, vec![ket("1").projector()]).unwrap();
+    let rho = ket("0").projector();
+    // Angelic reachability, demonic refusal.
+    assert!(holds_angelic_on_state(&sem, &rho, &p0, &p1, 1e-9));
+    assert!(!holds_on_state(Sense::Total, &sem, &rho, &p0, &p1, 1e-9));
+    // ⊑_sup and ⊑_inf disagree on the Sec. 4.1 sets.
+    let both = Assertion::from_ops(2, vec![ket("0").projector(), ket("1").projector()])
+        .unwrap();
+    let half = Assertion::from_ops(2, vec![CMat::identity(2).scale_re(0.5)]).unwrap();
+    assert!(both
+        .le_inf(&half, LownerOptions::default())
+        .unwrap()
+        .holds());
+    assert!(!le_sup(&both, &half, LownerOptions::default())
+        .unwrap()
+        .holds());
+}
+
+#[test]
+fn e18_invariant_inference_replaces_annotations() {
+    // The un-annotated QWalk verifies with inference enabled…
+    let mut study = nqpv::core::casestudies::qwalk();
+    study.term = parse_proof_body(
+        &["q1", "q2"],
+        "{ I[q1] }; [q1 q2] := 0; \
+         while MQWalk[q1 q2] do \
+           ( [q1 q2] *= W1; [q1 q2] *= W2 # [q1 q2] *= W2; [q1 q2] *= W1 ) \
+         end; { Zero[q1] }",
+    )
+    .unwrap();
+    // …but fails without the flag.
+    let err = study.verify().unwrap_err();
+    assert!(matches!(err, nqpv::core::VerifError::MissingInvariant));
+    let outcome = study
+        .verify_with(VcOptions {
+            mode: Mode::Partial,
+            infer_invariants: true,
+            ..VcOptions::default()
+        })
+        .unwrap();
+    assert!(outcome.status.verified(), "{:?}", outcome.status);
+
+    // Direct inference on the spin loop returns exactly P1.
+    let lib = OperatorLibrary::with_builtins();
+    let reg = Register::new(&["q"]).unwrap();
+    let body = parse_stmt("skip").unwrap();
+    let post = Assertion::zero(2);
+    match infer_invariant(
+        "M01",
+        &["q".to_string()],
+        &body,
+        &post,
+        &lib,
+        &reg,
+        InferOptions::default(),
+    )
+    .unwrap()
+    {
+        InferredInvariant::Found { invariant, .. } => {
+            assert!(invariant.ops()[0].approx_eq(&ket("1").projector(), 1e-9));
+        }
+        other => panic!("expected Found, got {other:?}"),
+    }
+}

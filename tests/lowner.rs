@@ -1,0 +1,196 @@
+//! Integration tests for experiment E5: the `⊑_inf` decision procedure of
+//! paper Sec. 6.3, including property-based primal/dual agreement and the
+//! algebraic laws of the order (Lemma 4.2).
+
+use nqpv::linalg::{eigh, CMat, CVec};
+use nqpv::quantum::SuperOp;
+use nqpv::solver::{assertion_le, LownerOptions, Verdict};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_hermitian(dim: usize, rng: &mut StdRng) -> CMat {
+    let g = CMat::from_fn(dim, dim, |_, _| {
+        nqpv::linalg::c(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+    });
+    g.add_mat(&g.adjoint()).scale_re(0.25)
+}
+
+fn random_predicate(dim: usize, rng: &mut StdRng) -> CMat {
+    // Squash a random hermitian into [0, I] via its spectrum.
+    let h = random_hermitian(dim, rng);
+    let e = eigh(&h).unwrap();
+    let clamped: Vec<nqpv::linalg::Complex> = e
+        .values
+        .iter()
+        .map(|&x| nqpv::linalg::cr(1.0 / (1.0 + (-3.0 * x).exp())))
+        .collect();
+    let v = &e.vectors;
+    v.mul(&CMat::diag(&clamped)).mul(&v.adjoint()).hermitize()
+}
+
+/// Brute-force `v(N) = max_ρ min_M tr((M−N)ρ)` via dense sampling of pure
+/// and mixed states (adequate as a one-sided check at dim 2..4).
+fn brute_force_value(theta: &[CMat], n: &CMat, rng: &mut StdRng) -> f64 {
+    let dim = n.rows();
+    let mut best = f64::NEG_INFINITY;
+    let mut probe = |rho: &CMat| {
+        let v = theta
+            .iter()
+            .map(|m| m.sub_mat(n).trace_product(rho).re)
+            .fold(f64::INFINITY, f64::min);
+        if v > best {
+            best = v;
+        }
+    };
+    for _ in 0..4000 {
+        let v = CVec::new(
+            (0..dim)
+                .map(|_| nqpv::linalg::c(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect(),
+        );
+        if v.norm() > 1e-6 {
+            probe(&v.normalized().projector());
+        }
+    }
+    probe(&CMat::identity(dim).scale_re(1.0 / dim as f64));
+    best
+}
+
+#[test]
+fn e5_solver_agrees_with_brute_force_on_random_instances() {
+    let mut rng = StdRng::seed_from_u64(20230325);
+    for dim in [2usize, 4] {
+        for _ in 0..15 {
+            let k = rng.gen_range(1..=3);
+            let theta: Vec<CMat> = (0..k).map(|_| random_predicate(dim, &mut rng)).collect();
+            let psi = vec![random_predicate(dim, &mut rng)];
+            let verdict = assertion_le(&theta, &psi, LownerOptions::default()).unwrap();
+            let bf = brute_force_value(&theta, &psi[0], &mut rng);
+            match verdict {
+                Verdict::Holds => assert!(
+                    bf <= 5e-3,
+                    "dim {dim}: solver holds but brute force found {bf}"
+                ),
+                Verdict::Violated(v) => {
+                    assert!(v.margin > 0.0);
+                    // The brute-force max can only confirm nonnegativity.
+                    assert!(bf >= -5e-3, "margin {} but brute force {bf}", v.margin);
+                }
+                Verdict::Inconclusive { lower, upper, .. } => {
+                    assert!(lower - 5e-3 <= bf && bf <= upper + 5e-3);
+                }
+            }
+        }
+    }
+}
+
+/// Builds a hermitian `M ⊑ N` by subtracting a random PSD part.
+fn dominated_by(n: &CMat, rng: &mut StdRng) -> CMat {
+    let dim = n.rows();
+    let g = CMat::from_fn(dim, dim, |_, _| {
+        nqpv::linalg::c(rng.gen_range(-0.4..0.4), rng.gen_range(-0.4..0.4))
+    });
+    n.sub_mat(&g.mul(&g.adjoint()))
+}
+
+#[test]
+fn e5_lemma_4_2_adjoint_monotonicity() {
+    // Lemma 4.2(1): Θ ⊑_inf Ψ ⇒ E†(Θ) ⊑_inf E†(Ψ) for super-operators E.
+    let mut rng = StdRng::seed_from_u64(42);
+    let opts = LownerOptions::default();
+    let h = nqpv::quantum::gates::h();
+    let m = nqpv::quantum::Measurement::computational();
+    let e = SuperOp::from_projector(m.p1()).compose(&SuperOp::from_unitary(&h));
+    for trial in 0..25 {
+        let n = random_predicate(2, &mut rng);
+        // Θ built to dominate-below: each element ⊑ N ⇒ Θ ⊑_inf {N}.
+        let theta: Vec<CMat> = (0..2).map(|_| dominated_by(&n, &mut rng)).collect();
+        let psi = vec![n];
+        assert!(
+            matches!(assertion_le(&theta, &psi, opts).unwrap(), Verdict::Holds),
+            "trial {trial}: constructed instance must hold"
+        );
+        let theta_e: Vec<CMat> = theta.iter().map(|x| e.apply_heisenberg(x)).collect();
+        let psi_e: Vec<CMat> = psi.iter().map(|x| e.apply_heisenberg(x)).collect();
+        let v = assertion_le(&theta_e, &psi_e, opts).unwrap();
+        assert!(v.holds(), "trial {trial}: adjoint map must preserve ⊑_inf");
+    }
+}
+
+#[test]
+fn e5_lemma_4_2_union_monotonicity() {
+    // Lemma 4.2(2): Θᵢ ⊑_inf Ψᵢ for all i ⇒ ∪Θᵢ ⊑_inf ∪Ψᵢ.
+    let mut rng = StdRng::seed_from_u64(77);
+    let opts = LownerOptions::default();
+    for trial in 0..25 {
+        let n1 = random_predicate(2, &mut rng);
+        let n2 = random_predicate(2, &mut rng);
+        let t1 = vec![dominated_by(&n1, &mut rng), dominated_by(&n1, &mut rng)];
+        let t2 = vec![dominated_by(&n2, &mut rng)];
+        assert!(assertion_le(&t1, &[n1.clone()], opts).unwrap().holds());
+        assert!(assertion_le(&t2, &[n2.clone()], opts).unwrap().holds());
+        let tu: Vec<CMat> = t1.iter().chain(&t2).cloned().collect();
+        let pu: Vec<CMat> = vec![n1, n2];
+        assert!(
+            assertion_le(&tu, &pu, opts).unwrap().holds(),
+            "trial {trial}: union monotonicity fails"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_reflexivity(seed in 0u64..5000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = rng.gen_range(1..=3);
+        let theta: Vec<CMat> = (0..k).map(|_| random_predicate(2, &mut rng)).collect();
+        let v = assertion_le(&theta, &theta, LownerOptions::default()).unwrap();
+        prop_assert!(v.holds());
+    }
+
+    #[test]
+    fn prop_enlarging_theta_preserves_holds(seed in 0u64..5000) {
+        // inf over a superset is smaller: Θ∪{X} ⊑_inf Ψ whenever Θ ⊑_inf Ψ.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABC);
+        let theta = vec![random_predicate(2, &mut rng)];
+        let psi = vec![random_predicate(2, &mut rng)];
+        let opts = LownerOptions::default();
+        if assertion_le(&theta, &psi, opts).unwrap().holds() {
+            let mut bigger = theta.clone();
+            bigger.push(random_predicate(2, &mut rng));
+            prop_assert!(assertion_le(&bigger, &psi, opts).unwrap().holds());
+        }
+    }
+
+    #[test]
+    fn prop_scaling_direction(seed in 0u64..5000, c in 0.1f64..0.9) {
+        // c·M ⊑_inf M for predicates M (singletons).
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEF);
+        let m = random_predicate(3.min(2), &mut rng);
+        let scaled = m.scale_re(c);
+        let v = assertion_le(&[scaled], &[m], LownerOptions::default()).unwrap();
+        prop_assert!(v.holds());
+    }
+
+    #[test]
+    fn prop_violation_witnesses_are_genuine(seed in 0u64..5000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x123);
+        let theta: Vec<CMat> = (0..2).map(|_| random_predicate(2, &mut rng)).collect();
+        let psi = vec![random_predicate(2, &mut rng)];
+        if let Verdict::Violated(v) =
+            assertion_le(&theta, &psi, LownerOptions::default()).unwrap()
+        {
+            // Witness is a state and its margin re-computes.
+            prop_assert!(nqpv::linalg::is_partial_density(&v.witness, 1e-6));
+            let recomputed = theta
+                .iter()
+                .map(|m| m.sub_mat(&psi[0]).trace_product(&v.witness).re)
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!((recomputed - v.margin).abs() < 1e-6);
+            prop_assert!(recomputed > 0.0);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Integration tests for experiments E7/E8: the Sec. 3.3 semantic-model
+//! separations, plus structural laws of the lifted semantics (Lemma 3.2).
+
+use nqpv::lang::parse_stmt;
+use nqpv::linalg::TOL;
+use nqpv::quantum::{ket, maximally_mixed, OperatorLibrary, Register};
+use nqpv::semantics::models::{example_3_3, example_3_4};
+use nqpv::semantics::{apply_set, denote, denote_bounded, DenoteOptions};
+
+#[test]
+fn e7_pure_state_convex_lift_is_ill_defined() {
+    let demo = example_3_3().unwrap();
+    // Eq. 4/5 of the paper, verbatim:
+    assert_eq!(demo.mixed.len(), 1);
+    assert!(demo.mixed[0].approx_eq(&maximally_mixed(1), TOL));
+    assert_eq!(demo.via_computational.len(), 3);
+    assert_eq!(demo.via_plus_minus.len(), 1);
+    // The computational lift contains the three operators the paper lists:
+    // [|0⟩], [|1⟩], I/2.
+    let expected = [
+        ket("0").projector(),
+        ket("1").projector(),
+        maximally_mixed(1),
+    ];
+    for want in &expected {
+        assert!(
+            demo.via_computational.iter().any(|got| got.approx_eq(want, 1e-9)),
+            "missing output in the computational lift"
+        );
+    }
+}
+
+#[test]
+fn e8_relational_composition_is_not_compositional() {
+    let demo = example_3_4().unwrap();
+    assert!(demo.t_maps_equal, "[[T]] must equal [[T±]] as maps");
+    // [[T;S]]ʳ has three outputs {[|0⟩], [|1⟩], I/2}; [[T±;S]]ʳ just {I/2}.
+    assert_eq!(demo.relational_t_then_s.len(), 3);
+    assert_eq!(demo.relational_tpm_then_s.len(), 1);
+    assert!(demo.relational_tpm_then_s[0].approx_eq(&maximally_mixed(1), 1e-9));
+    // The lifted model agrees on both: {I/2}.
+    assert_eq!(demo.lifted_t_then_s.len(), 1);
+    assert!(demo.lifted_t_then_s[0].approx_eq(&demo.lifted_tpm_then_s[0], 1e-9));
+}
+
+#[test]
+fn lemma_3_2_loop_unrolling_identity() {
+    // [[while]] = P⁰ + [[while]]∘[[S]]∘P¹ at matched depths:
+    // unrolling to depth n+1 equals {P⁰ + G∘E∘P¹ : G at depth n, E ∈ [[S]]}.
+    let lib = OperatorLibrary::with_builtins();
+    let reg = Register::new(&["q"]).unwrap();
+    let w = parse_stmt("while M01[q] do ( [q] *= H # [q] *= X ) end").unwrap();
+    let body = parse_stmt("( [q] *= H # [q] *= X )").unwrap();
+    let depth_n = denote_bounded(
+        &w,
+        &lib,
+        &reg,
+        DenoteOptions {
+            loop_depth: 3,
+            max_set: 4096,
+            dedupe: true,
+        },
+    )
+    .unwrap();
+    let depth_n1 = denote_bounded(
+        &w,
+        &lib,
+        &reg,
+        DenoteOptions {
+            loop_depth: 4,
+            max_set: 4096,
+            dedupe: true,
+        },
+    )
+    .unwrap();
+    let body_set = denote(&body, &lib, &reg).unwrap();
+    let p0 = nqpv::quantum::SuperOp::from_projector(
+        &ket("0").projector(),
+    );
+    let p1 = nqpv::quantum::SuperOp::from_projector(
+        &ket("1").projector(),
+    );
+    // Build the RHS of Lemma 3.2 from depth-n and compare as a set.
+    let mut rhs: Vec<nqpv::quantum::SuperOp> = Vec::new();
+    for g in &depth_n {
+        for e in &body_set {
+            rhs.push(p0.clone().add(&g.compose(&e.compose(&p1))));
+        }
+    }
+    // Set equality via fingerprints.
+    let fp = |s: &[nqpv::quantum::SuperOp]| {
+        let mut v: Vec<u64> = s.iter().map(|o| o.map_fingerprint(1e7)).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    assert_eq!(fp(&depth_n1), fp(&rhs), "Lemma 3.2 fails at depth 3→4");
+}
+
+#[test]
+fn nondeterminism_is_associative_and_commutative_as_sets() {
+    // The paper (Ex. 3.1) assumes □ is left/right-associative; semantically
+    // the denotation set is order-insensitive.
+    let lib = OperatorLibrary::with_builtins();
+    let reg = Register::new(&["q"]).unwrap();
+    let variants = [
+        "( ( skip # [q] *= X ) # [q] *= H )",
+        "( skip # ( [q] *= X # [q] *= H ) )",
+        "( [q] *= H # ( [q] *= X # skip ) )",
+    ];
+    let mut sets = Vec::new();
+    for v in variants {
+        let s = parse_stmt(v).unwrap();
+        let mut set: Vec<u64> = denote(&s, &lib, &reg)
+            .unwrap()
+            .iter()
+            .map(|o| o.map_fingerprint(1e7))
+            .collect();
+        set.sort_unstable();
+        sets.push(set);
+    }
+    assert_eq!(sets[0], sets[1]);
+    assert_eq!(sets[1], sets[2]);
+}
+
+#[test]
+fn skip_and_abort_are_units() {
+    // skip;S ≡ S ≡ S;skip and abort;S ≡ abort as map sets.
+    let lib = OperatorLibrary::with_builtins();
+    let reg = Register::new(&["q"]).unwrap();
+    let base = parse_stmt("( [q] *= H # [q] *= X )").unwrap();
+    let with_skips = parse_stmt("skip; ( [q] *= H # [q] *= X ); skip").unwrap();
+    let rho = ket("0").projector();
+    let a = apply_set(&denote(&base, &lib, &reg).unwrap(), &rho);
+    let b = apply_set(&denote(&with_skips, &lib, &reg).unwrap(), &rho);
+    assert_eq!(a.len(), b.len());
+    for x in &a {
+        assert!(b.iter().any(|y| y.approx_eq(x, 1e-10)));
+    }
+    let aborted = parse_stmt("abort; ( [q] *= H # [q] *= X )").unwrap();
+    let outs = apply_set(&denote(&aborted, &lib, &reg).unwrap(), &rho);
+    assert_eq!(outs.len(), 1);
+    assert!(outs[0].is_zero(1e-12));
+}

@@ -1,0 +1,254 @@
+//! Integration tests for experiment E10: numerical soundness of the proof
+//! systems (Theorems 4.1/4.2) and the wp/wlp–semantics duality (Lemma A.1)
+//! on randomly generated loop-free programs.
+//!
+//! For every generated program `S` and random postcondition `Ψ`:
+//!   * `wp.S.Ψ` computed by the backward pass must satisfy
+//!     `⊨tot {wp.S.Ψ} S {Ψ}` (Lemma A.3) on sampled states;
+//!   * `wlp.S.Ψ` must satisfy `⊨par {wlp.S.Ψ} S {Ψ}`;
+//!   * for deterministic programs, `tr(wp.S.M·ρ) = tr(M·[[S]](ρ))` exactly.
+
+use nqpv::core::correctness::{holds_on_state, sample_states, Sense};
+use nqpv::core::{precondition, Assertion, Mode, VcOptions};
+use nqpv::lang::Stmt;
+use nqpv::linalg::{eigh, CMat};
+use nqpv::quantum::{OperatorLibrary, Register};
+use nqpv::semantics::denote;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+const QS: [&str; 2] = ["q1", "q2"];
+const UNITARIES: [&str; 6] = ["X", "Y", "Z", "H", "S", "T"];
+
+fn random_stmt(rng: &mut StdRng, depth: usize) -> Stmt {
+    let choice = if depth == 0 {
+        rng.gen_range(0..5)
+    } else {
+        rng.gen_range(0..9)
+    };
+    match choice {
+        0 => Stmt::Skip,
+        1 => Stmt::Abort,
+        2 => Stmt::init(&[QS[rng.gen_range(0..2)]]),
+        3 | 4 => {
+            if rng.gen_bool(0.3) {
+                let (a, b) = if rng.gen_bool(0.5) { (0, 1) } else { (1, 0) };
+                Stmt::unitary(&[QS[a], QS[b]], "CX")
+            } else {
+                Stmt::unitary(
+                    &[QS[rng.gen_range(0..2)]],
+                    UNITARIES[rng.gen_range(0..UNITARIES.len())],
+                )
+            }
+        }
+        5 | 6 => Stmt::seq(vec![
+            random_stmt(rng, depth - 1),
+            random_stmt(rng, depth - 1),
+        ]),
+        7 => Stmt::ndet(random_stmt(rng, depth - 1), random_stmt(rng, depth - 1)),
+        _ => Stmt::if_meas(
+            "M01",
+            &[QS[rng.gen_range(0..2)]],
+            random_stmt(rng, depth - 1),
+            random_stmt(rng, depth - 1),
+        ),
+    }
+}
+
+fn random_predicate(dim: usize, rng: &mut StdRng) -> CMat {
+    let g = CMat::from_fn(dim, dim, |_, _| {
+        nqpv::linalg::c(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+    });
+    let h = g.add_mat(&g.adjoint()).scale_re(0.5);
+    let e = eigh(&h).unwrap();
+    let clamped: Vec<nqpv::linalg::Complex> = e
+        .values
+        .iter()
+        .map(|&x| nqpv::linalg::cr(x.rem_euclid(1.0)))
+        .collect();
+    let v = &e.vectors;
+    v.mul(&CMat::diag(&clamped)).mul(&v.adjoint()).hermitize()
+}
+
+fn random_post(dim: usize, rng: &mut StdRng) -> Assertion {
+    let k = rng.gen_range(1..=2);
+    Assertion::from_ops(dim, (0..k).map(|_| random_predicate(dim, rng)).collect()).unwrap()
+}
+
+#[test]
+fn e10_wp_and_wlp_are_valid_preconditions_on_random_programs() {
+    let lib = OperatorLibrary::with_builtins();
+    let reg = Register::new(&QS).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    let states = sample_states(4, 6, 555);
+    let rankings = HashMap::new();
+    let mut tested = 0;
+    for trial in 0..40 {
+        let stmt = random_stmt(&mut rng, 3);
+        let post = random_post(4, &mut rng);
+        let sem = match denote(&stmt, &lib, &reg) {
+            Ok(s) => s,
+            Err(_) => continue, // set blow-up: skip
+        };
+        for (mode, sense) in [(Mode::Total, Sense::Total), (Mode::Partial, Sense::Partial)] {
+            let pre = precondition(
+                &stmt,
+                &post,
+                &lib,
+                &reg,
+                VcOptions {
+                    mode,
+                    ..VcOptions::default()
+                },
+                &rankings,
+            )
+            .expect("loop-free programs always transform");
+            for rho in &states {
+                assert!(
+                    holds_on_state(sense, &sem, rho, &pre, &post, 1e-7),
+                    "trial {trial} ({mode:?}): {{wp}} S {{post}} fails on a sample\nS = {}",
+                    nqpv::lang::pretty_stmt(&stmt)
+                );
+            }
+        }
+        tested += 1;
+    }
+    assert!(tested >= 30, "too many skipped trials");
+}
+
+#[test]
+fn e10_wp_duality_exact_for_deterministic_programs() {
+    // Lemma A.1(1): wp.S.M = E†(M); numerically
+    // tr(wp.S.M · ρ) = tr(M · E(ρ)) for the unique E of a deterministic S.
+    let lib = OperatorLibrary::with_builtins();
+    let reg = Register::new(&QS).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let states = sample_states(4, 5, 777);
+    let rankings = HashMap::new();
+    let mut tested = 0;
+    for _ in 0..60 {
+        let stmt = random_stmt(&mut rng, 2);
+        if stmt.has_ndet() {
+            continue;
+        }
+        let m = random_predicate(4, &mut rng);
+        let post = Assertion::from_ops(4, vec![m.clone()]).unwrap();
+        let sem = denote(&stmt, &lib, &reg).unwrap();
+        assert_eq!(sem.len(), 1, "deterministic program has singleton semantics");
+        let pre = precondition(
+            &stmt,
+            &post,
+            &lib,
+            &reg,
+            VcOptions {
+                mode: Mode::Total,
+                ..VcOptions::default()
+            },
+            &rankings,
+        )
+        .unwrap();
+        assert_eq!(pre.len(), 1);
+        for rho in &states {
+            let lhs = pre.ops()[0].trace_product(rho).re;
+            let rhs = m.trace_product(&sem[0].apply(rho)).re;
+            assert!(
+                (lhs - rhs).abs() < 1e-8,
+                "duality gap {} for S = {}",
+                (lhs - rhs).abs(),
+                nqpv::lang::pretty_stmt(&stmt)
+            );
+        }
+        tested += 1;
+    }
+    assert!(tested >= 20, "too many nondeterministic samples");
+}
+
+#[test]
+fn e10_wlp_duality_formula() {
+    // Lemma A.1(2): wlp.S.M = {E†(M) + I − E†(I)}: check it explicitly for
+    // a lossy deterministic program (conditional abort).
+    let lib = OperatorLibrary::with_builtins();
+    let reg = Register::new(&QS).unwrap();
+    let stmt = nqpv::lang::parse_stmt("if M01[q1] then abort else skip end").unwrap();
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    let rankings = HashMap::new();
+    for _ in 0..10 {
+        let m = random_predicate(4, &mut rng);
+        let post = Assertion::from_ops(4, vec![m.clone()]).unwrap();
+        let wlp = precondition(
+            &stmt,
+            &post,
+            &lib,
+            &reg,
+            VcOptions {
+                mode: Mode::Partial,
+                ..VcOptions::default()
+            },
+            &rankings,
+        )
+        .unwrap();
+        let sem = denote(&stmt, &lib, &reg).unwrap();
+        assert_eq!(sem.len(), 1);
+        let e = &sem[0];
+        let expected = e
+            .apply_heisenberg(&m)
+            .add_mat(&CMat::identity(4))
+            .sub_mat(&e.apply_heisenberg(&CMat::identity(4)));
+        assert_eq!(wlp.len(), 1);
+        assert!(
+            wlp.ops()[0].approx_eq(&expected, 1e-9),
+            "wlp formula mismatch"
+        );
+    }
+}
+
+#[test]
+fn e10_checked_proof_trees_are_sound_on_samples() {
+    // Random (Unit)/(Seq)/(NDet)/(Imp) derivations replayed through the
+    // proof checker, then Definition 4.2 sampled.
+    use nqpv::core::proof::{check_proof, ProofNode};
+    let lib = OperatorLibrary::with_builtins();
+    let reg = Register::new(&QS).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xAB);
+    let states = sample_states(4, 5, 888);
+    for trial in 0..20 {
+        // Build {U†V†MVU} u;v {M} as Seq of two Units, optionally wrapped
+        // in Imp with a weaker pre.
+        let u = UNITARIES[rng.gen_range(0..UNITARIES.len())];
+        let v = UNITARIES[rng.gen_range(0..UNITARIES.len())];
+        let q = QS[rng.gen_range(0..2)];
+        let m = random_predicate(4, &mut rng);
+        let post = Assertion::from_ops(4, vec![m]).unwrap();
+        // Inner proof: {V† M V} v {M}; outer: {U† (V†MV) U} u {V†MV}.
+        let inner_post = post.clone();
+        let v_node = ProofNode::Unit {
+            qubits: vec![q.to_string()],
+            op: v.to_string(),
+            post: inner_post,
+        };
+        let f_v = check_proof(&v_node, Mode::Total, &lib, &reg, Default::default()).unwrap();
+        let u_node = ProofNode::Unit {
+            qubits: vec![q.to_string()],
+            op: u.to_string(),
+            post: f_v.pre.clone(),
+        };
+        let seq = ProofNode::seq(u_node, v_node);
+        let f = check_proof(&seq, Mode::Total, &lib, &reg, Default::default()).unwrap();
+        // Weaken the precondition by a factor ½ via (Imp).
+        let weaker = Assertion::from_ops(
+            4,
+            f.pre.ops().iter().map(|x| x.scale_re(0.5)).collect(),
+        )
+        .unwrap();
+        let imp = ProofNode::imp(weaker, seq, f.post.clone());
+        let f2 = check_proof(&imp, Mode::Total, &lib, &reg, Default::default()).unwrap();
+        let sem = denote(&f2.stmt, &lib, &reg).unwrap();
+        for rho in &states {
+            assert!(
+                holds_on_state(Sense::Total, &sem, rho, &f2.pre, &f2.post, 1e-8),
+                "trial {trial}: checked proof is semantically unsound?!"
+            );
+        }
+    }
+}

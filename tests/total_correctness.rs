@@ -1,0 +1,211 @@
+//! Integration tests for experiments E9 and E11: the Sec. 4.1 singleton
+//! counterexample, total-correctness verification with ranking certificates
+//! (Def. 4.3), and failure injection around them.
+
+use nqpv::core::casestudies::repeat_until_success;
+use nqpv::core::correctness::{holds_on_state, sample_states, Sense};
+use nqpv::core::{Assertion, Mode, RankingCertificate, VcOptions, VerifError};
+use nqpv::lang::parse_stmt;
+use nqpv::linalg::CMat;
+use nqpv::quantum::{ket, OperatorLibrary, Register, SuperOp};
+use nqpv::semantics::{denote_bounded, DenoteOptions};
+use nqpv::solver::{assertion_le, LownerOptions};
+
+#[test]
+fn e9_sec41_formula_does_not_decompose_into_singletons() {
+    // {Θ} skip {Ψ} with Θ = {P0, P1}, Ψ = {I/2}: holds as a set formula…
+    let p0 = ket("0").projector();
+    let p1 = ket("1").projector();
+    let half = CMat::identity(2).scale_re(0.5);
+    let v = assertion_le(
+        &[p0.clone(), p1.clone()],
+        &[half.clone()],
+        LownerOptions::default(),
+    )
+    .unwrap();
+    assert!(v.holds());
+    // …but neither {P0} skip {I/2} nor {P1} skip {I/2} holds.
+    assert!(!assertion_le(&[p0], &[half.clone()], LownerOptions::default())
+        .unwrap()
+        .holds());
+    assert!(!assertion_le(&[p1], &[half], LownerOptions::default())
+        .unwrap()
+        .holds());
+}
+
+#[test]
+fn e11_rus_total_correctness_verifies() {
+    let outcome = repeat_until_success().verify().unwrap();
+    assert!(outcome.status.verified());
+}
+
+#[test]
+fn e11_rus_semantic_crosscheck() {
+    // ⊨tot {I} RUS {P0} evaluated on bounded unrollings: at depth d the
+    // guaranteed post-expectation is 1 − 2^{-d} → 1; check it approaches
+    // tr(ρ) from below and already exceeds 0.99 at depth 10.
+    let lib = OperatorLibrary::with_builtins();
+    let reg = Register::new(&["q"]).unwrap();
+    let prog = parse_stmt("[q] := 0; [q] *= H; while M01[q] do [q] *= H end").unwrap();
+    let post = Assertion::from_ops(2, vec![ket("0").projector()]).unwrap();
+    let sem = denote_bounded(
+        &prog,
+        &lib,
+        &reg,
+        DenoteOptions {
+            loop_depth: 10,
+            max_set: 64,
+            dedupe: true,
+        },
+    )
+    .unwrap();
+    assert_eq!(sem.len(), 1);
+    let rho = ket("1").projector(); // arbitrary: program resets q
+    let out = sem[0].apply(&rho);
+    let exp = post.expectation(&out);
+    assert!(exp > 0.99, "termination mass at depth 10 is {exp}");
+    // And with pre scaled to 0.99·I the bounded check passes outright.
+    let pre = Assertion::from_ops(2, vec![CMat::identity(2).scale_re(0.99)]).unwrap();
+    for s in sample_states(2, 6, 2025) {
+        assert!(holds_on_state(Sense::Total, &sem, &s, &pre, &post, 1e-9));
+    }
+}
+
+#[test]
+fn e11_ranking_failure_injection() {
+    // Over-tight γ rejected.
+    let mut too_fast = repeat_until_success();
+    too_fast.rankings.insert(
+        0,
+        RankingCertificate::geometric(2, ket("1").projector(), 0.3),
+    );
+    assert!(matches!(
+        too_fast.verify(),
+        Err(VerifError::InvalidRanking { .. })
+    ));
+
+    // Missing certificate rejected in total mode.
+    let mut missing = repeat_until_success();
+    missing.rankings.clear();
+    assert!(matches!(
+        missing.verify(),
+        Err(VerifError::MissingRanking)
+    ));
+
+    // Partial mode never needs it.
+    let partial = repeat_until_success();
+    let outcome = partial
+        .verify_with(VcOptions {
+            mode: Mode::Partial,
+            ..VcOptions::default()
+        })
+        .unwrap();
+    assert!(outcome.status.verified());
+
+    // Non-hermitian prefix rejected.
+    let mut bad_prefix = repeat_until_success();
+    bad_prefix.rankings.insert(
+        0,
+        RankingCertificate::new(
+            vec![CMat::from_real(2, 2, &[1.0, 1.0, 0.0, 1.0])],
+            0.5,
+        ),
+    );
+    assert!(matches!(
+        bad_prefix.verify(),
+        Err(VerifError::InvalidRanking { .. })
+    ));
+}
+
+#[test]
+fn e11_diverging_loop_has_no_certificate() {
+    // while M01[q] (continue on 1) do skip end diverges from |1⟩; a
+    // correctly-sized certificate attempt must fail condition (3).
+    let lib = OperatorLibrary::with_builtins();
+    let reg = Register::new(&["q"]).unwrap();
+    let body = parse_stmt("skip").unwrap();
+    let p1 = ket("1").projector();
+    let phi = Assertion::identity(2);
+    for gamma in [0.1, 0.5, 0.9, 0.99] {
+        for prefix in [
+            vec![CMat::identity(2)],
+            vec![CMat::identity(2), p1.clone()],
+            vec![CMat::identity(2), p1.clone(), p1.scale_re(0.9)],
+        ] {
+            let cert = RankingCertificate::new(prefix, gamma);
+            let res = nqpv::core::check_ranking(
+                &cert,
+                &phi,
+                &body,
+                &p1,
+                &lib,
+                &reg,
+                LownerOptions::default(),
+            );
+            assert!(res.is_err(), "γ={gamma}: diverging loop accepted a ranking");
+        }
+    }
+}
+
+#[test]
+fn e11_two_loop_program_uses_distinct_certificates() {
+    // Sequential RUS loops: loop ids 0 and 1 each need a certificate.
+    let lib = OperatorLibrary::with_builtins();
+    let reg = Register::new(&["q"]).unwrap();
+    let prog = parse_stmt(
+        "{ inv : I[q] }; while M01[q] do [q] *= H end; \
+         [q] *= H; \
+         { inv : I[q] }; while M01[q] do [q] *= H end",
+    )
+    .unwrap();
+    let post = Assertion::from_ops(2, vec![ket("0").projector()]).unwrap();
+    let mut rankings = std::collections::HashMap::new();
+    let cert = RankingCertificate::geometric(2, ket("1").projector(), 0.5);
+    rankings.insert(0, cert.clone());
+    // Missing the second loop's certificate: rejected.
+    let opts = VcOptions {
+        mode: Mode::Total,
+        ..VcOptions::default()
+    };
+    let err = nqpv::core::precondition(&prog, &post, &lib, &reg, opts, &rankings).unwrap_err();
+    assert!(matches!(err, VerifError::MissingRanking));
+    // With both, it verifies.
+    rankings.insert(1, cert);
+    let pre = nqpv::core::precondition(&prog, &post, &lib, &reg, opts, &rankings).unwrap();
+    assert!(pre.ops()[0].approx_eq(&CMat::identity(2), 1e-9));
+}
+
+#[test]
+fn lemma_4_1_total_implies_partial_on_programs() {
+    // Whenever the backward pass verifies totally, the partial-mode pass
+    // must verify as well (Lemma 4.1(1)); check on the case studies.
+    for study in [
+        nqpv::core::casestudies::err_corr(0.6, 0.8),
+        nqpv::core::casestudies::deutsch(),
+        repeat_until_success(),
+    ] {
+        let total = study
+            .verify_with(VcOptions {
+                mode: Mode::Total,
+                ..VcOptions::default()
+            })
+            .unwrap();
+        assert!(total.status.verified(), "{}", study.name);
+        let partial = study
+            .verify_with(VcOptions {
+                mode: Mode::Partial,
+                ..VcOptions::default()
+            })
+            .unwrap();
+        assert!(partial.status.verified(), "{}", study.name);
+    }
+}
+
+#[test]
+fn duality_identity_for_superops() {
+    // tr(E(ρ)·M) = tr(ρ·E†(M)) — the engine identity behind everything.
+    let h = SuperOp::from_unitary(&nqpv::quantum::gates::h());
+    let rho = ket("0").projector();
+    let m = ket("+").projector();
+    assert!(nqpv::quantum::duality_gap(&h, &rho, &m) < 1e-12);
+}
