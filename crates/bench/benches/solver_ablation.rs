@@ -6,8 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nqpv_bench::{holding_instance, violated_instance};
 use nqpv_linalg::CMat;
 use nqpv_solver::{
-    assertion_le, max_eigenpair, max_min_expectation, LanczosOptions, LownerOptions,
-    PrimalOptions,
+    assertion_le, max_eigenpair, max_min_expectation, LanczosOptions, LownerOptions, PrimalOptions,
 };
 
 fn bench_components(c: &mut Criterion) {

@@ -69,7 +69,7 @@ fn main() {
          { Zero[q1] }",
     )
     .expect("parses");
-    let rejected = matches!(broken.verify(), Err(_));
+    let rejected = broken.verify().is_err();
     println!("- invalid invariant P0[q1] rejected with error: {rejected}");
 
     // ------------------------------------------------------------------- E5
@@ -189,7 +189,11 @@ fn main() {
         let (_, dt_full) = timed(|| assertion_le(&t2, &p2, LownerOptions::default()).unwrap());
         let diffs: Vec<CMat> = t2.iter().map(|m| m.sub_mat(&p2[0])).collect();
         let (_, dt_primal) = timed(|| max_min_expectation(&diffs, PrimalOptions::default()));
-        println!("| {dim} | {:.3} ms | {:.3} ms |", dt_full * 1e3, dt_primal * 1e3);
+        println!(
+            "| {dim} | {:.3} ms | {:.3} ms |",
+            dt_full * 1e3,
+            dt_primal * 1e3
+        );
     }
 
     // ---------------------------------------------------------- E13-E15
@@ -210,10 +214,7 @@ fn main() {
         dt * 1e3
     );
     // E14: refinement — committing the QEC adversary.
-    let spec = parse_stmt(
-        "( skip # [q] *= X # [q1] *= X # [q2] *= X )",
-    )
-    .expect("parses");
+    let spec = parse_stmt("( skip # [q] *= X # [q1] *= X # [q2] *= X )").expect("parses");
     let commit = parse_stmt("[q1] *= X").expect("parses");
     let widened = parse_stmt("( skip # [q] *= X # [q] *= Y )").expect("parses");
     let r1 = refines_denotationally(&spec, &commit, &lib, &reg3).expect("loop-free");
@@ -255,6 +256,38 @@ fn main() {
             b.demonic,
             b.angelic,
             classify_termination(b, 1e-3)
+        );
+    }
+
+    // ------------------------------------------------------------------ E17
+    println!("\n## E17: batch-verification engine (corpus, worker pool, memo cache)\n");
+    // Prefer the shipped on-disk corpus; fall back to the in-memory one.
+    let corpus_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/corpus");
+    let corpus =
+        nqpv_engine::Corpus::from_dir(&corpus_dir).unwrap_or_else(|_| nqpv_bench::sample_corpus(4));
+    println!("| workers | cache | verified | rejected | errors | hit rate | wall time |");
+    println!("|---------|-------|----------|----------|--------|----------|-----------|");
+    for (jobs, use_cache) in [(1usize, true), (2, true), (4, true), (4, false)] {
+        let report = nqpv_engine::run_batch(
+            &corpus,
+            &nqpv_engine::BatchOptions {
+                jobs,
+                use_cache,
+                ..nqpv_engine::BatchOptions::default()
+            },
+        );
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {:.3} ms |",
+            report.workers,
+            if use_cache { "on" } else { "off" },
+            report.verified_jobs(),
+            report.rejected_jobs(),
+            report.errored_jobs(),
+            report
+                .cache
+                .map(|c| format!("{:.1}%", c.hit_rate() * 100.0))
+                .unwrap_or_else(|| "-".into()),
+            report.total_ms
         );
     }
 

@@ -5,6 +5,7 @@
 //! here are deterministic so criterion runs and harness tables are
 //! reproducible.
 
+use nqpv_engine::Corpus;
 use nqpv_linalg::{c, cr, eigh, CMat};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -73,6 +74,43 @@ pub fn violated_instance(dim: usize, k: usize, seed: u64) -> (Vec<CMat>, Vec<CMa
     (theta, psi)
 }
 
+/// Builtin-only corpus programs used by the batch-engine workloads: a
+/// two-qubit Grover iteration, a repeat-until-success loop, and a
+/// CX-ladder — all of which verify without `.npy` assets.
+const CORPUS_TEMPLATES: [(&str, &str); 3] = [
+    (
+        "grover_step",
+        "def pf := proof [q1 q2] : { I[q1] }; [q1 q2] := 0; \
+         [q1] *= H; [q2] *= H; [q1 q2] *= CZ; [q1] *= H; [q2] *= H; \
+         [q1] *= X; [q2] *= X; [q1 q2] *= CZ; [q1] *= X; [q2] *= X; \
+         [q1] *= H; [q2] *= H; { P1[q1] } end",
+    ),
+    (
+        "rus",
+        "def pf := proof [q] : { I[q] }; [q] := 0; [q] *= H; \
+         { inv : I[q] }; while M01[q] do [q] *= H end; { P0[q] } end",
+    ),
+    (
+        "cx_ladder",
+        "def pf := proof [q1 q2] : { Pp[q1] }; [q2] := 0; \
+         [q1 q2] *= CX; [q1 q2] *= CX; [q1] *= H; { P0[q1] } end",
+    ),
+];
+
+/// An in-memory batch-engine corpus: `replicas` copies of each template
+/// program under distinct job names. Replicated jobs are byte-identical,
+/// so the engine's memo cache collapses all repeated backward passes —
+/// the workload behind the E17 scaling table and bench.
+pub fn sample_corpus(replicas: usize) -> Corpus {
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(3 * replicas);
+    for r in 0..replicas {
+        for (name, src) in CORPUS_TEMPLATES {
+            sources.push((format!("{name}_{r}"), src.to_string()));
+        }
+    }
+    Corpus::from_sources(sources)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +137,15 @@ mod tests {
     #[test]
     fn densities_are_states() {
         assert!(nqpv_linalg::is_partial_density(&random_density(8, 5), 1e-8));
+    }
+
+    #[test]
+    fn sample_corpus_verifies_fully_and_caches() {
+        let corpus = sample_corpus(2);
+        assert_eq!(corpus.len(), 6);
+        let report = nqpv_engine::run_batch(&corpus, &nqpv_engine::BatchOptions::default());
+        assert!(report.all_verified(), "{}", report.human_summary());
+        let stats = report.cache.expect("cache on by default");
+        assert!(stats.hits > 0, "replicated jobs must hit: {stats:?}");
     }
 }

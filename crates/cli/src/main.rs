@@ -5,13 +5,15 @@
 //! nqpv verify FILE.nqpv      verify every proof in FILE, print show output
 //! nqpv show FILE.nqpv NAME   verify FILE, then print the named artifact
 //! nqpv check FILE.nqpv       parse only; report syntax errors
+//! nqpv batch DIR             verify every .nqpv under DIR in parallel
 //! nqpv ops                   list the built-in operator library
 //! ```
 //!
-//! Exit code 0 = everything verified; 1 = a proof was rejected;
-//! 2 = usage/parse/structural error.
+//! Exit code 0 = everything verified; 1 = a proof was rejected (or, for
+//! `batch`, any job failed); 2 = usage/parse/structural error.
 
 use nqpv_core::{Session, VcOptions};
+use nqpv_engine::{run_batch, BatchOptions, Corpus};
 use nqpv_lang::parse_source;
 use std::path::Path;
 use std::process::ExitCode;
@@ -28,14 +30,17 @@ fn main() -> ExitCode {
         Some("verify") if args.len() == 2 => cmd_verify(&args[1], None, infer),
         Some("show") if args.len() == 3 => cmd_verify(&args[1], Some(&args[2]), infer),
         Some("check") if args.len() == 2 => cmd_check(&args[1]),
+        Some("batch") => cmd_batch(&args[1..], infer),
         Some("ops") => cmd_ops(),
-        _ => {
-            eprintln!(
-                "usage:\n  nqpv verify [--infer] FILE.nqpv\n  nqpv show [--infer] FILE.nqpv NAME\n  nqpv check FILE.nqpv\n  nqpv ops\n\n  --infer   attempt wlp-fixpoint invariant inference for\n            while loops lacking an inv: annotation"
-            );
-            ExitCode::from(2)
-        }
+        _ => usage(),
     }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  nqpv verify [--infer] FILE.nqpv\n  nqpv show [--infer] FILE.nqpv NAME\n  nqpv check FILE.nqpv\n  nqpv batch [--infer] [--jobs N] [--json] [--no-cache] DIR|MANIFEST\n  nqpv ops\n\n  --infer     attempt wlp-fixpoint invariant inference for\n              while loops lacking an inv: annotation\n  --jobs N    batch worker threads (default: available cores)\n  --json      print the batch report as JSON instead of a summary\n  --no-cache  disable the shared wp memo cache"
+    );
+    ExitCode::from(2)
 }
 
 fn read(path: &str) -> Result<String, ExitCode> {
@@ -93,29 +98,94 @@ fn cmd_verify(path: &str, show: Option<&str>, infer: bool) -> ExitCode {
             }
         }
     }
-    // Exit status reflects verification results.
-    let file = match parse_source(&src) {
-        Ok(f) => f,
-        Err(_) => return ExitCode::from(2),
-    };
+    // Exit status reflects verification results (execution order, robust
+    // to duplicate proof names).
     let mut all_ok = true;
-    for cmd in &file.commands {
-        if let nqpv_lang::Command::Def(nqpv_lang::Decl::Proof { name, .. }) = cmd {
-            match session.outcome(name) {
-                Some(o) if o.status.verified() => {
-                    println!("proof '{name}': verified");
+    for (name, verified) in session.proof_verdicts() {
+        if *verified {
+            println!("proof '{name}': verified");
+        } else {
+            println!("proof '{name}': REJECTED");
+            all_ok = false;
+        }
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// `nqpv batch [--infer] [--jobs N] [--json] [--no-cache] DIR|MANIFEST` —
+/// load a corpus (directory of `.nqpv` files, or a manifest listing
+/// them) and verify it on a worker pool with a shared wp memo cache.
+fn cmd_batch(rest: &[String], infer: bool) -> ExitCode {
+    let mut jobs: usize = 0;
+    let mut json = false;
+    let mut use_cache = true;
+    let mut target: Option<&str> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("error: --jobs expects a positive integer");
+                    return ExitCode::from(2);
+                };
+                if n == 0 {
+                    eprintln!("error: --jobs expects a positive integer");
+                    return ExitCode::from(2);
                 }
-                Some(_) => {
-                    println!("proof '{name}': REJECTED");
-                    all_ok = false;
-                }
-                None => {
-                    all_ok = false;
+                jobs = n;
+            }
+            "--json" => json = true,
+            "--no-cache" => use_cache = false,
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown batch flag '{other}'");
+                return usage();
+            }
+            other => {
+                if target.replace(other).is_some() {
+                    eprintln!("error: batch expects exactly one DIR or MANIFEST");
+                    return usage();
                 }
             }
         }
     }
-    if all_ok {
+    let Some(target) = target else {
+        eprintln!("error: batch expects a DIR or MANIFEST");
+        return usage();
+    };
+    let path = Path::new(target);
+    let corpus = if path.is_dir() {
+        Corpus::from_dir(path)
+    } else {
+        Corpus::from_manifest(path)
+    };
+    let corpus = match corpus {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = run_batch(
+        &corpus,
+        &BatchOptions {
+            jobs,
+            use_cache,
+            vc: VcOptions {
+                infer_invariants: infer,
+                ..VcOptions::default()
+            },
+        },
+    );
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.human_summary());
+    }
+    if report.all_verified() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)

@@ -94,11 +94,8 @@ mod tests {
 
     #[test]
     fn exp_sup_is_the_max() {
-        let theta = Assertion::from_ops(
-            2,
-            vec![ket("0").projector(), ket("1").projector()],
-        )
-        .unwrap();
+        let theta =
+            Assertion::from_ops(2, vec![ket("0").projector(), ket("1").projector()]).unwrap();
         let rho = ket("0").projector();
         assert!((exp_sup(&rho, &theta) - 1.0).abs() < 1e-12);
         assert!((theta.expectation(&rho) - 0.0).abs() < 1e-12); // demonic inf
@@ -133,16 +130,9 @@ mod tests {
     fn le_sup_connects_to_angelic_satisfaction() {
         // Θ ⊑_sup Ψ ⇔ ∀ρ: Expsup(ρ⊨Θ) ≤ Expsup(ρ⊨Ψ); spot-check the
         // solver verdict against sampled states.
-        let theta = Assertion::from_ops(
-            2,
-            vec![nqpv_linalg::CMat::identity(2).scale_re(0.5)],
-        )
-        .unwrap();
-        let psi = Assertion::from_ops(
-            2,
-            vec![ket("0").projector(), ket("1").projector()],
-        )
-        .unwrap();
+        let theta =
+            Assertion::from_ops(2, vec![nqpv_linalg::CMat::identity(2).scale_re(0.5)]).unwrap();
+        let psi = Assertion::from_ops(2, vec![ket("0").projector(), ket("1").projector()]).unwrap();
         let verdict = le_sup(&theta, &psi, LownerOptions::default()).unwrap();
         assert!(verdict.holds());
         for rho in sample_states(2, 10, 77) {
@@ -154,7 +144,10 @@ mod tests {
             Verdict::Violated(viol) => {
                 let lhs = exp_sup(&viol.witness, &psi);
                 let rhs = exp_sup(&viol.witness, &theta);
-                assert!(lhs > rhs + 1e-3, "witness does not separate: {lhs} vs {rhs}");
+                assert!(
+                    lhs > rhs + 1e-3,
+                    "witness does not separate: {lhs} vs {rhs}"
+                );
             }
             other => panic!("expected violation, got {other}"),
         }

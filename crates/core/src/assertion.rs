@@ -139,10 +139,10 @@ impl Assertion {
 
     /// Element-wise map over the predicate set (used by the wp/wlp
     /// transformer steps).
-    pub fn map<F: FnMut(&CMat) -> CMat>(&self, mut f: F) -> Assertion {
+    pub fn map<F: FnMut(&CMat) -> CMat>(&self, f: F) -> Assertion {
         Assertion {
             dim: self.dim,
-            ops: self.ops.iter().map(|m| f(m)).collect(),
+            ops: self.ops.iter().map(f).collect(),
         }
         .deduped()
     }
@@ -199,9 +199,7 @@ impl Assertion {
     /// Validates that every element lies in the predicate interval
     /// `0 ⊑ M ⊑ I` (within `tol`).
     pub fn validate_predicates(&self, tol: f64) -> bool {
-        self.ops
-            .iter()
-            .all(|m| nqpv_linalg::is_predicate(m, tol))
+        self.ops.iter().all(|m| nqpv_linalg::is_predicate(m, tol))
     }
 
     /// `true` if the two assertions contain the same predicates (as
@@ -280,10 +278,7 @@ mod tests {
     #[test]
     fn expectation_takes_the_infimum() {
         let lib = OperatorLibrary::with_builtins();
-        let expr = AssertionExpr::new(vec![
-            OpApp::new("P0", &["q1"]),
-            OpApp::new("P1", &["q1"]),
-        ]);
+        let expr = AssertionExpr::new(vec![OpApp::new("P0", &["q1"]), OpApp::new("P1", &["q1"])]);
         let a = Assertion::from_expr(&expr, &lib, &reg2()).unwrap();
         // On any state, min(tr(P0ρ), tr(P1ρ)) ≤ 1/2·tr(ρ).
         let rho = ket("0+").projector();
@@ -313,17 +308,14 @@ mod tests {
     fn le_inf_basic_directions() {
         let half = Assertion::from_ops(2, vec![CMat::identity(2).scale_re(0.5)]).unwrap();
         let one = Assertion::identity(2);
-        assert!(half
-            .le_inf(&one, LownerOptions::default())
-            .unwrap()
-            .holds());
-        assert!(!one
+        assert!(half.le_inf(&one, LownerOptions::default()).unwrap().holds());
+        assert!(!one.le_inf(&half, LownerOptions::default()).unwrap().holds());
+        // {0} ⊑_inf anything.
+        let zero = Assertion::zero(2);
+        assert!(zero
             .le_inf(&half, LownerOptions::default())
             .unwrap()
             .holds());
-        // {0} ⊑_inf anything.
-        let zero = Assertion::zero(2);
-        assert!(zero.le_inf(&half, LownerOptions::default()).unwrap().holds());
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Memoisation hook for the backward weakest-precondition transformer.
+//!
+//! Corpus-level drivers (the `nqpv-engine` batch engine) repeatedly verify
+//! programs that share subterms — the same Grover iteration, the same QEC
+//! syndrome block, byte-identical files. The backward pass is compositional
+//! (`wlp.(S1;S2).Ψ = wlp.S1.(wlp.S2.Ψ)`), so the annotated result of any
+//! subterm is fully determined by
+//!
+//! * the subterm's structure with every operator name resolved to its
+//!   concrete matrix,
+//! * the postcondition assertion it is pushed through,
+//! * the register layout, and
+//! * the verification options (mode, set bound, solver tolerances).
+//!
+//! [`TransformerCache`] abstracts a content-addressed store over exactly
+//! that key. `nqpv-core` stays dependency-free: it only *consults* a cache
+//! handed in by the caller (see [`crate::backward_with_cache`]); the
+//! concurrent implementation with hit/miss accounting lives in
+//! `nqpv-engine`.
+//!
+//! Correctness note: results for subterms containing `while` are only
+//! cached in partial-correctness mode — in total mode loop verification
+//! additionally depends on externally supplied ranking certificates keyed
+//! by loop id, which are not part of the cache key.
+
+use crate::transformer::Annotated;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::Hasher;
+
+/// Content hash identifying a `(subterm, postcondition, context)` triple.
+///
+/// 128 bits assembled from two independently seeded 64-bit hashers, so
+/// accidental collisions across a corpus run are negligible.
+pub type CacheKey = u128;
+
+/// A memo store for annotated backward-pass results.
+///
+/// Implementations must be thread-safe: the batch engine shares one cache
+/// across its whole worker pool. `get` returning a clone (rather than a
+/// reference) keeps the trait object-safe and lock scopes small.
+pub trait TransformerCache: Send + Sync {
+    /// Looks up the annotated result for `key`, cloning on hit.
+    fn get(&self, key: CacheKey) -> Option<Annotated>;
+
+    /// Stores the annotated result computed for `key`.
+    fn put(&self, key: CacheKey, value: &Annotated);
+}
+
+/// Double-width streaming hasher used to build [`CacheKey`]s.
+///
+/// Feeds every byte into two `DefaultHasher`s initialised with different
+/// prefixes; `finish` concatenates their outputs. Deterministic within a
+/// process, which is all an in-memory memo cache needs.
+pub(crate) struct KeyHasher {
+    a: DefaultHasher,
+    b: DefaultHasher,
+}
+
+impl KeyHasher {
+    pub(crate) fn new() -> Self {
+        let mut a = DefaultHasher::new();
+        let mut b = DefaultHasher::new();
+        a.write_u8(0xA5);
+        b.write_u8(0x5A);
+        KeyHasher { a, b }
+    }
+
+    pub(crate) fn write_u8(&mut self, v: u8) {
+        self.a.write_u8(v);
+        self.b.write_u8(v);
+    }
+
+    pub(crate) fn write_u64(&mut self, v: u64) {
+        self.a.write_u64(v);
+        self.b.write_u64(v);
+    }
+
+    pub(crate) fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    pub(crate) fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.a.write(s.as_bytes());
+        self.b.write(s.as_bytes());
+    }
+
+    /// Exact-bits hash of a float (canonicalising `-0.0` to `0.0`).
+    pub(crate) fn write_f64(&mut self, x: f64) {
+        self.write_u64((x + 0.0).to_bits());
+    }
+
+    /// Exact-bits hash of a complex matrix, dimensions included.
+    pub(crate) fn write_matrix(&mut self, m: &nqpv_linalg::CMat) {
+        self.write_usize(m.rows());
+        self.write_usize(m.cols());
+        for z in m.as_slice() {
+            self.write_f64(z.re);
+            self.write_f64(z.im);
+        }
+    }
+
+    pub(crate) fn finish(&self) -> CacheKey {
+        ((self.a.finish() as u128) << 64) | self.b.finish() as u128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nqpv_linalg::CMat;
+
+    #[test]
+    fn keys_separate_streams_and_are_deterministic() {
+        let mut h1 = KeyHasher::new();
+        h1.write_str("abc");
+        let mut h2 = KeyHasher::new();
+        h2.write_str("abc");
+        assert_eq!(h1.finish(), h2.finish());
+        let mut h3 = KeyHasher::new();
+        h3.write_str("abd");
+        assert_ne!(h1.finish(), h3.finish());
+    }
+
+    #[test]
+    fn matrix_hash_is_exact_not_quantised() {
+        let a = CMat::from_real(2, 2, &[1.0, 0.0, 0.0, 1.0]);
+        let mut b = a.clone();
+        b[(0, 0)] = nqpv_linalg::c(1.0 + 1e-15, 0.0);
+        let mut ha = KeyHasher::new();
+        ha.write_matrix(&a);
+        let mut hb = KeyHasher::new();
+        hb.write_matrix(&b);
+        assert_ne!(ha.finish(), hb.finish(), "distinct bits must hash apart");
+        // -0.0 and 0.0 canonicalise together.
+        let mut c1 = a.clone();
+        c1[(0, 1)] = nqpv_linalg::c(-0.0, 0.0);
+        let mut hc = KeyHasher::new();
+        hc.write_matrix(&c1);
+        let mut hd = KeyHasher::new();
+        hd.write_matrix(&a);
+        assert_eq!(hc.finish(), hd.finish());
+    }
+}

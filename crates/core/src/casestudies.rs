@@ -58,7 +58,13 @@ impl CaseStudy {
     /// Propagates verification errors.
     pub fn verify_with(&self, opts: VcOptions) -> Result<VerifyOutcome, VerifError> {
         let mut registry = PredicateRegistry::new();
-        verify_proof_term(&self.term, &self.library, opts, &self.rankings, &mut registry)
+        verify_proof_term(
+            &self.term,
+            &self.library,
+            opts,
+            &self.rankings,
+            &mut registry,
+        )
     }
 }
 
@@ -207,7 +213,7 @@ pub fn grover_parameters(n_qubits: usize) -> GroverInstance {
 ///
 /// Panics if `n_qubits == 0` or `n_qubits > 16` (matrix sizes explode).
 pub fn grover(n_qubits: usize) -> CaseStudy {
-    assert!(n_qubits >= 1 && n_qubits <= 16, "1..=16 qubits supported");
+    assert!((1..=16).contains(&n_qubits), "1..=16 qubits supported");
     let params = grover_parameters(n_qubits);
     let dim = 1usize << n_qubits;
     let qnames: Vec<String> = (0..n_qubits).map(|i| format!("q{i}")).collect();
@@ -299,8 +305,7 @@ pub fn phase_flip_corr(alpha: f64, beta: f64) -> CaseStudy {
     .expect("fixed program parses");
     CaseStudy {
         name: "phase_flip_corr".into(),
-        description: "three-qubit phase-flip QEC: ⊨tot {[ψ]q} PhaseCorr {[ψ]q} (extension)"
-            .into(),
+        description: "three-qubit phase-flip QEC: ⊨tot {[ψ]q} PhaseCorr {[ψ]q} (extension)".into(),
         term,
         library,
         rankings: HashMap::new(),
@@ -341,8 +346,7 @@ pub fn teleport(alpha: f64, beta: f64) -> CaseStudy {
     CaseStudy {
         name: "teleport".into(),
         description:
-            "teleportation, nondeterministic correction order: ⊨tot {[ψ]q} Teleport {[ψ]b}"
-                .into(),
+            "teleportation, nondeterministic correction order: ⊨tot {[ψ]q} Teleport {[ψ]b}".into(),
         term,
         library,
         rankings: HashMap::new(),
@@ -383,10 +387,21 @@ mod tests {
 
     #[test]
     fn err_corr_verifies_totally() {
-        for (a, b) in [(1.0, 0.0), (0.6, 0.8), (std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::FRAC_1_SQRT_2)] {
+        for (a, b) in [
+            (1.0, 0.0),
+            (0.6, 0.8),
+            (
+                std::f64::consts::FRAC_1_SQRT_2,
+                std::f64::consts::FRAC_1_SQRT_2,
+            ),
+        ] {
             let study = err_corr(a, b);
             let outcome = study.verify().unwrap();
-            assert!(outcome.status.verified(), "α={a}, β={b}: {:?}", outcome.status);
+            assert!(
+                outcome.status.verified(),
+                "α={a}, β={b}: {:?}",
+                outcome.status
+            );
         }
     }
 
@@ -429,7 +444,11 @@ mod tests {
     fn teleport_verifies_for_both_correction_orders() {
         for (a, b) in [(1.0, 0.0), (0.6, 0.8)] {
             let outcome = teleport(a, b).verify().unwrap();
-            assert!(outcome.status.verified(), "α={a}, β={b}: {:?}", outcome.status);
+            assert!(
+                outcome.status.verified(),
+                "α={a}, β={b}: {:?}",
+                outcome.status
+            );
         }
     }
 
@@ -453,7 +472,11 @@ mod tests {
     fn phase_flip_code_verifies_totally() {
         for (a, b) in [(1.0, 0.0), (0.6, 0.8)] {
             let outcome = phase_flip_corr(a, b).verify().unwrap();
-            assert!(outcome.status.verified(), "α={a}, β={b}: {:?}", outcome.status);
+            assert!(
+                outcome.status.verified(),
+                "α={a}, β={b}: {:?}",
+                outcome.status
+            );
         }
     }
 

@@ -71,6 +71,7 @@ pub fn holds_on_state(
 /// # Errors
 ///
 /// Propagates semantic-enumeration failures.
+#[allow(clippy::too_many_arguments)] // mirrors the Def. 4.1/4.2 parameter list
 pub fn check_on_states(
     sense: Sense,
     stmt: &Stmt,
@@ -221,14 +222,20 @@ mod tests {
     #[test]
     fn lemma_4_1_total_implies_partial() {
         let (lib, reg) = setup(&["q"]);
-        let s = parse_stmt("( [q] *= H # [q] *= X ); if M01[q] then abort else skip end")
-            .unwrap();
+        let s = parse_stmt("( [q] *= H # [q] *= X ); if M01[q] then abort else skip end").unwrap();
         let sem = nqpv_semantics::denote(&s, &lib, &reg).unwrap();
         let pre = Assertion::from_ops(2, vec![CMat::identity(2).scale_re(0.25)]).unwrap();
         let post = Assertion::from_ops(2, vec![ket("0").projector()]).unwrap();
         for rho in sample_states(2, 10, 17) {
             if holds_on_state(Sense::Total, &sem, &rho, &pre, &post, 1e-9) {
-                assert!(holds_on_state(Sense::Partial, &sem, &rho, &pre, &post, 1e-9));
+                assert!(holds_on_state(
+                    Sense::Partial,
+                    &sem,
+                    &rho,
+                    &pre,
+                    &post,
+                    1e-9
+                ));
             }
         }
     }
@@ -244,8 +251,22 @@ mod tests {
         let some_pre = Assertion::from_ops(2, vec![ket("+").projector()]).unwrap();
         let some_post = Assertion::from_ops(2, vec![ket("1").projector()]).unwrap();
         for rho in sample_states(2, 10, 23) {
-            assert!(holds_on_state(Sense::Total, &sem, &rho, &zero, &some_post, 1e-9));
-            assert!(holds_on_state(Sense::Partial, &sem, &rho, &some_pre, &id, 1e-9));
+            assert!(holds_on_state(
+                Sense::Total,
+                &sem,
+                &rho,
+                &zero,
+                &some_post,
+                1e-9
+            ));
+            assert!(holds_on_state(
+                Sense::Partial,
+                &sem,
+                &rho,
+                &some_pre,
+                &id,
+                1e-9
+            ));
         }
     }
 

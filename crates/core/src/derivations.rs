@@ -376,11 +376,7 @@ mod tests {
         let m2 = adjoint_conjugate_gate(&gates::x(), &[0], 3, &enc0);
         let m2a = Assertion::from_ops(dim, vec![m2]).unwrap();
         // Branch "skip" weakened to {M2}: Ψ₀ ⋢ M2, so (Imp) itself fails.
-        let bad = ProofNode::imp(
-            psi0.clone(),
-            ProofNode::Skip { theta: psi0 },
-            m2a,
-        );
+        let bad = ProofNode::imp(psi0.clone(), ProofNode::Skip { theta: psi0 }, m2a);
         assert!(check_proof(&bad, Mode::Total, &lib, &reg, LownerOptions::default()).is_err());
     }
 }

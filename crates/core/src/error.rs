@@ -89,7 +89,10 @@ impl fmt::Display for VerifError {
             ),
             VerifError::EmptyAssertion => write!(f, "assertion must contain a predicate"),
             VerifError::AssertionShape { expected, got } => {
-                write!(f, "assertion dimension {got} does not match register {expected}")
+                write!(
+                    f,
+                    "assertion dimension {got} does not match register {expected}"
+                )
             }
             VerifError::SetBlowup { limit } => {
                 write!(f, "assertion set exceeded the size limit of {limit}")

@@ -167,7 +167,10 @@ mod tests {
         )
         .unwrap();
         match out {
-            InferredInvariant::Found { invariant, iterations } => {
+            InferredInvariant::Found {
+                invariant,
+                iterations,
+            } => {
                 assert_eq!(invariant.len(), 1);
                 assert!(invariant.ops()[0].approx_eq(&ket("1").projector(), 1e-9));
                 assert!(iterations <= 3);
@@ -183,10 +186,8 @@ mod tests {
         // fixpoint need not be literally N, but must be a valid invariant
         // at least as strong on the initial state).
         let (lib, reg) = setup(&["q1", "q2"]);
-        let body = parse_stmt(
-            "( [q1 q2] *= W1; [q1 q2] *= W2 # [q1 q2] *= W2; [q1 q2] *= W1 )",
-        )
-        .unwrap();
+        let body =
+            parse_stmt("( [q1 q2] *= W1; [q1 q2] *= W2 # [q1 q2] *= W2; [q1 q2] *= W1 )").unwrap();
         let post = Assertion::zero(4);
         let out = infer_invariant(
             "MQWalk",

@@ -18,6 +18,7 @@
 
 pub mod angelic;
 mod assertion;
+pub mod cache;
 pub mod casestudies;
 pub mod correctness;
 pub mod derivations;
@@ -32,9 +33,12 @@ mod transformer;
 mod verifier;
 
 pub use assertion::Assertion;
+pub use cache::{CacheKey, TransformerCache};
 pub use error::VerifError;
 pub use outline::{render_assertion, render_matrix, render_outline, PredicateRegistry};
 pub use ranking::{check_ranking, RankingCertificate};
 pub use session::{Session, SessionError};
-pub use verifier::{verify_proof_term, VerifyOutcome, VerifyStatus};
-pub use transformer::{backward, precondition, Annotated, AnnotatedNode, Mode, VcOptions};
+pub use transformer::{
+    backward, backward_with_cache, precondition, Annotated, AnnotatedNode, Mode, VcOptions,
+};
+pub use verifier::{verify_proof_term, verify_proof_term_with, VerifyOutcome, VerifyStatus};

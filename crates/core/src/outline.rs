@@ -176,7 +176,7 @@ fn render_node(
             else_branch,
         } => {
             indent(out, depth);
-            let _ = write!(out, "if {}[{}] then\n", meas, qubits.join(" "));
+            let _ = writeln!(out, "if {}[{}] then", meas, qubits.join(" "));
             render_node(out, then_branch, depth + 1, registry, reg_disp, true);
             out.push('\n');
             indent(out, depth);
@@ -195,9 +195,13 @@ fn render_node(
         } => {
             let inv = render_assertion(invariant, registry, reg_disp);
             indent(out, depth);
-            let _ = write!(out, "{{ inv : {} }};\n", inv.trim_start_matches("{ ").trim_end_matches(" }"));
+            let _ = writeln!(
+                out,
+                "{{ inv : {} }};",
+                inv.trim_start_matches("{ ").trim_end_matches(" }")
+            );
             indent(out, depth);
-            let _ = write!(out, "while {}[{}] do\n", meas, qubits.join(" "));
+            let _ = writeln!(out, "while {}[{}] do", meas, qubits.join(" "));
             render_node(out, body, depth + 1, registry, reg_disp, true);
             out.push('\n');
             indent(out, depth);

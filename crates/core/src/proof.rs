@@ -485,17 +485,52 @@ mod tests {
         let lib2 = OperatorLibrary::with_builtins();
         let sem = nqpv_semantics::denote(&f.stmt, &lib2, &reg).unwrap();
         for rho in sample_states(2, 8, 5) {
-            assert!(holds_on_state(Sense::Total, &sem, &rho, &f.pre, &f.post, 1e-8));
+            assert!(holds_on_state(
+                Sense::Total,
+                &sem,
+                &rho,
+                &f.pre,
+                &f.post,
+                1e-8
+            ));
         }
     }
 
     #[test]
     fn abort_rules_respect_modes() {
         let (lib, reg) = setup(&["q"]);
-        assert!(check_proof(&ProofNode::Abort, Mode::Partial, &lib, &reg, LownerOptions::default()).is_ok());
-        assert!(check_proof(&ProofNode::Abort, Mode::Total, &lib, &reg, LownerOptions::default()).is_err());
-        assert!(check_proof(&ProofNode::AbortT, Mode::Total, &lib, &reg, LownerOptions::default()).is_ok());
-        assert!(check_proof(&ProofNode::AbortT, Mode::Partial, &lib, &reg, LownerOptions::default()).is_err());
+        assert!(check_proof(
+            &ProofNode::Abort,
+            Mode::Partial,
+            &lib,
+            &reg,
+            LownerOptions::default()
+        )
+        .is_ok());
+        assert!(check_proof(
+            &ProofNode::Abort,
+            Mode::Total,
+            &lib,
+            &reg,
+            LownerOptions::default()
+        )
+        .is_err());
+        assert!(check_proof(
+            &ProofNode::AbortT,
+            Mode::Total,
+            &lib,
+            &reg,
+            LownerOptions::default()
+        )
+        .is_ok());
+        assert!(check_proof(
+            &ProofNode::AbortT,
+            Mode::Partial,
+            &lib,
+            &reg,
+            LownerOptions::default()
+        )
+        .is_err());
     }
 
     #[test]
@@ -512,11 +547,7 @@ mod tests {
         );
         assert!(check_proof(&node, Mode::Total, &lib, &reg, LownerOptions::default()).is_ok());
         // Illegal strengthening: {I} skip {I/2}.
-        let bad = ProofNode::imp(
-            id.clone(),
-            ProofNode::Skip { theta: id },
-            half,
-        );
+        let bad = ProofNode::imp(id.clone(), ProofNode::Skip { theta: id }, half);
         assert!(check_proof(&bad, Mode::Total, &lib, &reg, LownerOptions::default()).is_err());
     }
 
@@ -557,11 +588,7 @@ mod tests {
             invariant: id.clone(),
             post: id.clone(),
             body_proof: Box::new(body),
-            ranking: Some(RankingCertificate::geometric(
-                2,
-                ket("1").projector(),
-                0.5,
-            )),
+            ranking: Some(RankingCertificate::geometric(2, ket("1").projector(), 0.5)),
         };
         let f = check_proof(&node, Mode::Total, &lib, &reg, LownerOptions::default()).unwrap();
         assert!(f.pre.ops()[0].approx_eq(&CMat::identity(2), 1e-9));
@@ -607,7 +634,14 @@ mod tests {
             .expect("interface matches");
         let sem = nqpv_semantics::denote(&f.stmt, &lib, &reg).unwrap();
         for rho in sample_states(2, 10, 9) {
-            assert!(holds_on_state(Sense::Partial, &sem, &rho, &f.pre, &f.post, 1e-8));
+            assert!(holds_on_state(
+                Sense::Partial,
+                &sem,
+                &rho,
+                &f.pre,
+                &f.post,
+                1e-8
+            ));
         }
         let _ = HashMap::<usize, RankingCertificate>::new();
     }

@@ -164,7 +164,16 @@ mod tests {
         let p1 = ket("1").projector();
         let phi = Assertion::identity(2);
         let cert = RankingCertificate::geometric(2, p1.clone(), 0.5);
-        check_ranking(&cert, &phi, &body, &p1, &lib, &reg, LownerOptions::default()).unwrap();
+        check_ranking(
+            &cert,
+            &phi,
+            &body,
+            &p1,
+            &lib,
+            &reg,
+            LownerOptions::default(),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -176,8 +185,16 @@ mod tests {
         let p1 = ket("1").projector();
         let phi = Assertion::identity(2);
         let cert = RankingCertificate::geometric(2, p1.clone(), 0.4);
-        let err = check_ranking(&cert, &phi, &body, &p1, &lib, &reg, LownerOptions::default())
-            .unwrap_err();
+        let err = check_ranking(
+            &cert,
+            &phi,
+            &body,
+            &p1,
+            &lib,
+            &reg,
+            LownerOptions::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, VerifError::InvalidRanking { .. }));
     }
 
@@ -191,8 +208,16 @@ mod tests {
         let p1 = ket("1").projector();
         let phi = Assertion::identity(2);
         let cert = RankingCertificate::geometric(2, p1.clone(), 0.9);
-        let err = check_ranking(&cert, &phi, &body, &p1, &lib, &reg, LownerOptions::default())
-            .unwrap_err();
+        let err = check_ranking(
+            &cert,
+            &phi,
+            &body,
+            &p1,
+            &lib,
+            &reg,
+            LownerOptions::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, VerifError::InvalidRanking { .. }));
     }
 

@@ -70,9 +70,7 @@ pub fn refines_denotationally(
         if !spec_fps.contains(&e.map_fingerprint(1e7)) {
             // Fingerprint miss could be quantisation noise: confirm by
             // direct comparison before reporting.
-            let genuinely_new = spec_set
-                .iter()
-                .all(|s| !s.approx_eq_map(e, 1e-7));
+            let genuinely_new = spec_set.iter().all(|s| !s.approx_eq_map(e, 1e-7));
             if genuinely_new {
                 return Ok(RefinementVerdict::ExtraBehaviour { branch: i });
             }
@@ -190,8 +188,7 @@ mod tests {
             other => panic!("expected extra behaviour, got {other:?}"),
         }
         // The wp sampler also refutes it.
-        let refuted =
-            refutes_by_wp(&spec, &imp, &lib, &reg, 20, 9, VcOptions::default()).unwrap();
+        let refuted = refutes_by_wp(&spec, &imp, &lib, &reg, 20, 9, VcOptions::default()).unwrap();
         assert!(refuted.is_some());
     }
 
@@ -201,10 +198,18 @@ mod tests {
         let a = parse_stmt("( skip # [q] *= X # [q] *= H )").unwrap();
         let b = parse_stmt("( skip # [q] *= H )").unwrap();
         let c = parse_stmt("skip").unwrap();
-        assert!(refines_denotationally(&a, &a, &lib, &reg).unwrap().refines());
-        assert!(refines_denotationally(&a, &b, &lib, &reg).unwrap().refines());
-        assert!(refines_denotationally(&b, &c, &lib, &reg).unwrap().refines());
-        assert!(refines_denotationally(&a, &c, &lib, &reg).unwrap().refines());
+        assert!(refines_denotationally(&a, &a, &lib, &reg)
+            .unwrap()
+            .refines());
+        assert!(refines_denotationally(&a, &b, &lib, &reg)
+            .unwrap()
+            .refines());
+        assert!(refines_denotationally(&b, &c, &lib, &reg)
+            .unwrap()
+            .refines());
+        assert!(refines_denotationally(&a, &c, &lib, &reg)
+            .unwrap()
+            .refines());
     }
 
     #[test]
@@ -242,7 +247,11 @@ mod tests {
         let (lib, reg) = setup(&["q1", "q2"]);
         let a = parse_stmt("[q1] *= X; [q2] *= H").unwrap();
         let b = parse_stmt("[q2] *= H; [q1] *= X").unwrap();
-        assert!(refines_denotationally(&a, &b, &lib, &reg).unwrap().refines());
-        assert!(refines_denotationally(&b, &a, &lib, &reg).unwrap().refines());
+        assert!(refines_denotationally(&a, &b, &lib, &reg)
+            .unwrap()
+            .refines());
+        assert!(refines_denotationally(&b, &a, &lib, &reg)
+            .unwrap()
+            .refines());
     }
 }

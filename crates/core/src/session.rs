@@ -2,16 +2,18 @@
 //! (`def … end` / `show … end`), maintaining the operator library, proof
 //! outcomes and the `show` registry — the programmatic face of the CLI.
 
+use crate::cache::TransformerCache;
 use crate::error::VerifError;
 use crate::outline::{render_matrix, PredicateRegistry};
 use crate::ranking::RankingCertificate;
 use crate::transformer::VcOptions;
-use crate::verifier::{verify_proof_term, VerifyOutcome};
+use crate::verifier::{verify_proof_term_with, VerifyOutcome};
 use nqpv_lang::{parse_source, Command, Decl, SourceFile};
 use nqpv_quantum::OperatorLibrary;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Errors produced while executing a source file.
 #[derive(Debug)]
@@ -62,7 +64,6 @@ impl std::error::Error for SessionError {}
 /// assert!(session.outcome("pf").unwrap().status.verified());
 /// # Ok::<(), nqpv_core::SessionError>(())
 /// ```
-#[derive(Debug)]
 pub struct Session {
     lib: OperatorLibrary,
     registry: PredicateRegistry,
@@ -71,6 +72,24 @@ pub struct Session {
     opts: VcOptions,
     base_dir: PathBuf,
     output: Vec<String>,
+    cache: Option<Arc<dyn TransformerCache>>,
+    proof_log: Vec<(String, bool)>,
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("lib", &self.lib)
+            .field("registry", &self.registry)
+            .field("outcomes", &self.outcomes)
+            .field("rankings", &self.rankings)
+            .field("opts", &self.opts)
+            .field("base_dir", &self.base_dir)
+            .field("output", &self.output)
+            .field("proof_log", &self.proof_log)
+            .field("cache", &self.cache.as_ref().map(|_| "<shared>"))
+            .finish()
+    }
 }
 
 impl Default for Session {
@@ -91,6 +110,8 @@ impl Session {
             opts: VcOptions::default(),
             base_dir: PathBuf::from("."),
             output: Vec::new(),
+            cache: None,
+            proof_log: Vec::new(),
         }
     }
 
@@ -103,6 +124,14 @@ impl Session {
     /// Sets the directory `.npy` paths are resolved against.
     pub fn with_base_dir<P: Into<PathBuf>>(mut self, dir: P) -> Self {
         self.base_dir = dir.into();
+        self
+    }
+
+    /// Shares a memo cache for backward-transformer subterm results;
+    /// batch drivers hand the same `Arc` to every session so repeated
+    /// subterms across a corpus are computed once.
+    pub fn with_cache(mut self, cache: Arc<dyn TransformerCache>) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -147,17 +176,20 @@ impl Session {
                 Command::Def(Decl::Proof { name, term }) => {
                     let empty = HashMap::new();
                     let rankings = self.rankings.get(name).unwrap_or(&empty);
-                    let outcome = verify_proof_term(
+                    let outcome = verify_proof_term_with(
                         term,
                         &self.lib,
                         self.opts,
                         rankings,
                         &mut self.registry,
+                        self.cache.as_deref(),
                     )
                     .map_err(|error| SessionError::Verify {
                         name: name.clone(),
                         error,
                     })?;
+                    self.proof_log
+                        .push((name.clone(), outcome.status.verified()));
                     self.outcomes.insert(name.clone(), outcome);
                 }
                 Command::Show(name) => {
@@ -196,19 +228,27 @@ impl Session {
                 nqpv_quantum::LibOp::Unitary(m) | nqpv_quantum::LibOp::Predicate(m) => {
                     render_matrix(name, m)
                 }
-                nqpv_quantum::LibOp::Measurement(meas) => format!(
-                    "{name}.P0 =\n{}\n{name}.P1 =\n{}",
-                    meas.p0(),
-                    meas.p1()
-                ),
+                nqpv_quantum::LibOp::Measurement(meas) => {
+                    format!("{name}.P0 =\n{}\n{name}.P1 =\n{}", meas.p0(), meas.p1())
+                }
             });
         }
         Err(SessionError::UnknownShow(name.to_string()))
     }
 
     /// The outcome for a named proof, if it has been verified.
+    /// With duplicate `def` names, later proofs shadow earlier ones;
+    /// [`Session::proof_verdicts`] keeps every run in order.
     pub fn outcome(&self, name: &str) -> Option<&VerifyOutcome> {
         self.outcomes.get(name)
+    }
+
+    /// Every proof this session has verified, in execution order, with
+    /// its verdict — the per-proof record batch drivers and the CLI
+    /// report from (robust to duplicate proof names, unlike the
+    /// name-keyed [`Session::outcome`] map).
+    pub fn proof_verdicts(&self) -> &[(String, bool)] {
+        &self.proof_log
     }
 
     /// Output accumulated by `show` commands, in order.
@@ -229,10 +269,8 @@ mod tests {
     #[test]
     fn runs_a_simple_proof_and_show() {
         let mut s = Session::new();
-        s.run_str(
-            "def pf := proof [q] : { Pp[q] }; [q] *= H; { P0[q] } end\nshow pf end",
-        )
-        .unwrap();
+        s.run_str("def pf := proof [q] : { Pp[q] }; [q] *= H; { P0[q] } end\nshow pf end")
+            .unwrap();
         assert!(s.outcome("pf").unwrap().status.verified());
         assert_eq!(s.output().len(), 1);
         assert!(s.output()[0].contains("proof [q]"));
@@ -245,10 +283,7 @@ mod tests {
         let m01 = s.show("M01").unwrap();
         assert!(m01.contains("M01.P0"));
         assert!(m01.contains("M01.P1"));
-        assert!(matches!(
-            s.show("NOPE"),
-            Err(SessionError::UnknownShow(_))
-        ));
+        assert!(matches!(s.show("NOPE"), Err(SessionError::UnknownShow(_))));
     }
 
     #[test]

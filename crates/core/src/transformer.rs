@@ -10,6 +10,7 @@
 //! require a [`RankingCertificate`] discharging Definition 4.3.
 
 use crate::assertion::Assertion;
+use crate::cache::{CacheKey, KeyHasher, TransformerCache};
 use crate::error::VerifError;
 pub use crate::ranking::RankingCertificate;
 use nqpv_lang::{AssertionExpr, Stmt};
@@ -130,15 +131,58 @@ pub fn backward(
     opts: VcOptions,
     rankings: &HashMap<usize, RankingCertificate>,
 ) -> Result<Annotated, VerifError> {
+    backward_with_cache(stmt, post, lib, reg, opts, rankings, None)
+}
+
+/// [`backward`] with an optional memo cache for subterm results (see
+/// [`crate::cache`]): composite subterms whose annotated pass was already
+/// computed — in this run or for an earlier program sharing the cache —
+/// are returned without recomputation.
+///
+/// # Errors
+///
+/// Same as [`backward`]. Failed subterms are never cached.
+pub fn backward_with_cache(
+    stmt: &Stmt,
+    post: &Assertion,
+    lib: &OperatorLibrary,
+    reg: &Register,
+    opts: VcOptions,
+    rankings: &HashMap<usize, RankingCertificate>,
+    cache: Option<&dyn TransformerCache>,
+) -> Result<Annotated, VerifError> {
     let mut ctx = Ctx {
         lib,
         reg,
         opts,
         rankings,
         next_loop_id: 0,
+        cache,
+        ctx_key: context_key(reg, opts),
     };
     let tagged = tag_loops(stmt, &mut ctx.next_loop_id);
     ctx.go(&tagged, post)
+}
+
+/// Hashes the run context every subterm key must incorporate: register
+/// layout and the verification options that influence computed results.
+fn context_key(reg: &Register, opts: VcOptions) -> CacheKey {
+    let mut h = KeyHasher::new();
+    h.write_usize(reg.n_qubits());
+    for name in reg.names() {
+        h.write_str(name);
+    }
+    h.write_u8(match opts.mode {
+        Mode::Partial => 0,
+        Mode::Total => 1,
+    });
+    h.write_usize(opts.max_set);
+    // The solver verdict depends on every LownerOptions field (eps,
+    // iteration budgets, lanczos and primal sub-options); the Debug
+    // rendering covers them all — f64 Debug is shortest-roundtrip, so
+    // distinct values always render apart.
+    h.write_str(&format!("{:?}", opts.lowner));
+    h.finish()
 }
 
 /// Convenience wrapper returning only the computed weakest (liberal)
@@ -230,10 +274,157 @@ struct Ctx<'a> {
     opts: VcOptions,
     rankings: &'a HashMap<usize, RankingCertificate>,
     next_loop_id: usize,
+    cache: Option<&'a dyn TransformerCache>,
+    ctx_key: CacheKey,
 }
 
 impl Ctx<'_> {
+    /// Backward pass over one subterm, consulting the memo cache for
+    /// composite nodes (leaves are cheaper to recompute than to look up).
     fn go(&mut self, stmt: &TStmt, post: &Assertion) -> Result<Annotated, VerifError> {
+        match self.cache {
+            Some(cache) if self.cacheable(stmt) => {
+                let key = self.subterm_key(stmt, post);
+                if let Some(hit) = cache.get(key) {
+                    return Ok(hit);
+                }
+                let ann = self.go_uncached(stmt, post)?;
+                cache.put(key, &ann);
+                Ok(ann)
+            }
+            _ => self.go_uncached(stmt, post),
+        }
+    }
+
+    /// Whether a subterm's annotated result may be memoised: composite
+    /// nodes only, and loop-bearing subterms only in partial mode (total
+    /// mode consults ranking certificates outside the cache key).
+    fn cacheable(&self, stmt: &TStmt) -> bool {
+        let composite = matches!(
+            stmt,
+            TStmt::Seq(_) | TStmt::NDet(_, _) | TStmt::If { .. } | TStmt::While { .. }
+        );
+        composite && (self.opts.mode == Mode::Partial || !contains_while(stmt))
+    }
+
+    /// Content key of `(subterm, postcondition)` under the run context:
+    /// structure plus every referenced operator resolved to exact matrix
+    /// bits, so renamed-but-identical and identical-by-content subterms
+    /// share entries while any numerical difference separates them.
+    fn subterm_key(&self, stmt: &TStmt, post: &Assertion) -> CacheKey {
+        let mut h = KeyHasher::new();
+        h.write_u64((self.ctx_key >> 64) as u64);
+        h.write_u64(self.ctx_key as u64);
+        self.hash_stmt(&mut h, stmt);
+        h.write_usize(post.dim());
+        h.write_usize(post.len());
+        for m in post.ops() {
+            h.write_matrix(m);
+        }
+        h.finish()
+    }
+
+    fn hash_expr(&self, h: &mut KeyHasher, expr: &AssertionExpr) {
+        h.write_usize(expr.terms.len());
+        for term in &expr.terms {
+            h.write_str(&term.op);
+            h.write_usize(term.qubits.len());
+            for q in &term.qubits {
+                h.write_str(q);
+            }
+            if let Ok(m) = self.lib.predicate(&term.op) {
+                h.write_matrix(&m);
+            }
+        }
+    }
+
+    fn hash_stmt(&self, h: &mut KeyHasher, stmt: &TStmt) {
+        match stmt {
+            TStmt::Skip => h.write_u8(0),
+            TStmt::Abort => h.write_u8(1),
+            TStmt::Assert(expr) => {
+                h.write_u8(2);
+                self.hash_expr(h, expr);
+            }
+            TStmt::Init(qubits) => {
+                h.write_u8(3);
+                h.write_usize(qubits.len());
+                for q in qubits {
+                    h.write_str(q);
+                }
+            }
+            TStmt::Unitary(qubits, op) => {
+                h.write_u8(4);
+                h.write_usize(qubits.len());
+                for q in qubits {
+                    h.write_str(q);
+                }
+                h.write_str(op);
+                if let Ok(u) = self.lib.unitary(op) {
+                    h.write_matrix(u);
+                }
+            }
+            TStmt::Seq(items) => {
+                h.write_u8(5);
+                h.write_usize(items.len());
+                for item in items {
+                    self.hash_stmt(h, item);
+                }
+            }
+            TStmt::NDet(a, b) => {
+                h.write_u8(6);
+                self.hash_stmt(h, a);
+                self.hash_stmt(h, b);
+            }
+            TStmt::If {
+                meas,
+                qubits,
+                then_branch,
+                else_branch,
+            } => {
+                h.write_u8(7);
+                self.hash_meas(h, meas, qubits);
+                self.hash_stmt(h, then_branch);
+                self.hash_stmt(h, else_branch);
+            }
+            TStmt::While {
+                meas,
+                qubits,
+                invariant,
+                body,
+                // Pre-order numbering is positional, not semantic; rankings
+                // (the only loop_id consumer) gate `cacheable` instead.
+                loop_id: _,
+            } => {
+                h.write_u8(8);
+                self.hash_meas(h, meas, qubits);
+                match invariant {
+                    Some(expr) => {
+                        h.write_u8(1);
+                        self.hash_expr(h, expr);
+                        // Inference settings change what an un-annotated
+                        // loop produces, so keep annotated/inferred apart.
+                    }
+                    None => h.write_u8(if self.opts.infer_invariants { 2 } else { 0 }),
+                }
+                self.hash_stmt(h, body);
+            }
+        }
+    }
+
+    fn hash_meas(&self, h: &mut KeyHasher, meas: &str, qubits: &[String]) {
+        h.write_str(meas);
+        h.write_usize(qubits.len());
+        for q in qubits {
+            h.write_str(q);
+        }
+        if let Ok(m) = self.lib.measurement(meas) {
+            h.write_matrix(m.p0());
+            h.write_matrix(m.p1());
+        }
+    }
+
+    fn go_uncached(&mut self, stmt: &TStmt, post: &Assertion) -> Result<Annotated, VerifError> {
         let n = self.reg.n_qubits();
         let dim = self.reg.dim();
         match stmt {
@@ -267,13 +458,11 @@ impl Ctx<'_> {
                             v.margin
                         ),
                     }),
-                    Verdict::Inconclusive { lower, upper, .. } => {
-                        Err(VerifError::Inconclusive {
-                            details: format!(
-                                "cut assertion comparison unresolved in [{lower:.3e}, {upper:.3e}]"
-                            ),
-                        })
-                    }
+                    Verdict::Inconclusive { lower, upper, .. } => Err(VerifError::Inconclusive {
+                        details: format!(
+                            "cut assertion comparison unresolved in [{lower:.3e}, {upper:.3e}]"
+                        ),
+                    }),
                 }
             }
             TStmt::Init(qubits) => {
@@ -328,10 +517,7 @@ impl Ctx<'_> {
             TStmt::NDet(a, b) => {
                 let left = self.go(a, post)?;
                 let right = self.go(b, post)?;
-                let pre = left
-                    .pre
-                    .union(&right.pre)?
-                    .check_size(self.opts.max_set)?;
+                let pre = left.pre.union(&right.pre)?.check_size(self.opts.max_set)?;
                 Ok(Annotated {
                     pre,
                     node: AnnotatedNode::NDet(Box::new(left), Box::new(right)),
@@ -374,8 +560,7 @@ impl Ctx<'_> {
                         let inv = Assertion::from_expr(inv_expr, self.lib, self.reg)?;
                         if !inv.validate_predicates(1e-6) {
                             return Err(VerifError::InvalidInvariant {
-                                details: "invariant contains operators outside 0 ⊑ M ⊑ I"
-                                    .into(),
+                                details: "invariant contains operators outside 0 ⊑ M ⊑ I".into(),
                             });
                         }
                         inv
@@ -456,11 +641,7 @@ impl Ctx<'_> {
     }
 
     /// Resolves the embedded projectors `P⁰`, `P¹` of a measurement.
-    fn branch_projectors(
-        &self,
-        meas: &str,
-        qubits: &[String],
-    ) -> Result<(CMat, CMat), VerifError> {
+    fn branch_projectors(&self, meas: &str, qubits: &[String]) -> Result<(CMat, CMat), VerifError> {
         let m = self.lib.measurement(meas)?;
         let pos = self.reg.positions(qubits)?;
         if m.n_qubits() != pos.len() {
@@ -491,6 +672,21 @@ impl Ctx<'_> {
             self.reg,
             self.opts.lowner,
         )
+    }
+}
+
+/// Whether any `while` loop occurs in the subterm.
+fn contains_while(stmt: &TStmt) -> bool {
+    match stmt {
+        TStmt::While { .. } => true,
+        TStmt::Seq(items) => items.iter().any(contains_while),
+        TStmt::NDet(a, b) => contains_while(a) || contains_while(b),
+        TStmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => contains_while(then_branch) || contains_while(else_branch),
+        _ => false,
     }
 }
 
@@ -562,8 +758,8 @@ mod tests {
             &reg,
         )
         .unwrap();
-        let pre = precondition(&s, &post, &lib, &reg, VcOptions::default(), &no_rankings())
-            .unwrap();
+        let pre =
+            precondition(&s, &post, &lib, &reg, VcOptions::default(), &no_rankings()).unwrap();
         assert_eq!(pre.len(), 1);
         let plus = ket("+").projector();
         assert!(pre.ops()[0].approx_eq(&plus, TOL));
@@ -576,8 +772,8 @@ mod tests {
         // xp.(q:=0).M = Σ_i |i⟩⟨0| M |0⟩⟨i| = ⟨0|M|0⟩·I (1 qubit).
         let m = ket("+").projector();
         let post = Assertion::from_ops(2, vec![m.clone()]).unwrap();
-        let pre = precondition(&s, &post, &lib, &reg, VcOptions::default(), &no_rankings())
-            .unwrap();
+        let pre =
+            precondition(&s, &post, &lib, &reg, VcOptions::default(), &no_rankings()).unwrap();
         let expected = CMat::identity(2).scale_re(m[(0, 0)].re);
         assert!(pre.ops()[0].approx_eq(&expected, TOL));
     }
@@ -625,8 +821,8 @@ mod tests {
             &reg,
         )
         .unwrap();
-        let pre = precondition(&s, &post, &lib, &reg, VcOptions::default(), &no_rankings())
-            .unwrap();
+        let pre =
+            precondition(&s, &post, &lib, &reg, VcOptions::default(), &no_rankings()).unwrap();
         // {P0, X P0 X = P1}.
         assert_eq!(pre.len(), 2);
     }
@@ -642,8 +838,8 @@ mod tests {
             &reg,
         )
         .unwrap();
-        let pre = precondition(&s, &post, &lib, &reg, VcOptions::default(), &no_rankings())
-            .unwrap();
+        let pre =
+            precondition(&s, &post, &lib, &reg, VcOptions::default(), &no_rankings()).unwrap();
         // pre = P1(X†P0X)P1 + P0(P0)P0 = P1·P1·P1 + P0 = P1 + P0 = I.
         assert_eq!(pre.len(), 1);
         assert!(pre.ops()[0].approx_eq(&CMat::identity(2), 1e-9));
@@ -674,11 +870,7 @@ mod tests {
             // wp set = {E†(M) : E ∈ [[S]]} (Lemma A.1(1)): same cardinality
             // after dedupe and pointwise agreement of expectations.
             let rho = ket("++").projector();
-            let wp_vals: Vec<f64> = pre
-                .ops()
-                .iter()
-                .map(|w| w.trace_product(&rho).re)
-                .collect();
+            let wp_vals: Vec<f64> = pre.ops().iter().map(|w| w.trace_product(&rho).re).collect();
             let sem_vals: Vec<f64> = sem
                 .iter()
                 .map(|e| e.apply(&rho).trace_product(&m).re)
@@ -697,8 +889,8 @@ mod tests {
         let (lib, reg) = setup(&["q"]);
         let s = parse_stmt("while M01[q] do [q] *= H end").unwrap();
         let post = Assertion::identity(2);
-        let err = precondition(&s, &post, &lib, &reg, VcOptions::default(), &no_rankings())
-            .unwrap_err();
+        let err =
+            precondition(&s, &post, &lib, &reg, VcOptions::default(), &no_rankings()).unwrap_err();
         assert!(matches!(err, VerifError::MissingInvariant));
     }
 
@@ -723,16 +915,23 @@ mod tests {
                    ( [q1 q2] *= W1; [q1 q2] *= W2 # [q1 q2] *= W2; [q1 q2] *= W1 ) end";
         let s = parse_stmt(src).unwrap();
         let post = Assertion::zero(4);
-        let pre = precondition(&s, &post, &lib, &reg, VcOptions::default(), &no_rankings())
-            .unwrap();
+        let pre =
+            precondition(&s, &post, &lib, &reg, VcOptions::default(), &no_rankings()).unwrap();
         // Φ = P⁰(0) + P¹(invN) = invN (its support avoids |10⟩).
         assert_eq!(pre.len(), 1);
         // Now the paper's Sec. 6.2 error scenario: invariant P0[q1] fails.
         let bad_src = "{ inv : P0[q1] }; while MQWalk[q1 q2] do \
                        ( [q1 q2] *= W1; [q1 q2] *= W2 # [q1 q2] *= W2; [q1 q2] *= W1 ) end";
         let bad = parse_stmt(bad_src).unwrap();
-        let err = precondition(&bad, &post, &lib, &reg, VcOptions::default(), &no_rankings())
-            .unwrap_err();
+        let err = precondition(
+            &bad,
+            &post,
+            &lib,
+            &reg,
+            VcOptions::default(),
+            &no_rankings(),
+        )
+        .unwrap_err();
         assert!(
             matches!(err, VerifError::InvalidInvariant { .. }),
             "got {err:?}"
@@ -828,13 +1027,18 @@ mod tests {
             &reg,
         )
         .unwrap();
-        assert!(
-            precondition(&ok, &post, &lib, &reg, VcOptions::default(), &no_rankings()).is_ok()
-        );
+        assert!(precondition(&ok, &post, &lib, &reg, VcOptions::default(), &no_rankings()).is_ok());
         // Invalid cut: {P1} before H with post P0.
         let bad = parse_stmt("{ P1[q] }; [q] *= H").unwrap();
-        let err = precondition(&bad, &post, &lib, &reg, VcOptions::default(), &no_rankings())
-            .unwrap_err();
+        let err = precondition(
+            &bad,
+            &post,
+            &lib,
+            &reg,
+            VcOptions::default(),
+            &no_rankings(),
+        )
+        .unwrap_err();
         assert!(matches!(err, VerifError::CutFailed { .. }));
     }
 
@@ -848,8 +1052,7 @@ mod tests {
             &reg,
         )
         .unwrap();
-        let ann = backward(&s, &post, &lib, &reg, VcOptions::default(), &no_rankings())
-            .unwrap();
+        let ann = backward(&s, &post, &lib, &reg, VcOptions::default(), &no_rankings()).unwrap();
         // H;H = I so the overall pre is P0 again.
         assert!(ann.pre.ops()[0].approx_eq(&ket("0").projector(), 1e-9));
         match &ann.node {

@@ -11,7 +11,7 @@ use crate::assertion::Assertion;
 use crate::error::VerifError;
 use crate::outline::{render_assertion, render_outline, PredicateRegistry};
 use crate::ranking::RankingCertificate;
-use crate::transformer::{backward, VcOptions};
+use crate::transformer::VcOptions;
 use nqpv_lang::{AssertionExpr, ProofTerm, Stmt};
 use nqpv_quantum::{OperatorLibrary, Register};
 use nqpv_solver::Verdict;
@@ -73,6 +73,24 @@ pub fn verify_proof_term(
     rankings: &HashMap<usize, RankingCertificate>,
     registry: &mut PredicateRegistry,
 ) -> Result<VerifyOutcome, VerifError> {
+    verify_proof_term_with(term, lib, opts, rankings, registry, None)
+}
+
+/// [`verify_proof_term`] with an optional memo cache threaded through to
+/// the backward pass (see [`crate::cache::TransformerCache`]); batch
+/// drivers share one cache across many proof terms.
+///
+/// # Errors
+///
+/// Same as [`verify_proof_term`].
+pub fn verify_proof_term_with(
+    term: &ProofTerm,
+    lib: &OperatorLibrary,
+    opts: VcOptions,
+    rankings: &HashMap<usize, RankingCertificate>,
+    registry: &mut PredicateRegistry,
+    cache: Option<&dyn crate::cache::TransformerCache>,
+) -> Result<VerifyOutcome, VerifError> {
     let reg = Register::new(&term.qubits)?;
     // Resolve and name the user-facing assertions.
     let post = resolve_user_assertion(&term.post, lib, &reg, registry)?;
@@ -83,7 +101,9 @@ pub fn verify_proof_term(
     register_stmt_assertions(&term.body, lib, &reg, registry);
 
     // Backward pass.
-    let ann = backward(&term.body, &post, lib, &reg, opts, rankings)?;
+    let ann = crate::transformer::backward_with_cache(
+        &term.body, &post, lib, &reg, opts, rankings, cache,
+    )?;
 
     // Final comparison (when a precondition was supplied).
     let status = match &pre {
@@ -253,14 +273,17 @@ mod tests {
         .unwrap();
         assert!(outcome.status.verified(), "{:?}", outcome.status);
         // The outline must show the invariant name and the while structure.
-        assert!(outcome.outline.contains("invN[q1 q2]"), "{}", outcome.outline);
+        assert!(
+            outcome.outline.contains("invN[q1 q2]"),
+            "{}",
+            outcome.outline
+        );
         assert!(outcome.outline.contains("while MQWalk[q1 q2] do"));
         assert!(outcome.outline.contains("// the Veri. Con."));
         // The generated VC for the whole program is I (full space), i.e.
         // the formula {I} QWalk {0} of Eq. 15.
         assert_eq!(outcome.computed_pre.len(), 1);
-        assert!(outcome.computed_pre.ops()[0]
-            .approx_eq(&nqpv_linalg::CMat::identity(4), 1e-9));
+        assert!(outcome.computed_pre.ops()[0].approx_eq(&nqpv_linalg::CMat::identity(4), 1e-9));
         // show VAR-like names resolve.
         assert!(registry.matrix("invN[q1 q2]").is_some());
     }
@@ -323,8 +346,7 @@ mod tests {
         .unwrap();
         assert!(outcome.status.verified());
         // VC = |+⟩⟨+| = Pp.
-        assert!(outcome.computed_pre.ops()[0]
-            .approx_eq(&nqpv_quantum::ket("+").projector(), 1e-9));
+        assert!(outcome.computed_pre.ops()[0].approx_eq(&nqpv_quantum::ket("+").projector(), 1e-9));
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! The concurrent memo cache behind corpus runs.
+
+use nqpv_core::{Annotated, CacheKey, TransformerCache};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Snapshot of cache effectiveness counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the store.
+    pub hits: u64,
+    /// Lookups that fell through to computation.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Content-addressed, thread-safe memo store for backward-transformer
+/// subterm results — one instance is shared (via `Arc`) by every worker
+/// of a batch run.
+///
+/// Lookup and insert both take a short mutex critical section (the stored
+/// [`Annotated`] values are cloned out, never borrowed), so workers
+/// contend only for map access, not for verification work.
+#[derive(Debug, Default)]
+pub struct MemoCache {
+    map: Mutex<HashMap<CacheKey, Annotated>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MemoCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        MemoCache::default()
+    }
+
+    /// Current hit/miss/size counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("cache poisoned").len() as u64,
+        }
+    }
+}
+
+impl TransformerCache for MemoCache {
+    fn get(&self, key: CacheKey) -> Option<Annotated> {
+        let found = self.map.lock().expect("cache poisoned").get(&key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn put(&self, key: CacheKey, value: &Annotated) {
+        self.map
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, value.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nqpv_core::{backward_with_cache, Assertion, VcOptions};
+    use nqpv_lang::parse_stmt;
+    use nqpv_quantum::{OperatorLibrary, Register};
+    use std::collections::HashMap;
+
+    #[test]
+    fn repeated_backward_passes_hit_the_cache() {
+        let cache = MemoCache::new();
+        let lib = OperatorLibrary::with_builtins();
+        let reg = Register::new(&["q"]).unwrap();
+        let stmt = parse_stmt("( [q] *= H; [q] *= H # skip )").unwrap();
+        let post = Assertion::identity(2);
+        let opts = VcOptions::default();
+        let none = HashMap::new();
+        let a = backward_with_cache(&stmt, &post, &lib, &reg, opts, &none, Some(&cache)).unwrap();
+        let first = cache.stats();
+        assert_eq!(first.hits, 0);
+        assert!(first.entries > 0, "composite nodes must be stored");
+        let b = backward_with_cache(&stmt, &post, &lib, &reg, opts, &none, Some(&cache)).unwrap();
+        let second = cache.stats();
+        assert!(second.hits >= 1, "identical pass must hit: {second:?}");
+        // Cached and computed results are bit-identical.
+        assert_eq!(a.pre.ops().len(), b.pre.ops().len());
+        for (x, y) in a.pre.ops().iter().zip(b.pre.ops()) {
+            assert!(x.approx_eq(y, 0.0), "cached pre must be exact");
+        }
+    }
+
+    #[test]
+    fn different_posts_do_not_collide() {
+        let cache = MemoCache::new();
+        let lib = OperatorLibrary::with_builtins();
+        let reg = Register::new(&["q"]).unwrap();
+        let stmt = parse_stmt("( skip # [q] *= X )").unwrap();
+        let opts = VcOptions::default();
+        let none = HashMap::new();
+        let p0 = Assertion::from_ops(2, vec![nqpv_quantum::ket("0").projector()]).unwrap();
+        let pp = Assertion::from_ops(2, vec![nqpv_quantum::ket("+").projector()]).unwrap();
+        let a = backward_with_cache(&stmt, &p0, &lib, &reg, opts, &none, Some(&cache)).unwrap();
+        let b = backward_with_cache(&stmt, &pp, &lib, &reg, opts, &none, Some(&cache)).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0, "distinct posts must not collide: {stats:?}");
+        assert_eq!(stats.entries, 2);
+        // xp.(skip # X).P0 = {P0, P1}; xp.(skip # X).Pp = {Pp} (X-invariant).
+        assert!(
+            !a.pre.approx_set_eq(&b.pre, 1e-9),
+            "distinct postconditions must produce distinct results"
+        );
+    }
+
+    #[test]
+    fn hit_rate_arithmetic() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            entries: 1,
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        let empty = CacheStats {
+            hits: 0,
+            misses: 0,
+            entries: 0,
+        };
+        assert_eq!(empty.hit_rate(), 0.0);
+    }
+}

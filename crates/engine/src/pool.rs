@@ -1,0 +1,263 @@
+//! The worker pool: verifies a corpus's jobs concurrently over a shared
+//! memo cache and assembles the batch report.
+
+use crate::cache::MemoCache;
+use crate::corpus::{Corpus, Job};
+use crate::report::{BatchReport, JobReport, JobStatus, ProofReport};
+use nqpv_core::{Session, VcOptions};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration for a batch run.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Worker threads; `0` picks the machine's available parallelism.
+    pub jobs: usize,
+    /// Verification options applied to every job.
+    pub vc: VcOptions,
+    /// Whether to share a [`MemoCache`] across the run.
+    pub use_cache: bool,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            jobs: 0,
+            vc: VcOptions::default(),
+            use_cache: true,
+        }
+    }
+}
+
+impl BatchOptions {
+    /// The effective worker count: `jobs`, or available parallelism when
+    /// `jobs == 0`, never more than the number of corpus jobs (and at
+    /// least 1).
+    pub fn effective_workers(&self, n_jobs: usize) -> usize {
+        let requested = if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        };
+        requested.clamp(1, n_jobs.max(1))
+    }
+}
+
+/// Verifies every job of `corpus` on a pool of
+/// [`BatchOptions::effective_workers`] threads, sharing one memo cache.
+///
+/// Job verdicts are deterministic and independent of the worker count:
+/// each job runs in its own `Session`, and the shared cache is
+/// content-addressed with deterministic values, so interleaving only
+/// affects *when* an entry is first computed, never what it contains.
+pub fn run_batch(corpus: &Corpus, options: &BatchOptions) -> BatchReport {
+    let t0 = Instant::now();
+    let workers = options.effective_workers(corpus.len());
+    let cache = options.use_cache.then(|| Arc::new(MemoCache::new()));
+
+    let n = corpus.len();
+    let mut slots: Vec<Option<JobReport>> = Vec::new();
+    slots.resize_with(n, || None);
+
+    if n > 0 {
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, JobReport)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let next = &next;
+                let tx = tx.clone();
+                let cache = cache.clone();
+                let vc = options.vc;
+                scope.spawn(move || loop {
+                    // Work-stealing by atomic counter: idle workers pull
+                    // the next unclaimed job index.
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let report = run_job(&corpus.jobs()[i], vc, cache.clone());
+                    let _ = tx.send((i, report));
+                });
+            }
+        });
+        drop(tx);
+        for (i, report) in rx {
+            slots[i] = Some(report);
+        }
+    }
+
+    let jobs: Vec<JobReport> = slots
+        .into_iter()
+        .map(|s| s.expect("every job produced a report"))
+        .collect();
+    let cache_stats = cache.as_ref().map(|c| c.stats());
+    BatchReport {
+        jobs,
+        workers,
+        total_ms: t0.elapsed().as_secs_f64() * 1e3,
+        cache: cache_stats,
+    }
+}
+
+/// Runs one job in a fresh `Session` (sharing `cache` if provided).
+fn run_job(job: &Job, vc: VcOptions, cache: Option<Arc<MemoCache>>) -> JobReport {
+    let t0 = Instant::now();
+    let mut session = Session::new()
+        .with_options(vc)
+        .with_base_dir(job.base_dir.clone());
+    if let Some(cache) = cache {
+        session = session.with_cache(cache);
+    }
+    let status = match session.run_str(&job.source) {
+        Err(e) => JobStatus::Error {
+            message: e.to_string(),
+        },
+        Ok(()) => {
+            let proofs: Vec<ProofReport> = session
+                .proof_verdicts()
+                .iter()
+                .map(|(name, verified)| ProofReport {
+                    name: name.clone(),
+                    verified: *verified,
+                })
+                .collect();
+            if proofs.iter().all(|p| p.verified) {
+                JobStatus::Verified { proofs }
+            } else {
+                JobStatus::Rejected { proofs }
+            }
+        }
+    };
+    JobReport {
+        name: job.name.clone(),
+        path: job.path.as_ref().map(|p| p.display().to_string()),
+        status,
+        ms: t0.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+
+    // Composite (Seq) body so the memo cache participates — leaf-only
+    // bodies are recomputed by design.
+    const OK: &str = "def pf := proof [q] : { P0[q] }; [q] *= H; [q] *= H; { P0[q] } end";
+    const REJECTED: &str = "def pf := proof [q] : { P1[q] }; [q] *= H; { P0[q] } end";
+    const BROKEN: &str = "def pf := proof [q] : { Pp[q] }; [q] *= ; { P0[q] } end";
+    const LOOPY: &str = "def pf := proof [q] : { I[q] }; [q] := 0; [q] *= H; \
+                         { inv : I[q] }; while M01[q] do [q] *= H end; { P0[q] } end";
+
+    fn corpus() -> Corpus {
+        Corpus::from_sources(vec![
+            ("ok", OK),
+            ("rejected", REJECTED),
+            ("broken", BROKEN),
+            ("loopy", LOOPY),
+            ("ok_again", OK),
+        ])
+    }
+
+    #[test]
+    fn statuses_cover_verified_rejected_error() {
+        let report = run_batch(&corpus(), &BatchOptions::default());
+        assert_eq!(report.verified_jobs(), 3, "{}", report.human_summary());
+        assert_eq!(report.rejected_jobs(), 1);
+        assert_eq!(report.errored_jobs(), 1);
+        let by_name = |n: &str| {
+            report
+                .jobs
+                .iter()
+                .find(|j| j.name == n)
+                .expect("job present")
+        };
+        assert!(matches!(by_name("ok").status, JobStatus::Verified { .. }));
+        assert!(matches!(
+            by_name("rejected").status,
+            JobStatus::Rejected { .. }
+        ));
+        assert!(matches!(by_name("broken").status, JobStatus::Error { .. }));
+    }
+
+    #[test]
+    fn duplicate_jobs_yield_cache_hits_and_identical_verdicts() {
+        let report = run_batch(
+            &corpus(),
+            &BatchOptions {
+                jobs: 1,
+                ..BatchOptions::default()
+            },
+        );
+        let stats = report.cache.expect("cache enabled by default");
+        assert!(
+            stats.hits > 0,
+            "verifying the same program twice must hit the memo cache: {stats:?}"
+        );
+        let ok_jobs: Vec<_> = report
+            .jobs
+            .iter()
+            .filter(|j| j.name.starts_with("ok"))
+            .collect();
+        assert_eq!(ok_jobs.len(), 2);
+        assert!(ok_jobs
+            .iter()
+            .all(|j| matches!(j.status, JobStatus::Verified { .. })));
+    }
+
+    #[test]
+    fn worker_counts_agree_on_every_verdict() {
+        let seq = run_batch(
+            &corpus(),
+            &BatchOptions {
+                jobs: 1,
+                ..BatchOptions::default()
+            },
+        );
+        let par = run_batch(
+            &corpus(),
+            &BatchOptions {
+                jobs: 4,
+                ..BatchOptions::default()
+            },
+        );
+        assert_eq!(par.workers, 4);
+        for (a, b) in seq.jobs.iter().zip(&par.jobs) {
+            assert_eq!(a.name, b.name, "job order is corpus order");
+            assert_eq!(
+                a.status.label(),
+                b.status.label(),
+                "{}: sequential and parallel runs must agree",
+                a.name
+            );
+        }
+    }
+
+    #[test]
+    fn cache_can_be_disabled() {
+        let report = run_batch(
+            &corpus(),
+            &BatchOptions {
+                use_cache: false,
+                ..BatchOptions::default()
+            },
+        );
+        assert!(report.cache.is_none());
+        assert_eq!(report.verified_jobs(), 3);
+    }
+
+    #[test]
+    fn effective_workers_clamps_sensibly() {
+        let opts = BatchOptions {
+            jobs: 8,
+            ..BatchOptions::default()
+        };
+        assert_eq!(opts.effective_workers(3), 3);
+        assert_eq!(opts.effective_workers(0), 1);
+        let auto = BatchOptions::default();
+        assert!(auto.effective_workers(64) >= 1);
+    }
+}

@@ -1,0 +1,307 @@
+//! Structured batch results: per-job status, timings, cache counters,
+//! with JSON and human renderings (no external serialisation crates —
+//! the JSON writer below is self-contained).
+
+use crate::cache::CacheStats;
+use std::fmt::Write as _;
+
+/// Verdict for one named proof inside a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProofReport {
+    /// The proof's `def` name.
+    pub name: String,
+    /// Whether the correctness formula was established.
+    pub verified: bool,
+}
+
+/// Outcome of one corpus job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The file ran and every proof verified.
+    Verified {
+        /// Per-proof verdicts (all true).
+        proofs: Vec<ProofReport>,
+    },
+    /// The file ran but at least one proof was rejected.
+    Rejected {
+        /// Per-proof verdicts.
+        proofs: Vec<ProofReport>,
+    },
+    /// The file failed structurally: parse error, unknown operator,
+    /// missing `.npy`, invalid invariant, …
+    Error {
+        /// The session error message.
+        message: String,
+    },
+}
+
+impl JobStatus {
+    /// Stable status label used in JSON and summaries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobStatus::Verified { .. } => "verified",
+            JobStatus::Rejected { .. } => "rejected",
+            JobStatus::Error { .. } => "error",
+        }
+    }
+}
+
+/// One job's report.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Job name (file stem).
+    pub name: String,
+    /// Source path, when disk-backed.
+    pub path: Option<String>,
+    /// The verdict.
+    pub status: JobStatus,
+    /// Wall-clock verification time in milliseconds.
+    pub ms: f64,
+}
+
+/// The whole batch run.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-job reports, in corpus order.
+    pub jobs: Vec<JobReport>,
+    /// Worker threads used.
+    pub workers: usize,
+    /// End-to-end wall time in milliseconds.
+    pub total_ms: f64,
+    /// Cache counters (`None` when caching was disabled).
+    pub cache: Option<CacheStats>,
+}
+
+impl BatchReport {
+    /// Number of fully verified jobs.
+    pub fn verified_jobs(&self) -> usize {
+        self.count(|s| matches!(s, JobStatus::Verified { .. }))
+    }
+
+    /// Number of jobs with at least one rejected proof.
+    pub fn rejected_jobs(&self) -> usize {
+        self.count(|s| matches!(s, JobStatus::Rejected { .. }))
+    }
+
+    /// Number of jobs that failed structurally.
+    pub fn errored_jobs(&self) -> usize {
+        self.count(|s| matches!(s, JobStatus::Error { .. }))
+    }
+
+    fn count(&self, pred: impl Fn(&JobStatus) -> bool) -> usize {
+        self.jobs.iter().filter(|j| pred(&j.status)).count()
+    }
+
+    /// `true` when every job verified.
+    pub fn all_verified(&self) -> bool {
+        self.verified_jobs() == self.jobs.len()
+    }
+
+    /// Machine-readable JSON rendering of the whole report.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"workers\": {},", self.workers);
+        let _ = writeln!(out, "  \"total_ms\": {:.3},", self.total_ms);
+        match &self.cache {
+            Some(c) => {
+                let _ = writeln!(
+                    out,
+                    "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \"hit_rate\": {:.4}}},",
+                    c.hits,
+                    c.misses,
+                    c.entries,
+                    c.hit_rate()
+                );
+            }
+            None => out.push_str("  \"cache\": null,\n"),
+        }
+        let _ = writeln!(out, "  \"verified\": {},", self.verified_jobs());
+        let _ = writeln!(out, "  \"rejected\": {},", self.rejected_jobs());
+        let _ = writeln!(out, "  \"errors\": {},", self.errored_jobs());
+        out.push_str("  \"jobs\": [\n");
+        for (i, job) in self.jobs.iter().enumerate() {
+            out.push_str("    {");
+            let _ = write!(out, "\"name\": {}", json_string(&job.name));
+            if let Some(path) = &job.path {
+                let _ = write!(out, ", \"path\": {}", json_string(path));
+            }
+            let _ = write!(out, ", \"status\": \"{}\"", job.status.label());
+            let _ = write!(out, ", \"ms\": {:.3}", job.ms);
+            match &job.status {
+                JobStatus::Verified { proofs } | JobStatus::Rejected { proofs } => {
+                    out.push_str(", \"proofs\": [");
+                    for (k, p) in proofs.iter().enumerate() {
+                        if k > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(
+                            out,
+                            "{{\"name\": {}, \"verified\": {}}}",
+                            json_string(&p.name),
+                            p.verified
+                        );
+                    }
+                    out.push(']');
+                }
+                JobStatus::Error { message } => {
+                    let _ = write!(out, ", \"error\": {}", json_string(message));
+                }
+            }
+            out.push('}');
+            if i + 1 < self.jobs.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Human-oriented multi-line summary.
+    pub fn human_summary(&self) -> String {
+        let mut out = String::new();
+        for job in &self.jobs {
+            let detail = match &job.status {
+                JobStatus::Verified { proofs } => format!("{} proof(s)", proofs.len()),
+                JobStatus::Rejected { proofs } => {
+                    let failed: Vec<&str> = proofs
+                        .iter()
+                        .filter(|p| !p.verified)
+                        .map(|p| p.name.as_str())
+                        .collect();
+                    format!("rejected: {}", failed.join(", "))
+                }
+                JobStatus::Error { message } => {
+                    message.lines().next().unwrap_or("error").to_string()
+                }
+            };
+            let _ = writeln!(
+                out,
+                "{:<20} {:>9}  {:>9.3} ms  {}",
+                job.name,
+                job.status.label(),
+                job.ms,
+                detail
+            );
+        }
+        let _ = writeln!(
+            out,
+            "---\n{} job(s): {} verified, {} rejected, {} error(s); {} worker(s), {:.3} ms total",
+            self.jobs.len(),
+            self.verified_jobs(),
+            self.rejected_jobs(),
+            self.errored_jobs(),
+            self.workers,
+            self.total_ms
+        );
+        if let Some(c) = &self.cache {
+            let _ = writeln!(
+                out,
+                "cache: {} hit(s), {} miss(es), {} entr{}, hit rate {:.1}%",
+                c.hits,
+                c.misses,
+                c.entries,
+                if c.entries == 1 { "y" } else { "ies" },
+                c.hit_rate() * 100.0
+            );
+        }
+        out
+    }
+}
+
+/// Escapes a string as a JSON literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BatchReport {
+        BatchReport {
+            jobs: vec![
+                JobReport {
+                    name: "a".into(),
+                    path: Some("dir/a.nqpv".into()),
+                    status: JobStatus::Verified {
+                        proofs: vec![ProofReport {
+                            name: "pf".into(),
+                            verified: true,
+                        }],
+                    },
+                    ms: 1.25,
+                },
+                JobReport {
+                    name: "b".into(),
+                    path: None,
+                    status: JobStatus::Error {
+                        message: "line 1: unexpected \"token\"\nmore".into(),
+                    },
+                    ms: 0.5,
+                },
+            ],
+            workers: 2,
+            total_ms: 2.0,
+            cache: Some(CacheStats {
+                hits: 1,
+                misses: 3,
+                entries: 3,
+            }),
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let json = sample().to_json();
+        assert!(json.contains("\"workers\": 2"));
+        assert!(json.contains("\"status\": \"verified\""));
+        assert!(json.contains("\\\"token\\\""), "{json}");
+        assert!(json.contains("\\n"), "newlines escaped");
+        assert!(json.contains("\"hit_rate\": 0.2500"));
+        // Balanced braces/brackets (cheap structural sanity check).
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close} in {json}"
+            );
+        }
+    }
+
+    #[test]
+    fn summary_counts_statuses() {
+        let report = sample();
+        assert_eq!(report.verified_jobs(), 1);
+        assert_eq!(report.errored_jobs(), 1);
+        assert!(!report.all_verified());
+        let text = report.human_summary();
+        assert!(text.contains("1 verified"));
+        assert!(text.contains("1 error"));
+        assert!(text.contains("hit rate 25.0%"));
+    }
+
+    #[test]
+    fn json_strings_escape_control_chars() {
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -196,7 +196,11 @@ impl Stmt {
     }
 
     /// The paper's `if M[q̄] then S end` sugar (`else skip`).
-    pub fn if_then<Q: AsRef<str>, S: Into<String>>(meas: S, qubits: &[Q], then_branch: Stmt) -> Stmt {
+    pub fn if_then<Q: AsRef<str>, S: Into<String>>(
+        meas: S,
+        qubits: &[Q],
+        then_branch: Stmt,
+    ) -> Stmt {
         Stmt::if_meas(meas, qubits, then_branch, Stmt::Skip)
     }
 
@@ -452,10 +456,7 @@ mod tests {
 
     #[test]
     fn seq_flattens() {
-        let s = Stmt::seq(vec![
-            Stmt::Skip,
-            Stmt::seq(vec![Stmt::Abort, Stmt::Skip]),
-        ]);
+        let s = Stmt::seq(vec![Stmt::Skip, Stmt::seq(vec![Stmt::Abort, Stmt::Skip])]);
         match s {
             Stmt::Seq(items) => assert_eq!(items.len(), 3),
             other => panic!("expected Seq, got {other:?}"),
@@ -509,10 +510,7 @@ mod tests {
 
     #[test]
     fn assertion_display() {
-        let a = AssertionExpr::new(vec![
-            OpApp::new("I", &["q1"]),
-            OpApp::new("P0", &["q2"]),
-        ]);
+        let a = AssertionExpr::new(vec![OpApp::new("I", &["q1"]), OpApp::new("P0", &["q2"])]);
         assert_eq!(a.to_string(), "{ I[q1] P0[q2] }");
     }
 }

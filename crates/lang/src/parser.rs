@@ -120,7 +120,11 @@ pub fn parse_proof_body(qubits: &[&str], src: &str) -> Result<ProofTerm, ParseEr
 /// One element of a sequence: either an assertion (with its `inv` flag) or a
 /// statement.
 enum Element {
-    Assertion { inv: bool, expr: AssertionExpr, span: Span },
+    Assertion {
+        inv: bool,
+        expr: AssertionExpr,
+        span: Span,
+    },
     Statement(Stmt),
 }
 
@@ -325,7 +329,9 @@ impl Parser {
                     Some(Tok::Assign) => {
                         self.bump();
                         match self.bump() {
-                            Some(Token { tok: Tok::Int(0), .. }) => Ok(Stmt::Init { qubits }),
+                            Some(Token {
+                                tok: Tok::Int(0), ..
+                            }) => Ok(Stmt::Init { qubits }),
                             _ => Err(self.err_here("initialisation must assign 0")),
                         }
                     }
@@ -422,7 +428,11 @@ fn lower_elements(elements: Vec<Element>) -> Result<Stmt, ParseError> {
     let mut pending_inv: Option<(AssertionExpr, Span)> = None;
     for el in elements {
         match el {
-            Element::Assertion { inv: true, expr, span } => {
+            Element::Assertion {
+                inv: true,
+                expr,
+                span,
+            } => {
                 if pending_inv.is_some() {
                     return Err(ParseError {
                         message: "two consecutive 'inv' annotations".into(),
@@ -431,7 +441,9 @@ fn lower_elements(elements: Vec<Element>) -> Result<Stmt, ParseError> {
                 }
                 pending_inv = Some((expr, span));
             }
-            Element::Assertion { inv: false, expr, .. } => {
+            Element::Assertion {
+                inv: false, expr, ..
+            } => {
                 if let Some((_, span)) = pending_inv {
                     return Err(ParseError {
                         message: "'inv' annotation must immediately precede a while loop".into(),
@@ -511,7 +523,10 @@ show pf end
                         assert!(matches!(items[0], Stmt::Init { .. }));
                         match &items[1] {
                             Stmt::While {
-                                meas, invariant, body, ..
+                                meas,
+                                invariant,
+                                body,
+                                ..
                             } => {
                                 assert_eq!(meas, "MQWalk");
                                 assert!(invariant.is_some());
@@ -563,11 +578,8 @@ show pf end
 
     #[test]
     fn mid_sequence_assertions_become_cut_points() {
-        let term = parse_proof_body(
-            &["q"],
-            "{ I[q] }; [q] *= H; { I[q] }; [q] *= H; { I[q] }",
-        )
-        .unwrap();
+        let term =
+            parse_proof_body(&["q"], "{ I[q] }; [q] *= H; { I[q] }; [q] *= H; { I[q] }").unwrap();
         match &term.body {
             Stmt::Seq(items) => {
                 assert_eq!(items.len(), 3);
@@ -585,8 +597,7 @@ show pf end
 
     #[test]
     fn misplaced_inv_is_rejected() {
-        let err =
-            parse_proof_body(&["q"], "{ inv: I[q] }; [q] *= H; { I[q] }").unwrap_err();
+        let err = parse_proof_body(&["q"], "{ inv: I[q] }; [q] *= H; { I[q] }").unwrap_err();
         assert!(err.message.contains("while"));
         let err2 = parse_stmt("{ inv: I[q] }; skip").unwrap_err();
         assert!(err2.message.contains("while"));

@@ -85,7 +85,7 @@ fn write_stmt(out: &mut String, s: &Stmt, depth: usize) {
             else_branch,
         } => {
             push_indent(out, depth);
-            let _ = write!(out, "if {}{} then\n", meas, fmt_qtuple(qubits));
+            let _ = writeln!(out, "if {}{} then", meas, fmt_qtuple(qubits));
             write_stmt(out, then_branch, depth + 1);
             out.push('\n');
             if **else_branch != Stmt::Skip {
@@ -110,10 +110,10 @@ fn write_stmt(out: &mut String, s: &Stmt, depth: usize) {
                     .iter()
                     .map(|t| format!("{}{}", t.op, fmt_qtuple(&t.qubits)))
                     .collect();
-                let _ = write!(out, "{{ inv : {} }};\n", terms.join(" "));
+                let _ = writeln!(out, "{{ inv : {} }};", terms.join(" "));
             }
             push_indent(out, depth);
-            let _ = write!(out, "while {}{} do\n", meas, fmt_qtuple(qubits));
+            let _ = writeln!(out, "while {}{} do", meas, fmt_qtuple(qubits));
             write_stmt(out, body, depth + 1);
             out.push('\n');
             push_indent(out, depth);
@@ -126,7 +126,7 @@ fn write_stmt(out: &mut String, s: &Stmt, depth: usize) {
 /// surrounding `def`).
 pub fn pretty_proof_term(t: &ProofTerm) -> String {
     let mut out = String::new();
-    let _ = write!(out, "proof {} :\n", fmt_qtuple(&t.qubits));
+    let _ = writeln!(out, "proof {} :", fmt_qtuple(&t.qubits));
     if let Some(pre) = &t.pre {
         push_indent(&mut out, 1);
         out.push_str(&pretty_assertion(pre));
@@ -244,10 +244,7 @@ show pf end
 
     #[test]
     fn assertion_formatting() {
-        let a = AssertionExpr::new(vec![
-            OpApp::new("P0", &["q1"]),
-            OpApp::new("I", &["q2"]),
-        ]);
+        let a = AssertionExpr::new(vec![OpApp::new("P0", &["q1"]), OpApp::new("I", &["q2"])]);
         assert_eq!(pretty_assertion(&a), "{ P0[q1] I[q2] }");
     }
 

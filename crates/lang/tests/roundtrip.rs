@@ -5,7 +5,11 @@ use nqpv_lang::{parse_source, parse_stmt, pretty_stmt, AssertionExpr, OpApp, Stm
 use proptest::prelude::*;
 
 fn qubit_name() -> impl Strategy<Value = String> {
-    prop_oneof![Just("q".to_string()), Just("q1".to_string()), Just("q2".to_string())]
+    prop_oneof![
+        Just("q".to_string()),
+        Just("q1".to_string()),
+        Just("q2".to_string())
+    ]
 }
 
 fn op_name() -> impl Strategy<Value = String> {
@@ -19,18 +23,21 @@ fn op_name() -> impl Strategy<Value = String> {
 }
 
 fn assertion_expr() -> impl Strategy<Value = AssertionExpr> {
-    proptest::collection::vec((op_name(), proptest::collection::vec(qubit_name(), 1..3)), 1..3)
-        .prop_map(|terms| {
-            AssertionExpr::new(
-                terms
-                    .into_iter()
-                    .map(|(op, mut qs)| {
-                        qs.dedup();
-                        OpApp { op, qubits: qs }
-                    })
-                    .collect(),
-            )
-        })
+    proptest::collection::vec(
+        (op_name(), proptest::collection::vec(qubit_name(), 1..3)),
+        1..3,
+    )
+    .prop_map(|terms| {
+        AssertionExpr::new(
+            terms
+                .into_iter()
+                .map(|(op, mut qs)| {
+                    qs.dedup();
+                    OpApp { op, qubits: qs }
+                })
+                .collect(),
+        )
+    })
 }
 
 fn stmt_strategy() -> impl Strategy<Value = Stmt> {
@@ -47,16 +54,15 @@ fn stmt_strategy() -> impl Strategy<Value = Stmt> {
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 2..4).prop_map(Stmt::seq),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Stmt::ndet(a, b)),
-            (op_name(), qubit_name(), inner.clone(), inner.clone()).prop_map(
-                |(m, q, t, e)| Stmt::If {
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Stmt::ndet(a, b)),
+            (op_name(), qubit_name(), inner.clone(), inner.clone()).prop_map(|(m, q, t, e)| {
+                Stmt::If {
                     meas: m,
                     qubits: vec![q],
                     then_branch: Box::new(t),
                     else_branch: Box::new(e),
                 }
-            ),
+            }),
             (op_name(), qubit_name(), inner).prop_map(|(m, q, b)| Stmt::While {
                 meas: m,
                 qubits: vec![q],

@@ -133,11 +133,7 @@ mod tests {
 
     #[test]
     fn complex_spd() {
-        let a = CMat::from_vec(
-            2,
-            2,
-            vec![cr(2.0), c(0.0, -0.5), c(0.0, 0.5), cr(2.0)],
-        );
+        let a = CMat::from_vec(2, 2, vec![cr(2.0), c(0.0, -0.5), c(0.0, 0.5), cr(2.0)]);
         let l = cholesky(&a).expect("complex SPD must factor");
         assert!(l.mul(&l.adjoint()).approx_eq(&a, 1e-12));
     }

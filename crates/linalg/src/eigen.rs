@@ -228,7 +228,11 @@ fn finish(m: CMat, v: CMat) -> Eigh {
     let n = m.rows();
     let mut idx: Vec<usize> = (0..n).collect();
     let values_raw: Vec<f64> = (0..n).map(|i| m[(i, i)].re).collect();
-    idx.sort_by(|&a, &b| values_raw[a].partial_cmp(&values_raw[b]).expect("NaN eigenvalue"));
+    idx.sort_by(|&a, &b| {
+        values_raw[a]
+            .partial_cmp(&values_raw[b])
+            .expect("NaN eigenvalue")
+    });
     let values: Vec<f64> = idx.iter().map(|&i| values_raw[i]).collect();
     let vectors = CMat::from_fn(n, n, |i, j| v[(i, idx[j])]);
     Eigh { values, vectors }
@@ -266,11 +270,7 @@ pub fn sqrtm_psd(a: &CMat, tol: f64) -> Result<CMat, EighError> {
     if e.min() < -tol {
         return Err(EighError::NotHermitian);
     }
-    let d: Vec<Complex> = e
-        .values
-        .iter()
-        .map(|&x| cr(x.max(0.0).sqrt()))
-        .collect();
+    let d: Vec<Complex> = e.values.iter().map(|&x| cr(x.max(0.0).sqrt())).collect();
     let v = &e.vectors;
     Ok(v.mul(&CMat::diag(&d)).mul(&v.adjoint()))
 }

@@ -177,7 +177,11 @@ impl Add for &CVec {
 impl Sub for &CVec {
     type Output = CVec;
     fn sub(self, rhs: &CVec) -> CVec {
-        assert_eq!(self.dim(), rhs.dim(), "vector subtraction dimension mismatch");
+        assert_eq!(
+            self.dim(),
+            rhs.dim(),
+            "vector subtraction dimension mismatch"
+        );
         CVec {
             data: self
                 .data
@@ -670,7 +674,11 @@ mod tests {
     }
 
     fn pauli_y() -> CMat {
-        CMat::from_vec(2, 2, vec![c(0.0, 0.0), c(0.0, -1.0), c(0.0, 1.0), c(0.0, 0.0)])
+        CMat::from_vec(
+            2,
+            2,
+            vec![c(0.0, 0.0), c(0.0, -1.0), c(0.0, 1.0), c(0.0, 0.0)],
+        )
     }
 
     #[test]
@@ -798,7 +806,7 @@ mod tests {
         assert!((&v + &w).norm() - 2f64.sqrt() < TOL);
         let kr = v.kron(&w);
         assert_eq!(kr.dim(), 16);
-        assert!(kr[1 * 4 + 2].approx_eq(Complex::ONE, TOL));
+        assert!(kr[4 + 2].approx_eq(Complex::ONE, TOL));
     }
 
     #[test]

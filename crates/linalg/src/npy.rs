@@ -81,8 +81,8 @@ pub fn read_matrix_bytes(bytes: &[u8]) -> Result<CMat, NpyError> {
     }
     let header = std::str::from_utf8(&bytes[10..10 + header_len])
         .map_err(|_| NpyError::BadHeader("non-utf8 header".into()))?;
-    let descr = extract_quoted(header, "descr")
-        .ok_or_else(|| NpyError::BadHeader(header.to_string()))?;
+    let descr =
+        extract_quoted(header, "descr").ok_or_else(|| NpyError::BadHeader(header.to_string()))?;
     let fortran = extract_bool(header, "fortran_order")
         .ok_or_else(|| NpyError::BadHeader(header.to_string()))?;
     if fortran {

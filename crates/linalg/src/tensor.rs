@@ -139,7 +139,9 @@ fn apply_gate_strided(
         rest_shifts.push(n - 1 - q);
     }
     debug_assert_eq!(rest_shifts.len(), n - k);
-    let sub_deposits: Vec<usize> = (0..dk).map(|x| deposit_sub_index(x, positions, n)).collect();
+    let sub_deposits: Vec<usize> = (0..dk)
+        .map(|x| deposit_sub_index(x, positions, n))
+        .collect();
     let mut gathered = vec![Complex::ZERO; dk];
     let rest_count = dn >> k;
     for r in 0..rest_count {
@@ -384,7 +386,9 @@ mod tests {
     fn conjugate_gate_matches_explicit() {
         let n = 3;
         let d = 1 << n;
-        let m = CMat::from_fn(d, d, |i, j| c((i + 2 * j) as f64 * 0.1, (i as f64 - j as f64) * 0.05));
+        let m = CMat::from_fn(d, d, |i, j| {
+            c((i + 2 * j) as f64 * 0.1, (i as f64 - j as f64) * 0.05)
+        });
         let m = m.add_mat(&m.adjoint()).scale_re(0.5);
         for positions in [vec![1], vec![0, 2], vec![2, 0]] {
             let g = if positions.len() == 1 { h() } else { cx() };
@@ -394,7 +398,10 @@ mod tests {
             assert!(fast.approx_eq(&expect, 1e-10), "positions {positions:?}");
             let expect_adj = big.adjoint_conjugate(&m);
             let fast_adj = adjoint_conjugate_gate(&g, &positions, n, &m);
-            assert!(fast_adj.approx_eq(&expect_adj, 1e-10), "positions {positions:?}");
+            assert!(
+                fast_adj.approx_eq(&expect_adj, 1e-10),
+                "positions {positions:?}"
+            );
         }
     }
 

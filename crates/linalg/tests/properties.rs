@@ -2,19 +2,15 @@
 //! every downstream verification step silently relies on.
 
 use nqpv_linalg::{
-    c, cholesky, eigh, embed, is_psd, partial_trace, read_matrix_bytes, write_matrix_bytes,
-    CMat, CVec,
+    c, cholesky, eigh, embed, is_psd, partial_trace, read_matrix_bytes, write_matrix_bytes, CMat,
+    CVec,
 };
 use proptest::prelude::*;
 
 /// Strategy: a random complex matrix with entries in [-1, 1]².
 fn cmat(dim: usize) -> impl Strategy<Value = CMat> {
     proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), dim * dim).prop_map(move |xs| {
-        CMat::from_vec(
-            dim,
-            dim,
-            xs.into_iter().map(|(re, im)| c(re, im)).collect(),
-        )
+        CMat::from_vec(dim, dim, xs.into_iter().map(|(re, im)| c(re, im)).collect())
     })
 }
 

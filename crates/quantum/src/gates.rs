@@ -38,7 +38,11 @@ pub fn h() -> CMat {
 
 /// Phase gate `S = diag(1, i)`.
 pub fn s() -> CMat {
-    CMat::from_vec(2, 2, vec![Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::I])
+    CMat::from_vec(
+        2,
+        2,
+        vec![Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::I],
+    )
 }
 
 /// `T = diag(1, e^{iπ/4})`.

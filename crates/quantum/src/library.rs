@@ -122,8 +122,7 @@ impl OperatorLibrary {
     pub fn with_builtins() -> Self {
         let mut lib = OperatorLibrary::new();
         for name in [
-            "I", "X", "Y", "Z", "H", "S", "T", "CX", "CNOT", "C0X", "CZ", "SWAP", "CCX", "W1",
-            "W2",
+            "I", "X", "Y", "Z", "H", "S", "T", "CX", "CNOT", "C0X", "CZ", "SWAP", "CCX", "W1", "W2",
         ] {
             let m = gates::by_name(name).expect("builtin gate");
             lib.map.insert(name.to_string(), LibOp::Unitary(m));
@@ -140,14 +139,10 @@ impl OperatorLibrary {
         );
         lib.map
             .insert("Zero".into(), LibOp::Predicate(CMat::zeros(2, 2)));
-        lib.map.insert(
-            "P0".into(),
-            LibOp::Predicate(CVec::basis(2, 0).projector()),
-        );
-        lib.map.insert(
-            "P1".into(),
-            LibOp::Predicate(CVec::basis(2, 1).projector()),
-        );
+        lib.map
+            .insert("P0".into(), LibOp::Predicate(CVec::basis(2, 0).projector()));
+        lib.map
+            .insert("P1".into(), LibOp::Predicate(CVec::basis(2, 1).projector()));
         let s = std::f64::consts::FRAC_1_SQRT_2;
         lib.map.insert(
             "Pp".into(),
@@ -364,7 +359,8 @@ mod tests {
         let mut lib = OperatorLibrary::new();
         lib.insert_auto("g", gates::x()).unwrap();
         assert!(matches!(lib.get("g"), Some(LibOp::Unitary(_))));
-        lib.insert_auto("p", CMat::identity(2).scale_re(0.25)).unwrap();
+        lib.insert_auto("p", CMat::identity(2).scale_re(0.25))
+            .unwrap();
         assert!(matches!(lib.get("p"), Some(LibOp::Predicate(_))));
         // identity is registered as predicate-compatible
         lib.insert_auto("id", CMat::identity(4)).unwrap();

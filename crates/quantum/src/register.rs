@@ -165,7 +165,10 @@ mod tests {
             Register::new(&["a", "a"]).unwrap_err(),
             RegisterError::DuplicateName("a".into())
         );
-        assert_eq!(Register::new::<&str>(&[]).unwrap_err(), RegisterError::Empty);
+        assert_eq!(
+            Register::new::<&str>(&[]).unwrap_err(),
+            RegisterError::Empty
+        );
     }
 
     #[test]

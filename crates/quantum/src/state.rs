@@ -5,7 +5,7 @@
 //! a state of trace `p < 1` is "a legitimate state reached with
 //! probability `p`".
 
-use nqpv_linalg::{cr, CMat, CVec, is_partial_density};
+use nqpv_linalg::{cr, is_partial_density, CMat, CVec};
 use std::f64::consts::FRAC_1_SQRT_2;
 
 /// Builds a pure state from a ket string over the alphabet `0 1 + -`,

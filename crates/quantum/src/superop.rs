@@ -128,9 +128,7 @@ impl SuperOp {
     pub fn initializer(n_sub: usize) -> Self {
         let d = 1usize << n_sub;
         let zero = CVec::basis(d, 0);
-        let kraus = (0..d)
-            .map(|i| zero.outer(&CVec::basis(d, i)))
-            .collect();
+        let kraus = (0..d).map(|i| zero.outer(&CVec::basis(d, i))).collect();
         SuperOp { dim: d, kraus }
     }
 
@@ -294,7 +292,10 @@ impl SuperOp {
 
     /// `true` if `self` and `other` denote the same linear map within `tol`.
     pub fn approx_eq_map(&self, other: &SuperOp, tol: f64) -> bool {
-        self.dim == other.dim && self.natural_matrix().approx_eq(&other.natural_matrix(), tol)
+        self.dim == other.dim
+            && self
+                .natural_matrix()
+                .approx_eq(&other.natural_matrix(), tol)
     }
 
     /// Deduplication fingerprint of the underlying linear map.
@@ -362,10 +363,10 @@ pub fn duality_gap(e: &SuperOp, rho: &CMat, m: &CMat) -> f64 {
 mod tests {
     use super::*;
     use crate::gates;
-    use nqpv_linalg::TOL;
     use crate::measurement::Measurement;
     use crate::state::{ket, maximally_mixed};
     use nqpv_linalg::c;
+    use nqpv_linalg::TOL;
 
     fn random_density(n: usize, seed: &mut u64) -> CMat {
         let next = move |s: &mut u64| {
@@ -424,8 +425,7 @@ mod tests {
     fn duality_on_random_inputs() {
         let mut seed = 42u64;
         let m01 = Measurement::computational();
-        let branch =
-            SuperOp::from_projector(m01.p1()).compose(&SuperOp::from_unitary(&gates::h()));
+        let branch = SuperOp::from_projector(m01.p1()).compose(&SuperOp::from_unitary(&gates::h()));
         for _ in 0..10 {
             let rho = random_density(1, &mut seed);
             let pred = random_density(1, &mut seed); // any hermitian works
@@ -486,16 +486,11 @@ mod tests {
         let deph1 = SuperOp::from_measurement(&m);
         // Kraus {I/√2, Z/√2} is the same dephasing channel.
         let s = std::f64::consts::FRAC_1_SQRT_2;
-        let deph2 = SuperOp::from_kraus(vec![
-            CMat::identity(2).scale_re(s),
-            gates::z().scale_re(s),
-        ])
-        .unwrap();
+        let deph2 =
+            SuperOp::from_kraus(vec![CMat::identity(2).scale_re(s), gates::z().scale_re(s)])
+                .unwrap();
         assert!(deph1.approx_eq_map(&deph2, 1e-10));
-        assert_eq!(
-            deph1.map_fingerprint(1e6),
-            deph2.map_fingerprint(1e6)
-        );
+        assert_eq!(deph1.map_fingerprint(1e6), deph2.map_fingerprint(1e6));
     }
 
     #[test]
@@ -516,10 +511,7 @@ mod tests {
 
     #[test]
     fn prune_drops_zero_kraus() {
-        let mut e = SuperOp::from_kraus_unchecked(
-            vec![CMat::identity(2), CMat::zeros(2, 2)],
-            2,
-        );
+        let mut e = SuperOp::from_kraus_unchecked(vec![CMat::identity(2), CMat::zeros(2, 2)], 2);
         assert_eq!(e.prune(1e-12), 1);
         assert_eq!(e.kraus_len(), 1);
     }

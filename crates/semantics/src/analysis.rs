@@ -139,11 +139,11 @@ mod tests {
         )
         .unwrap();
         let b = termination_bounds(&s, &ket("00").projector(), &lib, &reg, opts(6)).unwrap();
-        assert!(b.angelic < 1e-9, "even the best scheduler must not terminate");
-        assert_eq!(
-            classify_termination(b, 1e-6),
-            TerminationClass::Diverging
+        assert!(
+            b.angelic < 1e-9,
+            "even the best scheduler must not terminate"
         );
+        assert_eq!(classify_termination(b, 1e-6), TerminationClass::Diverging);
     }
 
     #[test]
@@ -179,7 +179,10 @@ mod tests {
         let b = termination_bounds(&s, &ket("+").projector(), &lib, &reg, opts(4)).unwrap();
         assert!((b.demonic - 0.5).abs() < 1e-10);
         assert!((b.angelic - 0.5).abs() < 1e-10);
-        assert_eq!(classify_termination(b, 1e-6), TerminationClass::Undetermined);
+        assert_eq!(
+            classify_termination(b, 1e-6),
+            TerminationClass::Undetermined
+        );
     }
 
     #[test]

@@ -328,8 +328,8 @@ mod tests {
     #[test]
     fn if_with_nondet_branches_multiplies() {
         let (lib, reg) = setup(&["q"]);
-        let s = parse_stmt("if M01[q] then ( skip # [q] *= X ) else ( skip # [q] *= H ) end")
-            .unwrap();
+        let s =
+            parse_stmt("if M01[q] then ( skip # [q] *= X ) else ( skip # [q] *= H ) end").unwrap();
         let set = denote(&s, &lib, &reg).unwrap();
         assert_eq!(set.len(), 4);
         for e in &set {
@@ -341,8 +341,8 @@ mod tests {
     fn if_dedupes_branches_equal_as_maps() {
         // Z fixes |0⟩⟨0|, so `else Z` collapses onto `else skip`: Z∘P⁰ = P⁰.
         let (lib, reg) = setup(&["q"]);
-        let s = parse_stmt("if M01[q] then ( skip # [q] *= X ) else ( skip # [q] *= Z ) end")
-            .unwrap();
+        let s =
+            parse_stmt("if M01[q] then ( skip # [q] *= X ) else ( skip # [q] *= Z ) end").unwrap();
         let set = denote(&s, &lib, &reg).unwrap();
         assert_eq!(set.len(), 2);
     }
@@ -374,7 +374,11 @@ mod tests {
         let set = denote_bounded(&s, &lib, &reg, opts).unwrap();
         assert_eq!(set.len(), 1);
         let out = set[0].apply(&ket("1").projector());
-        assert!((out.trace_re() - 1.0).abs() < 1e-6, "trace {}", out.trace_re());
+        assert!(
+            (out.trace_re() - 1.0).abs() < 1e-6,
+            "trace {}",
+            out.trace_re()
+        );
     }
 
     #[test]
@@ -392,7 +396,10 @@ mod tests {
             dedupe: true,
         };
         let set = denote_bounded(&loop_only, &lib, &reg, opts).unwrap();
-        assert!(set.len() > 1, "nondeterministic loop must have many branches");
+        assert!(
+            set.len() > 1,
+            "nondeterministic loop must have many branches"
+        );
 
         // …but composed with the |00⟩ initialisation, every scheduler's
         // F_n^η emits nothing: [[QWalk]] dedupes to the single zero map —
@@ -468,8 +475,7 @@ mod tests {
             "while M01[q1] do [q1] *= H end",
         ] {
             let s = parse_stmt(src).unwrap();
-            let set =
-                denote_bounded(&s, &lib, &reg, DenoteOptions::default()).unwrap();
+            let set = denote_bounded(&s, &lib, &reg, DenoteOptions::default()).unwrap();
             for e in &set {
                 assert!(e.is_trace_nonincreasing(1e-8), "{src}");
             }

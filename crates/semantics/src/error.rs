@@ -43,7 +43,10 @@ impl fmt::Display for SemanticsError {
                 write!(f, "semantic set exceeded the size limit of {limit}")
             }
             SemanticsError::LoopRequiresBound => {
-                write!(f, "exact semantics of a while loop is infinite; use denote_bounded")
+                write!(
+                    f,
+                    "exact semantics of a while loop is infinite; use denote_bounded"
+                )
             }
         }
     }

@@ -68,7 +68,7 @@ pub fn exec_all(
 ) -> Result<Vec<CMat>, SemanticsError> {
     let ctx = FCtx { lib, reg, opts };
     let out = ctx.go(stmt, rho.clone())?;
-    Ok(dedupe_states(out, opts.max_set)?)
+    dedupe_states(out, opts.max_set)
 }
 
 /// Runs the program once under an explicit scheduler, returning the single
@@ -318,7 +318,7 @@ fn dedupe_states(states: Vec<CMat>, max_set: usize) -> Result<Vec<CMat>, Semanti
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::denote::{denote, apply_set};
+    use crate::denote::{apply_set, denote};
     use crate::scheduler::{AlwaysLeft, AlwaysRight, FromBits};
     use nqpv_lang::parse_stmt;
     use nqpv_quantum::ket;
@@ -364,12 +364,25 @@ mod tests {
         let (lib, reg) = setup(&["q"]);
         let s = parse_stmt("( skip # [q] *= X )").unwrap();
         let rho = ket("0").projector();
-        let left =
-            exec_scheduled(&s, &rho, &lib, &reg, &mut AlwaysLeft, ExecOptions::default()).unwrap();
+        let left = exec_scheduled(
+            &s,
+            &rho,
+            &lib,
+            &reg,
+            &mut AlwaysLeft,
+            ExecOptions::default(),
+        )
+        .unwrap();
         assert!(left.approx_eq(&rho, 1e-10));
-        let right =
-            exec_scheduled(&s, &rho, &lib, &reg, &mut AlwaysRight, ExecOptions::default())
-                .unwrap();
+        let right = exec_scheduled(
+            &s,
+            &rho,
+            &lib,
+            &reg,
+            &mut AlwaysRight,
+            ExecOptions::default(),
+        )
+        .unwrap();
         assert!(right.approx_eq(&ket("1").projector(), 1e-10));
     }
 

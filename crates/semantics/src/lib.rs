@@ -34,4 +34,4 @@ pub use analysis::{classify_termination, termination_bounds, TerminationBounds, 
 pub use denote::{apply_set, denote, denote_bounded, DenoteOptions};
 pub use error::SemanticsError;
 pub use forward::{exec_all, exec_scheduled, ExecOptions};
-pub use scheduler::{AlwaysLeft, AlwaysRight, Alternating, Choice, FromBits, Scheduler};
+pub use scheduler::{Alternating, AlwaysLeft, AlwaysRight, Choice, FromBits, Scheduler};

@@ -49,7 +49,7 @@ pub struct Alternating;
 
 impl Scheduler for Alternating {
     fn decide(&mut self, k: usize) -> Choice {
-        if k % 2 == 0 {
+        if k.is_multiple_of(2) {
             Choice::Left
         } else {
             Choice::Right

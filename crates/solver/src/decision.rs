@@ -106,7 +106,11 @@ impl fmt::Display for Verdict {
                 "order relation not satisfied (element #{}, margin {:.3e})",
                 v.index, v.margin
             ),
-            Verdict::Inconclusive { index, lower, upper } => write!(
+            Verdict::Inconclusive {
+                index,
+                lower,
+                upper,
+            } => write!(
                 f,
                 "inconclusive for element #{index}: value in [{lower:.3e}, {upper:.3e}]"
             ),
@@ -373,7 +377,10 @@ fn validate(theta: &[CMat], psi: &[CMat]) -> Result<(), SolverError> {
             return Err(SolverError::ShapeMismatch);
         }
         if !m.is_hermitian(1e-7) {
-            return Err(SolverError::NotHermitian { side: "Θ", index: i });
+            return Err(SolverError::NotHermitian {
+                side: "Θ",
+                index: i,
+            });
         }
     }
     for (i, n) in psi.iter().enumerate() {
@@ -381,7 +388,10 @@ fn validate(theta: &[CMat], psi: &[CMat]) -> Result<(), SolverError> {
             return Err(SolverError::ShapeMismatch);
         }
         if !n.is_hermitian(1e-7) {
-            return Err(SolverError::NotHermitian { side: "Ψ", index: i });
+            return Err(SolverError::NotHermitian {
+                side: "Ψ",
+                index: i,
+            });
         }
     }
     Ok(())
@@ -468,11 +478,19 @@ mod tests {
     #[test]
     fn multiple_n_all_must_hold() {
         let theta = [p0(), p1()];
-        let v = assertion_le(&theta, &[half(), CMat::identity(2)], LownerOptions::default())
-            .unwrap();
+        let v = assertion_le(
+            &theta,
+            &[half(), CMat::identity(2)],
+            LownerOptions::default(),
+        )
+        .unwrap();
         assert!(v.holds());
-        let v2 = assertion_le(&theta, &[half(), CMat::zeros(2, 2)], LownerOptions::default())
-            .unwrap();
+        let v2 = assertion_le(
+            &theta,
+            &[half(), CMat::zeros(2, 2)],
+            LownerOptions::default(),
+        )
+        .unwrap();
         match v2 {
             Verdict::Violated(viol) => assert_eq!(viol.index, 1),
             other => panic!("expected violation, got {other}"),
@@ -530,10 +548,13 @@ mod tests {
     #[test]
     fn game_value_exact_on_known_instances() {
         // v for {P0, P1} (no shift): max_ρ min(tr P0ρ, tr P1ρ) = ½.
-        let out = game_value(&[p0(), p1()], &LownerOptions {
-            eps: 1e-12,
-            ..LownerOptions::default()
-        });
+        let out = game_value(
+            &[p0(), p1()],
+            &LownerOptions {
+                eps: 1e-12,
+                ..LownerOptions::default()
+            },
+        );
         assert!(out.lower <= 0.5 + 1e-6);
         assert!(out.upper >= 0.5 - 1e-6);
         assert!((out.lower - 0.5).abs() < 1e-3 || (out.upper - 0.5).abs() < 1e-3);
@@ -614,7 +635,11 @@ mod tests {
         ));
         let non_herm = CMat::from_real(2, 2, &[0.0, 1.0, 0.0, 0.0]);
         assert!(matches!(
-            assertion_le(&[non_herm.clone()], &[half()], LownerOptions::default()),
+            assertion_le(
+                std::slice::from_ref(&non_herm),
+                &[half()],
+                LownerOptions::default()
+            ),
             Err(SolverError::NotHermitian { .. })
         ));
         assert!(matches!(

@@ -95,7 +95,12 @@ fn pseudo_random_unit(n: usize, seed: u64) -> CVec {
 fn lanczos_extreme(a: &CMat, opts: LanczosOptions, want_max: bool) -> ExtremePair {
     let mut best: Option<ExtremePair> = None;
     for attempt in 0..2u64 {
-        let pair = lanczos_once(a, &opts, want_max, opts.seed.wrapping_add(attempt * 0x1234567));
+        let pair = lanczos_once(
+            a,
+            &opts,
+            want_max,
+            opts.seed.wrapping_add(attempt * 0x1234567),
+        );
         let resid = residual(a, &pair);
         if resid <= opts.tol * a.max_abs().max(1.0) {
             return pair;

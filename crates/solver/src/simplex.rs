@@ -64,9 +64,7 @@ pub fn uniform(n: usize) -> Vec<f64> {
 
 /// `true` if `w` lies on the simplex within `tol`.
 pub fn is_distribution(w: &[f64], tol: f64) -> bool {
-    !w.is_empty()
-        && w.iter().all(|&x| x >= -tol)
-        && (w.iter().sum::<f64>() - 1.0).abs() <= tol
+    !w.is_empty() && w.iter().all(|&x| x >= -tol) && (w.iter().sum::<f64>() - 1.0).abs() <= tol
 }
 
 #[cfg(test)]
@@ -104,8 +102,7 @@ mod tests {
         // Compare against brute-force grid on the 2-simplex.
         let v = [0.9, -0.3, 0.1];
         let p = project_to_simplex(&v);
-        let dist =
-            |a: &[f64]| -> f64 { a.iter().zip(&v).map(|(x, y)| (x - y) * (x - y)).sum() };
+        let dist = |a: &[f64]| -> f64 { a.iter().zip(&v).map(|(x, y)| (x - y) * (x - y)).sum() };
         let d_opt = dist(&p);
         let steps = 60;
         for i in 0..=steps {

@@ -21,7 +21,11 @@ fn main() {
     println!("{}", outcome.outline);
     println!(
         "⊨tot {{I}} Deutsch {{(|00⟩⟨00|+|11⟩⟨11|)_(q,q1)}} : {}",
-        if outcome.status.verified() { "verified" } else { "REJECTED" }
+        if outcome.status.verified() {
+            "verified"
+        } else {
+            "REJECTED"
+        }
     );
     assert!(outcome.status.verified());
 

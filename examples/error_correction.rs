@@ -27,7 +27,10 @@ fn main() {
     .expect("program parses");
 
     let branches = denote(&prog, &lib, &reg).expect("loop-free semantics");
-    println!("[[ErrCorr]] contains {} super-operators (one per error location)", branches.len());
+    println!(
+        "[[ErrCorr]] contains {} super-operators (one per error location)",
+        branches.len()
+    );
 
     let psi = superpose(0.6, "0", 0.8, "1");
     let input = psi.kron(&ket("0+")).projector(); // junk on the ancillas
@@ -35,7 +38,10 @@ fn main() {
         let out = e.apply(&input);
         let reduced = partial_trace(&out, &[1, 2], 3);
         let fidelity = psi.projector().trace_product(&reduced).re;
-        println!("  branch {i}: tr = {:.6}, ⟨ψ|ρ_q|ψ⟩ = {fidelity:.6}", out.trace_re());
+        println!(
+            "  branch {i}: tr = {:.6}, ⟨ψ|ρ_q|ψ⟩ = {fidelity:.6}",
+            out.trace_re()
+        );
         assert!((fidelity - 1.0).abs() < 1e-9, "error not corrected!");
     }
     println!("every nondeterministic error branch restores |ψ⟩ on q\n");
@@ -46,7 +52,11 @@ fn main() {
         let outcome = study.verify().expect("verification runs");
         println!(
             "⊨tot {{[ψ]q}} ErrCorr {{[ψ]q}} for ψ = {a}|0⟩ + {b}|1⟩ : {}",
-            if outcome.status.verified() { "verified" } else { "REJECTED" }
+            if outcome.status.verified() {
+                "verified"
+            } else {
+                "REJECTED"
+            }
         );
         assert!(outcome.status.verified());
     }
@@ -67,7 +77,11 @@ fn main() {
     let outcome = broken.verify().expect("verification runs");
     println!(
         "\nbroken decoder (no conditional X): {}",
-        if outcome.status.verified() { "verified (?!)" } else { "correctly REJECTED" }
+        if outcome.status.verified() {
+            "verified (?!)"
+        } else {
+            "correctly REJECTED"
+        }
     );
     assert!(!outcome.status.verified());
 }

@@ -1,0 +1,45 @@
+//! Regenerates the binary `.npy` operator assets shipped with the
+//! checked-in `.nqpv` example files:
+//!
+//! ```text
+//! cargo run --example gen_assets
+//! ```
+//!
+//! Writes `examples/nqpv_files/{invN,psi,dpost}.npy` (used by the CLI
+//! examples the integration tests drive) and `examples/corpus/{psi,dpost}.npy`
+//! (used by the `nqpv batch` corpus). Deterministic output: re-running
+//! produces byte-identical files.
+
+use nqpv::core::casestudies::qwalk_invariant;
+use nqpv::linalg::{cr, write_matrix, CVec};
+use nqpv::quantum::ket;
+use std::path::Path;
+
+fn main() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+
+    // Sec. 5.3 quantum-walk invariant N = [|00⟩] + [(|01⟩+|11⟩)/√2].
+    let inv_n = qwalk_invariant();
+    // |ψ⟩ = 0.6|0⟩ + 0.8|1⟩, the QEC input state used throughout.
+    let psi = CVec::new(vec![cr(0.6), cr(0.8)]).projector();
+    // Deutsch postcondition |00⟩⟨00| + |11⟩⟨11| on [q q1].
+    let dpost = ket("00").projector().add_mat(&ket("11").projector());
+
+    for (dir, files) in [
+        (
+            "nqpv_files",
+            vec![
+                ("invN.npy", &inv_n),
+                ("psi.npy", &psi),
+                ("dpost.npy", &dpost),
+            ],
+        ),
+        ("corpus", vec![("psi.npy", &psi), ("dpost.npy", &dpost)]),
+    ] {
+        for (name, m) in files {
+            let path = root.join(dir).join(name);
+            write_matrix(&path, m).expect("asset written");
+            println!("wrote {}", path.display());
+        }
+    }
+}

@@ -31,7 +31,11 @@ fn main() {
             params.iterations,
             params.success_probability,
             dt.as_secs_f64(),
-            if outcome.status.verified() { "verified" } else { "REJECTED" }
+            if outcome.status.verified() {
+                "verified"
+            } else {
+                "REJECTED"
+            }
         );
         assert!(outcome.status.verified());
     }

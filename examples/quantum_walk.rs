@@ -21,7 +21,11 @@ fn main() {
     println!("{}", outcome.outline);
     println!(
         "⊨par {{I}} QWalk {{0}} : {}",
-        if outcome.status.verified() { "verified — the walk never terminates" } else { "REJECTED" }
+        if outcome.status.verified() {
+            "verified — the walk never terminates"
+        } else {
+            "REJECTED"
+        }
     );
     assert!(outcome.status.verified());
 
@@ -41,15 +45,8 @@ fn main() {
     let mut worst: f64 = 0.0;
     for seed in 1..=20u64 {
         let mut sched = FromBits::pseudo_random(seed, 128);
-        let out = exec_scheduled(
-            &prog,
-            &ket("00").projector(),
-            &lib,
-            &reg,
-            &mut sched,
-            opts,
-        )
-        .expect("execution runs");
+        let out = exec_scheduled(&prog, &ket("00").projector(), &lib, &reg, &mut sched, opts)
+            .expect("execution runs");
         worst = worst.max(out.trace_re());
     }
     println!("  max absorbed probability over all sampled schedulers: {worst:.3e}");

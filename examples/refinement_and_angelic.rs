@@ -46,7 +46,10 @@ fn main() {
         );
         let imp = parse_stmt(&imp_src).expect("parses");
         let verdict = refines_denotationally(&spec, &imp, &lib, &reg3).expect("loop-free");
-        println!("  adversary commits to {label:>8}: refines = {}", verdict.refines());
+        println!(
+            "  adversary commits to {label:>8}: refines = {}",
+            verdict.refines()
+        );
         assert!(verdict.refines());
     }
     // A *widened* adversary (adds a Y error) does not refine.
@@ -58,7 +61,10 @@ fn main() {
     )
     .expect("parses");
     let verdict = refines_denotationally(&spec, &widened, &lib, &reg3).expect("loop-free");
-    println!("  adversary adds a Y error     : refines = {}", verdict.refines());
+    println!(
+        "  adversary adds a Y error     : refines = {}",
+        verdict.refines()
+    );
     assert!(!verdict.refines());
     let refuted = refutes_by_wp(&spec, &widened, &lib, &reg3, 20, 7, VcOptions::default())
         .expect("wp sampling runs");
@@ -79,11 +85,8 @@ fn main() {
     assert!(!demonic && angelic);
 
     // ----- The ⊑_sup order at work. ---------------------------------------
-    let half = Assertion::from_ops(
-        2,
-        vec![nqpv::linalg::CMat::identity(2).scale_re(0.5)],
-    )
-    .expect("assertion");
+    let half = Assertion::from_ops(2, vec![nqpv::linalg::CMat::identity(2).scale_re(0.5)])
+        .expect("assertion");
     let both = Assertion::from_ops(2, vec![ket("0").projector(), ket("1").projector()])
         .expect("assertion");
     let v = le_sup(&half, &both, LownerOptions::default()).expect("solver runs");

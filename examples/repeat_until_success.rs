@@ -21,7 +21,11 @@ fn main() {
     println!("{}", outcome.outline);
     println!(
         "⊨tot {{I}} RUS {{P0}} : {}",
-        if outcome.status.verified() { "verified (a.s. termination in |0⟩)" } else { "REJECTED" }
+        if outcome.status.verified() {
+            "verified (a.s. termination in |0⟩)"
+        } else {
+            "REJECTED"
+        }
     );
     assert!(outcome.status.verified());
 
@@ -60,7 +64,11 @@ fn main() {
         .expect("partial verification runs");
     println!(
         "\n⊨par {{I}} RUS {{P0}} (no ranking needed): {}",
-        if outcome.status.verified() { "verified" } else { "REJECTED" }
+        if outcome.status.verified() {
+            "verified"
+        } else {
+            "REJECTED"
+        }
     );
     assert!(outcome.status.verified());
 }

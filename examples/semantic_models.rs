@@ -17,7 +17,10 @@ fn main() {
     // ----- Example 3.3 ---------------------------------------------------
     let demo = example_3_3().expect("fixed example computes");
     println!("Example 3.3 — pure-state vs mixed-state semantics for S = skip □ q*=X");
-    println!("  [[S]](I/2) under mixed-state semantics : {} output(s)", demo.mixed.len());
+    println!(
+        "  [[S]](I/2) under mixed-state semantics : {} output(s)",
+        demo.mixed.len()
+    );
     println!(
         "  convex lift via ensemble ½|0⟩,½|1⟩     : {} output(s)",
         demo.via_computational.len()
@@ -29,7 +32,9 @@ fn main() {
     assert_eq!(demo.mixed.len(), 1);
     assert_eq!(demo.via_computational.len(), 3);
     assert_eq!(demo.via_plus_minus.len(), 1);
-    println!("  ⇒ the convex lift is ill-defined: {{3 outputs}} ≠ {{1 output}} for the same ρ = I/2\n");
+    println!(
+        "  ⇒ the convex lift is ill-defined: {{3 outputs}} ≠ {{1 output}} for the same ρ = I/2\n"
+    );
 
     // ----- Example 3.4 ---------------------------------------------------
     let demo = example_3_4().expect("fixed example computes");

@@ -18,7 +18,10 @@
 //!   forward execution, the Sec. 3.3 model separations;
 //! * [`solver`] — the `⊑_inf` decision procedure (primal/dual minimax);
 //! * [`core`] — assertions, wp/wlp, proof objects, the verifier and the
-//!   paper's case studies.
+//!   paper's case studies;
+//! * [`engine`] — the batch-verification engine: corpora of `.nqpv`
+//!   jobs, a parallel worker pool, and a shared content-addressed memo
+//!   cache for backward-transformer subterms.
 //!
 //! # Quickstart
 //!
@@ -32,6 +35,7 @@
 //! ```
 
 pub use nqpv_core as core;
+pub use nqpv_engine as engine;
 pub use nqpv_lang as lang;
 pub use nqpv_linalg as linalg;
 pub use nqpv_quantum as quantum;

@@ -15,7 +15,10 @@ fn e1_err_corr_verifies_for_many_input_states() {
         (1.0, 0.0),
         (0.0, 1.0),
         (0.6, 0.8),
-        (std::f64::consts::FRAC_1_SQRT_2, -std::f64::consts::FRAC_1_SQRT_2),
+        (
+            std::f64::consts::FRAC_1_SQRT_2,
+            -std::f64::consts::FRAC_1_SQRT_2,
+        ),
         (0.96, 0.28),
     ] {
         let outcome = err_corr(a, b).verify().expect("verification runs");
@@ -172,11 +175,7 @@ fn e6_grover_rejects_overclaimed_success() {
         .collect::<Vec<_>>()
         .join("\n")
         .replace("PreG", "TooMuch");
-    study.term = nqpv::lang::parse_proof_body(
-        &["q0", "q1", "q2"],
-        &replaced,
-    )
-    .unwrap();
+    study.term = nqpv::lang::parse_proof_body(&["q0", "q1", "q2"], &replaced).unwrap();
     let outcome = study.verify().expect("verification runs");
     assert!(!outcome.status.verified());
 }

@@ -21,8 +21,7 @@ use nqpv::solver::LownerOptions;
 fn e13_derivations_replay_and_match_both_pipelines() {
     let lib = OperatorLibrary::with_builtins();
     let reg3 = Register::new(&["q", "q1", "q2"]).unwrap();
-    let (_, f_qec) =
-        err_corr_derivation(0.6, 0.8, &lib, &reg3, LownerOptions::default()).unwrap();
+    let (_, f_qec) = err_corr_derivation(0.6, 0.8, &lib, &reg3, LownerOptions::default()).unwrap();
     // The derivation's statement is the ErrCorr program, and its formula
     // is the paper's Eq. 8.
     assert!(f_qec.stmt.has_ndet());
@@ -53,7 +52,14 @@ fn e14_refinement_preserves_verified_triples() {
     let imp_sem = denote(&imp, &lib, &reg).unwrap();
     for rho in nqpv::core::correctness::sample_states(2, 8, 44) {
         if holds_on_state(Sense::Total, &spec_sem, &rho, &plus, &plus, 1e-9) {
-            assert!(holds_on_state(Sense::Total, &imp_sem, &rho, &plus, &plus, 1e-9));
+            assert!(holds_on_state(
+                Sense::Total,
+                &imp_sem,
+                &rho,
+                &plus,
+                &plus,
+                1e-9
+            ));
         }
     }
     // Non-refinement is refuted by wp sampling.
@@ -131,8 +137,7 @@ fn e17_angelic_vs_demonic_full_stack() {
     assert!(holds_angelic_on_state(&sem, &rho, &p0, &p1, 1e-9));
     assert!(!holds_on_state(Sense::Total, &sem, &rho, &p0, &p1, 1e-9));
     // ⊑_sup and ⊑_inf disagree on the Sec. 4.1 sets.
-    let both = Assertion::from_ops(2, vec![ket("0").projector(), ket("1").projector()])
-        .unwrap();
+    let both = Assertion::from_ops(2, vec![ket("0").projector(), ket("1").projector()]).unwrap();
     let half = Assertion::from_ops(2, vec![CMat::identity(2).scale_re(0.5)]).unwrap();
     assert!(both
         .le_inf(&half, LownerOptions::default())

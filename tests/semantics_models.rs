@@ -24,7 +24,9 @@ fn e7_pure_state_convex_lift_is_ill_defined() {
     ];
     for want in &expected {
         assert!(
-            demo.via_computational.iter().any(|got| got.approx_eq(want, 1e-9)),
+            demo.via_computational
+                .iter()
+                .any(|got| got.approx_eq(want, 1e-9)),
             "missing output in the computational lift"
         );
     }
@@ -74,12 +76,8 @@ fn lemma_3_2_loop_unrolling_identity() {
     )
     .unwrap();
     let body_set = denote(&body, &lib, &reg).unwrap();
-    let p0 = nqpv::quantum::SuperOp::from_projector(
-        &ket("0").projector(),
-    );
-    let p1 = nqpv::quantum::SuperOp::from_projector(
-        &ket("1").projector(),
-    );
+    let p0 = nqpv::quantum::SuperOp::from_projector(&ket("0").projector());
+    let p1 = nqpv::quantum::SuperOp::from_projector(&ket("1").projector());
     // Build the RHS of Lemma 3.2 from depth-n and compare as a set.
     let mut rhs: Vec<nqpv::quantum::SuperOp> = Vec::new();
     for g in &depth_n {

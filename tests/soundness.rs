@@ -135,7 +135,11 @@ fn e10_wp_duality_exact_for_deterministic_programs() {
         let m = random_predicate(4, &mut rng);
         let post = Assertion::from_ops(4, vec![m.clone()]).unwrap();
         let sem = denote(&stmt, &lib, &reg).unwrap();
-        assert_eq!(sem.len(), 1, "deterministic program has singleton semantics");
+        assert_eq!(
+            sem.len(),
+            1,
+            "deterministic program has singleton semantics"
+        );
         let pre = precondition(
             &stmt,
             &post,
@@ -236,11 +240,8 @@ fn e10_checked_proof_trees_are_sound_on_samples() {
         let seq = ProofNode::seq(u_node, v_node);
         let f = check_proof(&seq, Mode::Total, &lib, &reg, Default::default()).unwrap();
         // Weaken the precondition by a factor ½ via (Imp).
-        let weaker = Assertion::from_ops(
-            4,
-            f.pre.ops().iter().map(|x| x.scale_re(0.5)).collect(),
-        )
-        .unwrap();
+        let weaker =
+            Assertion::from_ops(4, f.pre.ops().iter().map(|x| x.scale_re(0.5)).collect()).unwrap();
         let imp = ProofNode::imp(weaker, seq, f.post.clone());
         let f2 = check_proof(&imp, Mode::Total, &lib, &reg, Default::default()).unwrap();
         let sem = denote(&f2.stmt, &lib, &reg).unwrap();

@@ -6,7 +6,7 @@
 use nqpv::core::casestudies::qwalk_invariant;
 use nqpv::core::{Session, SessionError};
 use nqpv::linalg::write_matrix;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("nqpv_it_{tag}"));
@@ -53,7 +53,10 @@ fn e4_full_session_reproduces_sec62_outline() {
         "VAR1[q1 q2]",
         "{ Zero[q1] }",
     ] {
-        assert!(shown.contains(needle), "outline missing {needle:?}:\n{shown}");
+        assert!(
+            shown.contains(needle),
+            "outline missing {needle:?}:\n{shown}"
+        );
     }
 }
 
@@ -101,8 +104,7 @@ fn e4_omitted_precondition_computes_weakest_precondition() {
         .unwrap();
     let outcome = session.outcome("wp").unwrap();
     assert!(outcome.status.verified());
-    assert!(outcome.computed_pre.ops()[0]
-        .approx_eq(&nqpv::quantum::ket("+").projector(), 1e-9));
+    assert!(outcome.computed_pre.ops()[0].approx_eq(&nqpv::quantum::ket("+").projector(), 1e-9));
 }
 
 #[test]
@@ -137,24 +139,50 @@ fn e4_malformed_inputs_fail_cleanly() {
     assert!(err2.to_string().contains("expected a unitary"), "{err2}");
 }
 
+/// Path to the built `nqpv` binary, building it via cargo if this test
+/// profile hasn't produced it yet.
+fn nqpv_bin() -> Option<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    let target = std::env::var("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| root.join("target"));
+    let bin = target.join(profile).join("nqpv");
+    if !bin.exists() {
+        let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+        let mut cmd = std::process::Command::new(cargo);
+        cmd.current_dir(root).args(["build", "-p", "nqpv-cli"]);
+        if profile == "release" {
+            cmd.arg("--release");
+        }
+        let _ = cmd.status();
+    }
+    bin.exists().then_some(bin)
+}
+
+fn run_nqpv(args: &[&str]) -> Option<std::process::Output> {
+    let bin = nqpv_bin()?;
+    Some(
+        std::process::Command::new(bin)
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .args(args)
+            .output()
+            .expect("binary runs"),
+    )
+}
+
 #[test]
 fn e4_cli_binary_verifies_the_shipped_examples() {
     // Drive the actual `nqpv` binary on the checked-in example files.
-    let root = env!("CARGO_MANIFEST_DIR");
-    let bin = std::path::Path::new(root)
-        .join("target")
-        .join(if cfg!(debug_assertions) { "debug" } else { "release" })
-        .join("nqpv");
-    if !bin.exists() {
-        // Binary not built in this invocation; skip silently.
-        return;
-    }
     for file in ["qwalk.nqpv", "err_corr.nqpv", "deutsch.nqpv"] {
-        let path = format!("{root}/examples/nqpv_files/{file}");
-        let out = std::process::Command::new(&bin)
-            .args(["verify", &path])
-            .output()
-            .expect("binary runs");
+        let path = format!("examples/nqpv_files/{file}");
+        let Some(out) = run_nqpv(&["verify", &path]) else {
+            return; // Binary unavailable; skip silently.
+        };
         assert!(
             out.status.success(),
             "{file}: {}",
@@ -163,4 +191,116 @@ fn e4_cli_binary_verifies_the_shipped_examples() {
         let stdout = String::from_utf8_lossy(&out.stdout);
         assert!(stdout.contains("verified"), "{file}: {stdout}");
     }
+}
+
+#[test]
+fn cli_usage_and_exit_codes() {
+    // No arguments: usage on stderr, exit 2.
+    let Some(out) = run_nqpv(&[]) else { return };
+    assert_eq!(out.status.code(), Some(2), "bare nqpv must exit 2");
+    assert!(out.stdout.is_empty(), "usage must go to stderr");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "{err}");
+    assert!(err.contains("batch"), "usage must list batch: {err}");
+
+    // Unknown subcommand and wrong arity are usage errors too.
+    for bad in [
+        vec!["frobnicate"],
+        vec!["verify"],
+        vec!["show", "examples/nqpv_files/qwalk.nqpv"],
+        vec!["batch"],
+        vec!["batch", "--jobs", "examples/corpus"],
+        vec!["batch", "--jobs", "0", "examples/corpus"],
+    ] {
+        let out = run_nqpv(&bad).expect("binary available");
+        assert_eq!(out.status.code(), Some(2), "nqpv {bad:?} must exit 2");
+    }
+
+    // verify: 0 on success, 1 on a rejected proof, 2 on a missing file.
+    let ok = run_nqpv(&["verify", "examples/corpus/grover_step.nqpv"]).unwrap();
+    assert_eq!(ok.status.code(), Some(0));
+    let rejected = run_nqpv(&["verify", "examples/corpus/rejected.nqpv"]).unwrap();
+    assert_eq!(rejected.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&rejected.stdout).contains("REJECTED"));
+    let missing = run_nqpv(&["verify", "examples/corpus/nosuch.nqpv"]).unwrap();
+    assert_eq!(missing.status.code(), Some(2));
+
+    // check: 0 on a parseable file, 2 on a syntax error.
+    let check_ok = run_nqpv(&["check", "examples/corpus/rus.nqpv"]).unwrap();
+    assert_eq!(check_ok.status.code(), Some(0));
+    let check_bad = run_nqpv(&["check", "examples/corpus/parse_error.nqpv"]).unwrap();
+    assert_eq!(check_bad.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&check_bad.stderr).contains("parse error"));
+}
+
+#[test]
+fn cli_batch_verifies_the_corpus_in_parallel() {
+    // The acceptance scenario: `nqpv batch examples/corpus --jobs 4 --json`
+    // reports per-job status + timings + cache counters, and each verdict
+    // matches what sequential `nqpv verify` says about the same file.
+    let Some(out) = run_nqpv(&["batch", "examples/corpus", "--jobs", "4", "--json"]) else {
+        return;
+    };
+    // Corpus contains one rejected and one parse-error job → exit 1.
+    assert_eq!(out.status.code(), Some(1));
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"workers\": 4"), "{json}");
+    assert!(json.contains("\"cache\""), "{json}");
+    assert!(json.contains("\"ms\""), "{json}");
+
+    // Cross-check every job verdict against the single-file CLI path.
+    for (file, status) in [
+        ("deutsch", "verified"),
+        ("err_corr", "verified"),
+        ("grover_step", "verified"),
+        ("grover_step_twin", "verified"),
+        ("rus", "verified"),
+        ("rejected", "rejected"),
+        ("parse_error", "error"),
+    ] {
+        let needle = format!("\"name\": \"{file}\", \"path\": ");
+        let line = json
+            .lines()
+            .find(|l| l.contains(&needle))
+            .unwrap_or_else(|| panic!("job {file} missing from {json}"));
+        assert!(
+            line.contains(&format!("\"status\": \"{status}\"")),
+            "{file}: {line}"
+        );
+        let verify = run_nqpv(&["verify", &format!("examples/corpus/{file}.nqpv")]).unwrap();
+        let expected_exit = match status {
+            "verified" => 0,
+            "rejected" => 1,
+            _ => 2,
+        };
+        assert_eq!(
+            verify.status.code(),
+            Some(expected_exit),
+            "{file}: batch and sequential verdicts must agree"
+        );
+    }
+
+    // Manifest form: only verifying jobs listed → exit 0, human summary.
+    // Sequential (--jobs 1) so the twin job deterministically runs after
+    // grover_step has populated the cache.
+    let manifest = run_nqpv(&["batch", "examples/corpus/manifest.txt", "--jobs", "1"]).unwrap();
+    assert_eq!(
+        manifest.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&manifest.stderr)
+    );
+    let summary = String::from_utf8_lossy(&manifest.stdout);
+    assert!(summary.contains("5 job(s): 5 verified"), "{summary}");
+    // grover_step_twin is program-identical to grover_step, so the shared
+    // memo cache must report hits.
+    assert!(summary.contains("cache:"), "{summary}");
+    assert!(
+        !summary.contains("0 hit(s)"),
+        "twin job must hit: {summary}"
+    );
+
+    // Corpus-level failures are usage-style errors: exit 2.
+    let nodir = run_nqpv(&["batch", "examples/no_such_dir"]).unwrap();
+    assert_eq!(nodir.status.code(), Some(2));
 }

@@ -19,15 +19,17 @@ fn e9_sec41_formula_does_not_decompose_into_singletons() {
     let half = CMat::identity(2).scale_re(0.5);
     let v = assertion_le(
         &[p0.clone(), p1.clone()],
-        &[half.clone()],
+        std::slice::from_ref(&half),
         LownerOptions::default(),
     )
     .unwrap();
     assert!(v.holds());
     // …but neither {P0} skip {I/2} nor {P1} skip {I/2} holds.
-    assert!(!assertion_le(&[p0], &[half.clone()], LownerOptions::default())
-        .unwrap()
-        .holds());
+    assert!(
+        !assertion_le(&[p0], std::slice::from_ref(&half), LownerOptions::default())
+            .unwrap()
+            .holds()
+    );
     assert!(!assertion_le(&[p1], &[half], LownerOptions::default())
         .unwrap()
         .holds());
@@ -87,10 +89,7 @@ fn e11_ranking_failure_injection() {
     // Missing certificate rejected in total mode.
     let mut missing = repeat_until_success();
     missing.rankings.clear();
-    assert!(matches!(
-        missing.verify(),
-        Err(VerifError::MissingRanking)
-    ));
+    assert!(matches!(missing.verify(), Err(VerifError::MissingRanking)));
 
     // Partial mode never needs it.
     let partial = repeat_until_success();
@@ -106,10 +105,7 @@ fn e11_ranking_failure_injection() {
     let mut bad_prefix = repeat_until_success();
     bad_prefix.rankings.insert(
         0,
-        RankingCertificate::new(
-            vec![CMat::from_real(2, 2, &[1.0, 1.0, 0.0, 1.0])],
-            0.5,
-        ),
+        RankingCertificate::new(vec![CMat::from_real(2, 2, &[1.0, 1.0, 0.0, 1.0])], 0.5),
     );
     assert!(matches!(
         bad_prefix.verify(),

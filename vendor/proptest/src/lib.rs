@@ -1,0 +1,255 @@
+//! Vendored stand-in for the `proptest` crate (built offline, no
+//! crates.io).
+//!
+//! A miniature property-testing harness: deterministic random input
+//! generation with the combinator API the NQPV test-suite uses —
+//! [`strategy::Strategy`], [`prelude::Just`], tuple and range strategies, a
+//! tiny character-class string strategy, [`collection::vec`],
+//! `prop_map`/`prop_recursive`, [`prop_oneof!`], and the [`proptest!`] /
+//! `prop_assert*` macros. No shrinking: a failing case panics with the
+//! failure message (inputs are printed by the assertion formatting).
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with length in `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S: Strategy> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.usize_in(self.size.lo, self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The common import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Fails the current test case with a formatted message unless `cond`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{:?}` == `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(__l == __r, $($fmt)+);
+    }};
+}
+
+/// Rejects the current case (resampled, not a failure) unless `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]`-able function running `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut __passed: u32 = 0;
+                let mut __attempts: u32 = 0;
+                let __max_attempts = __cfg.cases.saturating_mul(10).saturating_add(100);
+                while __passed < __cfg.cases && __attempts < __max_attempts {
+                    __attempts += 1;
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )*
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            { $body }
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => __passed += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case failed after {} passing case(s): {}", __passed, msg);
+                        }
+                    }
+                }
+                assert!(
+                    __passed >= __cfg.cases.min(1),
+                    "too many rejected cases ({} attempts, {} passed)",
+                    __attempts,
+                    __passed
+                );
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u64..100, -1.0f64..1.0), k in 1usize..4) {
+            prop_assert!(a < 100);
+            prop_assert!((-1.0..1.0).contains(&b));
+            prop_assert!((1..4).contains(&k));
+        }
+
+        #[test]
+        fn vectors_respect_sizes(xs in crate::collection::vec(0u64..10, 2..5)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 5);
+            for x in xs {
+                prop_assert!(x < 10);
+            }
+        }
+
+        #[test]
+        fn oneof_and_map_compose(s in prop_oneof![Just(1u64), (5u64..9).prop_map(|x| x * 2)]) {
+            prop_assert!(s == 1 || (10..18).contains(&s));
+        }
+
+        #[test]
+        fn string_classes_generate_ascii(junk in "[ -~]{0,16}") {
+            prop_assert!(junk.len() <= 16);
+            prop_assert!(junk.chars().all(|c| (' '..='~').contains(&c)));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u64),
+            Node(Vec<Tree>),
+        }
+        let leaf = (0u64..10).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(3, 16, 3, |inner| {
+            crate::collection::vec(inner, 1..3)
+                .prop_map(Tree::Node)
+                .boxed()
+        });
+        let mut rng = crate::test_runner::TestRng::deterministic("tree");
+        let mut saw_node = false;
+        for _ in 0..64 {
+            if matches!(strat.generate(&mut rng), Tree::Node(_)) {
+                saw_node = true;
+            }
+        }
+        assert!(saw_node, "recursion never taken");
+    }
+}

@@ -1,0 +1,72 @@
+//! Test-runner plumbing: configuration, the per-test RNG and the
+//! case-outcome type threaded through the `proptest!` macros.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Run configuration (`ProptestConfig::with_cases(n)`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config that runs `cases` passing cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Outcome of one sampled case, produced by the `prop_assert*` macros.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's assumptions were not met; resample without failing.
+    Reject,
+    /// A property was violated; the whole test fails with this message.
+    Fail(String),
+}
+
+/// Deterministic RNG used for input generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Builds a generator seeded from the test's module path + name, so
+    /// every property test has its own reproducible stream.
+    pub fn deterministic(label: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "empty interval");
+        let span = (hi - lo) as u128 + 1;
+        lo + (self.next_u64() as u128 % span) as usize
+    }
+}
