@@ -1,0 +1,67 @@
+//! Bench E18: local-form super-operator application — the PR-2 tentpole
+//! ablation. `embedded` replays the old O(8ⁿ) path (materialise every
+//! Kraus operator at the full 2ⁿ dimension, dense-conjugate); `local`
+//! runs the strided O(4ⁿ·2ᵏ) kernels on the native-dimension Kraus form.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nqpv_bench::random_density;
+use nqpv_linalg::CMat;
+use nqpv_quantum::{gates, SuperOp};
+
+fn bench_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("superop_apply");
+    group.sample_size(10);
+    for n in (2usize..=10).step_by(2) {
+        let dim = 1usize << n;
+        let rho = random_density(dim, n as u64);
+        // CX on a non-contiguous qubit pair — the worst case for naive
+        // embedding, the common case in programs.
+        let positions = if n == 2 { vec![0, 1] } else { vec![0, n - 1] };
+        let local = SuperOp::from_unitary(&gates::cx()).embed(&positions, n);
+        let dense: Vec<CMat> = local.kraus().to_vec();
+
+        group.bench_with_input(BenchmarkId::new("embedded", n), &n, |b, _| {
+            b.iter(|| {
+                let mut out = CMat::zeros(dim, dim);
+                for k in &dense {
+                    out += &k.conjugate(&rho);
+                }
+                out
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("local", n), &n, |b, _| {
+            b.iter(|| local.apply(&rho))
+        });
+    }
+    group.finish();
+}
+
+fn bench_apply_heisenberg(c: &mut Criterion) {
+    // The wp/wlp direction, on the multi-Kraus initialiser map (the
+    // statement kind the old path hit hardest: 2ᵏ Kraus operators).
+    let mut group = c.benchmark_group("superop_wp_init");
+    group.sample_size(10);
+    for n in (4usize..=10).step_by(2) {
+        let dim = 1usize << n;
+        let m = random_density(dim, 17 + n as u64);
+        let local = SuperOp::initializer(2).embed(&[0, n - 1], n);
+        let dense: Vec<CMat> = local.kraus().to_vec();
+
+        group.bench_with_input(BenchmarkId::new("embedded", n), &n, |b, _| {
+            b.iter(|| {
+                let mut out = CMat::zeros(dim, dim);
+                for k in &dense {
+                    out += &k.adjoint_conjugate(&m);
+                }
+                out
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("local", n), &n, |b, _| {
+            b.iter(|| local.apply_heisenberg(&m))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apply, bench_apply_heisenberg);
+criterion_main!(benches);

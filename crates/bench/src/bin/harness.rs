@@ -265,9 +265,11 @@ fn main() {
     let corpus_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/corpus");
     let corpus =
         nqpv_engine::Corpus::from_dir(&corpus_dir).unwrap_or_else(|_| nqpv_bench::sample_corpus(4));
-    println!("| workers | cache | verified | rejected | errors | hit rate | wall time |");
-    println!("|---------|-------|----------|----------|--------|----------|-----------|");
-    for (jobs, use_cache) in [(1usize, true), (2, true), (4, true), (4, false)] {
+    println!("| workers | cache | verified | rejected | errors | hit rate | verdict hits | verdict rate | wall time |");
+    println!("|---------|-------|----------|----------|--------|----------|--------------|--------------|-----------|");
+    // The `off` rows double as the solver-verdict-cache ablation: with the
+    // cache disabled every repeated ⊑_inf query re-runs the solver.
+    for (jobs, use_cache) in [(1usize, true), (1, false), (2, true), (4, true), (4, false)] {
         let report = nqpv_engine::run_batch(
             &corpus,
             &nqpv_engine::BatchOptions {
@@ -277,7 +279,7 @@ fn main() {
             },
         );
         println!(
-            "| {} | {} | {} | {} | {} | {} | {:.3} ms |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {:.3} ms |",
             report.workers,
             if use_cache { "on" } else { "off" },
             report.verified_jobs(),
@@ -286,6 +288,14 @@ fn main() {
             report
                 .cache
                 .map(|c| format!("{:.1}%", c.hit_rate() * 100.0))
+                .unwrap_or_else(|| "-".into()),
+            report
+                .cache
+                .map(|c| c.verdict_hits.to_string())
+                .unwrap_or_else(|| "-".into()),
+            report
+                .cache
+                .map(|c| format!("{:.1}%", c.verdict_hit_rate() * 100.0))
                 .unwrap_or_else(|| "-".into()),
             report.total_ms
         );

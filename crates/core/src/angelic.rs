@@ -63,6 +63,32 @@ pub fn le_sup(
     assertion_le_sup(theta.ops(), psi.ops(), opts).map_err(VerifError::Solver)
 }
 
+/// [`le_sup`] through an optional verdict cache (the `⊑_sup` twin of
+/// [`Assertion::le_inf_cached`]); keys carry a distinct tag so the two
+/// orders never alias.
+///
+/// # Errors
+///
+/// Same as [`le_sup`]. Solver errors are never cached.
+pub fn le_sup_cached(
+    theta: &Assertion,
+    psi: &Assertion,
+    opts: LownerOptions,
+    cache: Option<&dyn crate::cache::TransformerCache>,
+) -> Result<Verdict, VerifError> {
+    let Some(cache) = cache else {
+        return le_sup(theta, psi, opts);
+    };
+    let key =
+        crate::cache::verdict_key(crate::cache::VERDICT_TAG_SUP, theta.ops(), psi.ops(), &opts);
+    if let Some(v) = cache.get_verdict(key) {
+        return Ok(v);
+    }
+    let v = le_sup(theta, psi, opts)?;
+    cache.put_verdict(key, &v);
+    Ok(v)
+}
+
 /// Angelic weakest precondition of a *branch set* for a singleton-style
 /// postcondition set: under the angelic reading, the wp of `S₀ □ S₁` is
 /// still the element-wise union `wp.S₀.Ψ ∪ wp.S₁.Ψ` — but it must be
@@ -151,6 +177,73 @@ mod tests {
             }
             other => panic!("expected violation, got {other}"),
         }
+    }
+
+    #[test]
+    fn cached_orders_share_the_verdict_store_but_not_keys() {
+        use crate::cache::{CacheKey, TransformerCache};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Mutex;
+
+        /// Minimal verdict-tier cache double (the full concurrent
+        /// implementation lives in `nqpv-engine`).
+        #[derive(Default)]
+        struct VerdictStore {
+            verdicts: Mutex<std::collections::HashMap<CacheKey, Verdict>>,
+            hits: AtomicU64,
+        }
+
+        impl TransformerCache for VerdictStore {
+            fn get(&self, _key: CacheKey) -> Option<crate::transformer::Annotated> {
+                None
+            }
+            fn put(&self, _key: CacheKey, _value: &crate::transformer::Annotated) {}
+            fn get_verdict(&self, key: CacheKey) -> Option<Verdict> {
+                let found = self.verdicts.lock().unwrap().get(&key).cloned();
+                if found.is_some() {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                }
+                found
+            }
+            fn put_verdict(&self, key: CacheKey, verdict: &Verdict) {
+                self.verdicts.lock().unwrap().insert(key, verdict.clone());
+            }
+        }
+
+        let cache = VerdictStore::default();
+        let theta =
+            Assertion::from_ops(2, vec![nqpv_linalg::CMat::identity(2).scale_re(0.5)]).unwrap();
+        let psi = Assertion::from_ops(2, vec![ket("0").projector(), ket("1").projector()]).unwrap();
+        let opts = LownerOptions::default();
+
+        // First ⊑_sup query computes and stores; the second hits.
+        assert!(le_sup_cached(&theta, &psi, opts, Some(&cache))
+            .unwrap()
+            .holds());
+        assert_eq!(cache.hits.load(Ordering::Relaxed), 0);
+        assert!(le_sup_cached(&theta, &psi, opts, Some(&cache))
+            .unwrap()
+            .holds());
+        assert_eq!(cache.hits.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.verdicts.lock().unwrap().len(), 1);
+
+        // The ⊑_inf order on the *same* operands carries a distinct tag:
+        // no aliasing, a second entry appears (and the verdict differs —
+        // inf over {P0, P1} drops to 0 on basis states, so ⊑_inf fails).
+        assert!(!theta
+            .le_inf_cached(&psi, opts, Some(&cache))
+            .unwrap()
+            .holds());
+        assert_eq!(cache.hits.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.verdicts.lock().unwrap().len(), 2);
+
+        // Cached and fresh verdicts agree.
+        assert_eq!(
+            le_sup_cached(&theta, &psi, opts, Some(&cache))
+                .unwrap()
+                .holds(),
+            le_sup(&theta, &psi, opts).unwrap().holds()
+        );
     }
 
     #[test]

@@ -196,6 +196,36 @@ impl Assertion {
         assertion_le(&self.ops, &other.ops, opts).map_err(VerifError::Solver)
     }
 
+    /// [`Assertion::le_inf`] through an optional **verdict cache**: the
+    /// decision is keyed by the exact operator bits of both sides plus the
+    /// solver options, and looked up via the
+    /// [`TransformerCache`](crate::cache::TransformerCache) hook before the
+    /// solver runs. Loop-heavy corpora repeat the same `⊑_inf` queries many
+    /// times (invariant checks, cut assertions, final comparisons of
+    /// byte-identical jobs); a shared cache answers all but the first.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Assertion::le_inf`]. Solver errors are never cached.
+    pub fn le_inf_cached(
+        &self,
+        other: &Assertion,
+        opts: LownerOptions,
+        cache: Option<&dyn crate::cache::TransformerCache>,
+    ) -> Result<Verdict, VerifError> {
+        let Some(cache) = cache else {
+            return self.le_inf(other, opts);
+        };
+        let key =
+            crate::cache::verdict_key(crate::cache::VERDICT_TAG_INF, &self.ops, &other.ops, &opts);
+        if let Some(v) = cache.get_verdict(key) {
+            return Ok(v);
+        }
+        let v = self.le_inf(other, opts)?;
+        cache.put_verdict(key, &v);
+        Ok(v)
+    }
+
     /// Validates that every element lies in the predicate interval
     /// `0 ⊑ M ⊑ I` (within `tol`).
     pub fn validate_predicates(&self, tol: f64) -> bool {

@@ -24,6 +24,7 @@
 //! by loop id, which are not part of the cache key.
 
 use crate::transformer::Annotated;
+use nqpv_solver::{LownerOptions, Verdict};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::Hasher;
 
@@ -44,7 +45,52 @@ pub trait TransformerCache: Send + Sync {
 
     /// Stores the annotated result computed for `key`.
     fn put(&self, key: CacheKey, value: &Annotated);
+
+    /// Looks up a memoised `⊑_inf`/`⊑_sup` solver verdict for `key` — the
+    /// second cache tier. Keys are content hashes of `(Θ, Ψ, ε/options)`
+    /// (see [`verdict_key`]), so verdicts are shared across programs,
+    /// registers and batch jobs whenever the same operator sets recur.
+    /// The default implementation caches nothing.
+    fn get_verdict(&self, _key: CacheKey) -> Option<Verdict> {
+        None
+    }
+
+    /// Stores a solver verdict for `key`. The default implementation
+    /// drops it.
+    fn put_verdict(&self, _key: CacheKey, _verdict: &Verdict) {}
 }
+
+/// Content key of a `⊑_inf`/`⊑_sup` query: the exact matrix bits of both
+/// assertion sides plus every solver option that can influence the verdict.
+/// Order within each side matters (the solver reports witness indices), so
+/// the sides are hashed in sequence.
+pub fn verdict_key(
+    tag: u8,
+    theta: &[nqpv_linalg::CMat],
+    psi: &[nqpv_linalg::CMat],
+    opts: &LownerOptions,
+) -> CacheKey {
+    let mut h = KeyHasher::new();
+    h.write_u8(tag);
+    // Every LownerOptions field influences the verdict; the Debug rendering
+    // covers them all (f64 Debug is shortest-roundtrip, so distinct values
+    // always render apart).
+    h.write_str(&format!("{opts:?}"));
+    h.write_usize(theta.len());
+    for m in theta {
+        h.write_matrix(m);
+    }
+    h.write_usize(psi.len());
+    for m in psi {
+        h.write_matrix(m);
+    }
+    h.finish()
+}
+
+/// Tag byte for `⊑_inf` verdict keys.
+pub const VERDICT_TAG_INF: u8 = 0x1F;
+/// Tag byte for `⊑_sup` verdict keys.
+pub const VERDICT_TAG_SUP: u8 = 0x2F;
 
 /// Double-width streaming hasher used to build [`CacheKey`]s.
 ///

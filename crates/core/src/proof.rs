@@ -17,7 +17,7 @@ use crate::error::VerifError;
 use crate::ranking::{check_ranking, RankingCertificate};
 use crate::transformer::Mode;
 use nqpv_lang::Stmt;
-use nqpv_linalg::embed;
+use nqpv_linalg::{conjugate_gate, embed};
 use nqpv_quantum::{OperatorLibrary, Register, SuperOp};
 use nqpv_solver::{LownerOptions, Verdict};
 
@@ -281,8 +281,6 @@ pub fn check_proof(
                     got: pos.len(),
                 });
             }
-            let p0 = embed(m.p0(), &pos, n);
-            let p1 = embed(m.p1(), &pos, n);
             let ft = check_proof(then_proof, mode, lib, reg, lowner)?;
             let fe = check_proof(else_proof, mode, lib, reg, lowner)?;
             if !ft.post.approx_set_eq(&fe.post, MATCH_TOL) {
@@ -290,10 +288,11 @@ pub fn check_proof(
                     details: "(Meas) branch postconditions differ".into(),
                 });
             }
+            // Strided local sandwiches — no embedded projector matrices.
             let pre = fe
                 .pre
-                .map(|x| p0.conjugate(x))
-                .sum_pairwise(&ft.pre.map(|x| p1.conjugate(x)))?;
+                .map(|x| conjugate_gate(m.p0(), &pos, n, x))
+                .sum_pairwise(&ft.pre.map(|x| conjugate_gate(m.p1(), &pos, n, x)))?;
             Ok(Formula {
                 pre,
                 stmt: Stmt::If {
@@ -322,11 +321,9 @@ pub fn check_proof(
                     got: pos.len(),
                 });
             }
-            let p0 = embed(m.p0(), &pos, n);
-            let p1 = embed(m.p1(), &pos, n);
             let phi = post
-                .map(|x| p0.conjugate(x))
-                .sum_pairwise(&invariant.map(|x| p1.conjugate(x)))?;
+                .map(|x| conjugate_gate(m.p0(), &pos, n, x))
+                .sum_pairwise(&invariant.map(|x| conjugate_gate(m.p1(), &pos, n, x)))?;
             let fb = check_proof(body_proof, mode, lib, reg, lowner)?;
             if !fb.pre.approx_set_eq(invariant, MATCH_TOL) {
                 return Err(VerifError::InvalidInvariant {
@@ -340,7 +337,17 @@ pub fn check_proof(
             }
             if mode == Mode::Total {
                 let cert = ranking.as_ref().ok_or(VerifError::MissingRanking)?;
-                check_ranking(cert, &phi, &fb.stmt, &p1, lib, reg, lowner)?;
+                // Ranking discharge is a per-loop side condition; it takes
+                // the embedded P¹.
+                check_ranking(
+                    cert,
+                    &phi,
+                    &fb.stmt,
+                    &embed(m.p1(), &pos, n),
+                    lib,
+                    reg,
+                    lowner,
+                )?;
             }
             Ok(Formula {
                 pre: phi,

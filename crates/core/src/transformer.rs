@@ -14,7 +14,7 @@ use crate::cache::{CacheKey, KeyHasher, TransformerCache};
 use crate::error::VerifError;
 pub use crate::ranking::RankingCertificate;
 use nqpv_lang::{AssertionExpr, Stmt};
-use nqpv_linalg::{adjoint_conjugate_gate, embed, CMat};
+use nqpv_linalg::{adjoint_conjugate_gate, conjugate_gate, embed, CMat};
 use nqpv_quantum::{OperatorLibrary, Register, SuperOp};
 use nqpv_solver::{LownerOptions, Verdict};
 use std::collections::HashMap;
@@ -278,6 +278,35 @@ struct Ctx<'a> {
     ctx_key: CacheKey,
 }
 
+/// Measurement branch projectors kept at their native dimension with a
+/// register footprint, so the (Meas)/(While) sandwiches `P·M·P` run as
+/// strided conjugations (`O(4ⁿ·2ᵏ)`) instead of embedded dense matmuls
+/// (`O(8ⁿ)`).
+struct BranchProjectors {
+    p0: CMat,
+    p1: CMat,
+    pos: Vec<usize>,
+}
+
+impl BranchProjectors {
+    /// `P⁰·m·P⁰` via the strided kernel (projectors are hermitian, so
+    /// conjugation by `P` equals conjugation by `P†`).
+    fn sandwich0(&self, m: &CMat, n: usize) -> CMat {
+        conjugate_gate(&self.p0, &self.pos, n, m)
+    }
+
+    /// `P¹·m·P¹` via the strided kernel.
+    fn sandwich1(&self, m: &CMat, n: usize) -> CMat {
+        conjugate_gate(&self.p1, &self.pos, n, m)
+    }
+
+    /// The full-dimension embedding of `P¹`, for the (rare) consumers that
+    /// need a whole-space operator (ranking certificates).
+    fn embedded_p1(&self, n: usize) -> CMat {
+        embed(&self.p1, &self.pos, n)
+    }
+}
+
 impl Ctx<'_> {
     /// Backward pass over one subterm, consulting the memo cache for
     /// composite nodes (leaves are cheaper to recompute than to look up).
@@ -446,7 +475,7 @@ impl Ctx<'_> {
                         details: "cut assertion contains operators outside 0 ⊑ M ⊑ I".into(),
                     });
                 }
-                match a.le_inf(post, self.opts.lowner)? {
+                match a.le_inf_cached(post, self.opts.lowner, self.cache)? {
                     Verdict::Holds => Ok(Annotated {
                         pre: a,
                         node: AnnotatedNode::Assert,
@@ -529,12 +558,14 @@ impl Ctx<'_> {
                 then_branch,
                 else_branch,
             } => {
-                let (p0, p1) = self.branch_projectors(meas, qubits)?;
+                let br = self.branch_projectors(meas, qubits)?;
                 let then_ann = self.go(then_branch, post)?;
                 let else_ann = self.go(else_branch, post)?;
-                // xp.(if).M = P¹(xp.S₁.M) + P⁰(xp.S₀.M)  (Fig. 5)
-                let sandw1 = then_ann.pre.map(|m| p1.conjugate(m));
-                let sandw0 = else_ann.pre.map(|m| p0.conjugate(m));
+                // xp.(if).M = P¹(xp.S₁.M) + P⁰(xp.S₀.M)  (Fig. 5) — the
+                // sandwiches run strided on the local projectors; no
+                // full-dimension embedding is materialised.
+                let sandw1 = then_ann.pre.map(|m| br.sandwich1(m, n));
+                let sandw0 = else_ann.pre.map(|m| br.sandwich0(m, n));
                 let pre = sandw1
                     .sum_pairwise(&sandw0)?
                     .check_size(self.opts.max_set)?;
@@ -593,15 +624,15 @@ impl Ctx<'_> {
                     }
                     None => return Err(VerifError::MissingInvariant),
                 };
-                let (p0, p1) = self.branch_projectors(meas, qubits)?;
+                let br = self.branch_projectors(meas, qubits)?;
                 // Φ = P⁰(Ψ) + P¹(Θ_inv): the (While)-rule precondition.
                 let phi = post
-                    .map(|m| p0.conjugate(m))
-                    .sum_pairwise(&inv.map(|m| p1.conjugate(m)))?
+                    .map(|m| br.sandwich0(m, n))
+                    .sum_pairwise(&inv.map(|m| br.sandwich1(m, n)))?
                     .check_size(self.opts.max_set)?;
                 let body_ann = self.go(body, &phi)?;
                 // Invariant validity: Θ_inv ⊑_inf wlp.body.Φ.
-                match inv.le_inf(&body_ann.pre, self.opts.lowner)? {
+                match inv.le_inf_cached(&body_ann.pre, self.opts.lowner, self.cache)? {
                     Verdict::Holds => {}
                     Verdict::Violated(v) => {
                         return Err(VerifError::InvalidInvariant {
@@ -624,7 +655,9 @@ impl Ctx<'_> {
                         .rankings
                         .get(loop_id)
                         .ok_or(VerifError::MissingRanking)?;
-                    self.check_ranking(cert, &phi, body, &p1)?;
+                    // The ranking checker is a per-loop side condition, not
+                    // the per-statement hot path; it takes the embedded P¹.
+                    self.check_ranking(cert, &phi, body, &br.embedded_p1(n))?;
                 }
                 Ok(Annotated {
                     pre: phi,
@@ -640,8 +673,14 @@ impl Ctx<'_> {
         }
     }
 
-    /// Resolves the embedded projectors `P⁰`, `P¹` of a measurement.
-    fn branch_projectors(&self, meas: &str, qubits: &[String]) -> Result<(CMat, CMat), VerifError> {
+    /// Resolves the branch projectors `P⁰`, `P¹` of a measurement in
+    /// *local form* — native dimension plus footprint — for the strided
+    /// sandwich kernels.
+    fn branch_projectors(
+        &self,
+        meas: &str,
+        qubits: &[String],
+    ) -> Result<BranchProjectors, VerifError> {
         let m = self.lib.measurement(meas)?;
         let pos = self.reg.positions(qubits)?;
         if m.n_qubits() != pos.len() {
@@ -651,8 +690,11 @@ impl Ctx<'_> {
                 got: pos.len(),
             });
         }
-        let n = self.reg.n_qubits();
-        Ok((embed(m.p0(), &pos, n), embed(m.p1(), &pos, n)))
+        Ok(BranchProjectors {
+            p0: m.p0().clone(),
+            p1: m.p1().clone(),
+            pos,
+        })
     }
 
     /// Discharges a [`RankingCertificate`] via [`crate::ranking::check_ranking`].

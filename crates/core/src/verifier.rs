@@ -105,10 +105,11 @@ pub fn verify_proof_term_with(
         &term.body, &post, lib, &reg, opts, rankings, cache,
     )?;
 
-    // Final comparison (when a precondition was supplied).
+    // Final comparison (when a precondition was supplied) — through the
+    // verdict cache, so byte-identical jobs in a batch decide it once.
     let status = match &pre {
         None => VerifyStatus::Verified,
-        Some(p) => match p.le_inf(&ann.pre, opts.lowner)? {
+        Some(p) => match p.le_inf_cached(&ann.pre, opts.lowner, cache)? {
             Verdict::Holds => VerifyStatus::Verified,
             Verdict::Violated(v) => VerifyStatus::PreconditionViolated {
                 details: format!(

@@ -197,6 +197,10 @@ mod tests {
             stats.hits > 0,
             "verifying the same program twice must hit the memo cache: {stats:?}"
         );
+        assert!(
+            stats.verdict_hits > 0,
+            "repeated ⊑_inf queries within a batch must hit the verdict cache: {stats:?}"
+        );
         let ok_jobs: Vec<_> = report
             .jobs
             .iter()

@@ -107,11 +107,16 @@ impl BatchReport {
             Some(c) => {
                 let _ = writeln!(
                     out,
-                    "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \"hit_rate\": {:.4}}},",
+                    "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \"hit_rate\": {:.4}, \
+                     \"verdict_hits\": {}, \"verdict_misses\": {}, \"verdict_entries\": {}, \"verdict_hit_rate\": {:.4}}},",
                     c.hits,
                     c.misses,
                     c.entries,
-                    c.hit_rate()
+                    c.hit_rate(),
+                    c.verdict_hits,
+                    c.verdict_misses,
+                    c.verdict_entries,
+                    c.verdict_hit_rate()
                 );
             }
             None => out.push_str("  \"cache\": null,\n"),
@@ -205,6 +210,15 @@ impl BatchReport {
                 if c.entries == 1 { "y" } else { "ies" },
                 c.hit_rate() * 100.0
             );
+            let _ = writeln!(
+                out,
+                "verdict cache: {} hit(s), {} miss(es), {} entr{}, hit rate {:.1}%",
+                c.verdict_hits,
+                c.verdict_misses,
+                c.verdict_entries,
+                if c.verdict_entries == 1 { "y" } else { "ies" },
+                c.verdict_hit_rate() * 100.0
+            );
         }
         out
     }
@@ -264,6 +278,9 @@ mod tests {
                 hits: 1,
                 misses: 3,
                 entries: 3,
+                verdict_hits: 3,
+                verdict_misses: 1,
+                verdict_entries: 1,
             }),
         }
     }
@@ -276,6 +293,8 @@ mod tests {
         assert!(json.contains("\\\"token\\\""), "{json}");
         assert!(json.contains("\\n"), "newlines escaped");
         assert!(json.contains("\"hit_rate\": 0.2500"));
+        assert!(json.contains("\"verdict_hits\": 3"), "{json}");
+        assert!(json.contains("\"verdict_hit_rate\": 0.7500"), "{json}");
         // Balanced braces/brackets (cheap structural sanity check).
         for (open, close) in [('{', '}'), ('[', ']')] {
             assert_eq!(
@@ -296,6 +315,8 @@ mod tests {
         assert!(text.contains("1 verified"));
         assert!(text.contains("1 error"));
         assert!(text.contains("hit rate 25.0%"));
+        assert!(text.contains("verdict cache: 3 hit(s)"), "{text}");
+        assert!(text.contains("hit rate 75.0%"), "{text}");
     }
 
     #[test]

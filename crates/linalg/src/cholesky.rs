@@ -78,6 +78,126 @@ pub fn is_psd(a: &CMat, tol: f64) -> bool {
     cholesky(&shifted).is_some()
 }
 
+/// Diagonal-pivoted Cholesky factorisation of a hermitian matrix:
+/// `P·A·Pᵀ = L·L†` with `L` lower triangular, choosing the largest
+/// remaining diagonal entry as pivot at every step. Returns
+/// `(l, perm, rank)` where `perm[k]` is the original index pivoted into
+/// position `k`; elimination stops at the numerical `rank` (remaining
+/// diagonal below `rank_tol`). Returns `None` as soon as a pivot would be
+/// negative beyond `-rank_tol` — the matrix is then certainly indefinite.
+///
+/// Unlike [`cholesky`], the pivoted form handles rank-deficient positive
+/// *semi*definite matrices without a tolerance shift, and exits after
+/// `O(d·r²)` work for a rank-`r` input — both common in the verifier,
+/// where predicates are low-rank projectors.
+pub fn pivoted_cholesky(a: &CMat, rank_tol: f64) -> Option<(CMat, Vec<usize>, usize)> {
+    if !a.is_square() {
+        return None;
+    }
+    let d = a.rows();
+    let mut w = a.hermitize();
+    let mut perm: Vec<usize> = (0..d).collect();
+    let mut l = CMat::zeros(d, d);
+    let scale = w.max_abs();
+    let stop = rank_tol.max(1e-15 * scale);
+    for k in 0..d {
+        // Largest remaining diagonal entry.
+        let (mut p, mut best) = (k, w[(k, k)].re);
+        for i in (k + 1)..d {
+            let v = w[(i, i)].re;
+            if v > best {
+                best = v;
+                p = i;
+            }
+        }
+        if best < -stop || !best.is_finite() {
+            return None; // negative pivot: indefinite beyond tolerance
+        }
+        if best <= stop {
+            // The pivot is the *largest* remaining diagonal, so every
+            // trailing diagonal is ≤ stop here. If A is PSD its Schur
+            // complement is PSD too, and Cauchy–Schwarz bounds every
+            // trailing off-diagonal by √(a_ii·a_jj) ≤ stop — so anything
+            // meaningfully larger (beyond elimination round-off, which is
+            // O(ε·‖A‖) per update chain) certifies indefiniteness.
+            let off = 10.0 * stop + 1e-12 * scale;
+            for i in k..d {
+                for j in k..d {
+                    if i != j && w[(i, j)].abs() > off {
+                        return None;
+                    }
+                }
+            }
+            return Some((l, perm, k));
+        }
+        if p != k {
+            swap_sym(&mut w, k, p);
+            perm.swap(k, p);
+            // Keep already-computed L rows consistent with the permutation.
+            for j in 0..k {
+                let t = l[(k, j)];
+                l[(k, j)] = l[(p, j)];
+                l[(p, j)] = t;
+            }
+        }
+        let piv = best.sqrt();
+        l[(k, k)] = Complex::real(piv);
+        for i in (k + 1)..d {
+            l[(i, k)] = w[(i, k)] / piv;
+        }
+        // Schur-complement update of the trailing block.
+        for i in (k + 1)..d {
+            for j in (k + 1)..=i {
+                let upd = l[(i, k)] * l[(j, k)].conj();
+                let v = w[(i, j)] - upd;
+                w[(i, j)] = v;
+                if i != j {
+                    w[(j, i)] = v.conj();
+                }
+            }
+        }
+    }
+    Some((l, perm, d))
+}
+
+/// Symmetric row+column swap of a hermitian working matrix.
+fn swap_sym(w: &mut CMat, a: usize, b: usize) {
+    let d = w.rows();
+    for j in 0..d {
+        let t = w[(a, j)];
+        w[(a, j)] = w[(b, j)];
+        w[(b, j)] = t;
+    }
+    for i in 0..d {
+        let t = w[(i, a)];
+        w[(i, a)] = w[(i, b)];
+        w[(i, b)] = t;
+    }
+}
+
+/// Positive-semidefiniteness within `tol` via [`pivoted_cholesky`]:
+/// `true` iff `A + tol·I` admits a diagonal-pivoted factorisation.
+///
+/// Semantically equivalent to [`is_psd`] but rank-deficient inputs
+/// terminate after the numerical rank is exhausted and clear-margin
+/// indefinite inputs abort at the first negative pivot — the fast PSD
+/// path used by the `⊑_inf` solver ahead of any eigenvalue iteration.
+pub fn is_psd_pivoted(a: &CMat, tol: f64) -> bool {
+    if !a.is_square() {
+        return false;
+    }
+    let n = a.rows();
+    if n == 0 {
+        return true;
+    }
+    let mut shifted = a.hermitize();
+    let shift = tol.max(1e-14 * shifted.max_abs());
+    for i in 0..n {
+        shifted[(i, i)] += Complex::real(shift);
+    }
+    pivoted_cholesky(&shifted, 1e-14 * (1.0 + shifted.max_abs())).is_some()
+}
+
 /// Decides the Löwner order `A ⊑ B` within tolerance: `B − A ⪰ -tol·I`.
 ///
 /// # Examples
@@ -206,5 +326,94 @@ mod tests {
     fn non_square_is_not_psd() {
         assert!(!is_psd(&CMat::zeros(2, 3), 1e-9));
         assert!(cholesky(&CMat::zeros(2, 3)).is_none());
+        assert!(!is_psd_pivoted(&CMat::zeros(2, 3), 1e-9));
+        assert!(pivoted_cholesky(&CMat::zeros(2, 3), 1e-12).is_none());
+    }
+
+    #[test]
+    fn pivoted_factorises_spd_and_reconstructs() {
+        let a = CMat::from_real(3, 3, &[4.0, 2.0, 0.0, 2.0, 5.0, 1.0, 0.0, 1.0, 3.0]);
+        let (l, perm, rank) = pivoted_cholesky(&a, 1e-12).expect("SPD must factor");
+        assert_eq!(rank, 3);
+        // P·A·Pᵀ = L·L†, i.e. A[perm[i]][perm[j]] = (L·L†)[i][j].
+        let rec = l.mul(&l.adjoint());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(
+                    rec[(i, j)].approx_eq(a[(perm[i], perm[j])], 1e-10),
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pivoted_handles_rank_deficient_psd() {
+        // rank-1 projector on 4 dims: exact Cholesky fails, pivoted stops
+        // at rank 1 and certifies PSD.
+        let v = CMat::from_real(4, 1, &[0.5, 0.5, 0.5, 0.5]);
+        let p = v.mul(&v.adjoint());
+        let (_, _, rank) = pivoted_cholesky(&p, 1e-12).expect("projector is PSD");
+        assert_eq!(rank, 1);
+        assert!(is_psd_pivoted(&p, 1e-9));
+        // And the zero matrix has rank 0.
+        let (_, _, r0) = pivoted_cholesky(&CMat::zeros(3, 3), 1e-12).expect("0 is PSD");
+        assert_eq!(r0, 0);
+    }
+
+    #[test]
+    fn pivoted_rejects_indefinite_including_zero_diagonal_traps() {
+        // Zero diagonal but large off-diagonal: indefinite; the unpivoted
+        // loop would need the shift to notice, the pivoted test must not
+        // be fooled by the empty diagonal.
+        let a = CMat::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0]); // eigenvalues ±1
+        assert!(pivoted_cholesky(&a, 1e-12).is_none());
+        assert!(!is_psd_pivoted(&a, 1e-9));
+        let b = CMat::from_real(2, 2, &[1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        assert!(!is_psd_pivoted(&b, 1e-9));
+    }
+
+    #[test]
+    fn pivoted_rejects_tiny_diagonal_with_dominant_off_diagonal() {
+        // Regression: after the tol shift the trailing diagonals are ~0
+        // while a 1e-7 off-diagonal makes λ_min ≈ -1.01e-7 — two orders
+        // beyond tol. A loose off-diagonal threshold (√(stop·scale))
+        // wrongly certified this PSD; the PSD-consistent O(stop) bound
+        // must reject it.
+        let a = CMat::from_real(3, 3, &[1.0, 0.0, 0.0, 0.0, -1e-9, 1e-7, 0.0, 1e-7, -1e-9]);
+        assert!(!is_psd_pivoted(&a, 1e-9));
+        let min = eigh(&a).unwrap().min();
+        assert!(min < -9e-8, "counterexample must be clearly indefinite");
+        // The unshifted factorisation also refuses it.
+        assert!(pivoted_cholesky(&a, 1e-12).is_none());
+    }
+
+    #[test]
+    fn pivoted_psd_agrees_with_eigenvalues_on_samples() {
+        let mut seed = 1234u64;
+        let next = move |s: &mut u64| {
+            *s ^= *s << 13;
+            *s ^= *s >> 7;
+            *s ^= *s << 17;
+            (*s as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        for n in [2usize, 3, 4, 6, 8] {
+            for _ in 0..20 {
+                let g = CMat::from_fn(n, n, |_, _| c(next(&mut seed), next(&mut seed)));
+                let h = g.add_mat(&g.adjoint()).scale_re(0.5);
+                let min = eigh(&h).unwrap().min();
+                let by_piv = is_psd_pivoted(&h, 1e-9);
+                let by_eig = min >= -1e-9;
+                if min.abs() > 1e-7 {
+                    assert_eq!(by_piv, by_eig, "n={n}, min eig {min}");
+                }
+                // Shifting past the minimum must always make it PSD.
+                let mut shifted = h.clone();
+                for i in 0..n {
+                    shifted[(i, i)] += Complex::real(min.abs() + 1e-6);
+                }
+                assert!(is_psd_pivoted(&shifted, 1e-9));
+            }
+        }
     }
 }

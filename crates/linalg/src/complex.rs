@@ -120,6 +120,20 @@ impl Complex {
     pub fn is_nan(self) -> bool {
         self.re.is_nan() || self.im.is_nan()
     }
+
+    /// `true` iff the value is an exact (bit-level) zero in both
+    /// components, *including* negative zero: `±0.0 ± 0.0i` all count.
+    ///
+    /// This is the sanctioned guard for skip-zero fast paths in matrix
+    /// kernels (`mul`, `kron`, `embed`): IEEE `-0.0 == 0.0` compares true,
+    /// so ±0 entries contribute nothing but sign bits to any product, and
+    /// skipping them cannot change a result beyond the sign of a zero.
+    /// Deliberately *not* written as `norm_sqr() == 0.0`, which would also
+    /// skip subnormal entries whose squares underflow to zero.
+    #[inline]
+    pub fn is_exact_zero(self) -> bool {
+        self.re == 0.0 && self.im == 0.0
+    }
 }
 
 impl From<f64> for Complex {

@@ -41,7 +41,9 @@ mod matrix;
 pub mod npy;
 mod tensor;
 
-pub use cholesky::{cholesky, is_partial_density, is_predicate, is_psd, lowner_le};
+pub use cholesky::{
+    cholesky, is_partial_density, is_predicate, is_psd, is_psd_pivoted, lowner_le, pivoted_cholesky,
+};
 pub use complex::{c, cr, Complex, TOL};
 pub use eigen::{eigh, max_eigenvalue, min_eigenvalue, sqrtm_psd, Eigh, EighError};
 pub use matrix::{CMat, CVec};

@@ -461,7 +461,8 @@ impl CMat {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(i, k)];
-                if a.re == 0.0 && a.im == 0.0 {
+                // Skip exact (±0) zeros only — see `Complex::is_exact_zero`.
+                if a.is_exact_zero() {
                     continue;
                 }
                 let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
@@ -492,7 +493,8 @@ impl CMat {
         for i1 in 0..self.rows {
             for j1 in 0..self.cols {
                 let a = self[(i1, j1)];
-                if a.re == 0.0 && a.im == 0.0 {
+                // Skip exact (±0) zeros only — see `Complex::is_exact_zero`.
+                if a.is_exact_zero() {
                     continue;
                 }
                 for i2 in 0..other.rows {
@@ -687,6 +689,50 @@ mod tests {
         let i = CMat::identity(2);
         assert!(x.mul(&i).approx_eq(&x, TOL));
         assert!(i.mul(&x).approx_eq(&x, TOL));
+    }
+
+    #[test]
+    fn zero_skip_treats_negative_zero_like_positive_zero() {
+        // Regression: the mul/kron fast paths skip exact-zero entries; IEEE
+        // `-0.0 == 0.0` means -0.0 entries take the skip too, and the result
+        // must be bit-for-bit what the +0.0 matrix produces.
+        let with_neg = CMat::from_vec(
+            2,
+            2,
+            vec![c(-0.0, 0.0), c(1.0, -0.0), c(-0.0, -0.0), c(2.0, 0.5)],
+        );
+        let mut normalised = with_neg.clone();
+        for z in normalised.as_mut_slice() {
+            // +0.0 canonical form of every component.
+            z.re += 0.0;
+            z.im += 0.0;
+        }
+        let other = CMat::from_fn(2, 2, |i, j| c(0.3 * i as f64 - 0.1, 0.2 * j as f64 + 0.4));
+        for (a, b) in with_neg
+            .mul(&other)
+            .as_slice()
+            .iter()
+            .zip(normalised.mul(&other).as_slice())
+        {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        for (a, b) in with_neg
+            .kron(&other)
+            .as_slice()
+            .iter()
+            .zip(normalised.kron(&other).as_slice())
+        {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        // But a subnormal entry whose square underflows must NOT be skipped
+        // (the reason the guard is not `norm_sqr() == 0.0`).
+        let tiny = 1e-200;
+        assert!(!c(tiny, 0.0).is_exact_zero());
+        let sub = CMat::from_vec(1, 1, vec![c(tiny, 0.0)]);
+        let prod = sub.mul(&CMat::from_vec(1, 1, vec![c(2.0, 0.0)]));
+        assert_eq!(prod[(0, 0)].re, 2.0 * tiny);
     }
 
     #[test]

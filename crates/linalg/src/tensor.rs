@@ -79,7 +79,8 @@ pub fn embed(op: &CMat, positions: &[usize], n: usize) -> CMat {
         let rest = i & rest_mask;
         for xj in 0..dk {
             let g = op[(xi, xj)];
-            if g.re == 0.0 && g.im == 0.0 {
+            // Skip exact (±0) zeros only — see `Complex::is_exact_zero`.
+            if g.is_exact_zero() {
                 continue;
             }
             let j = rest | deposit_sub_index(xj, positions, n);
@@ -112,54 +113,73 @@ fn deposit_sub_index(x: usize, positions: &[usize], n: usize) -> usize {
     i
 }
 
-/// Applies a `k`-qubit gate to the virtual vector
-/// `v[t] = data[offset + t·stride]`, `t ∈ 0..2^n`, in place.
-/// This is the shared fast path behind state-vector evolution and
-/// matrix conjugation.
-fn apply_gate_strided(
-    gate: &CMat,
-    positions: &[usize],
-    n: usize,
-    data: &mut [Complex],
-    offset: usize,
-    stride: usize,
-) {
-    let k = positions.len();
-    let dk = 1usize << k;
-    debug_assert_eq!(gate.rows(), dk);
-    let dn = 1usize << n;
-    // Positions of the non-acted ("rest") qubits, as bit shifts.
-    let mut rest_shifts: Vec<usize> = Vec::with_capacity(n - k);
-    'outer: for q in 0..n {
-        for &p in positions {
-            if p == q {
-                continue 'outer;
+/// Precomputed index plan for applying a `k`-qubit gate inside an
+/// `n`-qubit space: the "rest" qubit shifts and the sub-index deposits.
+/// Building it once per gate application (instead of once per matrix row,
+/// as a naive loop would) keeps the strided kernels allocation-free on
+/// the hot path.
+struct GatePlan {
+    dk: usize,
+    rest_count: usize,
+    rest_shifts: Vec<usize>,
+    sub_deposits: Vec<usize>,
+}
+
+impl GatePlan {
+    fn new(positions: &[usize], n: usize) -> GatePlan {
+        let k = positions.len();
+        let dk = 1usize << k;
+        let dn = 1usize << n;
+        // Positions of the non-acted ("rest") qubits, as bit shifts.
+        let mut rest_shifts: Vec<usize> = Vec::with_capacity(n - k);
+        'outer: for q in 0..n {
+            for &p in positions {
+                if p == q {
+                    continue 'outer;
+                }
             }
+            rest_shifts.push(n - 1 - q);
         }
-        rest_shifts.push(n - 1 - q);
+        debug_assert_eq!(rest_shifts.len(), n - k);
+        let sub_deposits: Vec<usize> = (0..dk)
+            .map(|x| deposit_sub_index(x, positions, n))
+            .collect();
+        GatePlan {
+            dk,
+            rest_count: dn >> k,
+            rest_shifts,
+            sub_deposits,
+        }
     }
-    debug_assert_eq!(rest_shifts.len(), n - k);
-    let sub_deposits: Vec<usize> = (0..dk)
-        .map(|x| deposit_sub_index(x, positions, n))
-        .collect();
-    let mut gathered = vec![Complex::ZERO; dk];
-    let rest_count = dn >> k;
-    for r in 0..rest_count {
-        // Spread the bits of r into the rest positions.
-        let mut base = 0usize;
-        for (bi, &sh) in rest_shifts.iter().enumerate() {
-            let b = (r >> (rest_shifts.len() - 1 - bi)) & 1;
-            base |= b << sh;
-        }
-        for x in 0..dk {
-            gathered[x] = data[offset + (base | sub_deposits[x]) * stride];
-        }
-        for x in 0..dk {
-            let mut acc = Complex::ZERO;
-            for y in 0..dk {
-                acc += gate[(x, y)] * gathered[y];
+
+    /// Applies `gate` to the virtual vector `v[t] = data[offset + t·stride]`,
+    /// `t ∈ 0..2^n`, in place, using `gathered` as scratch (length `dk`).
+    fn run(
+        &self,
+        gate: &CMat,
+        data: &mut [Complex],
+        offset: usize,
+        stride: usize,
+        gathered: &mut [Complex],
+    ) {
+        debug_assert_eq!(gate.rows(), self.dk);
+        for r in 0..self.rest_count {
+            // Spread the bits of r into the rest positions.
+            let mut base = 0usize;
+            for (bi, &sh) in self.rest_shifts.iter().enumerate() {
+                let b = (r >> (self.rest_shifts.len() - 1 - bi)) & 1;
+                base |= b << sh;
             }
-            data[offset + (base | sub_deposits[x]) * stride] = acc;
+            for x in 0..self.dk {
+                gathered[x] = data[offset + (base | self.sub_deposits[x]) * stride];
+            }
+            for x in 0..self.dk {
+                let mut acc = Complex::ZERO;
+                for y in 0..self.dk {
+                    acc += gate[(x, y)] * gathered[y];
+                }
+                data[offset + (base | self.sub_deposits[x]) * stride] = acc;
+            }
         }
     }
 }
@@ -174,7 +194,9 @@ pub fn apply_gate_vec(gate: &CMat, positions: &[usize], n: usize, v: &mut CVec) 
     assert_eq!(v.dim(), 1usize << n, "state vector dimension mismatch");
     validate_positions(positions, n);
     assert_eq!(gate.rows(), 1usize << positions.len(), "gate size mismatch");
-    apply_gate_strided(gate, positions, n, v.as_mut_slice(), 0, 1);
+    let plan = GatePlan::new(positions, n);
+    let mut gathered = vec![Complex::ZERO; plan.dk];
+    plan.run(gate, v.as_mut_slice(), 0, 1, &mut gathered);
 }
 
 /// Left-multiplies an embedded gate into a `2^n × 2^n` matrix in place:
@@ -184,8 +206,10 @@ pub fn apply_gate_left(gate: &CMat, positions: &[usize], n: usize, m: &mut CMat)
     assert_eq!(m.rows(), d, "matrix dimension mismatch");
     assert_eq!(m.cols(), d, "matrix dimension mismatch");
     validate_positions(positions, n);
+    let plan = GatePlan::new(positions, n);
+    let mut gathered = vec![Complex::ZERO; plan.dk];
     for j in 0..d {
-        apply_gate_strided(gate, positions, n, m.as_mut_slice(), j, d);
+        plan.run(gate, m.as_mut_slice(), j, d, &mut gathered);
     }
 }
 
@@ -198,17 +222,31 @@ pub fn apply_gate_right_adjoint(gate: &CMat, positions: &[usize], n: usize, m: &
     validate_positions(positions, n);
     // row · G† viewed as a left action of conj(G) on the row vector.
     let gc = gate.conj();
+    let plan = GatePlan::new(positions, n);
+    let mut gathered = vec![Complex::ZERO; plan.dk];
     for i in 0..d {
-        apply_gate_strided(&gc, positions, n, m.as_mut_slice(), i * d, 1);
+        plan.run(&gc, m.as_mut_slice(), i * d, 1, &mut gathered);
     }
 }
 
 /// Schrödinger-picture conjugation `M ← G_S · M · G_S†` without
-/// materialising the `2^n` embedding (e.g. `UρU†`).
+/// materialising the `2^n` embedding (e.g. `UρU†`). One index plan is
+/// shared by the left and right sweeps.
 pub fn conjugate_gate(gate: &CMat, positions: &[usize], n: usize, m: &CMat) -> CMat {
+    let d = 1usize << n;
+    assert_eq!(m.rows(), d, "matrix dimension mismatch");
+    assert_eq!(m.cols(), d, "matrix dimension mismatch");
+    validate_positions(positions, n);
     let mut out = m.clone();
-    apply_gate_left(gate, positions, n, &mut out);
-    apply_gate_right_adjoint(gate, positions, n, &mut out);
+    let plan = GatePlan::new(positions, n);
+    let mut gathered = vec![Complex::ZERO; plan.dk];
+    for j in 0..d {
+        plan.run(gate, out.as_mut_slice(), j, d, &mut gathered);
+    }
+    let gc = gate.conj();
+    for i in 0..d {
+        plan.run(&gc, out.as_mut_slice(), i * d, 1, &mut gathered);
+    }
     out
 }
 
@@ -216,10 +254,7 @@ pub fn conjugate_gate(gate: &CMat, positions: &[usize], n: usize, m: &CMat) -> C
 /// the (Unit) rule of the proof system).
 pub fn adjoint_conjugate_gate(gate: &CMat, positions: &[usize], n: usize, m: &CMat) -> CMat {
     let ga = gate.adjoint();
-    let mut out = m.clone();
-    apply_gate_left(&ga, positions, n, &mut out);
-    apply_gate_right_adjoint(&ga, positions, n, &mut out);
-    out
+    conjugate_gate(&ga, positions, n, m)
 }
 
 /// Partial trace over the qubits in `traced`, returning an operator on the

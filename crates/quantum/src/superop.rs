@@ -4,9 +4,25 @@
 //! deterministic quantum program (paper Sec. 2/3.2); its adjoint
 //! `E†(M) = Σᵢ Kᵢ† M Kᵢ` drives the weakest-precondition calculus
 //! (`tr(E(ρ)·M) = tr(ρ·E†(M))`).
+//!
+//! # Local form
+//!
+//! Programs are built from *k-local* statements — a gate on two qubits, a
+//! measurement on one — embedded in an `n`-qubit register. Materialising
+//! each Kraus operator at the full `2ⁿ` dimension and conjugating densely
+//! costs `O(8ⁿ)` flops per statement. [`SuperOp`] therefore keeps its Kraus
+//! operators at their **native** `2^k` dimension together with a
+//! `positions` footprint (the register qubits they act on), and
+//! [`SuperOp::apply`] / [`SuperOp::apply_heisenberg`] run the strided
+//! tensor kernels of `nqpv_linalg` in place — `O(2ᵏ·4ⁿ)` flops, no `4ⁿ`
+//! scratch Kraus matrices. Full-dimension Kraus matrices are only
+//! materialised lazily (and cached) where a whole-space object is really
+//! needed: [`SuperOp::kraus`], [`SuperOp::natural_matrix`] and the
+//! dedupe fingerprints built on it.
 
-use nqpv_linalg::{lowner_le, CMat, CVec};
+use nqpv_linalg::{adjoint_conjugate_gate, conjugate_gate, lowner_le, CMat, CVec};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Errors raised when constructing super-operators.
 #[derive(Debug)]
@@ -17,6 +33,8 @@ pub enum SuperOpError {
     TraceIncreasing,
     /// No Kraus operators were supplied (use [`SuperOp::zero`] instead).
     Empty,
+    /// Footprint positions are duplicated or out of range.
+    InvalidPositions,
 }
 
 impl fmt::Display for SuperOpError {
@@ -27,6 +45,7 @@ impl fmt::Display for SuperOpError {
                 write!(f, "kraus operators violate trace-nonincrease (ΣK†K ⋢ I)")
             }
             SuperOpError::Empty => write!(f, "empty kraus list"),
+            SuperOpError::InvalidPositions => write!(f, "invalid footprint positions"),
         }
     }
 }
@@ -34,8 +53,11 @@ impl fmt::Display for SuperOpError {
 impl std::error::Error for SuperOpError {}
 
 /// A completely positive super-operator on a `dim`-dimensional space,
-/// stored as a list of Kraus operators. The zero map is the empty list
-/// (the paper's `0 = [[abort]]`), the identity is `{I}` (`1 = [[skip]]`).
+/// stored as a list of Kraus operators in **local form** (see the module
+/// docs): the operators live at their native `2^k` dimension and act on
+/// the `positions` footprint, identity elsewhere. The zero map is the
+/// empty list (the paper's `0 = [[abort]]`), the identity is `{I}`
+/// (`1 = [[skip]]`) — both carry an *empty* footprint.
 ///
 /// # Examples
 ///
@@ -48,25 +70,76 @@ impl std::error::Error for SuperOpError {}
 /// ```
 #[derive(Debug, Clone)]
 pub struct SuperOp {
+    /// Full space dimension `2^n`.
     dim: usize,
+    /// Register size `n` (`dim == 1 << n_qubits`).
+    n_qubits: usize,
+    /// Register qubits the Kraus operators act on, in operator-qubit order
+    /// (the operator's qubit `t` is register qubit `positions[t]`).
+    positions: Vec<usize>,
+    /// Kraus operators at dimension `2^positions.len()`.
     kraus: Vec<CMat>,
+    /// Lazily materialised full-dimension Kraus operators.
+    dense: OnceLock<Vec<CMat>>,
+}
+
+/// `log2` of a power-of-two dimension.
+fn qubits_of(dim: usize) -> usize {
+    assert!(
+        dim.is_power_of_two(),
+        "super-operator dimension {dim} is not a power of two"
+    );
+    dim.trailing_zeros() as usize
+}
+
+/// Checks that positions are distinct and `< n`.
+fn positions_valid(positions: &[usize], n: usize) -> bool {
+    positions
+        .iter()
+        .enumerate()
+        .all(|(t, &p)| p < n && !positions[..t].contains(&p))
 }
 
 impl SuperOp {
+    fn new_local(dim: usize, n_qubits: usize, positions: Vec<usize>, kraus: Vec<CMat>) -> Self {
+        debug_assert_eq!(dim, 1usize << n_qubits);
+        debug_assert!(kraus
+            .iter()
+            .all(|k| k.rows() == 1 << positions.len() && k.cols() == 1 << positions.len()));
+        SuperOp {
+            dim,
+            n_qubits,
+            positions,
+            kraus,
+            dense: OnceLock::new(),
+        }
+    }
+
+    /// A map whose footprint is the whole register, in operator order.
+    fn full_footprint(kraus: Vec<CMat>, dim: usize) -> Self {
+        let n = qubits_of(dim);
+        SuperOp::new_local(dim, n, (0..n).collect(), kraus)
+    }
+
     /// Creates a super-operator from Kraus operators, validating shape and
     /// trace-nonincrease (the standing assumption of the paper, Sec. 2).
     ///
     /// # Errors
     ///
-    /// Returns [`SuperOpError`] on shape mismatch or if `Σ K†K ⋢ I`.
+    /// Returns [`SuperOpError`] on shape mismatch (including a
+    /// non-power-of-two dimension — the local representation is
+    /// qubit-structured) or if `Σ K†K ⋢ I`.
     pub fn from_kraus(kraus: Vec<CMat>) -> Result<Self, SuperOpError> {
         let dim = kraus.first().ok_or(SuperOpError::Empty)?.rows();
+        if !dim.is_power_of_two() {
+            return Err(SuperOpError::ShapeMismatch);
+        }
         for k in &kraus {
             if k.rows() != dim || k.cols() != dim {
                 return Err(SuperOpError::ShapeMismatch);
             }
         }
-        let op = SuperOp { dim, kraus };
+        let op = SuperOp::full_footprint(kraus, dim);
         if !op.is_trace_nonincreasing(1e-7) {
             return Err(SuperOpError::TraceIncreasing);
         }
@@ -79,48 +152,84 @@ impl SuperOp {
     ///
     /// # Panics
     ///
-    /// Panics on shape mismatches.
+    /// Panics on shape mismatches or a non-power-of-two `dim` (the local
+    /// representation is qubit-structured).
     pub fn from_kraus_unchecked(kraus: Vec<CMat>, dim: usize) -> Self {
         for k in &kraus {
             assert_eq!(k.rows(), dim, "kraus shape mismatch");
             assert_eq!(k.cols(), dim, "kraus shape mismatch");
         }
-        SuperOp { dim, kraus }
+        SuperOp::full_footprint(kraus, dim)
+    }
+
+    /// Creates a super-operator directly in local form: `kraus` at their
+    /// native `2^positions.len()` dimension, acting on `positions` of an
+    /// `n_qubits`-register, identity elsewhere. Trace-nonincrease is
+    /// checked locally (the cylinder extension preserves it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SuperOpError`] on shape/position problems or if
+    /// `Σ K†K ⋢ I`.
+    pub fn from_local_kraus(
+        kraus: Vec<CMat>,
+        positions: Vec<usize>,
+        n_qubits: usize,
+    ) -> Result<Self, SuperOpError> {
+        if !positions_valid(&positions, n_qubits) {
+            return Err(SuperOpError::InvalidPositions);
+        }
+        let dk = 1usize << positions.len();
+        for k in &kraus {
+            if k.rows() != dk || k.cols() != dk {
+                return Err(SuperOpError::ShapeMismatch);
+            }
+        }
+        let op = SuperOp::new_local(1usize << n_qubits, n_qubits, positions, kraus);
+        if !op.is_trace_nonincreasing(1e-7) {
+            return Err(SuperOpError::TraceIncreasing);
+        }
+        Ok(op)
     }
 
     /// The identity super-operator `1` on a `dim`-dimensional space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not a power of two.
     pub fn identity(dim: usize) -> Self {
-        SuperOp {
-            dim,
-            kraus: vec![CMat::identity(dim)],
-        }
+        let n = qubits_of(dim);
+        SuperOp::new_local(dim, n, Vec::new(), vec![CMat::identity(1)])
     }
 
     /// The zero super-operator `0` (the denotation of `abort`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not a power of two.
     pub fn zero(dim: usize) -> Self {
-        SuperOp { dim, kraus: vec![] }
+        let n = qubits_of(dim);
+        SuperOp::new_local(dim, n, Vec::new(), Vec::new())
     }
 
     /// The unitary evolution `ρ ↦ UρU†`.
     ///
     /// # Panics
     ///
-    /// Panics if `u` is not square.
+    /// Panics if `u` is not square with a power-of-two dimension.
     pub fn from_unitary(u: &CMat) -> Self {
         assert!(u.is_square(), "unitary must be square");
-        SuperOp {
-            dim: u.rows(),
-            kraus: vec![u.clone()],
-        }
+        SuperOp::full_footprint(vec![u.clone()], u.rows())
     }
 
     /// The projective branch `ρ ↦ PρP` for a single projector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not square with a power-of-two dimension.
     pub fn from_projector(p: &CMat) -> Self {
         assert!(p.is_square(), "projector must be square");
-        SuperOp {
-            dim: p.rows(),
-            kraus: vec![p.clone()],
-        }
+        SuperOp::full_footprint(vec![p.clone()], p.rows())
     }
 
     /// The initialisation map `Set0_q̄` on `n_sub` qubits (full space of the
@@ -129,16 +238,13 @@ impl SuperOp {
         let d = 1usize << n_sub;
         let zero = CVec::basis(d, 0);
         let kraus = (0..d).map(|i| zero.outer(&CVec::basis(d, i))).collect();
-        SuperOp { dim: d, kraus }
+        SuperOp::full_footprint(kraus, d)
     }
 
     /// The measurement super-operator `E_M(ρ) = Σ_o P_o ρ P_o` (all
     /// post-measurement branches summed, paper Sec. 2).
     pub fn from_measurement(m: &crate::measurement::Measurement) -> Self {
-        SuperOp {
-            dim: m.dim(),
-            kraus: vec![m.p0().clone(), m.p1().clone()],
-        }
+        SuperOp::full_footprint(vec![m.p0().clone(), m.p1().clone()], m.dim())
     }
 
     /// Space dimension.
@@ -146,9 +252,46 @@ impl SuperOp {
         self.dim
     }
 
-    /// The Kraus operators.
-    pub fn kraus(&self) -> &[CMat] {
+    /// Register size in qubits (`dim == 2^n_qubits`).
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The footprint: register qubits the map acts on non-trivially
+    /// (operator qubit `t` ↔ register qubit `positions[t]`). Empty for the
+    /// identity and zero maps.
+    pub fn footprint(&self) -> &[usize] {
+        &self.positions
+    }
+
+    /// The Kraus operators at their native (local) dimension
+    /// `2^footprint().len()`.
+    pub fn local_kraus(&self) -> &[CMat] {
         &self.kraus
+    }
+
+    /// The Kraus operators **materialised at the full dimension**.
+    ///
+    /// The embedding is computed lazily on first call and cached; prefer
+    /// [`SuperOp::local_kraus`] plus the strided [`SuperOp::apply`] paths
+    /// whenever possible.
+    pub fn kraus(&self) -> &[CMat] {
+        if self.is_full_identity_footprint() {
+            return &self.kraus;
+        }
+        self.dense.get_or_init(|| {
+            self.kraus
+                .iter()
+                .map(|k| nqpv_linalg::embed(k, &self.positions, self.n_qubits))
+                .collect()
+        })
+    }
+
+    /// `true` when the footprint is `[0, 1, …, n-1]`, i.e. local and full
+    /// Kraus forms coincide.
+    fn is_full_identity_footprint(&self) -> bool {
+        self.positions.len() == self.n_qubits
+            && self.positions.iter().enumerate().all(|(i, &p)| i == p)
     }
 
     /// Number of Kraus operators.
@@ -156,7 +299,12 @@ impl SuperOp {
         self.kraus.len()
     }
 
-    /// Schrödinger-picture application `E(ρ) = Σ KρK†`.
+    /// Schrödinger-picture application `E(ρ) = Σ KρK†`. Proper-subset
+    /// footprints run the strided local kernels without materialising any
+    /// embedded Kraus matrix; a footprint covering the whole register
+    /// falls back to the dense route (via [`SuperOp::kraus`], which for a
+    /// *permuted* full footprint materialises and caches the embeddings
+    /// once) because the dense matmul keeps its sparse zero-skip there.
     ///
     /// # Panics
     ///
@@ -164,68 +312,133 @@ impl SuperOp {
     pub fn apply(&self, rho: &CMat) -> CMat {
         assert_eq!(rho.rows(), self.dim, "state dimension mismatch");
         assert_eq!(rho.cols(), self.dim, "state dimension mismatch");
+        if self.positions.is_empty() {
+            // Scalar footprint: K ρ K† = |k|²·ρ.
+            let w: f64 = self.kraus.iter().map(|k| k[(0, 0)].norm_sqr()).sum();
+            return rho.scale_re(w);
+        }
         let mut out = CMat::zeros(self.dim, self.dim);
+        if self.positions.len() == self.n_qubits {
+            // Full footprint: the strided kernel degenerates to a dense
+            // matmul without the zero-skip fast path; the dense route is
+            // never worse and much faster on sparse Kraus operators
+            // (projectors, initialiser branches).
+            for k in self.kraus() {
+                out += &k.conjugate(rho);
+            }
+            return out;
+        }
         for k in &self.kraus {
-            out += &k.conjugate(rho);
+            out += &conjugate_gate(k, &self.positions, self.n_qubits, rho);
         }
         out
     }
 
     /// Heisenberg-picture application `E†(M) = Σ K†MK` — the adjoint
-    /// super-operator used by wp/wlp.
+    /// super-operator used by wp/wlp. Footprint handling is as in
+    /// [`SuperOp::apply`]: strided local kernels for proper-subset
+    /// footprints, dense fallback for whole-register footprints.
     pub fn apply_heisenberg(&self, m: &CMat) -> CMat {
         assert_eq!(m.rows(), self.dim, "predicate dimension mismatch");
         assert_eq!(m.cols(), self.dim, "predicate dimension mismatch");
+        if self.positions.is_empty() {
+            let w: f64 = self.kraus.iter().map(|k| k[(0, 0)].norm_sqr()).sum();
+            return m.scale_re(w);
+        }
         let mut out = CMat::zeros(self.dim, self.dim);
+        if self.positions.len() == self.n_qubits {
+            // Full footprint: dense conjugation keeps the zero-skip fast
+            // path (see `apply`).
+            for k in self.kraus() {
+                out += &k.adjoint_conjugate(m);
+            }
+            return out;
+        }
         for k in &self.kraus {
-            out += &k.adjoint_conjugate(m);
+            out += &adjoint_conjugate_gate(k, &self.positions, self.n_qubits, m);
         }
         out
     }
 
     /// The adjoint super-operator `E†` as an explicit object (Kraus
-    /// operators conjugate-transposed). Note `E†` is generally not
-    /// trace-nonincreasing.
+    /// operators conjugate-transposed, same footprint). Note `E†` is
+    /// generally not trace-nonincreasing.
     pub fn adjoint(&self) -> SuperOp {
-        SuperOp {
-            dim: self.dim,
-            kraus: self.kraus.iter().map(CMat::adjoint).collect(),
-        }
+        SuperOp::new_local(
+            self.dim,
+            self.n_qubits,
+            self.positions.clone(),
+            self.kraus.iter().map(CMat::adjoint).collect(),
+        )
     }
 
-    /// Composition `self ∘ other` (first `other`, then `self`).
+    /// Re-expresses the local Kraus operators on a (sorted) superset
+    /// footprint `union`, tensoring identity onto the extra qubits.
+    fn kraus_on(&self, union: &[usize]) -> Vec<CMat> {
+        if self.positions.as_slice() == union {
+            return self.kraus.clone();
+        }
+        let mapped: Vec<usize> = self
+            .positions
+            .iter()
+            .map(|p| {
+                union
+                    .binary_search(p)
+                    .expect("footprint is a subset of the union")
+            })
+            .collect();
+        self.kraus
+            .iter()
+            .map(|k| nqpv_linalg::embed(k, &mapped, union.len()))
+            .collect()
+    }
+
+    /// Sorted union of two footprints.
+    fn footprint_union(&self, other: &SuperOp) -> Vec<usize> {
+        let mut union: Vec<usize> = self.positions.clone();
+        for &p in &other.positions {
+            if !union.contains(&p) {
+                union.push(p);
+            }
+        }
+        union.sort_unstable();
+        union
+    }
+
+    /// Composition `self ∘ other` (first `other`, then `self`). The result
+    /// lives on the *union* of the two footprints — still local when the
+    /// operands are.
     ///
     /// # Panics
     ///
     /// Panics on dimension mismatch.
     pub fn compose(&self, other: &SuperOp) -> SuperOp {
         assert_eq!(self.dim, other.dim, "composition dimension mismatch");
-        let mut kraus = Vec::with_capacity(self.kraus.len() * other.kraus.len());
-        for a in &self.kraus {
-            for b in &other.kraus {
-                kraus.push(a.mul(b));
+        let union = self.footprint_union(other);
+        let a = self.kraus_on(&union);
+        let b = other.kraus_on(&union);
+        let mut kraus = Vec::with_capacity(a.len() * b.len());
+        for x in &a {
+            for y in &b {
+                kraus.push(x.mul(y));
             }
         }
-        SuperOp {
-            dim: self.dim,
-            kraus,
-        }
+        SuperOp::new_local(self.dim, self.n_qubits, union, kraus)
     }
 
     /// Sum `self + other` (concatenated Kraus lists); used to combine
     /// measurement branches as in `[[if]] = [[S₀]]∘P⁰ + [[S₁]]∘P¹`.
+    /// The result lives on the union of the two footprints.
     ///
     /// # Panics
     ///
     /// Panics on dimension mismatch.
     pub fn add(&self, other: &SuperOp) -> SuperOp {
         assert_eq!(self.dim, other.dim, "sum dimension mismatch");
-        let mut kraus = self.kraus.clone();
-        kraus.extend(other.kraus.iter().cloned());
-        SuperOp {
-            dim: self.dim,
-            kraus,
-        }
+        let union = self.footprint_union(other);
+        let mut kraus = self.kraus_on(&union);
+        kraus.extend(other.kraus_on(&union));
+        SuperOp::new_local(self.dim, self.n_qubits, union, kraus)
     }
 
     /// Probabilistic scaling `p·E` for `0 ≤ p` (Kraus operators scaled by
@@ -237,35 +450,44 @@ impl SuperOp {
     pub fn scale(&self, p: f64) -> SuperOp {
         assert!(p >= 0.0, "negative probability");
         let s = p.sqrt();
-        SuperOp {
-            dim: self.dim,
-            kraus: self.kraus.iter().map(|k| k.scale_re(s)).collect(),
-        }
+        SuperOp::new_local(
+            self.dim,
+            self.n_qubits,
+            self.positions.clone(),
+            self.kraus.iter().map(|k| k.scale_re(s)).collect(),
+        )
     }
 
-    /// `Σ K†K` — the "total activity" operator; `⊑ I` iff trace-nonincreasing,
-    /// `= I` iff trace-preserving.
-    pub fn completeness_operator(&self) -> CMat {
-        let mut sum = CMat::zeros(self.dim, self.dim);
+    /// `Σ K†K` at the *local* dimension — the "total activity" operator on
+    /// the footprint.
+    fn local_completeness(&self) -> CMat {
+        let dk = 1usize << self.positions.len();
+        let mut sum = CMat::zeros(dk, dk);
         for k in &self.kraus {
             sum += &k.adjoint().mul(k);
         }
         sum
     }
 
-    /// `true` if `Σ K†K ⊑ I` within `tol`.
+    /// `Σ K†K` — the "total activity" operator at full dimension; `⊑ I`
+    /// iff trace-nonincreasing, `= I` iff trace-preserving.
+    pub fn completeness_operator(&self) -> CMat {
+        nqpv_linalg::embed(&self.local_completeness(), &self.positions, self.n_qubits)
+    }
+
+    /// `true` if `Σ K†K ⊑ I` within `tol` — decided at the local
+    /// dimension (the cylinder extension preserves the Löwner order
+    /// against the identity).
     pub fn is_trace_nonincreasing(&self, tol: f64) -> bool {
-        lowner_le(
-            &self.completeness_operator(),
-            &CMat::identity(self.dim),
-            tol,
-        )
+        let dk = 1usize << self.positions.len();
+        lowner_le(&self.local_completeness(), &CMat::identity(dk), tol)
     }
 
     /// `true` if `Σ K†K = I` within `tol`.
     pub fn is_trace_preserving(&self, tol: f64) -> bool {
-        self.completeness_operator()
-            .approx_eq(&CMat::identity(self.dim), tol)
+        let dk = 1usize << self.positions.len();
+        self.local_completeness()
+            .approx_eq(&CMat::identity(dk), tol)
     }
 
     /// Drops Kraus operators that are numerically zero; returns the number
@@ -274,17 +496,22 @@ impl SuperOp {
     pub fn prune(&mut self, tol: f64) -> usize {
         let before = self.kraus.len();
         self.kraus.retain(|k| !k.is_zero(tol));
-        before - self.kraus.len()
+        let removed = before - self.kraus.len();
+        if removed > 0 {
+            self.dense = OnceLock::new();
+        }
+        removed
     }
 
     /// The natural (Liouville) matrix representation: the `d²×d²` matrix
     /// `Σ K ⊗ conj(K)` acting on vectorised states (row-major `vec`).
     /// Two super-operators are equal as maps iff their natural matrices are
-    /// equal — used to deduplicate semantic sets.
+    /// equal — used to deduplicate semantic sets. Materialises the dense
+    /// Kraus form (footprints differ but the map may still be equal).
     pub fn natural_matrix(&self) -> CMat {
         let d2 = self.dim * self.dim;
         let mut out = CMat::zeros(d2, d2);
-        for k in &self.kraus {
+        for k in self.kraus() {
             out += &k.kron(&k.conj());
         }
         out
@@ -305,17 +532,20 @@ impl SuperOp {
 
     /// Tensor-extends the map with the identity on `extra` qubits appended
     /// on the *right* (lower-significance side): the cylinder extension
-    /// `E ⊗ I` of the paper's notational conventions.
+    /// `E ⊗ I` of the paper's notational conventions. `O(1)` in local
+    /// form — the footprint is unchanged.
     pub fn extend_right(&self, extra_qubits: usize) -> SuperOp {
-        let id = CMat::identity(1 << extra_qubits);
-        SuperOp {
-            dim: self.dim << extra_qubits,
-            kraus: self.kraus.iter().map(|k| k.kron(&id)).collect(),
-        }
+        SuperOp::new_local(
+            self.dim << extra_qubits,
+            self.n_qubits + extra_qubits,
+            self.positions.clone(),
+            self.kraus.clone(),
+        )
     }
 
     /// Embeds this `k`-qubit map into an `n`-qubit space, acting on
-    /// `positions` (identity elsewhere).
+    /// `positions` (identity elsewhere). In local form this is a pure
+    /// footprint relabelling: no matrix is built.
     ///
     /// # Panics
     ///
@@ -328,14 +558,12 @@ impl SuperOp {
             "map does not act on {} qubits",
             positions.len()
         );
-        SuperOp {
-            dim: 1usize << n,
-            kraus: self
-                .kraus
-                .iter()
-                .map(|k| nqpv_linalg::embed(k, positions, n))
-                .collect(),
-        }
+        assert!(
+            positions_valid(positions, n),
+            "duplicate qubit position or position out of range"
+        );
+        let new_positions: Vec<usize> = self.positions.iter().map(|&p| positions[p]).collect();
+        SuperOp::new_local(1usize << n, n, new_positions, self.kraus.clone())
     }
 
     /// The probability `tr(E(ρ))` that the computation it denotes reaches a
@@ -347,7 +575,13 @@ impl SuperOp {
 
 impl fmt::Display for SuperOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SuperOp(dim={}, |kraus|={})", self.dim, self.kraus.len())
+        write!(
+            f,
+            "SuperOp(dim={}, |kraus|={}, footprint={:?})",
+            self.dim,
+            self.kraus.len(),
+            self.positions
+        )
     }
 }
 
@@ -390,6 +624,9 @@ mod tests {
         assert!(SuperOp::identity(4).is_trace_preserving(TOL));
         assert!(SuperOp::zero(4).is_trace_nonincreasing(TOL));
         assert!(!SuperOp::zero(4).is_trace_preserving(TOL));
+        // Both carry an empty footprint in local form.
+        assert!(SuperOp::identity(4).footprint().is_empty());
+        assert!(SuperOp::zero(4).footprint().is_empty());
     }
 
     #[test]
@@ -476,6 +713,35 @@ mod tests {
             SuperOp::from_kraus(vec![]),
             Err(SuperOpError::Empty)
         ));
+        // Non-qubit (power-of-two) dimensions are a shape error, not a
+        // panic — the local representation is qubit-structured.
+        let odd = CMat::identity(3).scale_re(0.5);
+        assert!(matches!(
+            SuperOp::from_kraus(vec![odd]),
+            Err(SuperOpError::ShapeMismatch)
+        ));
+    }
+
+    #[test]
+    fn from_local_kraus_validates() {
+        // X on qubit 1 of 3, built directly in local form.
+        let e = SuperOp::from_local_kraus(vec![gates::x()], vec![1], 3).unwrap();
+        assert_eq!(e.dim(), 8);
+        let rho = ket("000").projector();
+        assert!(e.apply(&rho).approx_eq(&ket("010").projector(), TOL));
+        // Invalid positions and shapes are rejected.
+        assert!(matches!(
+            SuperOp::from_local_kraus(vec![gates::x()], vec![3], 3),
+            Err(SuperOpError::InvalidPositions)
+        ));
+        assert!(matches!(
+            SuperOp::from_local_kraus(vec![gates::cx()], vec![0], 3),
+            Err(SuperOpError::ShapeMismatch)
+        ));
+        assert!(matches!(
+            SuperOp::from_local_kraus(vec![gates::x(), gates::x()], vec![0], 3),
+            Err(SuperOpError::TraceIncreasing)
+        ));
     }
 
     #[test]
@@ -494,11 +760,40 @@ mod tests {
     }
 
     #[test]
+    fn fingerprints_are_footprint_independent() {
+        // X∘X = 1 as a map, but with footprint {0}; must fingerprint equal
+        // to the footprint-free identity.
+        let x = SuperOp::from_unitary(&gates::x()).embed(&[0], 2);
+        let xx = x.compose(&x);
+        assert_eq!(xx.footprint(), &[0]);
+        let id = SuperOp::identity(4);
+        assert!(xx.approx_eq_map(&id, 1e-10));
+        assert_eq!(xx.map_fingerprint(1e6), id.map_fingerprint(1e6));
+    }
+
+    #[test]
     fn embed_acts_locally() {
         let e = SuperOp::from_unitary(&gates::x()).embed(&[1], 2);
         let rho = ket("00").projector();
         let out = e.apply(&rho);
         assert!(out.approx_eq(&ket("01").projector(), TOL));
+        // Embedding is footprint relabelling: no dense matrices yet.
+        assert_eq!(e.footprint(), &[1]);
+        assert_eq!(e.local_kraus()[0].rows(), 2);
+        // Dense materialisation on demand matches the explicit embedding.
+        let dense = &e.kraus()[0];
+        assert!(dense.approx_eq(&nqpv_linalg::embed(&gates::x(), &[1], 2), TOL));
+    }
+
+    #[test]
+    fn embed_composes_through_footprints() {
+        // CX on (q2 control, q0 target) of 3 qubits, via reversed positions.
+        let e = SuperOp::from_unitary(&gates::cx()).embed(&[2, 0], 3);
+        assert_eq!(e.footprint(), &[2, 0]);
+        let rho = ket("001").projector(); // q2 = 1 ⇒ target q0 flips
+        assert!(e.apply(&rho).approx_eq(&ket("101").projector(), TOL));
+        let rho2 = ket("100").projector(); // q2 = 0 ⇒ unchanged
+        assert!(e.apply(&rho2).approx_eq(&ket("100").projector(), TOL));
     }
 
     #[test]
@@ -507,6 +802,39 @@ mod tests {
         assert_eq!(e.dim(), 4);
         let out = e.apply(&ket("00").projector());
         assert!(out.approx_eq(&ket("10").projector(), TOL));
+        // O(1): the local kraus stay 2×2.
+        assert_eq!(e.local_kraus()[0].rows(), 2);
+    }
+
+    #[test]
+    fn compose_and_add_take_footprint_unions() {
+        let x0 = SuperOp::from_unitary(&gates::x()).embed(&[0], 3);
+        let h2 = SuperOp::from_unitary(&gates::h()).embed(&[2], 3);
+        let comp = h2.compose(&x0);
+        assert_eq!(comp.footprint(), &[0, 2]);
+        assert_eq!(comp.local_kraus()[0].rows(), 4); // 2-qubit union space
+        let rho = ket("000").projector();
+        let expect = nqpv_linalg::embed(&gates::h(), &[2], 3)
+            .conjugate(&nqpv_linalg::embed(&gates::x(), &[0], 3).conjugate(&rho));
+        assert!(comp.apply(&rho).approx_eq(&expect, 1e-10));
+        let s = x0.add(&h2);
+        assert_eq!(s.footprint(), &[0, 2]);
+        assert_eq!(s.kraus_len(), 2);
+    }
+
+    #[test]
+    fn heisenberg_matches_dense_reference() {
+        // E†(M) via strided kernels equals the dense Σ K†MK for a
+        // non-contiguous, reversed footprint.
+        let e = SuperOp::from_unitary(&gates::cx()).embed(&[3, 1], 4);
+        let mut seed = 77u64;
+        let m = random_density(4, &mut seed);
+        let fast = e.apply_heisenberg(&m);
+        let mut slow = CMat::zeros(16, 16);
+        for k in e.kraus() {
+            slow += &k.adjoint_conjugate(&m);
+        }
+        assert!(fast.approx_eq(&slow, 1e-10));
     }
 
     #[test]

@@ -283,20 +283,21 @@ fn check_arity(op: &str, rows: usize, qubits: usize) -> Result<(), SemanticsErro
 }
 
 fn collapse(m: &Measurement, outcome: usize, rho: &CMat, pos: &[usize], n: usize) -> CMat {
-    let p = nqpv_linalg::embed(m.projector(outcome), pos, n);
-    p.mul(rho).mul(&p)
+    // P·ρ·P via the strided kernel (projectors are hermitian), without
+    // materialising the 2ⁿ-dimensional embedding.
+    nqpv_linalg::conjugate_gate(m.projector(outcome), pos, n, rho)
 }
 
 fn apply_init(rho: &CMat, pos: &[usize], n: usize) -> CMat {
-    // Set0(ρ) = Σᵢ |0⟩⟨i| ρ |i⟩⟨0| on the sub-register.
+    // Set0(ρ) = Σᵢ |0⟩⟨i| ρ |i⟩⟨0| on the sub-register, each branch run
+    // as a strided local conjugation.
     let k = pos.len();
     let dk = 1usize << k;
     let mut out = CMat::zeros(rho.rows(), rho.cols());
     let zero_base = nqpv_linalg::CVec::basis(dk, 0);
     for i in 0..dk {
         let ei = zero_base.outer(&nqpv_linalg::CVec::basis(dk, i));
-        let big = nqpv_linalg::embed(&ei, pos, n);
-        out += &big.conjugate(rho);
+        out += &nqpv_linalg::conjugate_gate(&ei, pos, n, rho);
     }
     out
 }

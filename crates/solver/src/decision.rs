@@ -27,7 +27,7 @@
 use crate::lanczos::{max_eigenpair, LanczosOptions};
 use crate::primal::{max_min_expectation, PrimalOptions};
 use crate::simplex::{exp_gradient_step, uniform};
-use nqpv_linalg::{is_psd, CMat};
+use nqpv_linalg::{is_psd_pivoted, CMat, CVec};
 use std::fmt;
 
 /// Default decision precision, mirroring the paper's user-defined `ε`.
@@ -280,18 +280,50 @@ pub fn assertion_le(
 ) -> Result<Verdict, SolverError> {
     validate(theta, psi)?;
     for (ni, n) in psi.iter().enumerate() {
-        // Vertex shortcut: v(N) ≤ λ_max(M − N) for every M; the Cholesky
-        // test is the paper's singleton eigenvalue check.
-        if theta.iter().any(|m| is_psd(&n.sub_mat(m), opts.eps)) {
+        // Tier-1 fast path, certifying side: v(N) ≤ λ_max(M − N) for every
+        // M; the pivoted-Cholesky test is the paper's singleton eigenvalue
+        // check, settled without any Lanczos iteration.
+        if theta
+            .iter()
+            .any(|m| is_psd_pivoted(&n.sub_mat(m), opts.eps))
+        {
             continue;
         }
         let diffs: Vec<CMat> = theta.iter().map(|m| m.sub_mat(n)).collect();
+        // Tier-1 fast path, violating side: a computational-basis witness
+        // with clear margin skips the matrix game entirely.
+        if let Some(v) = diag_violation(&diffs, ni, opts.eps) {
+            return Ok(Verdict::Violated(v));
+        }
         match resolve(game_value(&diffs, &opts), ni, &opts) {
             Verdict::Holds => continue,
             other => return Ok(other),
         }
     }
     Ok(Verdict::Holds)
+}
+
+/// Clear-margin violation scan: if some computational-basis state
+/// `ρ = |i⟩⟨i|` has `min_j tr(A_j·ρ) = min_j A_j[i][i] > ε`, it witnesses
+/// a positive game value exactly (no iteration needed). Returns the best
+/// such witness. `O(k·d)` — negligible next to one Lanczos sweep.
+fn diag_violation(diffs: &[CMat], index: usize, eps: f64) -> Option<Violation> {
+    let d = diffs[0].rows();
+    let mut best: Option<(usize, f64)> = None;
+    for i in 0..d {
+        let margin = diffs
+            .iter()
+            .map(|a| a[(i, i)].re)
+            .fold(f64::INFINITY, f64::min);
+        if margin > eps && best.is_none_or(|(_, m)| margin > m) {
+            best = Some((i, margin));
+        }
+    }
+    best.map(|(i, margin)| Violation {
+        index,
+        witness: CVec::basis(d, i).projector(),
+        margin,
+    })
 }
 
 /// Decides the angelic order `Θ ⊑_sup Ψ` within `opts.eps`
@@ -327,10 +359,13 @@ pub fn assertion_le_sup(
     validate(theta, psi)?;
     for (mi, m) in theta.iter().enumerate() {
         // Vertex shortcut: if M ⊑ N for some N, the game value is ≤ 0.
-        if psi.iter().any(|n| is_psd(&n.sub_mat(m), opts.eps)) {
+        if psi.iter().any(|n| is_psd_pivoted(&n.sub_mat(m), opts.eps)) {
             continue;
         }
         let diffs: Vec<CMat> = psi.iter().map(|n| m.sub_mat(n)).collect();
+        if let Some(v) = diag_violation(&diffs, mi, opts.eps) {
+            return Ok(Verdict::Violated(v));
+        }
         match resolve(game_value(&diffs, &opts), mi, &opts) {
             Verdict::Holds => continue,
             other => return Ok(other),
@@ -397,9 +432,12 @@ fn validate(theta: &[CMat], psi: &[CMat]) -> Result<(), SolverError> {
     Ok(())
 }
 
-/// Convenience wrapper: singleton Löwner comparison `M ⊑ N` within `ε`.
+/// Convenience wrapper: singleton Löwner comparison `M ⊑ N` within `ε`,
+/// decided by the pivoted-Cholesky PSD test (rank-deficient differences —
+/// the common case for projector predicates — terminate at the numerical
+/// rank; clear-margin violations abort at the first negative pivot).
 pub fn lowner_le_eps(m: &CMat, n: &CMat, eps: f64) -> bool {
-    is_psd(&n.sub_mat(m), eps)
+    is_psd_pivoted(&n.sub_mat(m), eps)
 }
 
 #[cfg(test)]
@@ -620,6 +658,31 @@ mod tests {
                     assert!(lower <= vmax + 1e-3 && vmax <= upper + 1e-3);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn diag_fast_path_picks_best_basis_witness() {
+        // Θ = {diag(0.9, 0.2)}, Ψ = {0}: |0⟩⟨0| witnesses margin 0.9
+        // without any game iteration.
+        let m = CMat::from_real(2, 2, &[0.9, 0.0, 0.0, 0.2]);
+        let v = assertion_le(&[m], &[CMat::zeros(2, 2)], LownerOptions::default()).unwrap();
+        match v {
+            Verdict::Violated(viol) => {
+                assert!((viol.margin - 0.9).abs() < 1e-12);
+                assert!(viol
+                    .witness
+                    .approx_eq(&CVec::basis(2, 0).projector(), 1e-12));
+            }
+            other => panic!("expected violation, got {other}"),
+        }
+        // Off-diagonal violations still go through the game: X vs 0 has
+        // zero diagonal but λ_max = 1.
+        let x = CMat::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let v2 = assertion_le(&[x], &[CMat::zeros(2, 2)], LownerOptions::default()).unwrap();
+        match v2 {
+            Verdict::Violated(viol) => assert!(viol.margin > 0.9),
+            other => panic!("expected violation, got {other}"),
         }
     }
 

@@ -247,6 +247,11 @@ fn cli_batch_verifies_the_corpus_in_parallel() {
     assert!(json.contains("\"workers\": 4"), "{json}");
     assert!(json.contains("\"cache\""), "{json}");
     assert!(json.contains("\"ms\""), "{json}");
+    // The solver verdict-cache tier is reported alongside the transformer
+    // cache counters.
+    assert!(json.contains("\"verdict_hits\""), "{json}");
+    assert!(json.contains("\"verdict_misses\""), "{json}");
+    assert!(json.contains("\"verdict_hit_rate\""), "{json}");
 
     // Cross-check every job verdict against the single-file CLI path.
     for (file, status) in [
@@ -293,11 +298,15 @@ fn cli_batch_verifies_the_corpus_in_parallel() {
     let summary = String::from_utf8_lossy(&manifest.stdout);
     assert!(summary.contains("5 job(s): 5 verified"), "{summary}");
     // grover_step_twin is program-identical to grover_step, so the shared
-    // memo cache must report hits.
+    // memo cache must report hits — and its repeated ⊑_inf queries must
+    // land in the solver verdict tier.
     assert!(summary.contains("cache:"), "{summary}");
+    assert!(summary.contains("verdict cache:"), "{summary}");
+    // ": 0 hit(s)" matches an exact zero count without also matching
+    // counts that merely end in 0 (e.g. "10 hit(s)").
     assert!(
-        !summary.contains("0 hit(s)"),
-        "twin job must hit: {summary}"
+        !summary.contains(": 0 hit(s)"),
+        "twin job must hit both cache tiers: {summary}"
     );
 
     // Corpus-level failures are usage-style errors: exit 2.

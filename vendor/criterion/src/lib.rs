@@ -143,12 +143,26 @@ impl Bencher {
     }
 }
 
+/// `true` when the binary was invoked with `--test` (as real criterion is
+/// by `cargo bench -- --test`): every benchmark closure runs a minimal
+/// number of iterations as a smoke check instead of the timing loop — CI
+/// uses this so bench code cannot bit-rot without paying full measurement
+/// cost.
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    let samples = if smoke_mode() { 1 } else { samples };
     let mut b = Bencher {
         samples,
         timings: Vec::new(),
     };
     f(&mut b);
+    if smoke_mode() {
+        println!("  {label}: ok (smoke test, 1 iteration)");
+        return;
+    }
     if b.timings.is_empty() {
         println!("  {label}: no samples recorded");
         return;
