@@ -1,0 +1,117 @@
+//! Bench E19: low-rank factored assertions on the wp hot path — the PR-3
+//! tentpole ablation. `dense` replays the old path (the postcondition is a
+//! dense 2ⁿ×2ⁿ matrix, every full-width unitary costs an O(8ⁿ) dense
+//! conjugation); `factored` keeps the rank-r factor and pays an O(4ⁿ·r)
+//! gate sweep per statement. The third group measures the factored
+//! `⊑`-comparison (Gram eigenproblem) against the dense pivoted-Cholesky
+//! route.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nqpv_core::{Assertion, Predicate};
+use nqpv_linalg::{CMat, CVec};
+use nqpv_quantum::gates;
+use nqpv_solver::{factored_lowner_le, lowner_le_eps};
+
+/// `H^{⊗n}` — a genuinely dense full-width unitary (no zero-skip help).
+fn hadamard_n(n: usize) -> CMat {
+    let mut hn = gates::h();
+    for _ in 1..n {
+        hn = hn.kron(&gates::h());
+    }
+    hn
+}
+
+fn bench_wp_unitary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wp_lowrank");
+    group.sample_size(10);
+    for n in (4usize..=10).step_by(2) {
+        let dim = 1usize << n;
+        let positions: Vec<usize> = (0..n).collect();
+        let hn = hadamard_n(n);
+        // Rank-1 target projector (Grover's invariant shape).
+        let v = CMat::from_fn(dim, 1, |i, _| {
+            if i == dim - 1 {
+                nqpv_linalg::cr(1.0)
+            } else {
+                nqpv_linalg::Complex::ZERO
+            }
+        });
+        let factored =
+            Assertion::from_predicates(dim, vec![Predicate::from_factor(v.clone())]).unwrap();
+        let dense = Assertion::from_ops(dim, vec![CVec::basis(dim, dim - 1).projector()]).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
+            b.iter(|| dense.wp_unitary(&hn, &positions, n))
+        });
+        group.bench_with_input(BenchmarkId::new("factored", n), &n, |b, _| {
+            b.iter(|| factored.wp_unitary(&hn, &positions, n))
+        });
+    }
+    group.finish();
+}
+
+fn bench_heisenberg_factor(c: &mut Criterion) {
+    // Factor-through-Kraus Heisenberg application on a branching local
+    // map (a measurement: two Kraus operators, so the factor width
+    // doubles before recompression), against the strided dense route.
+    let mut group = c.benchmark_group("wp_lowrank_channel");
+    group.sample_size(10);
+    for n in (4usize..=10).step_by(2) {
+        let dim = 1usize << n;
+        let e =
+            nqpv_quantum::SuperOp::from_measurement(&nqpv_quantum::Measurement::computational())
+                .embed(&[n / 2], n);
+        let v = CMat::from_fn(dim, 2, |i, j| {
+            nqpv_linalg::c(
+                ((i + j) as f64 * 0.23).sin() / (dim as f64).sqrt(),
+                ((i as f64) * 0.41 + j as f64).cos() / (dim as f64).sqrt(),
+            )
+        });
+        let dense = v.mul(&v.adjoint());
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
+            b.iter(|| e.apply_heisenberg(&dense))
+        });
+        group.bench_with_input(BenchmarkId::new("factored", n), &n, |b, _| {
+            b.iter(|| nqpv_linalg::factor_recompress(&e.apply_heisenberg_factor(&v)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_factored_lowner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lowner_lowrank");
+    group.sample_size(10);
+    for n in (4usize..=10).step_by(2) {
+        let dim = 1usize << n;
+        // Rank-2 ⊑ rank-3, holding: Vn spans Vm plus one extra direction.
+        let vm = CMat::from_fn(dim, 2, |i, j| {
+            nqpv_linalg::c(
+                ((i + 3 * j + 1) as f64 * 0.37).sin(),
+                ((i as f64) - (j as f64) * 2.0).cos() * 0.2,
+            )
+        })
+        .scale_re(1.0 / (dim as f64).sqrt());
+        let extra = CMat::from_fn(dim, 1, |i, _| {
+            nqpv_linalg::cr(((i + 7) as f64 * 0.11).cos() / (dim as f64).sqrt())
+        });
+        let vn = nqpv_linalg::hconcat(&vm, &extra);
+        let dm = vm.mul(&vm.adjoint());
+        let dn = vn.mul(&vn.adjoint());
+
+        group.bench_with_input(BenchmarkId::new("dense_cholesky", n), &n, |b, _| {
+            b.iter(|| lowner_le_eps(&dm, &dn, 1e-9))
+        });
+        group.bench_with_input(BenchmarkId::new("gram", n), &n, |b, _| {
+            b.iter(|| factored_lowner_le(&vm, &vn, 1e-9))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_wp_unitary,
+    bench_heisenberg_factor,
+    bench_factored_lowner
+);
+criterion_main!(benches);

@@ -29,7 +29,7 @@ fn main() {
     let max_grover: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
+        .unwrap_or(10);
 
     println!("# NQPV experiment harness\n");
 
@@ -94,24 +94,48 @@ fn main() {
 
     // ------------------------------------------------------------------- E6
     println!("\n## E6: Grover verification scaling (paper Sec. 6.5 / Appendix C)\n");
-    println!("| qubits | iterations | success prob | verify time | predicate bytes |");
-    println!("|--------|------------|--------------|-------------|-----------------|");
+    println!("The `factored` column keeps the rank-1 target projector in low-rank");
+    println!("factored form across the whole wp pipeline; `dense` is the ablation");
+    println!("(`VcOptions::factor_assertions = false`, the pre-PR-3 path; skipped");
+    println!("above 8 qubits where it takes minutes).\n");
+    println!("| qubits | iterations | success prob | post rank | factored | dense | speedup |");
+    println!("|--------|------------|--------------|-----------|----------|-------|---------|");
     for n in 2..=max_grover {
         let params = grover_parameters(n);
         let study = grover(n);
+        // Rank tracking: the resolved postcondition's factor width.
+        let reg = Register::new(&study.term.qubits).expect("register");
+        let post =
+            nqpv_core::Assertion::from_expr(&study.term.post, &study.library, &reg).expect("post");
+        let rank = post
+            .max_factored_rank()
+            .map(|r| r.to_string())
+            .unwrap_or_else(|| "dense".into());
         let (outcome, dt) = timed(|| study.verify().expect("verification runs"));
         assert!(outcome.status.verified());
-        let dim = 1usize << n;
+        let (dense_cell, speedup_cell) = if n <= 8 {
+            let dense_opts = nqpv_core::VcOptions {
+                mode: study.mode,
+                factor_assertions: false,
+                ..nqpv_core::VcOptions::default()
+            };
+            let (outcome_d, dtd) = timed(|| study.verify_with(dense_opts).expect("runs"));
+            assert!(outcome_d.status.verified());
+            (
+                format!("{:.3} s", dtd),
+                format!("{:.1}x", dtd / dt.max(1e-9)),
+            )
+        } else {
+            ("-".into(), "-".into())
+        };
         println!(
-            "| {n} | {} | {:.6} | {:.3} s | {} |",
-            params.iterations,
-            params.success_probability,
-            dt,
-            dim * dim * 16
+            "| {n} | {} | {:.6} | {rank} | {:.3} s | {dense_cell} | {speedup_cell} |",
+            params.iterations, params.success_probability, dt
         );
     }
     println!("\n(the Python prototype needed 90 s and 32 GB at 13 qubits; the growth");
-    println!("shape — exponential in qubit count — is the reproduced observation)");
+    println!("shape — exponential in qubit count — is the reproduced observation;");
+    println!("the factored pipeline pushes the laptop-scale frontier to 10 qubits)");
 
     // --------------------------------------------------------------- E7/E8
     println!("\n## E7/E8: semantic-model separations (paper Sec. 3.3)\n");
@@ -265,23 +289,37 @@ fn main() {
     let corpus_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/corpus");
     let corpus =
         nqpv_engine::Corpus::from_dir(&corpus_dir).unwrap_or_else(|_| nqpv_bench::sample_corpus(4));
-    println!("| workers | cache | verified | rejected | errors | hit rate | verdict hits | verdict rate | wall time |");
-    println!("|---------|-------|----------|----------|--------|----------|--------------|--------------|-----------|");
+    println!("| workers | cache | verified | rejected | errors | hit rate | verdict hits | verdict rate | evictions | wall time |");
+    println!("|---------|-------|----------|----------|--------|----------|--------------|--------------|-----------|-----------|");
     // The `off` rows double as the solver-verdict-cache ablation: with the
-    // cache disabled every repeated ⊑_inf query re-runs the solver.
-    for (jobs, use_cache) in [(1usize, true), (1, false), (2, true), (4, true), (4, false)] {
+    // cache disabled every repeated ⊑_inf query re-runs the solver. The
+    // `cap=1` row exercises the LRU bound (`nqpv batch --cache-cap 1`).
+    for (jobs, use_cache, cache_cap) in [
+        (1usize, true, None),
+        (1, false, None),
+        (2, true, None),
+        (4, true, None),
+        (4, false, None),
+        (1, true, Some(1usize)),
+    ] {
         let report = nqpv_engine::run_batch(
             &corpus,
             &nqpv_engine::BatchOptions {
                 jobs,
                 use_cache,
+                cache_cap,
                 ..nqpv_engine::BatchOptions::default()
             },
         );
+        let cache_label = match (use_cache, cache_cap) {
+            (false, _) => "off".to_string(),
+            (true, None) => "on".to_string(),
+            (true, Some(cap)) => format!("cap={cap}"),
+        };
         println!(
-            "| {} | {} | {} | {} | {} | {} | {} | {} | {:.3} ms |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {:.3} ms |",
             report.workers,
-            if use_cache { "on" } else { "off" },
+            cache_label,
             report.verified_jobs(),
             report.rejected_jobs(),
             report.errored_jobs(),
@@ -296,6 +334,10 @@ fn main() {
             report
                 .cache
                 .map(|c| format!("{:.1}%", c.verdict_hit_rate() * 100.0))
+                .unwrap_or_else(|| "-".into()),
+            report
+                .cache
+                .map(|c| format!("{}", c.evictions + c.verdict_evictions))
                 .unwrap_or_else(|| "-".into()),
             report.total_ms
         );

@@ -38,7 +38,7 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  nqpv verify [--infer] FILE.nqpv\n  nqpv show [--infer] FILE.nqpv NAME\n  nqpv check FILE.nqpv\n  nqpv batch [--infer] [--jobs N] [--json] [--no-cache] DIR|MANIFEST\n  nqpv ops\n\n  --infer     attempt wlp-fixpoint invariant inference for\n              while loops lacking an inv: annotation\n  --jobs N    batch worker threads (default: available cores)\n  --json      print the batch report as JSON instead of a summary\n  --no-cache  disable the shared wp memo cache"
+        "usage:\n  nqpv verify [--infer] FILE.nqpv\n  nqpv show [--infer] FILE.nqpv NAME\n  nqpv check FILE.nqpv\n  nqpv batch [--infer] [--jobs N] [--json] [--no-cache] [--cache-cap N] DIR|MANIFEST\n  nqpv ops\n\n  --infer        attempt wlp-fixpoint invariant inference for\n                 while loops lacking an inv: annotation\n  --jobs N       batch worker threads (default: available cores)\n  --json         print the batch report as JSON instead of a summary\n  --no-cache     disable the shared wp memo cache\n  --cache-cap N  bound each cache tier to N entries (LRU eviction;\n                 eviction counts appear in the report)"
     );
     ExitCode::from(2)
 }
@@ -116,13 +116,15 @@ fn cmd_verify(path: &str, show: Option<&str>, infer: bool) -> ExitCode {
     }
 }
 
-/// `nqpv batch [--infer] [--jobs N] [--json] [--no-cache] DIR|MANIFEST` —
-/// load a corpus (directory of `.nqpv` files, or a manifest listing
-/// them) and verify it on a worker pool with a shared wp memo cache.
+/// `nqpv batch [--infer] [--jobs N] [--json] [--no-cache] [--cache-cap N]
+/// DIR|MANIFEST` — load a corpus (directory of `.nqpv` files, or a
+/// manifest listing them) and verify it on a worker pool with a shared
+/// (optionally LRU-bounded) wp memo cache.
 fn cmd_batch(rest: &[String], infer: bool) -> ExitCode {
     let mut jobs: usize = 0;
     let mut json = false;
     let mut use_cache = true;
+    let mut cache_cap: Option<usize> = None;
     let mut target: Option<&str> = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -137,6 +139,17 @@ fn cmd_batch(rest: &[String], infer: bool) -> ExitCode {
                     return ExitCode::from(2);
                 }
                 jobs = n;
+            }
+            "--cache-cap" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("error: --cache-cap expects a positive integer");
+                    return ExitCode::from(2);
+                };
+                if n == 0 {
+                    eprintln!("error: --cache-cap expects a positive integer");
+                    return ExitCode::from(2);
+                }
+                cache_cap = Some(n);
             }
             "--json" => json = true,
             "--no-cache" => use_cache = false,
@@ -174,6 +187,7 @@ fn cmd_batch(rest: &[String], infer: bool) -> ExitCode {
         &BatchOptions {
             jobs,
             use_cache,
+            cache_cap,
             vc: VcOptions {
                 infer_invariants: infer,
                 ..VcOptions::default()

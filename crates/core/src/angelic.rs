@@ -23,12 +23,13 @@ use nqpv_quantum::SuperOp;
 use nqpv_solver::{assertion_le_sup, LownerOptions, Verdict};
 
 /// Angelic satisfaction `Expsup(ρ ⊨ Θ) = sup_{M∈Θ} tr(Mρ)` — the
-/// optimistic dual of Definition 4.1.
+/// optimistic dual of Definition 4.1. Factored predicates evaluate as
+/// `tr(V†ρV)` without materialising the operator.
 pub fn exp_sup(rho: &CMat, theta: &Assertion) -> f64 {
     theta
         .ops()
         .iter()
-        .map(|m| m.trace_product(rho).re)
+        .map(|m| m.expectation(rho))
         .fold(f64::NEG_INFINITY, f64::max)
 }
 
@@ -50,7 +51,10 @@ pub fn holds_angelic_on_state(
     lhs <= rhs + tol
 }
 
-/// Decides the angelic assertion order `Θ ⊑_sup Ψ`.
+/// Decides the angelic assertion order `Θ ⊑_sup Ψ`. Pairs of factored
+/// predicates try the Gram-eigenproblem fast path first (the `⊑_sup`
+/// certificate is `∀M∈Θ ∃N∈Ψ: M ⊑ N`), falling back to the dense minimax
+/// solver.
 ///
 /// # Errors
 ///
@@ -60,7 +64,10 @@ pub fn le_sup(
     psi: &Assertion,
     opts: LownerOptions,
 ) -> Result<Verdict, VerifError> {
-    assertion_le_sup(theta.ops(), psi.ops(), opts).map_err(VerifError::Solver)
+    if theta.fast_le_sup_holds(psi, opts.eps) {
+        return Ok(Verdict::Holds);
+    }
+    assertion_le_sup(&theta.dense_ops(), &psi.dense_ops(), opts).map_err(VerifError::Solver)
 }
 
 /// [`le_sup`] through an optional verdict cache (the `⊑_sup` twin of
@@ -79,8 +86,7 @@ pub fn le_sup_cached(
     let Some(cache) = cache else {
         return le_sup(theta, psi, opts);
     };
-    let key =
-        crate::cache::verdict_key(crate::cache::VERDICT_TAG_SUP, theta.ops(), psi.ops(), &opts);
+    let key = crate::cache::verdict_key(crate::cache::VERDICT_TAG_SUP, theta, psi, &opts);
     if let Some(v) = cache.get_verdict(key) {
         return Ok(v);
     }

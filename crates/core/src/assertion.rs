@@ -5,15 +5,232 @@
 //! `Θ ⊑_inf Ψ  ⇔  ∀ρ. inf_{M∈Θ} tr(Mρ) ≤ inf_{N∈Ψ} tr(Nρ)`.
 //! [`Assertion`] is the finite, concrete realisation used by the verifier
 //! (the tool restricts to finite assertions, Sec. 6.3).
+//!
+//! # Low-rank factored predicates
+//!
+//! Each element of the set is a [`Predicate`] — either a dense matrix or a
+//! **factored** operator `M = V·V†` with `V` tall-skinny (`2ⁿ×r`,
+//! `r ≪ 2ⁿ`). The invariants that matter in practice (Grover's target
+//! projector, code spaces, RUS success projectors) are low-rank
+//! projectors, and the wp transformer preserves the structure:
+//! `U†(VV†)U = (U†V)(U†V)†`. The transformer methods on [`Assertion`]
+//! ([`Assertion::wp_unitary`], [`Assertion::wp_init`],
+//! [`Assertion::sandwich_local`], [`Assertion::sum_pairwise`]) keep
+//! factors factored across Unit/Init/If/While sandwiches, turning the
+//! remaining `O(8ⁿ)` dense conjugations on the hot path into `O(4ⁿ·r)`
+//! GEMMs, and `⊑` comparisons between factored predicates reduce to an
+//! `(r₁+r₂)`-dimensional Gram eigenproblem
+//! ([`nqpv_solver::factored_lowner_le`]) ahead of any dense solve.
 
 use nqpv_lang::AssertionExpr;
-use nqpv_linalg::{embed, CMat};
-use nqpv_quantum::{OperatorLibrary, Register};
-use nqpv_solver::{assertion_le, LownerOptions, Verdict};
+use nqpv_linalg::{
+    apply_gate_columns, conjugate_gate, deposit_bits, embed, embed_factor, factor_recompress, gram,
+    hconcat, low_rank_factor, CMat,
+};
+use nqpv_quantum::{OperatorLibrary, Register, SuperOp};
+use nqpv_solver::{assertion_le, factored_lowner_le, LownerOptions, Verdict};
 use std::collections::HashSet;
 use std::fmt;
+use std::ops::Deref;
+use std::sync::OnceLock;
 
 use crate::error::VerifError;
+
+/// Rank-detection tolerance applied when a user predicate is resolved
+/// against a register (operator-file load path included): the factored
+/// form must reproduce the dense operator entry-wise within this bound.
+const RANK_DETECT_TOL: f64 = 1e-9;
+
+/// A factored positive operator `M = V·V†` with `V` tall-skinny, plus a
+/// lazily materialised dense form for the consumers that genuinely need a
+/// whole-space matrix (outline rendering, solver fallbacks). The dense
+/// cache is `Arc`-shared so those consumers can keep the matrix without
+/// another `O(4ⁿ)` copy.
+#[derive(Debug)]
+pub struct Factor {
+    v: CMat,
+    dense: OnceLock<std::sync::Arc<CMat>>,
+}
+
+impl Clone for Factor {
+    fn clone(&self) -> Self {
+        // The dense cache is intentionally dropped: clones travel through
+        // the memo cache, and `V·V†` is rebuilt deterministically (hence
+        // bit-identically) on demand.
+        Factor {
+            v: self.v.clone(),
+            dense: OnceLock::new(),
+        }
+    }
+}
+
+impl Factor {
+    fn new(v: CMat) -> Self {
+        Factor {
+            v,
+            dense: OnceLock::new(),
+        }
+    }
+
+    /// The tall-skinny factor `V`.
+    pub fn v(&self) -> &CMat {
+        &self.v
+    }
+
+    /// The factor width (the represented operator's rank bound).
+    pub fn rank(&self) -> usize {
+        self.v.cols()
+    }
+
+    /// The dense operator `V·V†`, materialised once and cached.
+    pub fn dense(&self) -> &CMat {
+        self.dense_shared()
+    }
+
+    fn dense_shared(&self) -> &std::sync::Arc<CMat> {
+        self.dense
+            .get_or_init(|| std::sync::Arc::new(self.v.mul(&self.v.adjoint())))
+    }
+}
+
+/// One element of an assertion set: a quantum predicate held either as a
+/// dense `2ⁿ×2ⁿ` matrix or in low-rank factored form (see the module
+/// docs).
+///
+/// `Predicate` dereferences to the **dense** matrix, so read-only
+/// consumers (tests, rendering, solver fallbacks) treat it as a `CMat`;
+/// the deref lazily materialises and caches `V·V†` for factored
+/// predicates — hot paths use the structure-aware methods instead.
+#[derive(Debug, Clone)]
+pub enum Predicate {
+    /// A dense predicate matrix.
+    Dense(CMat),
+    /// A factored predicate `V·V†`.
+    Factored(Factor),
+}
+
+impl Predicate {
+    /// Wraps a dense matrix.
+    pub fn dense_from(m: CMat) -> Predicate {
+        Predicate::Dense(m)
+    }
+
+    /// Wraps a factor, **densifying when the width defeats the purpose**:
+    /// the factored representation only wins while `2·r ≤ dim`, so wider
+    /// factors are materialised up front (`O(4ⁿ·r)`, cheaper than the
+    /// dense transform they would otherwise cause downstream).
+    pub fn from_factor(v: CMat) -> Predicate {
+        if 2 * v.cols() <= v.rows() {
+            Predicate::Factored(Factor::new(v))
+        } else {
+            Predicate::Dense(v.mul(&v.adjoint()))
+        }
+    }
+
+    /// The space dimension.
+    pub fn dim(&self) -> usize {
+        match self {
+            Predicate::Dense(m) => m.rows(),
+            Predicate::Factored(f) => f.v.rows(),
+        }
+    }
+
+    /// `true` for the factored representation.
+    pub fn is_factored(&self) -> bool {
+        matches!(self, Predicate::Factored(_))
+    }
+
+    /// The factor width for factored predicates (`None` when dense).
+    pub fn rank(&self) -> Option<usize> {
+        match self {
+            Predicate::Dense(_) => None,
+            Predicate::Factored(f) => Some(f.rank()),
+        }
+    }
+
+    /// The dense matrix, lazily materialised for factored predicates.
+    pub fn dense(&self) -> &CMat {
+        match self {
+            Predicate::Dense(m) => m,
+            Predicate::Factored(f) => f.dense(),
+        }
+    }
+
+    /// The dense matrix behind a shared handle: factored predicates hand
+    /// out their cached materialisation without copying (an `O(4ⁿ)`
+    /// memory pass saved per outline-rendered predicate); dense ones pay
+    /// the one clone they would pay anyway.
+    pub fn dense_shared(&self) -> std::sync::Arc<CMat> {
+        match self {
+            Predicate::Dense(m) => std::sync::Arc::new(m.clone()),
+            Predicate::Factored(f) => f.dense_shared().clone(),
+        }
+    }
+
+    /// `tr(M·ρ)` without materialising the operator when factored:
+    /// `tr(VV†ρ) = tr(V†ρV) = Σⱼ ⟨vⱼ|ρ|vⱼ⟩` — `O(4ⁿ·r)` against the
+    /// `O(4ⁿ·2ⁿ)` trace product of the dense form.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn expectation(&self, rho: &CMat) -> f64 {
+        match self {
+            Predicate::Dense(m) => m.trace_product(rho).re,
+            Predicate::Factored(f) => {
+                let d = f.v.rows();
+                assert_eq!(rho.rows(), d, "state dimension mismatch");
+                let rv = rho.mul(&f.v);
+                let mut acc = 0.0f64;
+                for i in 0..d {
+                    let vrow = f.v.row(i);
+                    let rrow = rv.row(i);
+                    for (a, b) in vrow.iter().zip(rrow) {
+                        acc += (a.conj() * *b).re;
+                    }
+                }
+                acc
+            }
+        }
+    }
+
+    /// Dedup fingerprint. Dense predicates hash the quantised matrix;
+    /// factored ones hash the quantised **factor** (tagged apart), so
+    /// byte-identical pipeline products dedupe without materialising
+    /// `V·V†`. Factored/dense forms of the same operator therefore hash
+    /// apart — dedup is best-effort, the set-size bound still governs.
+    pub fn fingerprint(&self, scale: f64) -> u64 {
+        match self {
+            Predicate::Dense(m) => m.fingerprint(scale),
+            Predicate::Factored(f) => f.v.fingerprint(scale) ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// `0 ⊑ M ⊑ I` within `tol`. Factored predicates are PSD by
+    /// construction and `VV† ⊑ I ⇔ V†V ⊑ I`, an `r×r` eigenproblem.
+    pub fn is_predicate(&self, tol: f64) -> bool {
+        match self {
+            Predicate::Dense(m) => nqpv_linalg::is_predicate(m, tol),
+            Predicate::Factored(f) => {
+                if f.rank() == 0 {
+                    return true;
+                }
+                let g = gram(&f.v, &f.v);
+                match nqpv_linalg::eigh(&g) {
+                    Ok(e) => e.max() <= 1.0 + tol,
+                    Err(_) => false,
+                }
+            }
+        }
+    }
+}
+
+impl Deref for Predicate {
+    type Target = CMat;
+    fn deref(&self) -> &CMat {
+        self.dense()
+    }
+}
 
 /// A finite set of quantum predicates over a fixed register space.
 ///
@@ -29,11 +246,11 @@ use crate::error::VerifError;
 #[derive(Debug, Clone)]
 pub struct Assertion {
     dim: usize,
-    ops: Vec<CMat>,
+    ops: Vec<Predicate>,
 }
 
 impl Assertion {
-    /// Creates an assertion from explicit predicate matrices.
+    /// Creates an assertion from explicit dense predicate matrices.
     ///
     /// # Errors
     ///
@@ -42,16 +259,29 @@ impl Assertion {
     /// carry rounding slack) — use [`Assertion::validate_predicates`] at
     /// user-input boundaries.
     pub fn from_ops(dim: usize, ops: Vec<CMat>) -> Result<Self, VerifError> {
+        Assertion::from_predicates(dim, ops.into_iter().map(Predicate::Dense).collect())
+    }
+
+    /// Creates an assertion from explicit predicates (dense or factored).
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty sets and shape mismatches, like
+    /// [`Assertion::from_ops`].
+    pub fn from_predicates(dim: usize, ops: Vec<Predicate>) -> Result<Self, VerifError> {
         if ops.is_empty() {
             return Err(VerifError::EmptyAssertion);
         }
-        for m in &ops {
-            if m.rows() != dim || m.cols() != dim {
-                return Err(VerifError::AssertionShape {
-                    expected: dim,
-                    got: m.rows(),
-                });
-            }
+        for p in &ops {
+            let rows = match p {
+                Predicate::Dense(m) if m.rows() != dim || m.cols() != dim => m.rows(),
+                Predicate::Factored(f) if f.v.rows() != dim => f.v.rows(),
+                _ => continue,
+            };
+            return Err(VerifError::AssertionShape {
+                expected: dim,
+                got: rows,
+            });
         }
         Ok(Assertion { dim, ops }.deduped())
     }
@@ -60,7 +290,7 @@ impl Assertion {
     pub fn identity(dim: usize) -> Self {
         Assertion {
             dim,
-            ops: vec![CMat::identity(dim)],
+            ops: vec![Predicate::Dense(CMat::identity(dim))],
         }
     }
 
@@ -68,13 +298,16 @@ impl Assertion {
     pub fn zero(dim: usize) -> Self {
         Assertion {
             dim,
-            ops: vec![CMat::zeros(dim, dim)],
+            ops: vec![Predicate::Dense(CMat::zeros(dim, dim))],
         }
     }
 
     /// Resolves a syntactic assertion against a library and register:
     /// every `P[q̄]` term is embedded as a cylinder extension onto the full
-    /// register space.
+    /// register space, with **rank detection** — predicates whose pivoted
+    /// Cholesky factorisation reveals a payoff-worthy rank (`2r ≤ 2ᵏ`)
+    /// enter the pipeline factored, with no syntax change for existing
+    /// corpora.
     ///
     /// # Errors
     ///
@@ -84,6 +317,23 @@ impl Assertion {
         expr: &AssertionExpr,
         lib: &OperatorLibrary,
         reg: &Register,
+    ) -> Result<Self, VerifError> {
+        Assertion::from_expr_with(expr, lib, reg, true)
+    }
+
+    /// [`Assertion::from_expr`] with rank detection switchable off
+    /// (`factor = false` forces the dense representation; the
+    /// factored-vs-dense ablation knob behind
+    /// [`VcOptions::factor_assertions`](crate::transformer::VcOptions)).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Assertion::from_expr`].
+    pub fn from_expr_with(
+        expr: &AssertionExpr,
+        lib: &OperatorLibrary,
+        reg: &Register,
+        factor: bool,
     ) -> Result<Self, VerifError> {
         let n = reg.n_qubits();
         let mut ops = Vec::with_capacity(expr.terms.len());
@@ -98,9 +348,21 @@ impl Assertion {
                     got: pos.len(),
                 });
             }
-            ops.push(embed(&m, &pos, n));
+            // Rank detection on the library operator at its native 2ᵏ
+            // dimension: the embedded rank is r·2^{n-k}, so the factored
+            // form pays off exactly when 2r ≤ 2ᵏ — passed down as the
+            // rank budget so full-rank operators abort cheaply.
+            let factored = if factor {
+                low_rank_factor(&m, RANK_DETECT_TOL, m.rows() / 2)
+            } else {
+                None
+            };
+            ops.push(match factored {
+                Some(w) => Predicate::Factored(Factor::new(embed_factor(&w, &pos, n))),
+                None => Predicate::Dense(embed(&m, &pos, n)),
+            });
         }
-        Assertion::from_ops(reg.dim(), ops)
+        Assertion::from_predicates(reg.dim(), ops)
     }
 
     /// The space dimension.
@@ -109,7 +371,7 @@ impl Assertion {
     }
 
     /// The predicate set.
-    pub fn ops(&self) -> &[CMat] {
+    pub fn ops(&self) -> &[Predicate] {
         &self.ops
     }
 
@@ -123,8 +385,27 @@ impl Assertion {
         self.ops.is_empty()
     }
 
+    /// Clones every predicate into its dense matrix form (solver
+    /// fallbacks; factored elements materialise through their cache).
+    pub fn dense_ops(&self) -> Vec<CMat> {
+        self.ops.iter().map(|p| p.dense().clone()).collect()
+    }
+
+    /// Number of predicates held in factored form.
+    pub fn factored_count(&self) -> usize {
+        self.ops.iter().filter(|p| p.is_factored()).count()
+    }
+
+    /// The largest factor width among factored predicates (`None` when
+    /// the set is all-dense) — the rank column of the benchmark tables.
+    pub fn max_factored_rank(&self) -> Option<usize> {
+        self.ops.iter().filter_map(Predicate::rank).max()
+    }
+
     /// The guaranteed expected satisfaction `Exp(ρ ⊨ Θ) = inf_M tr(Mρ)`
-    /// (Definition 4.1).
+    /// (Definition 4.1). Factored predicates evaluate as `tr(V†ρV)` —
+    /// the dense operator is never materialised for the forward/semantics
+    /// checks.
     ///
     /// # Panics
     ///
@@ -133,16 +414,121 @@ impl Assertion {
         assert_eq!(rho.rows(), self.dim, "state dimension mismatch");
         self.ops
             .iter()
-            .map(|m| m.trace_product(rho).re)
+            .map(|m| m.expectation(rho))
             .fold(f64::INFINITY, f64::min)
     }
 
-    /// Element-wise map over the predicate set (used by the wp/wlp
-    /// transformer steps).
-    pub fn map<F: FnMut(&CMat) -> CMat>(&self, f: F) -> Assertion {
+    /// Element-wise map over the **dense** forms of the predicate set.
+    /// Factored elements materialise first and the result is dense —
+    /// use the structure-aware transforms ([`Assertion::wp_unitary`],
+    /// [`Assertion::wp_init`], [`Assertion::sandwich_local`]) on the wp
+    /// hot path.
+    pub fn map<F: FnMut(&CMat) -> CMat>(&self, mut f: F) -> Assertion {
         Assertion {
             dim: self.dim,
-            ops: self.ops.iter().map(f).collect(),
+            ops: self
+                .ops
+                .iter()
+                .map(|m| Predicate::Dense(f(m.dense())))
+                .collect(),
+        }
+        .deduped()
+    }
+
+    /// The (Unit) rule transform `{U† M U}` for a `k`-local unitary on
+    /// `positions`: dense predicates run the strided conjugation,
+    /// factored ones map their factor through one gate sweep
+    /// (`U_S†·V` — rank and width unchanged, no recompression needed).
+    pub fn wp_unitary(&self, u: &CMat, positions: &[usize], n: usize) -> Assertion {
+        let ua = u.adjoint();
+        Assertion {
+            dim: self.dim,
+            ops: self
+                .ops
+                .iter()
+                .map(|p| match p {
+                    Predicate::Dense(m) => {
+                        Predicate::Dense(nqpv_linalg::adjoint_conjugate_gate(u, positions, n, m))
+                    }
+                    Predicate::Factored(f) => {
+                        let mut v = f.v.clone();
+                        apply_gate_columns(&ua, positions, n, &mut v);
+                        Predicate::Factored(Factor::new(v))
+                    }
+                })
+                .collect(),
+        }
+        .deduped()
+    }
+
+    /// The measurement sandwich `{P M P}` for a hermitian `k`-local
+    /// projector `p` on `positions` (rules (Meas)/(While)): dense
+    /// predicates run the strided conjugation; factored ones apply `P` to
+    /// the factor columns (`P(VV†)P = (PV)(PV)†`) and re-truncate — a
+    /// projector can only shrink the rank.
+    pub fn sandwich_local(&self, p: &CMat, positions: &[usize], n: usize) -> Assertion {
+        Assertion {
+            dim: self.dim,
+            ops: self
+                .ops
+                .iter()
+                .map(|pred| match pred {
+                    Predicate::Dense(m) => Predicate::Dense(conjugate_gate(p, positions, n, m)),
+                    Predicate::Factored(f) => {
+                        let mut v = f.v.clone();
+                        apply_gate_columns(p, positions, n, &mut v);
+                        Predicate::Factored(Factor::new(factor_recompress(&v)))
+                    }
+                })
+                .collect(),
+        }
+        .deduped()
+    }
+
+    /// The (Init) rule transform `xp.(q̄:=0).M = Σᵢ |i⟩⟨0| M |0⟩⟨i|` for
+    /// initialised `positions`. Dense predicates go through the strided
+    /// initialiser super-operator as before. Factored predicates exploit
+    /// the structure `E†(M) = I_pos ⊗ ⟨0|M|0⟩`: gather the `pos = 0` rows
+    /// of the factor, re-truncate that `2^{n-k}×r` block (this is where
+    /// rank *grows* by the `2ᵏ` branch factor, and where recompression
+    /// claws it back), and re-embed — never touching the `2ᵏ` Kraus
+    /// branches individually.
+    pub fn wp_init(&self, positions: &[usize], n: usize) -> Assertion {
+        let k = positions.len();
+        let rest: Vec<usize> = (0..n).filter(|q| !positions.contains(q)).collect();
+        let setter = OnceLock::new(); // built only if a dense element needs it
+        Assertion {
+            dim: self.dim,
+            ops: self
+                .ops
+                .iter()
+                .map(|pred| match pred {
+                    Predicate::Dense(m) => {
+                        let e: &SuperOp =
+                            setter.get_or_init(|| SuperOp::initializer(k).embed(positions, n));
+                        Predicate::Dense(e.apply_heisenberg(m))
+                    }
+                    Predicate::Factored(f) => {
+                        // V₀ = the rows of V whose `positions` bits are 0,
+                        // ordered by the remaining qubits.
+                        let r = f.v.cols();
+                        let v0 = CMat::from_fn(1usize << rest.len(), r, |a, j| {
+                            f.v[(deposit_bits(a, &rest, n), j)]
+                        });
+                        let w = factor_recompress(&v0);
+                        let width = w.cols() << k;
+                        if 2 * width <= self.dim {
+                            Predicate::Factored(Factor::new(embed_factor(&w, &rest, n)))
+                        } else {
+                            // Full-ish rank after the 2ᵏ branch blow-up:
+                            // build the small rest-space block densely and
+                            // embed once (O(4ⁿ) — e.g. Grover's wp lands
+                            // on ⟨0|M|0⟩·I here).
+                            Predicate::Dense(embed(&w.mul(&w.adjoint()), &rest, n))
+                        }
+                    }
+                })
+                .collect(),
         }
         .deduped()
     }
@@ -166,7 +552,9 @@ impl Assertion {
 
     /// Element-wise (cartesian) sums `{A + B : A ∈ Θ, B ∈ Ψ}` — the
     /// measurement-combination of rule (Meas) and the `P⁰(Ψ)+P¹(Θ)`
-    /// construction of rule (While).
+    /// construction of rule (While). Factored pairs concatenate their
+    /// factors and re-truncate (densifying only past the payoff
+    /// threshold); mixed pairs fall back to the dense sum.
     ///
     /// # Errors
     ///
@@ -181,19 +569,68 @@ impl Assertion {
         let mut ops = Vec::with_capacity(self.ops.len() * other.ops.len());
         for a in &self.ops {
             for b in &other.ops {
-                ops.push(a.add_mat(b));
+                ops.push(match (a, b) {
+                    (Predicate::Factored(fa), Predicate::Factored(fb)) => {
+                        Predicate::from_factor(factor_recompress(&hconcat(&fa.v, &fb.v)))
+                    }
+                    _ => Predicate::Dense(a.dense().add_mat(b.dense())),
+                });
             }
         }
         Ok(Assertion { dim: self.dim, ops }.deduped())
     }
 
-    /// Decides `self ⊑_inf other` with the solver.
+    /// Decides `self ⊑_inf other` with the solver. Pairs of factored
+    /// predicates try the `(r₁+r₂)`-dimensional Gram fast path first: if
+    /// every `N ∈ Ψ` is dominated by some factored `M ∈ Θ`, the order is
+    /// certified without materialising a single dense operator; otherwise
+    /// the dense minimax solver decides as before.
     ///
     /// # Errors
     ///
     /// Wraps solver input failures.
     pub fn le_inf(&self, other: &Assertion, opts: LownerOptions) -> Result<Verdict, VerifError> {
-        assertion_le(&self.ops, &other.ops, opts).map_err(VerifError::Solver)
+        if self.fast_le_inf_holds(other, opts.eps) {
+            return Ok(Verdict::Holds);
+        }
+        assertion_le(&self.dense_ops(), &other.dense_ops(), opts).map_err(VerifError::Solver)
+    }
+
+    /// Rank-aware certifying-side screen for `⊑_inf`: `true` when every
+    /// element of `other` is Löwner-dominated by some **factored** element
+    /// of `self`, each pair decided by the Gram eigenproblem. `false`
+    /// means "undecided", never "violated". Mismatched dimensions are
+    /// left undecided so the solver path reports them as errors, as the
+    /// API documents.
+    fn fast_le_inf_holds(&self, other: &Assertion, eps: f64) -> bool {
+        if self.dim != other.dim {
+            return false;
+        }
+        other.ops.iter().all(|n| {
+            self.ops.iter().any(|m| match (m, n) {
+                (Predicate::Factored(fm), Predicate::Factored(fnn)) => {
+                    factored_lowner_le(&fm.v, &fnn.v, eps)
+                }
+                _ => false,
+            })
+        })
+    }
+
+    /// Rank-aware certifying-side screen for the angelic `⊑_sup` (used by
+    /// [`crate::angelic::le_sup`]): `true` when every factored element of
+    /// `self` is dominated by some factored element of `other`.
+    pub(crate) fn fast_le_sup_holds(&self, other: &Assertion, eps: f64) -> bool {
+        if self.dim != other.dim {
+            return false;
+        }
+        self.ops.iter().all(|m| {
+            other.ops.iter().any(|n| match (m, n) {
+                (Predicate::Factored(fm), Predicate::Factored(fnn)) => {
+                    factored_lowner_le(&fm.v, &fnn.v, eps)
+                }
+                _ => false,
+            })
+        })
     }
 
     /// [`Assertion::le_inf`] through an optional **verdict cache**: the
@@ -216,8 +653,7 @@ impl Assertion {
         let Some(cache) = cache else {
             return self.le_inf(other, opts);
         };
-        let key =
-            crate::cache::verdict_key(crate::cache::VERDICT_TAG_INF, &self.ops, &other.ops, &opts);
+        let key = crate::cache::verdict_key(crate::cache::VERDICT_TAG_INF, self, other, &opts);
         if let Some(v) = cache.get_verdict(key) {
             return Ok(v);
         }
@@ -227,9 +663,10 @@ impl Assertion {
     }
 
     /// Validates that every element lies in the predicate interval
-    /// `0 ⊑ M ⊑ I` (within `tol`).
+    /// `0 ⊑ M ⊑ I` (within `tol`). Factored elements decide `VV† ⊑ I`
+    /// as the `r×r` Gram eigenproblem `V†V ⊑ I`.
     pub fn validate_predicates(&self, tol: f64) -> bool {
-        self.ops.iter().all(|m| nqpv_linalg::is_predicate(m, tol))
+        self.ops.iter().all(|m| m.is_predicate(tol))
     }
 
     /// `true` if the two assertions contain the same predicates (as
@@ -243,7 +680,7 @@ impl Assertion {
         let mut used = vec![false; other.ops.len()];
         'outer: for a in &self.ops {
             for (j, b) in other.ops.iter().enumerate() {
-                if !used[j] && a.approx_eq(b, tol) {
+                if !used[j] && a.dense().approx_eq(b.dense(), tol) {
                     used[j] = true;
                     continue 'outer;
                 }
@@ -306,6 +743,41 @@ mod tests {
     }
 
     #[test]
+    fn from_expr_detects_low_rank_projectors() {
+        let lib = OperatorLibrary::with_builtins();
+        // P0 is rank 1 of dimension 2: factored (embedded rank 2 = dim/2).
+        let a = Assertion::from_expr(
+            &AssertionExpr::new(vec![OpApp::new("P0", &["q2"])]),
+            &lib,
+            &reg2(),
+        )
+        .unwrap();
+        assert_eq!(a.factored_count(), 1);
+        assert_eq!(a.max_factored_rank(), Some(2));
+        assert!(a.ops()[0]
+            .dense()
+            .approx_eq(&embed(&ket("0").projector(), &[1], 2), 1e-12));
+        // I is full rank: dense.
+        let id = Assertion::from_expr(
+            &AssertionExpr::new(vec![OpApp::new("I", &["q1"])]),
+            &lib,
+            &reg2(),
+        )
+        .unwrap();
+        assert_eq!(id.factored_count(), 0);
+        // The ablation switch forces dense.
+        let dense = Assertion::from_expr_with(
+            &AssertionExpr::new(vec![OpApp::new("P0", &["q2"])]),
+            &lib,
+            &reg2(),
+            false,
+        )
+        .unwrap();
+        assert_eq!(dense.factored_count(), 0);
+        assert!(dense.ops()[0].dense().approx_eq(a.ops()[0].dense(), 1e-12));
+    }
+
+    #[test]
     fn expectation_takes_the_infimum() {
         let lib = OperatorLibrary::with_builtins();
         let expr = AssertionExpr::new(vec![OpApp::new("P0", &["q1"]), OpApp::new("P1", &["q1"])]);
@@ -313,6 +785,17 @@ mod tests {
         // On any state, min(tr(P0ρ), tr(P1ρ)) ≤ 1/2·tr(ρ).
         let rho = ket("0+").projector();
         assert!(a.expectation(&rho) < 1e-10 + 0.0f64.max(0.0)); // P1 gives 0
+    }
+
+    #[test]
+    fn factored_expectation_matches_dense() {
+        let v = CMat::from_fn(4, 2, |i, j| {
+            nqpv_linalg::c((i + j) as f64 * 0.2, i as f64 * 0.1 - j as f64 * 0.3)
+        });
+        let factored = Predicate::Factored(Factor::new(v.clone()));
+        let dense = Predicate::Dense(v.mul(&v.adjoint()));
+        let rho = ket("0+").projector();
+        assert!((factored.expectation(&rho) - dense.expectation(&rho)).abs() < 1e-10);
     }
 
     #[test]
@@ -328,10 +811,104 @@ mod tests {
     }
 
     #[test]
+    fn factored_sum_pairwise_concatenates_and_recompresses() {
+        let p0 = Predicate::from_factor(CMat::from_real(4, 1, &[1.0, 0.0, 0.0, 0.0]));
+        let p1 = Predicate::from_factor(CMat::from_real(4, 1, &[0.0, 1.0, 0.0, 0.0]));
+        let a = Assertion::from_predicates(4, vec![p0.clone()]).unwrap();
+        let b = Assertion::from_predicates(4, vec![p1]).unwrap();
+        let s = a.sum_pairwise(&b).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.max_factored_rank(), Some(2));
+        // Summing a factor with itself re-truncates back to rank 1.
+        let twice = a
+            .sum_pairwise(&Assertion::from_predicates(4, vec![p0]).unwrap())
+            .unwrap();
+        assert_eq!(twice.max_factored_rank(), Some(1));
+        assert!((twice.expectation(&ket("00").projector()) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wp_unitary_keeps_factors_factored() {
+        // post = |11⟩⟨11| factored; wp through H⊗H must stay rank 1 and
+        // agree with the dense conjugation.
+        let marked = Predicate::from_factor(CMat::from_real(4, 1, &[0.0, 0.0, 0.0, 1.0]));
+        let a = Assertion::from_predicates(4, vec![marked]).unwrap();
+        let h = nqpv_quantum::gates::h();
+        let hh = h.kron(&h);
+        let wp = a.wp_unitary(&hh, &[0, 1], 2);
+        assert_eq!(wp.max_factored_rank(), Some(1));
+        let dense_ref = hh.adjoint_conjugate(&ket("11").projector());
+        assert!(wp.ops()[0].dense().approx_eq(&dense_ref, 1e-10));
+    }
+
+    #[test]
+    fn wp_init_full_width_lands_on_scaled_identity() {
+        // xp.(q̄:=0).[|ψ⟩] = |⟨0…0|ψ⟩|²·I — rank explodes, so the factored
+        // element must densify into the scaled identity.
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let psi = CMat::from_real(4, 1, &[s, 0.0, 0.0, s]);
+        let a = Assertion::from_predicates(4, vec![Predicate::from_factor(psi)]).unwrap();
+        let wp = a.wp_init(&[0, 1], 2);
+        assert_eq!(wp.factored_count(), 0);
+        assert!(wp.ops()[0]
+            .dense()
+            .approx_eq(&CMat::identity(4).scale_re(0.5), 1e-10));
+    }
+
+    #[test]
+    fn wp_init_partial_width_stays_factored_when_thin() {
+        // Init on q1 of 3 qubits with post [|000⟩]: wp = I_{q1} ⊗ ⟨0|M|0⟩
+        // = [|00⟩⟨00|]_{q0,q2} ⊗ I_{q1}: rank 2 of dim 8 — stays factored.
+        let a = Assertion::from_predicates(
+            8,
+            vec![Predicate::from_factor(CMat::from_fn(8, 1, |i, _| {
+                if i == 0 {
+                    nqpv_linalg::cr(1.0)
+                } else {
+                    nqpv_linalg::Complex::ZERO
+                }
+            }))],
+        )
+        .unwrap();
+        let wp = a.wp_init(&[1], 3);
+        assert_eq!(wp.max_factored_rank(), Some(2));
+        // Dense reference through the initialiser super-operator.
+        let setter = SuperOp::initializer(1).embed(&[1], 3);
+        let dense_ref = setter.apply_heisenberg(&ket("000").projector());
+        assert!(wp.ops()[0].dense().approx_eq(&dense_ref, 1e-10));
+    }
+
+    #[test]
+    fn sandwich_local_matches_dense_and_drops_rank() {
+        // P0 on qubit 0 sandwiching [|+⟩⊗|0⟩] + [|1⟩⊗|1⟩] (rank 2): the
+        // second column is annihilated, rank drops to 1.
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let v = CMat::from_real(4, 2, &[s, 0.0, 0.0, 0.0, s, 0.0, 0.0, 1.0]);
+        let a = Assertion::from_predicates(4, vec![Predicate::from_factor(v.clone())]).unwrap();
+        let p0 = ket("0").projector();
+        let out = a.sandwich_local(&p0, &[0], 2);
+        assert_eq!(out.max_factored_rank(), Some(1));
+        let dense_ref = conjugate_gate(&p0, &[0], 2, &v.mul(&v.adjoint()));
+        assert!(out.ops()[0].dense().approx_eq(&dense_ref, 1e-9));
+    }
+
+    #[test]
     fn dedupe_collapses_equal_predicates() {
         let i = CMat::identity(2);
         let a = Assertion::from_ops(2, vec![i.clone(), i.clone(), i]).unwrap();
         assert_eq!(a.len(), 1);
+        // Identical factors dedupe without materialising.
+        let v = CMat::from_real(4, 1, &[0.0, 1.0, 0.0, 0.0]);
+        let f = Assertion::from_predicates(
+            4,
+            vec![
+                Predicate::from_factor(v.clone()),
+                Predicate::from_factor(v.clone()),
+                Predicate::from_factor(v),
+            ],
+        )
+        .unwrap();
+        assert_eq!(f.len(), 1);
     }
 
     #[test]
@@ -346,6 +923,63 @@ mod tests {
             .le_inf(&half, LownerOptions::default())
             .unwrap()
             .holds());
+    }
+
+    #[test]
+    fn le_inf_dimension_mismatch_is_an_error_not_a_panic() {
+        // The factored fast path must leave mismatched dimensions to the
+        // solver, which reports them as ShapeMismatch errors.
+        let a = Assertion::from_predicates(
+            4,
+            vec![Predicate::from_factor(CMat::from_real(
+                4,
+                1,
+                &[1.0, 0.0, 0.0, 0.0],
+            ))],
+        )
+        .unwrap();
+        let b = Assertion::from_predicates(
+            8,
+            vec![Predicate::from_factor(CMat::from_real(
+                8,
+                1,
+                &[1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            ))],
+        )
+        .unwrap();
+        assert!(a.le_inf(&b, LownerOptions::default()).is_err());
+        assert!(crate::angelic::le_sup(&a, &b, LownerOptions::default()).is_err());
+    }
+
+    #[test]
+    fn le_inf_factored_fast_path_agrees_with_dense() {
+        let v1 = CMat::from_real(4, 1, &[0.0, 0.0, 0.0, 1.0]);
+        let v2 = CMat::from_real(4, 2, &[0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 1.0]);
+        let small =
+            Assertion::from_predicates(4, vec![Predicate::from_factor(v1.clone())]).unwrap();
+        let big = Assertion::from_predicates(4, vec![Predicate::from_factor(v2.clone())]).unwrap();
+        // [|11⟩] ⊑ [|10⟩]+[|11⟩] holds, settled by the Gram fast path.
+        assert!(small
+            .le_inf(&big, LownerOptions::default())
+            .unwrap()
+            .holds());
+        // The converse is violated — the fast path must *not* certify it,
+        // and the dense fallback must report the violation.
+        let v = big.le_inf(&small, LownerOptions::default()).unwrap();
+        assert!(!v.holds());
+        // Same verdicts as the all-dense encodings.
+        let small_d = Assertion::from_ops(4, vec![v1.mul(&v1.adjoint())]).unwrap();
+        let big_d = Assertion::from_ops(4, vec![v2.mul(&v2.adjoint())]).unwrap();
+        assert_eq!(
+            small
+                .le_inf(&big, LownerOptions::default())
+                .unwrap()
+                .holds(),
+            small_d
+                .le_inf(&big_d, LownerOptions::default())
+                .unwrap()
+                .holds()
+        );
     }
 
     #[test]
@@ -374,5 +1008,36 @@ mod tests {
         assert!(ok.validate_predicates(1e-8));
         let bad = Assertion::from_ops(2, vec![CMat::identity(2).scale_re(1.7)]).unwrap();
         assert!(!bad.validate_predicates(1e-8));
+        // Factored validation is the r×r Gram test.
+        let good_f = Assertion::from_predicates(
+            4,
+            vec![Predicate::from_factor(CMat::from_real(
+                4,
+                1,
+                &[0.0, 1.0, 0.0, 0.0],
+            ))],
+        )
+        .unwrap();
+        assert!(good_f.validate_predicates(1e-8));
+        let big_f = Assertion::from_predicates(
+            4,
+            vec![Predicate::from_factor(CMat::from_real(
+                4,
+                1,
+                &[0.0, 1.3, 0.0, 0.0],
+            ))],
+        )
+        .unwrap();
+        assert!(!big_f.validate_predicates(1e-8));
+    }
+
+    #[test]
+    fn from_factor_densifies_past_the_payoff_threshold() {
+        // Width 2 at dimension 2: 2·2 > 2, must densify.
+        let wide = Predicate::from_factor(CMat::from_real(2, 2, &[1.0, 0.0, 0.0, 1.0]));
+        assert!(!wide.is_factored());
+        // Width 1 at dimension 2: stays factored.
+        let thin = Predicate::from_factor(CMat::from_real(2, 1, &[1.0, 0.0]));
+        assert!(thin.is_factored());
     }
 }

@@ -60,14 +60,16 @@ pub trait TransformerCache: Send + Sync {
     fn put_verdict(&self, _key: CacheKey, _verdict: &Verdict) {}
 }
 
-/// Content key of a `⊑_inf`/`⊑_sup` query: the exact matrix bits of both
+/// Content key of a `⊑_inf`/`⊑_sup` query: the exact operator bits of both
 /// assertion sides plus every solver option that can influence the verdict.
 /// Order within each side matters (the solver reports witness indices), so
-/// the sides are hashed in sequence.
+/// the sides are hashed in sequence. Factored predicates hash their factor
+/// bits (tagged apart from dense matrices) — the dense operator is never
+/// materialised to build a key.
 pub fn verdict_key(
     tag: u8,
-    theta: &[nqpv_linalg::CMat],
-    psi: &[nqpv_linalg::CMat],
+    theta: &crate::assertion::Assertion,
+    psi: &crate::assertion::Assertion,
     opts: &LownerOptions,
 ) -> CacheKey {
     let mut h = KeyHasher::new();
@@ -77,12 +79,12 @@ pub fn verdict_key(
     // always render apart).
     h.write_str(&format!("{opts:?}"));
     h.write_usize(theta.len());
-    for m in theta {
-        h.write_matrix(m);
+    for m in theta.ops() {
+        h.write_predicate(m);
     }
     h.write_usize(psi.len());
-    for m in psi {
-        h.write_matrix(m);
+    for m in psi.ops() {
+        h.write_predicate(m);
     }
     h.finish()
 }
@@ -143,6 +145,25 @@ impl KeyHasher {
         for z in m.as_slice() {
             self.write_f64(z.re);
             self.write_f64(z.im);
+        }
+    }
+
+    /// Exact-bits hash of a predicate: dense matrices and factored forms
+    /// hash their own representation (under distinct tags), so no dense
+    /// materialisation happens on the key path. Different factorings of
+    /// the same operator hash apart — that only costs cache hits, never
+    /// correctness, and the pipeline is deterministic so byte-identical
+    /// jobs reproduce byte-identical factors.
+    pub(crate) fn write_predicate(&mut self, p: &crate::assertion::Predicate) {
+        match p {
+            crate::assertion::Predicate::Dense(m) => {
+                self.write_u8(0xD0);
+                self.write_matrix(m);
+            }
+            crate::assertion::Predicate::Factored(f) => {
+                self.write_u8(0xF0);
+                self.write_matrix(f.v());
+            }
         }
     }
 

@@ -18,7 +18,6 @@ use crate::assertion::Assertion;
 use crate::error::VerifError;
 use crate::transformer::{precondition, VcOptions};
 use nqpv_lang::Stmt;
-use nqpv_linalg::conjugate_gate;
 use nqpv_quantum::{OperatorLibrary, Register};
 use nqpv_solver::Verdict;
 use std::collections::HashMap;
@@ -88,11 +87,12 @@ pub fn infer_invariant(
         });
     }
     // Local-form projectors: the Kleene iteration sandwiches every
-    // candidate predicate per step, so the strided kernels matter here.
+    // candidate predicate per step, so the strided kernels matter here —
+    // and factored candidates stay factored through every sandwich.
     let n = reg.n_qubits();
     let p0 = m.p0().clone();
     let p1 = m.p1().clone();
-    let p0_post = post.map(|x| conjugate_gate(&p0, &pos, n, x));
+    let p0_post = post.sandwich_local(&p0, &pos, n);
 
     let rankings = HashMap::new();
     let mut theta = Assertion::identity(reg.dim());
@@ -100,7 +100,7 @@ pub fn infer_invariant(
     for k in 0..opts.max_iters {
         let wlp_body = precondition(body, &theta, lib, reg, opts.vc, &rankings)?;
         let next = p0_post
-            .sum_pairwise(&wlp_body.map(|x| conjugate_gate(&p1, &pos, n, x)))?
+            .sum_pairwise(&wlp_body.sandwich_local(&p1, &pos, n))?
             .check_size(4096)?;
         let next_fp = fingerprint(&next);
         if next_fp == fp {
@@ -110,7 +110,7 @@ pub fn infer_invariant(
             // next is the fixpoint, P⁰(Ψ)+P¹(next) = next, so check
             // next ⊑_inf wlp.body.next directly… but wlp.body.next was
             // computed against `next` already — close the loop explicitly:
-            let phi = p0_post.sum_pairwise(&next.map(|x| conjugate_gate(&p1, &pos, n, x)))?;
+            let phi = p0_post.sum_pairwise(&next.sandwich_local(&p1, &pos, n))?;
             let wlp_phi = precondition(body, &phi, lib, reg, opts.vc, &rankings)?;
             let _ = wlp_once;
             match next.le_inf(&wlp_phi, opts.vc.lowner)? {

@@ -32,7 +32,7 @@ mod session;
 mod transformer;
 mod verifier;
 
-pub use assertion::Assertion;
+pub use assertion::{Assertion, Factor, Predicate};
 pub use cache::{CacheKey, TransformerCache};
 pub use error::VerifError;
 pub use outline::{render_assertion, render_matrix, render_outline, PredicateRegistry};

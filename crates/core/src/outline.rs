@@ -10,15 +10,18 @@ use crate::transformer::{Annotated, AnnotatedNode};
 use nqpv_linalg::CMat;
 use std::collections::HashMap;
 use std::fmt::Write;
+use std::sync::Arc;
 
 /// Fingerprint quantisation used for name lookup.
 const FP_SCALE: f64 = 1e8;
 
-/// Maps predicate matrices to display names and back.
+/// Maps predicate matrices to display names and back. Matrices are held
+/// behind shared handles, so the bare-name/display-name aliases and the
+/// factored-predicate rendering path never copy a `2ⁿ×2ⁿ` matrix.
 #[derive(Debug, Clone, Default)]
 pub struct PredicateRegistry {
     names: HashMap<u64, String>,
-    matrices: HashMap<String, CMat>,
+    matrices: HashMap<String, Arc<CMat>>,
     next_var: usize,
 }
 
@@ -31,20 +34,40 @@ impl PredicateRegistry {
     /// Registers a matrix under a user-facing display name (e.g.
     /// `invN[q1 q2]`); also indexes the bare name (`invN`) for `show`.
     pub fn register_named(&mut self, display: &str, m: &CMat) {
+        let shared = Arc::new(m.clone());
         self.names
             .entry(m.fingerprint(FP_SCALE))
             .or_insert_with(|| display.to_string());
-        self.matrices.insert(display.to_string(), m.clone());
+        self.matrices.insert(display.to_string(), shared.clone());
         if let Some(bare) = display.split('[').next() {
-            self.matrices
-                .entry(bare.to_string())
-                .or_insert_with(|| m.clone());
+            self.matrices.entry(bare.to_string()).or_insert(shared);
         }
     }
 
     /// Returns the display name for a matrix, allocating a fresh
     /// `VARk[q̄]` name when unknown.
     pub fn name_of(&mut self, m: &CMat, register_display: &str) -> String {
+        self.name_of_with(m, register_display, |m| Arc::new(m.clone()))
+    }
+
+    /// [`PredicateRegistry::name_of`] for a [`Predicate`]: already-named
+    /// matrices cost one fingerprint pass and zero copies; fresh `VARk`
+    /// entries reuse the predicate's `Arc`-cached dense form instead of
+    /// cloning it ([`Predicate::dense_shared`]).
+    pub fn name_of_pred(
+        &mut self,
+        p: &crate::assertion::Predicate,
+        register_display: &str,
+    ) -> String {
+        self.name_of_with(p.dense(), register_display, |_| p.dense_shared())
+    }
+
+    fn name_of_with(
+        &mut self,
+        m: &CMat,
+        register_display: &str,
+        share: impl FnOnce(&CMat) -> Arc<CMat>,
+    ) -> String {
         let fp = m.fingerprint(FP_SCALE);
         if let Some(n) = self.names.get(&fp) {
             return n.clone();
@@ -53,14 +76,15 @@ impl PredicateRegistry {
         self.next_var += 1;
         let display = format!("{bare}[{register_display}]");
         self.names.insert(fp, display.clone());
-        self.matrices.insert(display.clone(), m.clone());
-        self.matrices.insert(bare, m.clone());
+        let shared = share(m);
+        self.matrices.insert(display.clone(), shared.clone());
+        self.matrices.insert(bare, shared);
         display
     }
 
     /// Looks up the matrix behind a (bare or full) name, for `show`.
     pub fn matrix(&self, name: &str) -> Option<&CMat> {
-        self.matrices.get(name)
+        self.matrices.get(name).map(Arc::as_ref)
     }
 
     /// All registered display names (unordered).
@@ -79,7 +103,7 @@ pub fn render_assertion(
     let names: Vec<String> = a
         .ops()
         .iter()
-        .map(|m| registry.name_of(m, register_display))
+        .map(|m| registry.name_of_pred(m, register_display))
         .collect();
     format!("{{ {} }}", names.join(" "))
 }

@@ -17,8 +17,8 @@ use crate::error::VerifError;
 use crate::ranking::{check_ranking, RankingCertificate};
 use crate::transformer::Mode;
 use nqpv_lang::Stmt;
-use nqpv_linalg::{conjugate_gate, embed};
-use nqpv_quantum::{OperatorLibrary, Register, SuperOp};
+use nqpv_linalg::embed;
+use nqpv_quantum::{OperatorLibrary, Register};
 use nqpv_solver::{LownerOptions, Verdict};
 
 /// A correctness formula `{Θ} S {Ψ}` established by a proof.
@@ -202,8 +202,7 @@ pub fn check_proof(
         }
         ProofNode::Init { qubits, post } => {
             let pos = reg.positions(qubits)?;
-            let setter = SuperOp::initializer(pos.len()).embed(&pos, n);
-            let pre = post.map(|m| setter.apply_heisenberg(m));
+            let pre = post.wp_init(&pos, n);
             Ok(Formula {
                 pre,
                 stmt: Stmt::Init {
@@ -223,7 +222,7 @@ pub fn check_proof(
                     got: pos.len(),
                 });
             }
-            let pre = post.map(|m| nqpv_linalg::adjoint_conjugate_gate(u, &pos, n, m));
+            let pre = post.wp_unitary(u, &pos, n);
             Ok(Formula {
                 pre,
                 stmt: Stmt::Unitary {
@@ -288,11 +287,12 @@ pub fn check_proof(
                     details: "(Meas) branch postconditions differ".into(),
                 });
             }
-            // Strided local sandwiches — no embedded projector matrices.
+            // Strided local sandwiches — no embedded projector matrices,
+            // and factored branch preconditions stay factored.
             let pre = fe
                 .pre
-                .map(|x| conjugate_gate(m.p0(), &pos, n, x))
-                .sum_pairwise(&ft.pre.map(|x| conjugate_gate(m.p1(), &pos, n, x)))?;
+                .sandwich_local(m.p0(), &pos, n)
+                .sum_pairwise(&ft.pre.sandwich_local(m.p1(), &pos, n))?;
             Ok(Formula {
                 pre,
                 stmt: Stmt::If {
@@ -322,8 +322,8 @@ pub fn check_proof(
                 });
             }
             let phi = post
-                .map(|x| conjugate_gate(m.p0(), &pos, n, x))
-                .sum_pairwise(&invariant.map(|x| conjugate_gate(m.p1(), &pos, n, x)))?;
+                .sandwich_local(m.p0(), &pos, n)
+                .sum_pairwise(&invariant.sandwich_local(m.p1(), &pos, n))?;
             let fb = check_proof(body_proof, mode, lib, reg, lowner)?;
             if !fb.pre.approx_set_eq(invariant, MATCH_TOL) {
                 return Err(VerifError::InvalidInvariant {

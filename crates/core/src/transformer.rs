@@ -14,8 +14,8 @@ use crate::cache::{CacheKey, KeyHasher, TransformerCache};
 use crate::error::VerifError;
 pub use crate::ranking::RankingCertificate;
 use nqpv_lang::{AssertionExpr, Stmt};
-use nqpv_linalg::{adjoint_conjugate_gate, conjugate_gate, embed, CMat};
-use nqpv_quantum::{OperatorLibrary, Register, SuperOp};
+use nqpv_linalg::{embed, CMat};
+use nqpv_quantum::{OperatorLibrary, Register};
 use nqpv_solver::{LownerOptions, Verdict};
 use std::collections::HashMap;
 
@@ -42,6 +42,11 @@ pub struct VcOptions {
     /// `while` loops lacking an `inv:` annotation, instead of failing with
     /// [`VerifError::MissingInvariant`].
     pub infer_invariants: bool,
+    /// Run rank detection on resolved assertions so low-rank predicates
+    /// enter the pipeline factored (see
+    /// [`Assertion::from_expr`]). `false` forces the dense
+    /// representation everywhere — the factored-vs-dense ablation knob.
+    pub factor_assertions: bool,
 }
 
 impl Default for VcOptions {
@@ -51,6 +56,7 @@ impl Default for VcOptions {
             lowner: LownerOptions::default(),
             max_set: 1024,
             infer_invariants: false,
+            factor_assertions: true,
         }
     }
 }
@@ -177,6 +183,9 @@ fn context_key(reg: &Register, opts: VcOptions) -> CacheKey {
         Mode::Total => 1,
     });
     h.write_usize(opts.max_set);
+    // Factored and dense pipelines compute the same operators but store
+    // them differently; keep their cached artifacts apart.
+    h.write_u8(opts.factor_assertions as u8);
     // The solver verdict depends on every LownerOptions field (eps,
     // iteration budgets, lanczos and primal sub-options); the Debug
     // rendering covers them all — f64 Debug is shortest-roundtrip, so
@@ -280,8 +289,8 @@ struct Ctx<'a> {
 
 /// Measurement branch projectors kept at their native dimension with a
 /// register footprint, so the (Meas)/(While) sandwiches `P·M·P` run as
-/// strided conjugations (`O(4ⁿ·2ᵏ)`) instead of embedded dense matmuls
-/// (`O(8ⁿ)`).
+/// strided conjugations (`O(4ⁿ·2ᵏ)` dense, `O(2ⁿ·2ᵏ·r)` on factored
+/// predicates) instead of embedded dense matmuls (`O(8ⁿ)`).
 struct BranchProjectors {
     p0: CMat,
     p1: CMat,
@@ -289,15 +298,14 @@ struct BranchProjectors {
 }
 
 impl BranchProjectors {
-    /// `P⁰·m·P⁰` via the strided kernel (projectors are hermitian, so
-    /// conjugation by `P` equals conjugation by `P†`).
-    fn sandwich0(&self, m: &CMat, n: usize) -> CMat {
-        conjugate_gate(&self.p0, &self.pos, n, m)
+    /// `P⁰·Θ·P⁰` element-wise via the strided/factored kernels.
+    fn sandwich0(&self, a: &Assertion, n: usize) -> Assertion {
+        a.sandwich_local(&self.p0, &self.pos, n)
     }
 
-    /// `P¹·m·P¹` via the strided kernel.
-    fn sandwich1(&self, m: &CMat, n: usize) -> CMat {
-        conjugate_gate(&self.p1, &self.pos, n, m)
+    /// `P¹·Θ·P¹` element-wise via the strided/factored kernels.
+    fn sandwich1(&self, a: &Assertion, n: usize) -> Assertion {
+        a.sandwich_local(&self.p1, &self.pos, n)
     }
 
     /// The full-dimension embedding of `P¹`, for the (rare) consumers that
@@ -348,7 +356,7 @@ impl Ctx<'_> {
         h.write_usize(post.dim());
         h.write_usize(post.len());
         for m in post.ops() {
-            h.write_matrix(m);
+            h.write_predicate(m);
         }
         h.finish()
     }
@@ -469,7 +477,12 @@ impl Ctx<'_> {
                 node: AnnotatedNode::Abort,
             }),
             TStmt::Assert(expr) => {
-                let a = Assertion::from_expr(expr, self.lib, self.reg)?;
+                let a = Assertion::from_expr_with(
+                    expr,
+                    self.lib,
+                    self.reg,
+                    self.opts.factor_assertions,
+                )?;
                 if !a.validate_predicates(1e-6) {
                     return Err(VerifError::InvalidInvariant {
                         details: "cut assertion contains operators outside 0 ⊑ M ⊑ I".into(),
@@ -496,10 +509,10 @@ impl Ctx<'_> {
             }
             TStmt::Init(qubits) => {
                 let pos = self.reg.positions(qubits)?;
-                let setter = SuperOp::initializer(pos.len()).embed(&pos, n);
-                let pre = post
-                    .map(|m| setter.apply_heisenberg(m))
-                    .check_size(self.opts.max_set)?;
+                // Dense elements run the strided initialiser kernels;
+                // factored ones take the structured I ⊗ ⟨0|M|0⟩ route
+                // (rank growth + recompression) — see `Assertion::wp_init`.
+                let pre = post.wp_init(&pos, n).check_size(self.opts.max_set)?;
                 Ok(Annotated {
                     pre,
                     node: AnnotatedNode::Init {
@@ -518,9 +531,7 @@ impl Ctx<'_> {
                         got: pos.len(),
                     });
                 }
-                let pre = post
-                    .map(|m| adjoint_conjugate_gate(u, &pos, n, m))
-                    .check_size(self.opts.max_set)?;
+                let pre = post.wp_unitary(u, &pos, n).check_size(self.opts.max_set)?;
                 Ok(Annotated {
                     pre,
                     node: AnnotatedNode::Unitary {
@@ -562,10 +573,11 @@ impl Ctx<'_> {
                 let then_ann = self.go(then_branch, post)?;
                 let else_ann = self.go(else_branch, post)?;
                 // xp.(if).M = P¹(xp.S₁.M) + P⁰(xp.S₀.M)  (Fig. 5) — the
-                // sandwiches run strided on the local projectors; no
-                // full-dimension embedding is materialised.
-                let sandw1 = then_ann.pre.map(|m| br.sandwich1(m, n));
-                let sandw0 = else_ann.pre.map(|m| br.sandwich0(m, n));
+                // sandwiches run strided on the local projectors (factored
+                // predicates stay factored); no full-dimension embedding
+                // is materialised.
+                let sandw1 = br.sandwich1(&then_ann.pre, n);
+                let sandw0 = br.sandwich0(&else_ann.pre, n);
                 let pre = sandw1
                     .sum_pairwise(&sandw0)?
                     .check_size(self.opts.max_set)?;
@@ -588,7 +600,12 @@ impl Ctx<'_> {
             } => {
                 let inv = match invariant {
                     Some(inv_expr) => {
-                        let inv = Assertion::from_expr(inv_expr, self.lib, self.reg)?;
+                        let inv = Assertion::from_expr_with(
+                            inv_expr,
+                            self.lib,
+                            self.reg,
+                            self.opts.factor_assertions,
+                        )?;
                         if !inv.validate_predicates(1e-6) {
                             return Err(VerifError::InvalidInvariant {
                                 details: "invariant contains operators outside 0 ⊑ M ⊑ I".into(),
@@ -626,9 +643,9 @@ impl Ctx<'_> {
                 };
                 let br = self.branch_projectors(meas, qubits)?;
                 // Φ = P⁰(Ψ) + P¹(Θ_inv): the (While)-rule precondition.
-                let phi = post
-                    .map(|m| br.sandwich0(m, n))
-                    .sum_pairwise(&inv.map(|m| br.sandwich1(m, n)))?
+                let phi = br
+                    .sandwich0(post, n)
+                    .sum_pairwise(&br.sandwich1(&inv, n))?
                     .check_size(self.opts.max_set)?;
                 let body_ann = self.go(body, &phi)?;
                 // Invariant validity: Θ_inv ⊑_inf wlp.body.Φ.

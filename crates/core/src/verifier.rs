@@ -92,10 +92,17 @@ pub fn verify_proof_term_with(
     cache: Option<&dyn crate::cache::TransformerCache>,
 ) -> Result<VerifyOutcome, VerifError> {
     let reg = Register::new(&term.qubits)?;
-    // Resolve and name the user-facing assertions.
-    let post = resolve_user_assertion(&term.post, lib, &reg, registry)?;
+    // Resolve and name the user-facing assertions (rank detection per
+    // `opts.factor_assertions`).
+    let post = resolve_user_assertion(&term.post, lib, &reg, registry, opts.factor_assertions)?;
     let pre = match &term.pre {
-        Some(expr) => Some(resolve_user_assertion(expr, lib, &reg, registry)?),
+        Some(expr) => Some(resolve_user_assertion(
+            expr,
+            lib,
+            &reg,
+            registry,
+            opts.factor_assertions,
+        )?),
         None => None,
     };
     register_stmt_assertions(&term.body, lib, &reg, registry);
@@ -158,8 +165,9 @@ fn resolve_user_assertion(
     lib: &OperatorLibrary,
     reg: &Register,
     registry: &mut PredicateRegistry,
+    factor: bool,
 ) -> Result<Assertion, VerifError> {
-    let a = Assertion::from_expr(expr, lib, reg)?;
+    let a = Assertion::from_expr_with(expr, lib, reg, factor)?;
     if !a.validate_predicates(1e-6) {
         return Err(VerifError::InvalidInvariant {
             details: "assertion contains operators outside 0 ⊑ M ⊑ I".into(),

@@ -1,0 +1,221 @@
+//! Property tests (vendored proptest) for the low-rank factored wp
+//! pipeline:
+//!
+//! * **factored-vs-dense wp equivalence** — pushing a random-rank factored
+//!   postcondition backward through a random loop-free program yields the
+//!   same predicate set (as operators) as pushing its dense encoding, on
+//!   programs mixing Unit, Init (rank growth by the `2ᵏ` branch factor,
+//!   then recompression back down), If and NDet;
+//! * **Gram-vs-dense Löwner agreement** — the `(r₁+r₂)`-dimensional Gram
+//!   eigenproblem behind `factored_lowner_le` agrees with the dense
+//!   pivoted-Cholesky/eigenvalue route away from the tolerance boundary,
+//!   and the set-level `⊑_inf` verdict is representation-independent.
+
+use nqpv_core::{backward, Assertion, Predicate, VcOptions};
+use nqpv_lang::parse_stmt;
+use nqpv_linalg::{c, eigh, CMat};
+use nqpv_quantum::{OperatorLibrary, Register};
+use nqpv_solver::{factored_lowner_le, LownerOptions};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn next_u64(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+fn next_f64(s: &mut u64) -> f64 {
+    (next_u64(s) as f64 / u64::MAX as f64) * 2.0 - 1.0
+}
+
+/// Random tall-skinny factor whose operator `VV†` lies in `0 ⊑ · ⊑ I`
+/// (scaled below the completeness bound so it is a genuine predicate).
+fn random_predicate_factor(d: usize, r: usize, seed: &mut u64) -> CMat {
+    let v = CMat::from_fn(d, r, |_, _| c(next_f64(seed), next_f64(seed)));
+    // ‖VV†‖ ≤ tr(V†V); scale so the top eigenvalue stays below 1.
+    let trace: f64 = (0..d)
+        .map(|i| v.row(i).iter().map(|z| z.norm_sqr()).sum::<f64>())
+        .sum();
+    v.scale_re(1.0 / (trace.sqrt().max(1e-6) * 1.1))
+}
+
+/// A random loop-free statement over the registers `q1 q2 q3`, drawn from
+/// a small grammar exercising every factored transform: unitaries (local
+/// and two-qubit), initialisations, measurement conditionals and demonic
+/// choice.
+fn random_program(seed: &mut u64, depth: usize) -> String {
+    let qubit = |s: &mut u64| ["q1", "q2", "q3"][(next_u64(s) % 3) as usize];
+    let leaf = |s: &mut u64| {
+        let q = qubit(s);
+        match next_u64(s) % 6 {
+            0 => format!("[{q}] *= H"),
+            1 => format!("[{q}] *= X"),
+            2 => {
+                let mut q2 = qubit(s);
+                while q2 == q {
+                    q2 = qubit(s);
+                }
+                format!("[{q} {q2}] *= CX")
+            }
+            3 => format!("[{q}] := 0"),
+            4 => {
+                let mut q2 = qubit(s);
+                while q2 == q {
+                    q2 = qubit(s);
+                }
+                format!("[{q} {q2}] := 0")
+            }
+            _ => "skip".to_string(),
+        }
+    };
+    if depth == 0 {
+        return leaf(seed);
+    }
+    match next_u64(seed) % 4 {
+        0 => format!(
+            "{}; {}",
+            random_program(seed, depth - 1),
+            random_program(seed, depth - 1)
+        ),
+        1 => format!(
+            "if M01[{}] then {} else {} end",
+            qubit(seed),
+            random_program(seed, depth - 1),
+            random_program(seed, depth - 1)
+        ),
+        2 => format!(
+            "( {} # {} )",
+            random_program(seed, depth - 1),
+            random_program(seed, depth - 1)
+        ),
+        _ => leaf(seed),
+    }
+}
+
+/// Mutual inclusion of two predicate sets as dense operators within `tol`
+/// (dedup may differ between representations, so sizes are not compared).
+fn sets_agree(a: &Assertion, b: &Assertion, tol: f64) -> bool {
+    let covers = |x: &Assertion, y: &Assertion| {
+        x.ops()
+            .iter()
+            .all(|p| y.ops().iter().any(|q| p.dense().approx_eq(q.dense(), tol)))
+    };
+    covers(a, b) && covers(b, a)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn factored_and_dense_wp_agree_on_random_programs(
+        seed in 1u64..u64::MAX,
+        rank in 1usize..=4,
+        depth in 0usize..=2,
+    ) {
+        let lib = OperatorLibrary::with_builtins();
+        let reg = Register::new(&["q1", "q2", "q3"]).unwrap();
+        let d = reg.dim();
+        let mut s = seed;
+        let src = random_program(&mut s, depth);
+        let stmt = parse_stmt(&src).expect("generated program parses");
+        let v = random_predicate_factor(d, rank, &mut s);
+        let dense_op = v.mul(&v.adjoint());
+
+        let post_f = Assertion::from_predicates(d, vec![Predicate::from_factor(v)]).unwrap();
+        let post_d = Assertion::from_ops(d, vec![dense_op]).unwrap();
+
+        let rankings = HashMap::new();
+        let opts = VcOptions::default();
+        let ann_f = backward(&stmt, &post_f, &lib, &reg, opts, &rankings).expect(&src);
+        let ann_d = backward(&stmt, &post_d, &lib, &reg, opts, &rankings).expect(&src);
+
+        prop_assert!(
+            sets_agree(&ann_f.pre, &ann_d.pre, 1e-7),
+            "wp({src}) differs between factored (rank {rank}) and dense pipelines: \
+             {} vs {} predicate(s)",
+            ann_f.pre.len(),
+            ann_d.pre.len()
+        );
+        // Expectations agree on a sampled state as a semantic cross-check.
+        let rho = {
+            let g = CMat::from_fn(d, d, |_, _| c(next_f64(&mut s), next_f64(&mut s)));
+            let p = g.mul(&g.adjoint());
+            let t = p.trace_re();
+            p.scale_re(1.0 / t)
+        };
+        prop_assert!(
+            (ann_f.pre.expectation(&rho) - ann_d.pre.expectation(&rho)).abs() < 1e-7,
+            "expectation mismatch for {src}"
+        );
+    }
+
+    #[test]
+    fn init_rank_growth_recompresses_and_matches_dense(
+        seed in 1u64..u64::MAX,
+        rank in 1usize..=3,
+        k in 1usize..=2,
+    ) {
+        // q̄ := 0 multiplies the factor width by 2ᵏ before recompression
+        // claws it back; the operators must agree with the dense route and
+        // any surviving factor must respect the payoff threshold.
+        let lib = OperatorLibrary::with_builtins();
+        let reg = Register::new(&["q1", "q2", "q3"]).unwrap();
+        let d = reg.dim();
+        let mut s = seed;
+        let src = if k == 1 { "[q2] := 0" } else { "[q1 q3] := 0" };
+        let stmt = parse_stmt(src).unwrap();
+        let v = random_predicate_factor(d, rank, &mut s);
+        let dense_op = v.mul(&v.adjoint());
+        let post_f = Assertion::from_predicates(d, vec![Predicate::from_factor(v)]).unwrap();
+        let post_d = Assertion::from_ops(d, vec![dense_op]).unwrap();
+        let rankings = HashMap::new();
+        let ann_f = backward(&stmt, &post_f, &lib, &reg, VcOptions::default(), &rankings).unwrap();
+        let ann_d = backward(&stmt, &post_d, &lib, &reg, VcOptions::default(), &rankings).unwrap();
+        prop_assert!(sets_agree(&ann_f.pre, &ann_d.pre, 1e-7), "{src} rank {rank}");
+        if let Some(r_out) = ann_f.pre.max_factored_rank() {
+            prop_assert!(2 * r_out <= d, "factored wp exceeded the payoff threshold");
+            prop_assert!(
+                r_out <= rank << k,
+                "rank {r_out} exceeds the 2ᵏ·r growth bound"
+            );
+        }
+    }
+
+    #[test]
+    fn gram_and_dense_lowner_verdicts_agree(
+        seed in 1u64..u64::MAX,
+        rm in 1usize..=3,
+        rn in 1usize..=3,
+    ) {
+        let d = 8usize;
+        let mut s = seed;
+        let vm = random_predicate_factor(d, rm, &mut s);
+        let vn = random_predicate_factor(d, rn, &mut s);
+        let dm = vm.mul(&vm.adjoint());
+        let dn = vn.mul(&vn.adjoint());
+        let min = eigh(&dn.sub_mat(&dm)).unwrap().min();
+        // Compare only away from the ε boundary, as the dense tests do.
+        if min.abs() > 1e-6 {
+            let gram_verdict = factored_lowner_le(&vm, &vn, 1e-9);
+            prop_assert_eq!(
+                gram_verdict,
+                min >= -1e-9,
+                "Gram verdict disagrees with the spectrum (min eig {})",
+                min
+            );
+            // Set-level ⊑_inf must be representation-independent.
+            let a_f = Assertion::from_predicates(d, vec![Predicate::from_factor(vm.clone())]).unwrap();
+            let b_f = Assertion::from_predicates(d, vec![Predicate::from_factor(vn.clone())]).unwrap();
+            let a_d = Assertion::from_ops(d, vec![dm]).unwrap();
+            let b_d = Assertion::from_ops(d, vec![dn]).unwrap();
+            let opts = LownerOptions::default();
+            prop_assert_eq!(
+                a_f.le_inf(&b_f, opts).unwrap().holds(),
+                a_d.le_inf(&b_d, opts).unwrap().holds(),
+                "le_inf verdict depends on the representation"
+            );
+        }
+    }
+}

@@ -1,10 +1,11 @@
 //! The concurrent memo cache behind corpus runs: two content-addressed
 //! tiers — annotated backward-pass subterm results, and `⊑_inf`/`⊑_sup`
-//! solver verdicts — shared by every worker of a batch.
+//! solver verdicts — shared by every worker of a batch, with an optional
+//! LRU size bound per tier (`nqpv batch --cache-cap N`).
 
 use nqpv_core::{Annotated, CacheKey, TransformerCache};
 use nqpv_solver::Verdict;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -17,12 +18,16 @@ pub struct CacheStats {
     pub misses: u64,
     /// Transformer-tier entries currently stored.
     pub entries: u64,
+    /// Transformer-tier entries evicted by the LRU bound.
+    pub evictions: u64,
     /// Solver verdict-tier lookups answered from the store.
     pub verdict_hits: u64,
     /// Solver verdict-tier lookups that fell through to the solver.
     pub verdict_misses: u64,
     /// Solver verdict-tier entries currently stored.
     pub verdict_entries: u64,
+    /// Solver verdict-tier entries evicted by the LRU bound.
+    pub verdict_evictions: u64,
 }
 
 impl CacheStats {
@@ -48,6 +53,69 @@ fn ratio(hits: u64, misses: u64) -> f64 {
     }
 }
 
+/// One LRU-bounded tier: a content-addressed map plus a recency index
+/// (logical-clock `BTreeMap`, oldest stamp first). Unbounded when
+/// `cap == None`. All operations run under the owning mutex.
+#[derive(Debug)]
+struct Tier<V> {
+    map: HashMap<CacheKey, (V, u64)>,
+    recency: BTreeMap<u64, CacheKey>,
+    clock: u64,
+    cap: Option<usize>,
+    evictions: u64,
+}
+
+impl<V: Clone> Tier<V> {
+    fn new(cap: Option<usize>) -> Self {
+        Tier {
+            map: HashMap::new(),
+            recency: BTreeMap::new(),
+            clock: 0,
+            cap,
+            evictions: 0,
+        }
+    }
+
+    fn get(&mut self, key: CacheKey) -> Option<V> {
+        let old = *self.map.get(&key).map(|(_, stamp)| stamp)?;
+        self.clock += 1;
+        let new = self.clock;
+        self.recency.remove(&old);
+        self.recency.insert(new, key);
+        let entry = self.map.get_mut(&key).expect("checked present");
+        entry.1 = new;
+        Some(entry.0.clone())
+    }
+
+    fn put(&mut self, key: CacheKey, value: V) {
+        self.clock += 1;
+        let new = self.clock;
+        if let Some((slot, stamp)) = self.map.get_mut(&key) {
+            let old = *stamp;
+            *slot = value;
+            *stamp = new;
+            self.recency.remove(&old);
+            self.recency.insert(new, key);
+            return;
+        }
+        self.map.insert(key, (value, new));
+        self.recency.insert(new, key);
+        if let Some(cap) = self.cap {
+            while self.map.len() > cap {
+                // Oldest stamp = least recently used.
+                let (&oldest, &victim) = self.recency.iter().next().expect("non-empty");
+                self.recency.remove(&oldest);
+                self.map.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
 /// Content-addressed, thread-safe memo store for backward-transformer
 /// subterm results *and* solver verdicts — one instance is shared (via
 /// `Arc`) by every worker of a batch run.
@@ -56,39 +124,75 @@ fn ratio(hits: u64, misses: u64) -> f64 {
 /// values are cloned out, never borrowed), so workers contend only for
 /// map access, not for verification work. The two tiers use separate
 /// locks: a worker resolving a verdict never blocks one storing a
-/// subterm.
-#[derive(Debug, Default)]
+/// subterm. With [`MemoCache::with_capacity`] each tier evicts its least
+/// recently used entry once it holds more than `cap` entries, bounding
+/// resident memory on long corpus runs; eviction counts surface in
+/// [`CacheStats`].
+#[derive(Debug)]
 pub struct MemoCache {
-    map: Mutex<HashMap<CacheKey, Annotated>>,
+    map: Mutex<Tier<Annotated>>,
     hits: AtomicU64,
     misses: AtomicU64,
-    verdicts: Mutex<HashMap<CacheKey, Verdict>>,
+    verdicts: Mutex<Tier<Verdict>>,
     verdict_hits: AtomicU64,
     verdict_misses: AtomicU64,
 }
 
+impl Default for MemoCache {
+    fn default() -> Self {
+        MemoCache::new()
+    }
+}
+
 impl MemoCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
-        MemoCache::default()
+        MemoCache::bounded(None)
     }
 
-    /// Current hit/miss/size counters for both tiers.
+    /// An empty cache holding at most `cap` entries **per tier**, evicting
+    /// least-recently-used entries beyond that.
+    pub fn with_capacity(cap: usize) -> Self {
+        MemoCache::bounded(Some(cap))
+    }
+
+    fn bounded(cap: Option<usize>) -> Self {
+        MemoCache {
+            map: Mutex::new(Tier::new(cap)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            verdicts: Mutex::new(Tier::new(cap)),
+            verdict_hits: AtomicU64::new(0),
+            verdict_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Current hit/miss/size/eviction counters for both tiers.
     pub fn stats(&self) -> CacheStats {
+        let (entries, evictions) = {
+            let t = self.map.lock().expect("cache poisoned");
+            (t.len() as u64, t.evictions)
+        };
+        let (verdict_entries, verdict_evictions) = {
+            let t = self.verdicts.lock().expect("cache poisoned");
+            (t.len() as u64, t.evictions)
+        };
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().expect("cache poisoned").len() as u64,
+            entries,
+            evictions,
             verdict_hits: self.verdict_hits.load(Ordering::Relaxed),
             verdict_misses: self.verdict_misses.load(Ordering::Relaxed),
-            verdict_entries: self.verdicts.lock().expect("cache poisoned").len() as u64,
+            verdict_entries,
+            verdict_evictions,
         }
     }
 }
 
 impl TransformerCache for MemoCache {
     fn get(&self, key: CacheKey) -> Option<Annotated> {
-        let found = self.map.lock().expect("cache poisoned").get(&key).cloned();
+        let found = self.map.lock().expect("cache poisoned").get(key);
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -100,16 +204,11 @@ impl TransformerCache for MemoCache {
         self.map
             .lock()
             .expect("cache poisoned")
-            .insert(key, value.clone());
+            .put(key, value.clone());
     }
 
     fn get_verdict(&self, key: CacheKey) -> Option<Verdict> {
-        let found = self
-            .verdicts
-            .lock()
-            .expect("cache poisoned")
-            .get(&key)
-            .cloned();
+        let found = self.verdicts.lock().expect("cache poisoned").get(key);
         match &found {
             Some(_) => self.verdict_hits.fetch_add(1, Ordering::Relaxed),
             None => self.verdict_misses.fetch_add(1, Ordering::Relaxed),
@@ -121,7 +220,7 @@ impl TransformerCache for MemoCache {
         self.verdicts
             .lock()
             .expect("cache poisoned")
-            .insert(key, verdict.clone());
+            .put(key, verdict.clone());
     }
 }
 
@@ -154,7 +253,7 @@ mod tests {
         // Cached and computed results are bit-identical.
         assert_eq!(a.pre.ops().len(), b.pre.ops().len());
         for (x, y) in a.pre.ops().iter().zip(b.pre.ops()) {
-            assert!(x.approx_eq(y, 0.0), "cached pre must be exact");
+            assert!(x.approx_eq(y.dense(), 0.0), "cached pre must be exact");
         }
     }
 
@@ -261,14 +360,80 @@ mod tests {
     }
 
     #[test]
+    fn lru_bound_evicts_oldest_and_counts() {
+        let cache = MemoCache::with_capacity(2);
+        let lib = OperatorLibrary::with_builtins();
+        let rankings = HashMap::new();
+        let mut registry = PredicateRegistry::new();
+        // Three distinct final comparisons: the verdict tier overflows a
+        // capacity of 2 and must evict exactly one entry.
+        for src in [
+            "{ Pp[q] }; [q] *= H; { P0[q] }",
+            "{ P0[q] }; [q] *= H; { Pp[q] }",
+            "{ Pm[q] }; [q] *= H; { P1[q] }",
+        ] {
+            let term = parse_proof_body(&["q"], src).unwrap();
+            verify_proof_term_with(
+                &term,
+                &lib,
+                VcOptions::default(),
+                &rankings,
+                &mut registry,
+                Some(&cache),
+            )
+            .unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.verdict_entries, 2, "{stats:?}");
+        assert_eq!(stats.verdict_evictions, 1, "{stats:?}");
+        // The evicted (oldest) query re-runs as a miss and re-enters.
+        let term = parse_proof_body(&["q"], "{ Pp[q] }; [q] *= H; { P0[q] }").unwrap();
+        verify_proof_term_with(
+            &term,
+            &lib,
+            VcOptions::default(),
+            &rankings,
+            &mut registry,
+            Some(&cache),
+        )
+        .unwrap();
+        let stats2 = cache.stats();
+        assert!(stats2.verdict_evictions >= 2, "{stats2:?}");
+        assert_eq!(stats2.verdict_entries, 2);
+    }
+
+    #[test]
+    fn lru_recency_is_updated_on_get() {
+        // Direct tier exercise: touch entry A, insert C into a cap-2 tier
+        // holding {A, B} — B (least recently used) must be the victim.
+        let mut tier: Tier<u32> = Tier::new(Some(2));
+        tier.put(1, 10);
+        tier.put(2, 20);
+        assert_eq!(tier.get(1), Some(10)); // A is now most recent
+        tier.put(3, 30);
+        assert_eq!(tier.len(), 2);
+        assert_eq!(tier.get(2), None, "LRU victim must be B");
+        assert_eq!(tier.get(1), Some(10));
+        assert_eq!(tier.get(3), Some(30));
+        assert_eq!(tier.evictions, 1);
+        // Overwriting an existing key neither grows nor evicts.
+        tier.put(3, 31);
+        assert_eq!(tier.len(), 2);
+        assert_eq!(tier.evictions, 1);
+        assert_eq!(tier.get(3), Some(31));
+    }
+
+    #[test]
     fn hit_rate_arithmetic() {
         let s = CacheStats {
             hits: 3,
             misses: 1,
             entries: 1,
+            evictions: 0,
             verdict_hits: 1,
             verdict_misses: 3,
             verdict_entries: 2,
+            verdict_evictions: 4,
         };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
         assert!((s.verdict_hit_rate() - 0.25).abs() < 1e-12);

@@ -18,6 +18,10 @@ pub struct BatchOptions {
     pub vc: VcOptions,
     /// Whether to share a [`MemoCache`] across the run.
     pub use_cache: bool,
+    /// Optional LRU bound (entries **per cache tier**); `None` leaves the
+    /// shared cache unbounded. Evictions are reported in
+    /// [`crate::CacheStats`].
+    pub cache_cap: Option<usize>,
 }
 
 impl Default for BatchOptions {
@@ -26,6 +30,7 @@ impl Default for BatchOptions {
             jobs: 0,
             vc: VcOptions::default(),
             use_cache: true,
+            cache_cap: None,
         }
     }
 }
@@ -56,7 +61,12 @@ impl BatchOptions {
 pub fn run_batch(corpus: &Corpus, options: &BatchOptions) -> BatchReport {
     let t0 = Instant::now();
     let workers = options.effective_workers(corpus.len());
-    let cache = options.use_cache.then(|| Arc::new(MemoCache::new()));
+    let cache = options.use_cache.then(|| {
+        Arc::new(match options.cache_cap {
+            Some(cap) => MemoCache::with_capacity(cap),
+            None => MemoCache::new(),
+        })
+    });
 
     let n = corpus.len();
     let mut slots: Vec<Option<JobReport>> = Vec::new();

@@ -107,15 +107,17 @@ impl BatchReport {
             Some(c) => {
                 let _ = writeln!(
                     out,
-                    "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \"hit_rate\": {:.4}, \
-                     \"verdict_hits\": {}, \"verdict_misses\": {}, \"verdict_entries\": {}, \"verdict_hit_rate\": {:.4}}},",
+                    "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \"evictions\": {}, \"hit_rate\": {:.4}, \
+                     \"verdict_hits\": {}, \"verdict_misses\": {}, \"verdict_entries\": {}, \"verdict_evictions\": {}, \"verdict_hit_rate\": {:.4}}},",
                     c.hits,
                     c.misses,
                     c.entries,
+                    c.evictions,
                     c.hit_rate(),
                     c.verdict_hits,
                     c.verdict_misses,
                     c.verdict_entries,
+                    c.verdict_evictions,
                     c.verdict_hit_rate()
                 );
             }
@@ -203,20 +205,22 @@ impl BatchReport {
         if let Some(c) = &self.cache {
             let _ = writeln!(
                 out,
-                "cache: {} hit(s), {} miss(es), {} entr{}, hit rate {:.1}%",
+                "cache: {} hit(s), {} miss(es), {} entr{}, {} eviction(s), hit rate {:.1}%",
                 c.hits,
                 c.misses,
                 c.entries,
                 if c.entries == 1 { "y" } else { "ies" },
+                c.evictions,
                 c.hit_rate() * 100.0
             );
             let _ = writeln!(
                 out,
-                "verdict cache: {} hit(s), {} miss(es), {} entr{}, hit rate {:.1}%",
+                "verdict cache: {} hit(s), {} miss(es), {} entr{}, {} eviction(s), hit rate {:.1}%",
                 c.verdict_hits,
                 c.verdict_misses,
                 c.verdict_entries,
                 if c.verdict_entries == 1 { "y" } else { "ies" },
+                c.verdict_evictions,
                 c.verdict_hit_rate() * 100.0
             );
         }
@@ -278,9 +282,11 @@ mod tests {
                 hits: 1,
                 misses: 3,
                 entries: 3,
+                evictions: 2,
                 verdict_hits: 3,
                 verdict_misses: 1,
                 verdict_entries: 1,
+                verdict_evictions: 0,
             }),
         }
     }
@@ -293,7 +299,9 @@ mod tests {
         assert!(json.contains("\\\"token\\\""), "{json}");
         assert!(json.contains("\\n"), "newlines escaped");
         assert!(json.contains("\"hit_rate\": 0.2500"));
+        assert!(json.contains("\"evictions\": 2"), "{json}");
         assert!(json.contains("\"verdict_hits\": 3"), "{json}");
+        assert!(json.contains("\"verdict_evictions\": 0"), "{json}");
         assert!(json.contains("\"verdict_hit_rate\": 0.7500"), "{json}");
         // Balanced braces/brackets (cheap structural sanity check).
         for (open, close) in [('{', '}'), ('[', ']')] {
@@ -315,6 +323,7 @@ mod tests {
         assert!(text.contains("1 verified"));
         assert!(text.contains("1 error"));
         assert!(text.contains("hit rate 25.0%"));
+        assert!(text.contains("2 eviction(s)"), "{text}");
         assert!(text.contains("verdict cache: 3 hit(s)"), "{text}");
         assert!(text.contains("hit rate 75.0%"), "{text}");
     }

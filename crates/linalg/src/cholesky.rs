@@ -68,6 +68,9 @@ pub fn is_psd(a: &CMat, tol: f64) -> bool {
     if n == 0 {
         return true;
     }
+    if let Some(min_diag) = diagonal_min(a) {
+        return min_diag >= -tol.max(1e-14 * a.max_abs());
+    }
     let mut shifted = a.hermitize();
     // Scale-aware shift: tol is treated as absolute but we never shift by
     // less than machine noise relative to the matrix magnitude.
@@ -91,6 +94,19 @@ pub fn is_psd(a: &CMat, tol: f64) -> bool {
 /// `O(d·r²)` work for a rank-`r` input — both common in the verifier,
 /// where predicates are low-rank projectors.
 pub fn pivoted_cholesky(a: &CMat, rank_tol: f64) -> Option<(CMat, Vec<usize>, usize)> {
+    pivoted_cholesky_capped(a, rank_tol, usize::MAX)
+}
+
+/// [`pivoted_cholesky`] with a **rank budget**: gives up (returns `None`)
+/// as soon as elimination would pass `max_rank` pivots with diagonal mass
+/// remaining, bounding the Schur updates at `O(d²·max_rank)`. The rank
+/// detector uses this so full-rank operators abort cheaply instead of
+/// paying the full `O(d³)` factorisation.
+pub(crate) fn pivoted_cholesky_capped(
+    a: &CMat,
+    rank_tol: f64,
+    max_rank: usize,
+) -> Option<(CMat, Vec<usize>, usize)> {
     if !a.is_square() {
         return None;
     }
@@ -130,6 +146,9 @@ pub fn pivoted_cholesky(a: &CMat, rank_tol: f64) -> Option<(CMat, Vec<usize>, us
             }
             return Some((l, perm, k));
         }
+        if k == max_rank {
+            return None; // rank budget exceeded with mass remaining
+        }
         if p != k {
             swap_sym(&mut w, k, p);
             perm.swap(k, p);
@@ -158,6 +177,36 @@ pub fn pivoted_cholesky(a: &CMat, rank_tol: f64) -> Option<(CMat, Vec<usize>, us
         }
     }
     Some((l, perm, d))
+}
+
+/// `Some(real diagonal)` when the matrix is **exactly** diagonal with
+/// real, non-NaN diagonal entries, else `None`. Shared by the PSD fast
+/// paths below and the low-rank factor detector: scaled identities,
+/// basis projectors and their differences — the dominant shapes once the
+/// wp pipeline runs factored — are decided in `O(d²)` through this
+/// instead of an `O(d³)` factorisation.
+pub(crate) fn exact_diagonal(a: &CMat) -> Option<Vec<f64>> {
+    let d = a.rows();
+    let mut diag = Vec::with_capacity(d);
+    for i in 0..d {
+        for j in 0..d {
+            let z = a[(i, j)];
+            if i == j {
+                if z.im != 0.0 || z.re.is_nan() {
+                    return None;
+                }
+                diag.push(z.re);
+            } else if !z.is_exact_zero() {
+                return None;
+            }
+        }
+    }
+    Some(diag)
+}
+
+/// Minimum entry of an exactly-diagonal matrix (see [`exact_diagonal`]).
+fn diagonal_min(a: &CMat) -> Option<f64> {
+    exact_diagonal(a).map(|d| d.iter().copied().fold(f64::INFINITY, f64::min))
 }
 
 /// Symmetric row+column swap of a hermitian working matrix.
@@ -189,6 +238,9 @@ pub fn is_psd_pivoted(a: &CMat, tol: f64) -> bool {
     let n = a.rows();
     if n == 0 {
         return true;
+    }
+    if let Some(min_diag) = diagonal_min(a) {
+        return min_diag >= -tol.max(1e-14 * a.max_abs());
     }
     let mut shifted = a.hermitize();
     let shift = tol.max(1e-14 * shifted.max_abs());
@@ -320,6 +372,29 @@ mod tests {
         assert!(is_partial_density(&rho, 1e-9));
         let too_big = CMat::identity(2);
         assert!(!is_partial_density(&too_big, 1e-9)); // trace 2 > 1
+    }
+
+    #[test]
+    fn diagonal_fast_path_matches_general_route() {
+        // Exactly diagonal inputs (scaled identities and their
+        // differences) take the O(d²) diagonal scan.
+        let pos = CMat::diag(&[cr(0.5), cr(0.25), cr(1e-12)]);
+        assert!(is_psd(&pos, 1e-9));
+        assert!(is_psd_pivoted(&pos, 1e-9));
+        let neg = CMat::diag(&[cr(0.5), cr(-0.1), cr(0.25)]);
+        assert!(!is_psd(&neg, 1e-9));
+        assert!(!is_psd_pivoted(&neg, 1e-9));
+        // Tiny negative within tolerance still passes.
+        let slack = CMat::diag(&[cr(1.0), cr(-1e-12)]);
+        assert!(is_psd(&slack, 1e-9));
+        assert!(is_psd_pivoted(&slack, 1e-9));
+        // A single off-diagonal entry falls back to the factorisation.
+        let mut off = pos.clone();
+        off[(0, 1)] = cr(0.1);
+        off[(1, 0)] = cr(0.1);
+        assert!(is_psd(&off, 1e-9));
+        let trap = CMat::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        assert!(!is_psd_pivoted(&trap, 1e-9));
     }
 
     #[test]

@@ -37,6 +37,7 @@
 mod cholesky;
 mod complex;
 mod eigen;
+mod factor;
 mod matrix;
 pub mod npy;
 mod tensor;
@@ -46,9 +47,13 @@ pub use cholesky::{
 };
 pub use complex::{c, cr, Complex, TOL};
 pub use eigen::{eigh, max_eigenvalue, min_eigenvalue, sqrtm_psd, Eigh, EighError};
+pub use factor::{
+    embed_factor, factor_recompress, gram, hconcat, low_rank_factor, FACTOR_RANK_RTOL,
+};
 pub use matrix::{CMat, CVec};
 pub use npy::{read_matrix, read_matrix_bytes, write_matrix, write_matrix_bytes, NpyError};
 pub use tensor::{
-    adjoint_conjugate_gate, apply_gate_left, apply_gate_right_adjoint, apply_gate_vec, bit_of,
-    conjugate_gate, embed, index_of_bits, partial_trace, permute_qubits,
+    adjoint_conjugate_gate, apply_gate_columns, apply_gate_left, apply_gate_right_adjoint,
+    apply_gate_vec, bit_of, conjugate_gate, deposit_bits, embed, index_of_bits, partial_trace,
+    permute_qubits,
 };

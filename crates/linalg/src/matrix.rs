@@ -572,14 +572,17 @@ impl CMat {
     /// Entries are rounded to `1/scale` before hashing, so matrices within
     /// about `1/scale` of each other in every entry receive equal keys.
     pub fn fingerprint(&self, scale: f64) -> u64 {
-        // FNV-1a over the quantised entries.
+        // FNV-1a-style mix over the quantised entries, one multiply per
+        // 64-bit word rather than per byte — fingerprinting is on the
+        // outline-rendering path for every intermediate predicate, so the
+        // 8× matters at 2ⁿ×2ⁿ sizes.
         let mut h: u64 = 0xcbf29ce484222325;
         let mut feed = |x: f64| {
             let q = (x * scale).round() as i64;
-            for b in q.to_le_bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x100000001b3);
-            }
+            h ^= q as u64;
+            h = h.wrapping_mul(0x100000001b3);
+            h ^= h >> 32;
+            h = h.wrapping_mul(0x100000001b3);
         };
         feed(self.rows as f64);
         feed(self.cols as f64);

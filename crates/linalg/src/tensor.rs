@@ -101,6 +101,15 @@ fn extract_sub_index(i: usize, positions: &[usize], n: usize) -> usize {
 }
 
 /// Deposits sub-index `x` into the `positions` bits of an otherwise-zero
+/// full index (`x`'s most significant bit maps to `positions[0]`). The
+/// public inverse of per-qubit [`bit_of`] extraction, used by the
+/// low-rank factor embeddings.
+#[inline]
+pub fn deposit_bits(x: usize, positions: &[usize], n: usize) -> usize {
+    deposit_sub_index(x, positions, n)
+}
+
+/// Deposits sub-index `x` into the `positions` bits of an otherwise-zero
 /// full index.
 #[inline]
 fn deposit_sub_index(x: usize, positions: &[usize], n: usize) -> usize {
@@ -197,6 +206,28 @@ pub fn apply_gate_vec(gate: &CMat, positions: &[usize], n: usize, v: &mut CVec) 
     let plan = GatePlan::new(positions, n);
     let mut gathered = vec![Complex::ZERO; plan.dk];
     plan.run(gate, v.as_mut_slice(), 0, 1, &mut gathered);
+}
+
+/// Left-multiplies an embedded gate into every **column** of a `2^n × r`
+/// matrix in place: `V ← G_S · V`. The columns are independent state
+/// vectors, so this is the tall-skinny-factor form of [`apply_gate_left`]
+/// (which requires a square matrix): `O(2ⁿ·2ᵏ·r)` — for a low-rank factor
+/// this replaces the `O(8ⁿ)` dense conjugation of the operator it
+/// represents.
+pub fn apply_gate_columns(gate: &CMat, positions: &[usize], n: usize, v: &mut CMat) {
+    let d = 1usize << n;
+    assert_eq!(v.rows(), d, "factor height mismatch");
+    validate_positions(positions, n);
+    assert_eq!(gate.rows(), 1usize << positions.len(), "gate size mismatch");
+    let r = v.cols();
+    if r == 0 {
+        return;
+    }
+    let plan = GatePlan::new(positions, n);
+    let mut gathered = vec![Complex::ZERO; plan.dk];
+    for j in 0..r {
+        plan.run(gate, v.as_mut_slice(), j, r, &mut gathered);
+    }
 }
 
 /// Left-multiplies an embedded gate into a `2^n × 2^n` matrix in place:
@@ -438,6 +469,34 @@ mod tests {
                 "positions {positions:?}"
             );
         }
+    }
+
+    #[test]
+    fn apply_gate_columns_matches_embed_per_column() {
+        let n = 3;
+        let d = 1 << n;
+        let v = CMat::from_fn(d, 3, |i, j| {
+            c((i + j) as f64 * 0.2, (i as f64 - j as f64) * 0.1)
+        });
+        for positions in [vec![1usize], vec![0, 2], vec![2, 0]] {
+            let g = if positions.len() == 1 { h() } else { cx() };
+            let mut fast = v.clone();
+            apply_gate_columns(&g, &positions, n, &mut fast);
+            let big = embed(&g, &positions, n);
+            for j in 0..3 {
+                let slow = big.mul_vec(&v.col(j));
+                for i in 0..d {
+                    assert!(
+                        fast[(i, j)].approx_eq(slow.as_slice()[i], 1e-10),
+                        "positions {positions:?} col {j}"
+                    );
+                }
+            }
+        }
+        // Zero-width factors are a no-op.
+        let mut empty = CMat::zeros(d, 0);
+        apply_gate_columns(&h(), &[0], n, &mut empty);
+        assert_eq!(empty.cols(), 0);
     }
 
     #[test]

@@ -360,6 +360,49 @@ impl SuperOp {
         out
     }
 
+    /// Heisenberg-picture application on a **low-rank factor**: given
+    /// `M = V·V†` with `V` a tall-skinny `dim×r` matrix, returns a factor
+    /// `W` with `E†(M) = W·W†` — the column blocks `Kᵢ†·V`, one per Kraus
+    /// operator, mapped through the strided local kernels at
+    /// `O(2ⁿ·2ᵏ·r)` per Kraus instead of the `O(4ⁿ·2ᵏ)` dense
+    /// conjugation (for a full-width unitary this degenerates to the
+    /// single `2ⁿ×r` GEMM `U†·V`, `O(4ⁿ·r)` vs `O(8ⁿ)`).
+    ///
+    /// The width grows to `r·kraus_len()`; callers re-truncate with
+    /// [`nqpv_linalg::factor_recompress`] when the map branches (Init,
+    /// measurement sums). Maps whose Kraus count scales with the
+    /// dimension (a full-register initialiser) are better served by
+    /// structure-aware callers — see `nqpv_core::Assertion`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factor height is not `dim`.
+    pub fn apply_heisenberg_factor(&self, v: &CMat) -> CMat {
+        assert_eq!(v.rows(), self.dim, "factor height mismatch");
+        let r = v.cols();
+        if self.positions.is_empty() {
+            // Scalar footprint: E†(VV†) = (Σ|k|²)·VV†.
+            let w: f64 = self.kraus.iter().map(|k| k[(0, 0)].norm_sqr()).sum();
+            return v.scale_re(w.sqrt());
+        }
+        let mut out = CMat::zeros(self.dim, r * self.kraus.len());
+        for (b, k) in self.kraus.iter().enumerate() {
+            let mut block = v.clone();
+            nqpv_linalg::apply_gate_columns(
+                &k.adjoint(),
+                &self.positions,
+                self.n_qubits,
+                &mut block,
+            );
+            for i in 0..self.dim {
+                for j in 0..r {
+                    out[(i, b * r + j)] = block[(i, j)];
+                }
+            }
+        }
+        out
+    }
+
     /// The adjoint super-operator `E†` as an explicit object (Kraus
     /// operators conjugate-transposed, same footprint). Note `E†` is
     /// generally not trace-nonincreasing.
@@ -835,6 +878,35 @@ mod tests {
             slow += &k.adjoint_conjugate(&m);
         }
         assert!(fast.approx_eq(&slow, 1e-10));
+    }
+
+    #[test]
+    fn heisenberg_factor_matches_dense_heisenberg() {
+        let mut seed = 4242u64;
+        // Unitary on a reversed, non-contiguous footprint of 4 qubits.
+        let e = SuperOp::from_unitary(&gates::cx()).embed(&[3, 1], 4);
+        let v = CMat::from_fn(16, 2, |i, j| {
+            c(
+                (i as f64 * 0.3 + j as f64).sin(),
+                (i as f64 - j as f64).cos(),
+            )
+        });
+        let w = e.apply_heisenberg_factor(&v);
+        assert_eq!(w.cols(), 2); // one Kraus operator: width unchanged
+        let dense = e.apply_heisenberg(&v.mul(&v.adjoint()));
+        assert!(w.mul(&w.adjoint()).approx_eq(&dense, 1e-9));
+        // A branching map (measurement): width doubles, operator agrees.
+        let m = SuperOp::from_measurement(&Measurement::computational()).embed(&[2], 4);
+        let wm = m.apply_heisenberg_factor(&v);
+        assert_eq!(wm.cols(), 4);
+        let dense_m = m.apply_heisenberg(&v.mul(&v.adjoint()));
+        assert!(wm.mul(&wm.adjoint()).approx_eq(&dense_m, 1e-9));
+        // Empty footprint (scaled identity map).
+        let s = SuperOp::identity(16).scale(0.25);
+        let ws = s.apply_heisenberg_factor(&v);
+        let dense_s = s.apply_heisenberg(&v.mul(&v.adjoint()));
+        assert!(ws.mul(&ws.adjoint()).approx_eq(&dense_s, 1e-9));
+        let _ = random_density(1, &mut seed);
     }
 
     #[test]

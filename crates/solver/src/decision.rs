@@ -440,6 +440,66 @@ pub fn lowner_le_eps(m: &CMat, n: &CMat, eps: f64) -> bool {
     is_psd_pivoted(&n.sub_mat(m), eps)
 }
 
+/// Rank-aware Löwner comparison on **factored** operators: decides
+/// `Vm·Vm† ⊑ Vn·Vn†` within `ε` through an `(r_m+r_n)`-dimensional Gram
+/// eigenproblem, never materialising either `d×d` operator.
+///
+/// The difference `D = VnVn† − VmVm†` vanishes on the orthogonal
+/// complement of `span[Vn | Vm]`, so `D ⪰ −ε·I` iff its compression onto
+/// an orthonormal basis `Q` of that span is. With `J = [Vn | Vm]`,
+/// `G = J†J = U·Λ·U†` and `Q = J·U₊·Λ₊^{-1/2}`, the compressed difference
+/// is `S = A·A† − B·B†` where `A = Λ₊^{-1/2}·U₊†·(J†Vn)` and `B` likewise
+/// for `Vm` — and `J†Vn`/`J†Vm` are just the column blocks of `G`. Total
+/// cost `O(d·(r_m+r_n)²)` plus small-matrix eigenproblems, against the
+/// `O(d³)` dense pivoted-Cholesky route this fast path runs ahead of.
+///
+/// # Panics
+///
+/// Panics if the factor heights differ.
+pub fn factored_lowner_le(vm: &CMat, vn: &CMat, eps: f64) -> bool {
+    assert_eq!(vm.rows(), vn.rows(), "factor height mismatch");
+    let (rn, rm) = (vn.cols(), vm.cols());
+    let m_tot = rn + rm;
+    if m_tot == 0 {
+        return true; // 0 ⊑ 0
+    }
+    let j = nqpv_linalg::hconcat(vn, vm);
+    let g = nqpv_linalg::gram(&j, &j);
+    let Ok(e) = nqpv_linalg::eigh(&g) else {
+        return false; // NaN/Inf factors: refuse to certify
+    };
+    let lmax = e.values.last().copied().unwrap_or(0.0).max(0.0);
+    let cut = 1e-14 * lmax.max(1e-300);
+    let kept: Vec<usize> = (0..m_tot).filter(|&i| e.values[i] > cut).collect();
+    if kept.is_empty() {
+        return true; // both operators are numerically zero
+    }
+    let p = kept.len();
+    // A = Λ₊^{-1/2}·U₊†·G[:, 0..rn], B = Λ₊^{-1/2}·U₊†·G[:, rn..].
+    let mut a = CMat::zeros(p, rn);
+    let mut b = CMat::zeros(p, rm);
+    for (row, &src) in kept.iter().enumerate() {
+        let inv_sqrt = 1.0 / e.values[src].sqrt();
+        for col in 0..m_tot {
+            let mut acc = nqpv_linalg::Complex::ZERO;
+            for t in 0..m_tot {
+                acc += e.vectors[(t, src)].conj() * g[(t, col)];
+            }
+            let val = acc.scale(inv_sqrt);
+            if col < rn {
+                a[(row, col)] = val;
+            } else {
+                b[(row, col - rn)] = val;
+            }
+        }
+    }
+    let s = a.mul(&a.adjoint()).sub_mat(&b.mul(&b.adjoint()));
+    match nqpv_linalg::eigh(&s) {
+        Ok(es) => es.min() >= -eps,
+        Err(_) => false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -683,6 +743,68 @@ mod tests {
         match v2 {
             Verdict::Violated(viol) => assert!(viol.margin > 0.9),
             other => panic!("expected violation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn factored_fast_path_agrees_with_dense_on_projectors() {
+        // |1⟩⟨1| ⊑ I (factor of I is I itself) and the strict converse fails.
+        let v1 = CMat::from_real(4, 1, &[0.0, 1.0, 0.0, 0.0]);
+        let vi = CMat::identity(4);
+        assert!(factored_lowner_le(&v1, &vi, 1e-9));
+        assert!(!factored_lowner_le(&vi, &v1, 1e-9));
+        // Reflexivity, including through a different factor of the same
+        // operator (V vs V·unitary-phase).
+        assert!(factored_lowner_le(&v1, &v1, 1e-12));
+        let v1_phase = v1.scale(c(0.0, 1.0));
+        assert!(factored_lowner_le(&v1, &v1_phase, 1e-12));
+        assert!(factored_lowner_le(&v1_phase, &v1, 1e-12));
+        // Disjoint rank-1 projectors are incomparable.
+        let v0 = CMat::from_real(4, 1, &[1.0, 0.0, 0.0, 0.0]);
+        assert!(!factored_lowner_le(&v0, &v1, 1e-9));
+        // Zero-width factors: 0 ⊑ anything, and I ⋢ 0.
+        let empty = CMat::zeros(4, 0);
+        assert!(factored_lowner_le(&empty, &v1, 1e-9));
+        assert!(factored_lowner_le(&empty, &empty, 1e-9));
+        assert!(!factored_lowner_le(&vi, &empty, 1e-9));
+    }
+
+    #[test]
+    fn factored_fast_path_agrees_with_dense_on_random_factors() {
+        let mut seed = 0xFACEDu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        for trial in 0..40 {
+            let d = 8usize;
+            let rm = 1 + trial % 3;
+            let rn = 1 + (trial / 3) % 3;
+            let vm = CMat::from_fn(d, rm, |_, _| c(next() * 0.5, next() * 0.5));
+            let vn = CMat::from_fn(d, rn, |_, _| c(next() * 0.5, next() * 0.5));
+            let dense_m = vm.mul(&vm.adjoint());
+            let dense_n = vn.mul(&vn.adjoint());
+            let diff = dense_n.sub_mat(&dense_m);
+            let min = nqpv_linalg::eigh(&diff).unwrap().min();
+            // Only compare away from the tolerance boundary.
+            if min.abs() > 1e-7 {
+                assert_eq!(
+                    factored_lowner_le(&vm, &vn, 1e-9),
+                    min >= -1e-9,
+                    "trial {trial}: min eig {min}"
+                );
+                assert_eq!(
+                    factored_lowner_le(&vm, &vn, 1e-9),
+                    lowner_le_eps(&dense_m, &dense_n, 1e-9),
+                    "trial {trial}: fast path disagrees with pivoted Cholesky"
+                );
+            }
+            // A guaranteed-holding instance: M ⊑ M + WW†.
+            let w = CMat::from_fn(d, 1, |_, _| c(next(), next()));
+            let vn_sup = nqpv_linalg::hconcat(&vm, &w);
+            assert!(factored_lowner_le(&vm, &vn_sup, 1e-9), "trial {trial}");
         }
     }
 

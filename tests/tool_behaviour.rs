@@ -211,6 +211,8 @@ fn cli_usage_and_exit_codes() {
         vec!["batch"],
         vec!["batch", "--jobs", "examples/corpus"],
         vec!["batch", "--jobs", "0", "examples/corpus"],
+        vec!["batch", "--cache-cap", "examples/corpus"],
+        vec!["batch", "--cache-cap", "0", "examples/corpus"],
     ] {
         let out = run_nqpv(&bad).expect("binary available");
         assert_eq!(out.status.code(), Some(2), "nqpv {bad:?} must exit 2");
@@ -312,4 +314,47 @@ fn cli_batch_verifies_the_corpus_in_parallel() {
     // Corpus-level failures are usage-style errors: exit 2.
     let nodir = run_nqpv(&["batch", "examples/no_such_dir"]).unwrap();
     assert_eq!(nodir.status.code(), Some(2));
+}
+
+#[test]
+fn cli_batch_cache_cap_bounds_and_reports_evictions() {
+    // A 1-entry-per-tier LRU over the manifest corpus: verdicts are
+    // unchanged, eviction counters surface in both report formats.
+    let Some(capped) = run_nqpv(&[
+        "batch",
+        "examples/corpus/manifest.txt",
+        "--jobs",
+        "1",
+        "--cache-cap",
+        "1",
+        "--json",
+    ]) else {
+        return;
+    };
+    assert_eq!(
+        capped.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&capped.stderr)
+    );
+    let json = String::from_utf8_lossy(&capped.stdout);
+    assert!(json.contains("\"evictions\":"), "{json}");
+    assert!(json.contains("\"verdict_evictions\":"), "{json}");
+    // The tier never exceeds the cap.
+    assert!(
+        json.contains("\"entries\": 1") || json.contains("\"entries\": 0"),
+        "{json}"
+    );
+    // Human summary carries the eviction counts too.
+    let human = run_nqpv(&[
+        "batch",
+        "examples/corpus/manifest.txt",
+        "--jobs",
+        "1",
+        "--cache-cap",
+        "1",
+    ])
+    .unwrap();
+    let summary = String::from_utf8_lossy(&human.stdout);
+    assert!(summary.contains("eviction(s)"), "{summary}");
 }
