@@ -6,17 +6,22 @@
 //! nqpv show FILE.nqpv NAME   verify FILE, then print the named artifact
 //! nqpv check FILE.nqpv       parse only; report syntax errors
 //! nqpv batch DIR             verify every .nqpv under DIR in parallel
+//! nqpv serve --addr H:P      run the verification daemon (NDJSON/TCP)
+//! nqpv client ADDR CMD …     talk to a running daemon
 //! nqpv ops                   list the built-in operator library
 //! ```
 //!
 //! Exit code 0 = everything verified; 1 = a proof was rejected (or, for
-//! `batch`, any job failed); 2 = usage/parse/structural error.
+//! `batch`/`client submit`, any job failed); 2 = usage/parse/structural
+//! error.
 
 use nqpv_core::{Session, VcOptions};
-use nqpv_engine::{run_batch, BatchOptions, Corpus};
+use nqpv_engine::{run_batch, BatchOptions, Corpus, DiskCache};
 use nqpv_lang::parse_source;
+use nqpv_service::{serve_blocking, Client, Event, Request, ServeOptions};
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,6 +36,8 @@ fn main() -> ExitCode {
         Some("show") if args.len() == 3 => cmd_verify(&args[1], Some(&args[2]), infer),
         Some("check") if args.len() == 2 => cmd_check(&args[1]),
         Some("batch") => cmd_batch(&args[1..], infer),
+        Some("serve") => cmd_serve(&args[1..], infer),
+        Some("client") => cmd_client(&args[1..]),
         Some("ops") => cmd_ops(),
         _ => usage(),
     }
@@ -38,7 +45,7 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  nqpv verify [--infer] FILE.nqpv\n  nqpv show [--infer] FILE.nqpv NAME\n  nqpv check FILE.nqpv\n  nqpv batch [--infer] [--jobs N] [--json] [--no-cache] [--cache-cap N] DIR|MANIFEST\n  nqpv ops\n\n  --infer        attempt wlp-fixpoint invariant inference for\n                 while loops lacking an inv: annotation\n  --jobs N       batch worker threads (default: available cores)\n  --json         print the batch report as JSON instead of a summary\n  --no-cache     disable the shared wp memo cache\n  --cache-cap N  bound each cache tier to N entries (LRU eviction;\n                 eviction counts appear in the report)"
+        "usage:\n  nqpv verify [--infer] FILE.nqpv\n  nqpv show [--infer] FILE.nqpv NAME\n  nqpv check FILE.nqpv\n  nqpv batch [--infer] [--jobs N] [--json] [--no-cache] [--cache-cap N]\n             [--cache-dir DIR] [--no-bin] DIR|MANIFEST\n  nqpv serve --addr HOST:PORT [--infer] [--jobs N] [--no-cache]\n             [--cache-cap N] [--cache-dir DIR]\n  nqpv client ADDR submit [--priority N] PATH…   submit + stream verdicts\n  nqpv client ADDR watch                         stream every job event\n  nqpv client ADDR stats|ping|shutdown\n  nqpv ops\n\n  --infer        attempt wlp-fixpoint invariant inference for\n                 while loops lacking an inv: annotation\n  --jobs N       worker threads (default: available cores)\n  --json         print the batch report as JSON instead of a summary\n  --no-cache     disable the shared wp memo cache\n  --cache-cap N  bound each cache tier to N entries (LRU eviction;\n                 eviction counts appear in the report)\n  --cache-dir D  persist solver verdicts under D (survives restarts,\n                 shared between batch runs and the daemon)\n  --no-bin       disable verdict-cache affinity scheduling\n  --priority N   scheduling priority for submitted jobs (higher first)"
     );
     ExitCode::from(2)
 }
@@ -116,43 +123,51 @@ fn cmd_verify(path: &str, show: Option<&str>, infer: bool) -> ExitCode {
     }
 }
 
+/// Parses the positive-integer argument of `flag`.
+fn positive_arg(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<usize, ExitCode> {
+    match it.next().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n > 0 => Ok(n),
+        _ => {
+            eprintln!("error: {flag} expects a positive integer");
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
 /// `nqpv batch [--infer] [--jobs N] [--json] [--no-cache] [--cache-cap N]
-/// DIR|MANIFEST` — load a corpus (directory of `.nqpv` files, or a
-/// manifest listing them) and verify it on a worker pool with a shared
-/// (optionally LRU-bounded) wp memo cache.
+/// [--cache-dir DIR] [--no-bin] DIR|MANIFEST` — load a corpus (directory
+/// of `.nqpv` files, or a manifest listing them) and verify it on a
+/// worker pool with a shared (optionally LRU-bounded, optionally
+/// disk-persistent) wp memo cache and verdict-affinity scheduling.
 fn cmd_batch(rest: &[String], infer: bool) -> ExitCode {
     let mut jobs: usize = 0;
     let mut json = false;
     let mut use_cache = true;
+    let mut bin_jobs = true;
     let mut cache_cap: Option<usize> = None;
+    let mut cache_dir: Option<&str> = None;
     let mut target: Option<&str> = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--jobs" => {
-                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
-                    eprintln!("error: --jobs expects a positive integer");
+            "--jobs" => match positive_arg(&mut it, "--jobs") {
+                Ok(n) => jobs = n,
+                Err(code) => return code,
+            },
+            "--cache-cap" => match positive_arg(&mut it, "--cache-cap") {
+                Ok(n) => cache_cap = Some(n),
+                Err(code) => return code,
+            },
+            "--cache-dir" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("error: --cache-dir expects a directory");
                     return ExitCode::from(2);
                 };
-                if n == 0 {
-                    eprintln!("error: --jobs expects a positive integer");
-                    return ExitCode::from(2);
-                }
-                jobs = n;
-            }
-            "--cache-cap" => {
-                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
-                    eprintln!("error: --cache-cap expects a positive integer");
-                    return ExitCode::from(2);
-                };
-                if n == 0 {
-                    eprintln!("error: --cache-cap expects a positive integer");
-                    return ExitCode::from(2);
-                }
-                cache_cap = Some(n);
+                cache_dir = Some(dir);
             }
             "--json" => json = true,
             "--no-cache" => use_cache = false,
+            "--no-bin" => bin_jobs = false,
             other if other.starts_with('-') => {
                 eprintln!("error: unknown batch flag '{other}'");
                 return usage();
@@ -168,6 +183,16 @@ fn cmd_batch(rest: &[String], infer: bool) -> ExitCode {
     let Some(target) = target else {
         eprintln!("error: batch expects a DIR or MANIFEST");
         return usage();
+    };
+    let disk = match cache_dir {
+        Some(dir) if use_cache => match DiskCache::open(dir) {
+            Ok(d) => Some(Arc::new(d)),
+            Err(e) => {
+                eprintln!("error: opening verdict cache: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        _ => None,
     };
     let path = Path::new(target);
     let corpus = if path.is_dir() {
@@ -188,6 +213,8 @@ fn cmd_batch(rest: &[String], infer: bool) -> ExitCode {
             jobs,
             use_cache,
             cache_cap,
+            disk,
+            bin_jobs,
             vc: VcOptions {
                 infer_invariants: infer,
                 ..VcOptions::default()
@@ -204,6 +231,202 @@ fn cmd_batch(rest: &[String], infer: bool) -> ExitCode {
     } else {
         ExitCode::from(1)
     }
+}
+
+/// `nqpv serve --addr HOST:PORT [--infer] [--jobs N] [--no-cache]
+/// [--cache-cap N] [--cache-dir DIR]` — run the verification daemon
+/// until a protocol `shutdown` request arrives.
+fn cmd_serve(rest: &[String], infer: bool) -> ExitCode {
+    let mut opts = ServeOptions {
+        vc: VcOptions {
+            infer_invariants: infer,
+            ..VcOptions::default()
+        },
+        ..ServeOptions::default()
+    };
+    let mut addr: Option<&str> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                let Some(a) = it.next() else {
+                    eprintln!("error: --addr expects HOST:PORT");
+                    return ExitCode::from(2);
+                };
+                addr = Some(a);
+            }
+            "--jobs" => match positive_arg(&mut it, "--jobs") {
+                Ok(n) => opts.jobs = n,
+                Err(code) => return code,
+            },
+            "--cache-cap" => match positive_arg(&mut it, "--cache-cap") {
+                Ok(n) => opts.cache_cap = Some(n),
+                Err(code) => return code,
+            },
+            "--cache-dir" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("error: --cache-dir expects a directory");
+                    return ExitCode::from(2);
+                };
+                opts.cache_dir = Some(dir.into());
+            }
+            "--no-cache" => opts.use_cache = false,
+            other => {
+                eprintln!("error: unknown serve flag '{other}'");
+                return usage();
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("error: serve requires --addr HOST:PORT");
+        return usage();
+    };
+    opts.addr = addr.to_string();
+    match serve_blocking(opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `nqpv client ADDR submit|watch|stats|ping|shutdown …` — the daemon's
+/// command-line companion. Every received protocol line is echoed to
+/// stdout verbatim (NDJSON), so output is scriptable.
+fn cmd_client(rest: &[String]) -> ExitCode {
+    let (Some(addr), Some(cmd)) = (rest.first(), rest.get(1)) else {
+        eprintln!("error: client expects ADDR and a command");
+        return usage();
+    };
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: connecting to {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match cmd.as_str() {
+        "submit" => client_submit(&mut client, &rest[2..]),
+        "watch" => client_watch(&mut client),
+        "stats" => client_oneshot(&mut client, &Request::Stats),
+        "ping" => client_oneshot(&mut client, &Request::Ping),
+        // `Client::shutdown` tolerates the daemon closing the connection
+        // before the reply is read — that still means a successful stop.
+        "shutdown" => client.shutdown().map(|()| {
+            println!("{}", Event::ShuttingDown.to_line());
+            ExitCode::SUCCESS
+        }),
+        other => {
+            eprintln!("error: unknown client command '{other}'");
+            return usage();
+        }
+    };
+    match outcome {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Sends one request, echoes the reply line.
+fn client_oneshot(client: &mut Client, req: &Request) -> std::io::Result<ExitCode> {
+    let reply = client.request(req)?;
+    println!("{}", reply.to_line());
+    Ok(match reply {
+        Event::Error { .. } => ExitCode::from(2),
+        _ => ExitCode::SUCCESS,
+    })
+}
+
+/// `client ADDR submit [--priority N] PATH…` — submits each path (file,
+/// directory or manifest), then streams events until every accepted job
+/// has its verdict. Exit 0 iff all verified.
+fn client_submit(client: &mut Client, rest: &[String]) -> std::io::Result<ExitCode> {
+    let mut priority: i64 = 0;
+    let mut paths: Vec<&String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--priority" => {
+                let Some(p) = it.next().and_then(|v| v.parse::<i64>().ok()) else {
+                    eprintln!("error: --priority expects an integer");
+                    return Ok(ExitCode::from(2));
+                };
+                priority = p;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown submit flag '{other}'");
+                return Ok(ExitCode::from(2));
+            }
+            _ => paths.push(arg),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("error: submit expects at least one PATH");
+        return Ok(ExitCode::from(2));
+    }
+    let mut pending = std::collections::HashSet::new();
+    for path in paths {
+        // `.nqpv` files go up as single jobs; everything else —
+        // directories and manifests — goes up as a corpus, mirroring how
+        // `nqpv batch` treats its target. Extension-based so the
+        // decision also holds for daemon-side paths that don't exist on
+        // the client's filesystem.
+        let single = Path::new(path.as_str())
+            .extension()
+            .is_some_and(|x| x == "nqpv");
+        match client.submit_path(path, priority, !single) {
+            Ok(accepted) => {
+                let ids: Vec<String> = accepted
+                    .iter()
+                    .map(|(id, name)| format!("{{\"id\":{id},\"name\":{}}}", json_str(name)))
+                    .collect();
+                println!("{{\"event\":\"accepted\",\"jobs\":[{}]}}", ids.join(","));
+                pending.extend(accepted.into_iter().map(|(id, _)| id));
+            }
+            Err(e) => {
+                eprintln!("error: submitting '{path}': {e}");
+                return Ok(ExitCode::from(2));
+            }
+        }
+    }
+    let mut all_verified = true;
+    while !pending.is_empty() {
+        let Some(event) = client.next_event()? else {
+            eprintln!("error: daemon closed the connection early");
+            return Ok(ExitCode::from(2));
+        };
+        println!("{}", event.to_line());
+        if let Event::Verdict(v) = event {
+            if pending.remove(&v.id) && v.status != "verified" {
+                all_verified = false;
+            }
+        }
+    }
+    Ok(if all_verified {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+/// `client ADDR watch` — subscribes to everything and echoes events until
+/// the daemon goes away.
+fn client_watch(client: &mut Client) -> std::io::Result<ExitCode> {
+    let reply = client.request(&Request::Watch)?;
+    println!("{}", reply.to_line());
+    while let Some(event) = client.next_event()? {
+        println!("{}", event.to_line());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Minimal JSON string escaping for the `accepted` echo line.
+fn json_str(s: &str) -> String {
+    nqpv_service::proto::json_escape(s)
 }
 
 fn cmd_ops() -> ExitCode {

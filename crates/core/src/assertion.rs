@@ -50,16 +50,18 @@ const RANK_DETECT_TOL: f64 = 1e-9;
 pub struct Factor {
     v: CMat,
     dense: OnceLock<std::sync::Arc<CMat>>,
+    canonical: OnceLock<CMat>,
 }
 
 impl Clone for Factor {
     fn clone(&self) -> Self {
-        // The dense cache is intentionally dropped: clones travel through
-        // the memo cache, and `V·V†` is rebuilt deterministically (hence
-        // bit-identically) on demand.
+        // The dense and canonical caches are intentionally dropped: clones
+        // travel through the memo cache, and both forms are rebuilt
+        // deterministically (hence bit-identically) on demand.
         Factor {
             v: self.v.clone(),
             dense: OnceLock::new(),
+            canonical: OnceLock::new(),
         }
     }
 }
@@ -69,6 +71,7 @@ impl Factor {
         Factor {
             v,
             dense: OnceLock::new(),
+            canonical: OnceLock::new(),
         }
     }
 
@@ -85,6 +88,16 @@ impl Factor {
     /// The dense operator `V·V†`, materialised once and cached.
     pub fn dense(&self) -> &CMat {
         self.dense_shared()
+    }
+
+    /// The canonical (eigenbasis-phase-fixed) factor of `V·V†`, computed
+    /// once and cached: a function of the represented *operator*, not of
+    /// this particular factoring, so quantised hashes of it give
+    /// representation-independent verdict-cache keys (see
+    /// [`crate::cache::verdict_key`]).
+    pub fn canonical(&self) -> &CMat {
+        self.canonical
+            .get_or_init(|| nqpv_linalg::canonical_factor(&self.v))
     }
 
     fn dense_shared(&self) -> &std::sync::Arc<CMat> {

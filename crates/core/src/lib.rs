@@ -33,7 +33,10 @@ mod transformer;
 mod verifier;
 
 pub use assertion::{Assertion, Factor, Predicate};
-pub use cache::{CacheKey, TransformerCache};
+pub use cache::{
+    decode_verdict, encode_verdict, verdict_key, CacheKey, TransformerCache, VERDICT_KEY_SCHEMA,
+    VERDICT_TAG_INF, VERDICT_TAG_SUP,
+};
 pub use error::VerifError;
 pub use outline::{render_assertion, render_matrix, render_outline, PredicateRegistry};
 pub use ranking::{check_ranking, RankingCertificate};

@@ -1,0 +1,292 @@
+//! The persistent verdict store: a content-addressed on-disk cache that
+//! survives restarts and can be shared between machines.
+//!
+//! The ROADMAP's cross-run persistence item called for persisting the
+//! **verdict tier first**: solver verdicts are tiny (`Holds`, or a
+//! violation witness matrix), keyed purely by content
+//! ([`nqpv_core::verdict_key`] over canonical operator forms), and hit
+//! across corpora — not just within one run. [`DiskCache`] implements
+//! exactly that tier; it layers *under* [`crate::MemoCache`] (see
+//! [`crate::MemoCache::layered`]) so the in-memory tier absorbs repeat
+//! traffic and the disk is consulted once per distinct key per run.
+//!
+//! # Layout
+//!
+//! ```text
+//! <root>/
+//!   CACHE_VERSION            # layout + key-schema header, newline-terminated
+//!   verdicts/<kk>/<key>.nqv  # one record per verdict, sharded by the
+//!                            # top key byte; <key> is the 32-hex-digit
+//!                            # 128-bit content key
+//! ```
+//!
+//! Records are the self-validating byte format of
+//! [`nqpv_core::encode_verdict`] (magic, version, payload, FNV-1a
+//! checksum). Writes are **atomic**: the record lands in a unique
+//! temporary file first and is `rename`d into place, so concurrent
+//! writers (other threads, other processes, the daemon plus a batch run)
+//! can share a cache directory without torn records. Loads are
+//! **corruption-tolerant**: any unreadable, truncated, stale-versioned or
+//! checksum-failing record degrades to a miss.
+//!
+//! The `CACHE_VERSION` header pins both the directory layout and the
+//! verdict-key schema ([`nqpv_core::VERDICT_KEY_SCHEMA`]). Opening a
+//! cache written under a different schema fails loudly rather than
+//! silently mixing incompatible key spaces.
+
+use nqpv_core::{decode_verdict, encode_verdict, CacheKey, VERDICT_KEY_SCHEMA};
+use nqpv_solver::Verdict;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// On-disk layout version of [`DiskCache`].
+pub const DISK_LAYOUT_VERSION: u32 = 1;
+
+/// Counters for one process's view of a [`DiskCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiskStats {
+    /// Lookups answered from a valid on-disk record.
+    pub hits: u64,
+    /// Lookups that found no (valid) record.
+    pub misses: u64,
+    /// Records successfully persisted.
+    pub writes: u64,
+}
+
+/// A content-addressed, multi-process-safe verdict store rooted at a
+/// directory. See the module docs for layout and guarantees.
+#[derive(Debug)]
+pub struct DiskCache {
+    root: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    tmp_seq: AtomicU64,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) a verdict cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures creating the directory or header, and
+    /// [`io::ErrorKind::InvalidData`] when an existing header carries a
+    /// different layout or key-schema version — stale caches must be
+    /// removed (or pointed elsewhere) explicitly, never reinterpreted.
+    pub fn open<P: AsRef<Path>>(dir: P) -> io::Result<Self> {
+        let root = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(root.join("verdicts"))?;
+        let header = format!(
+            "nqpv-disk-cache layout {DISK_LAYOUT_VERSION} key-schema {VERDICT_KEY_SCHEMA}\n"
+        );
+        let version_file = root.join("CACHE_VERSION");
+        match std::fs::read_to_string(&version_file) {
+            Ok(existing) => {
+                if existing != header {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "verdict cache at '{}' was written under '{}' but this build \
+                             expects '{}'; delete the directory to rebuild it",
+                            root.display(),
+                            existing.trim(),
+                            header.trim()
+                        ),
+                    ));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                std::fs::write(&version_file, &header)?;
+            }
+            Err(e) => return Err(e),
+        }
+        Ok(DiskCache {
+            root,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            tmp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// This process's hit/miss/write counters.
+    pub fn stats(&self) -> DiskStats {
+        DiskStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of records currently on disk (a directory walk — test and
+    /// diagnostics helper, not a hot-path call).
+    pub fn record_count(&self) -> usize {
+        let mut n = 0;
+        if let Ok(shards) = std::fs::read_dir(self.root.join("verdicts")) {
+            for shard in shards.filter_map(Result::ok) {
+                if let Ok(entries) = std::fs::read_dir(shard.path()) {
+                    n += entries
+                        .filter_map(Result::ok)
+                        .filter(|e| e.path().extension().is_some_and(|x| x == "nqv"))
+                        .count();
+                }
+            }
+        }
+        n
+    }
+
+    fn record_path(&self, key: CacheKey) -> PathBuf {
+        let hex = format!("{key:032x}");
+        self.root
+            .join("verdicts")
+            .join(&hex[..2])
+            .join(format!("{hex}.nqv"))
+    }
+
+    /// Looks up a verdict record, tolerating every flavour of corruption
+    /// (missing shard, unreadable file, bad checksum) as a miss.
+    pub fn get(&self, key: CacheKey) -> Option<Verdict> {
+        let found = std::fs::read(self.record_path(key))
+            .ok()
+            .and_then(|bytes| decode_verdict(&bytes));
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Persists a verdict record via write-to-temporary + atomic rename.
+    /// Best-effort: I/O failures leave the cache without the record (a
+    /// future miss) but never a torn file.
+    pub fn put(&self, key: CacheKey, verdict: &Verdict) {
+        let path = self.record_path(key);
+        let Some(shard) = path.parent() else { return };
+        if std::fs::create_dir_all(shard).is_err() {
+            return;
+        }
+        // Unique within and across processes: pid + per-process counter.
+        let tmp = shard.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let bytes = encode_verdict(verdict);
+        if std::fs::write(&tmp, bytes).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
+            self.writes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nqpv_solver::Violation;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nqpv_engine_disk_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrips_across_instances() {
+        let dir = tmp("roundtrip");
+        let a = DiskCache::open(&dir).unwrap();
+        assert!(a.get(42).is_none());
+        a.put(42, &Verdict::Holds);
+        assert!(matches!(a.get(42), Some(Verdict::Holds)));
+        assert_eq!(
+            a.stats(),
+            DiskStats {
+                hits: 1,
+                misses: 1,
+                writes: 1
+            }
+        );
+        drop(a);
+        // A fresh instance (a "restart") sees the record.
+        let b = DiskCache::open(&dir).unwrap();
+        assert!(matches!(b.get(42), Some(Verdict::Holds)));
+        assert_eq!(b.record_count(), 1);
+        assert_eq!(b.stats().hits, 1);
+    }
+
+    #[test]
+    fn witness_records_survive() {
+        let dir = tmp("witness");
+        let cache = DiskCache::open(&dir).unwrap();
+        let v = Verdict::Violated(Violation {
+            index: 2,
+            witness: nqpv_linalg::CMat::identity(4).scale_re(0.25),
+            margin: 0.125,
+        });
+        cache.put(7, &v);
+        match cache.get(7) {
+            Some(Verdict::Violated(w)) => {
+                assert_eq!(w.index, 2);
+                assert_eq!(w.margin, 0.125);
+                assert!(w
+                    .witness
+                    .approx_eq(&nqpv_linalg::CMat::identity(4).scale_re(0.25), 0.0));
+            }
+            other => panic!("expected violation back, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_records_degrade_to_misses() {
+        let dir = tmp("corrupt");
+        let cache = DiskCache::open(&dir).unwrap();
+        cache.put(9, &Verdict::Holds);
+        let path = cache.record_path(9);
+        // Flip a payload byte.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(cache.get(9).is_none(), "corrupt record must be a miss");
+        // Truncated record.
+        std::fs::write(&path, &bytes[..4]).unwrap();
+        assert!(cache.get(9).is_none());
+        // Empty record.
+        std::fs::write(&path, b"").unwrap();
+        assert!(cache.get(9).is_none());
+    }
+
+    #[test]
+    fn version_mismatch_fails_loudly() {
+        let dir = tmp("version");
+        let _ = DiskCache::open(&dir).unwrap();
+        std::fs::write(
+            dir.join("CACHE_VERSION"),
+            "nqpv-disk-cache layout 0 key-schema 1\n",
+        )
+        .unwrap();
+        let err = DiskCache::open(&dir).expect_err("stale header must be rejected");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("key-schema"), "{err}");
+    }
+
+    #[test]
+    fn keys_shard_and_do_not_collide() {
+        let dir = tmp("shard");
+        let cache = DiskCache::open(&dir).unwrap();
+        for k in 0..64u128 {
+            cache.put(k << 120 | k, &Verdict::Holds); // distinct top bytes
+        }
+        assert_eq!(cache.record_count(), 64);
+        for k in 0..64u128 {
+            assert!(cache.get(k << 120 | k).is_some());
+        }
+        assert!(cache.get(u128::MAX).is_none());
+    }
+}

@@ -40,10 +40,15 @@
 
 mod cache;
 mod corpus;
+mod disk;
 mod pool;
 mod report;
 
 pub use cache::{CacheStats, MemoCache};
-pub use corpus::{Corpus, CorpusError, Job};
-pub use pool::{run_batch, BatchOptions};
+pub use corpus::{affinity_bin, Corpus, CorpusError, Job};
+pub use disk::{DiskCache, DiskStats, DISK_LAYOUT_VERSION};
+pub use pool::{
+    run_batch, run_job, run_pool, BatchOptions, BinnedCorpusSource, JobSource, PoolObserver,
+    SourcedJob,
+};
 pub use report::{BatchReport, JobReport, JobStatus, ProofReport};

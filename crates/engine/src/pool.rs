@@ -1,12 +1,23 @@
-//! The worker pool: verifies a corpus's jobs concurrently over a shared
-//! memo cache and assembles the batch report.
+//! The worker pool: pulls jobs from an injectable [`JobSource`], verifies
+//! them concurrently over a shared memo cache, and streams lifecycle
+//! callbacks to a [`PoolObserver`].
+//!
+//! [`run_batch`] is the classic fixed-corpus entry point: it wraps the
+//! corpus in a [`BinnedCorpusSource`] (verdict-cache-aware scheduling: jobs
+//! sharing an [`affinity bin`](crate::corpus::affinity_bin) run on one
+//! worker, so the bin's first member warms the verdict tier for the rest)
+//! and assembles the final [`BatchReport`]. Long-running drivers — the
+//! `nqpv-service` daemon — implement [`JobSource`] over a live queue
+//! instead and observe per-job events as they happen; the pool itself is
+//! indifferent to where jobs come from or when the source ends.
 
 use crate::cache::MemoCache;
 use crate::corpus::{Corpus, Job};
 use crate::report::{BatchReport, JobReport, JobStatus, ProofReport};
 use nqpv_core::{Session, VcOptions};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Configuration for a batch run.
@@ -22,6 +33,13 @@ pub struct BatchOptions {
     /// shared cache unbounded. Evictions are reported in
     /// [`crate::CacheStats`].
     pub cache_cap: Option<usize>,
+    /// Optional persistent verdict store layered under the shared cache
+    /// (see [`crate::DiskCache`]); ignored when `use_cache` is off.
+    pub disk: Option<Arc<crate::DiskCache>>,
+    /// Verdict-cache-aware scheduling: group jobs by affinity bin and run
+    /// each bin on a single worker (on by default). `false` restores
+    /// plain submission-order work stealing.
+    pub bin_jobs: bool,
 }
 
 impl Default for BatchOptions {
@@ -31,6 +49,8 @@ impl Default for BatchOptions {
             vc: VcOptions::default(),
             use_cache: true,
             cache_cap: None,
+            disk: None,
+            bin_jobs: true,
         }
     }
 }
@@ -51,6 +71,156 @@ impl BatchOptions {
     }
 }
 
+/// A scheduled job handed to a pool worker: the job plus the stable slot
+/// (submission order) its report is keyed by.
+#[derive(Debug, Clone)]
+pub struct SourcedJob {
+    /// Submission-order slot; reports are keyed by it.
+    pub seq: usize,
+    /// The job to verify.
+    pub job: Job,
+}
+
+/// Where pool workers pull their jobs from.
+///
+/// `run_batch` drains a fixed corpus through one; the service daemon
+/// implements it over a live priority queue whose `next` blocks until a
+/// job arrives or the daemon shuts down. Implementations must be safe to
+/// call from many worker threads at once.
+pub trait JobSource: Send + Sync {
+    /// Hands the next job to `worker`, or `None` to retire that worker.
+    /// May block while the source is live but momentarily empty.
+    fn next(&self, worker: usize) -> Option<SourcedJob>;
+}
+
+/// Lifecycle callbacks emitted by pool workers. All methods default to
+/// no-ops; implementations must be thread-safe (callbacks arrive
+/// concurrently from all workers).
+pub trait PoolObserver: Send + Sync {
+    /// A worker picked the job up and is about to verify it.
+    fn job_started(&self, seq: usize, job: &Job, worker: usize) {
+        let _ = (seq, job, worker);
+    }
+    /// The job finished; `report` carries verdict, timing, bin and worker.
+    fn job_finished(&self, seq: usize, report: &JobReport) {
+        let _ = (seq, report);
+    }
+}
+
+/// The batch-run observer: slots finished reports by sequence number.
+struct Collector {
+    slots: Mutex<Vec<Option<JobReport>>>,
+}
+
+impl PoolObserver for Collector {
+    fn job_finished(&self, seq: usize, report: &JobReport) {
+        self.slots.lock().expect("pool poisoned")[seq] = Some(report.clone());
+    }
+}
+
+/// Drives `workers` threads over `source` until it is drained, sharing
+/// `cache` across every job. Reports flow **only** through `observer` —
+/// nothing is buffered here, so a long-running driver (the service
+/// daemon) holds memory proportional to in-flight work, not to every
+/// job ever verified. Returns when the source retires all workers.
+pub fn run_pool(
+    source: &dyn JobSource,
+    workers: usize,
+    vc: VcOptions,
+    cache: Option<Arc<MemoCache>>,
+    observer: &dyn PoolObserver,
+) {
+    let workers = workers.max(1);
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let cache = cache.clone();
+            scope.spawn(move || {
+                while let Some(sourced) = source.next(w) {
+                    observer.job_started(sourced.seq, &sourced.job, w);
+                    let report = run_job(&sourced.job, vc, cache.clone(), w);
+                    observer.job_finished(sourced.seq, &report);
+                }
+            });
+        }
+    });
+}
+
+/// A drained-once job source over a fixed corpus with **verdict-cache
+/// affinity scheduling**: jobs are grouped by [`Job::bin`] (first-seen
+/// order) and a worker claims a whole bin at a time, running its members
+/// sequentially. The first member's solver verdicts become warm cache
+/// hits for its siblings instead of duplicate concurrent solver calls on
+/// other workers; unrelated bins still parallelise freely. With
+/// `binned = false` every job is its own group — plain work stealing.
+pub struct BinnedCorpusSource {
+    /// Job groups; each inner vec is one bin, in corpus first-seen order.
+    groups: Vec<Vec<SourcedJob>>,
+    next_group: AtomicUsize,
+    /// Per-worker tail of the group it last claimed.
+    pending: Vec<Mutex<VecDeque<SourcedJob>>>,
+}
+
+impl BinnedCorpusSource {
+    /// Groups `corpus` for `workers` workers. `binned = false` yields
+    /// singleton groups (pure work stealing).
+    pub fn new(corpus: &Corpus, workers: usize, binned: bool) -> Self {
+        let mut groups: Vec<Vec<SourcedJob>> = Vec::new();
+        let mut index: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for (seq, job) in corpus.jobs().iter().enumerate() {
+            let sourced = SourcedJob {
+                seq,
+                job: job.clone(),
+            };
+            if !binned {
+                groups.push(vec![sourced]);
+                continue;
+            }
+            match index.entry(job.bin) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    groups[*e.get()].push(sourced);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(groups.len());
+                    groups.push(vec![sourced]);
+                }
+            }
+        }
+        BinnedCorpusSource {
+            groups,
+            next_group: AtomicUsize::new(0),
+            pending: (0..workers.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of distinct scheduling groups (bins).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+impl JobSource for BinnedCorpusSource {
+    fn next(&self, worker: usize) -> Option<SourcedJob> {
+        let slot = &self.pending[worker % self.pending.len()];
+        if let Some(job) = slot.lock().expect("pool poisoned").pop_front() {
+            return Some(job);
+        }
+        loop {
+            // Claim the next unowned bin; its tail becomes this worker's
+            // private queue, so the whole bin runs here.
+            let g = self.next_group.fetch_add(1, Ordering::Relaxed);
+            let group = self.groups.get(g)?;
+            let mut mine: VecDeque<SourcedJob> = group.iter().cloned().collect();
+            let Some(first) = mine.pop_front() else {
+                continue;
+            };
+            *slot.lock().expect("pool poisoned") = mine;
+            return Some(first);
+        }
+    }
+}
+
 /// Verifies every job of `corpus` on a pool of
 /// [`BatchOptions::effective_workers`] threads, sharing one memo cache.
 ///
@@ -58,45 +228,28 @@ impl BatchOptions {
 /// each job runs in its own `Session`, and the shared cache is
 /// content-addressed with deterministic values, so interleaving only
 /// affects *when* an entry is first computed, never what it contains.
+/// Bin scheduling likewise only shapes *placement* — the report stays in
+/// corpus order.
 pub fn run_batch(corpus: &Corpus, options: &BatchOptions) -> BatchReport {
     let t0 = Instant::now();
     let workers = options.effective_workers(corpus.len());
-    let cache = options.use_cache.then(|| {
-        Arc::new(match options.cache_cap {
-            Some(cap) => MemoCache::with_capacity(cap),
-            None => MemoCache::new(),
-        })
-    });
+    let cache = options
+        .use_cache
+        .then(|| Arc::new(MemoCache::layered(options.cache_cap, options.disk.clone())));
 
     let n = corpus.len();
     let mut slots: Vec<Option<JobReport>> = Vec::new();
     slots.resize_with(n, || None);
+    let mut bins = 0;
 
     if n > 0 {
-        let next = AtomicUsize::new(0);
-        let (tx, rx) = std::sync::mpsc::channel::<(usize, JobReport)>();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let next = &next;
-                let tx = tx.clone();
-                let cache = cache.clone();
-                let vc = options.vc;
-                scope.spawn(move || loop {
-                    // Work-stealing by atomic counter: idle workers pull
-                    // the next unclaimed job index.
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let report = run_job(&corpus.jobs()[i], vc, cache.clone());
-                    let _ = tx.send((i, report));
-                });
-            }
-        });
-        drop(tx);
-        for (i, report) in rx {
-            slots[i] = Some(report);
-        }
+        let source = BinnedCorpusSource::new(corpus, workers, options.bin_jobs);
+        bins = source.group_count();
+        let collector = Collector {
+            slots: Mutex::new(slots),
+        };
+        run_pool(&source, workers, options.vc, cache.clone(), &collector);
+        slots = collector.slots.into_inner().expect("pool poisoned");
     }
 
     let jobs: Vec<JobReport> = slots
@@ -107,13 +260,19 @@ pub fn run_batch(corpus: &Corpus, options: &BatchOptions) -> BatchReport {
     BatchReport {
         jobs,
         workers,
+        bins,
         total_ms: t0.elapsed().as_secs_f64() * 1e3,
         cache: cache_stats,
     }
 }
 
 /// Runs one job in a fresh `Session` (sharing `cache` if provided).
-fn run_job(job: &Job, vc: VcOptions, cache: Option<Arc<MemoCache>>) -> JobReport {
+pub fn run_job(
+    job: &Job,
+    vc: VcOptions,
+    cache: Option<Arc<MemoCache>>,
+    worker: usize,
+) -> JobReport {
     let t0 = Instant::now();
     let mut session = Session::new()
         .with_options(vc)
@@ -146,6 +305,8 @@ fn run_job(job: &Job, vc: VcOptions, cache: Option<Arc<MemoCache>>) -> JobReport
         path: job.path.as_ref().map(|p| p.display().to_string()),
         status,
         ms: t0.elapsed().as_secs_f64() * 1e3,
+        bin: job.bin,
+        worker,
     }
 }
 
@@ -246,6 +407,50 @@ mod tests {
                 b.status.label(),
                 "{}: sequential and parallel runs must agree",
                 a.name
+            );
+        }
+    }
+
+    #[test]
+    fn bin_scheduling_co_locates_shared_obligations() {
+        // The two OK jobs share a bin (identical assertion vocabulary):
+        // with binning on they must land on the same worker, whatever the
+        // pool size. The report also surfaces the binning decision.
+        let report = run_batch(
+            &corpus(),
+            &BatchOptions {
+                jobs: 4,
+                ..BatchOptions::default()
+            },
+        );
+        let ok: Vec<_> = report
+            .jobs
+            .iter()
+            .filter(|j| j.name.starts_with("ok"))
+            .collect();
+        assert_eq!(ok.len(), 2);
+        assert_eq!(ok[0].bin, ok[1].bin, "identical sources share a bin");
+        assert_eq!(
+            ok[0].worker, ok[1].worker,
+            "bin members must run on one worker"
+        );
+        assert!(report.bins >= 3, "distinct obligations keep distinct bins");
+        assert!(report.bins < report.jobs.len(), "twins collapse a bin");
+        // Ablation: unbinned runs treat every job as its own group.
+        let plain = run_batch(
+            &corpus(),
+            &BatchOptions {
+                jobs: 4,
+                bin_jobs: false,
+                ..BatchOptions::default()
+            },
+        );
+        assert_eq!(plain.bins, plain.jobs.len());
+        for (a, b) in report.jobs.iter().zip(&plain.jobs) {
+            assert_eq!(
+                a.status.label(),
+                b.status.label(),
+                "binning is placement-only"
             );
         }
     }

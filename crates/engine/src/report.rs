@@ -57,6 +57,12 @@ pub struct JobReport {
     pub status: JobStatus,
     /// Wall-clock verification time in milliseconds.
     pub ms: f64,
+    /// Verdict-cache affinity bin (see
+    /// [`crate::corpus::affinity_bin`]) — the scheduler's binning
+    /// decision, surfaced so `--json` consumers can audit placement.
+    pub bin: u64,
+    /// Index of the pool worker that ran the job.
+    pub worker: usize,
 }
 
 /// The whole batch run.
@@ -66,6 +72,9 @@ pub struct BatchReport {
     pub jobs: Vec<JobReport>,
     /// Worker threads used.
     pub workers: usize,
+    /// Distinct scheduling groups the corpus collapsed into (equals the
+    /// job count when bin scheduling is off).
+    pub bins: usize,
     /// End-to-end wall time in milliseconds.
     pub total_ms: f64,
     /// Cache counters (`None` when caching was disabled).
@@ -102,13 +111,15 @@ impl BatchReport {
         let mut out = String::new();
         out.push_str("{\n");
         let _ = writeln!(out, "  \"workers\": {},", self.workers);
+        let _ = writeln!(out, "  \"bins\": {},", self.bins);
         let _ = writeln!(out, "  \"total_ms\": {:.3},", self.total_ms);
         match &self.cache {
             Some(c) => {
                 let _ = writeln!(
                     out,
                     "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \"evictions\": {}, \"hit_rate\": {:.4}, \
-                     \"verdict_hits\": {}, \"verdict_misses\": {}, \"verdict_entries\": {}, \"verdict_evictions\": {}, \"verdict_hit_rate\": {:.4}}},",
+                     \"verdict_hits\": {}, \"verdict_misses\": {}, \"verdict_entries\": {}, \"verdict_evictions\": {}, \"verdict_hit_rate\": {:.4}, \
+                     \"disk_hits\": {}, \"disk_misses\": {}, \"disk_writes\": {}}},",
                     c.hits,
                     c.misses,
                     c.entries,
@@ -118,7 +129,10 @@ impl BatchReport {
                     c.verdict_misses,
                     c.verdict_entries,
                     c.verdict_evictions,
-                    c.verdict_hit_rate()
+                    c.verdict_hit_rate(),
+                    c.disk_hits,
+                    c.disk_misses,
+                    c.disk_writes
                 );
             }
             None => out.push_str("  \"cache\": null,\n"),
@@ -135,6 +149,8 @@ impl BatchReport {
             }
             let _ = write!(out, ", \"status\": \"{}\"", job.status.label());
             let _ = write!(out, ", \"ms\": {:.3}", job.ms);
+            let _ = write!(out, ", \"bin\": \"{:016x}\"", job.bin);
+            let _ = write!(out, ", \"worker\": {}", job.worker);
             match &job.status {
                 JobStatus::Verified { proofs } | JobStatus::Rejected { proofs } => {
                     out.push_str(", \"proofs\": [");
@@ -194,12 +210,13 @@ impl BatchReport {
         }
         let _ = writeln!(
             out,
-            "---\n{} job(s): {} verified, {} rejected, {} error(s); {} worker(s), {:.3} ms total",
+            "---\n{} job(s): {} verified, {} rejected, {} error(s); {} worker(s), {} bin(s), {:.3} ms total",
             self.jobs.len(),
             self.verified_jobs(),
             self.rejected_jobs(),
             self.errored_jobs(),
             self.workers,
+            self.bins,
             self.total_ms
         );
         if let Some(c) = &self.cache {
@@ -223,6 +240,13 @@ impl BatchReport {
                 c.verdict_evictions,
                 c.verdict_hit_rate() * 100.0
             );
+            if c.disk_hits + c.disk_misses + c.disk_writes > 0 {
+                let _ = writeln!(
+                    out,
+                    "disk cache: {} hit(s), {} miss(es), {} write(s)",
+                    c.disk_hits, c.disk_misses, c.disk_writes
+                );
+            }
         }
         out
     }
@@ -266,6 +290,8 @@ mod tests {
                         }],
                     },
                     ms: 1.25,
+                    bin: 0xDEAD_BEEF,
+                    worker: 0,
                 },
                 JobReport {
                     name: "b".into(),
@@ -274,9 +300,12 @@ mod tests {
                         message: "line 1: unexpected \"token\"\nmore".into(),
                     },
                     ms: 0.5,
+                    bin: 0x1,
+                    worker: 1,
                 },
             ],
             workers: 2,
+            bins: 2,
             total_ms: 2.0,
             cache: Some(CacheStats {
                 hits: 1,
@@ -287,6 +316,9 @@ mod tests {
                 verdict_misses: 1,
                 verdict_entries: 1,
                 verdict_evictions: 0,
+                disk_hits: 5,
+                disk_misses: 2,
+                disk_writes: 2,
             }),
         }
     }
@@ -303,6 +335,11 @@ mod tests {
         assert!(json.contains("\"verdict_hits\": 3"), "{json}");
         assert!(json.contains("\"verdict_evictions\": 0"), "{json}");
         assert!(json.contains("\"verdict_hit_rate\": 0.7500"), "{json}");
+        assert!(json.contains("\"bins\": 2"), "{json}");
+        assert!(json.contains("\"bin\": \"00000000deadbeef\""), "{json}");
+        assert!(json.contains("\"worker\": 1"), "{json}");
+        assert!(json.contains("\"disk_hits\": 5"), "{json}");
+        assert!(json.contains("\"disk_writes\": 2"), "{json}");
         // Balanced braces/brackets (cheap structural sanity check).
         for (open, close) in [('{', '}'), ('[', ']')] {
             assert_eq!(
@@ -326,6 +363,11 @@ mod tests {
         assert!(text.contains("2 eviction(s)"), "{text}");
         assert!(text.contains("verdict cache: 3 hit(s)"), "{text}");
         assert!(text.contains("hit rate 75.0%"), "{text}");
+        assert!(text.contains("2 bin(s)"), "{text}");
+        assert!(
+            text.contains("disk cache: 5 hit(s), 2 miss(es), 2 write(s)"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -220,6 +220,159 @@ pub fn low_rank_factor(m: &CMat, tol: f64, max_rank: usize) -> Option<CMat> {
     Some(v)
 }
 
+/// Relative gap below which two descending Gram eigenvalues are treated
+/// as one degenerate cluster by [`canonical_factor`]. Far wider than the
+/// numerical noise between factorings of the same operator (~1e-12), far
+/// narrower than genuinely distinct spectra.
+pub const CANONICAL_CLUSTER_RTOL: f64 = 1e-8;
+
+/// A **canonical** factor of the operator `V·V†`: a function of the
+/// operator alone, not of the particular factoring `V` that represents
+/// it. Two factors `V`, `W` with `V·V† = W·W†` (up to numerical noise)
+/// map to entry-wise nearly identical outputs, so quantised hashes of the
+/// canonical form give representation-independent cache keys (see
+/// `nqpv-core`'s verdict cache).
+///
+/// Construction (eigenbasis-phase-fixed form):
+///
+/// 1. Diagonalise the `r×r` Gram matrix `V†V = U·Λ·U†`; the non-null
+///    eigenpairs give the spectral decomposition `V·V† = Σ λᵢ·bᵢbᵢ†`.
+/// 2. Group eigenvalues into degenerate clusters
+///    ([`CANONICAL_CLUSTER_RTOL`], descending order). Within a cluster
+///    the eigenbasis is arbitrary — only the eigen*space* is canonical.
+/// 3. Re-derive a canonical basis of each cluster subspace by projecting
+///    the standard basis vectors `e₀, e₁, …` onto it in index order and
+///    Gram–Schmidt-orthonormalising the survivors (column-pivoted QR of
+///    the spectral projector with a fixed pivot order).
+/// 4. Fix each basis vector's global phase by rotating its
+///    largest-modulus entry (lowest index on near-ties) to the positive
+///    real axis, and scale by `√λ̄` of the cluster.
+///
+/// Canonicalisation is best-effort at cluster/pivot/tie boundaries —
+/// a missed identification only costs a cache hit, never correctness —
+/// but exact in the common cases (projectors, scaled projectors, generic
+/// non-degenerate spectra). `O(d·r² + r³)` for the eigenstage plus
+/// `O(d·r)` per scanned pivot column; the scan stops after `r` accepts.
+pub fn canonical_factor(v: &CMat) -> CMat {
+    let d = v.rows();
+    let r = v.cols();
+    if r == 0 {
+        return v.clone();
+    }
+    let g = gram(v, v);
+    let e = match eigh(&g) {
+        Ok(e) => e,
+        // NaN/Inf factors cannot be canonicalised; hand back the input so
+        // the caller still gets *a* key (just not a representation-free
+        // one) and downstream checks surface the bad numbers.
+        Err(_) => return v.clone(),
+    };
+    let lmax = e.values.last().copied().unwrap_or(0.0);
+    // Zero (or NaN-poisoned) operator: canonical form is the empty factor.
+    if lmax.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return CMat::zeros(d, 0);
+    }
+    let cut = FACTOR_RANK_RTOL * lmax;
+    // Non-null eigenpairs, descending. `eigh` returns ascending order.
+    let kept: Vec<usize> = (0..r).rev().filter(|&i| e.values[i] > cut).collect();
+    // Orthonormal eigenbasis B = V·uᵢ/√λᵢ, one column per kept pair.
+    let mut basis = CMat::zeros(d, kept.len());
+    for (j, &src) in kept.iter().enumerate() {
+        let s = 1.0 / e.values[src].sqrt();
+        for i in 0..d {
+            let mut acc = Complex::ZERO;
+            for k in 0..r {
+                acc += v[(i, k)] * e.vectors[(k, src)];
+            }
+            basis[(i, j)] = acc * Complex::real(s);
+        }
+    }
+    let mut out = CMat::zeros(d, kept.len());
+    let mut col = 0usize;
+    let mut lo = 0usize;
+    while lo < kept.len() {
+        // Extend the cluster while the descending gap stays negligible.
+        let mut hi = lo + 1;
+        while hi < kept.len()
+            && e.values[kept[hi - 1]] - e.values[kept[hi]] <= CANONICAL_CLUSTER_RTOL * lmax
+        {
+            hi += 1;
+        }
+        let k = hi - lo;
+        let lam_mean = kept[lo..hi].iter().map(|&i| e.values[i]).sum::<f64>() / k as f64;
+        let scale = Complex::real(lam_mean.sqrt());
+        // Canonical orthonormal basis of the cluster subspace: project
+        // e_j (j ascending) onto the subspace, orthogonalise against the
+        // vectors already accepted for this cluster, keep the survivors.
+        let mut accepted = 0usize;
+        for j in 0..d {
+            if accepted == k {
+                break;
+            }
+            // p = B_c · (B_c† e_j); B_c† e_j is the conjugated j-th row.
+            let mut p = vec![Complex::ZERO; d];
+            for c_idx in lo..hi {
+                let w = basis[(j, c_idx)].conj();
+                if w.is_exact_zero() {
+                    continue;
+                }
+                for (i, pi) in p.iter_mut().enumerate() {
+                    *pi += basis[(i, c_idx)] * w;
+                }
+            }
+            // Two rounds of Gram–Schmidt against this cluster's accepted
+            // columns (re-orthogonalisation keeps the form stable).
+            for _ in 0..2 {
+                for a in (col - accepted)..col {
+                    let mut dot = Complex::ZERO;
+                    for i in 0..d {
+                        dot += out[(i, a)].conj() * p[i];
+                    }
+                    // Accepted columns carry norm √λ̄; normalise the dot.
+                    let dot = dot * Complex::real(1.0 / lam_mean);
+                    for i in 0..d {
+                        let sub = out[(i, a)] * dot;
+                        p[i] -= sub;
+                    }
+                }
+            }
+            let norm2: f64 = p.iter().map(|z| z.norm_sqr()).sum();
+            // Pivot threshold: components below √(rtol) of a unit vector
+            // are residual noise, not a new direction.
+            if norm2 <= 1e-12 {
+                continue;
+            }
+            // Phase fix: largest-modulus entry (lowest index on ties
+            // within 1e-9) rotated to the positive real axis.
+            let mut best = 0usize;
+            let mut best_abs = 0.0f64;
+            for (i, z) in p.iter().enumerate() {
+                let a = z.abs();
+                if a > best_abs * (1.0 + 1e-9) {
+                    best = i;
+                    best_abs = a;
+                }
+            }
+            let phase = p[best] * Complex::real(1.0 / best_abs);
+            let rot = phase.conj() * Complex::real(1.0 / norm2.sqrt());
+            for (i, z) in p.iter().enumerate() {
+                out[(i, col)] = *z * rot * scale;
+            }
+            accepted += 1;
+            col += 1;
+        }
+        // Numerically deficient pivot scans (accepted < k) simply yield a
+        // narrower canonical factor; the quantised hash stays a function
+        // of the operator.
+        lo = hi;
+    }
+    if col < out.cols() {
+        let trimmed = CMat::from_fn(d, col, |i, j| out[(i, j)]);
+        return trimmed;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +388,101 @@ mod tests {
             (*s as f64 / u64::MAX as f64) * 2.0 - 1.0
         };
         CMat::from_fn(d, r, |_, _| c(next(seed), next(seed)))
+    }
+
+    /// A Haar-ish random r×r unitary via Gram–Schmidt of a random matrix.
+    fn random_unitary(r: usize, seed: &mut u64) -> CMat {
+        let m = random_factor(r, r, seed);
+        let mut q = CMat::zeros(r, r);
+        for j in 0..r {
+            let mut col: Vec<Complex> = (0..r).map(|i| m[(i, j)]).collect();
+            for a in 0..j {
+                let mut dot = Complex::ZERO;
+                for i in 0..r {
+                    dot += q[(i, a)].conj() * col[i];
+                }
+                for (i, ci) in col.iter_mut().enumerate() {
+                    *ci -= q[(i, a)] * dot;
+                }
+            }
+            let n = col.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+            for (i, ci) in col.iter().enumerate() {
+                q[(i, j)] = ci.scale(1.0 / n);
+            }
+        }
+        q
+    }
+
+    #[test]
+    fn canonical_factor_is_representation_independent() {
+        // V and V·Q (Q unitary) represent the same operator V·V†: their
+        // canonical forms must agree entry-wise to high precision, even
+        // with a degenerate (projector) spectrum.
+        let mut seed = 41u64;
+        for r in [1usize, 2, 3] {
+            // Orthonormalise a random factor → rank-r projector (fully
+            // degenerate spectrum, the hard case for canonicalisation).
+            let raw = random_factor(8, r, &mut seed);
+            let v = {
+                let mut q = CMat::zeros(8, r);
+                let big = random_unitary(8, &mut seed);
+                for j in 0..r {
+                    for i in 0..8 {
+                        q[(i, j)] = big[(i, j)];
+                    }
+                }
+                q
+            };
+            let _ = raw;
+            let qmix = random_unitary(r, &mut seed);
+            let w = v.mul(&qmix);
+            let ca = canonical_factor(&v);
+            let cb = canonical_factor(&w);
+            assert_eq!(ca.cols(), cb.cols(), "rank {r}");
+            assert!(
+                ca.approx_eq(&cb, 1e-9),
+                "canonical forms of equivalent rank-{r} factors must agree"
+            );
+            // And the canonical form still represents the same operator.
+            assert!(ca.mul(&ca.adjoint()).approx_eq(&v.mul(&v.adjoint()), 1e-9));
+        }
+    }
+
+    #[test]
+    fn canonical_factor_distinct_spectra_and_phases() {
+        // Non-degenerate spectrum: 2·|ψ⟩⟨ψ| + 1·|φ⟩⟨φ| built from two
+        // different factor orderings/phases must canonicalise together.
+        let u = random_unitary(4, &mut { 77u64 });
+        let psi = u.col(0);
+        let phi = u.col(1);
+        let mk = |a: &CVec, sa: f64, b: &CVec, sb: f64, phase: Complex| {
+            CMat::from_fn(4, 2, |i, j| {
+                if j == 0 {
+                    a.as_slice()[i].scale(sa) * phase
+                } else {
+                    b.as_slice()[i].scale(sb)
+                }
+            })
+        };
+        let s2 = 2.0f64.sqrt();
+        let v = mk(&psi, s2, &phi, 1.0, Complex::ONE);
+        // Swapped column order and a phase on the first column.
+        let w = mk(&phi, 1.0, &psi, s2, Complex::I);
+        let ca = canonical_factor(&v);
+        let cb = canonical_factor(&w);
+        assert!(ca.approx_eq(&cb, 1e-9), "order/phase must not matter");
+        // Distinct operators must canonicalise apart.
+        let other = mk(&psi, 1.3, &phi, 1.0, Complex::ONE);
+        let cc = canonical_factor(&other);
+        assert!(!ca.approx_eq(&cc, 1e-6));
+    }
+
+    #[test]
+    fn canonical_factor_zero_and_empty() {
+        let z = canonical_factor(&CMat::zeros(4, 2));
+        assert_eq!(z.cols(), 0);
+        let e = canonical_factor(&CMat::zeros(4, 0));
+        assert_eq!(e.cols(), 0);
     }
 
     #[test]

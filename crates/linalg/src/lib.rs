@@ -48,7 +48,8 @@ pub use cholesky::{
 pub use complex::{c, cr, Complex, TOL};
 pub use eigen::{eigh, max_eigenvalue, min_eigenvalue, sqrtm_psd, Eigh, EighError};
 pub use factor::{
-    embed_factor, factor_recompress, gram, hconcat, low_rank_factor, FACTOR_RANK_RTOL,
+    canonical_factor, embed_factor, factor_recompress, gram, hconcat, low_rank_factor,
+    CANONICAL_CLUSTER_RTOL, FACTOR_RANK_RTOL,
 };
 pub use matrix::{CMat, CVec};
 pub use npy::{read_matrix, read_matrix_bytes, write_matrix, write_matrix_bytes, NpyError};

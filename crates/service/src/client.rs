@@ -1,0 +1,248 @@
+//! A small blocking client for the daemon's NDJSON protocol — the
+//! library behind `nqpv client`, and the harness the end-to-end tests
+//! drive the daemon with.
+
+use crate::proto::{Event, Request, VerdictEvent};
+use std::collections::HashSet;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected protocol client.
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    /// Job events that arrived while a synchronous reply was awaited —
+    /// replayed by [`Client::next_event`] in arrival order, so the
+    /// interleaved stream loses nothing.
+    buffered: std::collections::VecDeque<Event>,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // Requests are single small lines; Nagle batching would add
+        // ~40 ms gaps between pipelined submissions for nothing.
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            writer: stream,
+            reader,
+            buffered: std::collections::VecDeque::new(),
+        })
+    }
+
+    /// Sends a request line.
+    ///
+    /// # Errors
+    ///
+    /// Socket write failures.
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        self.writer.write_all(req.to_line().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Sends a raw protocol line verbatim — escape hatch for testing the
+    /// daemon's handling of malformed input.
+    ///
+    /// # Errors
+    ///
+    /// Socket write failures.
+    pub fn send_raw(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads the next raw protocol line (`None` on EOF).
+    ///
+    /// # Errors
+    ///
+    /// Socket read failures.
+    pub fn next_line(&mut self) -> io::Result<Option<String>> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Ok(None);
+            }
+            let trimmed = line.trim();
+            if !trimmed.is_empty() {
+                return Ok(Some(trimmed.to_string()));
+            }
+        }
+    }
+
+    /// Reads the next event (`None` on EOF): job events buffered during a
+    /// [`Client::request`] replay first, then the live stream.
+    ///
+    /// # Errors
+    ///
+    /// Socket read failures; protocol violations map to
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn next_event(&mut self) -> io::Result<Option<Event>> {
+        if let Some(e) = self.buffered.pop_front() {
+            return Ok(Some(e));
+        }
+        match self.next_line()? {
+            None => Ok(None),
+            Some(line) => Event::parse(&line)
+                .map(Some)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+        }
+    }
+
+    /// Sends `req` and returns the daemon's synchronous reply (request
+    /// replies are `accepted`/`stats`/`pong`/`watching`/`shutting_down`/
+    /// `error`). Asynchronous job events interleaved ahead of the reply
+    /// are buffered, not dropped — [`Client::next_event`] and
+    /// [`Client::wait_verdicts`] replay them in order.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures; unexpected EOF maps to
+    /// [`io::ErrorKind::UnexpectedEof`].
+    pub fn request(&mut self, req: &Request) -> io::Result<Event> {
+        self.send(req)?;
+        loop {
+            let Some(line) = self.next_line()? else {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "daemon closed the connection",
+                ));
+            };
+            let event =
+                Event::parse(&line).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            match event {
+                e @ (Event::Accepted { .. }
+                | Event::Stats { .. }
+                | Event::Pong
+                | Event::Watching
+                | Event::ShuttingDown
+                | Event::Error { .. }) => return Ok(e),
+                job_event => self.buffered.push_back(job_event),
+            }
+        }
+    }
+
+    /// Submits an inline source; returns the job id.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures, daemon-side rejections ([`io::ErrorKind::Other`]).
+    pub fn submit_source(&mut self, name: &str, source: &str, priority: i64) -> io::Result<u64> {
+        let ids = self.submit(&Request::Submit {
+            name: name.to_string(),
+            source: source.to_string(),
+            priority,
+        })?;
+        ids.first()
+            .map(|(id, _)| *id)
+            .ok_or_else(|| io::Error::other("daemon accepted no jobs"))
+    }
+
+    /// Submits a daemon-side path (file, directory or manifest); returns
+    /// accepted `(id, name)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures, daemon-side rejections ([`io::ErrorKind::Other`]).
+    pub fn submit_path(
+        &mut self,
+        path: &str,
+        priority: i64,
+        dir: bool,
+    ) -> io::Result<Vec<(u64, String)>> {
+        let req = if dir {
+            Request::SubmitDir {
+                path: path.to_string(),
+                priority,
+            }
+        } else {
+            Request::SubmitPath {
+                path: path.to_string(),
+                priority,
+            }
+        };
+        self.submit(&req)
+    }
+
+    fn submit(&mut self, req: &Request) -> io::Result<Vec<(u64, String)>> {
+        match self.request(req)? {
+            Event::Accepted { jobs } => Ok(jobs),
+            Event::Error { message } => Err(io::Error::other(message)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected reply {other:?}"),
+            )),
+        }
+    }
+
+    /// Blocks until every job in `ids` has streamed its verdict; returns
+    /// them in arrival order.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures; EOF before all verdicts arrive maps to
+    /// [`io::ErrorKind::UnexpectedEof`].
+    pub fn wait_verdicts(&mut self, ids: &[u64]) -> io::Result<Vec<VerdictEvent>> {
+        let mut pending: HashSet<u64> = ids.iter().copied().collect();
+        let mut verdicts = Vec::with_capacity(pending.len());
+        while !pending.is_empty() {
+            match self.next_event()? {
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        format!(
+                            "connection closed with {} verdict(s) pending",
+                            pending.len()
+                        ),
+                    ))
+                }
+                Some(Event::Verdict(v)) => {
+                    if pending.remove(&v.id) {
+                        verdicts.push(v);
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(verdicts)
+    }
+
+    /// Requests daemon statistics.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures and unexpected replies.
+    pub fn stats(&mut self) -> io::Result<Event> {
+        match self.request(&Request::Stats)? {
+            e @ Event::Stats { .. } => Ok(e),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected reply {other:?}"),
+            )),
+        }
+    }
+
+    /// Asks the daemon to shut down.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        // The daemon may close the connection right after the reply (or
+        // even before it flushes); both count as success.
+        match self.request(&Request::Shutdown) {
+            Ok(_) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}

@@ -1,0 +1,533 @@
+//! The verification daemon: a TCP listener, a connection layer speaking
+//! the NDJSON [`crate::proto`] protocol, and the engine worker pool
+//! driven by the live [`JobQueue`].
+//!
+//! # Architecture
+//!
+//! ```text
+//!           accept thread                    pool thread
+//!   TcpListener ──► per-conn reader ──┐   ┌────────────────────┐
+//!                   per-conn writer ◄─┤   │ run_pool(queue, …) │
+//!                                     │   │  worker 0..N       │
+//!            Shared ◄─────────────────┴───┤  (MemoCache ⟂ Disk)│
+//!   (queue + event hub + counters)        └────────────────────┘
+//! ```
+//!
+//! * Each connection gets a **reader** thread (parses requests, pushes
+//!   jobs, answers synchronously) and a **writer** thread (drains the
+//!   connection's event channel) — readers never block on slow writers,
+//!   and a stalled client cannot stall the pool.
+//! * The **event hub** fans job-lifecycle events out to subscribed
+//!   connections: submitters are auto-subscribed to their own jobs,
+//!   `watch` subscribes to everything. Dead subscribers are pruned on
+//!   the next publish.
+//! * The **pool thread** is the unchanged `nqpv-engine` worker pool,
+//!   pulling from the priority queue through the [`JobSource`] seam and
+//!   reporting through [`PoolObserver`]; the shared [`MemoCache`] may be
+//!   layered over a persistent [`DiskCache`], so verdicts survive
+//!   restarts and are shared with `nqpv batch --cache-dir` runs.
+
+use crate::proto::{verdict_event, Event, QueueStats, Request};
+use crate::queue::JobQueue;
+use nqpv_core::VcOptions;
+use nqpv_engine::{run_pool, Corpus, DiskCache, Job, JobReport, MemoCache, PoolObserver};
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-connection event-queue bound (lines). A client that stops reading
+/// fills it and is disconnected — the daemon's memory stays proportional
+/// to live, *consuming* subscribers, never to total events streamed.
+const SUBSCRIBER_QUEUE_CAP: usize = 4096;
+
+/// Configuration for [`Daemon::start`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Listen address, e.g. `127.0.0.1:7071` (port `0` picks a free one).
+    pub addr: String,
+    /// Worker threads; `0` picks the machine's available parallelism.
+    pub jobs: usize,
+    /// Verification options applied to every job.
+    pub vc: VcOptions,
+    /// Share a memo cache across all jobs (on by default).
+    pub use_cache: bool,
+    /// Optional per-tier LRU bound for the shared cache.
+    pub cache_cap: Option<usize>,
+    /// Optional persistent verdict-store directory (see [`DiskCache`]).
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            jobs: 0,
+            vc: VcOptions::default(),
+            use_cache: true,
+            cache_cap: None,
+            cache_dir: None,
+        }
+    }
+}
+
+/// One connection's end of the event hub.
+struct Subscriber {
+    /// Key into [`Shared::conns`], for force-closing stalled peers.
+    conn_id: u64,
+    tx: SyncSender<String>,
+    /// `watch`ed connections receive every event.
+    all: AtomicBool,
+    /// Jobs this connection submitted (auto-subscribed).
+    ids: Mutex<HashSet<u64>>,
+    /// Set when the peer disconnected; pruned on the next publish.
+    dead: AtomicBool,
+}
+
+/// State shared by the accept loop, every connection, and the pool.
+struct Shared {
+    queue: JobQueue,
+    subs: Mutex<Vec<Arc<Subscriber>>>,
+    cache: Option<Arc<MemoCache>>,
+    running: AtomicU64,
+    done: AtomicU64,
+    shutdown: AtomicBool,
+    /// Read-half handles of live connections, keyed by connection id:
+    /// shutdown half-closes them so blocked readers see EOF and their
+    /// threads unwind (writers drain naturally — no event is cut off).
+    conns: Mutex<std::collections::HashMap<u64, TcpStream>>,
+    /// Connection threads, joined at daemon teardown.
+    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+    next_conn: AtomicU64,
+}
+
+impl Shared {
+    /// Queues `line` for one subscriber. A full queue means the peer
+    /// stopped reading (`SUBSCRIBER_QUEUE_CAP` lines behind): the
+    /// subscriber is marked dead and its socket force-closed, so the
+    /// blocked writer thread unwinds with an error instead of the daemon
+    /// buffering events without bound. Returns `false` on failure.
+    fn offer(&self, sub: &Subscriber, line: String) -> bool {
+        match sub.tx.try_send(line) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                sub.dead.store(true, Ordering::Relaxed);
+                self.drop_conn(sub.conn_id);
+                false
+            }
+        }
+    }
+
+    /// Force-closes a connection's socket (both halves), unblocking its
+    /// reader and writer threads.
+    fn drop_conn(&self, conn_id: u64) {
+        if let Some(c) = self.conns.lock().expect("hub poisoned").remove(&conn_id) {
+            let _ = c.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// Sends `line` to every subscriber interested in job `id` (or to
+    /// everyone when `id` is `None`), pruning dead subscribers.
+    fn publish(&self, id: Option<u64>, line: &str) {
+        let mut subs = self.subs.lock().expect("hub poisoned");
+        subs.retain(|s| !s.dead.load(Ordering::Relaxed));
+        for sub in subs.iter() {
+            let interested = sub.all.load(Ordering::Relaxed)
+                || id.is_none()
+                || id.is_some_and(|id| sub.ids.lock().expect("hub poisoned").contains(&id));
+            if interested {
+                self.offer(sub, line.to_string());
+            }
+        }
+    }
+
+    fn queue_stats(&self) -> QueueStats {
+        QueueStats {
+            queued: self.queue.len() as u64,
+            running: self.running.load(Ordering::Relaxed),
+            done: self.done.load(Ordering::Relaxed),
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            self.queue.close();
+            // Half-close every live connection on the read side: blocked
+            // reader threads wake with EOF and unwind, while each
+            // writer thread still drains its queued events (verdicts in
+            // flight, the shutdown reply) before the socket drops.
+            let conns = self.conns.lock().expect("hub poisoned");
+            for stream in conns.values() {
+                let _ = stream.shutdown(std::net::Shutdown::Read);
+            }
+        }
+    }
+}
+
+impl PoolObserver for Shared {
+    fn job_started(&self, seq: usize, job: &Job, worker: usize) {
+        self.running.fetch_add(1, Ordering::Relaxed);
+        let line = Event::Running {
+            id: seq as u64,
+            name: job.name.clone(),
+            worker: worker as u64,
+        }
+        .to_line();
+        self.publish(Some(seq as u64), &line);
+    }
+
+    fn job_finished(&self, seq: usize, report: &JobReport) {
+        self.running.fetch_sub(1, Ordering::Relaxed);
+        self.done.fetch_add(1, Ordering::Relaxed);
+        let line = verdict_event(seq as u64, report).to_line();
+        self.publish(Some(seq as u64), &line);
+    }
+}
+
+/// A running verification daemon. Dropping the handle does **not** stop
+/// it — call [`Daemon::shutdown`] / [`Daemon::join`] (or send the
+/// protocol `shutdown` request).
+pub struct Daemon {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    pool: Option<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Binds the listener, spawns the pool and accept threads, and
+    /// returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures, and [`DiskCache::open`] failures (bad directory,
+    /// version mismatch) when `cache_dir` is set.
+    pub fn start(opts: ServeOptions) -> std::io::Result<Daemon> {
+        let disk = match (&opts.cache_dir, opts.use_cache) {
+            (Some(dir), true) => Some(Arc::new(DiskCache::open(dir)?)),
+            _ => None,
+        };
+        let cache = opts
+            .use_cache
+            .then(|| Arc::new(MemoCache::layered(opts.cache_cap, disk)));
+        let listener = TcpListener::bind(&opts.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(),
+            subs: Mutex::new(Vec::new()),
+            cache,
+            running: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(std::collections::HashMap::new()),
+            conn_handles: Mutex::new(Vec::new()),
+            next_conn: AtomicU64::new(0),
+        });
+
+        let workers = if opts.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            opts.jobs
+        };
+        let pool = {
+            let shared = Arc::clone(&shared);
+            let vc = opts.vc;
+            std::thread::spawn(move || {
+                // The pool outlives every fixed corpus: it drains the live
+                // queue until `close()` retires the workers.
+                let cache = shared.cache.clone();
+                run_pool(&shared.queue, workers, vc, cache, &*shared);
+            })
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                accept_loop(listener, shared);
+            })
+        };
+        Ok(Daemon {
+            shared,
+            addr,
+            accept: Some(accept),
+            pool: Some(pool),
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown: the queue closes, workers finish their current
+    /// jobs and retire, the accept loop exits.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Shuts down (if not already) and waits for every thread to exit.
+    pub fn join(mut self) {
+        self.shutdown();
+        self.wait_threads();
+    }
+
+    /// Waits for the daemon to stop **without** initiating shutdown —
+    /// it keeps serving until a protocol `shutdown` request (or a
+    /// concurrent [`Daemon::shutdown`] call) arrives.
+    pub fn wait(mut self) {
+        self.wait_threads();
+    }
+
+    fn wait_threads(&mut self) {
+        if let Some(h) = self.pool.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Connection threads unwind once shutdown half-closes their
+        // sockets (and their writers drain); join them so an embedded
+        // daemon leaks nothing.
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.shared.conn_handles.lock().expect("hub poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Runs the daemon until a protocol `shutdown` arrives, then drains and
+/// exits — the `nqpv serve` entry point. Prints one `listening` line to
+/// stdout so scripts can wait for readiness.
+///
+/// # Errors
+///
+/// Same as [`Daemon::start`].
+pub fn serve_blocking(opts: ServeOptions) -> std::io::Result<()> {
+    let daemon = Daemon::start(opts)?;
+    println!("nqpv-service listening on {}", daemon.local_addr());
+    daemon.wait();
+    Ok(())
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Event lines are small and latency-sensitive.
+                let _ = stream.set_nodelay(true);
+                let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+                if let Ok(clone) = stream.try_clone() {
+                    shared
+                        .conns
+                        .lock()
+                        .expect("hub poisoned")
+                        .insert(conn_id, clone);
+                }
+                let shared_conn = Arc::clone(&shared);
+                let handle =
+                    std::thread::spawn(move || handle_connection(stream, shared_conn, conn_id));
+                shared
+                    .conn_handles
+                    .lock()
+                    .expect("hub poisoned")
+                    .push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                reap_finished(&shared);
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Joins connection threads that have already exited, so a long-lived
+/// daemon's handle list tracks live connections, not every connection
+/// ever accepted.
+fn reap_finished(shared: &Shared) {
+    let mut handles = shared.conn_handles.lock().expect("hub poisoned");
+    let mut i = 0;
+    while i < handles.len() {
+        if handles[i].is_finished() {
+            let _ = handles.swap_remove(i).join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>, conn_id: u64) {
+    // Closes the race with a concurrent shutdown: if the flag was set
+    // after the accept but before (or during) the half-close sweep saw
+    // our registration, bail out here instead of blocking on a socket
+    // nobody will ever close.
+    if shared.shutdown.load(Ordering::SeqCst) {
+        shared.drop_conn(conn_id);
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        shared.drop_conn(conn_id);
+        return;
+    };
+    let (tx, rx) = sync_channel::<String>(SUBSCRIBER_QUEUE_CAP);
+    let sub = Arc::new(Subscriber {
+        conn_id,
+        tx,
+        all: AtomicBool::new(false),
+        ids: Mutex::new(HashSet::new()),
+        dead: AtomicBool::new(false),
+    });
+    shared
+        .subs
+        .lock()
+        .expect("hub poisoned")
+        .push(Arc::clone(&sub));
+
+    // Writer: drains the event channel onto the socket; exits when the
+    // channel closes (reader gone + hub pruned) or the peer breaks.
+    let writer = std::thread::spawn(move || {
+        let mut out = std::io::BufWriter::new(write_half);
+        for line in rx {
+            if out.write_all(line.as_bytes()).is_err()
+                || out.write_all(b"\n").is_err()
+                || out.flush().is_err()
+            {
+                break;
+            }
+        }
+    });
+
+    // Reader: one request per line.
+    let reader = BufReader::new(&stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match Request::parse(&line) {
+            Err(message) => Event::Error { message },
+            Ok(req) => {
+                let is_shutdown = matches!(req, Request::Shutdown);
+                let reply = handle_request(req, &sub, &shared);
+                if is_shutdown {
+                    shared.offer(&sub, reply.to_line());
+                    shared.begin_shutdown();
+                    break;
+                }
+                reply
+            }
+        };
+        if !shared.offer(&sub, reply.to_line()) {
+            break;
+        }
+    }
+
+    // Reader done: mark the subscriber dead, prune it from the hub, and
+    // drop our own handle — once every `tx` clone is gone the writer's
+    // channel closes and it drains out. Joining *before* dropping `sub`
+    // would deadlock on our own sender.
+    sub.dead.store(true, Ordering::Relaxed);
+    shared
+        .subs
+        .lock()
+        .expect("hub poisoned")
+        .retain(|s| !s.dead.load(Ordering::Relaxed));
+    shared.conns.lock().expect("hub poisoned").remove(&conn_id);
+    drop(sub);
+    let _ = writer.join();
+}
+
+fn handle_request(req: Request, sub: &Arc<Subscriber>, shared: &Arc<Shared>) -> Event {
+    match req {
+        Request::Ping => Event::Pong,
+        Request::Shutdown => Event::ShuttingDown,
+        Request::Watch => {
+            sub.all.store(true, Ordering::Relaxed);
+            Event::Watching
+        }
+        Request::Stats => Event::Stats {
+            queue: shared.queue_stats(),
+            cache: shared.cache.as_ref().map(|c| c.stats()),
+        },
+        Request::Submit {
+            name,
+            source,
+            priority,
+        } => submit_jobs(
+            vec![Job::new(name, None, source, PathBuf::from("."))],
+            priority,
+            sub,
+            shared,
+        ),
+        Request::SubmitPath { path, priority } => {
+            let path = PathBuf::from(path);
+            match Corpus::from_paths(&[path]) {
+                Err(e) => Event::Error {
+                    message: e.to_string(),
+                },
+                Ok(corpus) => submit_jobs(corpus.jobs().to_vec(), priority, sub, shared),
+            }
+        }
+        Request::SubmitDir { path, priority } => {
+            let path = PathBuf::from(path);
+            let corpus = if path.is_dir() {
+                Corpus::from_dir(&path)
+            } else {
+                Corpus::from_manifest(&path)
+            };
+            match corpus {
+                Err(e) => Event::Error {
+                    message: e.to_string(),
+                },
+                Ok(corpus) => submit_jobs(corpus.jobs().to_vec(), priority, sub, shared),
+            }
+        }
+    }
+}
+
+/// Queues `jobs`, auto-subscribes the submitter, publishes `queued`
+/// events, and builds the `accepted` reply.
+fn submit_jobs(
+    jobs: Vec<Job>,
+    priority: i64,
+    sub: &Arc<Subscriber>,
+    shared: &Arc<Shared>,
+) -> Event {
+    let mut accepted = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let name = job.name.clone();
+        let bin = job.bin;
+        // Reserve → subscribe → announce → publish: the job only becomes
+        // poppable after the submitter is subscribed, so `running` /
+        // `verdict` events can never race past the subscription.
+        let id = shared.queue.reserve();
+        sub.ids.lock().expect("hub poisoned").insert(id);
+        let line = Event::Queued {
+            id,
+            name: name.clone(),
+            priority,
+            bin: format!("{bin:016x}"),
+        }
+        .to_line();
+        shared.publish(Some(id), &line);
+        if !shared.queue.push_reserved(id, job, priority) {
+            return Event::Error {
+                message: "daemon is shutting down".to_string(),
+            };
+        }
+        accepted.push((id, name));
+    }
+    Event::Accepted { jobs: accepted }
+}

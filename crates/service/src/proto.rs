@@ -1,0 +1,588 @@
+//! The service wire protocol: newline-delimited JSON, one message per
+//! line, over a plain TCP stream.
+//!
+//! Clients send [`Request`]s; the daemon answers each request with one
+//! immediate [`Event`] (`accepted`, `stats`, `pong`, …) and streams
+//! asynchronous job-lifecycle events (`queued` → `running` → `verdict`)
+//! to every connection subscribed to the job — submitters are subscribed
+//! to their own jobs automatically, `watch` subscribes to everything.
+//!
+//! ```text
+//! → {"cmd":"submit","name":"grover","source":"def pf := …","priority":5}
+//! ← {"event":"accepted","jobs":[{"id":0,"name":"grover"}]}
+//! ← {"event":"queued","id":0,"name":"grover","priority":5,"bin":"93b7…"}
+//! ← {"event":"running","id":0,"name":"grover","worker":1}
+//! ← {"event":"verdict","id":0,"name":"grover","status":"verified","ms":8.3,
+//!    "bin":"93b7…","worker":1,"proofs":[{"name":"pf","verified":true}]}
+//! ```
+//!
+//! Messages are versioned implicitly by field presence — unknown fields
+//! are ignored on decode, so old clients keep working when the daemon
+//! grows new ones.
+
+use crate::json::{escape, n, obj, s, Json};
+use nqpv_engine::{CacheStats, JobReport, JobStatus};
+
+/// A client→daemon request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Verify an inline NQPV source.
+    Submit {
+        /// Display name for the job.
+        name: String,
+        /// The NQPV source text.
+        source: String,
+        /// Scheduling priority (higher runs sooner; 0 default).
+        priority: i64,
+    },
+    /// Verify one `.nqpv` file on the daemon's filesystem.
+    SubmitPath {
+        /// Path to the file (daemon-side).
+        path: String,
+        /// Scheduling priority.
+        priority: i64,
+    },
+    /// Verify a whole corpus: every `.nqpv` under a directory, or the
+    /// entries of a manifest file.
+    SubmitDir {
+        /// Path to the directory or manifest (daemon-side).
+        path: String,
+        /// Scheduling priority shared by all jobs of the corpus.
+        priority: i64,
+    },
+    /// Subscribe this connection to every job's events.
+    Watch,
+    /// Queue/cache counters.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Stop the daemon (drops still-queued jobs, finishes running ones).
+    Shutdown,
+}
+
+impl Request {
+    /// Encodes the request as one protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let v = match self {
+            Request::Submit {
+                name,
+                source,
+                priority,
+            } => obj(vec![
+                ("cmd", s("submit")),
+                ("name", s(name.clone())),
+                ("source", s(source.clone())),
+                ("priority", n(*priority as f64)),
+            ]),
+            Request::SubmitPath { path, priority } => obj(vec![
+                ("cmd", s("submit_path")),
+                ("path", s(path.clone())),
+                ("priority", n(*priority as f64)),
+            ]),
+            Request::SubmitDir { path, priority } => obj(vec![
+                ("cmd", s("submit_dir")),
+                ("path", s(path.clone())),
+                ("priority", n(*priority as f64)),
+            ]),
+            Request::Watch => obj(vec![("cmd", s("watch"))]),
+            Request::Stats => obj(vec![("cmd", s("stats"))]),
+            Request::Ping => obj(vec![("cmd", s("ping"))]),
+            Request::Shutdown => obj(vec![("cmd", s("shutdown"))]),
+        };
+        v.to_string()
+    }
+
+    /// Decodes one protocol line into a request.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on malformed JSON, a missing/unknown
+    /// `cmd`, or missing required fields.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line)?;
+        let cmd = v
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing 'cmd'".to_string())?;
+        let priority = || v.get("priority").and_then(Json::as_i64).unwrap_or(0);
+        let field = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("'{cmd}' requires string field '{k}'"))
+        };
+        match cmd {
+            "submit" => Ok(Request::Submit {
+                name: field("name")?,
+                source: field("source")?,
+                priority: priority(),
+            }),
+            "submit_path" => Ok(Request::SubmitPath {
+                path: field("path")?,
+                priority: priority(),
+            }),
+            "submit_dir" => Ok(Request::SubmitDir {
+                path: field("path")?,
+                priority: priority(),
+            }),
+            "watch" => Ok(Request::Watch),
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown cmd '{other}'")),
+        }
+    }
+}
+
+/// Queue-level counters in a [`Event::Stats`] reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Jobs accepted but not yet started.
+    pub queued: u64,
+    /// Jobs currently on a worker.
+    pub running: u64,
+    /// Jobs finished since the daemon started.
+    pub done: u64,
+}
+
+/// One job's terminal report, as streamed in a `verdict` event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerdictEvent {
+    /// Job id.
+    pub id: u64,
+    /// Job name.
+    pub name: String,
+    /// `"verified"`, `"rejected"` or `"error"`.
+    pub status: String,
+    /// Verification wall time (ms).
+    pub ms: f64,
+    /// Scheduling bin (hex of [`nqpv_engine::affinity_bin`]).
+    pub bin: String,
+    /// Worker that ran the job.
+    pub worker: u64,
+    /// Per-proof verdicts (empty for `error` jobs).
+    pub proofs: Vec<(String, bool)>,
+    /// Error message for `error` jobs.
+    pub error: Option<String>,
+}
+
+/// A daemon→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Reply to a submit: the accepted `(id, name)` pairs.
+    Accepted {
+        /// Accepted jobs in submission order.
+        jobs: Vec<(u64, String)>,
+    },
+    /// A job entered the queue.
+    Queued {
+        /// Job id.
+        id: u64,
+        /// Job name.
+        name: String,
+        /// Its scheduling priority.
+        priority: i64,
+        /// Its affinity bin (hex).
+        bin: String,
+    },
+    /// A worker picked the job up.
+    Running {
+        /// Job id.
+        id: u64,
+        /// Job name.
+        name: String,
+        /// The worker index.
+        worker: u64,
+    },
+    /// The job finished.
+    Verdict(VerdictEvent),
+    /// Reply to `stats`.
+    Stats {
+        /// Queue counters.
+        queue: QueueStats,
+        /// Shared-cache counters (`None` when caching is disabled).
+        cache: Option<CacheStats>,
+    },
+    /// Reply to `watch`.
+    Watching,
+    /// Reply to `ping`.
+    Pong,
+    /// Reply to `shutdown`; the daemon closes connections afterwards.
+    ShuttingDown,
+    /// A request failed (connection stays usable).
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl Event {
+    /// Encodes the event as one protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            Event::Accepted { jobs } => {
+                let items: Vec<Json> = jobs
+                    .iter()
+                    .map(|(id, name)| obj(vec![("id", n(*id as f64)), ("name", s(name.clone()))]))
+                    .collect();
+                obj(vec![("event", s("accepted")), ("jobs", Json::Arr(items))]).to_string()
+            }
+            Event::Queued {
+                id,
+                name,
+                priority,
+                bin,
+            } => obj(vec![
+                ("event", s("queued")),
+                ("id", n(*id as f64)),
+                ("name", s(name.clone())),
+                ("priority", n(*priority as f64)),
+                ("bin", s(bin.clone())),
+            ])
+            .to_string(),
+            Event::Running { id, name, worker } => obj(vec![
+                ("event", s("running")),
+                ("id", n(*id as f64)),
+                ("name", s(name.clone())),
+                ("worker", n(*worker as f64)),
+            ])
+            .to_string(),
+            Event::Verdict(v) => {
+                let mut members = vec![
+                    ("event", s("verdict")),
+                    ("id", n(v.id as f64)),
+                    ("name", s(v.name.clone())),
+                    ("status", s(v.status.clone())),
+                    ("ms", n(v.ms)),
+                    ("bin", s(v.bin.clone())),
+                    ("worker", n(v.worker as f64)),
+                ];
+                let proofs: Vec<Json> = v
+                    .proofs
+                    .iter()
+                    .map(|(name, ok)| {
+                        obj(vec![
+                            ("name", s(name.clone())),
+                            ("verified", Json::Bool(*ok)),
+                        ])
+                    })
+                    .collect();
+                members.push(("proofs", Json::Arr(proofs)));
+                if let Some(e) = &v.error {
+                    members.push(("error", s(e.clone())));
+                }
+                obj(members).to_string()
+            }
+            Event::Stats { queue, cache } => {
+                let cache_json = match cache {
+                    None => Json::Null,
+                    Some(c) => obj(vec![
+                        ("hits", n(c.hits as f64)),
+                        ("misses", n(c.misses as f64)),
+                        ("entries", n(c.entries as f64)),
+                        ("evictions", n(c.evictions as f64)),
+                        ("verdict_hits", n(c.verdict_hits as f64)),
+                        ("verdict_misses", n(c.verdict_misses as f64)),
+                        ("verdict_entries", n(c.verdict_entries as f64)),
+                        ("verdict_evictions", n(c.verdict_evictions as f64)),
+                        ("disk_hits", n(c.disk_hits as f64)),
+                        ("disk_misses", n(c.disk_misses as f64)),
+                        ("disk_writes", n(c.disk_writes as f64)),
+                    ]),
+                };
+                obj(vec![
+                    ("event", s("stats")),
+                    ("queued", n(queue.queued as f64)),
+                    ("running", n(queue.running as f64)),
+                    ("done", n(queue.done as f64)),
+                    ("cache", cache_json),
+                ])
+                .to_string()
+            }
+            Event::Watching => obj(vec![("event", s("watching"))]).to_string(),
+            Event::Pong => obj(vec![("event", s("pong"))]).to_string(),
+            Event::ShuttingDown => obj(vec![("event", s("shutting_down"))]).to_string(),
+            Event::Error { message } => {
+                obj(vec![("event", s("error")), ("message", s(message.clone()))]).to_string()
+            }
+        }
+    }
+
+    /// Decodes one protocol line into an event.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on malformed JSON or unknown shapes.
+    pub fn parse(line: &str) -> Result<Event, String> {
+        let v = Json::parse(line)?;
+        let event = v
+            .get("event")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing 'event'".to_string())?;
+        let id = || {
+            v.get("id")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| "missing 'id'".to_string())
+        };
+        let name = || {
+            v.get("name")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| "missing 'name'".to_string())
+        };
+        match event {
+            "accepted" => {
+                let jobs = v
+                    .get("jobs")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| "missing 'jobs'".to_string())?
+                    .iter()
+                    .map(|j| {
+                        Ok((
+                            j.get("id")
+                                .and_then(Json::as_u64)
+                                .ok_or_else(|| "bad job id".to_string())?,
+                            j.get("name")
+                                .and_then(Json::as_str)
+                                .ok_or_else(|| "bad job name".to_string())?
+                                .to_string(),
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Event::Accepted { jobs })
+            }
+            "queued" => Ok(Event::Queued {
+                id: id()?,
+                name: name()?,
+                priority: v.get("priority").and_then(Json::as_i64).unwrap_or(0),
+                bin: v
+                    .get("bin")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+            }),
+            "running" => Ok(Event::Running {
+                id: id()?,
+                name: name()?,
+                worker: v.get("worker").and_then(Json::as_u64).unwrap_or(0),
+            }),
+            "verdict" => {
+                let proofs = v
+                    .get("proofs")
+                    .and_then(Json::as_arr)
+                    .unwrap_or(&[])
+                    .iter()
+                    .filter_map(|p| {
+                        Some((
+                            p.get("name")?.as_str()?.to_string(),
+                            p.get("verified")?.as_bool()?,
+                        ))
+                    })
+                    .collect();
+                Ok(Event::Verdict(VerdictEvent {
+                    id: id()?,
+                    name: name()?,
+                    status: v
+                        .get("status")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| "missing 'status'".to_string())?
+                        .to_string(),
+                    ms: v.get("ms").and_then(Json::as_f64).unwrap_or(0.0),
+                    bin: v
+                        .get("bin")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                    worker: v.get("worker").and_then(Json::as_u64).unwrap_or(0),
+                    proofs,
+                    error: v.get("error").and_then(Json::as_str).map(str::to_string),
+                }))
+            }
+            "stats" => {
+                let q = |k: &str| v.get(k).and_then(Json::as_u64).unwrap_or(0);
+                let cache = match v.get("cache") {
+                    None | Some(Json::Null) => None,
+                    Some(c) => {
+                        let g = |k: &str| c.get(k).and_then(Json::as_u64).unwrap_or(0);
+                        Some(CacheStats {
+                            hits: g("hits"),
+                            misses: g("misses"),
+                            entries: g("entries"),
+                            evictions: g("evictions"),
+                            verdict_hits: g("verdict_hits"),
+                            verdict_misses: g("verdict_misses"),
+                            verdict_entries: g("verdict_entries"),
+                            verdict_evictions: g("verdict_evictions"),
+                            disk_hits: g("disk_hits"),
+                            disk_misses: g("disk_misses"),
+                            disk_writes: g("disk_writes"),
+                        })
+                    }
+                };
+                Ok(Event::Stats {
+                    queue: QueueStats {
+                        queued: q("queued"),
+                        running: q("running"),
+                        done: q("done"),
+                    },
+                    cache,
+                })
+            }
+            "watching" => Ok(Event::Watching),
+            "pong" => Ok(Event::Pong),
+            "shutting_down" => Ok(Event::ShuttingDown),
+            "error" => Ok(Event::Error {
+                message: v
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown error")
+                    .to_string(),
+            }),
+            other => Err(format!("unknown event '{other}'")),
+        }
+    }
+}
+
+/// Builds the `verdict` event for a finished job.
+pub fn verdict_event(id: u64, report: &JobReport) -> Event {
+    let (proofs, error) = match &report.status {
+        JobStatus::Verified { proofs } | JobStatus::Rejected { proofs } => (
+            proofs
+                .iter()
+                .map(|p| (p.name.clone(), p.verified))
+                .collect(),
+            None,
+        ),
+        JobStatus::Error { message } => (Vec::new(), Some(message.clone())),
+    };
+    Event::Verdict(VerdictEvent {
+        id,
+        name: report.name.clone(),
+        status: report.status.label().to_string(),
+        ms: report.ms,
+        bin: format!("{:016x}", report.bin),
+        worker: report.worker as u64,
+        proofs,
+        error,
+    })
+}
+
+/// Renders an operator-facing string as a JSON string literal — re-export
+/// for the CLI's ad-hoc output.
+pub fn json_escape(text: &str) -> String {
+    escape(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        let cases = [
+            Request::Submit {
+                name: "a".into(),
+                source: "{ I[q] }\nskip".into(),
+                priority: -2,
+            },
+            Request::SubmitPath {
+                path: "x/y.nqpv".into(),
+                priority: 0,
+            },
+            Request::SubmitDir {
+                path: "corpus".into(),
+                priority: 9,
+            },
+            Request::Watch,
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for r in cases {
+            let line = r.to_line();
+            assert!(!line.contains('\n'), "one line per message: {line}");
+            assert_eq!(Request::parse(&line).unwrap(), r, "{line}");
+        }
+    }
+
+    #[test]
+    fn events_roundtrip() {
+        let cases = [
+            Event::Accepted {
+                jobs: vec![(0, "a".into()), (1, "b".into())],
+            },
+            Event::Queued {
+                id: 3,
+                name: "grover".into(),
+                priority: 5,
+                bin: "00ff".into(),
+            },
+            Event::Running {
+                id: 3,
+                name: "grover".into(),
+                worker: 2,
+            },
+            Event::Verdict(VerdictEvent {
+                id: 3,
+                name: "grover".into(),
+                status: "rejected".into(),
+                ms: 1.5,
+                bin: "00ff".into(),
+                worker: 2,
+                proofs: vec![("pf".into(), false)],
+                error: None,
+            }),
+            Event::Verdict(VerdictEvent {
+                id: 4,
+                name: "broken".into(),
+                status: "error".into(),
+                ms: 0.25,
+                bin: "0".into(),
+                worker: 0,
+                proofs: vec![],
+                error: Some("line 1: parse error \"x\"".into()),
+            }),
+            Event::Stats {
+                queue: QueueStats {
+                    queued: 1,
+                    running: 2,
+                    done: 3,
+                },
+                cache: Some(CacheStats {
+                    hits: 1,
+                    disk_hits: 7,
+                    disk_writes: 4,
+                    ..CacheStats::default()
+                }),
+            },
+            Event::Stats {
+                queue: QueueStats::default(),
+                cache: None,
+            },
+            Event::Watching,
+            Event::Pong,
+            Event::ShuttingDown,
+            Event::Error {
+                message: "unknown cmd 'frob'".into(),
+            },
+        ];
+        for e in cases {
+            let line = e.to_line();
+            assert!(!line.contains('\n'), "one line per message: {line}");
+            assert_eq!(Event::parse(&line).unwrap(), e, "{line}");
+        }
+    }
+
+    #[test]
+    fn bad_requests_error_cleanly() {
+        for bad in [
+            "not json",
+            "{}",
+            r#"{"cmd":"frob"}"#,
+            r#"{"cmd":"submit","name":"x"}"#,
+            r#"{"cmd":"submit_path"}"#,
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! The daemon's job queue: a priority heap implementing the engine's
+//! [`JobSource`], so the same worker pool that drains fixed corpora
+//! drives the live service.
+//!
+//! Ordering is `(priority desc, bin, submission id)`: higher-priority
+//! jobs always run first; within a priority class, jobs sharing a
+//! verdict-cache affinity bin ([`nqpv_engine::affinity_bin`]) pop
+//! consecutively so the bin's first member warms the verdict tier for
+//! its siblings — the live-queue analogue of the batch engine's
+//! bin-at-a-time scheduling; ties break FIFO by submission id.
+//!
+//! `next` blocks idle workers on a condvar until a job arrives or the
+//! queue is closed. Closing wakes everyone: running jobs finish, still
+//! queued jobs are dropped (the daemon is shutting down — clients watching
+//! them observe the connection close).
+
+use nqpv_engine::{Job, JobSource, SourcedJob};
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug)]
+struct Entry {
+    priority: i64,
+    bin: u64,
+    seq: usize,
+    job: Job,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    /// `BinaryHeap` is a max-heap: "greater" pops first.
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.bin.cmp(&self.bin))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    heap: BinaryHeap<Entry>,
+    closed: bool,
+}
+
+/// A thread-safe, blocking priority queue of verification jobs.
+#[derive(Debug)]
+pub struct JobQueue {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+    next_id: AtomicU64,
+}
+
+impl Default for JobQueue {
+    fn default() -> Self {
+        JobQueue::new()
+    }
+}
+
+impl JobQueue {
+    /// An empty, open queue.
+    pub fn new() -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner::default()),
+            ready: Condvar::new(),
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Allocates the id a job *will* get, before it becomes visible to
+    /// workers — callers use this to register event subscriptions ahead
+    /// of [`JobQueue::push_reserved`], so no lifecycle event can race
+    /// past the subscription.
+    pub fn reserve(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Enqueues `job` under a previously [`reserve`](JobQueue::reserve)d
+    /// id. Returns `false` (job dropped) once the queue is closed.
+    pub fn push_reserved(&self, id: u64, job: Job, priority: i64) -> bool {
+        {
+            let mut inner = self.inner.lock().expect("queue poisoned");
+            if inner.closed {
+                return false;
+            }
+            inner.heap.push(Entry {
+                priority,
+                bin: job.bin,
+                seq: id as usize,
+                job,
+            });
+        }
+        self.ready.notify_one();
+        true
+    }
+
+    /// Enqueues `job` at `priority`, returning its id (also the `seq`
+    /// reported by the pool). Jobs pushed after [`JobQueue::close`] are
+    /// rejected with `None`.
+    pub fn push(&self, job: Job, priority: i64) -> Option<u64> {
+        let id = self.reserve();
+        self.push_reserved(id, job, priority).then_some(id)
+    }
+
+    /// Number of jobs currently waiting.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").heap.len()
+    }
+
+    /// `true` when no jobs are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: the backlog is discarded immediately, waiting
+    /// workers wake and retire, and workers finishing their current job
+    /// retire on their next pull — shutdown latency is one in-flight job,
+    /// not the whole backlog.
+    pub fn close(&self) {
+        {
+            let mut inner = self.inner.lock().expect("queue poisoned");
+            inner.closed = true;
+            inner.heap.clear();
+        }
+        self.ready.notify_all();
+    }
+}
+
+impl JobSource for JobQueue {
+    fn next(&self, _worker: usize) -> Option<SourcedJob> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if inner.closed {
+                return None;
+            }
+            if let Some(entry) = inner.heap.pop() {
+                return Some(SourcedJob {
+                    seq: entry.seq,
+                    job: entry.job,
+                });
+            }
+            inner = self.ready.wait(inner).expect("queue poisoned");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn job(name: &str, source: &str) -> Job {
+        Job::new(name, None, source, PathBuf::from("."))
+    }
+
+    #[test]
+    fn pops_by_priority_then_bin_then_fifo() {
+        let q = JobQueue::new();
+        // Two bins: sources with distinct assertion vocabularies.
+        let a = "{ P0[q] }";
+        let b = "{ P1[q] }";
+        q.push(job("low-a", a), 0).unwrap();
+        q.push(job("hi-b", b), 5).unwrap();
+        q.push(job("low-b", b), 0).unwrap();
+        q.push(job("hi-a", a), 5).unwrap();
+        q.push(job("low-a2", a), 0).unwrap();
+        let order: Vec<String> = (0..5).map(|_| q.next(0).unwrap().job.name).collect();
+        q.close();
+        assert!(q.next(0).is_none(), "closed + empty retires workers");
+        // Priority 5 first (bin order within a class depends on the
+        // hash values, so check membership + grouping, not exact order).
+        assert_eq!(order.len(), 5);
+        assert!(
+            order[..2].contains(&"hi-a".to_string()) && order[..2].contains(&"hi-b".to_string()),
+            "high-priority jobs must run first: {order:?}"
+        );
+        let lows = &order[2..];
+        assert!(
+            lows == ["low-a", "low-a2", "low-b"] || lows == ["low-b", "low-a", "low-a2"],
+            "same-bin jobs must pop consecutively: {order:?}"
+        );
+    }
+
+    #[test]
+    fn blocks_until_push_and_retires_on_close() {
+        use std::sync::Arc;
+        let q = Arc::new(JobQueue::new());
+        let qc = Arc::clone(&q);
+        let handle = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(sj) = qc.next(0) {
+                got.push(sj.job.name);
+            }
+            got
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(job("later", "{ I[q] }"), 0).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        let got = handle.join().unwrap();
+        assert_eq!(got, ["later"]);
+        // Closed queues reject new work.
+        assert!(q.push(job("too-late", "{ I[q] }"), 0).is_none());
+    }
+
+    #[test]
+    fn ids_are_sequential_and_fifo_breaks_ties() {
+        let q = JobQueue::new();
+        let src = "{ I[q] }";
+        assert_eq!(q.push(job("one", src), 0), Some(0));
+        assert_eq!(q.push(job("two", src), 0), Some(1));
+        assert_eq!(q.push(job("three", src), 0), Some(2));
+        let names: Vec<String> = (0..3).map(|_| q.next(1).unwrap().job.name).collect();
+        assert_eq!(names, ["one", "two", "three"]);
+    }
+
+    #[test]
+    fn close_discards_the_backlog_immediately() {
+        let q = JobQueue::new();
+        for i in 0..3 {
+            q.push(job(&format!("queued-{i}"), "{ I[q] }"), 0).unwrap();
+        }
+        assert_eq!(q.len(), 3);
+        q.close();
+        // Workers retire without draining the backlog — shutdown latency
+        // is bounded by the in-flight job, not the queue depth.
+        assert!(q.next(0).is_none());
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,272 @@
+//! End-to-end tests for the verification daemon: the ISSUE acceptance
+//! scenario — serve the example corpus over TCP with streamed per-job
+//! reports and verdicts identical to `nqpv batch`, then a cold restart
+//! against the same `--cache-dir` answering verdict queries from disk.
+
+use nqpv_engine::{run_batch, BatchOptions, Corpus};
+use nqpv_service::{Client, Daemon, Event, Request, ServeOptions};
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/corpus")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nqpv_service_e2e_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(cache_dir: Option<PathBuf>, jobs: usize) -> Daemon {
+    Daemon::start(ServeOptions {
+        jobs,
+        cache_dir,
+        ..ServeOptions::default()
+    })
+    .expect("daemon starts on a loopback port")
+}
+
+#[test]
+fn daemon_streams_corpus_verdicts_matching_batch() {
+    let daemon = start(None, 2);
+    let mut client = Client::connect(daemon.local_addr()).unwrap();
+
+    let accepted = client
+        .submit_path(corpus_dir().to_str().unwrap(), 0, true)
+        .unwrap();
+    assert_eq!(accepted.len(), 7, "all seven corpus jobs accepted");
+    let ids: Vec<u64> = accepted.iter().map(|(id, _)| *id).collect();
+
+    // Streamed lifecycle: collect every event until all verdicts are in,
+    // then check each job went queued → running → verdict.
+    let mut phases: HashMap<u64, Vec<&'static str>> = HashMap::new();
+    let mut verdicts = Vec::new();
+    let mut pending: HashSet<u64> = ids.iter().copied().collect();
+    while !pending.is_empty() {
+        match client.next_event().unwrap().expect("stream stays open") {
+            Event::Queued { id, .. } => phases.entry(id).or_default().push("queued"),
+            Event::Running { id, .. } => phases.entry(id).or_default().push("running"),
+            Event::Verdict(v) => {
+                phases.entry(v.id).or_default().push("verdict");
+                pending.remove(&v.id);
+                verdicts.push(v);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+    for id in &ids {
+        assert_eq!(
+            phases[id],
+            ["queued", "running", "verdict"],
+            "job {id} lifecycle"
+        );
+    }
+
+    // Verdicts (and per-proof detail) identical to the batch engine.
+    let corpus = Corpus::from_dir(corpus_dir()).unwrap();
+    let batch = run_batch(&corpus, &BatchOptions::default());
+    assert_eq!(verdicts.len(), batch.jobs.len());
+    for job in &batch.jobs {
+        let streamed = verdicts
+            .iter()
+            .find(|v| v.name == job.name)
+            .unwrap_or_else(|| panic!("job {} missing from stream", job.name));
+        assert_eq!(
+            streamed.status,
+            job.status.label(),
+            "{}: daemon and batch must agree",
+            job.name
+        );
+        assert_eq!(streamed.bin, format!("{:016x}", job.bin), "{}", job.name);
+        assert!(streamed.ms >= 0.0);
+        match &job.status {
+            nqpv_engine::JobStatus::Error { .. } => {
+                assert!(streamed.error.is_some(), "{}", job.name);
+            }
+            nqpv_engine::JobStatus::Verified { proofs }
+            | nqpv_engine::JobStatus::Rejected { proofs } => {
+                let want: Vec<(String, bool)> = proofs
+                    .iter()
+                    .map(|p| (p.name.clone(), p.verified))
+                    .collect();
+                assert_eq!(streamed.proofs, want, "{}", job.name);
+            }
+        }
+    }
+    daemon.join();
+}
+
+#[test]
+fn disk_cache_survives_daemon_restart() {
+    let cache_dir = temp_dir("restart");
+    let dir = corpus_dir();
+
+    // Generation 1: cold cache — every verdict is solved and persisted.
+    let daemon = start(Some(cache_dir.clone()), 2);
+    let mut client = Client::connect(daemon.local_addr()).unwrap();
+    let accepted = client.submit_path(dir.to_str().unwrap(), 0, true).unwrap();
+    let ids: Vec<u64> = accepted.iter().map(|(id, _)| *id).collect();
+    let first = client.wait_verdicts(&ids).unwrap();
+    let Event::Stats { cache, .. } = client.stats().unwrap() else {
+        unreachable!()
+    };
+    let s1 = cache.expect("cache enabled");
+    assert!(s1.disk_writes >= 1, "cold run persists verdicts: {s1:?}");
+    assert_eq!(s1.disk_hits, 0, "nothing to hit yet: {s1:?}");
+    client.shutdown().unwrap();
+    daemon.join();
+
+    // Generation 2: a cold restart over the same directory — memory tiers
+    // are empty, so every first verdict query per key must be answered
+    // from disk, and nothing new is solved or written.
+    let daemon = start(Some(cache_dir.clone()), 2);
+    let mut client = Client::connect(daemon.local_addr()).unwrap();
+    let accepted = client.submit_path(dir.to_str().unwrap(), 0, true).unwrap();
+    let ids: Vec<u64> = accepted.iter().map(|(id, _)| *id).collect();
+    let second = client.wait_verdicts(&ids).unwrap();
+    let Event::Stats { cache, .. } = client.stats().unwrap() else {
+        unreachable!()
+    };
+    let s2 = cache.expect("cache enabled");
+
+    // Verdicts agree run-over-run.
+    let status_of = |vs: &[nqpv_service::VerdictEvent]| -> HashMap<String, String> {
+        vs.iter()
+            .map(|v| (v.name.clone(), v.status.clone()))
+            .collect()
+    };
+    assert_eq!(status_of(&first), status_of(&second));
+
+    // ≥1 disk hit per previously-verified job, counting content-twins
+    // once: the grover twins differ only in comments, so they share every
+    // content-addressed verdict key — the first to run pulls from disk,
+    // the sibling hits the promoted memory entry. Distinct affinity bins
+    // (comment-insensitive by construction) count the content-distinct
+    // obligations.
+    let corpus = Corpus::from_dir(&dir).unwrap();
+    let distinct_solved: HashSet<u64> = corpus
+        .jobs()
+        .iter()
+        .filter(|j| {
+            first
+                .iter()
+                .any(|v| v.name == j.name && v.status != "error")
+        })
+        .map(|j| j.bin)
+        .collect();
+    assert!(
+        s2.disk_hits >= distinct_solved.len() as u64,
+        "restart must answer each previously-solved job from disk: \
+         {} distinct obligations, stats {s2:?}",
+        distinct_solved.len()
+    );
+    assert_eq!(
+        s2.disk_writes, 0,
+        "a fully warm restart solves nothing new: {s2:?}"
+    );
+    client.shutdown().unwrap();
+    daemon.join();
+}
+
+#[test]
+fn priorities_reorder_the_backlog() {
+    // One worker, pinned down by a deliberately heavy first job (the
+    // three-qubit error-correction proof takes orders of magnitude
+    // longer than two inline submissions), so a real backlog forms: the
+    // high-priority straggler must then be verified before the
+    // earlier-submitted low-priority job.
+    const LOOPY: &str = "def pf := proof [q] : { I[q] }; [q] := 0; [q] *= H; \
+                         { inv : I[q] }; while M01[q] do [q] *= H end; { P0[q] } end";
+    let daemon = start(None, 1);
+    let mut client = Client::connect(daemon.local_addr()).unwrap();
+    // Pipeline all three submissions in one burst — a single write, no
+    // reply round-trips — so `low` and `high` are enqueued back-to-back
+    // (the daemon handles consecutive lines of one segment microseconds
+    // apart) while the worker is still busy with the heavier blocker.
+    let burst = [
+        Request::SubmitPath {
+            path: corpus_dir().join("err_corr.nqpv").display().to_string(),
+            priority: 0,
+        },
+        Request::Submit {
+            name: "low".into(),
+            source: LOOPY.into(),
+            priority: 0,
+        },
+        Request::Submit {
+            name: "high".into(),
+            source: LOOPY.into(),
+            priority: 9,
+        },
+    ]
+    .iter()
+    .map(Request::to_line)
+    .collect::<Vec<_>>()
+    .join("\n");
+    client.send_raw(&burst).unwrap();
+    let mut verdicts = Vec::new();
+    while verdicts.len() < 3 {
+        match client.next_event().unwrap().expect("stream stays open") {
+            Event::Verdict(v) => verdicts.push(v),
+            Event::Error { message } => panic!("submission failed: {message}"),
+            _ => {}
+        }
+    }
+    let pos = |name: &str| verdicts.iter().position(|v| v.name == name).unwrap();
+    assert!(
+        pos("high") < pos("low"),
+        "priority 9 must overtake the priority-0 backlog: {verdicts:?}"
+    );
+    assert!(verdicts.iter().all(|v| v.status == "verified"));
+    daemon.join();
+}
+
+#[test]
+fn protocol_errors_keep_the_connection_usable() {
+    let daemon = start(None, 1);
+    let mut client = Client::connect(daemon.local_addr()).unwrap();
+
+    // Unknown command.
+    let reply = client
+        .request(&Request::Ping)
+        .and_then(|_| {
+            client.send_raw("{\"cmd\":\"frobnicate\"}")?;
+            client.next_event()
+        })
+        .unwrap()
+        .unwrap();
+    assert!(matches!(reply, Event::Error { .. }), "{reply:?}");
+
+    // Bad submit path.
+    let err = client
+        .submit_path("/nonexistent/corpus", 0, true)
+        .expect_err("missing corpus must be rejected");
+    assert!(err.to_string().contains("nonexistent"), "{err}");
+
+    // The connection still works afterwards.
+    let pong = client.request(&Request::Ping).unwrap();
+    assert_eq!(pong, Event::Pong);
+
+    // A watcher connection sees jobs submitted by *another* connection.
+    let mut watcher = Client::connect(daemon.local_addr()).unwrap();
+    assert_eq!(watcher.request(&Request::Watch).unwrap(), Event::Watching);
+    let id = client
+        .submit_source(
+            "observed",
+            "def pf := proof [q] : { P0[q] }; [q] *= H; [q] *= H; { P0[q] } end",
+            0,
+        )
+        .unwrap();
+    let seen = watcher.wait_verdicts(&[id]).unwrap();
+    assert_eq!(seen[0].name, "observed");
+    assert_eq!(seen[0].status, "verified");
+
+    // Shutdown closes every live connection: join() returns even with
+    // clients still connected, and both clients observe EOF instead of
+    // hanging (the submitter first drains the job events it buffered
+    // while awaiting the `accepted` reply).
+    daemon.join();
+    assert_eq!(watcher.next_event().unwrap(), None, "watcher must see EOF");
+    while client.next_event().unwrap().is_some() {}
+}

@@ -20,8 +20,12 @@
 //! * [`core`] — assertions, wp/wlp, proof objects, the verifier and the
 //!   paper's case studies;
 //! * [`engine`] — the batch-verification engine: corpora of `.nqpv`
-//!   jobs, a parallel worker pool, and a shared content-addressed memo
-//!   cache for backward-transformer subterms.
+//!   jobs, a parallel worker pool, a shared content-addressed memo
+//!   cache for backward-transformer subterms and solver verdicts, and
+//!   the persistent on-disk verdict store;
+//! * [`service`] — the async verification daemon: NDJSON-over-TCP job
+//!   submission with priorities, streamed per-job reports, and the
+//!   blocking client.
 //!
 //! # Quickstart
 //!
@@ -40,4 +44,5 @@ pub use nqpv_lang as lang;
 pub use nqpv_linalg as linalg;
 pub use nqpv_quantum as quantum;
 pub use nqpv_semantics as semantics;
+pub use nqpv_service as service;
 pub use nqpv_solver as solver;

@@ -358,3 +358,163 @@ fn cli_batch_cache_cap_bounds_and_reports_evictions() {
     let summary = String::from_utf8_lossy(&human.stdout);
     assert!(summary.contains("eviction(s)"), "{summary}");
 }
+
+/// Extracts the integer value of `"key": N` from a JSON report line.
+fn json_counter(json: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\": ");
+    let at = json.find(&needle)? + needle.len();
+    let digits: String = json[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+#[test]
+fn cli_batch_cache_dir_persists_verdicts_across_runs() {
+    // `--cache-dir` layers the on-disk verdict store under the memo
+    // cache: run 1 writes records, run 2 (a fresh process — a "restart")
+    // answers its verdict queries from disk without solving anything new.
+    let dir = temp_dir("cache_dir");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = dir.display().to_string();
+    let args = [
+        "batch",
+        "examples/corpus/manifest.txt",
+        "--jobs",
+        "2",
+        "--cache-dir",
+        cache.as_str(),
+        "--json",
+    ];
+    let Some(cold) = run_nqpv(&args) else { return };
+    assert_eq!(
+        cold.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    let cold_json = String::from_utf8_lossy(&cold.stdout);
+    assert!(
+        json_counter(&cold_json, "disk_writes").unwrap_or(0) >= 1,
+        "cold run must persist verdicts: {cold_json}"
+    );
+    assert_eq!(
+        json_counter(&cold_json, "disk_hits"),
+        Some(0),
+        "{cold_json}"
+    );
+
+    let warm = run_nqpv(&args).unwrap();
+    assert_eq!(warm.status.code(), Some(0));
+    let warm_json = String::from_utf8_lossy(&warm.stdout);
+    assert!(
+        json_counter(&warm_json, "disk_hits").unwrap_or(0) >= 1,
+        "warm run must hit the disk store: {warm_json}"
+    );
+    assert_eq!(
+        json_counter(&warm_json, "disk_writes"),
+        Some(0),
+        "fully warm run solves nothing new: {warm_json}"
+    );
+    // Verdicts agree run-over-run.
+    for file in ["deutsch", "grover_step", "err_corr"] {
+        let needle = format!("\"name\": \"{file}\", ");
+        let status = |json: &str| {
+            json.lines()
+                .find(|l| l.contains(&needle))
+                .map(|l| l.contains("\"status\": \"verified\""))
+        };
+        assert_eq!(status(&cold_json), status(&warm_json), "{file}");
+    }
+
+    // The JSON exposes the binning decision (satellite: verdict-cache-
+    // aware scheduling): the grover twins share a bin, so the corpus
+    // collapses into fewer bins than jobs.
+    let bins = json_counter(&warm_json, "bins").expect("bins reported");
+    assert!(bins >= 1, "{warm_json}");
+    assert!(warm_json.contains("\"bin\": \""), "{warm_json}");
+    assert!(warm_json.contains("\"worker\": "), "{warm_json}");
+}
+
+#[test]
+fn cli_serve_and_client_roundtrip() {
+    // Drive the real daemon through the real binary: start `nqpv serve`
+    // on an ephemeral loopback port, submit the corpus via `nqpv client`,
+    // check the streamed verdicts match `nqpv batch`, and shut it down.
+    let Some(bin) = nqpv_bin() else { return };
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut serve = std::process::Command::new(&bin)
+        .current_dir(root)
+        .args(["serve", "--addr", "127.0.0.1:0", "--jobs", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    // The daemon announces its bound address on the first stdout line.
+    let addr = {
+        use std::io::{BufRead, BufReader};
+        let stdout = serve.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).expect("banner");
+        line.trim()
+            .rsplit(' ')
+            .next()
+            .expect("listening banner ends with the address")
+            .to_string()
+    };
+
+    let client = |args: &[&str]| -> std::process::Output {
+        let mut all = vec!["client", addr.as_str()];
+        all.extend_from_slice(args);
+        std::process::Command::new(&bin)
+            .current_dir(root)
+            .args(&all)
+            .output()
+            .expect("client runs")
+    };
+
+    let ping = client(&["ping"]);
+    assert_eq!(ping.status.code(), Some(0), "{ping:?}");
+    assert!(String::from_utf8_lossy(&ping.stdout).contains("pong"));
+
+    // Corpus contains a rejected and an error job → exit 1, and the
+    // streamed verdicts agree with `nqpv batch`.
+    let submit = client(&["submit", "--priority", "3", "examples/corpus"]);
+    assert_eq!(submit.status.code(), Some(1), "{submit:?}");
+    let stream = String::from_utf8_lossy(&submit.stdout);
+    for (file, status) in [
+        ("deutsch", "verified"),
+        ("err_corr", "verified"),
+        ("grover_step", "verified"),
+        ("grover_step_twin", "verified"),
+        ("rus", "verified"),
+        ("rejected", "rejected"),
+        ("parse_error", "error"),
+    ] {
+        let needle = format!("\"name\":\"{file}\",\"status\":\"{status}\"");
+        assert!(
+            stream.contains(&needle),
+            "{file} must stream status {status}: {stream}"
+        );
+    }
+    assert!(stream.contains("\"event\":\"running\""), "{stream}");
+
+    // Manifests submit as corpora (only verifying jobs listed → exit 0).
+    let manifest = client(&["submit", "examples/corpus/manifest.txt"]);
+    assert_eq!(manifest.status.code(), Some(0), "{manifest:?}");
+    let mstream = String::from_utf8_lossy(&manifest.stdout);
+    assert_eq!(
+        mstream.matches("\"event\":\"verdict\"").count(),
+        5,
+        "{mstream}"
+    );
+
+    let stats = client(&["stats"]);
+    let stats_line = String::from_utf8_lossy(&stats.stdout).to_string();
+    assert!(stats_line.contains("\"done\":12"), "{stats_line}");
+
+    let down = client(&["shutdown"]);
+    assert!(String::from_utf8_lossy(&down.stdout).contains("shutting_down"));
+    let status = serve.wait().expect("daemon exits after shutdown");
+    assert!(status.success(), "daemon exit: {status:?}");
+}
