@@ -3,6 +3,9 @@
 //!
 //! ```text
 //! nqpv verify FILE.nqpv      verify every proof in FILE, print show output
+//! nqpv explain FILE.nqpv     verify FILE and turn every REJECTED proof
+//!                            into a counterexample (witness state,
+//!                            scheduler trace, expectation trajectory)
 //! nqpv show FILE.nqpv NAME   verify FILE, then print the named artifact
 //! nqpv check FILE.nqpv       parse only; report syntax errors
 //! nqpv batch DIR             verify every .nqpv under DIR in parallel
@@ -33,6 +36,7 @@ fn main() -> ExitCode {
     };
     match args.first().map(String::as_str) {
         Some("verify") if args.len() == 2 => cmd_verify(&args[1], None, infer),
+        Some("explain") => cmd_explain(&args[1..], infer),
         Some("show") if args.len() == 3 => cmd_verify(&args[1], Some(&args[2]), infer),
         Some("check") if args.len() == 2 => cmd_check(&args[1]),
         Some("batch") => cmd_batch(&args[1..], infer),
@@ -45,7 +49,7 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  nqpv verify [--infer] FILE.nqpv\n  nqpv show [--infer] FILE.nqpv NAME\n  nqpv check FILE.nqpv\n  nqpv batch [--infer] [--jobs N] [--json] [--no-cache] [--cache-cap N]\n             [--cache-dir DIR] [--no-bin] DIR|MANIFEST\n  nqpv serve --addr HOST:PORT [--infer] [--jobs N] [--no-cache]\n             [--cache-cap N] [--cache-dir DIR]\n  nqpv client ADDR submit [--priority N] PATH…   submit + stream verdicts\n  nqpv client ADDR watch                         stream every job event\n  nqpv client ADDR stats|ping|shutdown\n  nqpv ops\n\n  --infer        attempt wlp-fixpoint invariant inference for\n                 while loops lacking an inv: annotation\n  --jobs N       worker threads (default: available cores)\n  --json         print the batch report as JSON instead of a summary\n  --no-cache     disable the shared wp memo cache\n  --cache-cap N  bound each cache tier to N entries (LRU eviction;\n                 eviction counts appear in the report)\n  --cache-dir D  persist solver verdicts under D (survives restarts,\n                 shared between batch runs and the daemon)\n  --no-bin       disable verdict-cache affinity scheduling\n  --priority N   scheduling priority for submitted jobs (higher first)"
+        "usage:\n  nqpv verify [--infer] FILE.nqpv\n  nqpv explain [--infer] [--json] FILE.nqpv\n  nqpv show [--infer] FILE.nqpv NAME\n  nqpv check FILE.nqpv\n  nqpv batch [--infer] [--jobs N] [--json] [--no-cache] [--cache-cap N]\n             [--cache-dir DIR] [--no-bin] [--explain] DIR|MANIFEST\n  nqpv serve --addr HOST:PORT [--infer] [--jobs N] [--no-cache]\n             [--cache-cap N] [--cache-dir DIR] [--max-queue N] [--explain]\n  nqpv client ADDR submit [--priority N] PATH…   submit + stream verdicts\n  nqpv client ADDR watch                         stream every job event\n  nqpv client ADDR stats|ping|shutdown\n  nqpv ops\n\n  --infer        attempt wlp-fixpoint invariant inference for\n                 while loops lacking an inv: annotation\n  --jobs N       worker threads (default: available cores)\n  --json         print the report as JSON instead of a summary\n  --no-cache     disable the shared wp memo cache\n  --cache-cap N  bound each cache tier to N entries (LRU eviction;\n                 eviction counts appear in the report)\n  --cache-dir D  persist solver verdicts under D (survives restarts,\n                 shared between batch runs and the daemon)\n  --no-bin       disable verdict-cache affinity scheduling\n  --explain      extract a counterexample (witness state, scheduler\n                 trace, expectation trajectory) for every rejected proof\n  --max-queue N  refuse submissions once N jobs are queued (daemon\n                 backpressure; structured 'overloaded' reply)\n  --priority N   scheduling priority for submitted jobs (higher first)"
     );
     ExitCode::from(2)
 }
@@ -123,6 +127,97 @@ fn cmd_verify(path: &str, show: Option<&str>, infer: bool) -> ExitCode {
     }
 }
 
+/// `nqpv explain [--infer] [--json] FILE.nqpv` — verify the file and turn
+/// every REJECTED proof into a counterexample: witness state, demonic
+/// scheduler trace, and per-statement expectation trajectory, confirmed
+/// by forward replay. Exit codes mirror `verify` (0 all proofs verified,
+/// 1 any rejected, 2 structural error).
+fn cmd_explain(rest: &[String], infer: bool) -> ExitCode {
+    let mut json = false;
+    let mut target: Option<&str> = None;
+    for arg in rest {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown explain flag '{other}'");
+                return usage();
+            }
+            other => {
+                if target.replace(other).is_some() {
+                    eprintln!("error: explain expects exactly one FILE");
+                    return usage();
+                }
+            }
+        }
+    }
+    let Some(path) = target else {
+        eprintln!("error: explain expects a FILE.nqpv");
+        return usage();
+    };
+    let src = match read(path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let base = Path::new(path)
+        .parent()
+        .map(|p| p.to_path_buf())
+        .unwrap_or_default();
+    let opts = VcOptions {
+        infer_invariants: infer,
+        ..VcOptions::default()
+    };
+    let report = match nqpv_diagnose::explain_source(&src, &base, opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut all_ok = true;
+    if json {
+        let mut out = String::new();
+        out.push_str("{\"file\": ");
+        out.push_str(&json_str(path));
+        out.push_str(", \"proofs\": [");
+        for (i, d) in report.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"name\": {}, \"verified\": {}",
+                json_str(&d.name),
+                d.verified
+            ));
+            if let Some(cex) = &d.counterexample {
+                out.push_str(", \"counterexample\": ");
+                out.push_str(&cex.to_json());
+            }
+            out.push('}');
+            all_ok &= d.verified;
+        }
+        out.push_str("]}");
+        println!("{out}");
+    } else {
+        for d in &report {
+            if d.verified {
+                println!("proof '{}': verified (no counterexample)", d.name);
+            } else {
+                all_ok = false;
+                println!("proof '{}': REJECTED", d.name);
+                match &d.counterexample {
+                    Some(cex) => print!("{}", cex.human()),
+                    None => println!("  (comparison unresolved — no witness extracted)"),
+                }
+            }
+        }
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
 /// Parses the positive-integer argument of `flag`.
 fn positive_arg(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<usize, ExitCode> {
     match it.next().and_then(|v| v.parse::<usize>().ok()) {
@@ -144,6 +239,7 @@ fn cmd_batch(rest: &[String], infer: bool) -> ExitCode {
     let mut json = false;
     let mut use_cache = true;
     let mut bin_jobs = true;
+    let mut explain = false;
     let mut cache_cap: Option<usize> = None;
     let mut cache_dir: Option<&str> = None;
     let mut target: Option<&str> = None;
@@ -168,6 +264,7 @@ fn cmd_batch(rest: &[String], infer: bool) -> ExitCode {
             "--json" => json = true,
             "--no-cache" => use_cache = false,
             "--no-bin" => bin_jobs = false,
+            "--explain" => explain = true,
             other if other.starts_with('-') => {
                 eprintln!("error: unknown batch flag '{other}'");
                 return usage();
@@ -215,6 +312,7 @@ fn cmd_batch(rest: &[String], infer: bool) -> ExitCode {
             cache_cap,
             disk,
             bin_jobs,
+            explain,
             vc: VcOptions {
                 infer_invariants: infer,
                 ..VcOptions::default()
@@ -271,6 +369,18 @@ fn cmd_serve(rest: &[String], infer: bool) -> ExitCode {
                 opts.cache_dir = Some(dir.into());
             }
             "--no-cache" => opts.use_cache = false,
+            "--explain" => opts.explain = true,
+            "--max-queue" => {
+                // 0 is meaningful (refuse everything), so this flag takes
+                // any non-negative integer.
+                match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) => opts.max_queue = Some(n),
+                    None => {
+                        eprintln!("error: --max-queue expects a non-negative integer");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             other => {
                 eprintln!("error: unknown serve flag '{other}'");
                 return usage();

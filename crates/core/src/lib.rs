@@ -44,4 +44,6 @@ pub use session::{Session, SessionError};
 pub use transformer::{
     backward, backward_with_cache, precondition, Annotated, AnnotatedNode, Mode, VcOptions,
 };
-pub use verifier::{verify_proof_term, verify_proof_term_with, VerifyOutcome, VerifyStatus};
+pub use verifier::{
+    verify_proof_term, verify_proof_term_with, FailedObligation, VerifyOutcome, VerifyStatus,
+};

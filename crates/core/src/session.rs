@@ -211,7 +211,7 @@ impl Session {
             let mut text = outcome.outline.clone();
             match &outcome.status {
                 crate::verifier::VerifyStatus::Verified => {}
-                crate::verifier::VerifyStatus::PreconditionViolated { details } => {
+                crate::verifier::VerifyStatus::PreconditionViolated { details, .. } => {
                     text.push_str(&format!("\nError:\n  {details}\n"));
                 }
                 crate::verifier::VerifyStatus::Unresolved { details } => {

@@ -165,6 +165,7 @@ pub fn backward_with_cache(
         next_loop_id: 0,
         cache,
         ctx_key: context_key(reg, opts),
+        path: Vec::new(),
     };
     let tagged = tag_loops(stmt, &mut ctx.next_loop_id);
     ctx.go(&tagged, post)
@@ -285,6 +286,11 @@ struct Ctx<'a> {
     next_loop_id: usize,
     cache: Option<&'a dyn TransformerCache>,
     ctx_key: CacheKey,
+    /// Child-index path from the program root to the subterm currently
+    /// being transformed — the statement *span* reported when an embedded
+    /// obligation (cut assertion, loop invariant) fails, so a rejected
+    /// comparison names the statement that produced it.
+    path: Vec<usize>,
 }
 
 /// Measurement branch projectors kept at their native dimension with a
@@ -330,6 +336,31 @@ impl Ctx<'_> {
                 Ok(ann)
             }
             _ => self.go_uncached(stmt, post),
+        }
+    }
+
+    /// [`Ctx::go`] on a child subterm, tracking the statement path for
+    /// span-bearing failure reports.
+    fn go_child(
+        &mut self,
+        idx: usize,
+        stmt: &TStmt,
+        post: &Assertion,
+    ) -> Result<Annotated, VerifError> {
+        self.path.push(idx);
+        let out = self.go(stmt, post);
+        self.path.pop();
+        out
+    }
+
+    /// Renders the current statement path, e.g. `statement 2.0` (dotted
+    /// child indices from the program root) or `top level`.
+    fn span(&self) -> String {
+        if self.path.is_empty() {
+            "top level".to_string()
+        } else {
+            let dotted: Vec<String> = self.path.iter().map(ToString::to_string).collect();
+            format!("statement {}", dotted.join("."))
         }
     }
 
@@ -496,8 +527,10 @@ impl Ctx<'_> {
                     Verdict::Violated(v) => Err(VerifError::CutFailed {
                         index: 0,
                         details: format!(
-                            "cut assertion does not entail the computed condition (margin {:.3e})",
-                            v.margin
+                            "cut assertion does not entail the computed condition \
+                             (margin {:.3e}, at {})",
+                            v.margin,
+                            self.span()
                         ),
                     }),
                     Verdict::Inconclusive { lower, upper, .. } => Err(VerifError::Inconclusive {
@@ -543,8 +576,8 @@ impl Ctx<'_> {
             TStmt::Seq(items) => {
                 let mut annotated_rev: Vec<Annotated> = Vec::with_capacity(items.len());
                 let mut current = post.clone();
-                for item in items.iter().rev() {
-                    let ann = self.go(item, &current)?;
+                for (idx, item) in items.iter().enumerate().rev() {
+                    let ann = self.go_child(idx, item, &current)?;
                     current = ann.pre.clone();
                     annotated_rev.push(ann);
                 }
@@ -555,8 +588,8 @@ impl Ctx<'_> {
                 })
             }
             TStmt::NDet(a, b) => {
-                let left = self.go(a, post)?;
-                let right = self.go(b, post)?;
+                let left = self.go_child(0, a, post)?;
+                let right = self.go_child(1, b, post)?;
                 let pre = left.pre.union(&right.pre)?.check_size(self.opts.max_set)?;
                 Ok(Annotated {
                     pre,
@@ -570,8 +603,8 @@ impl Ctx<'_> {
                 else_branch,
             } => {
                 let br = self.branch_projectors(meas, qubits)?;
-                let then_ann = self.go(then_branch, post)?;
-                let else_ann = self.go(else_branch, post)?;
+                let then_ann = self.go_child(0, then_branch, post)?;
+                let else_ann = self.go_child(1, else_branch, post)?;
                 // xp.(if).M = P¹(xp.S₁.M) + P⁰(xp.S₀.M)  (Fig. 5) — the
                 // sandwiches run strided on the local projectors (factored
                 // predicates stay factored); no full-dimension embedding
@@ -647,15 +680,17 @@ impl Ctx<'_> {
                     .sandwich0(post, n)
                     .sum_pairwise(&br.sandwich1(&inv, n))?
                     .check_size(self.opts.max_set)?;
-                let body_ann = self.go(body, &phi)?;
+                let body_ann = self.go_child(0, body, &phi)?;
                 // Invariant validity: Θ_inv ⊑_inf wlp.body.Φ.
                 match inv.le_inf_cached(&body_ann.pre, self.opts.lowner, self.cache)? {
                     Verdict::Holds => {}
                     Verdict::Violated(v) => {
                         return Err(VerifError::InvalidInvariant {
                             details: format!(
-                                "{{ inv }} <= {{ wlp of loop body }} fails with margin {:.3e}",
-                                v.margin
+                                "{{ inv }} <= {{ wlp of loop body }} fails with \
+                                 margin {:.3e} (loop {loop_id}, at {})",
+                                v.margin,
+                                self.span()
                             ),
                         })
                     }

@@ -17,6 +17,24 @@ use nqpv_quantum::{OperatorLibrary, Register};
 use nqpv_solver::Verdict;
 use std::collections::HashMap;
 
+/// The machine-readable record of a failed final comparison
+/// `Θ ⊑_inf wp.S.Ψ`: which obligation (element of the computed VC set)
+/// was violated, the solver's witness state, and the certified margin.
+/// This is the raw material the `nqpv-diagnose` counterexample extractor
+/// refines into a replayed witness + scheduler trace; previously the
+/// solver's evidence was rendered into a string and discarded.
+#[derive(Debug, Clone)]
+pub struct FailedObligation {
+    /// Index of the violated element of the computed VC set
+    /// ([`VerifyOutcome::computed_pre`]).
+    pub vc_index: usize,
+    /// The solver's witness density operator `ρ` with
+    /// `Exp(ρ ⊨ Θ) > tr(VC[vc_index]·ρ) + margin`.
+    pub witness: nqpv_linalg::CMat,
+    /// The certified violation margin.
+    pub margin: f64,
+}
+
 /// The final status of a verification run.
 #[derive(Debug, Clone)]
 pub enum VerifyStatus {
@@ -28,6 +46,9 @@ pub enum VerifyStatus {
     PreconditionViolated {
         /// Rendered diagnostic (the tool's "Order relation not satisfied").
         details: String,
+        /// The structured violation evidence (obligation index, witness
+        /// state, margin).
+        violation: FailedObligation,
     },
     /// The solver could not resolve the final comparison within tolerance.
     Unresolved {
@@ -125,6 +146,11 @@ pub fn verify_proof_term_with(
                     render_assertion(&ann.pre.clone(), registry, &term.qubits.join(" ")),
                     v.margin
                 ),
+                violation: FailedObligation {
+                    vc_index: v.index,
+                    witness: v.witness,
+                    margin: v.margin,
+                },
             },
             Verdict::Inconclusive { lower, upper, .. } => VerifyStatus::Unresolved {
                 details: format!("final comparison unresolved in [{lower:.3e}, {upper:.3e}]"),
@@ -331,8 +357,12 @@ mod tests {
         )
         .unwrap();
         match outcome.status {
-            VerifyStatus::PreconditionViolated { details } => {
+            VerifyStatus::PreconditionViolated { details, violation } => {
                 assert!(details.contains("Order relation not satisfied"));
+                // The structured record carries the solver's evidence: the
+                // witness is a state with tr(P1·ρ) − tr(Pp·ρ) = margin.
+                assert!(violation.margin > 0.2, "{}", violation.margin);
+                assert!(nqpv_linalg::is_partial_density(&violation.witness, 1e-6));
             }
             other => panic!("expected violation, got {other:?}"),
         }

@@ -1,0 +1,171 @@
+//! Property tests for the counterexample extractor: on random loop-free
+//! programs with deliberately weakened preconditions, every extracted
+//! witness must *really* violate the triple under forward replay — the
+//! replay gap is recomputed here independently, by executing the reported
+//! schedule through the semantics crate — and programs that verify must
+//! never yield a witness.
+
+use nqpv_core::{Assertion, Mode, VcOptions};
+use nqpv_diagnose::{explain_source, ScriptSched, CONFIRM_EPS};
+use nqpv_lang::parse_stmt;
+use nqpv_quantum::{OperatorLibrary, Register};
+use nqpv_semantics::{exec_scheduled, ExecOptions};
+use proptest::prelude::*;
+
+/// Renders one random top-level statement from an opcode pair.
+fn stmt_for(code: usize, sub: usize) -> String {
+    let atom = |k: usize| {
+        [
+            "skip",
+            "[q1] *= X",
+            "[q2] *= H",
+            "[q1] *= H",
+            "[q1 q2] *= CX",
+        ][k % 5]
+    };
+    match code % 7 {
+        0 => "[q1] *= H".to_string(),
+        1 => "[q2] *= X".to_string(),
+        2 => "[q1 q2] *= CX".to_string(),
+        3 => "[q1] := 0".to_string(),
+        4 => format!("( {} # {} )", atom(sub), atom(sub + 3)),
+        5 => format!("if M01[q1] then {} else {} end", atom(sub), atom(sub + 1)),
+        _ => "[q2] *= H".to_string(),
+    }
+}
+
+fn program(ops: &[(usize, usize)]) -> String {
+    let stmts: Vec<String> = ops.iter().map(|&(c, s)| stmt_for(c, s)).collect();
+    stmts.join("; ")
+}
+
+fn source(pre: &str, body: &str) -> String {
+    format!("def pf := proof [q1 q2] : {{ {pre} }}; {body}; {{ P0[q1] }} end")
+}
+
+/// Recomputes the replay gap completely outside the diagnose crate:
+/// parse the body, execute the reported schedule, and measure
+/// `Exp(ρ ⊨ Θ) − (Exp(σ ⊨ Ψ) + slack)` from scratch.
+fn independent_gap(
+    body: &str,
+    rho: &nqpv_linalg::CMat,
+    schedule_right: &[bool],
+    pre: &Assertion,
+    post: &Assertion,
+) -> f64 {
+    let lib = OperatorLibrary::with_builtins();
+    let reg = Register::new(&["q1", "q2"]).unwrap();
+    let stmt = parse_stmt(body).unwrap();
+    let mut sched = ScriptSched::new(schedule_right.to_vec());
+    let sigma = exec_scheduled(&stmt, rho, &lib, &reg, &mut sched, ExecOptions::default()).unwrap();
+    let slack = (rho.trace_re() - sigma.trace_re()).max(0.0);
+    pre.expectation(rho) - (post.expectation(&sigma) + slack)
+}
+
+fn builtin_assertion(name: &str, qubit: &str) -> Assertion {
+    let lib = OperatorLibrary::with_builtins();
+    let reg = Register::new(&["q1", "q2"]).unwrap();
+    let expr = nqpv_lang::AssertionExpr::singleton(nqpv_lang::OpApp::new(name, &[qubit]));
+    Assertion::from_expr(&expr, &lib, &reg).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn weakened_preconditions_yield_replay_confirmed_witnesses(
+        ops in proptest::collection::vec((0usize..7, 0usize..5), 1..5),
+    ) {
+        let body = program(&ops);
+        // { I[q1] } S { P0[q1] } is deliberately too strong a promise for
+        // most S — whenever the verifier rejects it, the extractor must
+        // hand back a witness whose violation replays for real.
+        let src = source("I[q1]", &body);
+        let report = explain_source(&src, std::path::Path::new("."), VcOptions::default())
+            .expect("structurally clean by construction");
+        prop_assert_eq!(report.len(), 1);
+        if report[0].verified {
+            prop_assert!(report[0].counterexample.is_none());
+            // Nothing to diagnose for this sample.
+            prop_assume!(false);
+        }
+        let cex = report[0].counterexample.as_ref().expect("rejected ⇒ witness");
+        prop_assert!(cex.confirmed, "unconfirmed witness for {}: {:?}", body, cex);
+        prop_assert!(cex.gap >= CONFIRM_EPS, "gap {} for {}", cex.gap, body);
+        // The demon can always do at least as well as the solver's bound
+        // on the violated VC element.
+        prop_assert!(
+            cex.gap >= cex.solver_margin - 1e-6,
+            "replay gap {} below solver margin {} for {}",
+            cex.gap, cex.solver_margin, body
+        );
+        // Replay the witness through the semantics crate, independently
+        // of everything the extractor computed.
+        let bits: Vec<bool> = cex.schedule.iter().map(|s| s.right).collect();
+        let gap = independent_gap(
+            &body,
+            &cex.witness.rho,
+            &bits,
+            &builtin_assertion("I", "q1"),
+            &builtin_assertion("P0", "q1"),
+        );
+        prop_assert!(
+            (gap - cex.gap).abs() < 1e-9,
+            "independent replay disagrees: {} vs {} for {}",
+            gap, cex.gap, body
+        );
+        // Pure witnesses must be consistent with their amplitudes.
+        if let Some(amps) = &cex.witness.amplitudes {
+            let v = nqpv_linalg::CVec::new(amps.clone());
+            prop_assert!(cex.witness.rho.approx_eq(&v.projector(), 1e-6));
+        }
+    }
+
+    #[test]
+    fn accepted_programs_never_yield_a_witness(
+        ops in proptest::collection::vec((0usize..7, 0usize..5), 1..5),
+    ) {
+        // { Zero[q1] } S { P0[q1] } verifies for every S ({0} ⊑_inf Ψ
+        // holds unconditionally), so no witness may appear.
+        let body = program(&ops);
+        let src = source("Zero[q1]", &body);
+        let report = explain_source(&src, std::path::Path::new("."), VcOptions::default())
+            .expect("structurally clean by construction");
+        prop_assert!(report[0].verified, "{} unexpectedly rejected", body);
+        prop_assert!(report[0].counterexample.is_none());
+
+        // {I} S {I} likewise verifies for abort-free loop-free programs
+        // (E†(I) = I for every branch).
+        let src_i = format!(
+            "def pf := proof [q1 q2] : {{ I[q1] }}; {body}; {{ I[q1] }} end"
+        );
+        let report_i = explain_source(&src_i, std::path::Path::new("."), VcOptions::default())
+            .expect("structurally clean");
+        prop_assert!(report_i[0].verified, "{} rejected against I", body);
+        prop_assert!(report_i[0].counterexample.is_none());
+    }
+
+    #[test]
+    fn total_mode_diagnoses_match_partial_on_massless_programs(
+        ops in proptest::collection::vec((0usize..4, 0usize..5), 1..4),
+    ) {
+        // Abort-free programs lose no mass, so the liberal slack is zero
+        // and the two modes must extract identical gaps.
+        let body = program(&ops);
+        let src = source("I[q1]", &body);
+        let partial = explain_source(&src, std::path::Path::new("."), VcOptions::default())
+            .expect("clean");
+        let total = explain_source(
+            &src,
+            std::path::Path::new("."),
+            VcOptions { mode: Mode::Total, ..VcOptions::default() },
+        )
+        .expect("clean");
+        prop_assert_eq!(partial[0].verified, total[0].verified);
+        match (&partial[0].counterexample, &total[0].counterexample) {
+            (Some(a), Some(b)) => prop_assert!((a.gap - b.gap).abs() < 1e-9),
+            (None, None) => {}
+            _ => prop_assert!(false, "modes disagree on witness existence for {}", body),
+        }
+    }
+}

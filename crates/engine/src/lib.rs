@@ -46,7 +46,11 @@ mod report;
 
 pub use cache::{CacheStats, MemoCache};
 pub use corpus::{affinity_bin, Corpus, CorpusError, Job};
+// Re-exported so downstream consumers of [`JobReport`] (the service
+// daemon's verdict events) can name the counterexample payload without a
+// direct `nqpv-diagnose` dependency.
 pub use disk::{DiskCache, DiskStats, DISK_LAYOUT_VERSION};
+pub use nqpv_diagnose::Counterexample;
 pub use pool::{
     run_batch, run_job, run_pool, BatchOptions, BinnedCorpusSource, JobSource, PoolObserver,
     SourcedJob,

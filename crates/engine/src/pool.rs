@@ -40,6 +40,11 @@ pub struct BatchOptions {
     /// each bin on a single worker (on by default). `false` restores
     /// plain submission-order work stealing.
     pub bin_jobs: bool,
+    /// Diagnose rejected jobs: run the `nqpv-diagnose` counterexample
+    /// extractor on every job with a rejected proof and attach the
+    /// witnesses to its [`JobReport`] (the `nqpv batch --explain` mode).
+    /// Verdicts are unchanged — diagnosis is evidence, not re-judgement.
+    pub explain: bool,
 }
 
 impl Default for BatchOptions {
@@ -51,6 +56,7 @@ impl Default for BatchOptions {
             cache_cap: None,
             disk: None,
             bin_jobs: true,
+            explain: false,
         }
     }
 }
@@ -129,6 +135,7 @@ pub fn run_pool(
     vc: VcOptions,
     cache: Option<Arc<MemoCache>>,
     observer: &dyn PoolObserver,
+    explain: bool,
 ) {
     let workers = workers.max(1);
     std::thread::scope(|scope| {
@@ -137,7 +144,7 @@ pub fn run_pool(
             scope.spawn(move || {
                 while let Some(sourced) = source.next(w) {
                     observer.job_started(sourced.seq, &sourced.job, w);
-                    let report = run_job(&sourced.job, vc, cache.clone(), w);
+                    let report = run_job(&sourced.job, vc, cache.clone(), w, explain);
                     observer.job_finished(sourced.seq, &report);
                 }
             });
@@ -248,7 +255,14 @@ pub fn run_batch(corpus: &Corpus, options: &BatchOptions) -> BatchReport {
         let collector = Collector {
             slots: Mutex::new(slots),
         };
-        run_pool(&source, workers, options.vc, cache.clone(), &collector);
+        run_pool(
+            &source,
+            workers,
+            options.vc,
+            cache.clone(),
+            &collector,
+            options.explain,
+        );
         slots = collector.slots.into_inner().expect("pool poisoned");
     }
 
@@ -267,11 +281,14 @@ pub fn run_batch(corpus: &Corpus, options: &BatchOptions) -> BatchReport {
 }
 
 /// Runs one job in a fresh `Session` (sharing `cache` if provided).
+/// With `explain`, rejected jobs additionally run the `nqpv-diagnose`
+/// counterexample extractor; the witnesses ride along on the report.
 pub fn run_job(
     job: &Job,
     vc: VcOptions,
     cache: Option<Arc<MemoCache>>,
     worker: usize,
+    explain: bool,
 ) -> JobReport {
     let t0 = Instant::now();
     let mut session = Session::new()
@@ -300,6 +317,21 @@ pub fn run_job(
             }
         }
     };
+    let counterexamples = if explain && matches!(status, JobStatus::Rejected { .. }) {
+        // Diagnosis re-verifies from scratch (no cache): extraction cost
+        // is paid only on the rejected minority, and a diagnosis failure
+        // degrades to "no witness", never to a changed verdict.
+        nqpv_diagnose::explain_source(&job.source, &job.base_dir, vc)
+            .map(|report| {
+                report
+                    .into_iter()
+                    .filter_map(|d| d.counterexample)
+                    .collect()
+            })
+            .unwrap_or_default()
+    } else {
+        Vec::new()
+    };
     JobReport {
         name: job.name.clone(),
         path: job.path.as_ref().map(|p| p.display().to_string()),
@@ -307,6 +339,7 @@ pub fn run_job(
         ms: t0.elapsed().as_secs_f64() * 1e3,
         bin: job.bin,
         worker,
+        counterexamples,
     }
 }
 
@@ -453,6 +486,41 @@ mod tests {
                 "binning is placement-only"
             );
         }
+    }
+
+    #[test]
+    fn explain_mode_attaches_counterexamples_to_rejected_jobs_only() {
+        let report = run_batch(
+            &corpus(),
+            &BatchOptions {
+                explain: true,
+                ..BatchOptions::default()
+            },
+        );
+        for job in &report.jobs {
+            match &job.status {
+                JobStatus::Rejected { .. } => {
+                    assert_eq!(job.counterexamples.len(), 1, "{}", job.name);
+                    let cex = &job.counterexamples[0];
+                    assert!(cex.confirmed, "{cex:?}");
+                    assert!(cex.gap >= 1e-6);
+                }
+                _ => assert!(job.counterexamples.is_empty(), "{}", job.name),
+            }
+        }
+        // Verdicts are unchanged by diagnosis.
+        let plain = run_batch(&corpus(), &BatchOptions::default());
+        for (a, b) in report.jobs.iter().zip(&plain.jobs) {
+            assert_eq!(a.status.label(), b.status.label(), "{}", a.name);
+            assert!(b.counterexamples.is_empty());
+        }
+        // The JSON report carries the witness payload.
+        let json = report.to_json();
+        assert!(json.contains("\"counterexamples\": ["), "{json}");
+        assert!(json.contains("\"confirmed\":true"), "{json}");
+        // And the human summary tells the story inline.
+        let text = report.human_summary();
+        assert!(text.contains("counterexample for proof"), "{text}");
     }
 
     #[test]

@@ -63,6 +63,9 @@ pub struct JobReport {
     pub bin: u64,
     /// Index of the pool worker that ran the job.
     pub worker: usize,
+    /// Extracted counterexamples for rejected proofs (non-empty only
+    /// when the run diagnosed with `explain` and the job was rejected).
+    pub counterexamples: Vec<nqpv_diagnose::Counterexample>,
 }
 
 /// The whole batch run.
@@ -171,6 +174,16 @@ impl BatchReport {
                     let _ = write!(out, ", \"error\": {}", json_string(message));
                 }
             }
+            if !job.counterexamples.is_empty() {
+                out.push_str(", \"counterexamples\": [");
+                for (k, cex) in job.counterexamples.iter().enumerate() {
+                    if k > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&cex.to_json());
+                }
+                out.push(']');
+            }
             out.push('}');
             if i + 1 < self.jobs.len() {
                 out.push(',');
@@ -207,6 +220,11 @@ impl BatchReport {
                 job.ms,
                 detail
             );
+            for cex in &job.counterexamples {
+                for line in cex.human().lines() {
+                    let _ = writeln!(out, "    {line}");
+                }
+            }
         }
         let _ = writeln!(
             out,
@@ -292,6 +310,7 @@ mod tests {
                     ms: 1.25,
                     bin: 0xDEAD_BEEF,
                     worker: 0,
+                    counterexamples: Vec::new(),
                 },
                 JobReport {
                     name: "b".into(),
@@ -302,6 +321,7 @@ mod tests {
                     ms: 0.5,
                     bin: 0x1,
                     worker: 1,
+                    counterexamples: Vec::new(),
                 },
             ],
             workers: 2,

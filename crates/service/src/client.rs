@@ -125,6 +125,7 @@ impl Client {
                 | Event::Pong
                 | Event::Watching
                 | Event::ShuttingDown
+                | Event::Overloaded { .. }
                 | Event::Error { .. }) => return Ok(e),
                 job_event => self.buffered.push_back(job_event),
             }
@@ -177,6 +178,11 @@ impl Client {
         match self.request(req)? {
             Event::Accepted { jobs } => Ok(jobs),
             Event::Error { message } => Err(io::Error::other(message)),
+            Event::Overloaded {
+                queued, max_queue, ..
+            } => Err(io::Error::other(format!(
+                "daemon overloaded: {queued} job(s) queued, bound {max_queue} — retry later"
+            ))),
             other => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("unexpected reply {other:?}"),

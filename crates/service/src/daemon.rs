@@ -61,6 +61,16 @@ pub struct ServeOptions {
     pub cache_cap: Option<usize>,
     /// Optional persistent verdict-store directory (see [`DiskCache`]).
     pub cache_dir: Option<PathBuf>,
+    /// Admission bound on the job queue (`--max-queue N`): submissions
+    /// that would push the backlog past `N` are refused with a
+    /// structured `overloaded` event instead of growing the heap without
+    /// bound. `None` = unbounded (trusted-network default).
+    pub max_queue: Option<usize>,
+    /// Diagnose rejected jobs (`--explain`): `verdict` events for
+    /// rejected jobs carry a `counterexamples` payload — witness state,
+    /// scheduler trace, expectation trajectory — extracted by
+    /// `nqpv-diagnose`.
+    pub explain: bool,
 }
 
 impl Default for ServeOptions {
@@ -72,6 +82,8 @@ impl Default for ServeOptions {
             use_cache: true,
             cache_cap: None,
             cache_dir: None,
+            max_queue: None,
+            explain: false,
         }
     }
 }
@@ -220,7 +232,7 @@ impl Daemon {
         listener.set_nonblocking(true)?;
 
         let shared = Arc::new(Shared {
-            queue: JobQueue::new(),
+            queue: JobQueue::with_capacity(opts.max_queue),
             subs: Mutex::new(Vec::new()),
             cache,
             running: AtomicU64::new(0),
@@ -241,11 +253,12 @@ impl Daemon {
         let pool = {
             let shared = Arc::clone(&shared);
             let vc = opts.vc;
+            let explain = opts.explain;
             std::thread::spawn(move || {
                 // The pool outlives every fixed corpus: it drains the live
                 // queue until `close()` retires the workers.
                 let cache = shared.cache.clone();
-                run_pool(&shared.queue, workers, vc, cache, &*shared);
+                run_pool(&shared.queue, workers, vc, cache, &*shared, explain);
             })
         };
         let accept = {
@@ -498,21 +511,33 @@ fn handle_request(req: Request, sub: &Arc<Subscriber>, shared: &Arc<Shared>) -> 
 }
 
 /// Queues `jobs`, auto-subscribes the submitter, publishes `queued`
-/// events, and builds the `accepted` reply.
+/// events, and builds the `accepted` reply. Admission is all-or-nothing
+/// against the queue's `--max-queue` bound: an over-capacity submission
+/// is refused whole with a structured `overloaded` event before any id
+/// is allocated or any event published.
 fn submit_jobs(
     jobs: Vec<Job>,
     priority: i64,
     sub: &Arc<Subscriber>,
     shared: &Arc<Shared>,
 ) -> Event {
+    let ids = match shared.queue.try_reserve_batch(jobs.len()) {
+        Ok(ids) => ids,
+        Err(over) => {
+            return Event::Overloaded {
+                queued: over.queued as u64,
+                max_queue: over.max_queue as u64,
+                rejected: jobs.len() as u64,
+            }
+        }
+    };
     let mut accepted = Vec::with_capacity(jobs.len());
-    for job in jobs {
+    for (id, job) in ids.into_iter().zip(jobs) {
         let name = job.name.clone();
         let bin = job.bin;
         // Reserve → subscribe → announce → publish: the job only becomes
         // poppable after the submitter is subscribed, so `running` /
         // `verdict` events can never race past the subscription.
-        let id = shared.queue.reserve();
         sub.ids.lock().expect("hub poisoned").insert(id);
         let line = Event::Queued {
             id,

@@ -56,4 +56,4 @@ pub use client::Client;
 pub use daemon::{serve_blocking, Daemon, ServeOptions};
 pub use json::Json;
 pub use proto::{Event, QueueStats, Request, VerdictEvent};
-pub use queue::JobQueue;
+pub use queue::{JobQueue, Overloaded};

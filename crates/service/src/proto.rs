@@ -164,6 +164,11 @@ pub struct VerdictEvent {
     pub proofs: Vec<(String, bool)>,
     /// Error message for `error` jobs.
     pub error: Option<String>,
+    /// Extracted counterexamples for rejected jobs (JSON objects as
+    /// produced by `nqpv_diagnose::Counterexample::to_json`), present
+    /// only when the daemon runs with `--explain`. Old clients ignore
+    /// the extra member — the protocol is versioned by field presence.
+    pub counterexamples: Vec<Json>,
 }
 
 /// A daemon→client message.
@@ -202,6 +207,17 @@ pub enum Event {
         queue: QueueStats,
         /// Shared-cache counters (`None` when caching is disabled).
         cache: Option<CacheStats>,
+    },
+    /// A submission was refused admission: the queue is at its
+    /// `--max-queue` bound. The connection stays usable — clients back
+    /// off and retry.
+    Overloaded {
+        /// Jobs waiting in the queue at refusal time.
+        queued: u64,
+        /// The configured bound.
+        max_queue: u64,
+        /// Jobs in the refused submission.
+        rejected: u64,
     },
     /// Reply to `watch`.
     Watching,
@@ -271,6 +287,9 @@ impl Event {
                 if let Some(e) = &v.error {
                     members.push(("error", s(e.clone())));
                 }
+                if !v.counterexamples.is_empty() {
+                    members.push(("counterexamples", Json::Arr(v.counterexamples.clone())));
+                }
                 obj(members).to_string()
             }
             Event::Stats { queue, cache } => {
@@ -299,6 +318,17 @@ impl Event {
                 ])
                 .to_string()
             }
+            Event::Overloaded {
+                queued,
+                max_queue,
+                rejected,
+            } => obj(vec![
+                ("event", s("overloaded")),
+                ("queued", n(*queued as f64)),
+                ("max_queue", n(*max_queue as f64)),
+                ("rejected", n(*rejected as f64)),
+            ])
+            .to_string(),
             Event::Watching => obj(vec![("event", s("watching"))]).to_string(),
             Event::Pong => obj(vec![("event", s("pong"))]).to_string(),
             Event::ShuttingDown => obj(vec![("event", s("shutting_down"))]).to_string(),
@@ -396,6 +426,11 @@ impl Event {
                     worker: v.get("worker").and_then(Json::as_u64).unwrap_or(0),
                     proofs,
                     error: v.get("error").and_then(Json::as_str).map(str::to_string),
+                    counterexamples: v
+                        .get("counterexamples")
+                        .and_then(Json::as_arr)
+                        .map(<[Json]>::to_vec)
+                        .unwrap_or_default(),
                 }))
             }
             "stats" => {
@@ -426,6 +461,14 @@ impl Event {
                         done: q("done"),
                     },
                     cache,
+                })
+            }
+            "overloaded" => {
+                let g = |k: &str| v.get(k).and_then(Json::as_u64).unwrap_or(0);
+                Ok(Event::Overloaded {
+                    queued: g("queued"),
+                    max_queue: g("max_queue"),
+                    rejected: g("rejected"),
                 })
             }
             "watching" => Ok(Event::Watching),
@@ -464,6 +507,15 @@ pub fn verdict_event(id: u64, report: &JobReport) -> Event {
         worker: report.worker as u64,
         proofs,
         error,
+        // Counterexamples are produced as compact JSON by the diagnose
+        // crate; re-parse into protocol values so they embed as objects,
+        // not escaped strings. A malformed rendering (cannot happen —
+        // defensive) degrades to omission, never a broken event line.
+        counterexamples: report
+            .counterexamples
+            .iter()
+            .filter_map(|c| Json::parse(&c.to_json()).ok())
+            .collect(),
     })
 }
 
@@ -531,6 +583,11 @@ mod tests {
                 worker: 2,
                 proofs: vec![("pf".into(), false)],
                 error: None,
+                counterexamples: vec![obj(vec![
+                    ("proof", s("pf")),
+                    ("gap", n(0.5)),
+                    ("confirmed", Json::Bool(true)),
+                ])],
             }),
             Event::Verdict(VerdictEvent {
                 id: 4,
@@ -541,7 +598,13 @@ mod tests {
                 worker: 0,
                 proofs: vec![],
                 error: Some("line 1: parse error \"x\"".into()),
+                counterexamples: vec![],
             }),
+            Event::Overloaded {
+                queued: 128,
+                max_queue: 128,
+                rejected: 7,
+            },
             Event::Stats {
                 queue: QueueStats {
                     queued: 1,

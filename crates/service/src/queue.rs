@@ -55,14 +55,31 @@ impl Ord for Entry {
 struct Inner {
     heap: BinaryHeap<Entry>,
     closed: bool,
+    /// Ids handed out by [`JobQueue::try_reserve_batch`] whose jobs have
+    /// not landed in the heap yet — counted against the capacity bound so
+    /// concurrent submitters cannot jointly overshoot it.
+    reserved: usize,
 }
 
-/// A thread-safe, blocking priority queue of verification jobs.
+/// Why a submission was refused admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overloaded {
+    /// Jobs waiting in the queue at refusal time.
+    pub queued: usize,
+    /// The configured bound.
+    pub max_queue: usize,
+}
+
+/// A thread-safe, blocking priority queue of verification jobs, with an
+/// optional admission bound (`max_queue`): submissions that would push
+/// the backlog past the bound are refused atomically instead of growing
+/// the heap without limit — the daemon's backpressure seam.
 #[derive(Debug)]
 pub struct JobQueue {
     inner: Mutex<Inner>,
     ready: Condvar,
     next_id: AtomicU64,
+    cap: Option<usize>,
 }
 
 impl Default for JobQueue {
@@ -72,28 +89,71 @@ impl Default for JobQueue {
 }
 
 impl JobQueue {
-    /// An empty, open queue.
+    /// An empty, open, unbounded queue.
     pub fn new() -> Self {
+        JobQueue::with_capacity(None)
+    }
+
+    /// An empty, open queue admitting at most `cap` queued jobs
+    /// (`None` = unbounded). Running jobs do not count — the bound
+    /// governs the backlog, not the pool.
+    pub fn with_capacity(cap: Option<usize>) -> Self {
         JobQueue {
             inner: Mutex::new(Inner::default()),
             ready: Condvar::new(),
             next_id: AtomicU64::new(0),
+            cap,
         }
+    }
+
+    /// The configured admission bound.
+    pub fn capacity(&self) -> Option<usize> {
+        self.cap
     }
 
     /// Allocates the id a job *will* get, before it becomes visible to
     /// workers — callers use this to register event subscriptions ahead
     /// of [`JobQueue::push_reserved`], so no lifecycle event can race
-    /// past the subscription.
+    /// past the subscription. Bypasses the admission bound (single-job
+    /// legacy path); bounded submitters use
+    /// [`JobQueue::try_reserve_batch`].
     pub fn reserve(&self) -> u64 {
+        self.inner.lock().expect("queue poisoned").reserved += 1;
         self.next_id.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Atomically admits a whole submission of `k` jobs against the
+    /// capacity bound and allocates their ids. All-or-nothing: a corpus
+    /// that does not fit is refused outright rather than truncated
+    /// mid-stream.
+    ///
+    /// # Errors
+    ///
+    /// [`Overloaded`] when `queued + reserved + k` would exceed the bound.
+    pub fn try_reserve_batch(&self, k: usize) -> Result<Vec<u64>, Overloaded> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if let Some(cap) = self.cap {
+            let queued = inner.heap.len() + inner.reserved;
+            if queued + k > cap {
+                return Err(Overloaded {
+                    queued,
+                    max_queue: cap,
+                });
+            }
+        }
+        inner.reserved += k;
+        Ok((0..k)
+            .map(|_| self.next_id.fetch_add(1, Ordering::Relaxed))
+            .collect())
+    }
+
     /// Enqueues `job` under a previously [`reserve`](JobQueue::reserve)d
+    /// (or [`try_reserve_batch`](JobQueue::try_reserve_batch)-admitted)
     /// id. Returns `false` (job dropped) once the queue is closed.
     pub fn push_reserved(&self, id: u64, job: Job, priority: i64) -> bool {
         {
             let mut inner = self.inner.lock().expect("queue poisoned");
+            inner.reserved = inner.reserved.saturating_sub(1);
             if inner.closed {
                 return false;
             }
@@ -135,6 +195,7 @@ impl JobQueue {
             let mut inner = self.inner.lock().expect("queue poisoned");
             inner.closed = true;
             inner.heap.clear();
+            inner.reserved = 0;
         }
         self.ready.notify_all();
     }
@@ -226,6 +287,49 @@ mod tests {
         assert_eq!(q.push(job("three", src), 0), Some(2));
         let names: Vec<String> = (0..3).map(|_| q.next(1).unwrap().job.name).collect();
         assert_eq!(names, ["one", "two", "three"]);
+    }
+
+    #[test]
+    fn capacity_bounds_admission_atomically() {
+        let q = JobQueue::with_capacity(Some(2));
+        assert_eq!(q.capacity(), Some(2));
+        // A batch of 2 fits; pushing makes them queued.
+        let ids = q.try_reserve_batch(2).expect("fits");
+        assert_eq!(ids.len(), 2);
+        // While reserved (not yet pushed), further admissions are refused
+        // — concurrent submitters cannot jointly overshoot.
+        let over = q.try_reserve_batch(1).unwrap_err();
+        assert_eq!(
+            over,
+            Overloaded {
+                queued: 2,
+                max_queue: 2
+            }
+        );
+        for &id in &ids {
+            assert!(q.push_reserved(id, job(&format!("j{id}"), "{ I[q] }"), 0));
+        }
+        assert_eq!(q.len(), 2);
+        assert!(q.try_reserve_batch(1).is_err());
+        // Draining frees capacity.
+        assert!(q.next(0).is_some());
+        let id = q.try_reserve_batch(1).expect("fits again")[0];
+        assert!(q.push_reserved(id, job("late", "{ I[q] }"), 0));
+        // All-or-nothing: a 2-job batch over a 1-slot remainder is
+        // refused whole.
+        assert!(q.try_reserve_batch(2).is_err());
+        // Zero capacity refuses everything.
+        let zero = JobQueue::with_capacity(Some(0));
+        assert_eq!(
+            zero.try_reserve_batch(1),
+            Err(Overloaded {
+                queued: 0,
+                max_queue: 0
+            })
+        );
+        // Unbounded queues admit anything.
+        let free = JobQueue::new();
+        assert_eq!(free.try_reserve_batch(1000).unwrap().len(), 1000);
     }
 
     #[test]

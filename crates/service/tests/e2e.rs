@@ -35,7 +35,7 @@ fn daemon_streams_corpus_verdicts_matching_batch() {
     let accepted = client
         .submit_path(corpus_dir().to_str().unwrap(), 0, true)
         .unwrap();
-    assert_eq!(accepted.len(), 7, "all seven corpus jobs accepted");
+    assert_eq!(accepted.len(), 8, "all eight corpus jobs accepted");
     let ids: Vec<u64> = accepted.iter().map(|(id, _)| *id).collect();
 
     // Streamed lifecycle: collect every event until all verdicts are in,
@@ -269,4 +269,134 @@ fn protocol_errors_keep_the_connection_usable() {
     daemon.join();
     assert_eq!(watcher.next_event().unwrap(), None, "watcher must see EOF");
     while client.next_event().unwrap().is_some() {}
+}
+
+#[test]
+fn max_queue_backpressure_rejects_with_a_structured_event() {
+    // A zero-capacity queue refuses every submission deterministically —
+    // the admission check runs before any id is allocated, so no worker
+    // race can sneak a job through.
+    let daemon = Daemon::start(ServeOptions {
+        jobs: 1,
+        max_queue: Some(0),
+        ..ServeOptions::default()
+    })
+    .expect("daemon starts");
+    let mut client = Client::connect(daemon.local_addr()).unwrap();
+
+    let reply = client
+        .request(&Request::Submit {
+            name: "refused".into(),
+            source: "def pf := proof [q] : { P0[q] }; skip; { P0[q] } end".into(),
+            priority: 0,
+        })
+        .unwrap();
+    assert_eq!(
+        reply,
+        Event::Overloaded {
+            queued: 0,
+            max_queue: 0,
+            rejected: 1,
+        },
+        "zero-capacity daemon must refuse with the structured event"
+    );
+    // Corpus submissions are refused whole (all-or-nothing admission).
+    let reply = client
+        .request(&Request::SubmitDir {
+            path: corpus_dir().display().to_string(),
+            priority: 0,
+        })
+        .unwrap();
+    match reply {
+        Event::Overloaded { rejected, .. } => assert!(rejected >= 7, "{rejected}"),
+        other => panic!("expected overloaded, got {other:?}"),
+    }
+    // The client helper surfaces the refusal as a retryable error…
+    let err = client.submit_source("again", "skip", 0).unwrap_err();
+    assert!(err.to_string().contains("overloaded"), "{err}");
+    // …and the connection stays usable: nothing ever ran.
+    assert_eq!(client.request(&Request::Ping).unwrap(), Event::Pong);
+    let Event::Stats { queue, .. } = client.stats().unwrap() else {
+        unreachable!()
+    };
+    assert_eq!((queue.queued, queue.running, queue.done), (0, 0, 0));
+
+    // A bounded-but-roomy daemon still accepts and verifies normally.
+    let roomy = Daemon::start(ServeOptions {
+        jobs: 1,
+        max_queue: Some(64),
+        ..ServeOptions::default()
+    })
+    .unwrap();
+    let mut ok = Client::connect(roomy.local_addr()).unwrap();
+    let id = ok
+        .submit_source(
+            "fits",
+            "def pf := proof [q] : { Pp[q] }; [q] *= H; { P0[q] } end",
+            0,
+        )
+        .unwrap();
+    assert_eq!(ok.wait_verdicts(&[id]).unwrap()[0].status, "verified");
+    roomy.join();
+    daemon.join();
+}
+
+#[test]
+fn explain_mode_attaches_counterexamples_to_streamed_verdicts() {
+    let daemon = Daemon::start(ServeOptions {
+        jobs: 1,
+        explain: true,
+        ..ServeOptions::default()
+    })
+    .expect("daemon starts");
+    let mut client = Client::connect(daemon.local_addr()).unwrap();
+
+    // A rejected nondeterministic triple: the verdict event must carry
+    // the witness payload with the demon's branch choice.
+    let rejected = client
+        .submit_source(
+            "bad",
+            "def pf := proof [q] : { P0[q] }; ( skip # [q] *= X ); { P0[q] } end",
+            0,
+        )
+        .unwrap();
+    let verdict = &client.wait_verdicts(&[rejected]).unwrap()[0];
+    assert_eq!(verdict.status, "rejected");
+    assert_eq!(verdict.counterexamples.len(), 1, "{verdict:?}");
+    let cex = &verdict.counterexamples[0];
+    assert_eq!(
+        cex.get("confirmed").and_then(nqpv_service::Json::as_bool),
+        Some(true),
+        "{cex:?}"
+    );
+    let gap = cex
+        .get("gap")
+        .and_then(nqpv_service::Json::as_f64)
+        .expect("gap present");
+    assert!((gap - 1.0).abs() < 1e-6, "gap {gap}");
+    let schedule = cex
+        .get("schedule")
+        .and_then(nqpv_service::Json::as_arr)
+        .expect("schedule present");
+    assert_eq!(schedule.len(), 1);
+    assert_eq!(
+        schedule[0]
+            .get("branch")
+            .and_then(nqpv_service::Json::as_str),
+        Some("right"),
+        "the demon takes the X branch"
+    );
+
+    // Verified jobs stream no counterexamples even in explain mode.
+    let ok = client
+        .submit_source(
+            "good",
+            "def pf := proof [q] : { Pp[q] }; [q] *= H; { P0[q] } end",
+            0,
+        )
+        .unwrap();
+    let verdict = &client.wait_verdicts(&[ok]).unwrap()[0];
+    assert_eq!(verdict.status, "verified");
+    assert!(verdict.counterexamples.is_empty());
+    daemon.join();
 }

@@ -24,7 +24,7 @@
 //! `v(M) = max_ρ min_{N∈Ψ} tr((M−N)·ρ) ≤ 0`. Both orders share the
 //! [`game_value`] engine.
 
-use crate::lanczos::{max_eigenpair, LanczosOptions};
+use crate::lanczos::{max_eigenpair, min_eigenpair, LanczosOptions};
 use crate::primal::{max_min_expectation, PrimalOptions};
 use crate::simplex::{exp_gradient_step, uniform};
 use nqpv_linalg::{is_psd_pivoted, CMat, CVec};
@@ -432,12 +432,99 @@ fn validate(theta: &[CMat], psi: &[CMat]) -> Result<(), SolverError> {
     Ok(())
 }
 
+/// A violating eigenvector surfaced by a failed Löwner comparison
+/// `M ⊑ N`: a unit vector `v` with `⟨v|(N−M)|v⟩ = −margin < −ε`, i.e. the
+/// pure state `ρ = |v⟩⟨v|` satisfies `tr(Mρ) − tr(Nρ) = margin > ε` and
+/// refutes the comparison with an explicit state. Consumers (the
+/// `nqpv-diagnose` counterexample extractor) replay exactly this state.
+#[derive(Debug, Clone)]
+pub struct EigenWitness {
+    /// The violating unit vector.
+    pub vector: CVec,
+    /// The certified violation `⟨v|(M−N)|v⟩ > ε`.
+    pub margin: f64,
+}
+
+/// Outcome of a witnessed singleton Löwner comparison: the boolean verdict
+/// plus, on failure, the violating eigenvector (see [`EigenWitness`]).
+#[derive(Debug, Clone)]
+pub struct WitnessedVerdict {
+    /// Whether `M ⊑ N` holds within `ε`. Agrees with the boolean APIs
+    /// ([`lowner_le_eps`] / [`factored_lowner_le`]) on every input,
+    /// boundary cases included.
+    pub holds: bool,
+    /// The violating eigenvector when `holds` is `false`. Present on
+    /// every clear-margin violation; absent only when certification was
+    /// *refused* without a witness clearing `ε` — sub-ε boundary cases
+    /// and (for the factored path) non-finite inputs.
+    pub witness: Option<EigenWitness>,
+}
+
+impl WitnessedVerdict {
+    fn holding() -> Self {
+        WitnessedVerdict {
+            holds: true,
+            witness: None,
+        }
+    }
+
+    fn violated(vector: CVec, margin: f64) -> Self {
+        WitnessedVerdict {
+            holds: false,
+            witness: Some(EigenWitness { vector, margin }),
+        }
+    }
+}
+
 /// Convenience wrapper: singleton Löwner comparison `M ⊑ N` within `ε`,
 /// decided by the pivoted-Cholesky PSD test (rank-deficient differences —
 /// the common case for projector predicates — terminate at the numerical
 /// rank; clear-margin violations abort at the first negative pivot).
 pub fn lowner_le_eps(m: &CMat, n: &CMat, eps: f64) -> bool {
     is_psd_pivoted(&n.sub_mat(m), eps)
+}
+
+/// Witnessed singleton Löwner comparison `M ⊑ N` within `ε`.
+///
+/// The certifying side is the same pivoted-Cholesky test as
+/// [`lowner_le_eps`] — zero extra cost when the comparison holds. On
+/// failure the violating eigenvector is extracted instead of discarded:
+/// the diagonal basis-witness scan supplies a computational-basis
+/// candidate, the Lanczos path (`min_eigenpair` of `N − M`) the extreme
+/// one, and the better of the two is returned. The margin is evaluated
+/// exactly on the returned vector, so `tr(M|v⟩⟨v|) − tr(N|v⟩⟨v|) = margin`
+/// holds by construction, never just up to iteration tolerance.
+pub fn lowner_le_witnessed(m: &CMat, n: &CMat, eps: f64) -> WitnessedVerdict {
+    let diff = n.sub_mat(m);
+    if is_psd_pivoted(&diff, eps) {
+        return WitnessedVerdict::holding();
+    }
+    let d = diff.rows();
+    // Basis-witness scan: the most-negative diagonal entry of N − M.
+    let mut best: Option<(CVec, f64)> = None;
+    for i in 0..d {
+        let margin = -diff[(i, i)].re;
+        if margin > eps && best.as_ref().is_none_or(|(_, b)| margin > *b) {
+            best = Some((CVec::basis(d, i), margin));
+        }
+    }
+    // Lanczos path: the extreme (most-negative) eigenpair of N − M.
+    let pair = min_eigenpair(&diff, LanczosOptions::default());
+    let v = pair.vector.normalized();
+    let margin = -diff.trace_product(&v.projector()).re;
+    if margin > eps && best.as_ref().is_none_or(|(_, b)| margin > *b) {
+        best = Some((v, margin));
+    }
+    match best {
+        Some((vector, margin)) => WitnessedVerdict::violated(vector, margin),
+        // The pivoted test refused to certify but no witness clears ε:
+        // a boundary case. Stay consistent with `lowner_le_eps` (and the
+        // factored twin): refuse to certify, carry no witness.
+        None => WitnessedVerdict {
+            holds: false,
+            witness: None,
+        },
+    }
 }
 
 /// Rank-aware Löwner comparison on **factored** operators: decides
@@ -457,22 +544,40 @@ pub fn lowner_le_eps(m: &CMat, n: &CMat, eps: f64) -> bool {
 ///
 /// Panics if the factor heights differ.
 pub fn factored_lowner_le(vm: &CMat, vn: &CMat, eps: f64) -> bool {
+    factored_lowner_le_witnessed(vm, vn, eps).holds
+}
+
+/// Witnessed variant of [`factored_lowner_le`]: on failure, the violating
+/// eigenvector of the compressed difference is mapped back to the full
+/// space (`x = Q·w` with `Q = J·U₊·Λ₊^{-1/2}` — one tall-skinny GEMV, no
+/// `d×d` operator materialised) and returned alongside the exactly
+/// re-evaluated margin. Non-finite factors refuse to certify and carry no
+/// witness (there is no meaningful state to report).
+///
+/// # Panics
+///
+/// Panics if the factor heights differ.
+pub fn factored_lowner_le_witnessed(vm: &CMat, vn: &CMat, eps: f64) -> WitnessedVerdict {
     assert_eq!(vm.rows(), vn.rows(), "factor height mismatch");
     let (rn, rm) = (vn.cols(), vm.cols());
     let m_tot = rn + rm;
     if m_tot == 0 {
-        return true; // 0 ⊑ 0
+        return WitnessedVerdict::holding(); // 0 ⊑ 0
     }
     let j = nqpv_linalg::hconcat(vn, vm);
     let g = nqpv_linalg::gram(&j, &j);
     let Ok(e) = nqpv_linalg::eigh(&g) else {
-        return false; // NaN/Inf factors: refuse to certify
+        // NaN/Inf factors: refuse to certify.
+        return WitnessedVerdict {
+            holds: false,
+            witness: None,
+        };
     };
     let lmax = e.values.last().copied().unwrap_or(0.0).max(0.0);
     let cut = 1e-14 * lmax.max(1e-300);
     let kept: Vec<usize> = (0..m_tot).filter(|&i| e.values[i] > cut).collect();
     if kept.is_empty() {
-        return true; // both operators are numerically zero
+        return WitnessedVerdict::holding(); // both operators are numerically zero
     }
     let p = kept.len();
     // A = Λ₊^{-1/2}·U₊†·G[:, 0..rn], B = Λ₊^{-1/2}·U₊†·G[:, rn..].
@@ -494,10 +599,60 @@ pub fn factored_lowner_le(vm: &CMat, vn: &CMat, eps: f64) -> bool {
         }
     }
     let s = a.mul(&a.adjoint()).sub_mat(&b.mul(&b.adjoint()));
-    match nqpv_linalg::eigh(&s) {
-        Ok(es) => es.min() >= -eps,
-        Err(_) => false,
+    let Ok(es) = nqpv_linalg::eigh(&s) else {
+        return WitnessedVerdict {
+            holds: false,
+            witness: None,
+        };
+    };
+    let (mut min_idx, mut min_val) = (0usize, f64::INFINITY);
+    for (i, &v) in es.values.iter().enumerate() {
+        if v < min_val {
+            min_val = v;
+            min_idx = i;
+        }
     }
+    if min_val >= -eps {
+        return WitnessedVerdict::holding();
+    }
+    // Map the compressed eigenvector w back through Q = J·U₊·Λ₊^{-1/2}:
+    // x = J·y with y[t] = Σ_row U[t, src_row]·λ_row^{-1/2}·w[row].
+    let mut y = CVec::zeros(m_tot);
+    for (row, &src) in kept.iter().enumerate() {
+        let w_row = es.vectors[(row, min_idx)];
+        let inv_sqrt = 1.0 / e.values[src].sqrt();
+        for t in 0..m_tot {
+            y.as_mut_slice()[t] += (e.vectors[(t, src)] * w_row).scale(inv_sqrt);
+        }
+    }
+    let x = j.mul_vec(&y).normalized();
+    // Exact margin on the reconstructed state: tr(M|x⟩⟨x|) − tr(N|x⟩⟨x|)
+    // = |Vm†x|² − |Vn†x|².
+    let margin = gate_energy(vm, &x) - gate_energy(vn, &x);
+    if margin > eps {
+        WitnessedVerdict::violated(x, margin)
+    } else {
+        // Reconstruction noise ate the sub-ε violation: stay honest and
+        // report the boolean verdict without a witness.
+        WitnessedVerdict {
+            holds: false,
+            witness: None,
+        }
+    }
+}
+
+/// `‖V†x‖² = tr(VV†·|x⟩⟨x|)` without materialising `V·V†`.
+fn gate_energy(v: &CMat, x: &CVec) -> f64 {
+    let d = v.rows();
+    let mut acc = 0.0f64;
+    for jcol in 0..v.cols() {
+        let mut dotp = nqpv_linalg::Complex::ZERO;
+        for i in 0..d {
+            dotp += v[(i, jcol)].conj() * x.as_slice()[i];
+        }
+        acc += dotp.re * dotp.re + dotp.im * dotp.im;
+    }
+    acc
 }
 
 #[cfg(test)]
@@ -805,6 +960,85 @@ mod tests {
             let w = CMat::from_fn(d, 1, |_, _| c(next(), next()));
             let vn_sup = nqpv_linalg::hconcat(&vm, &w);
             assert!(factored_lowner_le(&vm, &vn_sup, 1e-9), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn witnessed_singleton_comparison_surfaces_the_eigenvector() {
+        // Pp ⋢ P1: the most-negative eigenvector of P1 − Pp violates with
+        // margin 1/√2 (eigenvalues of P1 − Pp are ±1/√2), strictly better
+        // than the best basis witness (margin ½ on |0⟩).
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let pp = CMat::from_real(2, 2, &[0.5, 0.5, 0.5, 0.5]);
+        let v = lowner_le_witnessed(&pp, &p1(), 1e-9);
+        assert!(!v.holds);
+        let w = v.witness.expect("violation carries a witness");
+        assert!((w.margin - s).abs() < 1e-7, "margin {}", w.margin);
+        // The margin is exact on the returned vector.
+        let rho = w.vector.projector();
+        let exact = pp.sub_mat(&p1()).trace_product(&rho).re;
+        assert!((exact - w.margin).abs() < 1e-12);
+        // Holding comparisons stay witness-free and agree with the bool API.
+        let hold = lowner_le_witnessed(&half(), &CMat::identity(2), 1e-9);
+        assert!(hold.holds && hold.witness.is_none());
+        assert!(lowner_le_eps(&half(), &CMat::identity(2), 1e-9));
+    }
+
+    #[test]
+    fn witnessed_comparison_prefers_the_basis_scan_when_it_wins() {
+        // diag(0.9, 0.2) vs 0: the basis witness |0⟩ has the extreme
+        // margin already; the witnessed path must report it.
+        let m = CMat::from_real(2, 2, &[0.9, 0.0, 0.0, 0.2]);
+        let v = lowner_le_witnessed(&m, &CMat::zeros(2, 2), 1e-9);
+        let w = v.witness.expect("violated");
+        assert!((w.margin - 0.9).abs() < 1e-7);
+        assert!(w.vector.projector().approx_eq(&p0(), 1e-6));
+    }
+
+    #[test]
+    fn witnessed_factored_comparison_reconstructs_a_full_space_witness() {
+        // [|11⟩] ⋢ [|10⟩]: the witness must be |11⟩ with margin 1, mapped
+        // back from the compressed Gram eigenproblem.
+        let v11 = CMat::from_real(4, 1, &[0.0, 0.0, 0.0, 1.0]);
+        let v10 = CMat::from_real(4, 1, &[0.0, 0.0, 1.0, 0.0]);
+        let out = factored_lowner_le_witnessed(&v11, &v10, 1e-9);
+        assert!(!out.holds);
+        let w = out.witness.expect("violation carries a witness");
+        assert!((w.margin - 1.0).abs() < 1e-9);
+        assert!(w
+            .vector
+            .projector()
+            .approx_eq(&CVec::basis(4, 3).projector(), 1e-9));
+        // The bool wrapper agrees both ways.
+        assert!(!factored_lowner_le(&v11, &v10, 1e-9));
+        assert!(factored_lowner_le_witnessed(&v11, &v11, 1e-12).holds);
+        // Random factors: witnessed margins are exact on the returned state.
+        let mut seed = 0xBADCAFEu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        for trial in 0..20 {
+            let vm = CMat::from_fn(8, 2, |_, _| c(next() * 0.5, next() * 0.5));
+            let vn = CMat::from_fn(8, 1, |_, _| c(next() * 0.3, next() * 0.3));
+            let out = factored_lowner_le_witnessed(&vm, &vn, 1e-9);
+            assert_eq!(out.holds, factored_lowner_le(&vm, &vn, 1e-9), "{trial}");
+            if let Some(w) = out.witness {
+                let rho = w.vector.projector();
+                let dense_gap = vm
+                    .mul(&vm.adjoint())
+                    .sub_mat(&vn.mul(&vn.adjoint()))
+                    .trace_product(&rho)
+                    .re;
+                assert!(
+                    (dense_gap - w.margin).abs() < 1e-9,
+                    "trial {trial}: margin {} vs dense {dense_gap}",
+                    w.margin
+                );
+                assert!(w.margin > 1e-9);
+            }
         }
     }
 

@@ -19,6 +19,10 @@
 //! * [`solver`] — the `⊑_inf` decision procedure (primal/dual minimax);
 //! * [`core`] — assertions, wp/wlp, proof objects, the verifier and the
 //!   paper's case studies;
+//! * [`diagnose`] — counterexample extraction & replay: REJECTED
+//!   verdicts become witness states, demonic scheduler traces and
+//!   per-statement expectation trajectories, confirmed by forward
+//!   replay;
 //! * [`engine`] — the batch-verification engine: corpora of `.nqpv`
 //!   jobs, a parallel worker pool, a shared content-addressed memo
 //!   cache for backward-transformer subterms and solver verdicts, and
@@ -39,6 +43,7 @@
 //! ```
 
 pub use nqpv_core as core;
+pub use nqpv_diagnose as diagnose;
 pub use nqpv_engine as engine;
 pub use nqpv_lang as lang;
 pub use nqpv_linalg as linalg;

@@ -263,6 +263,7 @@ fn cli_batch_verifies_the_corpus_in_parallel() {
         ("grover_step_twin", "verified"),
         ("rus", "verified"),
         ("rejected", "rejected"),
+        ("rejected_ndet", "rejected"),
         ("parse_error", "error"),
     ] {
         let needle = format!("\"name\": \"{file}\", \"path\": ");
@@ -314,6 +315,71 @@ fn cli_batch_verifies_the_corpus_in_parallel() {
     // Corpus-level failures are usage-style errors: exit 2.
     let nodir = run_nqpv(&["batch", "examples/no_such_dir"]).unwrap();
     assert_eq!(nodir.status.code(), Some(2));
+}
+
+#[test]
+fn cli_explain_turns_rejections_into_witnesses() {
+    // Deterministic rejection: {P1} H {P0}. The counterexample must name
+    // the witness, report a replay-confirmed gap, and exit 1.
+    let Some(out) = run_nqpv(&["explain", "examples/corpus/rejected.nqpv"]) else {
+        return;
+    };
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("REJECTED"), "{text}");
+    assert!(text.contains("witness |v⟩"), "{text}");
+    assert!(text.contains("CONFIRMED violation"), "{text}");
+    assert!(text.contains("replay gap = 0.707107"), "{text}");
+
+    // Nondeterministic rejection: the demonic scheduler trace names the
+    // violating branch of the `□`.
+    let ndet = run_nqpv(&["explain", "examples/corpus/rejected_ndet.nqpv"]).unwrap();
+    assert_eq!(ndet.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&ndet.stdout);
+    assert!(text.contains("#0 → right"), "{text}");
+    assert!(text.contains("replay gap = 1.000000"), "{text}");
+
+    // JSON form: machine-checkable gap, schedule and witness amplitudes.
+    let json_out = run_nqpv(&["explain", "--json", "examples/corpus/rejected_ndet.nqpv"]).unwrap();
+    assert_eq!(json_out.status.code(), Some(1));
+    let json = String::from_utf8_lossy(&json_out.stdout);
+    assert!(json.contains("\"gap\":1"), "{json}");
+    assert!(json.contains("\"branch\":\"right\""), "{json}");
+    assert!(json.contains("\"amplitudes\":"), "{json}");
+    assert!(json.contains("\"confirmed\":true"), "{json}");
+
+    // Verified files yield no counterexample and exit 0; structural
+    // errors exit 2; missing target is a usage error.
+    let ok = run_nqpv(&["explain", "examples/corpus/grover_step.nqpv"]).unwrap();
+    assert_eq!(ok.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("no counterexample"));
+    let broken = run_nqpv(&["explain", "examples/corpus/parse_error.nqpv"]).unwrap();
+    assert_eq!(broken.status.code(), Some(2));
+    let bare = run_nqpv(&["explain"]).unwrap();
+    assert_eq!(bare.status.code(), Some(2));
+
+    // Batch integration: `--explain --json` attaches the witnesses to
+    // exactly the rejected jobs.
+    let batch = run_nqpv(&[
+        "batch",
+        "examples/corpus",
+        "--jobs",
+        "2",
+        "--explain",
+        "--json",
+    ])
+    .unwrap();
+    assert_eq!(batch.status.code(), Some(1));
+    let json = String::from_utf8_lossy(&batch.stdout);
+    assert_eq!(
+        json.matches("\"counterexamples\": [").count(),
+        2,
+        "both rejected jobs diagnosed: {json}"
+    );
+    assert!(
+        json.contains("\"schedule\":[{\"index\":0,\"branch\":\"right\"}]"),
+        "{json}"
+    );
 }
 
 #[test]
@@ -489,6 +555,7 @@ fn cli_serve_and_client_roundtrip() {
         ("grover_step_twin", "verified"),
         ("rus", "verified"),
         ("rejected", "rejected"),
+        ("rejected_ndet", "rejected"),
         ("parse_error", "error"),
     ] {
         let needle = format!("\"name\":\"{file}\",\"status\":\"{status}\"");
@@ -511,7 +578,7 @@ fn cli_serve_and_client_roundtrip() {
 
     let stats = client(&["stats"]);
     let stats_line = String::from_utf8_lossy(&stats.stdout).to_string();
-    assert!(stats_line.contains("\"done\":12"), "{stats_line}");
+    assert!(stats_line.contains("\"done\":13"), "{stats_line}");
 
     let down = client(&["shutdown"]);
     assert!(String::from_utf8_lossy(&down.stdout).contains("shutting_down"));
