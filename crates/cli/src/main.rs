@@ -49,7 +49,7 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  nqpv verify [--infer] FILE.nqpv\n  nqpv explain [--infer] [--json] FILE.nqpv\n  nqpv show [--infer] FILE.nqpv NAME\n  nqpv check FILE.nqpv\n  nqpv batch [--infer] [--jobs N] [--json] [--no-cache] [--cache-cap N]\n             [--cache-dir DIR] [--no-bin] [--explain] DIR|MANIFEST\n  nqpv serve --addr HOST:PORT [--infer] [--jobs N] [--no-cache]\n             [--cache-cap N] [--cache-dir DIR] [--max-queue N] [--explain]\n  nqpv client ADDR submit [--priority N] PATH…   submit + stream verdicts\n  nqpv client ADDR watch                         stream every job event\n  nqpv client ADDR stats|ping|shutdown\n  nqpv ops\n\n  --infer        attempt wlp-fixpoint invariant inference for\n                 while loops lacking an inv: annotation\n  --jobs N       worker threads (default: available cores)\n  --json         print the report as JSON instead of a summary\n  --no-cache     disable the shared wp memo cache\n  --cache-cap N  bound each cache tier to N entries (LRU eviction;\n                 eviction counts appear in the report)\n  --cache-dir D  persist solver verdicts under D (survives restarts,\n                 shared between batch runs and the daemon)\n  --no-bin       disable verdict-cache affinity scheduling\n  --explain      extract a counterexample (witness state, scheduler\n                 trace, expectation trajectory) for every rejected proof\n  --max-queue N  refuse submissions once N jobs are queued (daemon\n                 backpressure; structured 'overloaded' reply)\n  --priority N   scheduling priority for submitted jobs (higher first)"
+        "usage:\n  nqpv verify [--infer] FILE.nqpv\n  nqpv explain [--infer] [--json] [--trace DIR] FILE.nqpv\n  nqpv show [--infer] FILE.nqpv NAME\n  nqpv check FILE.nqpv\n  nqpv batch [--infer] [--jobs N] [--json] [--no-cache] [--cache-cap N]\n             [--cache-dir DIR] [--no-bin] [--explain] [--trace DIR]\n             DIR|MANIFEST\n  nqpv serve --addr HOST:PORT [--infer] [--jobs N] [--no-cache]\n             [--cache-cap N] [--cache-dir DIR] [--max-queue N] [--explain]\n             [--metrics-addr HOST:PORT]\n  nqpv client ADDR submit [--priority N] PATH…   submit + stream verdicts\n  nqpv client ADDR watch                         stream every job event\n  nqpv client ADDR stats|ping|shutdown\n  nqpv ops\n\n  --infer        attempt wlp-fixpoint invariant inference for\n                 while loops lacking an inv: annotation\n  --jobs N       worker threads (default: available cores)\n  --json         print the report as JSON instead of a summary\n  --no-cache     disable the shared wp memo cache\n  --cache-cap N  bound each cache tier to N entries (LRU eviction;\n                 eviction counts appear in the report)\n  --cache-dir D  persist solver verdicts under D (survives restarts,\n                 shared between batch runs and the daemon)\n  --no-bin       disable verdict-cache affinity scheduling\n  --explain      extract a counterexample (witness state, scheduler\n                 trace, expectation trajectory) for every rejected proof\n  --trace DIR    write one Chrome trace-event JSON per job under DIR\n                 (open in chrome://tracing or Perfetto)\n  --max-queue N  refuse submissions once N jobs are queued (daemon\n                 backpressure; structured 'overloaded' reply)\n  --metrics-addr HOST:PORT\n                 serve Prometheus text metrics at http://HOST:PORT/metrics\n  --priority N   scheduling priority for submitted jobs (higher first)"
     );
     ExitCode::from(2)
 }
@@ -134,10 +134,19 @@ fn cmd_verify(path: &str, show: Option<&str>, infer: bool) -> ExitCode {
 /// 1 any rejected, 2 structural error).
 fn cmd_explain(rest: &[String], infer: bool) -> ExitCode {
     let mut json = false;
+    let mut trace_dir: Option<&str> = None;
     let mut target: Option<&str> = None;
-    for arg in rest {
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--trace" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("error: --trace expects a directory");
+                    return ExitCode::from(2);
+                };
+                trace_dir = Some(dir);
+            }
             other if other.starts_with('-') => {
                 eprintln!("error: unknown explain flag '{other}'");
                 return usage();
@@ -162,11 +171,34 @@ fn cmd_explain(rest: &[String], infer: bool) -> ExitCode {
         .parent()
         .map(|p| p.to_path_buf())
         .unwrap_or_default();
-    let opts = VcOptions {
+    let mut opts = VcOptions {
         infer_invariants: infer,
         ..VcOptions::default()
     };
-    let report = match nqpv_diagnose::explain_source(&src, &base, opts) {
+    let tracer = match trace_dir {
+        Some(_) => nqpv_telemetry::Tracer::create(true),
+        None => nqpv_telemetry::Tracer::DISABLED,
+    };
+    if tracer.enabled() {
+        opts = opts.with_tracer(tracer);
+    }
+    let report = nqpv_diagnose::explain_source(&src, &base, opts);
+    if let Some(dir) = trace_dir {
+        let name = Path::new(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "explain".to_string());
+        let data = tracer.finish().unwrap_or_default();
+        if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
+            std::fs::write(
+                Path::new(dir).join(format!("{name}.trace.json")),
+                data.chrome_json(&name),
+            )
+        }) {
+            eprintln!("warning: cannot write trace under '{dir}': {e}");
+        }
+    }
+    let report = match report {
         Ok(r) => r,
         Err(e) => {
             eprintln!("{e}");
@@ -242,6 +274,7 @@ fn cmd_batch(rest: &[String], infer: bool) -> ExitCode {
     let mut explain = false;
     let mut cache_cap: Option<usize> = None;
     let mut cache_dir: Option<&str> = None;
+    let mut trace_dir: Option<&str> = None;
     let mut target: Option<&str> = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -260,6 +293,13 @@ fn cmd_batch(rest: &[String], infer: bool) -> ExitCode {
                     return ExitCode::from(2);
                 };
                 cache_dir = Some(dir);
+            }
+            "--trace" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("error: --trace expects a directory");
+                    return ExitCode::from(2);
+                };
+                trace_dir = Some(dir);
             }
             "--json" => json = true,
             "--no-cache" => use_cache = false,
@@ -304,6 +344,12 @@ fn cmd_batch(rest: &[String], infer: bool) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(dir) = trace_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create trace directory '{dir}': {e}");
+            return ExitCode::from(2);
+        }
+    }
     let report = run_batch(
         &corpus,
         &BatchOptions {
@@ -313,6 +359,7 @@ fn cmd_batch(rest: &[String], infer: bool) -> ExitCode {
             disk,
             bin_jobs,
             explain,
+            trace_dir: trace_dir.map(std::path::PathBuf::from),
             vc: VcOptions {
                 infer_invariants: infer,
                 ..VcOptions::default()
@@ -370,6 +417,13 @@ fn cmd_serve(rest: &[String], infer: bool) -> ExitCode {
             }
             "--no-cache" => opts.use_cache = false,
             "--explain" => opts.explain = true,
+            "--metrics-addr" => {
+                let Some(a) = it.next() else {
+                    eprintln!("error: --metrics-addr expects HOST:PORT");
+                    return ExitCode::from(2);
+                };
+                opts.metrics_addr = Some(a.to_string());
+            }
             "--max-queue" => {
                 // 0 is meaningful (refuse everything), so this flag takes
                 // any non-negative integer.

@@ -64,8 +64,17 @@ pub fn le_sup(
     psi: &Assertion,
     opts: LownerOptions,
 ) -> Result<Verdict, VerifError> {
-    if theta.fast_le_sup_holds(psi, opts.eps) {
-        return Ok(Verdict::Holds);
+    {
+        let mut span = opts
+            .tracer
+            .span(nqpv_telemetry::Phase::Solver, "obligation");
+        if theta.fast_le_sup_holds(psi, opts.eps) {
+            span.classify("solver_path", "factored-gram");
+            span.arg("outcome", nqpv_telemetry::ArgValue::Static("holds"));
+            return Ok(Verdict::Holds);
+        }
+        // Undecided: the dense solver records the real spans.
+        span.cancel();
     }
     assertion_le_sup(&theta.dense_ops(), &psi.dense_ops(), opts).map_err(VerifError::Solver)
 }
@@ -87,7 +96,15 @@ pub fn le_sup_cached(
         return le_sup(theta, psi, opts);
     };
     let key = crate::cache::verdict_key(crate::cache::VERDICT_TAG_SUP, theta, psi, &opts);
-    if let Some(v) = cache.get_verdict(key) {
+    let hit = {
+        let mut span = opts
+            .tracer
+            .span(nqpv_telemetry::Phase::Cache, "verdict_tier");
+        let hit = cache.get_verdict(key);
+        span.classify("verdict_tier", if hit.is_some() { "hit" } else { "miss" });
+        hit
+    };
+    if let Some(v) = hit {
         return Ok(v);
     }
     let v = le_sup(theta, psi, opts)?;

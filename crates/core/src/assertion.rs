@@ -603,10 +603,29 @@ impl Assertion {
     ///
     /// Wraps solver input failures.
     pub fn le_inf(&self, other: &Assertion, opts: LownerOptions) -> Result<Verdict, VerifError> {
-        if self.fast_le_inf_holds(other, opts.eps) {
+        if self.fast_le_inf_holds_traced(other, opts) {
             return Ok(Verdict::Holds);
         }
         assertion_le(&self.dense_ops(), &other.dense_ops(), opts).map_err(VerifError::Solver)
+    }
+
+    /// [`Assertion::fast_le_inf_holds`] under a solver span: a certified
+    /// factored screen is a solver obligation settled on the
+    /// `factored-gram` path (the dense solver records its own spans per
+    /// element, so an undecided screen records nothing here).
+    fn fast_le_inf_holds_traced(&self, other: &Assertion, opts: LownerOptions) -> bool {
+        let mut span = opts
+            .tracer
+            .span(nqpv_telemetry::Phase::Solver, "obligation");
+        let holds = self.fast_le_inf_holds(other, opts.eps);
+        if holds {
+            span.classify("solver_path", "factored-gram");
+            span.arg("outcome", nqpv_telemetry::ArgValue::Static("holds"));
+        } else {
+            // Undecided: the dense solver will record the real spans.
+            span.cancel();
+        }
+        holds
     }
 
     /// Rank-aware certifying-side screen for `⊑_inf`: `true` when every
@@ -667,7 +686,15 @@ impl Assertion {
             return self.le_inf(other, opts);
         };
         let key = crate::cache::verdict_key(crate::cache::VERDICT_TAG_INF, self, other, &opts);
-        if let Some(v) = cache.get_verdict(key) {
+        let hit = {
+            let mut span = opts
+                .tracer
+                .span(nqpv_telemetry::Phase::Cache, "verdict_tier");
+            let hit = cache.get_verdict(key);
+            span.classify("verdict_tier", if hit.is_some() { "hit" } else { "miss" });
+            hit
+        };
+        if let Some(v) = hit {
             return Ok(v);
         }
         let v = self.le_inf(other, opts)?;

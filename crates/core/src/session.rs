@@ -153,7 +153,13 @@ impl Session {
     ///
     /// Returns the first [`SessionError`] encountered.
     pub fn run_str(&mut self, src: &str) -> Result<(), SessionError> {
-        let file = parse_source(src).map_err(SessionError::Parse)?;
+        let file = {
+            let mut span = self.opts.tracer.span(nqpv_telemetry::Phase::Parse, "parse");
+            if span.recording() {
+                span.arg("bytes", nqpv_telemetry::ArgValue::U64(src.len() as u64));
+            }
+            parse_source(src).map_err(SessionError::Parse)?
+        };
         self.run(&file)
     }
 

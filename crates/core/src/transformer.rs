@@ -17,6 +17,7 @@ use nqpv_lang::{AssertionExpr, Stmt};
 use nqpv_linalg::{embed, CMat};
 use nqpv_quantum::{OperatorLibrary, Register};
 use nqpv_solver::{LownerOptions, Verdict};
+use nqpv_telemetry::{ArgValue, Phase, Tracer};
 use std::collections::HashMap;
 
 /// Partial (`wlp`) vs total (`wp`) correctness mode.
@@ -47,6 +48,14 @@ pub struct VcOptions {
     /// [`Assertion::from_expr`]). `false` forces the dense
     /// representation everywhere — the factored-vs-dense ablation knob.
     pub factor_assertions: bool,
+    /// Telemetry handle: the backward pass records one `wp` span per
+    /// statement visit (with statement path, predicate rank and local
+    /// footprint), plus cache-tier lookup spans, into it. Set it with
+    /// [`VcOptions::with_tracer`] so the solver's copy
+    /// ([`LownerOptions::tracer`]) stays in sync. Inert by default;
+    /// deliberately **excluded** from [`context_key`] — which job traced
+    /// a subterm must never partition the memo caches.
+    pub tracer: Tracer,
 }
 
 impl Default for VcOptions {
@@ -57,7 +66,20 @@ impl Default for VcOptions {
             max_set: 1024,
             infer_invariants: false,
             factor_assertions: true,
+            tracer: Tracer::DISABLED,
         }
+    }
+}
+
+impl VcOptions {
+    /// Returns a copy carrying `tracer` on both the transformer seam and
+    /// the solver seam ([`LownerOptions::tracer`]) — the one way to arm
+    /// telemetry, so the two handles cannot drift apart.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> VcOptions {
+        self.tracer = tracer;
+        self.lowner.tracer = tracer;
+        self
     }
 }
 
@@ -324,11 +346,37 @@ impl BranchProjectors {
 impl Ctx<'_> {
     /// Backward pass over one subterm, consulting the memo cache for
     /// composite nodes (leaves are cheaper to recompute than to look up).
+    ///
+    /// Every visit records one `wp` span (even cache hits — the span's
+    /// `cached` argument tells them apart), so a trace of a loop-free
+    /// program carries exactly one wp span per statement node.
     fn go(&mut self, stmt: &TStmt, post: &Assertion) -> Result<Annotated, VerifError> {
+        let tracer = self.opts.tracer;
+        let mut span = tracer.span(Phase::Wp, stmt_kind(stmt));
+        if span.recording() {
+            span.arg("path", ArgValue::Str(self.span()));
+            span.arg("set_size", ArgValue::U64(post.len() as u64));
+            if let Some(r) = post.ops().iter().filter_map(|p| p.rank()).max() {
+                span.arg("max_rank", ArgValue::U64(r as u64));
+            }
+            if let Some(fp) = stmt_footprint(stmt) {
+                span.arg("footprint", ArgValue::U64(fp as u64));
+            }
+        }
         match self.cache {
             Some(cache) if self.cacheable(stmt) => {
                 let key = self.subterm_key(stmt, post);
-                if let Some(hit) = cache.get(key) {
+                let hit = {
+                    let mut cspan = tracer.span(Phase::Cache, "transformer_tier");
+                    let hit = cache.get(key);
+                    cspan.classify(
+                        "transformer_tier",
+                        if hit.is_some() { "hit" } else { "miss" },
+                    );
+                    hit
+                };
+                if let Some(hit) = hit {
+                    span.arg("cached", ArgValue::Bool(true));
                     return Ok(hit);
                 }
                 let ann = self.go_uncached(stmt, post)?;
@@ -766,6 +814,31 @@ impl Ctx<'_> {
             self.reg,
             self.opts.lowner,
         )
+    }
+}
+
+/// Stable span name for a statement node (the wp span's `name`).
+fn stmt_kind(stmt: &TStmt) -> &'static str {
+    match stmt {
+        TStmt::Skip => "skip",
+        TStmt::Abort => "abort",
+        TStmt::Assert(_) => "assert",
+        TStmt::Init(_) => "init",
+        TStmt::Unitary(_, _) => "unitary",
+        TStmt::Seq(_) => "seq",
+        TStmt::NDet(_, _) => "ndet",
+        TStmt::If { .. } => "if",
+        TStmt::While { .. } => "while",
+    }
+}
+
+/// The statement's local register footprint — how many qubits its
+/// operator touches — for the statements that have one.
+fn stmt_footprint(stmt: &TStmt) -> Option<usize> {
+    match stmt {
+        TStmt::Init(qubits) | TStmt::Unitary(qubits, _) => Some(qubits.len()),
+        TStmt::If { qubits, .. } | TStmt::While { qubits, .. } => Some(qubits.len()),
+        _ => None,
     }
 }
 

@@ -38,6 +38,10 @@ pub struct CacheStats {
     pub disk_misses: u64,
     /// Verdict records persisted to disk this run.
     pub disk_writes: u64,
+    /// Records currently in the disk store (0 when none is layered).
+    pub disk_entries: u64,
+    /// Bytes currently in the disk store (0 when none is layered).
+    pub disk_bytes: u64,
 }
 
 impl CacheStats {
@@ -217,8 +221,51 @@ impl MemoCache {
             disk_hits: disk.hits,
             disk_misses: disk.misses,
             disk_writes: disk.writes,
+            disk_entries: disk.entries,
+            disk_bytes: disk.bytes,
         }
     }
+}
+
+/// Mirrors a [`CacheStats`] snapshot into the process-wide telemetry
+/// registry: per-tier lookup counters (monotone — totals are owned by
+/// the cache and only move forward) and store-size gauges. Batch runs
+/// call this once at the end; the daemon's `/metrics` endpoint calls it
+/// on every scrape.
+pub fn record_cache_metrics(stats: &CacheStats) {
+    let reg = nqpv_telemetry::global();
+    const LOOKUPS: &str = "nqpv_cache_lookups_total";
+    const LOOKUPS_HELP: &str = "Cache lookups, by tier and outcome.";
+    for (tier, hits, misses) in [
+        ("transformer", stats.hits, stats.misses),
+        ("verdict", stats.verdict_hits, stats.verdict_misses),
+        ("disk", stats.disk_hits, stats.disk_misses),
+    ] {
+        reg.counter(LOOKUPS, LOOKUPS_HELP, &[("tier", tier), ("outcome", "hit")])
+            .record_total(hits);
+        reg.counter(
+            LOOKUPS,
+            LOOKUPS_HELP,
+            &[("tier", tier), ("outcome", "miss")],
+        )
+        .record_total(misses);
+    }
+    const ENTRIES: &str = "nqpv_cache_entries";
+    const ENTRIES_HELP: &str = "Entries currently stored, by cache tier.";
+    for (tier, entries) in [
+        ("transformer", stats.entries),
+        ("verdict", stats.verdict_entries),
+        ("disk", stats.disk_entries),
+    ] {
+        reg.gauge(ENTRIES, ENTRIES_HELP, &[("tier", tier)])
+            .set(entries as i64);
+    }
+    reg.gauge(
+        "nqpv_cache_disk_bytes",
+        "Bytes currently in the persistent verdict store.",
+        &[],
+    )
+    .set(stats.disk_bytes as i64);
 }
 
 impl TransformerCache for MemoCache {

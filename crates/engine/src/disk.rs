@@ -52,6 +52,12 @@ pub struct DiskStats {
     pub misses: u64,
     /// Records successfully persisted.
     pub writes: u64,
+    /// Records currently stored (scanned once at open, then maintained by
+    /// this process's writes; other processes' concurrent writes show up
+    /// on the next open).
+    pub entries: u64,
+    /// Total bytes of stored records, maintained like `entries`.
+    pub bytes: u64,
 }
 
 /// A content-addressed, multi-process-safe verdict store rooted at a
@@ -62,6 +68,8 @@ pub struct DiskCache {
     hits: AtomicU64,
     misses: AtomicU64,
     writes: AtomicU64,
+    entries: AtomicU64,
+    bytes: AtomicU64,
     tmp_seq: AtomicU64,
 }
 
@@ -101,11 +109,14 @@ impl DiskCache {
             }
             Err(e) => return Err(e),
         }
+        let (entries, bytes) = scan_store(&root);
         Ok(DiskCache {
             root,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            entries: AtomicU64::new(entries),
+            bytes: AtomicU64::new(bytes),
             tmp_seq: AtomicU64::new(0),
         })
     }
@@ -115,12 +126,16 @@ impl DiskCache {
         &self.root
     }
 
-    /// This process's hit/miss/write counters.
+    /// This process's hit/miss/write counters plus the store size
+    /// (entry count and bytes) as of open, updated by this process's
+    /// writes.
     pub fn stats(&self) -> DiskStats {
         DiskStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
+            entries: self.entries.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -178,12 +193,46 @@ impl DiskCache {
             self.tmp_seq.fetch_add(1, Ordering::Relaxed)
         ));
         let bytes = encode_verdict(verdict);
+        let new_len = bytes.len() as u64;
+        // Size the record being replaced (if any) *before* the rename;
+        // racy across processes, but the counters are advisory and
+        // consistent for a single process's writes.
+        let old_len = std::fs::metadata(&path).ok().map(|m| m.len());
         if std::fs::write(&tmp, bytes).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
             self.writes.fetch_add(1, Ordering::Relaxed);
+            match old_len {
+                Some(old) => {
+                    self.bytes.fetch_add(new_len, Ordering::Relaxed);
+                    self.bytes.fetch_sub(old, Ordering::Relaxed);
+                }
+                None => {
+                    self.entries.fetch_add(1, Ordering::Relaxed);
+                    self.bytes.fetch_add(new_len, Ordering::Relaxed);
+                }
+            }
         } else {
             let _ = std::fs::remove_file(&tmp);
         }
     }
+}
+
+/// Walks `<root>/verdicts` once, returning `(record count, total bytes)`
+/// — the open-time seed for [`DiskCache::stats`]'s size counters.
+fn scan_store(root: &Path) -> (u64, u64) {
+    let (mut n, mut bytes) = (0u64, 0u64);
+    if let Ok(shards) = std::fs::read_dir(root.join("verdicts")) {
+        for shard in shards.filter_map(Result::ok) {
+            if let Ok(entries) = std::fs::read_dir(shard.path()) {
+                for e in entries.filter_map(Result::ok) {
+                    if e.path().extension().is_some_and(|x| x == "nqv") {
+                        n += 1;
+                        bytes += e.metadata().map(|m| m.len()).unwrap_or(0);
+                    }
+                }
+            }
+        }
+    }
+    (n, bytes)
 }
 
 #[cfg(test)]
@@ -204,20 +253,28 @@ mod tests {
         assert!(a.get(42).is_none());
         a.put(42, &Verdict::Holds);
         assert!(matches!(a.get(42), Some(Verdict::Holds)));
-        assert_eq!(
-            a.stats(),
-            DiskStats {
-                hits: 1,
-                misses: 1,
-                writes: 1
-            }
-        );
+        let s = a.stats();
+        assert_eq!((s.hits, s.misses, s.writes), (1, 1, 1));
+        assert_eq!(s.entries, 1, "{s:?}");
+        assert!(s.bytes > 0, "{s:?}");
         drop(a);
-        // A fresh instance (a "restart") sees the record.
+        // A fresh instance (a "restart") sees the record — including the
+        // store size, rebuilt by the open-time scan.
         let b = DiskCache::open(&dir).unwrap();
         assert!(matches!(b.get(42), Some(Verdict::Holds)));
         assert_eq!(b.record_count(), 1);
-        assert_eq!(b.stats().hits, 1);
+        let s = b.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.entries, 1, "{s:?}");
+        assert!(s.bytes > 0, "{s:?}");
+        // Overwriting an existing key neither grows the entry count nor
+        // double-counts its bytes.
+        let before = b.stats();
+        b.put(42, &Verdict::Holds);
+        let after = b.stats();
+        assert_eq!(after.entries, before.entries);
+        assert_eq!(after.bytes, before.bytes);
+        assert_eq!(after.writes, before.writes + 1);
     }
 
     #[test]

@@ -15,7 +15,9 @@ use crate::cache::MemoCache;
 use crate::corpus::{Corpus, Job};
 use crate::report::{BatchReport, JobReport, JobStatus, ProofReport};
 use nqpv_core::{Session, VcOptions};
+use nqpv_telemetry::{Phase, Tracer};
 use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -45,6 +47,11 @@ pub struct BatchOptions {
     /// witnesses to its [`JobReport`] (the `nqpv batch --explain` mode).
     /// Verdicts are unchanged — diagnosis is evidence, not re-judgement.
     pub explain: bool,
+    /// Write one Chrome trace-event JSON file per job into this directory
+    /// (`nqpv batch --trace DIR`). Also switches the per-job tracer into
+    /// full recording mode; without it only the cheap per-phase
+    /// accumulators run.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for BatchOptions {
@@ -57,6 +64,7 @@ impl Default for BatchOptions {
             disk: None,
             bin_jobs: true,
             explain: false,
+            trace_dir: None,
         }
     }
 }
@@ -136,6 +144,7 @@ pub fn run_pool(
     cache: Option<Arc<MemoCache>>,
     observer: &dyn PoolObserver,
     explain: bool,
+    trace_dir: Option<&Path>,
 ) {
     let workers = workers.max(1);
     std::thread::scope(|scope| {
@@ -144,7 +153,8 @@ pub fn run_pool(
             scope.spawn(move || {
                 while let Some(sourced) = source.next(w) {
                     observer.job_started(sourced.seq, &sourced.job, w);
-                    let report = run_job(&sourced.job, vc, cache.clone(), w, explain);
+                    let report =
+                        run_job_traced(&sourced.job, vc, cache.clone(), w, explain, trace_dir);
                     observer.job_finished(sourced.seq, &report);
                 }
             });
@@ -262,6 +272,7 @@ pub fn run_batch(corpus: &Corpus, options: &BatchOptions) -> BatchReport {
             cache.clone(),
             &collector,
             options.explain,
+            options.trace_dir.as_deref(),
         );
         slots = collector.slots.into_inner().expect("pool poisoned");
     }
@@ -271,6 +282,9 @@ pub fn run_batch(corpus: &Corpus, options: &BatchOptions) -> BatchReport {
         .map(|s| s.expect("every job produced a report"))
         .collect();
     let cache_stats = cache.as_ref().map(|c| c.stats());
+    if let Some(stats) = &cache_stats {
+        crate::cache::record_cache_metrics(stats);
+    }
     BatchReport {
         jobs,
         workers,
@@ -290,7 +304,26 @@ pub fn run_job(
     worker: usize,
     explain: bool,
 ) -> JobReport {
+    run_job_traced(job, vc, cache, worker, explain, None)
+}
+
+/// [`run_job`] with span tracing: every job gets a fresh per-job
+/// [`Tracer`] (phase totals ride along on the [`JobReport`] and feed the
+/// process-wide metrics registry); with `trace_dir` the tracer records
+/// full spans and a Chrome trace-event JSON file
+/// (`<dir>/<job>.trace.json`, `chrome://tracing`/Perfetto-loadable) is
+/// written when the job finishes.
+pub fn run_job_traced(
+    job: &Job,
+    vc: VcOptions,
+    cache: Option<Arc<MemoCache>>,
+    worker: usize,
+    explain: bool,
+    trace_dir: Option<&Path>,
+) -> JobReport {
     let t0 = Instant::now();
+    let tracer = Tracer::create(trace_dir.is_some());
+    let vc = vc.with_tracer(tracer);
     let mut session = Session::new()
         .with_options(vc)
         .with_base_dir(job.base_dir.clone());
@@ -321,6 +354,7 @@ pub fn run_job(
         // Diagnosis re-verifies from scratch (no cache): extraction cost
         // is paid only on the rejected minority, and a diagnosis failure
         // degrades to "no witness", never to a changed verdict.
+        let _span = tracer.span(Phase::Diagnose, "explain");
         nqpv_diagnose::explain_source(&job.source, &job.base_dir, vc)
             .map(|report| {
                 report
@@ -332,15 +366,38 @@ pub fn run_job(
     } else {
         Vec::new()
     };
+    let secs = t0.elapsed().as_secs_f64();
+    let data = tracer.finish().unwrap_or_default();
+    if let Some(dir) = trace_dir {
+        // Best-effort: a trace-file write failure must never fail the job.
+        let _ = std::fs::create_dir_all(dir);
+        let path = dir.join(format!("{}.trace.json", file_stem_safe(&job.name)));
+        let _ = std::fs::write(path, data.chrome_json(&job.name));
+    }
+    nqpv_telemetry::record_job(status.label(), secs, &data);
     JobReport {
         name: job.name.clone(),
         path: job.path.as_ref().map(|p| p.display().to_string()),
         status,
-        ms: t0.elapsed().as_secs_f64() * 1e3,
+        ms: secs * 1e3,
         bin: job.bin,
         worker,
         counterexamples,
+        phases: data.phases,
     }
+}
+
+/// Maps a job name onto a filesystem-safe stem for its trace file.
+fn file_stem_safe(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -534,6 +591,65 @@ mod tests {
         );
         assert!(report.cache.is_none());
         assert_eq!(report.verified_jobs(), 3);
+    }
+
+    #[test]
+    fn traced_job_counts_spans_and_writes_chrome_json() {
+        use nqpv_telemetry::Phase;
+
+        let dir = std::env::temp_dir().join("nqpv_engine_trace_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let single = Corpus::from_sources(vec![("ok", OK)]);
+        let job = &single.jobs()[0];
+        let report = run_job_traced(job, VcOptions::default(), None, 0, false, Some(&dir));
+        assert!(matches!(report.status, JobStatus::Verified { .. }));
+
+        // One parse span; one wp span per statement node — OK's body is
+        // Seq([Unitary, Unitary]), i.e. 3 nodes; at least one solver
+        // obligation (the final precondition comparison).
+        assert_eq!(report.phases.get(Phase::Parse).0, 1, "{:?}", report.phases);
+        assert_eq!(report.phases.get(Phase::Wp).0, 3, "{:?}", report.phases);
+        assert!(
+            report.phases.get(Phase::Solver).0 >= 1,
+            "{:?}",
+            report.phases
+        );
+
+        // The trace file is valid Chrome trace-event JSON with nested
+        // parse/wp/solver categories.
+        let text = std::fs::read_to_string(dir.join("ok.trace.json")).expect("trace written");
+        assert!(text.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(text.ends_with("]}"));
+        for cat in ["\"cat\":\"parse\"", "\"cat\":\"wp\"", "\"cat\":\"solver\""] {
+            assert!(text.contains(cat), "missing {cat} in {text}");
+        }
+        assert_eq!(text.matches("\"cat\":\"wp\"").count(), 3, "{text}");
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                text.matches(open).count(),
+                text.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+
+        // Untraced runs still accumulate phase totals (cheap mode), and
+        // a batch with a trace dir writes one file per job.
+        let plain = run_job(job, VcOptions::default(), None, 0, false);
+        assert_eq!(plain.phases.get(Phase::Wp).0, 3);
+        let report = run_batch(
+            &corpus(),
+            &BatchOptions {
+                trace_dir: Some(dir.clone()),
+                ..BatchOptions::default()
+            },
+        );
+        for job in &report.jobs {
+            assert!(
+                dir.join(format!("{}.trace.json", job.name)).is_file(),
+                "{} trace missing",
+                job.name
+            );
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! the JSON writer below is self-contained).
 
 use crate::cache::CacheStats;
+use nqpv_telemetry::{Phase, PhaseTotals};
 use std::fmt::Write as _;
 
 /// Verdict for one named proof inside a job.
@@ -66,6 +67,9 @@ pub struct JobReport {
     /// Extracted counterexamples for rejected proofs (non-empty only
     /// when the run diagnosed with `explain` and the job was rejected).
     pub counterexamples: Vec<nqpv_diagnose::Counterexample>,
+    /// Per-phase span counts and latency totals collected by the job's
+    /// tracer (parse / wp / solver / cache / …).
+    pub phases: PhaseTotals,
 }
 
 /// The whole batch run.
@@ -109,6 +113,15 @@ impl BatchReport {
         self.verified_jobs() == self.jobs.len()
     }
 
+    /// Phase totals aggregated across every job of the batch.
+    pub fn phase_totals(&self) -> PhaseTotals {
+        let mut total = PhaseTotals::default();
+        for job in &self.jobs {
+            total.merge(&job.phases);
+        }
+        total
+    }
+
     /// Machine-readable JSON rendering of the whole report.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
@@ -122,7 +135,8 @@ impl BatchReport {
                     out,
                     "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \"evictions\": {}, \"hit_rate\": {:.4}, \
                      \"verdict_hits\": {}, \"verdict_misses\": {}, \"verdict_entries\": {}, \"verdict_evictions\": {}, \"verdict_hit_rate\": {:.4}, \
-                     \"disk_hits\": {}, \"disk_misses\": {}, \"disk_writes\": {}}},",
+                     \"disk_hits\": {}, \"disk_misses\": {}, \"disk_writes\": {}, \
+                     \"disk_entries\": {}, \"disk_bytes\": {}}},",
                     c.hits,
                     c.misses,
                     c.entries,
@@ -135,7 +149,9 @@ impl BatchReport {
                     c.verdict_hit_rate(),
                     c.disk_hits,
                     c.disk_misses,
-                    c.disk_writes
+                    c.disk_writes,
+                    c.disk_entries,
+                    c.disk_bytes
                 );
             }
             None => out.push_str("  \"cache\": null,\n"),
@@ -143,6 +159,7 @@ impl BatchReport {
         let _ = writeln!(out, "  \"verified\": {},", self.verified_jobs());
         let _ = writeln!(out, "  \"rejected\": {},", self.rejected_jobs());
         let _ = writeln!(out, "  \"errors\": {},", self.errored_jobs());
+        let _ = writeln!(out, "  \"phases\": {},", phases_json(&self.phase_totals()));
         out.push_str("  \"jobs\": [\n");
         for (i, job) in self.jobs.iter().enumerate() {
             out.push_str("    {");
@@ -173,6 +190,9 @@ impl BatchReport {
                 JobStatus::Error { message } => {
                     let _ = write!(out, ", \"error\": {}", json_string(message));
                 }
+            }
+            if !job.phases.is_empty() {
+                let _ = write!(out, ", \"phases\": {}", phases_json(&job.phases));
             }
             if !job.counterexamples.is_empty() {
                 out.push_str(", \"counterexamples\": [");
@@ -261,13 +281,62 @@ impl BatchReport {
             if c.disk_hits + c.disk_misses + c.disk_writes > 0 {
                 let _ = writeln!(
                     out,
-                    "disk cache: {} hit(s), {} miss(es), {} write(s)",
-                    c.disk_hits, c.disk_misses, c.disk_writes
+                    "disk cache: {} hit(s), {} miss(es), {} write(s); {} record(s), {} byte(s) on disk",
+                    c.disk_hits, c.disk_misses, c.disk_writes, c.disk_entries, c.disk_bytes
+                );
+            }
+        }
+        let totals = self.phase_totals();
+        if !totals.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>8} {:>12} {:>10}",
+                "phase", "spans", "total ms", "avg ms"
+            );
+            for phase in Phase::ALL {
+                let (count, micros) = totals.get(phase);
+                if count == 0 {
+                    continue;
+                }
+                let total_ms = micros as f64 / 1e3;
+                let _ = writeln!(
+                    out,
+                    "{:<10} {:>8} {:>12.3} {:>10.3}",
+                    phase.label(),
+                    count,
+                    total_ms,
+                    total_ms / count as f64
                 );
             }
         }
         out
     }
+}
+
+/// Renders a [`PhaseTotals`] as a JSON object keyed by phase label, one
+/// `{"spans": N, "ms": T}` entry per non-empty phase.
+fn phases_json(totals: &PhaseTotals) -> String {
+    let mut out = String::from("{");
+    let mut first = true;
+    for phase in Phase::ALL {
+        let (count, micros) = totals.get(phase);
+        if count == 0 {
+            continue;
+        }
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "\"{}\": {{\"spans\": {}, \"ms\": {:.3}}}",
+            phase.label(),
+            count,
+            micros as f64 / 1e3
+        );
+    }
+    out.push('}');
+    out
 }
 
 /// Escapes a string as a JSON literal (quotes included).
@@ -311,6 +380,12 @@ mod tests {
                     bin: 0xDEAD_BEEF,
                     worker: 0,
                     counterexamples: Vec::new(),
+                    phases: {
+                        let mut p = PhaseTotals::default();
+                        p.add(Phase::Wp, 1500);
+                        p.add(Phase::Solver, 250);
+                        p
+                    },
                 },
                 JobReport {
                     name: "b".into(),
@@ -322,6 +397,7 @@ mod tests {
                     bin: 0x1,
                     worker: 1,
                     counterexamples: Vec::new(),
+                    phases: PhaseTotals::default(),
                 },
             ],
             workers: 2,
@@ -339,6 +415,8 @@ mod tests {
                 disk_hits: 5,
                 disk_misses: 2,
                 disk_writes: 2,
+                disk_entries: 2,
+                disk_bytes: 4096,
             }),
         }
     }
@@ -360,6 +438,14 @@ mod tests {
         assert!(json.contains("\"worker\": 1"), "{json}");
         assert!(json.contains("\"disk_hits\": 5"), "{json}");
         assert!(json.contains("\"disk_writes\": 2"), "{json}");
+        assert!(json.contains("\"disk_entries\": 2"), "{json}");
+        assert!(json.contains("\"disk_bytes\": 4096"), "{json}");
+        // Per-job wall time and phase breakdown ride along.
+        assert!(json.contains("\"ms\": 1.250"), "{json}");
+        assert!(
+            json.contains("\"phases\": {\"wp\": {\"spans\": 1, \"ms\": 1.500}, \"solver\": {\"spans\": 1, \"ms\": 0.250}}"),
+            "{json}"
+        );
         // Balanced braces/brackets (cheap structural sanity check).
         for (open, close) in [('{', '}'), ('[', ']')] {
             assert_eq!(
@@ -385,9 +471,18 @@ mod tests {
         assert!(text.contains("hit rate 75.0%"), "{text}");
         assert!(text.contains("2 bin(s)"), "{text}");
         assert!(
-            text.contains("disk cache: 5 hit(s), 2 miss(es), 2 write(s)"),
+            text.contains(
+                "disk cache: 5 hit(s), 2 miss(es), 2 write(s); 2 record(s), 4096 byte(s) on disk"
+            ),
             "{text}"
         );
+        // Per-job wall time stays in the human report, and the aggregate
+        // phase table renders only the non-empty phases.
+        assert!(text.contains("1.250 ms"), "{text}");
+        assert!(text.contains("phase"), "{text}");
+        assert!(text.contains("wp"), "{text}");
+        assert!(text.contains("solver"), "{text}");
+        assert!(!text.contains("diagnose"), "{text}");
     }
 
     #[test]

@@ -30,8 +30,11 @@
 use crate::proto::{verdict_event, Event, QueueStats, Request};
 use crate::queue::JobQueue;
 use nqpv_core::VcOptions;
-use nqpv_engine::{run_pool, Corpus, DiskCache, Job, JobReport, MemoCache, PoolObserver};
-use std::collections::HashSet;
+use nqpv_engine::{
+    record_cache_metrics, run_pool, Corpus, DiskCache, Job, JobReport, MemoCache, PoolObserver,
+};
+use nqpv_telemetry::MetricsServer;
+use std::collections::{BTreeSet, HashSet};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -39,7 +42,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Per-connection event-queue bound (lines). A client that stops reading
 /// fills it and is disconnected — the daemon's memory stays proportional
@@ -71,6 +74,12 @@ pub struct ServeOptions {
     /// scheduler trace, expectation trajectory — extracted by
     /// `nqpv-diagnose`.
     pub explain: bool,
+    /// Optional `/metrics` listen address (`--metrics-addr H:P`, port `0`
+    /// picks a free one): serves the process-wide telemetry registry in
+    /// Prometheus text-exposition format — job/phase latency histograms,
+    /// solver path mix, per-tier cache counters, queue depths per
+    /// priority, uptime. `None` (the default) serves nothing.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -84,6 +93,7 @@ impl Default for ServeOptions {
             cache_dir: None,
             max_queue: None,
             explain: false,
+            metrics_addr: None,
         }
     }
 }
@@ -108,6 +118,15 @@ struct Shared {
     cache: Option<Arc<MemoCache>>,
     running: AtomicU64,
     done: AtomicU64,
+    /// When the daemon started (the `stats` event's `uptime_ms`).
+    started: Instant,
+    /// Jobs refused at the `--max-queue` admission bound since start
+    /// (jobs, not requests — a refused 10-job corpus counts 10).
+    rejected: AtomicU64,
+    /// Every priority class that ever queued a job: a drained class keeps
+    /// reporting a zero depth gauge, so scrapers see a continuous series
+    /// rather than a vanishing one.
+    priorities_seen: Mutex<BTreeSet<i64>>,
     shutdown: AtomicBool,
     /// Read-half handles of live connections, keyed by connection id:
     /// shutdown half-closes them so blocked readers see EOF and their
@@ -163,6 +182,9 @@ impl Shared {
             queued: self.queue.len() as u64,
             running: self.running.load(Ordering::Relaxed),
             done: self.done.load(Ordering::Relaxed),
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            depths: self.queue.depth_by_priority(),
         }
     }
 
@@ -209,6 +231,7 @@ pub struct Daemon {
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
     pool: Option<JoinHandle<()>>,
+    metrics: Option<MetricsServer>,
 }
 
 impl Daemon {
@@ -237,11 +260,25 @@ impl Daemon {
             cache,
             running: AtomicU64::new(0),
             done: AtomicU64::new(0),
+            started: Instant::now(),
+            rejected: AtomicU64::new(0),
+            priorities_seen: Mutex::new(BTreeSet::new()),
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(std::collections::HashMap::new()),
             conn_handles: Mutex::new(Vec::new()),
             next_conn: AtomicU64::new(0),
         });
+
+        // Bind the scrape endpoint before spawning any thread: a bad
+        // `--metrics-addr` fails the whole start instead of leaving a
+        // half-started daemon behind.
+        let metrics = match &opts.metrics_addr {
+            Some(addr) => {
+                let shared = Arc::clone(&shared);
+                Some(MetricsServer::start(addr, move || render_metrics(&shared))?)
+            }
+            None => None,
+        };
 
         let workers = if opts.jobs == 0 {
             std::thread::available_parallelism()
@@ -258,7 +295,7 @@ impl Daemon {
                 // The pool outlives every fixed corpus: it drains the live
                 // queue until `close()` retires the workers.
                 let cache = shared.cache.clone();
-                run_pool(&shared.queue, workers, vc, cache, &*shared, explain);
+                run_pool(&shared.queue, workers, vc, cache, &*shared, explain, None);
             })
         };
         let accept = {
@@ -272,12 +309,19 @@ impl Daemon {
             addr,
             accept: Some(accept),
             pool: Some(pool),
+            metrics,
         })
     }
 
     /// The bound address (useful with port `0`).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound `/metrics` address, when `metrics_addr` was configured
+    /// (resolves port `0`).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().map(MetricsServer::addr)
     }
 
     /// Requests shutdown: the queue closes, workers finish their current
@@ -303,6 +347,9 @@ impl Daemon {
         if let Some(h) = self.pool.take() {
             let _ = h.join();
         }
+        if let Some(m) = self.metrics.take() {
+            m.shutdown();
+        }
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
@@ -327,6 +374,9 @@ impl Daemon {
 pub fn serve_blocking(opts: ServeOptions) -> std::io::Result<()> {
     let daemon = Daemon::start(opts)?;
     println!("nqpv-service listening on {}", daemon.local_addr());
+    if let Some(addr) = daemon.metrics_addr() {
+        println!("nqpv-service metrics on http://{addr}/metrics");
+    }
     daemon.wait();
     Ok(())
 }
@@ -524,13 +574,21 @@ fn submit_jobs(
     let ids = match shared.queue.try_reserve_batch(jobs.len()) {
         Ok(ids) => ids,
         Err(over) => {
+            shared
+                .rejected
+                .fetch_add(jobs.len() as u64, Ordering::Relaxed);
             return Event::Overloaded {
                 queued: over.queued as u64,
                 max_queue: over.max_queue as u64,
                 rejected: jobs.len() as u64,
-            }
+            };
         }
     };
+    shared
+        .priorities_seen
+        .lock()
+        .expect("hub poisoned")
+        .insert(priority);
     let mut accepted = Vec::with_capacity(jobs.len());
     for (id, job) in ids.into_iter().zip(jobs) {
         let name = job.name.clone();
@@ -555,4 +613,48 @@ fn submit_jobs(
         accepted.push((id, name));
     }
     Event::Accepted { jobs: accepted }
+}
+
+/// Renders one `/metrics` scrape: refreshes the daemon-owned gauges and
+/// monotone mirrors (queue depths, uptime, rejected jobs, cache tiers)
+/// in the process-wide registry, then renders everything — including the
+/// job/phase/solver series the worker pool records on its own.
+fn render_metrics(shared: &Shared) -> String {
+    let reg = nqpv_telemetry::global();
+    let stats = shared.queue_stats();
+    reg.gauge(
+        "nqpv_uptime_seconds",
+        "Seconds since the daemon started.",
+        &[],
+    )
+    .set((stats.uptime_ms / 1000) as i64);
+    reg.gauge("nqpv_jobs_running", "Jobs currently on a worker.", &[])
+        .set(stats.running as i64);
+    reg.counter(
+        "nqpv_jobs_rejected_total",
+        "Jobs refused at the --max-queue admission bound.",
+        &[],
+    )
+    .record_total(stats.rejected);
+    // Per-priority queue depths. A priority class keeps reporting (at
+    // zero) after it drains, so scrapers see a continuous series rather
+    // than a vanishing one.
+    const DEPTH: &str = "nqpv_queue_depth";
+    const DEPTH_HELP: &str = "Jobs waiting in the queue, by priority class.";
+    let mut seen = shared.priorities_seen.lock().expect("hub poisoned");
+    seen.extend(stats.depths.iter().map(|(p, _)| *p));
+    for &p in seen.iter() {
+        let depth = stats
+            .depths
+            .iter()
+            .find(|(q, _)| *q == p)
+            .map_or(0, |(_, d)| *d);
+        reg.gauge(DEPTH, DEPTH_HELP, &[("priority", &p.to_string())])
+            .set(depth as i64);
+    }
+    drop(seen);
+    if let Some(cache) = &shared.cache {
+        record_cache_metrics(&cache.stats());
+    }
+    reg.render()
 }

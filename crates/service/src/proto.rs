@@ -135,7 +135,7 @@ impl Request {
 }
 
 /// Queue-level counters in a [`Event::Stats`] reply.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct QueueStats {
     /// Jobs accepted but not yet started.
     pub queued: u64,
@@ -143,6 +143,15 @@ pub struct QueueStats {
     pub running: u64,
     /// Jobs finished since the daemon started.
     pub done: u64,
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: u64,
+    /// Submissions refused at the `--max-queue` admission bound since the
+    /// daemon started (jobs, not requests).
+    pub rejected: u64,
+    /// Waiting jobs per priority class, highest priority first. Old
+    /// clients ignore the member; old daemons omit it (decodes empty) —
+    /// the protocol is versioned by field presence.
+    pub depths: Vec<(i64, u64)>,
 }
 
 /// One job's terminal report, as streamed in a `verdict` event.
@@ -307,13 +316,28 @@ impl Event {
                         ("disk_hits", n(c.disk_hits as f64)),
                         ("disk_misses", n(c.disk_misses as f64)),
                         ("disk_writes", n(c.disk_writes as f64)),
+                        ("disk_entries", n(c.disk_entries as f64)),
+                        ("disk_bytes", n(c.disk_bytes as f64)),
                     ]),
                 };
+                let depths: Vec<Json> = queue
+                    .depths
+                    .iter()
+                    .map(|(priority, queued)| {
+                        obj(vec![
+                            ("priority", n(*priority as f64)),
+                            ("queued", n(*queued as f64)),
+                        ])
+                    })
+                    .collect();
                 obj(vec![
                     ("event", s("stats")),
                     ("queued", n(queue.queued as f64)),
                     ("running", n(queue.running as f64)),
                     ("done", n(queue.done as f64)),
+                    ("uptime_ms", n(queue.uptime_ms as f64)),
+                    ("rejected", n(queue.rejected as f64)),
+                    ("depths", Json::Arr(depths)),
                     ("cache", cache_json),
                 ])
                 .to_string()
@@ -451,14 +475,31 @@ impl Event {
                             disk_hits: g("disk_hits"),
                             disk_misses: g("disk_misses"),
                             disk_writes: g("disk_writes"),
+                            disk_entries: g("disk_entries"),
+                            disk_bytes: g("disk_bytes"),
                         })
                     }
                 };
+                let depths = v
+                    .get("depths")
+                    .and_then(Json::as_arr)
+                    .unwrap_or(&[])
+                    .iter()
+                    .filter_map(|d| {
+                        Some((
+                            d.get("priority")?.as_i64()?,
+                            d.get("queued")?.as_u64().unwrap_or(0),
+                        ))
+                    })
+                    .collect();
                 Ok(Event::Stats {
                     queue: QueueStats {
                         queued: q("queued"),
                         running: q("running"),
                         done: q("done"),
+                        uptime_ms: q("uptime_ms"),
+                        rejected: q("rejected"),
+                        depths,
                     },
                     cache,
                 })
@@ -610,11 +651,16 @@ mod tests {
                     queued: 1,
                     running: 2,
                     done: 3,
+                    uptime_ms: 45_000,
+                    rejected: 6,
+                    depths: vec![(5, 1), (0, 2), (-3, 1)],
                 },
                 cache: Some(CacheStats {
                     hits: 1,
                     disk_hits: 7,
                     disk_writes: 4,
+                    disk_entries: 9,
+                    disk_bytes: 2048,
                     ..CacheStats::default()
                 }),
             },

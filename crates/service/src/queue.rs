@@ -19,6 +19,7 @@ use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 #[derive(Debug)]
 struct Entry {
@@ -26,6 +27,10 @@ struct Entry {
     bin: u64,
     seq: usize,
     job: Job,
+    /// When the job entered the heap; the queue-wait observation spans
+    /// push → pop, not reservation (reservation is admission control,
+    /// not waiting).
+    queued_at: Instant,
 }
 
 impl PartialEq for Entry {
@@ -162,6 +167,7 @@ impl JobQueue {
                 bin: job.bin,
                 seq: id as usize,
                 job,
+                queued_at: Instant::now(),
             });
         }
         self.ready.notify_one();
@@ -184,6 +190,19 @@ impl JobQueue {
     /// `true` when no jobs are waiting.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Waiting jobs per priority class, highest priority first — the
+    /// `stats` event's `depths` member and the daemon's per-priority
+    /// queue-depth gauges. O(backlog) under the lock; stats requests and
+    /// metrics scrapes are rare next to pops.
+    pub fn depth_by_priority(&self) -> Vec<(i64, u64)> {
+        let inner = self.inner.lock().expect("queue poisoned");
+        let mut depths = std::collections::BTreeMap::new();
+        for entry in inner.heap.iter() {
+            *depths.entry(entry.priority).or_insert(0u64) += 1;
+        }
+        depths.into_iter().rev().collect()
     }
 
     /// Closes the queue: the backlog is discarded immediately, waiting
@@ -209,6 +228,14 @@ impl JobSource for JobQueue {
                 return None;
             }
             if let Some(entry) = inner.heap.pop() {
+                nqpv_telemetry::global()
+                    .histogram(
+                        "nqpv_queue_wait_seconds",
+                        "Time jobs spend queued before a worker picks them up.",
+                        &[],
+                        &nqpv_telemetry::DEFAULT_LATENCY_BOUNDS,
+                    )
+                    .observe(entry.queued_at.elapsed().as_secs_f64());
                 return Some(SourcedJob {
                     seq: entry.seq,
                     job: entry.job,
@@ -330,6 +357,22 @@ mod tests {
         // Unbounded queues admit anything.
         let free = JobQueue::new();
         assert_eq!(free.try_reserve_batch(1000).unwrap().len(), 1000);
+    }
+
+    #[test]
+    fn depth_by_priority_groups_the_backlog() {
+        let q = JobQueue::new();
+        assert!(q.depth_by_priority().is_empty());
+        q.push(job("a", "{ I[q] }"), 0).unwrap();
+        q.push(job("b", "{ I[q] }"), 5).unwrap();
+        q.push(job("c", "{ I[q] }"), 5).unwrap();
+        q.push(job("d", "{ I[q] }"), -1).unwrap();
+        // Highest priority first; counts per class.
+        assert_eq!(q.depth_by_priority(), vec![(5, 2), (0, 1), (-1, 1)]);
+        let _ = q.next(0); // pops one priority-5 job
+        assert_eq!(q.depth_by_priority(), vec![(5, 1), (0, 1), (-1, 1)]);
+        q.close();
+        assert!(q.depth_by_priority().is_empty());
     }
 
     #[test]

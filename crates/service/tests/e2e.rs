@@ -400,3 +400,68 @@ fn explain_mode_attaches_counterexamples_to_streamed_verdicts() {
     assert!(verdict.counterexamples.is_empty());
     daemon.join();
 }
+
+#[test]
+fn metrics_endpoint_serves_prometheus_text_after_jobs() {
+    use std::io::{Read as _, Write as _};
+    let daemon = Daemon::start(ServeOptions {
+        jobs: 1,
+        metrics_addr: Some("127.0.0.1:0".into()),
+        ..ServeOptions::default()
+    })
+    .expect("daemon starts");
+    let metrics_addr = daemon.metrics_addr().expect("metrics listener bound");
+    let mut client = Client::connect(daemon.local_addr()).unwrap();
+    let id = client
+        .submit_source(
+            "observed",
+            "def pf := proof [q] : { Pp[q] }; [q] *= H; { P0[q] } end",
+            3,
+        )
+        .unwrap();
+    assert_eq!(client.wait_verdicts(&[id]).unwrap()[0].status, "verified");
+
+    // The extended stats event: done counted, nothing rejected, backlog
+    // drained.
+    let Event::Stats { queue, .. } = client.stats().unwrap() else {
+        unreachable!()
+    };
+    assert_eq!(queue.done, 1);
+    assert_eq!(queue.rejected, 0);
+    assert!(queue.depths.is_empty(), "drained: {:?}", queue.depths);
+
+    let mut stream = std::net::TcpStream::connect(metrics_addr).unwrap();
+    write!(stream, "GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "{response}");
+    assert!(response.contains("text/plain; version=0.0.4"), "{response}");
+    let body = response.split("\r\n\r\n").nth(1).expect("body");
+
+    // The job-completion counter is non-zero (the registry is
+    // process-wide, so other tests may have contributed too — assert the
+    // floor, not the exact count)…
+    let completed: u64 = body
+        .lines()
+        .filter(|l| l.starts_with("nqpv_jobs_completed_total{"))
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert!(completed >= 1, "jobs must be counted:\n{body}");
+    // …and one scrape carries the whole surface: phase latency
+    // histograms, queue wait, solver path mix, per-tier cache counters,
+    // the drained-but-still-reported priority-3 depth gauge, uptime, and
+    // the rejected counter.
+    for needle in [
+        "# TYPE nqpv_phase_duration_seconds histogram",
+        "nqpv_phase_duration_seconds_bucket{phase=\"wp\",le=",
+        "# TYPE nqpv_queue_wait_seconds histogram",
+        "nqpv_solver_obligations_total{path=",
+        "nqpv_cache_lookups_total{tier=\"verdict\",outcome=",
+        "nqpv_queue_depth{priority=\"3\"} 0",
+        "# TYPE nqpv_uptime_seconds gauge",
+        "nqpv_jobs_rejected_total 0",
+    ] {
+        assert!(body.contains(needle), "missing {needle:?} in:\n{body}");
+    }
+    daemon.join();
+}

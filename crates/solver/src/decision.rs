@@ -28,6 +28,7 @@ use crate::lanczos::{max_eigenpair, min_eigenpair, LanczosOptions};
 use crate::primal::{max_min_expectation, PrimalOptions};
 use crate::simplex::{exp_gradient_step, uniform};
 use nqpv_linalg::{is_psd_pivoted, CMat, CVec};
+use nqpv_telemetry::{ArgValue, Phase, Tracer};
 use std::fmt;
 
 /// Default decision precision, mirroring the paper's user-defined `ε`.
@@ -45,6 +46,13 @@ pub struct LownerOptions {
     pub lanczos: LanczosOptions,
     /// Options for the primal witness search fallback.
     pub primal: PrimalOptions,
+    /// Telemetry handle: every obligation decided by [`assertion_le`] /
+    /// [`assertion_le_sup`] records a solver span (decision path +
+    /// margin) into it. The default is the inert tracer — a single
+    /// branch, so the bench-guarded hot paths pay nothing. `Tracer` is
+    /// `Copy` with a constant `Debug`, so this field changes neither the
+    /// struct's ergonomics nor any `Debug`-derived cache key.
+    pub tracer: Tracer,
 }
 
 impl Default for LownerOptions {
@@ -54,6 +62,7 @@ impl Default for LownerOptions {
             max_iter: 400,
             lanczos: LanczosOptions::default(),
             primal: PrimalOptions::default(),
+            tracer: Tracer::DISABLED,
         }
     }
 }
@@ -280,6 +289,10 @@ pub fn assertion_le(
 ) -> Result<Verdict, SolverError> {
     validate(theta, psi)?;
     for (ni, n) in psi.iter().enumerate() {
+        let mut span = opts.tracer.span(Phase::Solver, "obligation");
+        if span.recording() {
+            span.arg("element", ArgValue::U64(ni as u64));
+        }
         // Tier-1 fast path, certifying side: v(N) ≤ λ_max(M − N) for every
         // M; the pivoted-Cholesky test is the paper's singleton eigenvalue
         // check, settled without any Lanczos iteration.
@@ -287,20 +300,55 @@ pub fn assertion_le(
             .iter()
             .any(|m| is_psd_pivoted(&n.sub_mat(m), opts.eps))
         {
+            span.classify("solver_path", "cholesky");
+            span.arg("outcome", ArgValue::Static("holds"));
             continue;
         }
         let diffs: Vec<CMat> = theta.iter().map(|m| m.sub_mat(n)).collect();
         // Tier-1 fast path, violating side: a computational-basis witness
         // with clear margin skips the matrix game entirely.
         if let Some(v) = diag_violation(&diffs, ni, opts.eps) {
+            span.classify("solver_path", "diag-scan");
+            span.arg("outcome", ArgValue::Static("violated"));
+            span.arg("margin", ArgValue::F64(v.margin));
             return Ok(Verdict::Violated(v));
         }
+        // Singleton games are one exact Lanczos eigenpair; larger ones run
+        // the dual/primal iteration.
+        span.classify(
+            "solver_path",
+            if diffs.len() == 1 { "lanczos" } else { "game" },
+        );
         match resolve(game_value(&diffs, &opts), ni, &opts) {
-            Verdict::Holds => continue,
-            other => return Ok(other),
+            Verdict::Holds => {
+                span.arg("outcome", ArgValue::Static("holds"));
+                continue;
+            }
+            other => {
+                record_outcome(&mut span, &other);
+                return Ok(other);
+            }
         }
     }
     Ok(Verdict::Holds)
+}
+
+/// Attaches the non-holding outcome (and, for violations, the certified
+/// margin) to a solver span. Recording mode only — args are dropped on
+/// inert spans.
+fn record_outcome(span: &mut nqpv_telemetry::Span, verdict: &Verdict) {
+    match verdict {
+        Verdict::Holds => span.arg("outcome", ArgValue::Static("holds")),
+        Verdict::Violated(v) => {
+            span.arg("outcome", ArgValue::Static("violated"));
+            span.arg("margin", ArgValue::F64(v.margin));
+        }
+        Verdict::Inconclusive { lower, upper, .. } => {
+            span.arg("outcome", ArgValue::Static("inconclusive"));
+            span.arg("lower", ArgValue::F64(*lower));
+            span.arg("upper", ArgValue::F64(*upper));
+        }
+    }
 }
 
 /// Clear-margin violation scan: if some computational-basis state
@@ -358,17 +406,36 @@ pub fn assertion_le_sup(
 ) -> Result<Verdict, SolverError> {
     validate(theta, psi)?;
     for (mi, m) in theta.iter().enumerate() {
+        let mut span = opts.tracer.span(Phase::Solver, "obligation");
+        if span.recording() {
+            span.arg("element", ArgValue::U64(mi as u64));
+        }
         // Vertex shortcut: if M ⊑ N for some N, the game value is ≤ 0.
         if psi.iter().any(|n| is_psd_pivoted(&n.sub_mat(m), opts.eps)) {
+            span.classify("solver_path", "cholesky");
+            span.arg("outcome", ArgValue::Static("holds"));
             continue;
         }
         let diffs: Vec<CMat> = psi.iter().map(|n| m.sub_mat(n)).collect();
         if let Some(v) = diag_violation(&diffs, mi, opts.eps) {
+            span.classify("solver_path", "diag-scan");
+            span.arg("outcome", ArgValue::Static("violated"));
+            span.arg("margin", ArgValue::F64(v.margin));
             return Ok(Verdict::Violated(v));
         }
+        span.classify(
+            "solver_path",
+            if diffs.len() == 1 { "lanczos" } else { "game" },
+        );
         match resolve(game_value(&diffs, &opts), mi, &opts) {
-            Verdict::Holds => continue,
-            other => return Ok(other),
+            Verdict::Holds => {
+                span.arg("outcome", ArgValue::Static("holds"));
+                continue;
+            }
+            other => {
+                record_outcome(&mut span, &other);
+                return Ok(other);
+            }
         }
     }
     Ok(Verdict::Holds)
@@ -1040,6 +1107,45 @@ mod tests {
                 assert!(w.margin > 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn obligations_record_solver_spans_and_path_tallies() {
+        let tracer = Tracer::create(true);
+        let opts = LownerOptions {
+            tracer,
+            ..LownerOptions::default()
+        };
+        // One obligation per element of Ψ: k=2 game, then a Cholesky
+        // certificate, then a diag-scan violation.
+        assertion_le(&[p0(), p1()], &[half()], opts).unwrap();
+        assertion_le(&[half()], &[CMat::identity(2)], opts).unwrap();
+        let m = CMat::from_real(2, 2, &[0.9, 0.0, 0.0, 0.2]);
+        assertion_le(&[m], &[CMat::zeros(2, 2)], opts).unwrap();
+        let data = tracer.finish().expect("live sink");
+        assert_eq!(data.phases.get(Phase::Solver).0, 3);
+        assert_eq!(data.events.len(), 3);
+        let paths: Vec<&str> = data
+            .tallies
+            .iter()
+            .filter(|(k, _, _)| *k == "solver_path")
+            .map(|&(_, v, _)| v)
+            .collect();
+        assert!(paths.contains(&"game"), "{paths:?}");
+        assert!(paths.contains(&"cholesky"), "{paths:?}");
+        assert!(paths.contains(&"diag-scan"), "{paths:?}");
+        // The violated span carries its margin argument.
+        assert!(data.events.iter().any(|e| {
+            e.args
+                .iter()
+                .any(|(k, v)| *k == "margin" && matches!(v, ArgValue::F64(m) if *m > 0.8))
+        }));
+        // Options with a tracer render a stable Debug (cache keys hash
+        // option structs through Debug).
+        assert_eq!(
+            format!("{:?}", opts).replace("Tracer", "T"),
+            format!("{:?}", LownerOptions::default()).replace("Tracer", "T")
+        );
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! A minimal loopback HTTP listener for the `/metrics` endpoint.
+//!
+//! Deliberately tiny: HTTP/1.0, `Connection: close`, GET only, two
+//! routes (`/` and `/metrics` both serve the exposition; anything else
+//! is 404). The accept loop runs on one background thread in
+//! non-blocking mode so shutdown is a flag-flip plus a join — no
+//! self-connect tricks, no extra threads per connection. Scrape traffic
+//! (one request every few seconds from one Prometheus) never needs
+//! more.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running metrics listener; dropping it (or calling
+/// [`MetricsServer::shutdown`]) stops the accept loop.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and serves `render()`'s output
+    /// as `text/plain; version=0.0.4` on every GET to `/` or `/metrics`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start<F>(addr: &str, render: F) -> std::io::Result<MetricsServer>
+    where
+        F: Fn() -> String + Send + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("nqpv-metrics".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => handle_conn(stream, &render),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                    }
+                }
+            })
+            .expect("spawn metrics thread");
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn handle_conn<F: Fn() -> String>(mut stream: TcpStream, render: &F) {
+    // The accept loop is non-blocking; per-connection I/O should block,
+    // briefly.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let mut buf = [0u8; 1024];
+    let mut read = 0usize;
+    // Read until the header terminator (scrapers send tiny requests; we
+    // only need the request line).
+    while read < buf.len() {
+        match stream.read(&mut buf[read..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                read += n;
+                if buf[..read].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request = String::from_utf8_lossy(&buf[..read]);
+    let line = request.lines().next().unwrap_or("");
+    let mut parts = line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let path = path.split('?').next().unwrap_or("");
+    let response = if method != "GET" {
+        "HTTP/1.0 405 Method Not Allowed\r\nConnection: close\r\n\r\n".to_string()
+    } else if path == "/metrics" || path == "/" {
+        let body = render();
+        format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    } else {
+        "HTTP/1.0 404 Not Found\r\nConnection: close\r\n\r\n".to_string()
+    };
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        write!(s, "GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_metrics_and_404s_elsewhere() {
+        let server =
+            MetricsServer::start("127.0.0.1:0", || "a_total 1\n".to_string()).expect("bind");
+        let addr = server.addr();
+        let ok = get(addr, "/metrics");
+        assert!(ok.starts_with("HTTP/1.0 200 OK\r\n"), "{ok}");
+        assert!(ok.contains("text/plain; version=0.0.4"), "{ok}");
+        assert!(ok.ends_with("a_total 1\n"), "{ok}");
+        let root = get(addr, "/");
+        assert!(root.contains("a_total 1\n"));
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+        // Shutdown joins the accept thread (hangs the test if the stop
+        // flag is broken).
+        server.shutdown();
+    }
+
+    #[test]
+    fn non_get_is_rejected() {
+        let server = MetricsServer::start("127.0.0.1:0", String::new).expect("bind");
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        write!(s, "POST /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.0 405"), "{out}");
+    }
+}

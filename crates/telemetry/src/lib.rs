@@ -1,0 +1,107 @@
+//! # nqpv-telemetry
+//!
+//! Zero-dependency structured tracing and metrics for the NQPV stack.
+//!
+//! The ROADMAP's scheduling- and perf-shaped tentpoles (cluster placement,
+//! cost-model-informed binning, intra-job kernel parallelism) all need to
+//! *see* where time and cache capacity go. This crate is that seam, in two
+//! halves:
+//!
+//! * **Spans** ([`Tracer`] / [`Span`]) — a thread-safe, `Copy` tracer
+//!   handle that rides inside option structs ([`Tracer`] is two `u32`s
+//!   into a process-global sink registry, with a constant `Debug`
+//!   rendering so cache context keys never depend on it). When disabled —
+//!   the default — every call is a single branch on a sentinel slot, so
+//!   hot paths pay nothing. When enabled, spans accumulate per-phase
+//!   latency totals and (in recording mode) Chrome trace-event JSON
+//!   ([`TraceData::chrome_json`]) that opens directly in
+//!   `chrome://tracing` / Perfetto.
+//! * **Metrics** ([`Registry`], [`Counter`], [`Gauge`], [`Histogram`]) — a
+//!   process-wide registry of counters, gauges and fixed-bucket latency
+//!   histograms, rendered in Prometheus text-exposition format 0.0.4
+//!   ([`Registry::render`]) and servable over a loopback HTTP listener
+//!   ([`MetricsServer`]).
+//!
+//! Everything is std-only: no external crates, no allocation on the
+//! disabled path, and the metrics atomics are safe to bump from any
+//! worker thread.
+
+mod http;
+mod metrics;
+mod trace;
+
+pub use http::MetricsServer;
+pub use metrics::{
+    global, Counter, Gauge, Histogram, HistogramSnapshot, Registry, DEFAULT_LATENCY_BOUNDS,
+};
+pub use trace::{ArgValue, Phase, PhaseTotals, Span, TraceData, TraceEvent, Tracer, PHASE_COUNT};
+
+/// Folds one finished job's [`TraceData`] into the global metrics
+/// registry: completion counter by status, whole-job latency, per-phase
+/// latency histograms, and the solver path-mix tallies the sink
+/// accumulated. This is the single point where per-job trace sinks feed
+/// the process-wide Prometheus surface, called by the engine's worker
+/// pool after every job.
+pub fn record_job(status: &str, seconds: f64, data: &TraceData) {
+    let reg = global();
+    reg.counter(
+        "nqpv_jobs_completed_total",
+        "Verification jobs completed, by final status.",
+        &[("status", status)],
+    )
+    .inc();
+    reg.histogram(
+        "nqpv_job_duration_seconds",
+        "End-to-end wall time per verification job.",
+        &[],
+        &DEFAULT_LATENCY_BOUNDS,
+    )
+    .observe(seconds);
+    for phase in Phase::ALL {
+        let (count, micros) = data.phases.get(phase);
+        if count == 0 {
+            continue;
+        }
+        reg.histogram(
+            "nqpv_phase_duration_seconds",
+            "Per-job latency total spent in each pipeline phase.",
+            &[("phase", phase.label())],
+            &DEFAULT_LATENCY_BOUNDS,
+        )
+        .observe(micros as f64 / 1e6);
+    }
+    for (key, value, n) in &data.tallies {
+        if *key == "solver_path" {
+            reg.counter(
+                "nqpv_solver_obligations_total",
+                "Solver obligations decided, by decision path.",
+                &[("path", value)],
+            )
+            .add(*n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_job_feeds_the_global_registry() {
+        let tracer = Tracer::create(false);
+        {
+            let _s = tracer.span(Phase::Wp, "stmt");
+        }
+        let data = tracer.finish().expect("live sink");
+        record_job("verified", 0.002, &data);
+        let text = global().render();
+        assert!(
+            text.contains("nqpv_jobs_completed_total{status=\"verified\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("nqpv_phase_duration_seconds_bucket{phase=\"wp\","),
+            "{text}"
+        );
+    }
+}
