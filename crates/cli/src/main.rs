@@ -21,10 +21,11 @@
 use nqpv_core::{Session, VcOptions};
 use nqpv_engine::{run_batch, BatchOptions, Corpus, DiskCache};
 use nqpv_lang::parse_source;
-use nqpv_service::{serve_blocking, Client, Event, Request, ServeOptions};
+use nqpv_service::{serve_blocking, Client, Event, Request, RetryPolicy, ServeOptions};
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,7 +50,7 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  nqpv verify [--infer] FILE.nqpv\n  nqpv explain [--infer] [--json] [--trace DIR] FILE.nqpv\n  nqpv show [--infer] FILE.nqpv NAME\n  nqpv check FILE.nqpv\n  nqpv batch [--infer] [--jobs N] [--json] [--no-cache] [--cache-cap N]\n             [--cache-dir DIR] [--no-bin] [--explain] [--trace DIR]\n             DIR|MANIFEST\n  nqpv serve --addr HOST:PORT [--infer] [--jobs N] [--no-cache]\n             [--cache-cap N] [--cache-dir DIR] [--max-queue N] [--explain]\n             [--metrics-addr HOST:PORT]\n  nqpv client ADDR submit [--priority N] PATH…   submit + stream verdicts\n  nqpv client ADDR watch                         stream every job event\n  nqpv client ADDR stats|ping|shutdown\n  nqpv ops\n\n  --infer        attempt wlp-fixpoint invariant inference for\n                 while loops lacking an inv: annotation\n  --jobs N       worker threads (default: available cores)\n  --json         print the report as JSON instead of a summary\n  --no-cache     disable the shared wp memo cache\n  --cache-cap N  bound each cache tier to N entries (LRU eviction;\n                 eviction counts appear in the report)\n  --cache-dir D  persist solver verdicts under D (survives restarts,\n                 shared between batch runs and the daemon)\n  --no-bin       disable verdict-cache affinity scheduling\n  --explain      extract a counterexample (witness state, scheduler\n                 trace, expectation trajectory) for every rejected proof\n  --trace DIR    write one Chrome trace-event JSON per job under DIR\n                 (open in chrome://tracing or Perfetto)\n  --max-queue N  refuse submissions once N jobs are queued (daemon\n                 backpressure; structured 'overloaded' reply)\n  --metrics-addr HOST:PORT\n                 serve Prometheus text metrics at http://HOST:PORT/metrics\n  --priority N   scheduling priority for submitted jobs (higher first)"
+        "usage:\n  nqpv verify [--infer] FILE.nqpv\n  nqpv explain [--infer] [--json] [--trace DIR] FILE.nqpv\n  nqpv show [--infer] FILE.nqpv NAME\n  nqpv check FILE.nqpv\n  nqpv batch [--infer] [--jobs N] [--json] [--no-cache] [--cache-cap N]\n             [--cache-dir DIR] [--cache-max-bytes N] [--no-bin]\n             [--explain] [--trace DIR] [--job-timeout SECS]\n             DIR|MANIFEST\n  nqpv serve --addr HOST:PORT [--infer] [--jobs N] [--no-cache]\n             [--cache-cap N] [--cache-dir DIR] [--cache-max-bytes N]\n             [--max-queue N] [--max-per-client N] [--job-timeout SECS]\n             [--drain-timeout SECS] [--explain] [--metrics-addr HOST:PORT]\n  nqpv client ADDR submit [--priority N] PATH…   submit + stream verdicts\n  nqpv client ADDR watch                         stream every job event\n  nqpv client ADDR stats|ping\n  nqpv client ADDR shutdown [--drain]\n  nqpv ops\n\n  --infer        attempt wlp-fixpoint invariant inference for\n                 while loops lacking an inv: annotation\n  --jobs N       worker threads (default: available cores)\n  --json         print the report as JSON instead of a summary\n  --no-cache     disable the shared wp memo cache\n  --cache-cap N  bound each cache tier to N entries (LRU eviction;\n                 eviction counts appear in the report)\n  --cache-dir D  persist solver verdicts under D (survives restarts,\n                 shared between batch runs and the daemon)\n  --cache-max-bytes N\n                 size budget for the verdict store under --cache-dir:\n                 oldest records are evicted to stay under N bytes\n  --no-bin       disable verdict-cache affinity scheduling\n  --explain      extract a counterexample (witness state, scheduler\n                 trace, expectation trajectory) for every rejected proof\n  --trace DIR    write one Chrome trace-event JSON per job under DIR\n                 (open in chrome://tracing or Perfetto)\n  --job-timeout SECS\n                 per-job verification deadline: a job still unverified\n                 after SECS is stopped cooperatively and reported with\n                 a 'timeout' verdict\n  --max-queue N  refuse submissions once N jobs are queued (daemon\n                 backpressure; structured 'overloaded' reply)\n  --max-per-client N\n                 bound one connection's queued+running jobs to N\n                 (client-scoped 'overloaded' reply)\n  --drain-timeout SECS\n                 bound on 'shutdown --drain' backlog completion\n                 (default 30)\n  --metrics-addr HOST:PORT\n                 serve Prometheus text metrics at http://HOST:PORT/metrics\n  --priority N   scheduling priority for submitted jobs (higher first)\n  --drain        (client shutdown) finish the whole backlog before the\n                 daemon stops, instead of dropping queued jobs\n\nenvironment:\n  NQPV_FAULTS=<seed>:<site>[*<cap>],…\n                 arm the deterministic fault-injection harness (sites:\n                 worker_panic, solver_delay, disk_read, disk_write,\n                 conn_drop); inert when unset"
     );
     ExitCode::from(2)
 }
@@ -274,6 +275,8 @@ fn cmd_batch(rest: &[String], infer: bool) -> ExitCode {
     let mut explain = false;
     let mut cache_cap: Option<usize> = None;
     let mut cache_dir: Option<&str> = None;
+    let mut cache_max_bytes: Option<u64> = None;
+    let mut job_timeout: Option<Duration> = None;
     let mut trace_dir: Option<&str> = None;
     let mut target: Option<&str> = None;
     let mut it = rest.iter();
@@ -285,6 +288,14 @@ fn cmd_batch(rest: &[String], infer: bool) -> ExitCode {
             },
             "--cache-cap" => match positive_arg(&mut it, "--cache-cap") {
                 Ok(n) => cache_cap = Some(n),
+                Err(code) => return code,
+            },
+            "--cache-max-bytes" => match positive_arg(&mut it, "--cache-max-bytes") {
+                Ok(n) => cache_max_bytes = Some(n as u64),
+                Err(code) => return code,
+            },
+            "--job-timeout" => match positive_arg(&mut it, "--job-timeout") {
+                Ok(n) => job_timeout = Some(Duration::from_secs(n as u64)),
                 Err(code) => return code,
             },
             "--cache-dir" => {
@@ -322,7 +333,7 @@ fn cmd_batch(rest: &[String], infer: bool) -> ExitCode {
         return usage();
     };
     let disk = match cache_dir {
-        Some(dir) if use_cache => match DiskCache::open(dir) {
+        Some(dir) if use_cache => match DiskCache::open_with_budget(dir, cache_max_bytes) {
             Ok(d) => Some(Arc::new(d)),
             Err(e) => {
                 eprintln!("error: opening verdict cache: {e}");
@@ -360,6 +371,7 @@ fn cmd_batch(rest: &[String], infer: bool) -> ExitCode {
             bin_jobs,
             explain,
             trace_dir: trace_dir.map(std::path::PathBuf::from),
+            job_timeout,
             vc: VcOptions {
                 infer_invariants: infer,
                 ..VcOptions::default()
@@ -415,6 +427,22 @@ fn cmd_serve(rest: &[String], infer: bool) -> ExitCode {
                 };
                 opts.cache_dir = Some(dir.into());
             }
+            "--cache-max-bytes" => match positive_arg(&mut it, "--cache-max-bytes") {
+                Ok(n) => opts.cache_max_bytes = Some(n as u64),
+                Err(code) => return code,
+            },
+            "--job-timeout" => match positive_arg(&mut it, "--job-timeout") {
+                Ok(n) => opts.job_timeout = Some(Duration::from_secs(n as u64)),
+                Err(code) => return code,
+            },
+            "--drain-timeout" => match positive_arg(&mut it, "--drain-timeout") {
+                Ok(n) => opts.drain_timeout = Duration::from_secs(n as u64),
+                Err(code) => return code,
+            },
+            "--max-per-client" => match positive_arg(&mut it, "--max-per-client") {
+                Ok(n) => opts.max_per_client = Some(n),
+                Err(code) => return code,
+            },
             "--no-cache" => opts.use_cache = false,
             "--explain" => opts.explain = true,
             "--metrics-addr" => {
@@ -477,10 +505,22 @@ fn cmd_client(rest: &[String]) -> ExitCode {
         "ping" => client_oneshot(&mut client, &Request::Ping),
         // `Client::shutdown` tolerates the daemon closing the connection
         // before the reply is read — that still means a successful stop.
-        "shutdown" => client.shutdown().map(|()| {
-            println!("{}", Event::ShuttingDown.to_line());
-            ExitCode::SUCCESS
-        }),
+        // With `--drain` the call blocks until the daemon has worked off
+        // its whole backlog (bounded by the daemon's --drain-timeout).
+        "shutdown" => {
+            let drain = match rest.get(2).map(String::as_str) {
+                None => false,
+                Some("--drain") => true,
+                Some(other) => {
+                    eprintln!("error: unknown shutdown flag '{other}'");
+                    return usage();
+                }
+            };
+            client.shutdown_with(drain).map(|()| {
+                println!("{}", Event::ShuttingDown.to_line());
+                ExitCode::SUCCESS
+            })
+        }
         other => {
             eprintln!("error: unknown client command '{other}'");
             return usage();
@@ -532,29 +572,62 @@ fn client_submit(client: &mut Client, rest: &[String]) -> std::io::Result<ExitCo
         eprintln!("error: submit expects at least one PATH");
         return Ok(ExitCode::from(2));
     }
+    // Transient failures — a dropped connection, an overloaded refusal —
+    // retry with backoff. A reconnect orphans the event subscriptions of
+    // everything submitted earlier in this sequence (subscriptions are
+    // per-connection), so the whole sequence is resubmitted from scratch
+    // when one slipped in; re-running an already-verified job is cheap
+    // (warm cache), hanging on verdicts that can never arrive is not.
+    let policy = RetryPolicy::default();
     let mut pending = std::collections::HashSet::new();
-    for path in paths {
-        // `.nqpv` files go up as single jobs; everything else —
-        // directories and manifests — goes up as a corpus, mirroring how
-        // `nqpv batch` treats its target. Extension-based so the
-        // decision also holds for daemon-side paths that don't exist on
-        // the client's filesystem.
-        let single = Path::new(path.as_str())
-            .extension()
-            .is_some_and(|x| x == "nqpv");
-        match client.submit_path(path, priority, !single) {
-            Ok(accepted) => {
-                let ids: Vec<String> = accepted
-                    .iter()
-                    .map(|(id, name)| format!("{{\"id\":{id},\"name\":{}}}", json_str(name)))
-                    .collect();
-                println!("{{\"event\":\"accepted\",\"jobs\":[{}]}}", ids.join(","));
-                pending.extend(accepted.into_iter().map(|(id, _)| id));
+    for pass in 0.. {
+        let mut orphaned = false;
+        pending.clear();
+        for path in &paths {
+            let generation = client.reconnects();
+            // `.nqpv` files go up as single jobs; everything else —
+            // directories and manifests — goes up as a corpus, mirroring
+            // how `nqpv batch` treats its target. Extension-based so the
+            // decision also holds for daemon-side paths that don't exist
+            // on the client's filesystem.
+            let single = Path::new(path.as_str())
+                .extension()
+                .is_some_and(|x| x == "nqpv");
+            let req = if single {
+                Request::SubmitPath {
+                    path: (*path).clone(),
+                    priority,
+                }
+            } else {
+                Request::SubmitDir {
+                    path: (*path).clone(),
+                    priority,
+                }
+            };
+            match client.submit_with_retry(&req, &policy) {
+                Ok(accepted) => {
+                    if client.reconnects() != generation && !pending.is_empty() {
+                        orphaned = true;
+                    }
+                    let ids: Vec<String> = accepted
+                        .iter()
+                        .map(|(id, name)| format!("{{\"id\":{id},\"name\":{}}}", json_str(name)))
+                        .collect();
+                    println!("{{\"event\":\"accepted\",\"jobs\":[{}]}}", ids.join(","));
+                    pending.extend(accepted.into_iter().map(|(id, _)| id));
+                }
+                Err(e) => {
+                    eprintln!("error: submitting '{path}': {e}");
+                    return Ok(ExitCode::from(2));
+                }
             }
-            Err(e) => {
-                eprintln!("error: submitting '{path}': {e}");
-                return Ok(ExitCode::from(2));
-            }
+        }
+        if !orphaned {
+            break;
+        }
+        if pass >= 2 {
+            eprintln!("error: connection too unstable to hold a submission stream");
+            return Ok(ExitCode::from(2));
         }
     }
     let mut all_verified = true;

@@ -74,6 +74,26 @@ pub enum VerifError {
         /// Description of the unresolved query.
         details: String,
     },
+    /// The cooperative job deadline expired mid-verification
+    /// (see `VcOptions::with_deadline`). `at` names the statement span
+    /// that observed the expiry — the partial-trajectory marker.
+    Timeout {
+        /// Statement span where the expiry was observed
+        /// (e.g. `statement 2.0`, `top level`).
+        at: String,
+    },
+}
+
+impl VerifError {
+    /// `true` when this error is a cooperative-deadline expiry — either
+    /// observed at a statement boundary ([`VerifError::Timeout`]) or
+    /// inside the solver ([`SolverError::Timeout`]).
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            VerifError::Timeout { .. } | VerifError::Solver(SolverError::Timeout)
+        )
+    }
 }
 
 impl fmt::Display for VerifError {
@@ -121,6 +141,9 @@ impl fmt::Display for VerifError {
             }
             VerifError::Inconclusive { details } => {
                 write!(f, "order query inconclusive: {details}")
+            }
+            VerifError::Timeout { at } => {
+                write!(f, "verification deadline exceeded (at {at})")
             }
         }
     }

@@ -51,6 +51,15 @@ impl fmt::Display for SessionError {
 
 impl std::error::Error for SessionError {}
 
+impl SessionError {
+    /// `true` when the underlying failure is a cooperative-deadline
+    /// expiry (see [`VerifError::is_timeout`]) — the batch engine maps
+    /// these to `TIMEOUT` verdicts instead of generic errors.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, SessionError::Verify { error, .. } if error.is_timeout())
+    }
+}
+
 /// An interactive-style NQPV session.
 ///
 /// # Examples

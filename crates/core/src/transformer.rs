@@ -17,7 +17,7 @@ use nqpv_lang::{AssertionExpr, Stmt};
 use nqpv_linalg::{embed, CMat};
 use nqpv_quantum::{OperatorLibrary, Register};
 use nqpv_solver::{LownerOptions, Verdict};
-use nqpv_telemetry::{ArgValue, Phase, Tracer};
+use nqpv_telemetry::{ArgValue, Deadline, Phase, Tracer};
 use std::collections::HashMap;
 
 /// Partial (`wlp`) vs total (`wp`) correctness mode.
@@ -56,6 +56,15 @@ pub struct VcOptions {
     /// deliberately **excluded** from [`context_key`] — which job traced
     /// a subterm must never partition the memo caches.
     pub tracer: Tracer,
+    /// Cooperative job deadline, checked at every statement entry of the
+    /// backward pass (yielding [`VerifError::Timeout`] with the
+    /// statement span) and at every solver obligation through the copy
+    /// on [`LownerOptions::deadline`]. Set it with
+    /// [`VcOptions::with_deadline`] so the two copies stay in sync.
+    /// Never expires by default; like the tracer, it renders a constant
+    /// `Debug` and is excluded from [`context_key`] — a job's wall-clock
+    /// budget must never partition the memo caches.
+    pub deadline: Deadline,
 }
 
 impl Default for VcOptions {
@@ -67,6 +76,7 @@ impl Default for VcOptions {
             infer_invariants: false,
             factor_assertions: true,
             tracer: Tracer::DISABLED,
+            deadline: Deadline::NONE,
         }
     }
 }
@@ -79,6 +89,16 @@ impl VcOptions {
     pub fn with_tracer(mut self, tracer: Tracer) -> VcOptions {
         self.tracer = tracer;
         self.lowner.tracer = tracer;
+        self
+    }
+
+    /// Returns a copy carrying `deadline` on both the transformer seam
+    /// and the solver seam ([`LownerOptions::deadline`]) — the one way
+    /// to arm a job budget, so the two copies cannot drift apart.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Deadline) -> VcOptions {
+        self.deadline = deadline;
+        self.lowner.deadline = deadline;
         self
     }
 }
@@ -351,6 +371,13 @@ impl Ctx<'_> {
     /// `cached` argument tells them apart), so a trace of a loop-free
     /// program carries exactly one wp span per statement node.
     fn go(&mut self, stmt: &TStmt, post: &Assertion) -> Result<Annotated, VerifError> {
+        // Cooperative cancellation at every statement boundary: the span
+        // in the error is the backward pass's position when the budget
+        // ran out — the "how far did it get" marker of a TIMEOUT
+        // verdict.
+        if self.opts.deadline.expired() {
+            return Err(VerifError::Timeout { at: self.span() });
+        }
         let tracer = self.opts.tracer;
         let mut span = tracer.span(Phase::Wp, stmt_kind(stmt));
         if span.recording() {
@@ -1207,6 +1234,23 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, VerifError::CutFailed { .. }));
+    }
+
+    #[test]
+    fn expired_deadline_stops_the_backward_pass_with_a_span() {
+        let (lib, reg) = setup(&["q"]);
+        let s = parse_stmt("[q] *= H; [q] *= H").unwrap();
+        let post = Assertion::identity(2);
+        let opts = VcOptions::default().with_deadline(Deadline::after(std::time::Duration::ZERO));
+        let err = precondition(&s, &post, &lib, &reg, opts, &no_rankings()).unwrap_err();
+        assert!(err.is_timeout(), "{err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("deadline exceeded"), "{msg}");
+        // A job's wall-clock budget must not partition the memo caches.
+        assert_eq!(
+            context_key(&reg, opts),
+            context_key(&reg, VcOptions::default())
+        );
     }
 
     #[test]

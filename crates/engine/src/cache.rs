@@ -42,6 +42,10 @@ pub struct CacheStats {
     pub disk_entries: u64,
     /// Bytes currently in the disk store (0 when none is layered).
     pub disk_bytes: u64,
+    /// Corrupt disk records moved to the quarantine directory this run.
+    pub disk_quarantined: u64,
+    /// Disk records evicted by the size budget (`--cache-max-bytes`).
+    pub disk_evicted: u64,
 }
 
 impl CacheStats {
@@ -201,11 +205,11 @@ impl MemoCache {
     /// disk backend, when layered).
     pub fn stats(&self) -> CacheStats {
         let (entries, evictions) = {
-            let t = self.map.lock().expect("cache poisoned");
+            let t = self.map.lock().unwrap_or_else(|e| e.into_inner());
             (t.len() as u64, t.evictions)
         };
         let (verdict_entries, verdict_evictions) = {
-            let t = self.verdicts.lock().expect("cache poisoned");
+            let t = self.verdicts.lock().unwrap_or_else(|e| e.into_inner());
             (t.len() as u64, t.evictions)
         };
         let disk = self.disk.as_ref().map(|d| d.stats()).unwrap_or_default();
@@ -223,6 +227,8 @@ impl MemoCache {
             disk_writes: disk.writes,
             disk_entries: disk.entries,
             disk_bytes: disk.bytes,
+            disk_quarantined: disk.quarantined,
+            disk_evicted: disk.evicted,
         }
     }
 }
@@ -266,11 +272,23 @@ pub fn record_cache_metrics(stats: &CacheStats) {
         &[],
     )
     .set(stats.disk_bytes as i64);
+    reg.counter(
+        "nqpv_disk_quarantined_total",
+        "Corrupt verdict records moved to the quarantine directory.",
+        &[],
+    )
+    .record_total(stats.disk_quarantined);
+    reg.counter(
+        "nqpv_disk_evicted_total",
+        "Verdict records evicted by the disk-store size budget.",
+        &[],
+    )
+    .record_total(stats.disk_evicted);
 }
 
 impl TransformerCache for MemoCache {
     fn get(&self, key: CacheKey) -> Option<Annotated> {
-        let found = self.map.lock().expect("cache poisoned").get(key);
+        let found = self.map.lock().unwrap_or_else(|e| e.into_inner()).get(key);
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -281,12 +299,22 @@ impl TransformerCache for MemoCache {
     fn put(&self, key: CacheKey, value: &Annotated) {
         self.map
             .lock()
-            .expect("cache poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .put(key, value.clone());
     }
 
     fn get_verdict(&self, key: CacheKey) -> Option<Verdict> {
-        let found = self.verdicts.lock().expect("cache poisoned").get(key);
+        // Deterministic chaos: solver_delay models a wedged solver by
+        // stalling the lookup path; job deadlines must still cut the job
+        // off at the next statement/obligation boundary.
+        if let Some(stall) = crate::faults::global().delay(crate::faults::SOLVER_DELAY) {
+            std::thread::sleep(stall);
+        }
+        let found = self
+            .verdicts
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key);
         if let Some(v) = found {
             self.verdict_hits.fetch_add(1, Ordering::Relaxed);
             return Some(v);
@@ -298,7 +326,7 @@ impl TransformerCache for MemoCache {
         let v = disk.get(key)?;
         self.verdicts
             .lock()
-            .expect("cache poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .put(key, v.clone());
         Some(v)
     }
@@ -306,7 +334,7 @@ impl TransformerCache for MemoCache {
     fn put_verdict(&self, key: CacheKey, verdict: &Verdict) {
         self.verdicts
             .lock()
-            .expect("cache poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .put(key, verdict.clone());
         // Write-through: only freshly computed verdicts reach this path
         // (disk promotions insert into the tier directly above), so every

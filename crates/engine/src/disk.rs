@@ -27,7 +27,19 @@
 //! writers (other threads, other processes, the daemon plus a batch run)
 //! can share a cache directory without torn records. Loads are
 //! **corruption-tolerant**: any unreadable, truncated, stale-versioned or
-//! checksum-failing record degrades to a miss.
+//! checksum-failing record degrades to a miss, and a record that *reads*
+//! but fails validation is moved aside into `verdicts/quarantine/` (it is
+//! evidence of a bug or bad disk, worth keeping for inspection — and a
+//! record that failed once must not pay a read+decode on every future
+//! lookup). Quarantined records are invisible to scans and lookups.
+//!
+//! With a size budget ([`DiskCache::open_with_budget`], the CLI's
+//! `--cache-max-bytes`), the store garbage-collects itself: whenever the
+//! resident bytes exceed the budget — checked at open and after each
+//! write — the oldest records (by modification time) are deleted first
+//! until the store fits. A single sweeper runs at a time; losers of the
+//! `try_lock` race simply skip (the winner is already shrinking the
+//! store).
 //!
 //! The `CACHE_VERSION` header pins both the directory layout and the
 //! verdict-key schema ([`nqpv_core::VERDICT_KEY_SCHEMA`]). Opening a
@@ -39,6 +51,8 @@ use nqpv_solver::Verdict;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::SystemTime;
 
 /// On-disk layout version of [`DiskCache`].
 pub const DISK_LAYOUT_VERSION: u32 = 1;
@@ -58,6 +72,10 @@ pub struct DiskStats {
     pub entries: u64,
     /// Total bytes of stored records, maintained like `entries`.
     pub bytes: u64,
+    /// Corrupt records moved to `verdicts/quarantine/` by this process.
+    pub quarantined: u64,
+    /// Records deleted by the size-budget sweeper in this process.
+    pub evicted: u64,
 }
 
 /// A content-addressed, multi-process-safe verdict store rooted at a
@@ -71,10 +89,15 @@ pub struct DiskCache {
     entries: AtomicU64,
     bytes: AtomicU64,
     tmp_seq: AtomicU64,
+    max_bytes: Option<u64>,
+    quarantined: AtomicU64,
+    evicted: AtomicU64,
+    sweeper: Mutex<()>,
 }
 
 impl DiskCache {
-    /// Opens (creating if needed) a verdict cache rooted at `dir`.
+    /// Opens (creating if needed) a verdict cache rooted at `dir`,
+    /// without a size budget.
     ///
     /// # Errors
     ///
@@ -83,6 +106,18 @@ impl DiskCache {
     /// different layout or key-schema version — stale caches must be
     /// removed (or pointed elsewhere) explicitly, never reinterpreted.
     pub fn open<P: AsRef<Path>>(dir: P) -> io::Result<Self> {
+        DiskCache::open_with_budget(dir, None)
+    }
+
+    /// [`DiskCache::open`] with an optional size budget (the CLI's
+    /// `--cache-max-bytes`): whenever the store exceeds `max_bytes` —
+    /// checked at open and after every write — the oldest records are
+    /// deleted first until it fits.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DiskCache::open`].
+    pub fn open_with_budget<P: AsRef<Path>>(dir: P, max_bytes: Option<u64>) -> io::Result<Self> {
         let root = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(root.join("verdicts"))?;
         let header = format!(
@@ -110,7 +145,7 @@ impl DiskCache {
             Err(e) => return Err(e),
         }
         let (entries, bytes) = scan_store(&root);
-        Ok(DiskCache {
+        let cache = DiskCache {
             root,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -118,7 +153,15 @@ impl DiskCache {
             entries: AtomicU64::new(entries),
             bytes: AtomicU64::new(bytes),
             tmp_seq: AtomicU64::new(0),
-        })
+            max_bytes,
+            quarantined: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            sweeper: Mutex::new(()),
+        };
+        // A store inherited from a run with a bigger (or no) budget
+        // shrinks to fit before serving anything.
+        cache.enforce_budget();
+        Ok(cache)
     }
 
     /// The cache's root directory.
@@ -136,24 +179,16 @@ impl DiskCache {
             writes: self.writes.load(Ordering::Relaxed),
             entries: self.entries.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
         }
     }
 
     /// Number of records currently on disk (a directory walk — test and
-    /// diagnostics helper, not a hot-path call).
+    /// diagnostics helper, not a hot-path call). Quarantined records are
+    /// not counted.
     pub fn record_count(&self) -> usize {
-        let mut n = 0;
-        if let Ok(shards) = std::fs::read_dir(self.root.join("verdicts")) {
-            for shard in shards.filter_map(Result::ok) {
-                if let Ok(entries) = std::fs::read_dir(shard.path()) {
-                    n += entries
-                        .filter_map(Result::ok)
-                        .filter(|e| e.path().extension().is_some_and(|x| x == "nqv"))
-                        .count();
-                }
-            }
-        }
-        n
+        walk_records(&self.root).len()
     }
 
     fn record_path(&self, key: CacheKey) -> PathBuf {
@@ -165,11 +200,29 @@ impl DiskCache {
     }
 
     /// Looks up a verdict record, tolerating every flavour of corruption
-    /// (missing shard, unreadable file, bad checksum) as a miss.
+    /// (missing shard, unreadable file, bad checksum) as a miss. A record
+    /// that reads but fails validation is moved to
+    /// `verdicts/quarantine/` so it never pays a decode again (and stays
+    /// inspectable); see the module docs.
     pub fn get(&self, key: CacheKey) -> Option<Verdict> {
-        let found = std::fs::read(self.record_path(key))
-            .ok()
-            .and_then(|bytes| decode_verdict(&bytes));
+        let path = self.record_path(key);
+        // Deterministic chaos: an injected read fault behaves exactly
+        // like an unreadable file — a plain miss, no quarantine (IO
+        // trouble is not record corruption).
+        let found = if crate::faults::global().fire(crate::faults::DISK_READ) {
+            None
+        } else {
+            match std::fs::read(&path).ok() {
+                None => None,
+                Some(bytes) => {
+                    let decoded = decode_verdict(&bytes);
+                    if decoded.is_none() {
+                        self.quarantine(&path, bytes.len() as u64);
+                    }
+                    decoded
+                }
+            }
+        };
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -177,10 +230,70 @@ impl DiskCache {
         found
     }
 
+    /// Moves a validation-failing record into `verdicts/quarantine/`,
+    /// keeping the size counters honest. Best-effort: a failed move
+    /// leaves the record in place (a future miss-and-retry).
+    fn quarantine(&self, path: &Path, len: u64) {
+        let qdir = self.root.join("verdicts").join(QUARANTINE_DIR);
+        if std::fs::create_dir_all(&qdir).is_err() {
+            return;
+        }
+        let Some(name) = path.file_name() else { return };
+        if std::fs::rename(path, qdir.join(name)).is_ok() {
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+            let _ = self
+                .entries
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                    Some(n.saturating_sub(1))
+                });
+            let _ = self
+                .bytes
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+                    Some(b.saturating_sub(len))
+                });
+        }
+    }
+
+    /// Deletes oldest-first until the store fits its byte budget. At most
+    /// one sweeper runs at a time; concurrent callers skip (the winner is
+    /// already shrinking). Counters resynchronise from a walk afterwards,
+    /// so racing writers never drive them out of range.
+    fn enforce_budget(&self) {
+        let Some(budget) = self.max_bytes else { return };
+        if self.bytes.load(Ordering::Relaxed) <= budget {
+            return;
+        }
+        let Ok(_guard) = self.sweeper.try_lock() else {
+            return;
+        };
+        let mut records = walk_records(&self.root);
+        // Oldest modification time first; path breaks ties so the sweep
+        // order is deterministic even with coarse filesystem clocks.
+        records.sort_by(|a, b| (a.0, &a.2).cmp(&(b.0, &b.2)));
+        let mut total: u64 = records.iter().map(|r| r.1).sum();
+        for (_, len, path) in &records {
+            if total <= budget {
+                break;
+            }
+            if std::fs::remove_file(path).is_ok() {
+                total -= len;
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (entries, bytes) = scan_store(&self.root);
+        self.entries.store(entries, Ordering::Relaxed);
+        self.bytes.store(bytes, Ordering::Relaxed);
+    }
+
     /// Persists a verdict record via write-to-temporary + atomic rename.
     /// Best-effort: I/O failures leave the cache without the record (a
     /// future miss) but never a torn file.
     pub fn put(&self, key: CacheKey, verdict: &Verdict) {
+        // Deterministic chaos: an injected write fault behaves exactly
+        // like a failed write — the record simply never lands.
+        if crate::faults::global().fire(crate::faults::DISK_WRITE) {
+            return;
+        }
         let path = self.record_path(key);
         let Some(shard) = path.parent() else { return };
         if std::fs::create_dir_all(shard).is_err() {
@@ -213,26 +326,54 @@ impl DiskCache {
         } else {
             let _ = std::fs::remove_file(&tmp);
         }
+        self.enforce_budget();
     }
+}
+
+/// The quarantine directory name under `verdicts/`. Deliberately not two
+/// hex characters, so shard walks skip it structurally.
+const QUARANTINE_DIR: &str = "quarantine";
+
+/// `true` for real shard directories (two hex characters) — the walk
+/// predicate that keeps `quarantine/` and strays out of scans.
+fn is_shard_name(name: &std::ffi::OsStr) -> bool {
+    name.to_str()
+        .is_some_and(|n| n.len() == 2 && n.chars().all(|c| c.is_ascii_hexdigit()))
+}
+
+/// Walks the shard directories under `<root>/verdicts`, returning every
+/// record as `(mtime, len, path)`. Quarantined records are excluded.
+fn walk_records(root: &Path) -> Vec<(SystemTime, u64, PathBuf)> {
+    let mut out = Vec::new();
+    if let Ok(shards) = std::fs::read_dir(root.join("verdicts")) {
+        for shard in shards.filter_map(Result::ok) {
+            if !is_shard_name(&shard.file_name()) {
+                continue;
+            }
+            if let Ok(entries) = std::fs::read_dir(shard.path()) {
+                for e in entries.filter_map(Result::ok) {
+                    let path = e.path();
+                    if path.extension().is_none_or(|x| x != "nqv") {
+                        continue;
+                    }
+                    let Ok(meta) = e.metadata() else { continue };
+                    let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                    out.push((mtime, meta.len(), path));
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Walks `<root>/verdicts` once, returning `(record count, total bytes)`
 /// — the open-time seed for [`DiskCache::stats`]'s size counters.
 fn scan_store(root: &Path) -> (u64, u64) {
-    let (mut n, mut bytes) = (0u64, 0u64);
-    if let Ok(shards) = std::fs::read_dir(root.join("verdicts")) {
-        for shard in shards.filter_map(Result::ok) {
-            if let Ok(entries) = std::fs::read_dir(shard.path()) {
-                for e in entries.filter_map(Result::ok) {
-                    if e.path().extension().is_some_and(|x| x == "nqv") {
-                        n += 1;
-                        bytes += e.metadata().map(|m| m.len()).unwrap_or(0);
-                    }
-                }
-            }
-        }
-    }
-    (n, bytes)
+    let records = walk_records(root);
+    (
+        records.len() as u64,
+        records.iter().map(|r| r.1).sum::<u64>(),
+    )
 }
 
 #[cfg(test)]
@@ -300,7 +441,7 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_records_degrade_to_misses() {
+    fn corrupt_records_degrade_to_misses_and_are_quarantined() {
         let dir = tmp("corrupt");
         let cache = DiskCache::open(&dir).unwrap();
         cache.put(9, &Verdict::Holds);
@@ -311,12 +452,70 @@ mod tests {
         bytes[mid] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
         assert!(cache.get(9).is_none(), "corrupt record must be a miss");
+        // The corrupt record was moved aside, not deleted: it is out of
+        // the store (no repeat decode cost, no scan visibility) but kept
+        // for inspection.
+        assert!(!path.exists(), "quarantined record must leave the shard");
+        let qfile = dir
+            .join("verdicts")
+            .join("quarantine")
+            .join(path.file_name().unwrap());
+        assert!(qfile.is_file(), "quarantine must keep the evidence");
+        assert_eq!(cache.record_count(), 0, "quarantine is not scanned");
+        assert_eq!(cache.stats().quarantined, 1);
+        assert_eq!(cache.stats().entries, 0, "{:?}", cache.stats());
         // Truncated record.
         std::fs::write(&path, &bytes[..4]).unwrap();
         assert!(cache.get(9).is_none());
         // Empty record.
         std::fs::write(&path, b"").unwrap();
         assert!(cache.get(9).is_none());
+        assert_eq!(cache.stats().quarantined, 3);
+        // A restart over the quarantined store sees a clean, writable
+        // cache: the open-time scan skips quarantine/, and the key can be
+        // re-solved and re-persisted.
+        drop(cache);
+        let fresh = DiskCache::open(&dir).unwrap();
+        assert_eq!(fresh.stats().entries, 0, "{:?}", fresh.stats());
+        assert!(fresh.get(9).is_none());
+        fresh.put(9, &Verdict::Holds);
+        assert!(matches!(fresh.get(9), Some(Verdict::Holds)));
+        assert_eq!(fresh.record_count(), 1);
+    }
+
+    #[test]
+    fn size_budget_evicts_oldest_records_first() {
+        let dir = tmp("budget");
+        let cache = DiskCache::open(&dir).unwrap();
+        cache.put(1, &Verdict::Holds);
+        let record_len = cache.stats().bytes;
+        assert!(record_len > 0);
+        drop(cache);
+
+        // Budget of ~3 records; write 6 with strictly increasing mtimes.
+        let budget = record_len * 3 + record_len / 2;
+        let cache = DiskCache::open_with_budget(&dir, Some(budget)).unwrap();
+        for k in 2..=6u128 {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            cache.put(k, &Verdict::Holds);
+        }
+        let s = cache.stats();
+        assert!(s.bytes <= budget, "{s:?}");
+        assert!(s.evicted >= 2, "{s:?}");
+        assert_eq!(s.entries as usize, cache.record_count());
+        // Oldest-first: the newest record always survives, the very first
+        // one is always the first victim.
+        assert!(matches!(cache.get(6), Some(Verdict::Holds)));
+        assert!(cache.get(1).is_none(), "oldest record must be evicted");
+
+        // Reopening with a tighter budget shrinks the inherited store at
+        // open time, before serving anything.
+        drop(cache);
+        let tight = DiskCache::open_with_budget(&dir, Some(record_len)).unwrap();
+        let s = tight.stats();
+        assert!(s.bytes <= record_len, "{s:?}");
+        assert_eq!(s.entries, 1, "{s:?}");
+        assert!(matches!(tight.get(6), Some(Verdict::Holds)));
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! Deterministic fault injection: named failure sites across the
+//! engine/service stack that can be armed from the environment, so every
+//! hardening behaviour (panic isolation, timeouts, disk-cache IO errors,
+//! connection drops) is exercised by ordinary `cargo test` and a chaos CI
+//! job — not by luck in production.
+//!
+//! # Activation
+//!
+//! Compiled in everywhere, inert by default. Armed via
+//! `NQPV_FAULTS=<seed>:<site>[*<cap>][,<site>…]`, e.g.:
+//!
+//! ```text
+//! NQPV_FAULTS=42:worker_panic*1,disk_read*2,solver_delay
+//! ```
+//!
+//! A **capped** site (`name*N`) fires deterministically on its first `N`
+//! calls and never again — the shape used by verdict-preserving chaos
+//! runs (a panic that fires once is absorbed by the pool's retry; a read
+//! error that fires twice degrades to two cache misses). An **uncapped**
+//! site fires pseudorandomly at ~50% per call, driven by a splitmix64
+//! PRNG over `(seed, site, call index)` — deterministic for a fixed seed
+//! and call sequence, different across seeds.
+//!
+//! # Sites
+//!
+//! | site | effect |
+//! |---|---|
+//! | [`WORKER_PANIC`] | the worker pool panics mid-job |
+//! | [`SOLVER_DELAY`] | verdict-cache lookups sleep ~250–300 ms |
+//! | [`DISK_READ`] | a `DiskCache` read fails like an IO error (miss) |
+//! | [`DISK_WRITE`] | a `DiskCache` write fails like an IO error |
+//! | [`CONN_DROP`] | the daemon drops a connection on submit receipt |
+//!
+//! Every injected fault bumps `nqpv_faults_injected_total{site=…}` in
+//! the global metrics registry, so a chaos run can assert
+//! `faults_injected > 0` from the outside.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Fault site: a worker panics between claiming and finishing a job.
+pub const WORKER_PANIC: &str = "worker_panic";
+/// Fault site: verdict-cache lookups stall (a wedged solver stand-in).
+pub const SOLVER_DELAY: &str = "solver_delay";
+/// Fault site: a disk-cache read fails like an IO error.
+pub const DISK_READ: &str = "disk_read";
+/// Fault site: a disk-cache write fails like an IO error.
+pub const DISK_WRITE: &str = "disk_write";
+/// Fault site: the daemon drops a client connection on submit receipt.
+pub const CONN_DROP: &str = "conn_drop";
+
+/// One armed site: its name, optional deterministic cap, and call count.
+#[derive(Debug)]
+struct Site {
+    name: String,
+    cap: Option<u64>,
+    calls: AtomicU64,
+}
+
+/// A fault-injection plan; see the module docs. The inert plan
+/// ([`Faults::inert`]) has no sites and every check is one slice scan
+/// over an empty vec.
+#[derive(Debug)]
+pub struct Faults {
+    seed: u64,
+    sites: Vec<Site>,
+    injected: AtomicU64,
+}
+
+/// splitmix64: the standard 64-bit finalizer-style PRNG step. Stateless
+/// over its input, so `(seed, site, call)` hashes are reproducible
+/// without locks.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over the site name, so distinct sites draw distinct streams.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl Faults {
+    /// The do-nothing plan (no `NQPV_FAULTS`, or an empty spec).
+    pub fn inert() -> Faults {
+        Faults {
+            seed: 0,
+            sites: Vec::new(),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Parses `<seed>:<site>[*<cap>][,<site>…]`. An empty spec is the
+    /// inert plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed component.
+    pub fn parse(spec: &str) -> Result<Faults, String> {
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return Ok(Faults::inert());
+        }
+        let (seed_str, sites_str) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("fault spec '{spec}' missing '<seed>:' prefix"))?;
+        let seed: u64 = seed_str
+            .trim()
+            .parse()
+            .map_err(|_| format!("fault seed '{seed_str}' is not an unsigned integer"))?;
+        let mut sites = Vec::new();
+        for part in sites_str.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (name, cap) = match part.split_once('*') {
+                Some((name, cap_str)) => {
+                    let cap: u64 = cap_str.trim().parse().map_err(|_| {
+                        format!("fault cap '{cap_str}' in '{part}' is not an unsigned integer")
+                    })?;
+                    (name.trim(), Some(cap))
+                }
+                None => (part, None),
+            };
+            if name.is_empty() {
+                return Err(format!("fault spec '{spec}' has an empty site name"));
+            }
+            sites.push(Site {
+                name: name.to_string(),
+                cap,
+                calls: AtomicU64::new(0),
+            });
+        }
+        Ok(Faults {
+            seed,
+            sites,
+            injected: AtomicU64::new(0),
+        })
+    }
+
+    /// `true` when at least one site is armed.
+    pub fn armed(&self) -> bool {
+        !self.sites.is_empty()
+    }
+
+    /// Should the named site fail on this call? Counts the call, decides
+    /// deterministically (capped sites: first `cap` calls; uncapped:
+    /// seeded ~50% coin), and on a hit bumps the injected tally and the
+    /// `nqpv_faults_injected_total` metric.
+    pub fn fire(&self, site: &str) -> bool {
+        let Some(s) = self.sites.iter().find(|s| s.name == site) else {
+            return false;
+        };
+        let call = s.calls.fetch_add(1, Ordering::Relaxed);
+        let hit = match s.cap {
+            Some(cap) => call < cap,
+            None => splitmix64(self.seed ^ fnv1a(site) ^ call) & 1 == 0,
+        };
+        if hit {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            nqpv_telemetry::global()
+                .counter(
+                    "nqpv_faults_injected_total",
+                    "Faults injected by the deterministic fault harness, by site.",
+                    &[("site", &s.name)],
+                )
+                .inc();
+        }
+        hit
+    }
+
+    /// Like [`Faults::fire`], returning the injected stall duration for
+    /// delay-shaped sites: ~250–300 ms, jittered deterministically from
+    /// the seed and call index.
+    pub fn delay(&self, site: &str) -> Option<Duration> {
+        if !self.fire(site) {
+            return None;
+        }
+        let call = self
+            .sites
+            .iter()
+            .find(|s| s.name == site)
+            .map_or(0, |s| s.calls.load(Ordering::Relaxed));
+        let jitter = splitmix64(self.seed ^ fnv1a(site).rotate_left(17) ^ call) % 50;
+        Some(Duration::from_millis(250 + jitter))
+    }
+
+    /// Total faults injected by this plan so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+/// The process-wide plan, parsed once from `NQPV_FAULTS`. A malformed
+/// spec is reported on stderr and treated as inert — a bad chaos knob
+/// must never take production down, which is the whole point.
+pub fn global() -> &'static Faults {
+    static GLOBAL: OnceLock<Faults> = OnceLock::new();
+    GLOBAL.get_or_init(|| match std::env::var("NQPV_FAULTS") {
+        Ok(spec) => Faults::parse(&spec).unwrap_or_else(|e| {
+            eprintln!("warning: ignoring NQPV_FAULTS: {e}");
+            Faults::inert()
+        }),
+        Err(_) => Faults::inert(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_plan_never_fires() {
+        let f = Faults::inert();
+        assert!(!f.armed());
+        for _ in 0..100 {
+            assert!(!f.fire(WORKER_PANIC));
+            assert!(f.delay(SOLVER_DELAY).is_none());
+        }
+        assert_eq!(f.injected(), 0);
+        assert!(!Faults::parse("").unwrap().armed());
+        assert!(!Faults::parse("   ").unwrap().armed());
+    }
+
+    #[test]
+    fn capped_sites_fire_exactly_cap_times() {
+        let f = Faults::parse("7:worker_panic*2,disk_read*1").unwrap();
+        assert!(f.armed());
+        assert!(f.fire(WORKER_PANIC));
+        assert!(f.fire(WORKER_PANIC));
+        for _ in 0..20 {
+            assert!(!f.fire(WORKER_PANIC));
+        }
+        assert!(f.fire(DISK_READ));
+        assert!(!f.fire(DISK_READ));
+        // Unarmed sites never fire even on an armed plan.
+        assert!(!f.fire(CONN_DROP));
+        assert_eq!(f.injected(), 3);
+    }
+
+    #[test]
+    fn uncapped_sites_are_seed_deterministic() {
+        let run = |seed: u64| -> Vec<bool> {
+            let f = Faults::parse(&format!("{seed}:conn_drop")).unwrap();
+            (0..64).map(|_| f.fire(CONN_DROP)).collect()
+        };
+        let a = run(42);
+        assert_eq!(a, run(42), "same seed, same sequence");
+        assert_ne!(a, run(43), "different seed, different sequence");
+        // ~50% rate: both outcomes occur.
+        assert!(a.iter().any(|&b| b) && a.iter().any(|&b| !b), "{a:?}");
+    }
+
+    #[test]
+    fn delays_are_bounded_and_deterministic() {
+        let f = Faults::parse("11:solver_delay*3").unwrap();
+        let g = Faults::parse("11:solver_delay*3").unwrap();
+        for _ in 0..3 {
+            let (df, dg) = (
+                f.delay(SOLVER_DELAY).unwrap(),
+                g.delay(SOLVER_DELAY).unwrap(),
+            );
+            assert_eq!(df, dg);
+            assert!((Duration::from_millis(250)..Duration::from_millis(300)).contains(&df));
+        }
+        assert!(f.delay(SOLVER_DELAY).is_none());
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_reasons() {
+        assert!(Faults::parse("no-colon").unwrap_err().contains("seed"));
+        assert!(Faults::parse("x:worker_panic")
+            .unwrap_err()
+            .contains("seed"));
+        assert!(Faults::parse("1:worker_panic*q")
+            .unwrap_err()
+            .contains("cap"));
+        assert!(Faults::parse("1:*3").unwrap_err().contains("site name"));
+        // Trailing commas and whitespace are tolerated.
+        let f = Faults::parse(" 5 : disk_write*1 , ").unwrap();
+        assert!(f.fire(DISK_WRITE));
+    }
+}

@@ -41,6 +41,7 @@
 mod cache;
 mod corpus;
 mod disk;
+pub mod faults;
 mod pool;
 mod report;
 
@@ -52,7 +53,7 @@ pub use corpus::{affinity_bin, Corpus, CorpusError, Job};
 pub use disk::{DiskCache, DiskStats, DISK_LAYOUT_VERSION};
 pub use nqpv_diagnose::Counterexample;
 pub use pool::{
-    run_batch, run_job, run_job_traced, run_pool, BatchOptions, BinnedCorpusSource, JobSource,
-    PoolObserver, SourcedJob,
+    run_batch, run_job, run_job_isolated, run_job_traced, run_pool, BatchOptions,
+    BinnedCorpusSource, JobSource, PoolObserver, SourcedJob,
 };
 pub use report::{BatchReport, JobReport, JobStatus, ProofReport};

@@ -15,12 +15,12 @@ use crate::cache::MemoCache;
 use crate::corpus::{Corpus, Job};
 use crate::report::{BatchReport, JobReport, JobStatus, ProofReport};
 use nqpv_core::{Session, VcOptions};
-use nqpv_telemetry::{Phase, Tracer};
+use nqpv_telemetry::{Deadline, Phase, Tracer};
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration for a batch run.
 #[derive(Debug, Clone)]
@@ -52,6 +52,11 @@ pub struct BatchOptions {
     /// full recording mode; without it only the cheap per-phase
     /// accumulators run.
     pub trace_dir: Option<PathBuf>,
+    /// Per-job wall-clock budget (`nqpv batch --job-timeout SECS`). Each
+    /// job gets a fresh cooperative [`Deadline`]; expiry is observed at
+    /// statement and solver-obligation boundaries and surfaces as
+    /// [`JobStatus::Timeout`] — the worker and its cache survive.
+    pub job_timeout: Option<Duration>,
 }
 
 impl Default for BatchOptions {
@@ -65,6 +70,7 @@ impl Default for BatchOptions {
             bin_jobs: true,
             explain: false,
             trace_dir: None,
+            job_timeout: None,
         }
     }
 }
@@ -128,7 +134,7 @@ struct Collector {
 
 impl PoolObserver for Collector {
     fn job_finished(&self, seq: usize, report: &JobReport) {
-        self.slots.lock().expect("pool poisoned")[seq] = Some(report.clone());
+        self.slots.lock().unwrap_or_else(|e| e.into_inner())[seq] = Some(report.clone());
     }
 }
 
@@ -137,6 +143,13 @@ impl PoolObserver for Collector {
 /// nothing is buffered here, so a long-running driver (the service
 /// daemon) holds memory proportional to in-flight work, not to every
 /// job ever verified. Returns when the source retires all workers.
+///
+/// Every job runs inside a panic shield ([`run_job_isolated`]): a panic
+/// is retried once and then becomes a structured
+/// [`JobStatus::Error`] report — a worker thread is never lost to a
+/// single bad job. With `job_timeout`, each job attempt is additionally
+/// armed with a fresh cooperative deadline.
+#[allow(clippy::too_many_arguments)]
 pub fn run_pool(
     source: &dyn JobSource,
     workers: usize,
@@ -145,6 +158,7 @@ pub fn run_pool(
     observer: &dyn PoolObserver,
     explain: bool,
     trace_dir: Option<&Path>,
+    job_timeout: Option<Duration>,
 ) {
     let workers = workers.max(1);
     std::thread::scope(|scope| {
@@ -153,13 +167,87 @@ pub fn run_pool(
             scope.spawn(move || {
                 while let Some(sourced) = source.next(w) {
                     observer.job_started(sourced.seq, &sourced.job, w);
-                    let report =
-                        run_job_traced(&sourced.job, vc, cache.clone(), w, explain, trace_dir);
+                    let report = run_job_isolated(
+                        &sourced.job,
+                        vc,
+                        cache.clone(),
+                        w,
+                        explain,
+                        trace_dir,
+                        job_timeout,
+                    );
                     observer.job_finished(sourced.seq, &report);
                 }
             });
         }
     });
+}
+
+/// Renders a caught panic payload for the structured error report.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`run_job_traced`] behind a panic shield and an optional per-attempt
+/// deadline. A panicking job is retried once (transient faults — and the
+/// capped `worker_panic` injection site — are absorbed without changing
+/// any verdict); a second panic yields a `worker panicked: …`
+/// [`JobStatus::Error`] report so the caller's bookkeeping stays intact.
+/// Every caught panic bumps `nqpv_jobs_panicked_total`.
+pub fn run_job_isolated(
+    job: &Job,
+    vc: VcOptions,
+    cache: Option<Arc<MemoCache>>,
+    worker: usize,
+    explain: bool,
+    trace_dir: Option<&Path>,
+    job_timeout: Option<Duration>,
+) -> JobReport {
+    let t0 = Instant::now();
+    let mut last_panic = String::new();
+    for _attempt in 0..2 {
+        let vc = match job_timeout {
+            Some(budget) => vc.with_deadline(Deadline::after(budget)),
+            None => vc,
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job_traced(job, vc, cache.clone(), worker, explain, trace_dir)
+        }));
+        match outcome {
+            Ok(report) => return report,
+            Err(payload) => {
+                last_panic = panic_message(payload);
+                nqpv_telemetry::global()
+                    .counter(
+                        "nqpv_jobs_panicked_total",
+                        "Jobs whose verification attempt panicked (caught and retried).",
+                        &[],
+                    )
+                    .inc();
+            }
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let status = JobStatus::Error {
+        message: format!("worker panicked: {last_panic}"),
+    };
+    nqpv_telemetry::record_job(status.label(), secs, &Default::default());
+    JobReport {
+        name: job.name.clone(),
+        path: job.path.as_ref().map(|p| p.display().to_string()),
+        status,
+        ms: secs * 1e3,
+        bin: job.bin,
+        worker,
+        counterexamples: Vec::new(),
+        phases: Default::default(),
+    }
 }
 
 /// A drained-once job source over a fixed corpus with **verdict-cache
@@ -220,7 +308,7 @@ impl BinnedCorpusSource {
 impl JobSource for BinnedCorpusSource {
     fn next(&self, worker: usize) -> Option<SourcedJob> {
         let slot = &self.pending[worker % self.pending.len()];
-        if let Some(job) = slot.lock().expect("pool poisoned").pop_front() {
+        if let Some(job) = slot.lock().unwrap_or_else(|e| e.into_inner()).pop_front() {
             return Some(job);
         }
         loop {
@@ -232,7 +320,7 @@ impl JobSource for BinnedCorpusSource {
             let Some(first) = mine.pop_front() else {
                 continue;
             };
-            *slot.lock().expect("pool poisoned") = mine;
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = mine;
             return Some(first);
         }
     }
@@ -273,8 +361,12 @@ pub fn run_batch(corpus: &Corpus, options: &BatchOptions) -> BatchReport {
             &collector,
             options.explain,
             options.trace_dir.as_deref(),
+            options.job_timeout,
         );
-        slots = collector.slots.into_inner().expect("pool poisoned");
+        slots = collector
+            .slots
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner());
     }
 
     let jobs: Vec<JobReport> = slots
@@ -322,6 +414,11 @@ pub fn run_job_traced(
     trace_dir: Option<&Path>,
 ) -> JobReport {
     let t0 = Instant::now();
+    // Deterministic chaos: the worker_panic site simulates a bug in the
+    // verification path itself; the pool's panic shield must absorb it.
+    if crate::faults::global().fire(crate::faults::WORKER_PANIC) {
+        panic!("injected fault: {}", crate::faults::WORKER_PANIC);
+    }
     let tracer = Tracer::create(trace_dir.is_some());
     let vc = vc.with_tracer(tracer);
     let mut session = Session::new()
@@ -331,6 +428,18 @@ pub fn run_job_traced(
         session = session.with_cache(cache);
     }
     let status = match session.run_str(&job.source) {
+        Err(e) if e.is_timeout() => {
+            nqpv_telemetry::global()
+                .counter(
+                    "nqpv_jobs_timed_out_total",
+                    "Jobs stopped by their cooperative per-job deadline.",
+                    &[],
+                )
+                .inc();
+            JobStatus::Timeout {
+                message: e.to_string(),
+            }
+        }
         Err(e) => JobStatus::Error {
             message: e.to_string(),
         },
@@ -649,6 +758,50 @@ mod tests {
                 "{} trace missing",
                 job.name
             );
+        }
+    }
+
+    #[test]
+    fn zero_timeout_maps_jobs_to_timeout_without_losing_workers() {
+        let report = run_batch(
+            &corpus(),
+            &BatchOptions {
+                job_timeout: Some(Duration::ZERO),
+                ..BatchOptions::default()
+            },
+        );
+        // Every job that parses hits its (already expired) deadline at the
+        // first statement boundary; the parse-broken job still reports its
+        // structural error — a deadline never masks a real failure.
+        assert_eq!(report.timed_out_jobs(), 4, "{}", report.human_summary());
+        assert_eq!(report.errored_jobs(), 1);
+        let loopy = report
+            .jobs
+            .iter()
+            .find(|j| j.name == "loopy")
+            .expect("job present");
+        match &loopy.status {
+            JobStatus::Timeout { message } => {
+                assert!(message.contains("deadline exceeded"), "{message}");
+                assert!(message.contains("at "), "partial trajectory: {message}");
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert_eq!(loopy.status.label(), "timeout");
+        // The JSON report carries the timeout message in the error field.
+        let json = report.to_json();
+        assert!(json.contains("\"status\": \"timeout\""), "{json}");
+        // A generous budget behaves exactly like no budget at all.
+        let relaxed = run_batch(
+            &corpus(),
+            &BatchOptions {
+                job_timeout: Some(Duration::from_secs(3600)),
+                ..BatchOptions::default()
+            },
+        );
+        let plain = run_batch(&corpus(), &BatchOptions::default());
+        for (a, b) in relaxed.jobs.iter().zip(&plain.jobs) {
+            assert_eq!(a.status.label(), b.status.label(), "{}", a.name);
         }
     }
 

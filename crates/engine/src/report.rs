@@ -34,6 +34,13 @@ pub enum JobStatus {
         /// The session error message.
         message: String,
     },
+    /// The job's cooperative deadline (`--job-timeout`) expired before
+    /// a verdict was reached.
+    Timeout {
+        /// The timeout message, including the statement span the
+        /// backward pass had reached (the partial-trajectory marker).
+        message: String,
+    },
 }
 
 impl JobStatus {
@@ -43,6 +50,7 @@ impl JobStatus {
             JobStatus::Verified { .. } => "verified",
             JobStatus::Rejected { .. } => "rejected",
             JobStatus::Error { .. } => "error",
+            JobStatus::Timeout { .. } => "timeout",
         }
     }
 }
@@ -104,6 +112,11 @@ impl BatchReport {
         self.count(|s| matches!(s, JobStatus::Error { .. }))
     }
 
+    /// Number of jobs that hit their deadline.
+    pub fn timed_out_jobs(&self) -> usize {
+        self.count(|s| matches!(s, JobStatus::Timeout { .. }))
+    }
+
     fn count(&self, pred: impl Fn(&JobStatus) -> bool) -> usize {
         self.jobs.iter().filter(|j| pred(&j.status)).count()
     }
@@ -136,7 +149,8 @@ impl BatchReport {
                     "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \"evictions\": {}, \"hit_rate\": {:.4}, \
                      \"verdict_hits\": {}, \"verdict_misses\": {}, \"verdict_entries\": {}, \"verdict_evictions\": {}, \"verdict_hit_rate\": {:.4}, \
                      \"disk_hits\": {}, \"disk_misses\": {}, \"disk_writes\": {}, \
-                     \"disk_entries\": {}, \"disk_bytes\": {}}},",
+                     \"disk_entries\": {}, \"disk_bytes\": {}, \
+                     \"disk_quarantined\": {}, \"disk_evicted\": {}}},",
                     c.hits,
                     c.misses,
                     c.entries,
@@ -151,7 +165,9 @@ impl BatchReport {
                     c.disk_misses,
                     c.disk_writes,
                     c.disk_entries,
-                    c.disk_bytes
+                    c.disk_bytes,
+                    c.disk_quarantined,
+                    c.disk_evicted
                 );
             }
             None => out.push_str("  \"cache\": null,\n"),
@@ -159,6 +175,7 @@ impl BatchReport {
         let _ = writeln!(out, "  \"verified\": {},", self.verified_jobs());
         let _ = writeln!(out, "  \"rejected\": {},", self.rejected_jobs());
         let _ = writeln!(out, "  \"errors\": {},", self.errored_jobs());
+        let _ = writeln!(out, "  \"timeouts\": {},", self.timed_out_jobs());
         let _ = writeln!(out, "  \"phases\": {},", phases_json(&self.phase_totals()));
         out.push_str("  \"jobs\": [\n");
         for (i, job) in self.jobs.iter().enumerate() {
@@ -187,7 +204,7 @@ impl BatchReport {
                     }
                     out.push(']');
                 }
-                JobStatus::Error { message } => {
+                JobStatus::Error { message } | JobStatus::Timeout { message } => {
                     let _ = write!(out, ", \"error\": {}", json_string(message));
                 }
             }
@@ -231,6 +248,9 @@ impl BatchReport {
                 JobStatus::Error { message } => {
                     message.lines().next().unwrap_or("error").to_string()
                 }
+                JobStatus::Timeout { message } => {
+                    message.lines().next().unwrap_or("timeout").to_string()
+                }
             };
             let _ = writeln!(
                 out,
@@ -248,11 +268,12 @@ impl BatchReport {
         }
         let _ = writeln!(
             out,
-            "---\n{} job(s): {} verified, {} rejected, {} error(s); {} worker(s), {} bin(s), {:.3} ms total",
+            "---\n{} job(s): {} verified, {} rejected, {} error(s), {} timed out; {} worker(s), {} bin(s), {:.3} ms total",
             self.jobs.len(),
             self.verified_jobs(),
             self.rejected_jobs(),
             self.errored_jobs(),
+            self.timed_out_jobs(),
             self.workers,
             self.bins,
             self.total_ms
@@ -284,6 +305,13 @@ impl BatchReport {
                     "disk cache: {} hit(s), {} miss(es), {} write(s); {} record(s), {} byte(s) on disk",
                     c.disk_hits, c.disk_misses, c.disk_writes, c.disk_entries, c.disk_bytes
                 );
+                if c.disk_quarantined + c.disk_evicted > 0 {
+                    let _ = writeln!(
+                        out,
+                        "disk hygiene: {} record(s) quarantined, {} evicted by the size budget",
+                        c.disk_quarantined, c.disk_evicted
+                    );
+                }
             }
         }
         let totals = self.phase_totals();
@@ -417,6 +445,8 @@ mod tests {
                 disk_writes: 2,
                 disk_entries: 2,
                 disk_bytes: 4096,
+                disk_quarantined: 0,
+                disk_evicted: 0,
             }),
         }
     }
@@ -483,6 +513,34 @@ mod tests {
         assert!(text.contains("wp"), "{text}");
         assert!(text.contains("solver"), "{text}");
         assert!(!text.contains("diagnose"), "{text}");
+    }
+
+    #[test]
+    fn timeouts_render_as_their_own_status() {
+        let mut report = sample();
+        report.jobs.push(JobReport {
+            name: "slow".into(),
+            path: None,
+            status: JobStatus::Timeout {
+                message: "verification deadline exceeded (at statement 2.0)".into(),
+            },
+            ms: 2000.0,
+            bin: 0x2,
+            worker: 0,
+            counterexamples: Vec::new(),
+            phases: PhaseTotals::default(),
+        });
+        assert_eq!(report.timed_out_jobs(), 1);
+        assert_eq!(report.errored_jobs(), 1, "timeouts are not errors");
+        let json = report.to_json();
+        assert!(json.contains("\"status\": \"timeout\""), "{json}");
+        assert!(
+            json.contains("\"error\": \"verification deadline exceeded (at statement 2.0)\""),
+            "{json}"
+        );
+        let text = report.human_summary();
+        assert!(text.contains("1 timed out"), "{text}");
+        assert!(text.contains("(at statement 2.0)"), "{text}");
     }
 
     #[test]

@@ -31,7 +31,8 @@ use crate::proto::{verdict_event, Event, QueueStats, Request};
 use crate::queue::JobQueue;
 use nqpv_core::VcOptions;
 use nqpv_engine::{
-    record_cache_metrics, run_pool, Corpus, DiskCache, Job, JobReport, MemoCache, PoolObserver,
+    faults, record_cache_metrics, run_pool, Corpus, DiskCache, Job, JobReport, JobStatus,
+    MemoCache, PoolObserver,
 };
 use nqpv_telemetry::MetricsServer;
 use std::collections::{BTreeSet, HashSet};
@@ -80,6 +81,25 @@ pub struct ServeOptions {
     /// solver path mix, per-tier cache counters, queue depths per
     /// priority, uptime. `None` (the default) serves nothing.
     pub metrics_addr: Option<String>,
+    /// Cooperative per-job deadline (`--job-timeout SECS`): a job still
+    /// unverified when its budget expires is stopped at the next
+    /// statement/obligation boundary and reported with a `timeout`
+    /// verdict. `None` (the default) lets jobs run unbounded.
+    pub job_timeout: Option<Duration>,
+    /// Bound on a drain shutdown (`--drain-timeout SECS`): how long
+    /// `shutdown --drain` waits for the backlog and in-flight jobs to
+    /// finish before closing anyway.
+    pub drain_timeout: Duration,
+    /// Per-connection in-flight bound (`--max-per-client N`): one
+    /// client's queued + running jobs may not exceed `N`; excess
+    /// submissions are refused whole with a client-scoped `overloaded`
+    /// event while other clients keep submitting. `None` = unbounded.
+    pub max_per_client: Option<usize>,
+    /// Size budget for the persistent verdict store
+    /// (`--cache-max-bytes N`): oldest records are evicted at startup
+    /// and after writes to keep the store under `N` bytes. `None` =
+    /// unbounded.
+    pub cache_max_bytes: Option<u64>,
 }
 
 impl Default for ServeOptions {
@@ -94,6 +114,10 @@ impl Default for ServeOptions {
             max_queue: None,
             explain: false,
             metrics_addr: None,
+            job_timeout: None,
+            drain_timeout: Duration::from_secs(30),
+            max_per_client: None,
+            cache_max_bytes: None,
         }
     }
 }
@@ -109,6 +133,14 @@ struct Subscriber {
     ids: Mutex<HashSet<u64>>,
     /// Set when the peer disconnected; pruned on the next publish.
     dead: AtomicBool,
+}
+
+impl Subscriber {
+    /// Jobs this connection submitted that have not yet finished
+    /// (verdicts remove their id) — the `--max-per-client` measure.
+    fn inflight(&self) -> usize {
+        self.ids.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
 }
 
 /// State shared by the accept loop, every connection, and the pool.
@@ -127,6 +159,19 @@ struct Shared {
     /// reporting a zero depth gauge, so scrapers see a continuous series
     /// rather than a vanishing one.
     priorities_seen: Mutex<BTreeSet<i64>>,
+    /// Jobs whose worker panicked past the pool's one-retry allowance.
+    panicked: AtomicU64,
+    /// Jobs stopped by the cooperative `--job-timeout` deadline.
+    timed_out: AtomicU64,
+    /// Queued jobs cancelled because their submitter disconnected.
+    cancelled: AtomicU64,
+    /// The `--max-per-client` bound, checked at admission.
+    max_per_client: Option<usize>,
+    /// Set while a `shutdown --drain` works off the backlog: admissions
+    /// are refused, everything else keeps serving.
+    draining: AtomicBool,
+    /// How long a drain waits before closing anyway.
+    drain_timeout: Duration,
     shutdown: AtomicBool,
     /// Read-half handles of live connections, keyed by connection id:
     /// shutdown half-closes them so blocked readers see EOF and their
@@ -157,7 +202,12 @@ impl Shared {
     /// Force-closes a connection's socket (both halves), unblocking its
     /// reader and writer threads.
     fn drop_conn(&self, conn_id: u64) {
-        if let Some(c) = self.conns.lock().expect("hub poisoned").remove(&conn_id) {
+        if let Some(c) = self
+            .conns
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&conn_id)
+        {
             let _ = c.shutdown(std::net::Shutdown::Both);
         }
     }
@@ -165,12 +215,17 @@ impl Shared {
     /// Sends `line` to every subscriber interested in job `id` (or to
     /// everyone when `id` is `None`), pruning dead subscribers.
     fn publish(&self, id: Option<u64>, line: &str) {
-        let mut subs = self.subs.lock().expect("hub poisoned");
+        let mut subs = self.subs.lock().unwrap_or_else(|e| e.into_inner());
         subs.retain(|s| !s.dead.load(Ordering::Relaxed));
         for sub in subs.iter() {
             let interested = sub.all.load(Ordering::Relaxed)
                 || id.is_none()
-                || id.is_some_and(|id| sub.ids.lock().expect("hub poisoned").contains(&id));
+                || id.is_some_and(|id| {
+                    sub.ids
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .contains(&id)
+                });
             if interested {
                 self.offer(sub, line.to_string());
             }
@@ -185,6 +240,26 @@ impl Shared {
             uptime_ms: self.started.elapsed().as_millis() as u64,
             rejected: self.rejected.load(Ordering::Relaxed),
             depths: self.queue.depth_by_priority(),
+            panicked: self.panicked.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            faults_injected: faults::global().injected(),
+        }
+    }
+
+    /// Works off the backlog before a `shutdown --drain`: admissions are
+    /// refused from the moment the flag is set, then this blocks until
+    /// every queued and running job has finished — or the configured
+    /// drain deadline passes, whichever comes first. Jobs still pending
+    /// at the deadline are dropped by the ordinary shutdown that
+    /// follows.
+    fn drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + self.drain_timeout;
+        while (!self.queue.is_empty() || self.running.load(Ordering::Relaxed) > 0)
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
         }
     }
 
@@ -195,7 +270,7 @@ impl Shared {
             // reader threads wake with EOF and unwind, while each
             // writer thread still drains its queued events (verdicts in
             // flight, the shutdown reply) before the socket drops.
-            let conns = self.conns.lock().expect("hub poisoned");
+            let conns = self.conns.lock().unwrap_or_else(|e| e.into_inner());
             for stream in conns.values() {
                 let _ = stream.shutdown(std::net::Shutdown::Read);
             }
@@ -218,8 +293,30 @@ impl PoolObserver for Shared {
     fn job_finished(&self, seq: usize, report: &JobReport) {
         self.running.fetch_sub(1, Ordering::Relaxed);
         self.done.fetch_add(1, Ordering::Relaxed);
+        match &report.status {
+            JobStatus::Timeout { .. } => {
+                self.timed_out.fetch_add(1, Ordering::Relaxed);
+            }
+            // The pool reports a job that panicked past its one-retry
+            // allowance as an error with this fixed prefix.
+            JobStatus::Error { message } if message.starts_with("worker panicked") => {
+                self.panicked.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
         let line = verdict_event(seq as u64, report).to_line();
         self.publish(Some(seq as u64), &line);
+        // The job is terminal: drop it from every submitter's
+        // subscription, so a connection's id set measures its in-flight
+        // jobs (the `--max-per-client` bound) and disconnect-time
+        // cancellation only ever sees still-pending ids.
+        let subs = self.subs.lock().unwrap_or_else(|e| e.into_inner());
+        for sub in subs.iter() {
+            sub.ids
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&(seq as u64));
+        }
     }
 }
 
@@ -244,7 +341,10 @@ impl Daemon {
     /// version mismatch) when `cache_dir` is set.
     pub fn start(opts: ServeOptions) -> std::io::Result<Daemon> {
         let disk = match (&opts.cache_dir, opts.use_cache) {
-            (Some(dir), true) => Some(Arc::new(DiskCache::open(dir)?)),
+            (Some(dir), true) => Some(Arc::new(DiskCache::open_with_budget(
+                dir,
+                opts.cache_max_bytes,
+            )?)),
             _ => None,
         };
         let cache = opts
@@ -263,6 +363,12 @@ impl Daemon {
             started: Instant::now(),
             rejected: AtomicU64::new(0),
             priorities_seen: Mutex::new(BTreeSet::new()),
+            panicked: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            max_per_client: opts.max_per_client,
+            draining: AtomicBool::new(false),
+            drain_timeout: opts.drain_timeout,
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(std::collections::HashMap::new()),
             conn_handles: Mutex::new(Vec::new()),
@@ -291,11 +397,21 @@ impl Daemon {
             let shared = Arc::clone(&shared);
             let vc = opts.vc;
             let explain = opts.explain;
+            let job_timeout = opts.job_timeout;
             std::thread::spawn(move || {
                 // The pool outlives every fixed corpus: it drains the live
                 // queue until `close()` retires the workers.
                 let cache = shared.cache.clone();
-                run_pool(&shared.queue, workers, vc, cache, &*shared, explain, None);
+                run_pool(
+                    &shared.queue,
+                    workers,
+                    vc,
+                    cache,
+                    &*shared,
+                    explain,
+                    None,
+                    job_timeout,
+                );
             })
         };
         let accept = {
@@ -356,8 +472,13 @@ impl Daemon {
         // Connection threads unwind once shutdown half-closes their
         // sockets (and their writers drain); join them so an embedded
         // daemon leaks nothing.
-        let handles: Vec<JoinHandle<()>> =
-            std::mem::take(&mut *self.shared.conn_handles.lock().expect("hub poisoned"));
+        let handles: Vec<JoinHandle<()>> = std::mem::take(
+            &mut *self
+                .shared
+                .conn_handles
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
         for h in handles {
             let _ = h.join();
         }
@@ -395,7 +516,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                     shared
                         .conns
                         .lock()
-                        .expect("hub poisoned")
+                        .unwrap_or_else(|e| e.into_inner())
                         .insert(conn_id, clone);
                 }
                 let shared_conn = Arc::clone(&shared);
@@ -404,7 +525,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                 shared
                     .conn_handles
                     .lock()
-                    .expect("hub poisoned")
+                    .unwrap_or_else(|e| e.into_inner())
                     .push(handle);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -420,7 +541,10 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 /// daemon's handle list tracks live connections, not every connection
 /// ever accepted.
 fn reap_finished(shared: &Shared) {
-    let mut handles = shared.conn_handles.lock().expect("hub poisoned");
+    let mut handles = shared
+        .conn_handles
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
     let mut i = 0;
     while i < handles.len() {
         if handles[i].is_finished() {
@@ -455,7 +579,7 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>, conn_id: u64) {
     shared
         .subs
         .lock()
-        .expect("hub poisoned")
+        .unwrap_or_else(|e| e.into_inner())
         .push(Arc::clone(&sub));
 
     // Writer: drains the event channel onto the socket; exits when the
@@ -482,9 +606,28 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>, conn_id: u64) {
         let reply = match Request::parse(&line) {
             Err(message) => Event::Error { message },
             Ok(req) => {
-                let is_shutdown = matches!(req, Request::Shutdown);
+                // Chaos site: the daemon loses this connection on submit
+                // receipt, *before* any job is queued — a retrying
+                // client resubmits without ever duplicating work.
+                if matches!(
+                    req,
+                    Request::Submit { .. } | Request::SubmitPath { .. } | Request::SubmitDir { .. }
+                ) && faults::global().fire(faults::CONN_DROP)
+                {
+                    shared.drop_conn(conn_id);
+                    break;
+                }
+                let drain = matches!(req, Request::Shutdown { drain: true });
+                let is_shutdown = matches!(req, Request::Shutdown { .. });
                 let reply = handle_request(req, &sub, &shared);
                 if is_shutdown {
+                    // A drain works off the backlog first (bounded by
+                    // the drain deadline) while every other connection
+                    // keeps streaming its verdicts; only then does the
+                    // reply go out and the daemon close.
+                    if drain {
+                        shared.drain();
+                    }
                     shared.offer(&sub, reply.to_line());
                     shared.begin_shutdown();
                     break;
@@ -497,17 +640,37 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>, conn_id: u64) {
         }
     }
 
-    // Reader done: mark the subscriber dead, prune it from the hub, and
-    // drop our own handle — once every `tx` clone is gone the writer's
-    // channel closes and it drains out. Joining *before* dropping `sub`
-    // would deadlock on our own sender.
+    // Reader done: cancel the connection's still-queued jobs (its id set
+    // holds exactly the not-yet-finished ones — nobody is left to read
+    // their verdicts), then mark the subscriber dead, prune it from the
+    // hub, and drop our own handle — once every `tx` clone is gone the
+    // writer's channel closes and it drains out. Joining *before*
+    // dropping `sub` would deadlock on our own sender. Running jobs
+    // finish on their own; `cancel` only touches the backlog.
+    let pending: Vec<u64> = sub
+        .ids
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .copied()
+        .collect();
+    let cancelled = shared.queue.cancel(&pending);
+    if cancelled > 0 {
+        shared
+            .cancelled
+            .fetch_add(cancelled as u64, Ordering::Relaxed);
+    }
     sub.dead.store(true, Ordering::Relaxed);
     shared
         .subs
         .lock()
-        .expect("hub poisoned")
+        .unwrap_or_else(|e| e.into_inner())
         .retain(|s| !s.dead.load(Ordering::Relaxed));
-    shared.conns.lock().expect("hub poisoned").remove(&conn_id);
+    shared
+        .conns
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(&conn_id);
     drop(sub);
     let _ = writer.join();
 }
@@ -515,7 +678,7 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>, conn_id: u64) {
 fn handle_request(req: Request, sub: &Arc<Subscriber>, shared: &Arc<Shared>) -> Event {
     match req {
         Request::Ping => Event::Pong,
-        Request::Shutdown => Event::ShuttingDown,
+        Request::Shutdown { .. } => Event::ShuttingDown,
         Request::Watch => {
             sub.all.store(true, Ordering::Relaxed);
             Event::Watching
@@ -571,6 +734,27 @@ fn submit_jobs(
     sub: &Arc<Subscriber>,
     shared: &Arc<Shared>,
 ) -> Event {
+    if shared.draining.load(Ordering::SeqCst) {
+        return Event::Error {
+            message: "daemon is draining — not accepting new jobs".to_string(),
+        };
+    }
+    // The per-client bound first: one greedy connection is refused (a
+    // client-scoped `overloaded`, `max_queue` = its own bound) without
+    // consuming global admission capacity other clients could use.
+    if let Some(cap) = shared.max_per_client {
+        let inflight = sub.inflight();
+        if inflight + jobs.len() > cap {
+            shared
+                .rejected
+                .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+            return Event::Overloaded {
+                queued: inflight as u64,
+                max_queue: cap as u64,
+                rejected: jobs.len() as u64,
+            };
+        }
+    }
     let ids = match shared.queue.try_reserve_batch(jobs.len()) {
         Ok(ids) => ids,
         Err(over) => {
@@ -587,7 +771,7 @@ fn submit_jobs(
     shared
         .priorities_seen
         .lock()
-        .expect("hub poisoned")
+        .unwrap_or_else(|e| e.into_inner())
         .insert(priority);
     let mut accepted = Vec::with_capacity(jobs.len());
     for (id, job) in ids.into_iter().zip(jobs) {
@@ -596,7 +780,7 @@ fn submit_jobs(
         // Reserve → subscribe → announce → publish: the job only becomes
         // poppable after the submitter is subscribed, so `running` /
         // `verdict` events can never race past the subscription.
-        sub.ids.lock().expect("hub poisoned").insert(id);
+        sub.ids.lock().unwrap_or_else(|e| e.into_inner()).insert(id);
         let line = Event::Queued {
             id,
             name: name.clone(),
@@ -636,12 +820,21 @@ fn render_metrics(shared: &Shared) -> String {
         &[],
     )
     .record_total(stats.rejected);
+    reg.counter(
+        "nqpv_jobs_cancelled_total",
+        "Queued jobs cancelled because their submitter disconnected.",
+        &[],
+    )
+    .record_total(stats.cancelled);
     // Per-priority queue depths. A priority class keeps reporting (at
     // zero) after it drains, so scrapers see a continuous series rather
     // than a vanishing one.
     const DEPTH: &str = "nqpv_queue_depth";
     const DEPTH_HELP: &str = "Jobs waiting in the queue, by priority class.";
-    let mut seen = shared.priorities_seen.lock().expect("hub poisoned");
+    let mut seen = shared
+        .priorities_seen
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
     seen.extend(stats.depths.iter().map(|(p, _)| *p));
     for &p in seen.iter() {
         let depth = stats

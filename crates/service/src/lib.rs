@@ -52,7 +52,7 @@ pub mod json;
 pub mod proto;
 pub mod queue;
 
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use daemon::{serve_blocking, Daemon, ServeOptions};
 pub use json::Json;
 pub use proto::{Event, QueueStats, Request, VerdictEvent};

@@ -56,8 +56,15 @@ pub enum Request {
     Stats,
     /// Liveness probe.
     Ping,
-    /// Stop the daemon (drops still-queued jobs, finishes running ones).
-    Shutdown,
+    /// Stop the daemon. Without `drain`, still-queued jobs are dropped
+    /// and running ones finish. With `drain`, the daemon first stops
+    /// admissions and works off the whole backlog (bounded by its
+    /// `--drain-timeout`) before closing.
+    Shutdown {
+        /// Finish the backlog before stopping. Encoded only when set —
+        /// old daemons ignore the member and do a plain shutdown.
+        drain: bool,
+    },
 }
 
 impl Request {
@@ -87,7 +94,13 @@ impl Request {
             Request::Watch => obj(vec![("cmd", s("watch"))]),
             Request::Stats => obj(vec![("cmd", s("stats"))]),
             Request::Ping => obj(vec![("cmd", s("ping"))]),
-            Request::Shutdown => obj(vec![("cmd", s("shutdown"))]),
+            Request::Shutdown { drain } => {
+                let mut members = vec![("cmd", s("shutdown"))];
+                if *drain {
+                    members.push(("drain", Json::Bool(true)));
+                }
+                obj(members)
+            }
         };
         v.to_string()
     }
@@ -128,7 +141,9 @@ impl Request {
             "watch" => Ok(Request::Watch),
             "stats" => Ok(Request::Stats),
             "ping" => Ok(Request::Ping),
-            "shutdown" => Ok(Request::Shutdown),
+            "shutdown" => Ok(Request::Shutdown {
+                drain: v.get("drain").and_then(Json::as_bool).unwrap_or(false),
+            }),
             other => Err(format!("unknown cmd '{other}'")),
         }
     }
@@ -152,6 +167,18 @@ pub struct QueueStats {
     /// clients ignore the member; old daemons omit it (decodes empty) —
     /// the protocol is versioned by field presence.
     pub depths: Vec<(i64, u64)>,
+    /// Jobs whose worker panicked twice and were reported as errors (a
+    /// single absorbed panic retries in place and is not counted here).
+    /// Like `depths`, versioned by field presence: old daemons omit
+    /// these members and they decode as zero.
+    pub panicked: u64,
+    /// Jobs stopped by the cooperative `--job-timeout` deadline.
+    pub timed_out: u64,
+    /// Queued jobs cancelled because their submitting connection closed
+    /// before they ran.
+    pub cancelled: u64,
+    /// Faults injected by the `NQPV_FAULTS` harness since startup.
+    pub faults_injected: u64,
 }
 
 /// One job's terminal report, as streamed in a `verdict` event.
@@ -161,7 +188,7 @@ pub struct VerdictEvent {
     pub id: u64,
     /// Job name.
     pub name: String,
-    /// `"verified"`, `"rejected"` or `"error"`.
+    /// `"verified"`, `"rejected"`, `"error"` or `"timeout"`.
     pub status: String,
     /// Verification wall time (ms).
     pub ms: f64,
@@ -169,9 +196,10 @@ pub struct VerdictEvent {
     pub bin: String,
     /// Worker that ran the job.
     pub worker: u64,
-    /// Per-proof verdicts (empty for `error` jobs).
+    /// Per-proof verdicts (empty for `error` and `timeout` jobs).
     pub proofs: Vec<(String, bool)>,
-    /// Error message for `error` jobs.
+    /// Diagnostic message for `error` and `timeout` jobs (for timeouts,
+    /// the partial-trajectory marker naming the statement reached).
     pub error: Option<String>,
     /// Extracted counterexamples for rejected jobs (JSON objects as
     /// produced by `nqpv_diagnose::Counterexample::to_json`), present
@@ -318,6 +346,8 @@ impl Event {
                         ("disk_writes", n(c.disk_writes as f64)),
                         ("disk_entries", n(c.disk_entries as f64)),
                         ("disk_bytes", n(c.disk_bytes as f64)),
+                        ("disk_quarantined", n(c.disk_quarantined as f64)),
+                        ("disk_evicted", n(c.disk_evicted as f64)),
                     ]),
                 };
                 let depths: Vec<Json> = queue
@@ -338,6 +368,10 @@ impl Event {
                     ("uptime_ms", n(queue.uptime_ms as f64)),
                     ("rejected", n(queue.rejected as f64)),
                     ("depths", Json::Arr(depths)),
+                    ("panicked", n(queue.panicked as f64)),
+                    ("timed_out", n(queue.timed_out as f64)),
+                    ("cancelled", n(queue.cancelled as f64)),
+                    ("faults_injected", n(queue.faults_injected as f64)),
                     ("cache", cache_json),
                 ])
                 .to_string()
@@ -477,6 +511,8 @@ impl Event {
                             disk_writes: g("disk_writes"),
                             disk_entries: g("disk_entries"),
                             disk_bytes: g("disk_bytes"),
+                            disk_quarantined: g("disk_quarantined"),
+                            disk_evicted: g("disk_evicted"),
                         })
                     }
                 };
@@ -500,6 +536,10 @@ impl Event {
                         uptime_ms: q("uptime_ms"),
                         rejected: q("rejected"),
                         depths,
+                        panicked: q("panicked"),
+                        timed_out: q("timed_out"),
+                        cancelled: q("cancelled"),
+                        faults_injected: q("faults_injected"),
                     },
                     cache,
                 })
@@ -537,7 +577,9 @@ pub fn verdict_event(id: u64, report: &JobReport) -> Event {
                 .collect(),
             None,
         ),
-        JobStatus::Error { message } => (Vec::new(), Some(message.clone())),
+        JobStatus::Error { message } | JobStatus::Timeout { message } => {
+            (Vec::new(), Some(message.clone()))
+        }
     };
     Event::Verdict(VerdictEvent {
         id,
@@ -589,7 +631,8 @@ mod tests {
             Request::Watch,
             Request::Stats,
             Request::Ping,
-            Request::Shutdown,
+            Request::Shutdown { drain: false },
+            Request::Shutdown { drain: true },
         ];
         for r in cases {
             let line = r.to_line();
@@ -641,6 +684,17 @@ mod tests {
                 error: Some("line 1: parse error \"x\"".into()),
                 counterexamples: vec![],
             }),
+            Event::Verdict(VerdictEvent {
+                id: 5,
+                name: "loopy".into(),
+                status: "timeout".into(),
+                ms: 2000.0,
+                bin: "0".into(),
+                worker: 1,
+                proofs: vec![],
+                error: Some("verification deadline exceeded (at while M01[q] …)".into()),
+                counterexamples: vec![],
+            }),
             Event::Overloaded {
                 queued: 128,
                 max_queue: 128,
@@ -654,6 +708,10 @@ mod tests {
                     uptime_ms: 45_000,
                     rejected: 6,
                     depths: vec![(5, 1), (0, 2), (-3, 1)],
+                    panicked: 1,
+                    timed_out: 2,
+                    cancelled: 3,
+                    faults_injected: 4,
                 },
                 cache: Some(CacheStats {
                     hits: 1,
@@ -661,6 +719,8 @@ mod tests {
                     disk_writes: 4,
                     disk_entries: 9,
                     disk_bytes: 2048,
+                    disk_quarantined: 2,
+                    disk_evicted: 5,
                     ..CacheStats::default()
                 }),
             },

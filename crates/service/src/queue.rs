@@ -123,7 +123,10 @@ impl JobQueue {
     /// legacy path); bounded submitters use
     /// [`JobQueue::try_reserve_batch`].
     pub fn reserve(&self) -> u64 {
-        self.inner.lock().expect("queue poisoned").reserved += 1;
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .reserved += 1;
         self.next_id.fetch_add(1, Ordering::Relaxed)
     }
 
@@ -136,7 +139,7 @@ impl JobQueue {
     ///
     /// [`Overloaded`] when `queued + reserved + k` would exceed the bound.
     pub fn try_reserve_batch(&self, k: usize) -> Result<Vec<u64>, Overloaded> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(cap) = self.cap {
             let queued = inner.heap.len() + inner.reserved;
             if queued + k > cap {
@@ -157,7 +160,7 @@ impl JobQueue {
     /// id. Returns `false` (job dropped) once the queue is closed.
     pub fn push_reserved(&self, id: u64, job: Job, priority: i64) -> bool {
         {
-            let mut inner = self.inner.lock().expect("queue poisoned");
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
             inner.reserved = inner.reserved.saturating_sub(1);
             if inner.closed {
                 return false;
@@ -184,7 +187,11 @@ impl JobQueue {
 
     /// Number of jobs currently waiting.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").heap.len()
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .heap
+            .len()
     }
 
     /// `true` when no jobs are waiting.
@@ -197,12 +204,31 @@ impl JobQueue {
     /// queue-depth gauges. O(backlog) under the lock; stats requests and
     /// metrics scrapes are rare next to pops.
     pub fn depth_by_priority(&self) -> Vec<(i64, u64)> {
-        let inner = self.inner.lock().expect("queue poisoned");
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let mut depths = std::collections::BTreeMap::new();
         for entry in inner.heap.iter() {
             *depths.entry(entry.priority).or_insert(0u64) += 1;
         }
         depths.into_iter().rev().collect()
+    }
+
+    /// Removes the given still-queued job ids from the backlog, returning
+    /// how many were actually removed (running jobs are untouched — they
+    /// finish and publish normally). The daemon uses this to cancel jobs
+    /// whose submitting connection dropped before a worker picked them
+    /// up: nobody is left to read the verdicts, so solving them would
+    /// only starve live clients.
+    pub fn cancel(&self, ids: &[u64]) -> usize {
+        if ids.is_empty() {
+            return 0;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let before = inner.heap.len();
+        inner.heap = std::mem::take(&mut inner.heap)
+            .into_iter()
+            .filter(|e| !ids.contains(&(e.seq as u64)))
+            .collect();
+        before - inner.heap.len()
     }
 
     /// Closes the queue: the backlog is discarded immediately, waiting
@@ -211,7 +237,7 @@ impl JobQueue {
     /// not the whole backlog.
     pub fn close(&self) {
         {
-            let mut inner = self.inner.lock().expect("queue poisoned");
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
             inner.closed = true;
             inner.heap.clear();
             inner.reserved = 0;
@@ -222,7 +248,7 @@ impl JobQueue {
 
 impl JobSource for JobQueue {
     fn next(&self, _worker: usize) -> Option<SourcedJob> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if inner.closed {
                 return None;
@@ -241,7 +267,7 @@ impl JobSource for JobQueue {
                     job: entry.job,
                 });
             }
-            inner = self.ready.wait(inner).expect("queue poisoned");
+            inner = self.ready.wait(inner).unwrap_or_else(|e| e.into_inner());
         }
     }
 }
@@ -373,6 +399,23 @@ mod tests {
         assert_eq!(q.depth_by_priority(), vec![(5, 1), (0, 1), (-1, 1)]);
         q.close();
         assert!(q.depth_by_priority().is_empty());
+    }
+
+    #[test]
+    fn cancel_removes_only_the_named_queued_jobs() {
+        let q = JobQueue::new();
+        let ids: Vec<u64> = (0..4)
+            .map(|i| q.push(job(&format!("j{i}"), "{ I[q] }"), 0).unwrap())
+            .collect();
+        assert_eq!(q.len(), 4);
+        // Cancel two of the four; unknown ids are ignored.
+        assert_eq!(q.cancel(&[ids[1], ids[3], 999]), 2);
+        assert_eq!(q.len(), 2);
+        let names: Vec<String> = (0..2).map(|_| q.next(0).unwrap().job.name).collect();
+        assert_eq!(names, ["j0", "j2"]);
+        // Cancelling an already-popped id is a no-op.
+        assert_eq!(q.cancel(&[ids[0]]), 0);
+        assert_eq!(q.cancel(&[]), 0);
     }
 
     #[test]

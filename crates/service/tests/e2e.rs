@@ -7,9 +7,20 @@ use nqpv_engine::{run_batch, BatchOptions, Corpus};
 use nqpv_service::{Client, Daemon, Event, Request, ServeOptions};
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 fn corpus_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/corpus")
+}
+
+/// A verifiable program that takes roughly `pairs` milliseconds to check
+/// (six qubits, two gates per pair, ~1 ms of dense wp per statement in
+/// debug builds) — the deterministic "busy worker" knob for scheduling
+/// and timeout tests. Every statement is a cooperative-cancellation
+/// checkpoint, so a deadline trips within a couple of milliseconds.
+fn heavy_source(pairs: usize) -> String {
+    let body = "[a] *= H; [b] *= H; ".repeat(pairs);
+    format!("def pf := proof [a b c d e f] : {{ I[a] }}; {body}{{ I[a] }} end")
 }
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -81,7 +92,7 @@ fn daemon_streams_corpus_verdicts_matching_batch() {
         assert_eq!(streamed.bin, format!("{:016x}", job.bin), "{}", job.name);
         assert!(streamed.ms >= 0.0);
         match &job.status {
-            nqpv_engine::JobStatus::Error { .. } => {
+            nqpv_engine::JobStatus::Error { .. } | nqpv_engine::JobStatus::Timeout { .. } => {
                 assert!(streamed.error.is_some(), "{}", job.name);
             }
             nqpv_engine::JobStatus::Verified { proofs }
@@ -398,6 +409,222 @@ fn explain_mode_attaches_counterexamples_to_streamed_verdicts() {
     let verdict = &client.wait_verdicts(&[ok]).unwrap()[0];
     assert_eq!(verdict.status, "verified");
     assert!(verdict.counterexamples.is_empty());
+    daemon.join();
+}
+
+#[test]
+fn job_timeout_stops_runaway_jobs_and_daemon_keeps_serving() {
+    let daemon = Daemon::start(ServeOptions {
+        jobs: 1,
+        job_timeout: Some(Duration::from_millis(200)),
+        ..ServeOptions::default()
+    })
+    .expect("daemon starts");
+    let mut client = Client::connect(daemon.local_addr()).unwrap();
+
+    // A ~4 s job against a 200 ms budget: the verdict must be `timeout`,
+    // must carry the partial-trajectory marker, and must come back well
+    // under the job's natural runtime (the cooperative check trips at
+    // the next statement boundary).
+    let t0 = Instant::now();
+    let slow = client
+        .submit_source("runaway", &heavy_source(4000), 0)
+        .unwrap();
+    let verdict = &client.wait_verdicts(&[slow]).unwrap()[0];
+    let elapsed = t0.elapsed();
+    assert_eq!(verdict.status, "timeout", "{verdict:?}");
+    let message = verdict.error.as_deref().expect("timeout carries a message");
+    assert!(message.contains("deadline exceeded"), "{message}");
+    assert!(message.contains("at "), "partial trajectory: {message}");
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "timeout must cut the job short, took {elapsed:?}"
+    );
+
+    // The worker survives: the very next job verifies normally under the
+    // same (ample, for a small job) budget.
+    let quick = client
+        .submit_source(
+            "after",
+            "def pf := proof [q] : { Pp[q] }; [q] *= H; { P0[q] } end",
+            0,
+        )
+        .unwrap();
+    assert_eq!(
+        client.wait_verdicts(&[quick]).unwrap()[0].status,
+        "verified"
+    );
+
+    let Event::Stats { queue, .. } = client.stats().unwrap() else {
+        unreachable!()
+    };
+    assert!(queue.timed_out >= 1, "stats count timeouts: {queue:?}");
+    daemon.join();
+}
+
+#[test]
+fn per_client_inflight_cap_is_client_scoped() {
+    let daemon = Daemon::start(ServeOptions {
+        jobs: 1,
+        max_per_client: Some(1),
+        ..ServeOptions::default()
+    })
+    .expect("daemon starts");
+    let mut greedy = Client::connect(daemon.local_addr()).unwrap();
+    let mut modest = Client::connect(daemon.local_addr()).unwrap();
+
+    // The greedy client's first job occupies its whole allowance while
+    // it runs (~1 s)…
+    let held = greedy
+        .submit_source("held", &heavy_source(1000), 0)
+        .unwrap();
+    // …so its second submission is refused with a *client-scoped*
+    // overloaded event: `max_queue` echoes the per-client bound.
+    let reply = greedy
+        .request(&Request::Submit {
+            name: "excess".into(),
+            source: "def pf := proof [q] : { P0[q] }; skip; { P0[q] } end".into(),
+            priority: 0,
+        })
+        .unwrap();
+    assert_eq!(
+        reply,
+        Event::Overloaded {
+            queued: 1,
+            max_queue: 1,
+            rejected: 1,
+        },
+        "the per-client bound must refuse the greedy client"
+    );
+
+    // Another connection is unaffected by the greedy client's refusal.
+    let other = modest
+        .submit_source(
+            "other",
+            "def pf := proof [q] : { Pp[q] }; [q] *= H; { P0[q] } end",
+            0,
+        )
+        .unwrap();
+    assert_eq!(
+        modest.wait_verdicts(&[other]).unwrap()[0].status,
+        "verified"
+    );
+    assert_eq!(greedy.wait_verdicts(&[held]).unwrap()[0].status, "verified");
+
+    // With its job finished the allowance frees up again.
+    let again = greedy
+        .submit_source(
+            "again",
+            "def pf := proof [q] : { Pp[q] }; [q] *= H; { P0[q] } end",
+            0,
+        )
+        .unwrap();
+    assert_eq!(
+        greedy.wait_verdicts(&[again]).unwrap()[0].status,
+        "verified"
+    );
+    daemon.join();
+}
+
+#[test]
+fn disconnecting_submitter_cancels_its_queued_jobs() {
+    let daemon = Daemon::start(ServeOptions {
+        jobs: 1,
+        ..ServeOptions::default()
+    })
+    .expect("daemon starts");
+    let mut doomed = Client::connect(daemon.local_addr()).unwrap();
+
+    // One running job (~1 s) plus two stuck behind it — then the
+    // submitter vanishes. The backlog must be cancelled (nobody is left
+    // to read those verdicts); the running job finishes on its own.
+    doomed
+        .submit_source("running", &heavy_source(1000), 0)
+        .unwrap();
+    doomed
+        .submit_source("queued1", &heavy_source(1000), 0)
+        .unwrap();
+    doomed
+        .submit_source("queued2", &heavy_source(1000), 0)
+        .unwrap();
+    drop(doomed);
+
+    let mut observer = Client::connect(daemon.local_addr()).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let Event::Stats { queue, .. } = observer.stats().unwrap() else {
+            unreachable!()
+        };
+        if queue.cancelled == 2 && queue.queued == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "backlog never cancelled: {queue:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The daemon is fully healthy for other clients afterwards.
+    let id = observer
+        .submit_source(
+            "after",
+            "def pf := proof [q] : { Pp[q] }; [q] *= H; { P0[q] } end",
+            0,
+        )
+        .unwrap();
+    assert_eq!(observer.wait_verdicts(&[id]).unwrap()[0].status, "verified");
+    daemon.join();
+}
+
+#[test]
+fn drain_shutdown_finishes_the_backlog_and_refuses_new_work() {
+    let daemon = Daemon::start(ServeOptions {
+        jobs: 1,
+        drain_timeout: Duration::from_secs(30),
+        ..ServeOptions::default()
+    })
+    .expect("daemon starts");
+    let mut submitter = Client::connect(daemon.local_addr()).unwrap();
+    let mut stopper = Client::connect(daemon.local_addr()).unwrap();
+
+    // One running job (~1 s) and two queued behind it; a plain shutdown
+    // would drop the queued pair, a drain must finish all three.
+    let a = submitter
+        .submit_source("a", &heavy_source(1000), 0)
+        .unwrap();
+    let b = submitter
+        .submit_source(
+            "b",
+            "def pf := proof [q] : { Pp[q] }; [q] *= H; { P0[q] } end",
+            0,
+        )
+        .unwrap();
+    let c = submitter
+        .submit_source(
+            "c",
+            "def pf := proof [q] : { P0[q] }; skip; { P0[q] } end",
+            0,
+        )
+        .unwrap();
+
+    let drainer = std::thread::spawn(move || {
+        stopper.shutdown_with(true).unwrap();
+    });
+    // While the drain works off the backlog, new submissions are refused.
+    std::thread::sleep(Duration::from_millis(150));
+    let mut late = Client::connect(daemon.local_addr()).unwrap();
+    let err = late
+        .submit_source("late", "skip", 0)
+        .expect_err("draining daemon must refuse new work");
+    assert!(err.to_string().contains("draining"), "{err}");
+
+    let verdicts = submitter.wait_verdicts(&[a, b, c]).unwrap();
+    assert!(
+        verdicts.iter().all(|v| v.status == "verified"),
+        "a drain finishes every backlogged job: {verdicts:?}"
+    );
+    drainer.join().unwrap();
     daemon.join();
 }
 

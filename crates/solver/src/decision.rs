@@ -28,7 +28,7 @@ use crate::lanczos::{max_eigenpair, min_eigenpair, LanczosOptions};
 use crate::primal::{max_min_expectation, PrimalOptions};
 use crate::simplex::{exp_gradient_step, uniform};
 use nqpv_linalg::{is_psd_pivoted, CMat, CVec};
-use nqpv_telemetry::{ArgValue, Phase, Tracer};
+use nqpv_telemetry::{ArgValue, Deadline, Phase, Tracer};
 use std::fmt;
 
 /// Default decision precision, mirroring the paper's user-defined `ε`.
@@ -53,6 +53,12 @@ pub struct LownerOptions {
     /// `Copy` with a constant `Debug`, so this field changes neither the
     /// struct's ergonomics nor any `Debug`-derived cache key.
     pub tracer: Tracer,
+    /// Cooperative wall-clock budget: checked before every obligation
+    /// (raising [`SolverError::Timeout`]) and between dual-loop
+    /// iterations inside [`game_value`]. The default never expires and,
+    /// like [`LownerOptions::tracer`], renders a constant `Debug` so
+    /// cache keys stay deadline-independent.
+    pub deadline: Deadline,
 }
 
 impl Default for LownerOptions {
@@ -63,6 +69,7 @@ impl Default for LownerOptions {
             lanczos: LanczosOptions::default(),
             primal: PrimalOptions::default(),
             tracer: Tracer::DISABLED,
+            deadline: Deadline::NONE,
         }
     }
 }
@@ -141,6 +148,9 @@ pub enum SolverError {
     },
     /// Dimension mismatch across the operators.
     ShapeMismatch,
+    /// The cooperative deadline ([`LownerOptions::deadline`]) expired
+    /// before the obligations were decided.
+    Timeout,
 }
 
 impl fmt::Display for SolverError {
@@ -151,6 +161,7 @@ impl fmt::Display for SolverError {
                 write!(f, "operator {index} of {side} is not hermitian")
             }
             SolverError::ShapeMismatch => write!(f, "assertion operator dimensions mismatch"),
+            SolverError::Timeout => write!(f, "solver deadline exceeded"),
         }
     }
 }
@@ -215,6 +226,12 @@ pub fn game_value(diffs: &[CMat], opts: &LownerOptions) -> GameOutcome {
     let scale = diffs.iter().map(CMat::max_abs).fold(1.0, f64::max);
 
     for t in 0..opts.max_iter {
+        // Cooperative cancellation between dual iterations: an expired
+        // budget stops refining; the caller's next obligation check
+        // turns the (possibly inconclusive) outcome into a timeout.
+        if opts.deadline.expired() {
+            break;
+        }
         // A(w) = Σ wᵢ·Aᵢ.
         let mut a = diffs[0].scale_re(w[0]);
         for i in 1..k {
@@ -289,6 +306,9 @@ pub fn assertion_le(
 ) -> Result<Verdict, SolverError> {
     validate(theta, psi)?;
     for (ni, n) in psi.iter().enumerate() {
+        if opts.deadline.expired() {
+            return Err(SolverError::Timeout);
+        }
         let mut span = opts.tracer.span(Phase::Solver, "obligation");
         if span.recording() {
             span.arg("element", ArgValue::U64(ni as u64));
@@ -406,6 +426,9 @@ pub fn assertion_le_sup(
 ) -> Result<Verdict, SolverError> {
     validate(theta, psi)?;
     for (mi, m) in theta.iter().enumerate() {
+        if opts.deadline.expired() {
+            return Err(SolverError::Timeout);
+        }
         let mut span = opts.tracer.span(Phase::Solver, "obligation");
         if span.recording() {
             span.arg("element", ArgValue::U64(mi as u64));
@@ -1146,6 +1169,24 @@ mod tests {
             format!("{:?}", opts).replace("Tracer", "T"),
             format!("{:?}", LownerOptions::default()).replace("Tracer", "T")
         );
+    }
+
+    #[test]
+    fn expired_deadline_times_out_obligations() {
+        let opts = LownerOptions {
+            deadline: Deadline::after(std::time::Duration::ZERO),
+            ..LownerOptions::default()
+        };
+        assert!(matches!(
+            assertion_le(&[p0()], &[half()], opts),
+            Err(SolverError::Timeout)
+        ));
+        assert!(matches!(
+            assertion_le_sup(&[half()], &[p0()], opts),
+            Err(SolverError::Timeout)
+        ));
+        // An unarmed deadline never fires.
+        assert!(assertion_le(&[p0(), p1()], &[half()], LownerOptions::default()).is_ok());
     }
 
     #[test]

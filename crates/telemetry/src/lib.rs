@@ -22,14 +22,21 @@
 //!   ([`Registry::render`]) and servable over a loopback HTTP listener
 //!   ([`MetricsServer`]).
 //!
+//! A third, tiny piece rides alongside: [`Deadline`], a `Copy`
+//! cooperative wall-clock budget with the same constant-`Debug`
+//! contract as [`Tracer`], threaded through the same option structs so
+//! jobs can be timed out at statement/obligation boundaries.
+//!
 //! Everything is std-only: no external crates, no allocation on the
 //! disabled path, and the metrics atomics are safe to bump from any
 //! worker thread.
 
+mod deadline;
 mod http;
 mod metrics;
 mod trace;
 
+pub use deadline::Deadline;
 pub use http::MetricsServer;
 pub use metrics::{
     global, Counter, Gauge, Histogram, HistogramSnapshot, Registry, DEFAULT_LATENCY_BOUNDS,

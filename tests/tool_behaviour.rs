@@ -585,3 +585,263 @@ fn cli_serve_and_client_roundtrip() {
     let status = serve.wait().expect("daemon exits after shutdown");
     assert!(status.success(), "daemon exit: {status:?}");
 }
+
+/// Extracts the integer value of `"key":N` from a compact NDJSON line.
+fn stat_field(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)? + needle.len();
+    let digits: String = line[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+#[test]
+fn cli_serve_survives_injected_faults_with_verdicts_intact() {
+    // Chaos smoke: run the daemon under the deterministic fault harness
+    // (one worker panic, two dropped disk reads, one dropped disk write,
+    // one dropped connection, two solver stalls — all capped so the run
+    // is reproducible) and check that every corpus verdict matches the
+    // fault-free roundtrip. Faults are enabled only in the serve process;
+    // client subprocesses inherit a clean environment.
+    let Some(bin) = nqpv_bin() else { return };
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let cache = temp_dir("chaos_cache");
+    let _ = std::fs::remove_dir_all(&cache);
+    let cache_str = cache.display().to_string();
+    let mut serve = std::process::Command::new(&bin)
+        .current_dir(root)
+        .env(
+            "NQPV_FAULTS",
+            "42:worker_panic*1,disk_read*2,disk_write*1,conn_drop*1,solver_delay*2",
+        )
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--jobs",
+            "2",
+            "--cache-dir",
+            cache_str.as_str(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let addr = {
+        use std::io::{BufRead, BufReader};
+        let stdout = serve.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).expect("banner");
+        line.trim()
+            .rsplit(' ')
+            .next()
+            .expect("listening banner ends with the address")
+            .to_string()
+    };
+    let client = |args: &[&str]| -> std::process::Output {
+        let mut all = vec!["client", addr.as_str()];
+        all.extend_from_slice(args);
+        std::process::Command::new(&bin)
+            .current_dir(root)
+            .args(&all)
+            .output()
+            .expect("client runs")
+    };
+
+    // The first submit-shaped request trips conn_drop: the daemon hangs
+    // up before queueing anything, and the client's retry/backoff layer
+    // must reconnect and resubmit transparently.
+    let submit = client(&["submit", "examples/corpus"]);
+    assert_eq!(submit.status.code(), Some(1), "{submit:?}");
+    let stream = String::from_utf8_lossy(&submit.stdout);
+    for (file, status) in [
+        ("deutsch", "verified"),
+        ("err_corr", "verified"),
+        ("grover_step", "verified"),
+        ("grover_step_twin", "verified"),
+        ("rus", "verified"),
+        ("rejected", "rejected"),
+        ("rejected_ndet", "rejected"),
+        ("parse_error", "error"),
+    ] {
+        let needle = format!("\"name\":\"{file}\",\"status\":\"{status}\"");
+        assert!(
+            stream.contains(&needle),
+            "{file} must keep status {status} under faults: {stream}"
+        );
+    }
+
+    // The harness really fired: every capped site is exercised by the
+    // corpus run, so the daemon reports exactly 1+2+1+1+2 injections.
+    // (`panicked` stays 0: the injected panic is retried once and the
+    // retry verifies, so no job *ends* in a panic verdict.)
+    let stats = client(&["stats"]);
+    let stats_line = String::from_utf8_lossy(&stats.stdout).to_string();
+    assert_eq!(
+        stat_field(&stats_line, "faults_injected"),
+        Some(7),
+        "all capped faults must have fired: {stats_line}"
+    );
+
+    let down = client(&["shutdown"]);
+    assert!(String::from_utf8_lossy(&down.stdout).contains("shutting_down"));
+    let status = serve.wait().expect("daemon exits after shutdown");
+    assert!(status.success(), "daemon exit: {status:?}");
+}
+
+#[test]
+fn cli_serve_job_timeout_flags_runaway_jobs_and_daemon_survives() {
+    // A deliberately heavy straight-line program (far slower than the
+    // deadline) must come back as a TIMEOUT verdict well within 4x the
+    // deadline, and the daemon must keep serving afterwards.
+    let Some(bin) = nqpv_bin() else { return };
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let dir = temp_dir("timeout_heavy");
+    let body = "[a] *= H; [b] *= H; ".repeat(4000);
+    let heavy = dir.join("heavy.nqpv");
+    std::fs::write(
+        &heavy,
+        format!("def pf := proof [a b c d e f] : {{ I[a] }}; {body}{{ I[a] }} end"),
+    )
+    .expect("heavy program written");
+    let mut serve = std::process::Command::new(&bin)
+        .current_dir(root)
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--jobs",
+            "1",
+            "--job-timeout",
+            "1",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let addr = {
+        use std::io::{BufRead, BufReader};
+        let stdout = serve.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).expect("banner");
+        line.trim()
+            .rsplit(' ')
+            .next()
+            .expect("listening banner ends with the address")
+            .to_string()
+    };
+    let client = |args: &[&str]| -> std::process::Output {
+        let mut all = vec!["client", addr.as_str()];
+        all.extend_from_slice(args);
+        std::process::Command::new(&bin)
+            .current_dir(root)
+            .args(&all)
+            .output()
+            .expect("client runs")
+    };
+
+    let heavy_path = heavy.display().to_string();
+    let started = std::time::Instant::now();
+    let submit = client(&["submit", heavy_path.as_str()]);
+    let elapsed = started.elapsed();
+    assert_eq!(submit.status.code(), Some(1), "{submit:?}");
+    let stream = String::from_utf8_lossy(&submit.stdout);
+    assert!(
+        stream.contains("\"status\":\"timeout\""),
+        "runaway job must time out: {stream}"
+    );
+    assert!(
+        stream.contains("deadline exceeded"),
+        "timeout verdict names the deadline: {stream}"
+    );
+    assert!(
+        elapsed < std::time::Duration::from_secs(4),
+        "timeout must fire near the deadline, took {elapsed:?}"
+    );
+
+    // The worker survived the cancelled job: a quick file still verifies.
+    let quick = client(&["submit", "examples/corpus/deutsch.nqpv"]);
+    assert_eq!(quick.status.code(), Some(0), "{quick:?}");
+    assert!(String::from_utf8_lossy(&quick.stdout).contains("\"status\":\"verified\""));
+
+    let stats = client(&["stats"]);
+    let stats_line = String::from_utf8_lossy(&stats.stdout).to_string();
+    assert!(
+        stat_field(&stats_line, "timed_out").unwrap_or(0) >= 1,
+        "{stats_line}"
+    );
+
+    let down = client(&["shutdown"]);
+    assert!(String::from_utf8_lossy(&down.stdout).contains("shutting_down"));
+    let status = serve.wait().expect("daemon exits after shutdown");
+    assert!(status.success(), "daemon exit: {status:?}");
+}
+
+#[test]
+fn cli_batch_quarantines_corrupt_cache_records_and_stays_correct() {
+    // A corrupt on-disk verdict record must not poison a warm restart:
+    // the record is moved to verdicts/quarantine/, the obligation is
+    // re-solved, and every corpus verdict matches the cold run.
+    let dir = temp_dir("quarantine");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = dir.display().to_string();
+    let args = [
+        "batch",
+        "examples/corpus/manifest.txt",
+        "--jobs",
+        "2",
+        "--cache-dir",
+        cache.as_str(),
+        "--json",
+    ];
+    let Some(cold) = run_nqpv(&args) else { return };
+    assert_eq!(cold.status.code(), Some(0), "{cold:?}");
+    let cold_json = String::from_utf8_lossy(&cold.stdout);
+
+    // Corrupt one persisted record (skipping the quarantine directory,
+    // which only exists on disk after a quarantine event).
+    let verdicts = dir.join("verdicts");
+    let mut corrupted = 0;
+    for shard in std::fs::read_dir(&verdicts).expect("verdict store exists") {
+        let shard = shard.expect("shard entry").path();
+        if !shard.is_dir() || shard.file_name().is_some_and(|n| n == "quarantine") {
+            continue;
+        }
+        if let Some(record) = std::fs::read_dir(&shard)
+            .expect("shard readable")
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "nqv"))
+        {
+            std::fs::write(&record, b"** not a verdict record **").unwrap();
+            corrupted += 1;
+            break;
+        }
+    }
+    assert_eq!(corrupted, 1, "cold run must have persisted records");
+
+    let warm = run_nqpv(&args).unwrap();
+    assert_eq!(warm.status.code(), Some(0), "{warm:?}");
+    let warm_json = String::from_utf8_lossy(&warm.stdout);
+    assert!(
+        json_counter(&warm_json, "disk_quarantined").unwrap_or(0) >= 1,
+        "corrupt record must be quarantined: {warm_json}"
+    );
+    for file in ["deutsch", "grover_step", "err_corr"] {
+        let needle = format!("\"name\": \"{file}\", ");
+        let status = |json: &str| {
+            json.lines()
+                .find(|l| l.contains(&needle))
+                .map(|l| l.contains("\"status\": \"verified\""))
+        };
+        assert_eq!(status(&cold_json), status(&warm_json), "{file}");
+    }
+    let quarantined: Vec<_> = std::fs::read_dir(verdicts.join("quarantine"))
+        .expect("quarantine dir exists after the warm run")
+        .filter_map(|e| e.ok())
+        .collect();
+    assert!(
+        !quarantined.is_empty(),
+        "quarantined file kept for forensics"
+    );
+}
