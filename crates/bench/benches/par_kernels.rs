@@ -1,0 +1,105 @@
+//! Intra-job parallel kernel benchmarks: the threaded strided sweeps,
+//! the cache-blocked matmul and the f32 Löwner screening tier, each at
+//! 1/2/4/8 kernel threads (`BENCH_PR8.json` microbench rows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nqpv_bench::{random_hermitian, random_predicate};
+use nqpv_linalg::{conjugate_gate, gram, is_psd_pivoted, par, screen_psd_f32, CMat};
+use nqpv_quantum::gates;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// 2-qubit gate conjugation sweep `G ρ G†` on an n-qubit density matrix
+/// with a non-contiguous footprint — the wp hot loop.
+fn bench_gate_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_gate_sweep");
+    group.sample_size(10);
+    let gate = gates::cx();
+    for n_qubits in [8usize, 10] {
+        let dim = 1 << n_qubits;
+        let rho = random_hermitian(dim, 0xA11CE);
+        let pos = [0usize, n_qubits - 1];
+        for threads in THREADS {
+            group.bench_with_input(
+                BenchmarkId::new(&format!("{n_qubits}q"), threads),
+                &threads,
+                |b, &t| {
+                    par::set_kernel_threads(t);
+                    b.iter(|| conjugate_gate(&gate, &pos, n_qubits, &rho));
+                    par::set_kernel_threads(1);
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Cache-blocked dense matmul, the dense-fallback workhorse.
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_matmul");
+    group.sample_size(10);
+    for dim in [256usize, 512] {
+        let a = random_hermitian(dim, 1);
+        let b = random_hermitian(dim, 2);
+        for threads in THREADS {
+            group.bench_with_input(
+                BenchmarkId::new(&dim.to_string(), threads),
+                &threads,
+                |ben, &t| {
+                    par::set_kernel_threads(t);
+                    ben.iter(|| a.mul(&b));
+                    par::set_kernel_threads(1);
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Factored-predicate gram `A†B` (tall-skinny inputs).
+fn bench_gram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_gram");
+    group.sample_size(10);
+    let dim = 1 << 10;
+    let a = CMat::from_fn(dim, 24, |i, j| {
+        nqpv_linalg::c((i + j) as f64 / dim as f64, (i * 7 % 13) as f64 * 1e-2)
+    });
+    let b = CMat::from_fn(dim, 24, |i, j| {
+        nqpv_linalg::c((i * 3 + j) as f64 / dim as f64, (j % 5) as f64 * 1e-2)
+    });
+    for threads in THREADS {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |ben, &t| {
+            par::set_kernel_threads(t);
+            ben.iter(|| gram(&a, &b));
+            par::set_kernel_threads(1);
+        });
+    }
+    group.finish();
+}
+
+/// f32 screen vs f64 certificate on clear-margin PSD inputs (the screen's
+/// accept path) — the two-precision Löwner tier.
+fn bench_screen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lowner_screen");
+    group.sample_size(10);
+    for dim in [128usize, 256] {
+        // A predicate plus a comfortable margin: clearly PSD.
+        let m = random_predicate(dim, 7).add_mat(&CMat::identity(dim).scale_re(0.5));
+        group.bench_with_input(BenchmarkId::new("f32_screen", dim), &m, |ben, m| {
+            ben.iter(|| screen_psd_f32(m, 1e-7));
+        });
+        group.bench_with_input(BenchmarkId::new("f64_certify", dim), &m, |ben, m| {
+            ben.iter(|| is_psd_pivoted(m, 1e-7));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gate_sweep,
+    bench_matmul,
+    bench_gram,
+    bench_screen
+);
+criterion_main!(benches);

@@ -50,7 +50,7 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  nqpv verify [--infer] FILE.nqpv\n  nqpv explain [--infer] [--json] [--trace DIR] FILE.nqpv\n  nqpv show [--infer] FILE.nqpv NAME\n  nqpv check FILE.nqpv\n  nqpv batch [--infer] [--jobs N] [--json] [--no-cache] [--cache-cap N]\n             [--cache-dir DIR] [--cache-max-bytes N] [--no-bin]\n             [--explain] [--trace DIR] [--job-timeout SECS]\n             DIR|MANIFEST\n  nqpv serve --addr HOST:PORT [--infer] [--jobs N] [--no-cache]\n             [--cache-cap N] [--cache-dir DIR] [--cache-max-bytes N]\n             [--max-queue N] [--max-per-client N] [--job-timeout SECS]\n             [--drain-timeout SECS] [--explain] [--metrics-addr HOST:PORT]\n  nqpv client ADDR submit [--priority N] PATH…   submit + stream verdicts\n  nqpv client ADDR watch                         stream every job event\n  nqpv client ADDR stats|ping\n  nqpv client ADDR shutdown [--drain]\n  nqpv ops\n\n  --infer        attempt wlp-fixpoint invariant inference for\n                 while loops lacking an inv: annotation\n  --jobs N       worker threads (default: available cores)\n  --json         print the report as JSON instead of a summary\n  --no-cache     disable the shared wp memo cache\n  --cache-cap N  bound each cache tier to N entries (LRU eviction;\n                 eviction counts appear in the report)\n  --cache-dir D  persist solver verdicts under D (survives restarts,\n                 shared between batch runs and the daemon)\n  --cache-max-bytes N\n                 size budget for the verdict store under --cache-dir:\n                 oldest records are evicted to stay under N bytes\n  --no-bin       disable verdict-cache affinity scheduling\n  --explain      extract a counterexample (witness state, scheduler\n                 trace, expectation trajectory) for every rejected proof\n  --trace DIR    write one Chrome trace-event JSON per job under DIR\n                 (open in chrome://tracing or Perfetto)\n  --job-timeout SECS\n                 per-job verification deadline: a job still unverified\n                 after SECS is stopped cooperatively and reported with\n                 a 'timeout' verdict\n  --max-queue N  refuse submissions once N jobs are queued (daemon\n                 backpressure; structured 'overloaded' reply)\n  --max-per-client N\n                 bound one connection's queued+running jobs to N\n                 (client-scoped 'overloaded' reply)\n  --drain-timeout SECS\n                 bound on 'shutdown --drain' backlog completion\n                 (default 30)\n  --metrics-addr HOST:PORT\n                 serve Prometheus text metrics at http://HOST:PORT/metrics\n  --priority N   scheduling priority for submitted jobs (higher first)\n  --drain        (client shutdown) finish the whole backlog before the\n                 daemon stops, instead of dropping queued jobs\n\nenvironment:\n  NQPV_FAULTS=<seed>:<site>[*<cap>],…\n                 arm the deterministic fault-injection harness (sites:\n                 worker_panic, solver_delay, disk_read, disk_write,\n                 conn_drop); inert when unset"
+        "usage:\n  nqpv verify [--infer] FILE.nqpv\n  nqpv explain [--infer] [--json] [--trace DIR] [--kernel-threads N]\n              [--no-screen] FILE.nqpv\n  nqpv show [--infer] FILE.nqpv NAME\n  nqpv check FILE.nqpv\n  nqpv batch [--infer] [--jobs N] [--json] [--no-cache] [--cache-cap N]\n             [--cache-dir DIR] [--cache-max-bytes N] [--no-bin]\n             [--explain] [--trace DIR] [--job-timeout SECS]\n             [--kernel-threads N] [--no-screen] DIR|MANIFEST\n  nqpv serve --addr HOST:PORT [--infer] [--jobs N] [--no-cache]\n             [--cache-cap N] [--cache-dir DIR] [--cache-max-bytes N]\n             [--max-queue N] [--max-per-client N] [--job-timeout SECS]\n             [--drain-timeout SECS] [--explain] [--metrics-addr HOST:PORT]\n             [--kernel-threads N] [--no-screen]\n  nqpv client ADDR submit [--priority N] PATH…   submit + stream verdicts\n  nqpv client ADDR watch                         stream every job event\n  nqpv client ADDR stats|ping\n  nqpv client ADDR shutdown [--drain]\n  nqpv ops\n\n  --infer        attempt wlp-fixpoint invariant inference for\n                 while loops lacking an inv: annotation\n  --jobs N       worker threads (default: available cores)\n  --kernel-threads N\n                 data-parallel threads *inside* each job's linalg\n                 kernels (default: 1, or NQPV_KERNEL_THREADS); results\n                 are bitwise identical for every value\n  --no-screen    disable the f32 Löwner screening tier (ablation;\n                 verdicts are identical either way, only slower)\n  --json         print the report as JSON instead of a summary\n  --no-cache     disable the shared wp memo cache\n  --cache-cap N  bound each cache tier to N entries (LRU eviction;\n                 eviction counts appear in the report)\n  --cache-dir D  persist solver verdicts under D (survives restarts,\n                 shared between batch runs and the daemon)\n  --cache-max-bytes N\n                 size budget for the verdict store under --cache-dir:\n                 oldest records are evicted to stay under N bytes\n  --no-bin       disable verdict-cache affinity scheduling\n  --explain      extract a counterexample (witness state, scheduler\n                 trace, expectation trajectory) for every rejected proof\n  --trace DIR    write one Chrome trace-event JSON per job under DIR\n                 (open in chrome://tracing or Perfetto)\n  --job-timeout SECS\n                 per-job verification deadline: a job still unverified\n                 after SECS is stopped cooperatively and reported with\n                 a 'timeout' verdict\n  --max-queue N  refuse submissions once N jobs are queued (daemon\n                 backpressure; structured 'overloaded' reply)\n  --max-per-client N\n                 bound one connection's queued+running jobs to N\n                 (client-scoped 'overloaded' reply)\n  --drain-timeout SECS\n                 bound on 'shutdown --drain' backlog completion\n                 (default 30)\n  --metrics-addr HOST:PORT\n                 serve Prometheus text metrics at http://HOST:PORT/metrics\n  --priority N   scheduling priority for submitted jobs (higher first)\n  --drain        (client shutdown) finish the whole backlog before the\n                 daemon stops, instead of dropping queued jobs\n\nenvironment:\n  NQPV_FAULTS=<seed>:<site>[*<cap>],…\n                 arm the deterministic fault-injection harness (sites:\n                 worker_panic, solver_delay, disk_read, disk_write,\n                 conn_drop); inert when unset\n  NQPV_KERNEL_THREADS=N\n                 default kernel thread count when --kernel-threads\n                 is not given"
     );
     ExitCode::from(2)
 }
@@ -135,12 +135,18 @@ fn cmd_verify(path: &str, show: Option<&str>, infer: bool) -> ExitCode {
 /// 1 any rejected, 2 structural error).
 fn cmd_explain(rest: &[String], infer: bool) -> ExitCode {
     let mut json = false;
+    let mut screen = true;
     let mut trace_dir: Option<&str> = None;
     let mut target: Option<&str> = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--no-screen" => screen = false,
+            "--kernel-threads" => match positive_arg(&mut it, "--kernel-threads") {
+                Ok(n) => nqpv_linalg::par::set_kernel_threads(n),
+                Err(code) => return code,
+            },
             "--trace" => {
                 let Some(dir) = it.next() else {
                     eprintln!("error: --trace expects a directory");
@@ -176,6 +182,7 @@ fn cmd_explain(rest: &[String], infer: bool) -> ExitCode {
         infer_invariants: infer,
         ..VcOptions::default()
     };
+    opts.lowner.screen = screen;
     let tracer = match trace_dir {
         Some(_) => nqpv_telemetry::Tracer::create(true),
         None => nqpv_telemetry::Tracer::DISABLED,
@@ -278,6 +285,7 @@ fn cmd_batch(rest: &[String], infer: bool) -> ExitCode {
     let mut cache_max_bytes: Option<u64> = None;
     let mut job_timeout: Option<Duration> = None;
     let mut trace_dir: Option<&str> = None;
+    let mut screen = true;
     let mut target: Option<&str> = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -286,6 +294,11 @@ fn cmd_batch(rest: &[String], infer: bool) -> ExitCode {
                 Ok(n) => jobs = n,
                 Err(code) => return code,
             },
+            "--kernel-threads" => match positive_arg(&mut it, "--kernel-threads") {
+                Ok(n) => nqpv_linalg::par::set_kernel_threads(n),
+                Err(code) => return code,
+            },
+            "--no-screen" => screen = false,
             "--cache-cap" => match positive_arg(&mut it, "--cache-cap") {
                 Ok(n) => cache_cap = Some(n),
                 Err(code) => return code,
@@ -372,9 +385,13 @@ fn cmd_batch(rest: &[String], infer: bool) -> ExitCode {
             explain,
             trace_dir: trace_dir.map(std::path::PathBuf::from),
             job_timeout,
-            vc: VcOptions {
-                infer_invariants: infer,
-                ..VcOptions::default()
+            vc: {
+                let mut vc = VcOptions {
+                    infer_invariants: infer,
+                    ..VcOptions::default()
+                };
+                vc.lowner.screen = screen;
+                vc
             },
         },
     );
@@ -416,6 +433,11 @@ fn cmd_serve(rest: &[String], infer: bool) -> ExitCode {
                 Ok(n) => opts.jobs = n,
                 Err(code) => return code,
             },
+            "--kernel-threads" => match positive_arg(&mut it, "--kernel-threads") {
+                Ok(n) => nqpv_linalg::par::set_kernel_threads(n),
+                Err(code) => return code,
+            },
+            "--no-screen" => opts.vc.lowner.screen = false,
             "--cache-cap" => match positive_arg(&mut it, "--cache-cap") {
                 Ok(n) => opts.cache_cap = Some(n),
                 Err(code) => return code,

@@ -207,6 +207,20 @@ impl Predicate {
         }
     }
 
+    /// `tr(M)` without materialising the operator when factored:
+    /// `tr(VV†) = ‖V‖²_F`, an `O(2ⁿ·r)` pass over the factor.
+    pub fn trace_re(&self) -> f64 {
+        match self {
+            Predicate::Dense(m) => m.trace_re(),
+            Predicate::Factored(f) => {
+                f.v.as_slice()
+                    .iter()
+                    .map(|z| z.re * z.re + z.im * z.im)
+                    .sum()
+            }
+        }
+    }
+
     /// Dedup fingerprint. Dense predicates hash the quantised matrix;
     /// factored ones hash the quantised **factor** (tagged apart), so
     /// byte-identical pipeline products dedupe without materialising

@@ -6,8 +6,9 @@
 //! [`PredicateRegistry`] owns the fingerprint→name map and the matrices;
 //! [`render_outline`] produces the annotated listing.
 
+use crate::assertion::Predicate;
 use crate::transformer::{Annotated, AnnotatedNode};
-use nqpv_linalg::CMat;
+use nqpv_linalg::{CMat, Complex};
 use std::collections::HashMap;
 use std::fmt::Write;
 use std::sync::Arc;
@@ -15,14 +16,122 @@ use std::sync::Arc;
 /// Fingerprint quantisation used for name lookup.
 const FP_SCALE: f64 = 1e8;
 
-/// Maps predicate matrices to display names and back. Matrices are held
-/// behind shared handles, so the bare-name/display-name aliases and the
-/// factored-predicate rendering path never copy a `2ⁿ×2ⁿ` matrix.
+/// Probe agreement slack per unit dimension. Operators whose dense
+/// fingerprints collide at [`FP_SCALE`] differ by `< 10⁻⁸` per entry, so
+/// their probe images differ by at most `dim·10⁻⁸` per component (probe
+/// entries lie in `[-1, 1]²`); the screen uses 10× that, so it can never
+/// separate two operators the dense fingerprint would identify.
+const PROBE_TOL_PER_DIM: f64 = 1e-7;
+
+/// One first-sighted operator: the match-screen data plus the predicate
+/// itself, so a true cross-representation match can still be decided by
+/// dense fingerprint — but only then.
+#[derive(Debug, Clone)]
+struct Sighting {
+    trace: f64,
+    probe: Vec<Complex>,
+    pred: Arc<Predicate>,
+    name: String,
+    /// Whether `pred`'s dense fingerprint has been indexed in `names`.
+    dense_indexed: bool,
+}
+
+/// Maps predicate matrices to display names and back.
+///
+/// Naming is keyed on quantised fingerprints. Dense matrices hash their
+/// entries; factored predicates hash their `2ⁿ×r` factor
+/// ([`Predicate::fingerprint`]), so the repeat queries an outline walk
+/// issues at every node cost `O(2ⁿ·r)` and never materialise the dense
+/// operator. Matching a factored predicate against operators known only
+/// densely (user registrations, dense sightings) would need the dense
+/// fingerprint — an `O(4ⁿ·r)` materialisation per fresh predicate, which
+/// dominated large verifications. Instead every sighting records its
+/// trace and its image `M·z` of a fixed pseudo-random **probe vector**
+/// (`O(2ⁿ·r)` for factored predicates, and — unlike any spectral
+/// invariant — sensitive to the eigenbasis rotations a unitary wp pass
+/// produces). A fresh predicate densifies only when some prior sighting
+/// agrees on both, i.e. only when a genuine cross-representation match is
+/// on the table; the dense fingerprint then settles it exactly as before.
 #[derive(Debug, Clone, Default)]
 pub struct PredicateRegistry {
+    /// Fingerprint (dense, or a factored predicate's native) → name.
     names: HashMap<u64, String>,
-    matrices: HashMap<String, Arc<CMat>>,
+    /// Display/bare name → predicate, for `show` (densified on demand).
+    matrices: HashMap<String, Arc<Predicate>>,
+    /// Every first-sighted operator, with its match-screen data.
+    sightings: Vec<Sighting>,
     next_var: usize,
+}
+
+/// The fixed probe vector for dimension `dim`: splitmix64-derived entries
+/// in `[-1, 1]²`, identical across runs.
+fn probe_vector(dim: usize) -> Vec<Complex> {
+    (0..dim)
+        .map(|i| {
+            let mix = |salt: u64| {
+                let mut z = (i as u64)
+                    .wrapping_add(salt)
+                    .wrapping_add(0x9e3779b97f4a7c15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^= z >> 31;
+                (z >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+            };
+            Complex {
+                re: mix(0),
+                im: mix(0x5851f42d4c957f2d),
+            }
+        })
+        .collect()
+}
+
+/// `M·z` for the fixed probe `z`: `O(4ⁿ)` dense, `O(2ⁿ·r)` factored
+/// (`V·(V†z)`).
+fn probe_image(p: &Predicate) -> Vec<Complex> {
+    let z = probe_vector(p.dim());
+    match p {
+        Predicate::Dense(m) => (0..m.rows())
+            .map(|i| {
+                m.row(i)
+                    .iter()
+                    .zip(&z)
+                    .fold(Complex::ZERO, |acc, (a, b)| acc + *a * *b)
+            })
+            .collect(),
+        Predicate::Factored(f) => {
+            let v = f.v();
+            let r = v.cols();
+            // w = V†z
+            let mut w = vec![Complex::ZERO; r];
+            for (i, zi) in z.iter().enumerate() {
+                for (k, wk) in w.iter_mut().enumerate() {
+                    *wk += v[(i, k)].conj() * *zi;
+                }
+            }
+            // y = V·w
+            (0..v.rows())
+                .map(|i| {
+                    w.iter()
+                        .enumerate()
+                        .fold(Complex::ZERO, |acc, (k, wk)| acc + v[(i, k)] * *wk)
+                })
+                .collect()
+        }
+    }
+}
+
+/// Whether two (trace, probe) screens are compatible, i.e. the operators
+/// *could* share a dense fingerprint. `false` is a proof they do not.
+fn screens_match(ta: f64, pa: &[Complex], tb: f64, pb: &[Complex]) -> bool {
+    if pa.len() != pb.len() {
+        return false;
+    }
+    let tol = PROBE_TOL_PER_DIM * pa.len().max(1) as f64;
+    (ta - tb).abs() <= tol
+        && pa
+            .iter()
+            .zip(pb)
+            .all(|(x, y)| (x.re - y.re).abs() <= tol && (x.im - y.im).abs() <= tol)
 }
 
 impl PredicateRegistry {
@@ -34,57 +143,121 @@ impl PredicateRegistry {
     /// Registers a matrix under a user-facing display name (e.g.
     /// `invN[q1 q2]`); also indexes the bare name (`invN`) for `show`.
     pub fn register_named(&mut self, display: &str, m: &CMat) {
-        let shared = Arc::new(m.clone());
+        let pred = Arc::new(Predicate::dense_from(m.clone()));
+        let trace = m.trace_re();
+        let probe = probe_image(&pred);
+        self.promote_matches(trace, &probe);
         self.names
             .entry(m.fingerprint(FP_SCALE))
             .or_insert_with(|| display.to_string());
-        self.matrices.insert(display.to_string(), shared.clone());
+        self.sightings.push(Sighting {
+            trace,
+            probe,
+            pred: pred.clone(),
+            name: display.to_string(),
+            dense_indexed: true,
+        });
+        self.matrices.insert(display.to_string(), pred.clone());
         if let Some(bare) = display.split('[').next() {
-            self.matrices.entry(bare.to_string()).or_insert(shared);
+            self.matrices.entry(bare.to_string()).or_insert(pred);
         }
     }
 
     /// Returns the display name for a matrix, allocating a fresh
     /// `VARk[q̄]` name when unknown.
     pub fn name_of(&mut self, m: &CMat, register_display: &str) -> String {
-        self.name_of_with(m, register_display, |m| Arc::new(m.clone()))
+        self.name_of_pred(&Predicate::dense_from(m.clone()), register_display)
     }
 
-    /// [`PredicateRegistry::name_of`] for a [`Predicate`]: already-named
-    /// matrices cost one fingerprint pass and zero copies; fresh `VARk`
-    /// entries reuse the predicate's `Arc`-cached dense form instead of
-    /// cloning it ([`Predicate::dense_shared`]).
-    pub fn name_of_pred(
-        &mut self,
-        p: &crate::assertion::Predicate,
-        register_display: &str,
-    ) -> String {
-        self.name_of_with(p.dense(), register_display, |_| p.dense_shared())
-    }
-
-    fn name_of_with(
-        &mut self,
-        m: &CMat,
-        register_display: &str,
-        share: impl FnOnce(&CMat) -> Arc<CMat>,
-    ) -> String {
-        let fp = m.fingerprint(FP_SCALE);
-        if let Some(n) = self.names.get(&fp) {
+    /// [`PredicateRegistry::name_of`] for a [`Predicate`]. Repeat queries
+    /// hit the native fingerprint; a first sighting densifies only when
+    /// the trace/probe screen admits a match against a prior sighting.
+    pub fn name_of_pred(&mut self, p: &Predicate, register_display: &str) -> String {
+        let native_fp = p.fingerprint(FP_SCALE);
+        if let Some(n) = self.names.get(&native_fp) {
             return n.clone();
         }
-        let bare = format!("VAR{}", self.next_var);
-        self.next_var += 1;
-        let display = format!("{bare}[{register_display}]");
-        self.names.insert(fp, display.clone());
-        let shared = share(m);
-        self.matrices.insert(display.clone(), shared.clone());
-        self.matrices.insert(bare, shared);
+        let trace = p.trace_re();
+        let probe = probe_image(p);
+        let possible = self.promote_matches(trace, &probe);
+        let shared = Arc::new(p.clone());
+        let dense_indexed = possible || !p.is_factored();
+        if dense_indexed {
+            // A match is on the table (or dense hashing is free): decide
+            // by dense fingerprint, exactly as a dense-only index would.
+            let dense_fp = shared.dense().fingerprint(FP_SCALE);
+            if let Some(n) = self.names.get(&dense_fp).cloned() {
+                self.names.insert(native_fp, n.clone());
+                return n;
+            }
+            let display = self.fresh_name(register_display);
+            self.names.insert(dense_fp, display.clone());
+            if native_fp != dense_fp {
+                self.names.insert(native_fp, display.clone());
+            }
+            self.record_sighting(trace, probe, shared, display, true)
+        } else {
+            // Provably fresh: every prior sighting's screen separates it.
+            let display = self.fresh_name(register_display);
+            self.names.insert(native_fp, display.clone());
+            self.record_sighting(trace, probe, shared, display, false)
+        }
+    }
+
+    /// Dense-indexes every prior sighting whose screen is compatible with
+    /// `(trace, probe)`; returns whether any was.
+    fn promote_matches(&mut self, trace: f64, probe: &[Complex]) -> bool {
+        let mut any = false;
+        for i in 0..self.sightings.len() {
+            let s = &self.sightings[i];
+            if !screens_match(trace, probe, s.trace, &s.probe) {
+                continue;
+            }
+            any = true;
+            if !self.sightings[i].dense_indexed {
+                let fp = self.sightings[i].pred.dense().fingerprint(FP_SCALE);
+                let name = self.sightings[i].name.clone();
+                self.names.entry(fp).or_insert(name);
+                self.sightings[i].dense_indexed = true;
+            }
+        }
+        any
+    }
+
+    /// Files a sighting and indexes its matrices; returns the display name.
+    fn record_sighting(
+        &mut self,
+        trace: f64,
+        probe: Vec<Complex>,
+        pred: Arc<Predicate>,
+        display: String,
+        dense_indexed: bool,
+    ) -> String {
+        self.sightings.push(Sighting {
+            trace,
+            probe,
+            pred: pred.clone(),
+            name: display.clone(),
+            dense_indexed,
+        });
+        self.matrices.insert(display.clone(), pred.clone());
+        if let Some(bare) = display.split('[').next() {
+            self.matrices.insert(bare.to_string(), pred);
+        }
         display
     }
 
-    /// Looks up the matrix behind a (bare or full) name, for `show`.
+    /// Allocates the next `VARk[q̄]` display name.
+    fn fresh_name(&mut self, register_display: &str) -> String {
+        let bare = format!("VAR{}", self.next_var);
+        self.next_var += 1;
+        format!("{bare}[{register_display}]")
+    }
+
+    /// Looks up the matrix behind a (bare or full) name, for `show`;
+    /// factored predicates materialise (and cache) their dense form here.
     pub fn matrix(&self, name: &str) -> Option<&CMat> {
-        self.matrices.get(name).map(Arc::as_ref)
+        self.matrices.get(name).map(|p| p.dense())
     }
 
     /// All registered display names (unordered).
@@ -260,6 +433,23 @@ mod tests {
         assert!(reg.matrix("VAR0").is_some());
         assert!(reg.matrix("VAR0[q]").is_some());
         assert!(reg.matrix("P0").is_some());
+    }
+
+    #[test]
+    fn factored_predicates_name_stably_across_representations() {
+        use crate::assertion::Predicate;
+        let mut reg = PredicateRegistry::new();
+        let v = CMat::from_real(4, 1, &[1.0, 0.0, 0.0, 0.0]);
+        let p = Predicate::from_factor(v);
+        assert!(p.is_factored());
+        let n1 = reg.name_of_pred(&p, "q1 q2");
+        // Repeat queries hit the native (factor) fingerprint.
+        assert_eq!(reg.name_of_pred(&p, "q1 q2"), n1);
+        // A dense predicate holding the same operator resolves to the
+        // same name instead of allocating a fresh VAR.
+        let dense = Predicate::dense_from(p.dense().clone());
+        assert_eq!(reg.name_of_pred(&dense, "q1 q2"), n1);
+        assert_eq!(reg.next_var, 1);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::cache::MemoCache;
 use crate::corpus::{Corpus, Job};
 use crate::report::{BatchReport, JobReport, JobStatus, ProofReport};
 use nqpv_core::{Session, VcOptions};
+use nqpv_linalg::par;
 use nqpv_telemetry::{Deadline, Phase, Tracer};
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
@@ -200,6 +201,13 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// any verdict); a second panic yields a `worker panicked: …`
 /// [`JobStatus::Error`] report so the caller's bookkeeping stays intact.
 /// Every caught panic bumps `nqpv_jobs_panicked_total`.
+///
+/// The budget is armed twice: as the cooperative [`Deadline`] observed at
+/// statement and solver-obligation boundaries, and as the kernel deadline
+/// ([`par::with_job_deadline`]) checked between chunks *inside* the
+/// linalg sweeps — so one giant gate application cannot outlive its
+/// budget. A [`par::KernelTimeout`] unwind is a timeout, not a fault: it
+/// maps straight to [`JobStatus::Timeout`] with no retry.
 pub fn run_job_isolated(
     job: &Job,
     vc: VcOptions,
@@ -216,11 +224,38 @@ pub fn run_job_isolated(
             Some(budget) => vc.with_deadline(Deadline::after(budget)),
             None => vc,
         };
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_job_traced(job, vc, cache.clone(), worker, explain, trace_dir)
-        }));
+        let kernel_deadline = job_timeout.map(|budget| Instant::now() + budget);
+        let outcome = par::with_job_deadline(kernel_deadline, || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_job_traced(job, vc, cache.clone(), worker, explain, trace_dir)
+            }))
+        });
         match outcome {
             Ok(report) => return report,
+            Err(payload) if payload.is::<par::KernelTimeout>() => {
+                nqpv_telemetry::global()
+                    .counter(
+                        "nqpv_jobs_timed_out_total",
+                        "Jobs stopped by their cooperative per-job deadline.",
+                        &[],
+                    )
+                    .inc();
+                let secs = t0.elapsed().as_secs_f64();
+                let status = JobStatus::Timeout {
+                    message: "job deadline exceeded inside a kernel sweep".to_string(),
+                };
+                nqpv_telemetry::record_job(status.label(), secs, &Default::default());
+                return JobReport {
+                    name: job.name.clone(),
+                    path: job.path.as_ref().map(|p| p.display().to_string()),
+                    status,
+                    ms: secs * 1e3,
+                    bin: job.bin,
+                    worker,
+                    counterexamples: Vec::new(),
+                    phases: Default::default(),
+                };
+            }
             Err(payload) => {
                 last_panic = panic_message(payload);
                 nqpv_telemetry::global()

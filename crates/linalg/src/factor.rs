@@ -43,20 +43,34 @@ pub fn gram(a: &CMat, b: &CMat) -> CMat {
     assert_eq!(a.rows(), b.rows(), "gram factor height mismatch");
     let (ra, rb) = (a.cols(), b.cols());
     let mut g = CMat::zeros(ra, rb);
-    for k in 0..a.rows() {
-        let arow = a.row(k);
-        let brow = b.row(k);
-        for (i, av) in arow.iter().enumerate() {
-            let ac = av.conj();
-            if ac.is_exact_zero() {
-                continue;
-            }
-            let grow = &mut g.as_mut_slice()[i * rb..(i + 1) * rb];
-            for (gv, bv) in grow.iter_mut().zip(brow) {
-                *gv += ac * *bv;
+    if ra == 0 || rb == 0 || a.rows() == 0 {
+        return g;
+    }
+    // Parallelise over output rows (columns of `a`): each chunk owns a
+    // disjoint band of `g` and streams the full height of both factors,
+    // conjugating `a` entries on the fly (no materialised adjoint). The
+    // `ra×rb` output stays cache-resident, and every `g[(i,j)]`
+    // accumulates its `k` terms in ascending order inside one chunk, so
+    // results are bitwise identical at every thread count.
+    let shared = crate::par::SharedMut::new(g.as_mut_slice());
+    crate::par::sweep(ra, a.rows() * rb, |cols| {
+        for k in 0..a.rows() {
+            let arow = a.row(k);
+            let brow = b.row(k);
+            for i in cols.clone() {
+                let ac = arow[i].conj();
+                if ac.is_exact_zero() {
+                    continue;
+                }
+                // SAFETY: chunks cover disjoint `i` ranges, so the
+                // reconstituted output rows never alias across threads.
+                let grow = unsafe { std::slice::from_raw_parts_mut(shared.ptr().add(i * rb), rb) };
+                for (gv, bv) in grow.iter_mut().zip(brow) {
+                    *gv += ac * *bv;
+                }
             }
         }
-    }
+    });
     g
 }
 

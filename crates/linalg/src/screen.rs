@@ -1,0 +1,292 @@
+//! Single-precision screening tier for PSD / Löwner decisions.
+//!
+//! The `⊑` solver spends most of its dense time inside f64 pivoted
+//! Cholesky certificates ([`crate::is_psd_pivoted`]). Most obligations
+//! are nowhere near the decision boundary, so a half-cost f32
+//! factorisation can settle them — **provided it never flips a verdict**.
+//! This module runs up to two pivoted f32 Cholesky passes on shifted
+//! copies of the operator, each certifying one direction only:
+//!
+//! * the *down-shifted* pass completes ⇒ `λ_min` clears the f32 error
+//!   band with room to spare ⇒ the f64 path is guaranteed to accept →
+//!   [`Psd`];
+//! * the *up-shifted* pass meets a clearly negative Schur diagonal — a
+//!   matrix the f64 path would accept is PD with margin after the
+//!   up-shift, so its computed diagonals provably stay positive →
+//!   [`NotPsd`];
+//! * anything else → [`NearBoundary`], and the caller runs the usual
+//!   f64 certificate.
+//!
+//! Verdicts are therefore byte-identical with the screen on or off; the
+//! ablation knob (`VcOptions`/`--no-screen`) exists for benchmarking and
+//! distrust, not correctness.
+//!
+//! [`Psd`]: ScreenVerdict::Psd
+//! [`NotPsd`]: ScreenVerdict::NotPsd
+//! [`NearBoundary`]: ScreenVerdict::NearBoundary
+
+use crate::cholesky::exact_diagonal;
+use crate::matrix::CMat;
+
+/// Outcome of the f32 screening pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScreenVerdict {
+    /// Certified PSD with margin — the f64 certificate would accept.
+    Psd,
+    /// Certified non-PSD with margin — the f64 certificate would reject.
+    NotPsd,
+    /// Margin within the f32 error band; run the f64 certificate.
+    NearBoundary,
+}
+
+impl ScreenVerdict {
+    /// Telemetry label for this outcome.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScreenVerdict::Psd => "accept",
+            ScreenVerdict::NotPsd => "reject",
+            ScreenVerdict::NearBoundary => "fallback",
+        }
+    }
+}
+
+/// Error band covering one full f32 pivoted factorisation of a `d×d`
+/// matrix with entries up to `scale`: downcast error plus the classical
+/// `c·d·ε` backward-error envelope, with slack factor 16.
+fn error_band(scale: f64, d: usize) -> f64 {
+    (scale * d as f64 * 16.0 * f32::EPSILON as f64).max(1e-30)
+}
+
+/// Screens `is_psd_pivoted(a, tol)` in single precision.
+///
+/// Returns [`ScreenVerdict::Psd`] / [`ScreenVerdict::NotPsd`] only when
+/// the f64 certificate is guaranteed to agree; every ambiguous case is
+/// [`ScreenVerdict::NearBoundary`]. Exactly-diagonal operators (the
+/// diag-scan fast path) are decided in f64 and never fall back.
+pub fn screen_psd_f32(a: &CMat, tol: f64) -> ScreenVerdict {
+    if !a.is_square() {
+        return ScreenVerdict::NearBoundary;
+    }
+    let n = a.rows();
+    if n == 0 {
+        return ScreenVerdict::Psd;
+    }
+    // Exactly-diagonal fast path: replicate the f64 comparison verbatim
+    // — no rounding is introduced, so the decision is always exact.
+    if let Some(diag) = exact_diagonal(a) {
+        let min_diag = diag.iter().copied().fold(f64::INFINITY, f64::min);
+        return if min_diag >= -tol.max(1e-14 * a.max_abs()) {
+            ScreenVerdict::Psd
+        } else {
+            ScreenVerdict::NotPsd
+        };
+    }
+
+    let scale = a.max_abs();
+    let shift = tol.max(1e-14 * scale);
+    let band = error_band(scale.max(shift), n);
+
+    // Two one-sided passes with opposite shifts. A single factorisation
+    // cannot certify both directions: once a down-shift makes the matrix
+    // indefinite, a Schur diagonal `Sᵢᵢ = x†Mx` with `‖x‖ ≫ 1` dips
+    // arbitrarily far below `λ_min(M)`, so "deeply negative pivot" says
+    // nothing quantitative about the unshifted spectrum.
+    //
+    // Accept pass — factor `M₁ = herm(A) + (shift − 2·band)·I`.
+    // Completion means `M₁ + E = LL† ⪰ 0` with `‖E‖ ≤ band`, hence
+    // `λ_min(A + shift·I) ≥ 2·band − band > 0`: the f64 factorisation of
+    // `A + shift·I` meets strictly positive pivots at every step and
+    // accepts.
+    if matches!(
+        chol_f32(a, shift - 2.0 * band, band as f32, f32::INFINITY),
+        F32Chol::Completed
+    ) {
+        return ScreenVerdict::Psd;
+    }
+    // Reject pass — factor `M₂ = herm(A) + (shift + 2·band)·I`. If the
+    // f64 path were to accept, `λ_min(M₂) ≥ 2·band − stop ≈ 2·band`,
+    // making M₂ PD with margin: every exact Schur diagonal is then
+    // ≥ λ_min(M₂) (interlacing), element growth is bounded, and the f32
+    // computation stays within `band` of exact — no computed diagonal
+    // can fall below `band`. A computed diagonal < −band therefore
+    // certifies f64 rejection. Anything else (stall on a small pivot,
+    // NaN, completion) is inconclusive.
+    if matches!(
+        chol_f32(a, shift + 2.0 * band, band as f32, band as f32),
+        F32Chol::NegativeDiag
+    ) {
+        return ScreenVerdict::NotPsd;
+    }
+    ScreenVerdict::NearBoundary
+}
+
+/// Outcome of one f32 pivoted factorisation pass.
+enum F32Chol {
+    /// Every pivot cleared the continuation threshold.
+    Completed,
+    /// A remaining diagonal fell below `−neg_thr`.
+    NegativeDiag,
+    /// The largest remaining diagonal fell to `cont_thr` or below, or a
+    /// NaN surfaced — no certificate either way.
+    Stalled,
+}
+
+/// Diagonal-pivoted f32 Cholesky of `hermitize(a) + diag_shift·I` on
+/// split re/im planes. Stops at the first remaining diagonal below
+/// `−neg_thr` ([`F32Chol::NegativeDiag`]) or once no pivot exceeds
+/// `cont_thr` ([`F32Chol::Stalled`]).
+fn chol_f32(a: &CMat, diag_shift: f64, cont_thr: f32, neg_thr: f32) -> F32Chol {
+    let n = a.rows();
+    let mut re = vec![0f32; n * n];
+    let mut im = vec![0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let x = a[(i, j)];
+            let y = a[(j, i)];
+            let mut hre = 0.5 * (x.re + y.re);
+            if i == j {
+                hre += diag_shift;
+            }
+            re[i * n + j] = hre as f32;
+            im[i * n + j] = (0.5 * (x.im - y.im)) as f32;
+        }
+    }
+    for k in 0..n {
+        let mut best = k;
+        let mut min_diag = f32::INFINITY;
+        for i in k..n {
+            let d = re[i * n + i];
+            if d.is_nan() {
+                return F32Chol::Stalled;
+            }
+            if d > re[best * n + best] {
+                best = i;
+            }
+            min_diag = min_diag.min(d);
+        }
+        if min_diag < -neg_thr {
+            return F32Chol::NegativeDiag;
+        }
+        let pivot = re[best * n + best];
+        if pivot <= cont_thr {
+            return F32Chol::Stalled;
+        }
+        if best != k {
+            swap_sym_f32(&mut re, &mut im, n, k, best);
+        }
+        // Schur update of the trailing block: S ← S − v·v†/p where v is
+        // the pivot column. Hermitian symmetry is maintained explicitly.
+        for i in (k + 1)..n {
+            let (ar, ai) = (re[i * n + k], im[i * n + k]);
+            for j in (k + 1)..=i {
+                let (br, bi) = (re[j * n + k], im[j * n + k]);
+                let sr = (ar * br + ai * bi) / pivot;
+                let si = (ai * br - ar * bi) / pivot;
+                re[i * n + j] -= sr;
+                im[i * n + j] -= si;
+                if i != j {
+                    re[j * n + i] -= sr;
+                    im[j * n + i] += si;
+                }
+            }
+        }
+    }
+    F32Chol::Completed
+}
+
+/// Symmetric row+column swap on split-plane hermitian f32 storage.
+fn swap_sym_f32(re: &mut [f32], im: &mut [f32], n: usize, a: usize, b: usize) {
+    for j in 0..n {
+        re.swap(a * n + j, b * n + j);
+        im.swap(a * n + j, b * n + j);
+    }
+    for i in 0..n {
+        re.swap(i * n + a, i * n + b);
+        im.swap(i * n + a, i * n + b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cholesky::is_psd_pivoted;
+    use crate::complex::c;
+
+    const TOL: f64 = 1e-7;
+
+    fn herm(d: usize, f: impl Fn(usize, usize) -> (f64, f64)) -> CMat {
+        let mut m = CMat::zeros(d, d);
+        for i in 0..d {
+            for j in 0..=i {
+                let (re, im) = f(i, j);
+                let z = if i == j { c(re, 0.0) } else { c(re, im) };
+                m[(i, j)] = z;
+                m[(j, i)] = z.conj();
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn clear_margins_are_decided_and_agree_with_f64() {
+        // Comfortably PD: diag-dominant with off-diag noise.
+        let pd = herm(6, |i, j| {
+            if i == j {
+                (2.0 + i as f64, 0.0)
+            } else {
+                (0.05 * (i + j) as f64, 0.02)
+            }
+        });
+        assert_eq!(screen_psd_f32(&pd, TOL), ScreenVerdict::Psd);
+        assert!(is_psd_pivoted(&pd, TOL));
+
+        // Clearly indefinite.
+        let mut indef = pd.clone();
+        indef[(3, 3)] = c(-1.0, 0.0);
+        assert_eq!(screen_psd_f32(&indef, TOL), ScreenVerdict::NotPsd);
+        assert!(!is_psd_pivoted(&indef, TOL));
+    }
+
+    #[test]
+    fn exact_diagonal_matrices_never_fall_back() {
+        let d = CMat::from_real(3, 3, &[1.0, 0.0, 0.0, 0.0, 0.5, 0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(screen_psd_f32(&d, TOL), ScreenVerdict::Psd);
+        let mut neg = d.clone();
+        neg[(2, 2)] = c(-1e-3, 0.0);
+        assert_eq!(screen_psd_f32(&neg, TOL), ScreenVerdict::NotPsd);
+        // Diagonal decisions mirror the f64 comparison bit for bit.
+        assert!(is_psd_pivoted(&d, TOL));
+        assert!(!is_psd_pivoted(&neg, TOL));
+    }
+
+    #[test]
+    fn near_boundary_falls_back_instead_of_guessing() {
+        // Eigenvalues 1±b ⇒ λ_min + shift = 0 exactly: inside the f32
+        // error band at unit scale, so the screen must abstain.
+        let b = 1.0 + TOL;
+        let m = herm(2, |i, j| if i == j { (1.0, 0.0) } else { (b, 0.0) });
+        assert_eq!(screen_psd_f32(&m, TOL), ScreenVerdict::NearBoundary);
+    }
+
+    #[test]
+    fn rank_deficient_psd_falls_back() {
+        // |+⟩⟨+| projector: PSD with a zero eigenvalue — ambiguous in f32.
+        let p = CMat::from_real(2, 2, &[0.5, 0.5, 0.5, 0.5]);
+        assert_eq!(screen_psd_f32(&p, TOL), ScreenVerdict::NearBoundary);
+        assert!(is_psd_pivoted(&p, TOL));
+    }
+
+    #[test]
+    fn nan_poisoned_input_abstains() {
+        let mut m = CMat::identity(2);
+        m[(0, 0)] = c(f64::NAN, 0.0);
+        assert_eq!(screen_psd_f32(&m, TOL), ScreenVerdict::NearBoundary);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ScreenVerdict::Psd.label(), "accept");
+        assert_eq!(ScreenVerdict::NotPsd.label(), "reject");
+        assert_eq!(ScreenVerdict::NearBoundary.label(), "fallback");
+    }
+}

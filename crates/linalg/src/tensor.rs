@@ -8,6 +8,7 @@
 
 use crate::complex::Complex;
 use crate::matrix::{CMat, CVec};
+use crate::par::{self, SharedMut};
 
 /// Value of qubit `q`'s bit inside basis index `i` of an `n`-qubit space.
 #[inline]
@@ -171,6 +172,43 @@ impl GatePlan {
         stride: usize,
         gathered: &mut [Complex],
     ) {
+        // SAFETY: the unique borrow guarantees validity and exclusivity.
+        unsafe {
+            self.run_raw(
+                gate,
+                data.as_mut_ptr(),
+                data.len(),
+                offset,
+                stride,
+                gathered,
+            )
+        }
+    }
+
+    /// [`GatePlan::run`] over a raw element pointer, so the threaded
+    /// sweeps can share one buffer across chunks with provably disjoint
+    /// index sets (each virtual vector touches `offset + t·stride` only —
+    /// distinct offsets with a common stride never collide).
+    ///
+    /// The floating-point operations and their order are exactly those of
+    /// the serial kernel: every output element is gathered, multiplied and
+    /// scattered within one call, so results are bitwise identical for
+    /// every chunking.
+    ///
+    /// # Safety
+    ///
+    /// `data` must be valid for reads and writes of `len` elements for the
+    /// duration of the call, and the index set this call touches must be
+    /// disjoint from that of every concurrent call on the same buffer.
+    unsafe fn run_raw(
+        &self,
+        gate: &CMat,
+        data: *mut Complex,
+        len: usize,
+        offset: usize,
+        stride: usize,
+        gathered: &mut [Complex],
+    ) {
         debug_assert_eq!(gate.rows(), self.dk);
         for r in 0..self.rest_count {
             // Spread the bits of r into the rest positions.
@@ -179,18 +217,61 @@ impl GatePlan {
                 let b = (r >> (self.rest_shifts.len() - 1 - bi)) & 1;
                 base |= b << sh;
             }
-            for x in 0..self.dk {
-                gathered[x] = data[offset + (base | self.sub_deposits[x]) * stride];
+            for (x, g) in gathered.iter_mut().enumerate().take(self.dk) {
+                let idx = offset + (base | self.sub_deposits[x]) * stride;
+                debug_assert!(idx < len);
+                *g = *data.add(idx);
             }
             for x in 0..self.dk {
                 let mut acc = Complex::ZERO;
                 for y in 0..self.dk {
                     acc += gate[(x, y)] * gathered[y];
                 }
-                data[offset + (base | self.sub_deposits[x]) * stride] = acc;
+                let idx = offset + (base | self.sub_deposits[x]) * stride;
+                debug_assert!(idx < len);
+                *data.add(idx) = acc;
             }
         }
     }
+
+    /// Per-virtual-vector sweep cost estimate (gather + `dk×dk` multiply
+    /// per rest block), for the backend's serial/parallel decision.
+    fn sweep_work(&self) -> usize {
+        self.rest_count * self.dk * (self.dk + 1)
+    }
+}
+
+/// Runs `plan` on the virtual vectors `offsets(j), stride` for every
+/// `j ∈ 0..count`, chunked across the kernel backend. Distinct offsets
+/// with a common stride address disjoint index sets, so chunks never
+/// overlap; each chunk brings its own scratch buffer.
+fn sweep_strided(
+    plan: &GatePlan,
+    gate: &CMat,
+    data: &mut [Complex],
+    count: usize,
+    stride: usize,
+    offset_of: impl Fn(usize) -> usize + Sync,
+) {
+    let shared = SharedMut::new(data);
+    par::sweep(count, plan.sweep_work(), |range| {
+        let mut gathered = vec![Complex::ZERO; plan.dk];
+        for j in range {
+            // SAFETY: `shared` wraps a live unique borrow; chunk `j`
+            // ranges are disjoint and each `j` touches only indices
+            // `offset_of(j) + t·stride`, distinct across `j`.
+            unsafe {
+                plan.run_raw(
+                    gate,
+                    shared.ptr(),
+                    shared.len(),
+                    offset_of(j),
+                    stride,
+                    &mut gathered,
+                )
+            }
+        }
+    });
 }
 
 /// Applies a `k`-qubit gate to a `2^n` state vector in place:
@@ -213,7 +294,9 @@ pub fn apply_gate_vec(gate: &CMat, positions: &[usize], n: usize, v: &mut CVec) 
 /// vectors, so this is the tall-skinny-factor form of [`apply_gate_left`]
 /// (which requires a square matrix): `O(2ⁿ·2ᵏ·r)` — for a low-rank factor
 /// this replaces the `O(8ⁿ)` dense conjugation of the operator it
-/// represents.
+/// represents. Columns are swept in parallel chunks when
+/// [`crate::par::kernel_threads`] > 1 and the sweep is large enough;
+/// results are bitwise identical for every thread count.
 pub fn apply_gate_columns(gate: &CMat, positions: &[usize], n: usize, v: &mut CMat) {
     let d = 1usize << n;
     assert_eq!(v.rows(), d, "factor height mismatch");
@@ -224,28 +307,24 @@ pub fn apply_gate_columns(gate: &CMat, positions: &[usize], n: usize, v: &mut CM
         return;
     }
     let plan = GatePlan::new(positions, n);
-    let mut gathered = vec![Complex::ZERO; plan.dk];
-    for j in 0..r {
-        plan.run(gate, v.as_mut_slice(), j, r, &mut gathered);
-    }
+    // Column j occupies indices j + t·r (t < d): disjoint across columns.
+    sweep_strided(&plan, gate, v.as_mut_slice(), r, r, |j| j);
 }
 
 /// Left-multiplies an embedded gate into a `2^n × 2^n` matrix in place:
-/// `M ← G_S · M`.
+/// `M ← G_S · M`. Column-parallel like [`apply_gate_columns`].
 pub fn apply_gate_left(gate: &CMat, positions: &[usize], n: usize, m: &mut CMat) {
     let d = 1usize << n;
     assert_eq!(m.rows(), d, "matrix dimension mismatch");
     assert_eq!(m.cols(), d, "matrix dimension mismatch");
     validate_positions(positions, n);
     let plan = GatePlan::new(positions, n);
-    let mut gathered = vec![Complex::ZERO; plan.dk];
-    for j in 0..d {
-        plan.run(gate, m.as_mut_slice(), j, d, &mut gathered);
-    }
+    sweep_strided(&plan, gate, m.as_mut_slice(), d, d, |j| j);
 }
 
 /// Right-multiplies the adjoint of an embedded gate into a matrix in place:
-/// `M ← M · G_S†`.
+/// `M ← M · G_S†`. Row-parallel: row `i` occupies the contiguous range
+/// `i·d .. (i+1)·d`, disjoint across rows.
 pub fn apply_gate_right_adjoint(gate: &CMat, positions: &[usize], n: usize, m: &mut CMat) {
     let d = 1usize << n;
     assert_eq!(m.rows(), d, "matrix dimension mismatch");
@@ -254,15 +333,13 @@ pub fn apply_gate_right_adjoint(gate: &CMat, positions: &[usize], n: usize, m: &
     // row · G† viewed as a left action of conj(G) on the row vector.
     let gc = gate.conj();
     let plan = GatePlan::new(positions, n);
-    let mut gathered = vec![Complex::ZERO; plan.dk];
-    for i in 0..d {
-        plan.run(&gc, m.as_mut_slice(), i * d, 1, &mut gathered);
-    }
+    sweep_strided(&plan, &gc, m.as_mut_slice(), d, 1, |i| i * d);
 }
 
 /// Schrödinger-picture conjugation `M ← G_S · M · G_S†` without
 /// materialising the `2^n` embedding (e.g. `UρU†`). One index plan is
-/// shared by the left and right sweeps.
+/// shared by the left and right sweeps; each sweep runs column- (then
+/// row-)parallel with a barrier between them.
 pub fn conjugate_gate(gate: &CMat, positions: &[usize], n: usize, m: &CMat) -> CMat {
     let d = 1usize << n;
     assert_eq!(m.rows(), d, "matrix dimension mismatch");
@@ -270,14 +347,9 @@ pub fn conjugate_gate(gate: &CMat, positions: &[usize], n: usize, m: &CMat) -> C
     validate_positions(positions, n);
     let mut out = m.clone();
     let plan = GatePlan::new(positions, n);
-    let mut gathered = vec![Complex::ZERO; plan.dk];
-    for j in 0..d {
-        plan.run(gate, out.as_mut_slice(), j, d, &mut gathered);
-    }
+    sweep_strided(&plan, gate, out.as_mut_slice(), d, d, |j| j);
     let gc = gate.conj();
-    for i in 0..d {
-        plan.run(&gc, out.as_mut_slice(), i * d, 1, &mut gathered);
-    }
+    sweep_strided(&plan, &gc, out.as_mut_slice(), d, 1, |i| i * d);
     out
 }
 

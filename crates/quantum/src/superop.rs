@@ -306,6 +306,12 @@ impl SuperOp {
     /// *permuted* full footprint materialises and caches the embeddings
     /// once) because the dense matmul keeps its sparse zero-skip there.
     ///
+    /// Both routes parallelise *inside* each Kraus term across the
+    /// kernel backend (`nqpv_linalg::par`) when the sweep is large enough
+    /// and `--kernel-threads` > 1; the `out +=` accumulation across Kraus
+    /// operators stays serial and in declaration order, so results are
+    /// bitwise identical at every thread count.
+    ///
     /// # Panics
     ///
     /// Panics if `rho` has the wrong dimension.
@@ -337,7 +343,9 @@ impl SuperOp {
     /// Heisenberg-picture application `E†(M) = Σ K†MK` — the adjoint
     /// super-operator used by wp/wlp. Footprint handling is as in
     /// [`SuperOp::apply`]: strided local kernels for proper-subset
-    /// footprints, dense fallback for whole-register footprints.
+    /// footprints, dense fallback for whole-register footprints, both
+    /// threaded inside each Kraus term with serial in-order accumulation
+    /// across terms (bitwise identical at every thread count).
     pub fn apply_heisenberg(&self, m: &CMat) -> CMat {
         assert_eq!(m.rows(), self.dim, "predicate dimension mismatch");
         assert_eq!(m.cols(), self.dim, "predicate dimension mismatch");
