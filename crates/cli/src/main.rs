@@ -50,7 +50,7 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  nqpv verify [--infer] FILE.nqpv\n  nqpv explain [--infer] [--json] [--trace DIR] [--kernel-threads N]\n              [--no-screen] FILE.nqpv\n  nqpv show [--infer] FILE.nqpv NAME\n  nqpv check FILE.nqpv\n  nqpv batch [--infer] [--jobs N] [--json] [--no-cache] [--cache-cap N]\n             [--cache-dir DIR] [--cache-max-bytes N] [--no-bin]\n             [--explain] [--trace DIR] [--job-timeout SECS]\n             [--kernel-threads N] [--no-screen] DIR|MANIFEST\n  nqpv serve --addr HOST:PORT [--infer] [--jobs N] [--no-cache]\n             [--cache-cap N] [--cache-dir DIR] [--cache-max-bytes N]\n             [--max-queue N] [--max-per-client N] [--job-timeout SECS]\n             [--drain-timeout SECS] [--explain] [--metrics-addr HOST:PORT]\n             [--kernel-threads N] [--no-screen]\n  nqpv client ADDR submit [--priority N] PATH…   submit + stream verdicts\n  nqpv client ADDR watch                         stream every job event\n  nqpv client ADDR stats|ping\n  nqpv client ADDR shutdown [--drain]\n  nqpv ops\n\n  --infer        attempt wlp-fixpoint invariant inference for\n                 while loops lacking an inv: annotation\n  --jobs N       worker threads (default: available cores)\n  --kernel-threads N\n                 data-parallel threads *inside* each job's linalg\n                 kernels (default: 1, or NQPV_KERNEL_THREADS); results\n                 are bitwise identical for every value\n  --no-screen    disable the f32 Löwner screening tier (ablation;\n                 verdicts are identical either way, only slower)\n  --json         print the report as JSON instead of a summary\n  --no-cache     disable the shared wp memo cache\n  --cache-cap N  bound each cache tier to N entries (LRU eviction;\n                 eviction counts appear in the report)\n  --cache-dir D  persist solver verdicts under D (survives restarts,\n                 shared between batch runs and the daemon)\n  --cache-max-bytes N\n                 size budget for the verdict store under --cache-dir:\n                 oldest records are evicted to stay under N bytes\n  --no-bin       disable verdict-cache affinity scheduling\n  --explain      extract a counterexample (witness state, scheduler\n                 trace, expectation trajectory) for every rejected proof\n  --trace DIR    write one Chrome trace-event JSON per job under DIR\n                 (open in chrome://tracing or Perfetto)\n  --job-timeout SECS\n                 per-job verification deadline: a job still unverified\n                 after SECS is stopped cooperatively and reported with\n                 a 'timeout' verdict\n  --max-queue N  refuse submissions once N jobs are queued (daemon\n                 backpressure; structured 'overloaded' reply)\n  --max-per-client N\n                 bound one connection's queued+running jobs to N\n                 (client-scoped 'overloaded' reply)\n  --drain-timeout SECS\n                 bound on 'shutdown --drain' backlog completion\n                 (default 30)\n  --metrics-addr HOST:PORT\n                 serve Prometheus text metrics at http://HOST:PORT/metrics\n  --priority N   scheduling priority for submitted jobs (higher first)\n  --drain        (client shutdown) finish the whole backlog before the\n                 daemon stops, instead of dropping queued jobs\n\nenvironment:\n  NQPV_FAULTS=<seed>:<site>[*<cap>],…\n                 arm the deterministic fault-injection harness (sites:\n                 worker_panic, solver_delay, disk_read, disk_write,\n                 conn_drop); inert when unset\n  NQPV_KERNEL_THREADS=N\n                 default kernel thread count when --kernel-threads\n                 is not given"
+        "usage:\n  nqpv verify [--infer] FILE.nqpv\n  nqpv explain [--infer] [--json] [--trace DIR] [--kernel-threads N]\n              [--no-screen] FILE.nqpv\n  nqpv show [--infer] FILE.nqpv NAME\n  nqpv check FILE.nqpv\n  nqpv batch [--infer] [--jobs N] [--json] [--no-cache] [--cache-cap N]\n             [--cache-dir DIR] [--cache-max-bytes N] [--no-bin]\n             [--explain] [--trace DIR] [--flight-dir DIR]\n             [--job-timeout SECS] [--kernel-threads N] [--no-screen]\n             DIR|MANIFEST\n  nqpv serve --addr HOST:PORT [--infer] [--jobs N] [--no-cache]\n             [--cache-cap N] [--cache-dir DIR] [--cache-max-bytes N]\n             [--max-queue N] [--max-per-client N] [--job-timeout SECS]\n             [--drain-timeout SECS] [--explain] [--metrics-addr HOST:PORT]\n             [--flight-dir DIR] [--log-level LVL] [--log-json]\n             [--kernel-threads N] [--no-screen]\n  nqpv client ADDR submit [--priority N] [--trace-out DIR] PATH…\n                                                 submit + stream verdicts\n  nqpv client ADDR watch                         stream every job event\n  nqpv client ADDR stats|ping\n  nqpv client ADDR shutdown [--drain]\n  nqpv ops\n\n  --infer        attempt wlp-fixpoint invariant inference for\n                 while loops lacking an inv: annotation\n  --jobs N       worker threads (default: available cores)\n  --kernel-threads N\n                 data-parallel threads *inside* each job's linalg\n                 kernels (default: 1, or NQPV_KERNEL_THREADS); results\n                 are bitwise identical for every value\n  --no-screen    disable the f32 Löwner screening tier (ablation;\n                 verdicts are identical either way, only slower)\n  --json         print the report as JSON instead of a summary\n  --no-cache     disable the shared wp memo cache\n  --cache-cap N  bound each cache tier to N entries (LRU eviction;\n                 eviction counts appear in the report)\n  --cache-dir D  persist solver verdicts under D (survives restarts,\n                 shared between batch runs and the daemon)\n  --cache-max-bytes N\n                 size budget for the verdict store under --cache-dir:\n                 oldest records are evicted to stay under N bytes\n  --no-bin       disable verdict-cache affinity scheduling\n  --explain      extract a counterexample (witness state, scheduler\n                 trace, expectation trajectory) for every rejected proof\n  --trace DIR    write one Chrome trace-event JSON per job under DIR\n                 (open in chrome://tracing or Perfetto)\n  --trace-out DIR\n                 (client submit) mint a wire trace id, propagate it to\n                 the daemon, and write one *stitched* Chrome trace per\n                 job under DIR combining the client's submit/wait spans\n                 with the daemon's queue/worker spans\n  --flight-dir DIR\n                 write flight-recorder snapshots (recent span/log\n                 events as JSON) under DIR on panics, timeouts and\n                 error verdicts — and on 'dump_flight' requests\n  --log-level LVL\n                 daemon stderr log threshold: error|warn|info|debug\n                 (default info)\n  --log-json     emit daemon logs as JSON lines instead of plain text\n  --job-timeout SECS\n                 per-job verification deadline: a job still unverified\n                 after SECS is stopped cooperatively and reported with\n                 a 'timeout' verdict\n  --max-queue N  refuse submissions once N jobs are queued (daemon\n                 backpressure; structured 'overloaded' reply)\n  --max-per-client N\n                 bound one connection's queued+running jobs to N\n                 (client-scoped 'overloaded' reply)\n  --drain-timeout SECS\n                 bound on 'shutdown --drain' backlog completion\n                 (default 30)\n  --metrics-addr HOST:PORT\n                 serve Prometheus text metrics at http://HOST:PORT/metrics\n  --priority N   scheduling priority for submitted jobs (higher first)\n  --drain        (client shutdown) finish the whole backlog before the\n                 daemon stops, instead of dropping queued jobs\n\nenvironment:\n  NQPV_FAULTS=<seed>:<site>[*<cap>],…\n                 arm the deterministic fault-injection harness (sites:\n                 worker_panic, solver_delay, disk_read, disk_write,\n                 conn_drop); inert when unset\n  NQPV_KERNEL_THREADS=N\n                 default kernel thread count when --kernel-threads\n                 is not given"
     );
     ExitCode::from(2)
 }
@@ -285,6 +285,7 @@ fn cmd_batch(rest: &[String], infer: bool) -> ExitCode {
     let mut cache_max_bytes: Option<u64> = None;
     let mut job_timeout: Option<Duration> = None;
     let mut trace_dir: Option<&str> = None;
+    let mut flight_dir: Option<&str> = None;
     let mut screen = true;
     let mut target: Option<&str> = None;
     let mut it = rest.iter();
@@ -325,6 +326,13 @@ fn cmd_batch(rest: &[String], infer: bool) -> ExitCode {
                 };
                 trace_dir = Some(dir);
             }
+            "--flight-dir" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("error: --flight-dir expects a directory");
+                    return ExitCode::from(2);
+                };
+                flight_dir = Some(dir);
+            }
             "--json" => json = true,
             "--no-cache" => use_cache = false,
             "--no-bin" => bin_jobs = false,
@@ -345,6 +353,9 @@ fn cmd_batch(rest: &[String], infer: bool) -> ExitCode {
         eprintln!("error: batch expects a DIR or MANIFEST");
         return usage();
     };
+    // Batch runs log to stderr at the daemon's default threshold so
+    // worker panics and flight dumps are visible without a flag.
+    nqpv_telemetry::log::init(nqpv_telemetry::log::Level::Info, false);
     let disk = match cache_dir {
         Some(dir) if use_cache => match DiskCache::open_with_budget(dir, cache_max_bytes) {
             Ok(d) => Some(Arc::new(d)),
@@ -368,10 +379,12 @@ fn cmd_batch(rest: &[String], infer: bool) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if let Some(dir) = trace_dir {
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("error: cannot create trace directory '{dir}': {e}");
-            return ExitCode::from(2);
+    for (dir, what) in [(trace_dir, "trace"), (flight_dir, "flight")] {
+        if let Some(dir) = dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: cannot create {what} directory '{dir}': {e}");
+                return ExitCode::from(2);
+            }
         }
     }
     let report = run_batch(
@@ -384,6 +397,7 @@ fn cmd_batch(rest: &[String], infer: bool) -> ExitCode {
             bin_jobs,
             explain,
             trace_dir: trace_dir.map(std::path::PathBuf::from),
+            flight_dir: flight_dir.map(std::path::PathBuf::from),
             job_timeout,
             vc: {
                 let mut vc = VcOptions {
@@ -467,6 +481,21 @@ fn cmd_serve(rest: &[String], infer: bool) -> ExitCode {
             },
             "--no-cache" => opts.use_cache = false,
             "--explain" => opts.explain = true,
+            "--flight-dir" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("error: --flight-dir expects a directory");
+                    return ExitCode::from(2);
+                };
+                opts.flight_dir = Some(dir.into());
+            }
+            "--log-level" => match it.next().and_then(|v| nqpv_telemetry::log::Level::parse(v)) {
+                Some(level) => opts.log_level = level,
+                None => {
+                    eprintln!("error: --log-level expects error|warn|info|debug");
+                    return ExitCode::from(2);
+                }
+            },
+            "--log-json" => opts.log_json = true,
             "--metrics-addr" => {
                 let Some(a) = it.next() else {
                     eprintln!("error: --metrics-addr expects HOST:PORT");
@@ -567,11 +596,16 @@ fn client_oneshot(client: &mut Client, req: &Request) -> std::io::Result<ExitCod
     })
 }
 
-/// `client ADDR submit [--priority N] PATH…` — submits each path (file,
-/// directory or manifest), then streams events until every accepted job
-/// has its verdict. Exit 0 iff all verified.
+/// `client ADDR submit [--priority N] [--trace-out DIR] PATH…` — submits
+/// each path (file, directory or manifest), then streams events until
+/// every accepted job has its verdict. With `--trace-out`, a wire trace
+/// id minted here rides along on the submission; once the verdicts are
+/// in, the daemon half of each job's trace is fetched and stitched with
+/// the client's own spans into `DIR/<job>.trace.json`. Exit 0 iff all
+/// verified.
 fn client_submit(client: &mut Client, rest: &[String]) -> std::io::Result<ExitCode> {
     let mut priority: i64 = 0;
+    let mut trace_out: Option<&str> = None;
     let mut paths: Vec<&String> = Vec::new();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -582,6 +616,13 @@ fn client_submit(client: &mut Client, rest: &[String]) -> std::io::Result<ExitCo
                     return Ok(ExitCode::from(2));
                 };
                 priority = p;
+            }
+            "--trace-out" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("error: --trace-out expects a directory");
+                    return Ok(ExitCode::from(2));
+                };
+                trace_out = Some(dir);
             }
             other if other.starts_with('-') => {
                 eprintln!("error: unknown submit flag '{other}'");
@@ -594,6 +635,21 @@ fn client_submit(client: &mut Client, rest: &[String]) -> std::io::Result<ExitCo
         eprintln!("error: submit expects at least one PATH");
         return Ok(ExitCode::from(2));
     }
+    if let Some(dir) = trace_out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create trace directory '{dir}': {e}");
+            return Ok(ExitCode::from(2));
+        }
+    }
+    // One wire trace id covers the whole submit command: every job
+    // submitted here shares it, the daemon tags its queue/worker spans
+    // with it, and the client records its own half under the same id.
+    let ctx = trace_out.map(|_| nqpv_telemetry::TraceContext::mint());
+    let trace_hex = ctx.map(|c| c.to_hex());
+    let tracer = match ctx {
+        Some(c) => nqpv_telemetry::Tracer::create_with(true, c),
+        None => nqpv_telemetry::Tracer::DISABLED,
+    };
     // Transient failures — a dropped connection, an overloaded refusal —
     // retry with backoff. A reconnect orphans the event subscriptions of
     // everything submitted earlier in this sequence (subscriptions are
@@ -602,9 +658,11 @@ fn client_submit(client: &mut Client, rest: &[String]) -> std::io::Result<ExitCo
     // (warm cache), hanging on verdicts that can never arrive is not.
     let policy = RetryPolicy::default();
     let mut pending = std::collections::HashSet::new();
+    let mut names = std::collections::HashMap::new();
     for pass in 0.. {
         let mut orphaned = false;
         pending.clear();
+        names.clear();
         for path in &paths {
             let generation = client.reconnects();
             // `.nqpv` files go up as single jobs; everything else —
@@ -619,14 +677,22 @@ fn client_submit(client: &mut Client, rest: &[String]) -> std::io::Result<ExitCo
                 Request::SubmitPath {
                     path: (*path).clone(),
                     priority,
+                    trace: trace_hex.clone(),
                 }
             } else {
                 Request::SubmitDir {
                     path: (*path).clone(),
                     priority,
+                    trace: trace_hex.clone(),
                 }
             };
-            match client.submit_with_retry(&req, &policy) {
+            let mut span = tracer.span(nqpv_telemetry::Phase::Other, "submit");
+            if span.recording() {
+                span.arg("path", nqpv_telemetry::ArgValue::Str((*path).clone()));
+            }
+            let submitted = client.submit_with_retry(&req, &policy);
+            drop(span);
+            match submitted {
                 Ok(accepted) => {
                     if client.reconnects() != generation && !pending.is_empty() {
                         orphaned = true;
@@ -636,7 +702,8 @@ fn client_submit(client: &mut Client, rest: &[String]) -> std::io::Result<ExitCo
                         .map(|(id, name)| format!("{{\"id\":{id},\"name\":{}}}", json_str(name)))
                         .collect();
                     println!("{{\"event\":\"accepted\",\"jobs\":[{}]}}", ids.join(","));
-                    pending.extend(accepted.into_iter().map(|(id, _)| id));
+                    pending.extend(accepted.iter().map(|(id, _)| *id));
+                    names.extend(accepted);
                 }
                 Err(e) => {
                     eprintln!("error: submitting '{path}': {e}");
@@ -653,6 +720,10 @@ fn client_submit(client: &mut Client, rest: &[String]) -> std::io::Result<ExitCo
         }
     }
     let mut all_verified = true;
+    let mut wait_span = tracer.span(nqpv_telemetry::Phase::Other, "wait_verdicts");
+    if wait_span.recording() {
+        wait_span.arg("jobs", nqpv_telemetry::ArgValue::U64(pending.len() as u64));
+    }
     while !pending.is_empty() {
         let Some(event) = client.next_event()? else {
             eprintln!("error: daemon closed the connection early");
@@ -662,6 +733,26 @@ fn client_submit(client: &mut Client, rest: &[String]) -> std::io::Result<ExitCo
         if let Event::Verdict(v) = event {
             if pending.remove(&v.id) && v.status != "verified" {
                 all_verified = false;
+            }
+        }
+    }
+    drop(wait_span);
+    if let (Some(dir), Some(hex)) = (trace_out, &trace_hex) {
+        let client_half = tracer
+            .finish()
+            .unwrap_or_default()
+            .chrome_events_json(1, "client");
+        for (id, name) in &names {
+            match client.fetch_trace(*id) {
+                Ok((_, _, daemon_half)) => {
+                    let stitched =
+                        nqpv_telemetry::stitch_chrome_json(hex, &[&client_half, &daemon_half]);
+                    let file = Path::new(dir).join(format!("{name}.trace.json"));
+                    if let Err(e) = std::fs::write(&file, stitched) {
+                        eprintln!("warning: cannot write trace '{}': {e}", file.display());
+                    }
+                }
+                Err(e) => eprintln!("warning: no daemon trace for job {id} ({name}): {e}"),
             }
         }
     }

@@ -189,6 +189,17 @@ impl Session {
                         .map_err(SessionError::Library)?;
                 }
                 Command::Def(Decl::Proof { name, term }) => {
+                    // One span per proof: brackets the whole wp+solver
+                    // cascade so a multi-proof file's trace shows where
+                    // each proof's time went.
+                    let mut span = self.opts.tracer.span(nqpv_telemetry::Phase::Other, "proof");
+                    if span.recording() {
+                        span.arg("name", nqpv_telemetry::ArgValue::Str(name.clone()));
+                        span.arg(
+                            "qubits",
+                            nqpv_telemetry::ArgValue::U64(term.qubits.len() as u64),
+                        );
+                    }
                     let empty = HashMap::new();
                     let rankings = self.rankings.get(name).unwrap_or(&empty);
                     let outcome = verify_proof_term_with(

@@ -1,0 +1,204 @@
+//! Static verification-cost prediction: estimate how expensive a job
+//! will be *before* running it, from the parsed program alone.
+//!
+//! The ROADMAP's cluster direction needs informed placement — FIFO with
+//! priorities cannot tell a 2-qubit smoke test from Grover-12. This
+//! module is the measurement seam that makes a cost model trustworthy:
+//! a deterministic predictor applied at admission, whose estimate is
+//! compared against the job's actual wall time at completion and
+//! exported as the `nqpv_cost_prediction_ratio` histogram. Once the
+//! ratio distribution is tight, the same units can drive admission
+//! control and scheduling.
+//!
+//! The estimate mirrors where the verifier actually spends time: the
+//! backward wp pass touches operators of dimension `4^n` per statement
+//! (local-form superoperators keep the per-statement factor near
+//! `4^n·2^k`), loops iterate the Kleene/invariant machinery, and every
+//! assertion term becomes a solver obligation. So:
+//!
+//! ```text
+//! units(proof)  = dim_weight(n) · stmt_weight(body) + obligations
+//! dim_weight(n) = 4^min(n,12) / 16, at least 1
+//! ```
+//!
+//! with `stmt_weight` a weighted AST walk (loops multiply their body by
+//! [`LOOP_FACTOR`], nondeterministic branches sum — the demon explores
+//! both). One unit is calibrated to [`UNIT_SECONDS`] of single-threaded
+//! wall time on a warm cache; the histogram tells us how wrong that is.
+
+use nqpv_lang::{parse_source, Command, Decl, Stmt};
+
+/// Assumed loop iteration count: loops dominate wp cost but their trip
+/// count is unknowable statically, so every `while` multiplies its body
+/// weight by this.
+pub const LOOP_FACTOR: u64 = 16;
+
+/// Calibration: predicted seconds per cost unit (used for the
+/// predicted-vs-actual ratio; the absolute scale matters less than its
+/// stability).
+pub const UNIT_SECONDS: f64 = 1e-6;
+
+/// A static cost estimate for one source file; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostEstimate {
+    /// Predicted cost in abstract units (≥ 1 for any non-empty source).
+    pub units: u64,
+    /// Widest proof register in the file.
+    pub qubits: u32,
+    /// Weighted statement count across all proofs.
+    pub statements: u64,
+    /// Number of `while` loops.
+    pub loops: u64,
+    /// Assertion terms (pre/post/cut/invariant predicate applications) —
+    /// each becomes at least one solver obligation.
+    pub obligations: u64,
+}
+
+impl CostEstimate {
+    /// Predicted wall-clock seconds under the [`UNIT_SECONDS`]
+    /// calibration.
+    pub fn predicted_seconds(&self) -> f64 {
+        self.units as f64 * UNIT_SECONDS
+    }
+}
+
+/// Predicts the cost of verifying `source`. Total: files that fail to
+/// parse get a byte-length fallback (they still occupy a worker long
+/// enough to parse and fail), so admission control can always price a
+/// job.
+pub fn predict_source(source: &str) -> CostEstimate {
+    let Ok(file) = parse_source(source) else {
+        return CostEstimate {
+            units: (source.len() as u64 / 64).max(1),
+            ..CostEstimate::default()
+        };
+    };
+    let mut est = CostEstimate::default();
+    for cmd in &file.commands {
+        match cmd {
+            Command::Def(Decl::Proof { term, .. }) => {
+                let n = term.qubits.len() as u32;
+                let mut stmts = 0u64;
+                let mut loops = 0u64;
+                let mut obligations = 0u64;
+                stmt_weight(&term.body, &mut stmts, &mut loops, &mut obligations);
+                obligations += term.pre.as_ref().map_or(0, |a| a.terms.len() as u64);
+                obligations += term.post.terms.len() as u64;
+                est.qubits = est.qubits.max(n);
+                est.statements += stmts;
+                est.loops += loops;
+                est.obligations += obligations;
+                est.units += dim_weight(n)
+                    .saturating_mul(stmts.max(1))
+                    .saturating_add(obligations);
+            }
+            // An operator load costs one `.npy` read + registration.
+            Command::Def(Decl::LoadOperator { .. }) => est.units += 1,
+            Command::Show(_) => est.units += 1,
+        }
+    }
+    est.units = est.units.max(1);
+    est
+}
+
+/// `4^min(n,12) / 16`, at least 1: the per-statement dense-operator
+/// factor, capped so absurd registers don't overflow and discounted by
+/// the local-form/factored-assertion optimisations.
+fn dim_weight(n: u32) -> u64 {
+    (1u64 << (2 * n.min(12))) / 16
+}
+
+fn stmt_weight(s: &Stmt, stmts: &mut u64, loops: &mut u64, obligations: &mut u64) -> u64 {
+    let w = match s {
+        Stmt::Skip | Stmt::Abort => 1,
+        Stmt::Init { qubits } => 1 + qubits.len() as u64,
+        // A unitary conjugation sweeps the state twice (U·ρ·U†).
+        Stmt::Unitary { .. } => 2,
+        Stmt::Assert(a) => {
+            *obligations += a.terms.len() as u64;
+            a.terms.len() as u64
+        }
+        Stmt::Seq(ss) => ss
+            .iter()
+            .map(|s| stmt_weight(s, stmts, loops, obligations))
+            .sum(),
+        // The demon explores both branches; wp computes both.
+        Stmt::NDet(a, b) => {
+            stmt_weight(a, stmts, loops, obligations) + stmt_weight(b, stmts, loops, obligations)
+        }
+        // Two measurement projections plus both branches.
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            3 + stmt_weight(then_branch, stmts, loops, obligations)
+                + stmt_weight(else_branch, stmts, loops, obligations)
+        }
+        Stmt::While {
+            invariant, body, ..
+        } => {
+            *loops += 1;
+            if let Some(inv) = invariant {
+                *obligations += inv.terms.len() as u64;
+            }
+            let body_w = stmt_weight(body, stmts, loops, obligations);
+            (3 + body_w).saturating_mul(LOOP_FACTOR)
+        }
+    };
+    // Seq/NDet/If wrappers count the nested statements through recursion;
+    // count each node once here.
+    if !matches!(s, Stmt::Seq(_)) {
+        *stmts += 1;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = "def pf := proof [q] : { Pp[q] }; [q] *= H; { P0[q] } end";
+
+    #[test]
+    fn prediction_is_deterministic_and_positive() {
+        let a = predict_source(SMALL);
+        let b = predict_source(SMALL);
+        assert_eq!(a, b);
+        assert!(a.units >= 1);
+        assert_eq!(a.qubits, 1);
+        assert_eq!(a.obligations, 2, "pre + post");
+        assert_eq!(a.loops, 0);
+    }
+
+    #[test]
+    fn wider_registers_and_loops_cost_more() {
+        let wide = "def pf := proof [a b c d e] : { I[a] }; [a] *= H; [b] *= H; { I[a] } end";
+        let loopy = "def pf := proof [q] : { I[q] }; { inv : I[q] }; \
+                     while M01[q] do [q] *= H end; { I[q] } end";
+        let small = predict_source(SMALL);
+        let wide = predict_source(wide);
+        let loopy = predict_source(loopy);
+        assert!(wide.units > small.units, "{wide:?} vs {small:?}");
+        assert_eq!(wide.qubits, 5);
+        assert!(loopy.units > small.units, "{loopy:?} vs {small:?}");
+        assert_eq!(loopy.loops, 1);
+        assert!(loopy.obligations >= 3, "pre + post + invariant");
+    }
+
+    #[test]
+    fn unparseable_sources_get_a_total_fallback() {
+        let est = predict_source("not a program at all");
+        assert!(est.units >= 1);
+        assert_eq!(est.qubits, 0);
+        let big = predict_source(&"x".repeat(10_000));
+        assert!(big.units > est.units, "fallback scales with size");
+    }
+
+    #[test]
+    fn predicted_seconds_follow_the_calibration() {
+        let est = predict_source(SMALL);
+        let s = est.predicted_seconds();
+        assert!((s - est.units as f64 * UNIT_SECONDS).abs() < 1e-12);
+    }
+}

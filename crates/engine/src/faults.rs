@@ -207,7 +207,7 @@ pub fn global() -> &'static Faults {
     static GLOBAL: OnceLock<Faults> = OnceLock::new();
     GLOBAL.get_or_init(|| match std::env::var("NQPV_FAULTS") {
         Ok(spec) => Faults::parse(&spec).unwrap_or_else(|e| {
-            eprintln!("warning: ignoring NQPV_FAULTS: {e}");
+            nqpv_telemetry::log::warn("faults", 0, &format!("ignoring NQPV_FAULTS: {e}"), &[]);
             Faults::inert()
         }),
         Err(_) => Faults::inert(),

@@ -40,6 +40,7 @@
 
 mod cache;
 mod corpus;
+pub mod cost;
 mod disk;
 pub mod faults;
 mod pool;

@@ -16,7 +16,9 @@ use crate::corpus::{Corpus, Job};
 use crate::report::{BatchReport, JobReport, JobStatus, ProofReport};
 use nqpv_core::{Session, VcOptions};
 use nqpv_linalg::par;
-use nqpv_telemetry::{Deadline, Phase, Tracer};
+use nqpv_telemetry::{
+    flight, log as tlog, wall_clock_us, ArgValue, Deadline, Phase, Tracer, COST_RATIO_BOUNDS,
+};
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -58,6 +60,11 @@ pub struct BatchOptions {
     /// statement and solver-obligation boundaries and surfaces as
     /// [`JobStatus::Timeout`] — the worker and its cache survive.
     pub job_timeout: Option<Duration>,
+    /// Snapshot the in-process flight recorder
+    /// ([`nqpv_telemetry::flight`]) into this directory whenever a job
+    /// panics, times out or errors (`nqpv batch --flight-dir DIR`): the
+    /// last-moments event log of a failing run, written post-mortem.
+    pub flight_dir: Option<PathBuf>,
 }
 
 impl Default for BatchOptions {
@@ -72,6 +79,7 @@ impl Default for BatchOptions {
             explain: false,
             trace_dir: None,
             job_timeout: None,
+            flight_dir: None,
         }
     }
 }
@@ -100,6 +108,10 @@ pub struct SourcedJob {
     pub seq: usize,
     /// The job to verify.
     pub job: Job,
+    /// Wall-clock epoch microseconds at which the job entered its queue
+    /// (`0` = unknown). The worker's tracer turns the gap between this
+    /// and pickup into a `queue_wait` span on the job's own timeline.
+    pub queued_wall_us: u64,
 }
 
 /// Where pool workers pull their jobs from.
@@ -160,6 +172,7 @@ pub fn run_pool(
     explain: bool,
     trace_dir: Option<&Path>,
     job_timeout: Option<Duration>,
+    flight_dir: Option<&Path>,
 ) {
     let workers = workers.max(1);
     std::thread::scope(|scope| {
@@ -168,6 +181,16 @@ pub fn run_pool(
             scope.spawn(move || {
                 while let Some(sourced) = source.next(w) {
                     observer.job_started(sourced.seq, &sourced.job, w);
+                    tlog::debug(
+                        "pool",
+                        sourced.job.trace.trace_id,
+                        "job picked up",
+                        &[
+                            ("job", &sourced.job.name),
+                            ("worker", &w.to_string()),
+                            ("cost", &sourced.job.cost.to_string()),
+                        ],
+                    );
                     let report = run_job_isolated(
                         &sourced.job,
                         vc,
@@ -176,6 +199,8 @@ pub fn run_pool(
                         explain,
                         trace_dir,
                         job_timeout,
+                        flight_dir,
+                        sourced.queued_wall_us,
                     );
                     observer.job_finished(sourced.seq, &report);
                 }
@@ -208,6 +233,12 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// linalg sweeps — so one giant gate application cannot outlive its
 /// budget. A [`par::KernelTimeout`] unwind is a timeout, not a fault: it
 /// maps straight to [`JobStatus::Timeout`] with no retry.
+///
+/// With `flight_dir`, a panic, timeout or error verdict additionally
+/// snapshots the process-wide flight recorder into that directory — a
+/// post-mortem of the run's last moments, cross-referenced to the job's
+/// wire trace id when one is active.
+#[allow(clippy::too_many_arguments)]
 pub fn run_job_isolated(
     job: &Job,
     vc: VcOptions,
@@ -216,10 +247,12 @@ pub fn run_job_isolated(
     explain: bool,
     trace_dir: Option<&Path>,
     job_timeout: Option<Duration>,
+    flight_dir: Option<&Path>,
+    queued_wall_us: u64,
 ) -> JobReport {
     let t0 = Instant::now();
     let mut last_panic = String::new();
-    for _attempt in 0..2 {
+    for attempt in 0..2u32 {
         let vc = match job_timeout {
             Some(budget) => vc.with_deadline(Deadline::after(budget)),
             None => vc,
@@ -227,11 +260,27 @@ pub fn run_job_isolated(
         let kernel_deadline = job_timeout.map(|budget| Instant::now() + budget);
         let outcome = par::with_job_deadline(kernel_deadline, || {
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                run_job_traced(job, vc, cache.clone(), worker, explain, trace_dir)
+                job_attempt(
+                    job,
+                    vc,
+                    cache.clone(),
+                    worker,
+                    explain,
+                    trace_dir,
+                    queued_wall_us,
+                    attempt,
+                )
             }))
         });
         match outcome {
-            Ok(report) => return report,
+            Ok(report) => {
+                match &report.status {
+                    JobStatus::Timeout { .. } => flight_dump(flight_dir, "timeout", job),
+                    JobStatus::Error { .. } => flight_dump(flight_dir, "error", job),
+                    _ => {}
+                }
+                return report;
+            }
             Err(payload) if payload.is::<par::KernelTimeout>() => {
                 nqpv_telemetry::global()
                     .counter(
@@ -244,7 +293,14 @@ pub fn run_job_isolated(
                 let status = JobStatus::Timeout {
                     message: "job deadline exceeded inside a kernel sweep".to_string(),
                 };
+                tlog::warn(
+                    "pool",
+                    job.trace.trace_id,
+                    "job deadline exceeded inside a kernel sweep",
+                    &[("job", &job.name), ("worker", &worker.to_string())],
+                );
                 nqpv_telemetry::record_job(status.label(), secs, &Default::default());
+                flight_dump(flight_dir, "timeout", job);
                 return JobReport {
                     name: job.name.clone(),
                     path: job.path.as_ref().map(|p| p.display().to_string()),
@@ -254,6 +310,8 @@ pub fn run_job_isolated(
                     worker,
                     counterexamples: Vec::new(),
                     phases: Default::default(),
+                    predicted_cost: job.cost,
+                    trace_json: None,
                 };
             }
             Err(payload) => {
@@ -265,6 +323,18 @@ pub fn run_job_isolated(
                         &[],
                     )
                     .inc();
+                tlog::warn(
+                    "pool",
+                    job.trace.trace_id,
+                    "worker panicked; job will be retried once",
+                    &[
+                        ("job", &job.name),
+                        ("worker", &worker.to_string()),
+                        ("attempt", &attempt.to_string()),
+                        ("panic", &last_panic),
+                    ],
+                );
+                flight_dump(flight_dir, "panic", job);
             }
         }
     }
@@ -272,7 +342,14 @@ pub fn run_job_isolated(
     let status = JobStatus::Error {
         message: format!("worker panicked: {last_panic}"),
     };
+    tlog::error(
+        "pool",
+        job.trace.trace_id,
+        "job failed: panicked on both attempts",
+        &[("job", &job.name), ("panic", &last_panic)],
+    );
     nqpv_telemetry::record_job(status.label(), secs, &Default::default());
+    flight_dump(flight_dir, "panic", job);
     JobReport {
         name: job.name.clone(),
         path: job.path.as_ref().map(|p| p.display().to_string()),
@@ -282,7 +359,21 @@ pub fn run_job_isolated(
         worker,
         counterexamples: Vec::new(),
         phases: Default::default(),
+        predicted_cost: job.cost,
+        trace_json: None,
     }
+}
+
+/// Best-effort flight-recorder snapshot: a dump failure must never fail
+/// the job (post-mortems are evidence, not control flow).
+fn flight_dump(flight_dir: Option<&Path>, reason: &str, job: &Job) {
+    let Some(dir) = flight_dir else { return };
+    let hex = if job.trace.active() {
+        job.trace.to_hex()
+    } else {
+        String::new()
+    };
+    let _ = flight::dump_to(dir, reason, &job.name, &hex);
 }
 
 /// A drained-once job source over a fixed corpus with **verdict-cache
@@ -304,12 +395,16 @@ impl BinnedCorpusSource {
     /// Groups `corpus` for `workers` workers. `binned = false` yields
     /// singleton groups (pure work stealing).
     pub fn new(corpus: &Corpus, workers: usize, binned: bool) -> Self {
+        // Every batch job is "enqueued" when the source is built; the gap
+        // until a worker claims it is its queue wait.
+        let queued_wall_us = wall_clock_us();
         let mut groups: Vec<Vec<SourcedJob>> = Vec::new();
         let mut index: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
         for (seq, job) in corpus.jobs().iter().enumerate() {
             let sourced = SourcedJob {
                 seq,
                 job: job.clone(),
+                queued_wall_us,
             };
             if !binned {
                 groups.push(vec![sourced]);
@@ -397,6 +492,7 @@ pub fn run_batch(corpus: &Corpus, options: &BatchOptions) -> BatchReport {
             options.explain,
             options.trace_dir.as_deref(),
             options.job_timeout,
+            options.flight_dir.as_deref(),
         );
         slots = collector
             .slots
@@ -439,7 +535,10 @@ pub fn run_job(
 /// process-wide metrics registry); with `trace_dir` the tracer records
 /// full spans and a Chrome trace-event JSON file
 /// (`<dir>/<job>.trace.json`, `chrome://tracing`/Perfetto-loadable) is
-/// written when the job finishes.
+/// written when the job finishes. Jobs carrying an active wire
+/// [`TraceContext`](nqpv_telemetry::TraceContext) also record full spans
+/// and return them on [`JobReport::trace_json`] for cross-process
+/// stitching.
 pub fn run_job_traced(
     job: &Job,
     vc: VcOptions,
@@ -448,13 +547,75 @@ pub fn run_job_traced(
     explain: bool,
     trace_dir: Option<&Path>,
 ) -> JobReport {
+    job_attempt(job, vc, cache, worker, explain, trace_dir, 0, 0)
+}
+
+/// One verification attempt under a fresh tracer: the instrumented core
+/// of [`run_job_traced`] and [`run_job_isolated`]. `queued_wall_us != 0`
+/// back-fills a `queue_wait` span (the wait happened before this tracer
+/// existed); `attempt > 0` marks a post-panic retry on the timeline.
+#[allow(clippy::too_many_arguments)]
+fn job_attempt(
+    job: &Job,
+    vc: VcOptions,
+    cache: Option<Arc<MemoCache>>,
+    worker: usize,
+    explain: bool,
+    trace_dir: Option<&Path>,
+    queued_wall_us: u64,
+    attempt: u32,
+) -> JobReport {
     let t0 = Instant::now();
     // Deterministic chaos: the worker_panic site simulates a bug in the
     // verification path itself; the pool's panic shield must absorb it.
     if crate::faults::global().fire(crate::faults::WORKER_PANIC) {
         panic!("injected fault: {}", crate::faults::WORKER_PANIC);
     }
-    let tracer = Tracer::create(trace_dir.is_some());
+    let tracer = Tracer::create_with(trace_dir.is_some() || job.trace.active(), job.trace);
+    let picked_up_us = wall_clock_us();
+    if queued_wall_us != 0 && queued_wall_us <= picked_up_us {
+        // The queue wait ended where this worker span begins; record it
+        // retroactively on the job's own timeline.
+        tracer.record_external(
+            Phase::Queue,
+            "queue_wait",
+            queued_wall_us,
+            picked_up_us - queued_wall_us,
+            vec![("worker", ArgValue::U64(worker as u64))],
+        );
+    }
+    // The scheduler's placement decision, visible on the trace: which
+    // affinity bin the job hashed into and which worker claimed it.
+    tracer.record_external(
+        Phase::Queue,
+        "bin_place",
+        picked_up_us,
+        0,
+        vec![
+            ("bin", ArgValue::Str(format!("{:x}", job.bin))),
+            ("worker", ArgValue::U64(worker as u64)),
+            ("cost", ArgValue::U64(job.cost)),
+        ],
+    );
+    if vc.deadline.armed() {
+        let remaining_us = vc.deadline.remaining().map_or(0, |d| d.as_micros() as u64);
+        tracer.record_external(
+            Phase::Other,
+            "deadline_arm",
+            picked_up_us,
+            0,
+            vec![("remaining_us", ArgValue::U64(remaining_us))],
+        );
+    }
+    if attempt > 0 {
+        tracer.record_external(
+            Phase::Other,
+            "retry_attempt",
+            picked_up_us,
+            0,
+            vec![("attempt", ArgValue::U64(attempt as u64))],
+        );
+    }
     let vc = vc.with_tracer(tracer);
     let mut session = Session::new()
         .with_options(vc)
@@ -519,6 +680,36 @@ pub fn run_job_traced(
         let _ = std::fs::write(path, data.chrome_json(&job.name));
     }
     nqpv_telemetry::record_job(status.label(), secs, &data);
+    // Predicted-vs-actual cost accounting: how many times longer (or
+    // shorter) the job ran than its static estimate said it would.
+    let predicted_secs = job.cost as f64 * crate::cost::UNIT_SECONDS;
+    if predicted_secs > 0.0 {
+        nqpv_telemetry::global()
+            .histogram(
+                "nqpv_cost_prediction_ratio",
+                "Actual job seconds divided by statically predicted seconds.",
+                &[],
+                &COST_RATIO_BOUNDS,
+            )
+            .observe(secs / predicted_secs);
+    }
+    tlog::debug(
+        "pool",
+        job.trace.trace_id,
+        "job finished",
+        &[
+            ("job", &job.name),
+            ("status", status.label()),
+            ("ms", &format!("{:.3}", secs * 1e3)),
+            ("predicted_cost", &job.cost.to_string()),
+        ],
+    );
+    // The daemon's half of a cross-process trace: bare wall-clock events
+    // the client stitches under the wire trace id.
+    let trace_json = job
+        .trace
+        .active()
+        .then(|| data.chrome_events_json(2, &job.name));
     JobReport {
         name: job.name.clone(),
         path: job.path.as_ref().map(|p| p.display().to_string()),
@@ -528,6 +719,8 @@ pub fn run_job_traced(
         worker,
         counterexamples,
         phases: data.phases,
+        predicted_cost: job.cost,
+        trace_json,
     }
 }
 
@@ -794,6 +987,63 @@ mod tests {
                 job.name
             );
         }
+    }
+
+    #[test]
+    fn wire_traced_jobs_return_their_daemon_half_and_failures_dump_flight() {
+        use nqpv_telemetry::TraceContext;
+
+        let ctx = TraceContext::mint();
+        let single = Corpus::from_sources(vec![("ok", OK)]);
+        let job = single.jobs()[0].clone().with_trace(ctx);
+        let report = run_job_traced(&job, VcOptions::default(), None, 0, false, None);
+        assert!(matches!(report.status, JobStatus::Verified { .. }));
+        assert!(report.predicted_cost >= 1);
+        // An active wire context forces full recording even without a
+        // trace dir; the daemon's half comes back as a bare event array.
+        let events = report.trace_json.expect("active trace records events");
+        assert!(events.starts_with('['), "{events}");
+        assert!(events.ends_with(']'), "{events}");
+        assert!(events.contains("\"cat\":\"wp\""), "{events}");
+        assert!(events.contains("bin_place"), "{events}");
+        // Untraced jobs pay nothing: no event payload rides the report.
+        let plain = run_job_traced(
+            &single.jobs()[0],
+            VcOptions::default(),
+            None,
+            0,
+            false,
+            None,
+        );
+        assert!(plain.trace_json.is_none());
+
+        // An error verdict with a flight dir leaves a parseable dump
+        // naming the job's trace id.
+        let dir = std::env::temp_dir().join("nqpv_engine_flight_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let broken = Corpus::from_sources(vec![("broken", BROKEN)]);
+        let bjob = broken.jobs()[0].clone().with_trace(ctx);
+        let report = run_job_isolated(
+            &bjob,
+            VcOptions::default(),
+            None,
+            0,
+            false,
+            None,
+            None,
+            Some(&dir),
+            0,
+        );
+        assert!(matches!(report.status, JobStatus::Error { .. }));
+        let entries: Vec<_> = std::fs::read_dir(&dir)
+            .expect("flight dir created")
+            .filter_map(Result::ok)
+            .collect();
+        assert_eq!(entries.len(), 1, "exactly one dump for one error");
+        let text = std::fs::read_to_string(entries[0].path()).unwrap();
+        assert!(text.contains("\"reason\":\"error\""), "{text}");
+        assert!(text.contains(&ctx.to_hex()), "{text}");
+        assert!(text.contains("\"events\":["), "{text}");
     }
 
     #[test]

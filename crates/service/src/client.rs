@@ -272,6 +272,8 @@ impl Client {
                 | Event::Watching
                 | Event::ShuttingDown
                 | Event::Overloaded { .. }
+                | Event::Trace { .. }
+                | Event::FlightDump { .. }
                 | Event::Error { .. }) => return Ok(e),
                 job_event => self.buffered.push_back(job_event),
             }
@@ -284,10 +286,29 @@ impl Client {
     ///
     /// Socket failures, daemon-side rejections ([`io::ErrorKind::Other`]).
     pub fn submit_source(&mut self, name: &str, source: &str, priority: i64) -> io::Result<u64> {
+        self.submit_source_traced(name, source, priority, None)
+    }
+
+    /// [`Client::submit_source`] with an optional client-minted wire
+    /// trace id (hex): the daemon's worker spans inherit it, and the
+    /// server half of the trace can be fetched with
+    /// [`Client::fetch_trace`] after the verdict.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures, daemon-side rejections ([`io::ErrorKind::Other`]).
+    pub fn submit_source_traced(
+        &mut self,
+        name: &str,
+        source: &str,
+        priority: i64,
+        trace: Option<String>,
+    ) -> io::Result<u64> {
         let ids = self.submit(&Request::Submit {
             name: name.to_string(),
             source: source.to_string(),
             priority,
+            trace,
         })?;
         ids.first()
             .map(|(id, _)| *id)
@@ -306,18 +327,77 @@ impl Client {
         priority: i64,
         dir: bool,
     ) -> io::Result<Vec<(u64, String)>> {
+        self.submit_path_traced(path, priority, dir, None)
+    }
+
+    /// [`Client::submit_path`] with an optional wire trace id (hex)
+    /// shared by every accepted job; see [`Client::submit_source_traced`].
+    ///
+    /// # Errors
+    ///
+    /// Socket failures, daemon-side rejections ([`io::ErrorKind::Other`]).
+    pub fn submit_path_traced(
+        &mut self,
+        path: &str,
+        priority: i64,
+        dir: bool,
+        trace: Option<String>,
+    ) -> io::Result<Vec<(u64, String)>> {
         let req = if dir {
             Request::SubmitDir {
                 path: path.to_string(),
                 priority,
+                trace,
             }
         } else {
             Request::SubmitPath {
                 path: path.to_string(),
                 priority,
+                trace,
             }
         };
         self.submit(&req)
+    }
+
+    /// Fetches the daemon-side trace events of a finished traced job:
+    /// `(name, trace_hex, events_json)` where `events_json` is a bare
+    /// Chrome trace-event array to stitch with the client's own half.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures; a daemon-side `error` reply (unknown, unfinished
+    /// or untraced job) maps to [`io::ErrorKind::Other`].
+    pub fn fetch_trace(&mut self, id: u64) -> io::Result<(String, String, String)> {
+        match self.request(&Request::Trace { id })? {
+            Event::Trace {
+                name,
+                trace,
+                events,
+                ..
+            } => Ok((name, trace, events.to_string())),
+            Event::Error { message } => Err(io::Error::other(message)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected reply {other:?}"),
+            )),
+        }
+    }
+
+    /// Asks the daemon for an on-demand flight-recorder snapshot:
+    /// `(daemon_side_path, dump_json)`.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures and unexpected replies.
+    pub fn dump_flight(&mut self) -> io::Result<(Option<String>, String)> {
+        match self.request(&Request::DumpFlight)? {
+            Event::FlightDump { path, dump } => Ok((path, dump.to_string())),
+            Event::Error { message } => Err(io::Error::other(message)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected reply {other:?}"),
+            )),
+        }
     }
 
     fn submit(&mut self, req: &Request) -> io::Result<Vec<(u64, String)>> {

@@ -27,6 +27,7 @@
 //!   layered over a persistent [`DiskCache`], so verdicts survive
 //!   restarts and are shared with `nqpv batch --cache-dir` runs.
 
+use crate::json::Json;
 use crate::proto::{verdict_event, Event, QueueStats, Request};
 use crate::queue::JobQueue;
 use nqpv_core::VcOptions;
@@ -34,8 +35,8 @@ use nqpv_engine::{
     faults, record_cache_metrics, run_pool, Corpus, DiskCache, Job, JobReport, JobStatus,
     MemoCache, PoolObserver,
 };
-use nqpv_telemetry::MetricsServer;
-use std::collections::{BTreeSet, HashSet};
+use nqpv_telemetry::{flight, log as tlog, MetricsServer, TraceContext};
+use std::collections::{BTreeSet, HashSet, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -100,6 +101,17 @@ pub struct ServeOptions {
     /// and after writes to keep the store under `N` bytes. `None` =
     /// unbounded.
     pub cache_max_bytes: Option<u64>,
+    /// Flight-recorder dump directory (`--flight-dir DIR`): job panics,
+    /// timeouts and error verdicts snapshot the in-process flight
+    /// recorder here, and `dump_flight` requests write here too. `None`
+    /// keeps the recorder in memory only (on-demand dumps still answer
+    /// over the wire).
+    pub flight_dir: Option<PathBuf>,
+    /// Structured-log threshold (`--log-level L`); events below it still
+    /// feed the flight recorder but are not written to stderr.
+    pub log_level: tlog::Level,
+    /// Emit stderr logs as JSON lines (`--log-json`) instead of text.
+    pub log_json: bool,
 }
 
 impl Default for ServeOptions {
@@ -118,6 +130,41 @@ impl Default for ServeOptions {
             drain_timeout: Duration::from_secs(30),
             max_per_client: None,
             cache_max_bytes: None,
+            flight_dir: None,
+            log_level: tlog::Level::Info,
+            log_json: false,
+        }
+    }
+}
+
+/// How many finished traced jobs' daemon-side spans the daemon retains
+/// for `trace` fetches; the oldest entry is evicted beyond this.
+const TRACE_STORE_CAP: usize = 256;
+
+/// Bounded FIFO of finished traced jobs' daemon-side Chrome trace
+/// events, keyed by job id — the server half a client stitches after its
+/// verdict arrives.
+#[derive(Default)]
+struct TraceStore {
+    map: std::collections::HashMap<u64, (String, String, String)>,
+    order: VecDeque<u64>,
+}
+
+impl TraceStore {
+    fn insert(&mut self, id: u64, name: String, trace_hex: String, events: String) {
+        if self.map.insert(id, (name, trace_hex, events)).is_none() {
+            self.order.push_back(id);
+        }
+        while self.order.len() > TRACE_STORE_CAP {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+                tlog::debug(
+                    "daemon",
+                    0,
+                    "trace store evicted oldest entry",
+                    &[("id", &old.to_string())],
+                );
+            }
         }
     }
 }
@@ -167,6 +214,13 @@ struct Shared {
     cancelled: AtomicU64,
     /// The `--max-per-client` bound, checked at admission.
     max_per_client: Option<usize>,
+    /// Wire trace ids (hex) of in-flight traced jobs, keyed by job id.
+    pending_traces: Mutex<std::collections::HashMap<u64, String>>,
+    /// Finished traced jobs' daemon-side spans, served to `trace`
+    /// requests (bounded — see [`TRACE_STORE_CAP`]).
+    traces: Mutex<TraceStore>,
+    /// Where flight dumps land (`--flight-dir`), shared with the pool.
+    flight_dir: Option<PathBuf>,
     /// Set while a `shutdown --drain` works off the backlog: admissions
     /// are refused, everything else keeps serving.
     draining: AtomicBool,
@@ -255,12 +309,32 @@ impl Shared {
     /// follows.
     fn drain(&self) {
         self.draining.store(true, Ordering::SeqCst);
+        tlog::info(
+            "daemon",
+            0,
+            "drain started: admissions refused, working off backlog",
+            &[
+                ("queued", &self.queue.len().to_string()),
+                ("running", &self.running.load(Ordering::Relaxed).to_string()),
+            ],
+        );
         let deadline = Instant::now() + self.drain_timeout;
         while (!self.queue.is_empty() || self.running.load(Ordering::Relaxed) > 0)
             && Instant::now() < deadline
         {
             std::thread::sleep(Duration::from_millis(10));
         }
+        let leftover = self.queue.len() + self.running.load(Ordering::Relaxed) as usize;
+        tlog::info(
+            "daemon",
+            0,
+            if leftover == 0 {
+                "drain finished: backlog empty"
+            } else {
+                "drain deadline passed with jobs still pending"
+            },
+            &[("pending", &leftover.to_string())],
+        );
     }
 
     fn begin_shutdown(&self) {
@@ -281,6 +355,12 @@ impl Shared {
 impl PoolObserver for Shared {
     fn job_started(&self, seq: usize, job: &Job, worker: usize) {
         self.running.fetch_add(1, Ordering::Relaxed);
+        if job.trace.active() {
+            self.pending_traces
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(seq as u64, job.trace.to_hex());
+        }
         let line = Event::Running {
             id: seq as u64,
             name: job.name.clone(),
@@ -304,7 +384,18 @@ impl PoolObserver for Shared {
             }
             _ => {}
         }
-        let line = verdict_event(seq as u64, report).to_line();
+        let trace_hex = self
+            .pending_traces
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&(seq as u64));
+        if let (Some(hex), Some(events)) = (&trace_hex, &report.trace_json) {
+            self.traces
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(seq as u64, report.name.clone(), hex.clone(), events.clone());
+        }
+        let line = verdict_event(seq as u64, report, trace_hex).to_line();
         self.publish(Some(seq as u64), &line);
         // The job is terminal: drop it from every submitter's
         // subscription, so a connection's id set measures its in-flight
@@ -340,6 +431,7 @@ impl Daemon {
     /// Bind failures, and [`DiskCache::open`] failures (bad directory,
     /// version mismatch) when `cache_dir` is set.
     pub fn start(opts: ServeOptions) -> std::io::Result<Daemon> {
+        tlog::init(opts.log_level, opts.log_json);
         let disk = match (&opts.cache_dir, opts.use_cache) {
             (Some(dir), true) => Some(Arc::new(DiskCache::open_with_budget(
                 dir,
@@ -367,6 +459,9 @@ impl Daemon {
             timed_out: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
             max_per_client: opts.max_per_client,
+            pending_traces: Mutex::new(std::collections::HashMap::new()),
+            traces: Mutex::new(TraceStore::default()),
+            flight_dir: opts.flight_dir.clone(),
             draining: AtomicBool::new(false),
             drain_timeout: opts.drain_timeout,
             shutdown: AtomicBool::new(false),
@@ -411,6 +506,7 @@ impl Daemon {
                     explain,
                     None,
                     job_timeout,
+                    shared.flight_dir.as_deref(),
                 );
             })
         };
@@ -659,6 +755,15 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>, conn_id: u64) {
         shared
             .cancelled
             .fetch_add(cancelled as u64, Ordering::Relaxed);
+        tlog::info(
+            "daemon",
+            0,
+            "cancelled queued jobs of a disconnected client",
+            &[
+                ("conn", &conn_id.to_string()),
+                ("cancelled", &cancelled.to_string()),
+            ],
+        );
     }
     sub.dead.store(true, Ordering::Relaxed);
     shared
@@ -691,22 +796,39 @@ fn handle_request(req: Request, sub: &Arc<Subscriber>, shared: &Arc<Shared>) -> 
             name,
             source,
             priority,
+            trace,
         } => submit_jobs(
-            vec![Job::new(name, None, source, PathBuf::from("."))],
+            with_trace(
+                vec![Job::new(name, None, source, PathBuf::from("."))],
+                &trace,
+            ),
             priority,
             sub,
             shared,
         ),
-        Request::SubmitPath { path, priority } => {
+        Request::SubmitPath {
+            path,
+            priority,
+            trace,
+        } => {
             let path = PathBuf::from(path);
             match Corpus::from_paths(&[path]) {
                 Err(e) => Event::Error {
                     message: e.to_string(),
                 },
-                Ok(corpus) => submit_jobs(corpus.jobs().to_vec(), priority, sub, shared),
+                Ok(corpus) => submit_jobs(
+                    with_trace(corpus.jobs().to_vec(), &trace),
+                    priority,
+                    sub,
+                    shared,
+                ),
             }
         }
-        Request::SubmitDir { path, priority } => {
+        Request::SubmitDir {
+            path,
+            priority,
+            trace,
+        } => {
             let path = PathBuf::from(path);
             let corpus = if path.is_dir() {
                 Corpus::from_dir(&path)
@@ -717,10 +839,51 @@ fn handle_request(req: Request, sub: &Arc<Subscriber>, shared: &Arc<Shared>) -> 
                 Err(e) => Event::Error {
                     message: e.to_string(),
                 },
-                Ok(corpus) => submit_jobs(corpus.jobs().to_vec(), priority, sub, shared),
+                Ok(corpus) => submit_jobs(
+                    with_trace(corpus.jobs().to_vec(), &trace),
+                    priority,
+                    sub,
+                    shared,
+                ),
             }
         }
+        Request::Trace { id } => {
+            let traces = shared.traces.lock().unwrap_or_else(|e| e.into_inner());
+            match traces.map.get(&id) {
+                Some((name, trace_hex, events)) => Event::Trace {
+                    id,
+                    name: name.clone(),
+                    trace: trace_hex.clone(),
+                    events: Json::parse(events).unwrap_or(Json::Arr(Vec::new())),
+                },
+                None => Event::Error {
+                    message: format!(
+                        "no trace for job {id} (unknown, unfinished, untraced, or evicted)"
+                    ),
+                },
+            }
+        }
+        Request::DumpFlight => {
+            let path = shared.flight_dir.as_deref().and_then(|dir| {
+                flight::dump_to(dir, "request", "daemon", "")
+                    .ok()
+                    .map(|p| p.display().to_string())
+            });
+            let dump =
+                Json::parse(&flight::render_dump("request", "daemon", "")).unwrap_or(Json::Null);
+            Event::FlightDump { path, dump }
+        }
     }
+}
+
+/// Attaches a wire-propagated trace context to every job of a
+/// submission. An unparseable id is ignored (the job just runs
+/// untraced) — observability must never refuse work.
+fn with_trace(jobs: Vec<Job>, trace: &Option<String>) -> Vec<Job> {
+    let Some(ctx) = trace.as_deref().and_then(TraceContext::from_hex) else {
+        return jobs;
+    };
+    jobs.into_iter().map(|j| j.with_trace(ctx)).collect()
 }
 
 /// Queues `jobs`, auto-subscribes the submitter, publishes `queued`
@@ -735,6 +898,12 @@ fn submit_jobs(
     shared: &Arc<Shared>,
 ) -> Event {
     if shared.draining.load(Ordering::SeqCst) {
+        tlog::info(
+            "daemon",
+            0,
+            "submission refused: daemon is draining",
+            &[("jobs", &jobs.len().to_string())],
+        );
         return Event::Error {
             message: "daemon is draining — not accepting new jobs".to_string(),
         };
@@ -748,6 +917,16 @@ fn submit_jobs(
             shared
                 .rejected
                 .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+            tlog::warn(
+                "daemon",
+                0,
+                "submission refused at the per-client bound",
+                &[
+                    ("inflight", &inflight.to_string()),
+                    ("bound", &cap.to_string()),
+                    ("jobs", &jobs.len().to_string()),
+                ],
+            );
             return Event::Overloaded {
                 queued: inflight as u64,
                 max_queue: cap as u64,
@@ -761,6 +940,16 @@ fn submit_jobs(
             shared
                 .rejected
                 .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+            tlog::warn(
+                "daemon",
+                0,
+                "submission refused at the --max-queue admission bound",
+                &[
+                    ("queued", &over.queued.to_string()),
+                    ("max_queue", &over.max_queue.to_string()),
+                    ("jobs", &jobs.len().to_string()),
+                ],
+            );
             return Event::Overloaded {
                 queued: over.queued as u64,
                 max_queue: over.max_queue as u64,
@@ -777,6 +966,19 @@ fn submit_jobs(
     for (id, job) in ids.into_iter().zip(jobs) {
         let name = job.name.clone();
         let bin = job.bin;
+        // Cost-at-admission: the static prediction that `verdict` events
+        // later pair with actual wall time.
+        tlog::debug(
+            "daemon",
+            job.trace.trace_id,
+            "job admitted",
+            &[
+                ("id", &id.to_string()),
+                ("job", &name),
+                ("priority", &priority.to_string()),
+                ("predicted_cost", &job.cost.to_string()),
+            ],
+        );
         // Reserve → subscribe → announce → publish: the job only becomes
         // poppable after the submitter is subscribed, so `running` /
         // `verdict` events can never race past the subscription.

@@ -34,6 +34,11 @@ pub enum Request {
         source: String,
         /// Scheduling priority (higher runs sooner; 0 default).
         priority: i64,
+        /// Client-minted wire trace id (hex). When present, every daemon
+        /// span for the job inherits it and the worker's trace events can
+        /// be fetched afterwards with [`Request::Trace`]. Versioned by
+        /// field presence — old daemons ignore it.
+        trace: Option<String>,
     },
     /// Verify one `.nqpv` file on the daemon's filesystem.
     SubmitPath {
@@ -41,6 +46,8 @@ pub enum Request {
         path: String,
         /// Scheduling priority.
         priority: i64,
+        /// Client-minted wire trace id (hex); see [`Request::Submit`].
+        trace: Option<String>,
     },
     /// Verify a whole corpus: every `.nqpv` under a directory, or the
     /// entries of a manifest file.
@@ -49,7 +56,21 @@ pub enum Request {
         path: String,
         /// Scheduling priority shared by all jobs of the corpus.
         priority: i64,
+        /// Client-minted wire trace id (hex), shared by every job of the
+        /// corpus; see [`Request::Submit`].
+        trace: Option<String>,
     },
+    /// Fetch the daemon-side trace events of a finished traced job (one
+    /// submitted with a `trace` id). Answered with [`Event::Trace`], or
+    /// [`Event::Error`] when the job is unknown, unfinished or untraced.
+    Trace {
+        /// The job id from the `accepted` reply.
+        id: u64,
+    },
+    /// Snapshot the daemon's flight recorder on demand. Answered with
+    /// [`Event::FlightDump`]; when the daemon runs with `--flight-dir`
+    /// the dump is also written there.
+    DumpFlight,
     /// Subscribe this connection to every job's events.
     Watch,
     /// Queue/cache counters.
@@ -75,22 +96,51 @@ impl Request {
                 name,
                 source,
                 priority,
-            } => obj(vec![
-                ("cmd", s("submit")),
-                ("name", s(name.clone())),
-                ("source", s(source.clone())),
-                ("priority", n(*priority as f64)),
-            ]),
-            Request::SubmitPath { path, priority } => obj(vec![
-                ("cmd", s("submit_path")),
-                ("path", s(path.clone())),
-                ("priority", n(*priority as f64)),
-            ]),
-            Request::SubmitDir { path, priority } => obj(vec![
-                ("cmd", s("submit_dir")),
-                ("path", s(path.clone())),
-                ("priority", n(*priority as f64)),
-            ]),
+                trace,
+            } => {
+                let mut members = vec![
+                    ("cmd", s("submit")),
+                    ("name", s(name.clone())),
+                    ("source", s(source.clone())),
+                    ("priority", n(*priority as f64)),
+                ];
+                if let Some(t) = trace {
+                    members.push(("trace", s(t.clone())));
+                }
+                obj(members)
+            }
+            Request::SubmitPath {
+                path,
+                priority,
+                trace,
+            } => {
+                let mut members = vec![
+                    ("cmd", s("submit_path")),
+                    ("path", s(path.clone())),
+                    ("priority", n(*priority as f64)),
+                ];
+                if let Some(t) = trace {
+                    members.push(("trace", s(t.clone())));
+                }
+                obj(members)
+            }
+            Request::SubmitDir {
+                path,
+                priority,
+                trace,
+            } => {
+                let mut members = vec![
+                    ("cmd", s("submit_dir")),
+                    ("path", s(path.clone())),
+                    ("priority", n(*priority as f64)),
+                ];
+                if let Some(t) = trace {
+                    members.push(("trace", s(t.clone())));
+                }
+                obj(members)
+            }
+            Request::Trace { id } => obj(vec![("cmd", s("trace")), ("id", n(*id as f64))]),
+            Request::DumpFlight => obj(vec![("cmd", s("dump_flight"))]),
             Request::Watch => obj(vec![("cmd", s("watch"))]),
             Request::Stats => obj(vec![("cmd", s("stats"))]),
             Request::Ping => obj(vec![("cmd", s("ping"))]),
@@ -124,20 +174,36 @@ impl Request {
                 .map(str::to_string)
                 .ok_or_else(|| format!("'{cmd}' requires string field '{k}'"))
         };
+        let trace = || {
+            v.get("trace")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .filter(|t| !t.is_empty())
+        };
         match cmd {
             "submit" => Ok(Request::Submit {
                 name: field("name")?,
                 source: field("source")?,
                 priority: priority(),
+                trace: trace(),
             }),
             "submit_path" => Ok(Request::SubmitPath {
                 path: field("path")?,
                 priority: priority(),
+                trace: trace(),
             }),
             "submit_dir" => Ok(Request::SubmitDir {
                 path: field("path")?,
                 priority: priority(),
+                trace: trace(),
             }),
+            "trace" => Ok(Request::Trace {
+                id: v
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| "'trace' requires numeric field 'id'".to_string())?,
+            }),
+            "dump_flight" => Ok(Request::DumpFlight),
             "watch" => Ok(Request::Watch),
             "stats" => Ok(Request::Stats),
             "ping" => Ok(Request::Ping),
@@ -206,6 +272,14 @@ pub struct VerdictEvent {
     /// only when the daemon runs with `--explain`. Old clients ignore
     /// the extra member — the protocol is versioned by field presence.
     pub counterexamples: Vec<Json>,
+    /// Static cost prediction recorded at admission
+    /// ([`nqpv_engine::Job::cost`] units); compare against `ms` (also
+    /// streamed as `actual_ms`) for predicted-vs-actual accounting.
+    /// Versioned by field presence — old daemons omit it (decodes 0).
+    pub predicted_cost: u64,
+    /// The job's wire trace id (hex), present only for traced jobs —
+    /// the key for a follow-up [`Request::Trace`] fetch.
+    pub trace: Option<String>,
 }
 
 /// A daemon→client message.
@@ -238,6 +312,29 @@ pub enum Event {
     },
     /// The job finished.
     Verdict(VerdictEvent),
+    /// Reply to [`Request::Trace`]: the daemon-side trace events of a
+    /// finished traced job, as a bare Chrome trace-event array the
+    /// client stitches with its own half under the shared trace id.
+    Trace {
+        /// The job id.
+        id: u64,
+        /// The job name.
+        name: String,
+        /// The wire trace id (hex).
+        trace: String,
+        /// The daemon's trace events (Chrome trace-event objects with
+        /// absolute wall-clock `ts` microseconds).
+        events: Json,
+    },
+    /// Reply to [`Request::DumpFlight`]: a snapshot of the daemon's
+    /// flight recorder.
+    FlightDump {
+        /// Where the dump was also written, when the daemon runs with
+        /// `--flight-dir`.
+        path: Option<String>,
+        /// The dump document (reason, drop counters, recent events).
+        dump: Json,
+    },
     /// Reply to `stats`.
     Stats {
         /// Queue counters.
@@ -307,9 +404,14 @@ impl Event {
                     ("name", s(v.name.clone())),
                     ("status", s(v.status.clone())),
                     ("ms", n(v.ms)),
+                    ("actual_ms", n(v.ms)),
+                    ("predicted_cost", n(v.predicted_cost as f64)),
                     ("bin", s(v.bin.clone())),
                     ("worker", n(v.worker as f64)),
                 ];
+                if let Some(t) = &v.trace {
+                    members.push(("trace", s(t.clone())));
+                }
                 let proofs: Vec<Json> = v
                     .proofs
                     .iter()
@@ -387,6 +489,27 @@ impl Event {
                 ("rejected", n(*rejected as f64)),
             ])
             .to_string(),
+            Event::Trace {
+                id,
+                name,
+                trace,
+                events,
+            } => obj(vec![
+                ("event", s("trace")),
+                ("id", n(*id as f64)),
+                ("name", s(name.clone())),
+                ("trace", s(trace.clone())),
+                ("events", events.clone()),
+            ])
+            .to_string(),
+            Event::FlightDump { path, dump } => {
+                let mut members = vec![("event", s("flight_dump"))];
+                if let Some(p) = path {
+                    members.push(("path", s(p.clone())));
+                }
+                members.push(("dump", dump.clone()));
+                obj(members).to_string()
+            }
             Event::Watching => obj(vec![("event", s("watching"))]).to_string(),
             Event::Pong => obj(vec![("event", s("pong"))]).to_string(),
             Event::ShuttingDown => obj(vec![("event", s("shutting_down"))]).to_string(),
@@ -489,8 +612,24 @@ impl Event {
                         .and_then(Json::as_arr)
                         .map(<[Json]>::to_vec)
                         .unwrap_or_default(),
+                    predicted_cost: v.get("predicted_cost").and_then(Json::as_u64).unwrap_or(0),
+                    trace: v.get("trace").and_then(Json::as_str).map(str::to_string),
                 }))
             }
+            "trace" => Ok(Event::Trace {
+                id: id()?,
+                name: name()?,
+                trace: v
+                    .get("trace")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                events: v.get("events").cloned().unwrap_or(Json::Arr(Vec::new())),
+            }),
+            "flight_dump" => Ok(Event::FlightDump {
+                path: v.get("path").and_then(Json::as_str).map(str::to_string),
+                dump: v.get("dump").cloned().unwrap_or(Json::Null),
+            }),
             "stats" => {
                 let q = |k: &str| v.get(k).and_then(Json::as_u64).unwrap_or(0);
                 let cache = match v.get("cache") {
@@ -567,8 +706,9 @@ impl Event {
     }
 }
 
-/// Builds the `verdict` event for a finished job.
-pub fn verdict_event(id: u64, report: &JobReport) -> Event {
+/// Builds the `verdict` event for a finished job. `trace` is the job's
+/// wire trace id (hex) when it was submitted with one.
+pub fn verdict_event(id: u64, report: &JobReport, trace: Option<String>) -> Event {
     let (proofs, error) = match &report.status {
         JobStatus::Verified { proofs } | JobStatus::Rejected { proofs } => (
             proofs
@@ -599,6 +739,8 @@ pub fn verdict_event(id: u64, report: &JobReport) -> Event {
             .iter()
             .filter_map(|c| Json::parse(&c.to_json()).ok())
             .collect(),
+        predicted_cost: report.predicted_cost,
+        trace,
     })
 }
 
@@ -619,15 +761,26 @@ mod tests {
                 name: "a".into(),
                 source: "{ I[q] }\nskip".into(),
                 priority: -2,
+                trace: None,
+            },
+            Request::Submit {
+                name: "traced".into(),
+                source: "skip".into(),
+                priority: 0,
+                trace: Some("00ff00ff00ff00ff".into()),
             },
             Request::SubmitPath {
                 path: "x/y.nqpv".into(),
                 priority: 0,
+                trace: None,
             },
             Request::SubmitDir {
                 path: "corpus".into(),
                 priority: 9,
+                trace: Some("123abc".into()),
             },
+            Request::Trace { id: 7 },
+            Request::DumpFlight,
             Request::Watch,
             Request::Stats,
             Request::Ping,
@@ -667,6 +820,8 @@ mod tests {
                 worker: 2,
                 proofs: vec![("pf".into(), false)],
                 error: None,
+                predicted_cost: 42,
+                trace: Some("00ff00ff00ff00ff".into()),
                 counterexamples: vec![obj(vec![
                     ("proof", s("pf")),
                     ("gap", n(0.5)),
@@ -683,6 +838,8 @@ mod tests {
                 proofs: vec![],
                 error: Some("line 1: parse error \"x\"".into()),
                 counterexamples: vec![],
+                predicted_cost: 1,
+                trace: None,
             }),
             Event::Verdict(VerdictEvent {
                 id: 5,
@@ -694,6 +851,8 @@ mod tests {
                 proofs: vec![],
                 error: Some("verification deadline exceeded (at while M01[q] …)".into()),
                 counterexamples: vec![],
+                predicted_cost: 980,
+                trace: None,
             }),
             Event::Overloaded {
                 queued: 128,
@@ -727,6 +886,24 @@ mod tests {
             Event::Stats {
                 queue: QueueStats::default(),
                 cache: None,
+            },
+            Event::Trace {
+                id: 3,
+                name: "grover".into(),
+                trace: "00ff00ff00ff00ff".into(),
+                events: Json::Arr(vec![obj(vec![
+                    ("name", s("wp")),
+                    ("ph", s("X")),
+                    ("ts", n(12.0)),
+                ])]),
+            },
+            Event::FlightDump {
+                path: Some("/tmp/flight/flight-panic-pf-12.json".into()),
+                dump: obj(vec![("reason", s("panic")), ("recorded", n(12.0))]),
+            },
+            Event::FlightDump {
+                path: None,
+                dump: Json::Null,
             },
             Event::Watching,
             Event::Pong,

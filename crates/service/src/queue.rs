@@ -31,6 +31,9 @@ struct Entry {
     /// push → pop, not reservation (reservation is admission control,
     /// not waiting).
     queued_at: Instant,
+    /// The same instant on the wall clock (epoch µs), handed to the
+    /// worker so the job's own trace carries its `queue_wait` span.
+    queued_wall_us: u64,
 }
 
 impl PartialEq for Entry {
@@ -171,6 +174,7 @@ impl JobQueue {
                 seq: id as usize,
                 job,
                 queued_at: Instant::now(),
+                queued_wall_us: nqpv_telemetry::wall_clock_us(),
             });
         }
         self.ready.notify_one();
@@ -265,6 +269,7 @@ impl JobSource for JobQueue {
                 return Some(SourcedJob {
                     seq: entry.seq,
                     job: entry.job,
+                    queued_wall_us: entry.queued_wall_us,
                 });
             }
             inner = self.ready.wait(inner).unwrap_or_else(|e| e.into_inner());

@@ -199,16 +199,19 @@ fn priorities_reorder_the_backlog() {
         Request::SubmitPath {
             path: corpus_dir().join("err_corr.nqpv").display().to_string(),
             priority: 0,
+            trace: None,
         },
         Request::Submit {
             name: "low".into(),
             source: LOOPY.into(),
             priority: 0,
+            trace: None,
         },
         Request::Submit {
             name: "high".into(),
             source: LOOPY.into(),
             priority: 9,
+            trace: None,
         },
     ]
     .iter()
@@ -300,6 +303,7 @@ fn max_queue_backpressure_rejects_with_a_structured_event() {
             name: "refused".into(),
             source: "def pf := proof [q] : { P0[q] }; skip; { P0[q] } end".into(),
             priority: 0,
+            trace: None,
         })
         .unwrap();
     assert_eq!(
@@ -316,6 +320,7 @@ fn max_queue_backpressure_rejects_with_a_structured_event() {
         .request(&Request::SubmitDir {
             path: corpus_dir().display().to_string(),
             priority: 0,
+            trace: None,
         })
         .unwrap();
     match reply {
@@ -485,6 +490,7 @@ fn per_client_inflight_cap_is_client_scoped() {
             name: "excess".into(),
             source: "def pf := proof [q] : { P0[q] }; skip; { P0[q] } end".into(),
             priority: 0,
+            trace: None,
         })
         .unwrap();
     assert_eq!(

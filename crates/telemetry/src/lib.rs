@@ -32,16 +32,22 @@
 //! worker thread.
 
 mod deadline;
+pub mod flight;
 mod http;
+pub mod log;
 mod metrics;
 mod trace;
 
 pub use deadline::Deadline;
 pub use http::MetricsServer;
 pub use metrics::{
-    global, Counter, Gauge, Histogram, HistogramSnapshot, Registry, DEFAULT_LATENCY_BOUNDS,
+    global, Counter, Gauge, Histogram, HistogramSnapshot, Registry, COST_RATIO_BOUNDS,
+    DEFAULT_LATENCY_BOUNDS,
 };
-pub use trace::{ArgValue, Phase, PhaseTotals, Span, TraceData, TraceEvent, Tracer, PHASE_COUNT};
+pub use trace::{
+    stitch_chrome_json, wall_clock_us, ArgValue, Phase, PhaseTotals, Span, TraceContext, TraceData,
+    TraceEvent, Tracer, PHASE_COUNT,
+};
 
 /// Folds one finished job's [`TraceData`] into the global metrics
 /// registry: completion counter by status, whole-job latency, per-phase

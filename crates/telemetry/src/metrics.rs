@@ -12,11 +12,23 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// Default latency-histogram bucket bounds, in seconds: 100 µs … 10 s,
-/// roughly ×2.5 per step — wide enough for whole-corpus jobs, fine
-/// enough to separate the solver fast paths.
-pub const DEFAULT_LATENCY_BOUNDS: [f64; 12] = [
-    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.1, 0.5, 2.5, 10.0,
+/// Default latency-histogram bucket bounds, in seconds: 10 µs … 10 s,
+/// roughly ×2.5 per step. This is the single shared layout for every
+/// latency family (job/phase duration, queue wait) — after the PR 8
+/// kernel speedups, warm Grover-class phases finish in well under a
+/// millisecond, so the sub-100 µs tiers are what keep the phase
+/// histograms informative.
+pub const DEFAULT_LATENCY_BOUNDS: [f64; 15] = [
+    0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.1,
+    0.5, 2.5, 10.0,
+];
+
+/// Bucket bounds for the predicted-vs-actual cost ratio
+/// (`nqpv_cost_prediction_ratio`, actual seconds ÷ predicted units):
+/// log-spaced around 1.0 so both over- and under-prediction tails are
+/// visible.
+pub const COST_RATIO_BOUNDS: [f64; 11] = [
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 100.0,
 ];
 
 /// A monotone counter.
@@ -485,6 +497,24 @@ mod tests {
             .filter(|l| l.starts_with("weird_total{"))
             .collect();
         assert_eq!(sample_lines.len(), 1);
+    }
+
+    #[test]
+    fn shared_latency_bounds_resolve_sub_millisecond_phases() {
+        // The re-tiered layout must be valid histogram bounds and keep
+        // several tiers under 1 ms so warm phases don't all pile into
+        // one bucket.
+        let h = Histogram::new(&DEFAULT_LATENCY_BOUNDS);
+        let sub_ms = DEFAULT_LATENCY_BOUNDS
+            .iter()
+            .filter(|&&b| b < 0.001)
+            .count();
+        assert!(sub_ms >= 5, "only {sub_ms} sub-ms tiers");
+        h.observe(0.00003); // a 30 µs warm phase has its own bucket
+        let s = h.snapshot();
+        assert_eq!(s.cumulative[1], 0);
+        assert_eq!(s.cumulative[2], 1);
+        let _ = Histogram::new(&COST_RATIO_BOUNDS);
     }
 
     #[test]

@@ -24,7 +24,89 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// A wire-propagated trace identity: minted client-side, carried through
+/// the NDJSON protocol, and inherited by every span a worker emits for
+/// the job. `trace_id == 0` means "no trace requested" (the `Default`);
+/// ids render as 16 hex digits on the wire.
+///
+/// `Debug` is constant for the same reason as [`Tracer`]'s: the context
+/// can ride inside option structs whose `Debug` rendering feeds cache
+/// context keys.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceContext {
+    /// Process-crossing trace identity (0 = none).
+    pub trace_id: u64,
+    /// The span on the minting side this work nests under (0 = root).
+    pub parent_span: u64,
+}
+
+impl std::fmt::Debug for TraceContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TraceContext")
+    }
+}
+
+impl TraceContext {
+    /// The absent context (`trace_id == 0`).
+    pub const NONE: TraceContext = TraceContext {
+        trace_id: 0,
+        parent_span: 0,
+    };
+
+    /// Mints a fresh context: a splitmix64 hash of wall clock, process
+    /// id, and a process-local counter — unique enough to stitch traces
+    /// across a client/daemon pair without coordination.
+    pub fn mint() -> TraceContext {
+        static SALT: AtomicU64 = AtomicU64::new(0);
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let mut x = nanos
+            ^ (std::process::id() as u64).rotate_left(32)
+            ^ SALT.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        // splitmix64 finalizer
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        TraceContext {
+            trace_id: if x == 0 { 1 } else { x },
+            parent_span: 0,
+        }
+    }
+
+    /// `true` when a trace was requested.
+    pub fn active(&self) -> bool {
+        self.trace_id != 0
+    }
+
+    /// The wire form: 16 lowercase hex digits.
+    pub fn to_hex(&self) -> String {
+        format!("{:016x}", self.trace_id)
+    }
+
+    /// Parses the wire form (any non-empty ≤16-digit hex string).
+    pub fn from_hex(s: &str) -> Option<TraceContext> {
+        if s.is_empty() || s.len() > 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(|id| TraceContext {
+            trace_id: id,
+            parent_span: 0,
+        })
+    }
+}
+
+/// Epoch microseconds now — the shared clock base that lets client and
+/// daemon trace events land on one timeline when stitched.
+pub fn wall_clock_us() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
 
 /// Pipeline phases a span can be attributed to. Fixed and small so the
 /// sink can accumulate totals in a flat array of atomics.
@@ -110,8 +192,9 @@ pub struct TraceEvent {
     pub name: &'static str,
     /// Phase → trace category.
     pub phase: Phase,
-    /// Microseconds since the sink was created.
-    pub ts_us: u64,
+    /// Microseconds since the sink was created. Signed: externally
+    /// observed spans (queue wait) can begin before the sink existed.
+    pub ts_us: i64,
     /// Duration in microseconds.
     pub dur_us: u64,
     /// Originating thread (stable per-thread id, not the OS tid).
@@ -167,6 +250,13 @@ pub struct TraceData {
     /// `(key, value, count)` classification tallies (always collected),
     /// e.g. `("solver_path", "cholesky", 12)`.
     pub tallies: Vec<(&'static str, &'static str, u64)>,
+    /// The wire-propagated context this sink inherited (NONE for local
+    /// runs).
+    pub context: TraceContext,
+    /// Epoch microseconds when the sink was created; event `ts_us`
+    /// values are relative to this, so cross-process stitching can
+    /// rebase both sides onto one wall-clock timeline.
+    pub wall_start_us: u64,
 }
 
 impl TraceData {
@@ -217,6 +307,85 @@ impl TraceData {
         out.push_str("]}");
         out
     }
+
+    /// Renders the event list as a bare JSON *array* of Chrome trace
+    /// events under process row `pid`, timestamps rebased to absolute
+    /// epoch microseconds — the splice-ready half of a stitched
+    /// cross-process trace (see [`stitch_chrome_json`]).
+    pub fn chrome_events_json(&self, pid: u32, process_name: &str) -> String {
+        let mut out = String::with_capacity(128 + self.events.len() * 128);
+        out.push('[');
+        out.push_str(&format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":{}}}}}",
+            json_string(process_name)
+        ));
+        for ev in &self.events {
+            out.push(',');
+            out.push_str(&format!(
+                "{{\"name\":{},\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":{pid},\"tid\":{}",
+                json_string(ev.name),
+                ev.phase.label(),
+                self.wall_start_us as i64 + ev.ts_us,
+                ev.dur_us,
+                ev.tid
+            ));
+            if !ev.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (i, (k, v)) in ev.args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&json_string(k));
+                    out.push(':');
+                    match v {
+                        ArgValue::U64(n) => out.push_str(&n.to_string()),
+                        ArgValue::F64(x) if x.is_finite() => out.push_str(&format!("{x}")),
+                        ArgValue::F64(_) => out.push_str("null"),
+                        ArgValue::Str(s) => out.push_str(&json_string(s)),
+                        ArgValue::Static(s) => out.push_str(&json_string(s)),
+                        ArgValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                    }
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Splices event arrays from several processes (each produced by
+/// [`TraceData::chrome_events_json`]) into one Chrome trace-event JSON
+/// document tagged with the shared trace id. Empty or malformed parts
+/// are skipped rather than corrupting the document.
+pub fn stitch_chrome_json(trace_id_hex: &str, parts: &[&str]) -> String {
+    let mut out = String::with_capacity(128 + parts.iter().map(|p| p.len()).sum::<usize>());
+    out.push_str(&format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceId\":{},\"traceEvents\":[",
+        json_string(trace_id_hex)
+    ));
+    let mut first = true;
+    for part in parts {
+        let inner = part
+            .trim()
+            .strip_prefix('[')
+            .and_then(|p| p.strip_suffix(']'))
+            .unwrap_or("")
+            .trim();
+        if inner.is_empty() {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(inner);
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Minimal JSON string escaper (quotes, backslash, control characters).
@@ -241,6 +410,8 @@ fn json_string(s: &str) -> String {
 /// The per-job collection target spans write into.
 struct Sink {
     start: Instant,
+    wall_start_us: u64,
+    context: TraceContext,
     record_events: bool,
     events: Mutex<Vec<TraceEvent>>,
     phase_counts: [AtomicU64; PHASE_COUNT],
@@ -249,9 +420,11 @@ struct Sink {
 }
 
 impl Sink {
-    fn new(record_events: bool) -> Sink {
+    fn new(record_events: bool, context: TraceContext) -> Sink {
         Sink {
             start: Instant::now(),
+            wall_start_us: wall_clock_us(),
+            context,
             record_events,
             events: Mutex::new(Vec::new()),
             phase_counts: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -282,6 +455,8 @@ impl Sink {
             events,
             phases,
             tallies,
+            context: self.context,
+            wall_start_us: self.wall_start_us,
         }
     }
 }
@@ -340,8 +515,15 @@ impl Tracer {
     /// to the always-on phase totals and tallies; without it, only the
     /// cheap accumulators run (the engine's per-job phase breakdown).
     pub fn create(record_events: bool) -> Tracer {
+        Tracer::create_with(record_events, TraceContext::NONE)
+    }
+
+    /// Like [`Tracer::create`], but the sink inherits a wire-propagated
+    /// [`TraceContext`]; the resulting [`TraceData`] carries it so
+    /// cross-process spans can be stitched under one trace id.
+    pub fn create_with(record_events: bool, context: TraceContext) -> Tracer {
         let mut reg = registry().write().unwrap_or_else(|e| e.into_inner());
-        let sink = Arc::new(Sink::new(record_events));
+        let sink = Arc::new(Sink::new(record_events, context));
         for (i, slot) in reg.iter_mut().enumerate() {
             if slot.sink.is_none() {
                 slot.gen = slot.gen.wrapping_add(1);
@@ -391,7 +573,7 @@ impl Tracer {
         match self.sink() {
             None => Span { inner: None },
             Some(sink) => {
-                let ts_us = sink.start.elapsed().as_micros() as u64;
+                let ts_us = sink.start.elapsed().as_micros() as i64;
                 Span {
                     inner: Some(ActiveSpan {
                         sink,
@@ -404,6 +586,45 @@ impl Tracer {
                     }),
                 }
             }
+        }
+    }
+
+    /// The wire context the sink was created with ([`TraceContext::NONE`]
+    /// for disabled/stale handles and local runs).
+    pub fn context(&self) -> TraceContext {
+        self.sink().map(|s| s.context).unwrap_or(TraceContext::NONE)
+    }
+
+    /// Records an externally-measured span with explicit wall-clock
+    /// start and duration — for work observed outside the sink's
+    /// lifetime, like the queue wait that ends where the worker span
+    /// begins. Feeds phase totals always, and the event list in
+    /// recording mode.
+    pub fn record_external(
+        &self,
+        phase: Phase,
+        name: &'static str,
+        wall_start_us: u64,
+        dur_us: u64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        let Some(sink) = self.sink() else { return };
+        let idx = phase.idx();
+        sink.phase_counts[idx].fetch_add(1, Ordering::Relaxed);
+        sink.phase_micros[idx].fetch_add(dur_us, Ordering::Relaxed);
+        if sink.record_events {
+            let ev = TraceEvent {
+                name,
+                phase,
+                ts_us: wall_start_us as i64 - sink.wall_start_us as i64,
+                dur_us,
+                tid: thread_tid(),
+                args: if sink.record_events { args } else { Vec::new() },
+            };
+            sink.events
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(ev);
         }
     }
 
@@ -430,7 +651,7 @@ struct ActiveSpan {
     sink: Arc<Sink>,
     phase: Phase,
     name: &'static str,
-    ts_us: u64,
+    ts_us: i64,
     t0: Instant,
     args: Vec<(&'static str, ArgValue)>,
     tally: Option<(&'static str, &'static str)>,
@@ -587,7 +808,7 @@ mod tests {
         // Containment: the outer span covers the inner one.
         let (inner, outer) = (&data.events[0], &data.events[1]);
         assert!(outer.ts_us <= inner.ts_us);
-        assert!(outer.ts_us + outer.dur_us >= inner.ts_us + inner.dur_us);
+        assert!(outer.ts_us + outer.dur_us as i64 >= inner.ts_us + inner.dur_us as i64);
         let json = data.chrome_json("job \"x\"");
         assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
         assert!(json.contains("\"name\":\"process_name\""));
@@ -612,6 +833,83 @@ mod tests {
             let data = f.finish().expect("fresh sinks intact");
             assert_eq!(data.phases.get(Phase::Wp).0, 0, "stale span leaked in");
         }
+    }
+
+    #[test]
+    fn trace_context_mints_round_trips_and_renders_constant() {
+        let a = TraceContext::mint();
+        let b = TraceContext::mint();
+        assert!(a.active() && b.active());
+        assert_ne!(a.trace_id, b.trace_id, "mints must differ");
+        let hex = a.to_hex();
+        assert_eq!(hex.len(), 16);
+        assert_eq!(TraceContext::from_hex(&hex).unwrap().trace_id, a.trace_id);
+        assert!(TraceContext::from_hex("").is_none());
+        assert!(TraceContext::from_hex("zz").is_none());
+        assert!(TraceContext::from_hex("00112233445566778899").is_none());
+        assert!(!TraceContext::NONE.active());
+        assert_eq!(format!("{a:?}"), "TraceContext");
+        assert_eq!(TraceContext::default(), TraceContext::NONE);
+    }
+
+    #[test]
+    fn context_rides_the_sink_and_external_spans_record() {
+        let ctx = TraceContext::mint();
+        let t = Tracer::create_with(true, ctx);
+        assert_eq!(t.context(), ctx);
+        {
+            let _s = t.span(Phase::Wp, "stmt");
+        }
+        // A queue wait that began 5 ms before the sink existed.
+        let wall = wall_clock_us();
+        t.record_external(
+            Phase::Queue,
+            "queue_wait",
+            wall.saturating_sub(5_000),
+            5_000,
+            vec![("bin", ArgValue::U64(3))],
+        );
+        let data = t.finish().expect("live sink");
+        assert_eq!(data.context, ctx);
+        assert!(data.wall_start_us > 0);
+        let queue = data
+            .events
+            .iter()
+            .find(|e| e.name == "queue_wait")
+            .expect("queue span recorded");
+        assert!(queue.ts_us < 0, "starts before the sink: {}", queue.ts_us);
+        assert_eq!(queue.dur_us, 5_000);
+        assert_eq!(data.phases.get(Phase::Queue), (1, 5_000));
+    }
+
+    #[test]
+    fn cross_process_parts_stitch_into_one_document() {
+        let ctx = TraceContext::mint();
+        let client = Tracer::create_with(true, ctx);
+        {
+            let _s = client.span(Phase::Other, "submit");
+        }
+        let daemon = Tracer::create_with(true, ctx);
+        {
+            let _s = daemon.span(Phase::Wp, "stmt");
+        }
+        let cd = client.finish().unwrap();
+        let dd = daemon.finish().unwrap();
+        let stitched = stitch_chrome_json(
+            &ctx.to_hex(),
+            &[
+                &cd.chrome_events_json(1, "client"),
+                &dd.chrome_events_json(2, "daemon"),
+            ],
+        );
+        assert!(stitched.contains(&format!("\"traceId\":\"{}\"", ctx.to_hex())));
+        assert!(stitched.contains("\"name\":\"submit\""));
+        assert!(stitched.contains("\"cat\":\"wp\""));
+        assert!(stitched.contains("\"pid\":1"));
+        assert!(stitched.contains("\"pid\":2"));
+        // Empty / malformed parts are skipped, never corrupting output.
+        let sparse = stitch_chrome_json("00", &["[]", "not-json", "[{\"a\":1}]"]);
+        assert!(sparse.ends_with("[{\"a\":1}]}"), "{sparse}");
     }
 
     #[test]
