@@ -571,7 +571,11 @@ fn job_attempt(
     if crate::faults::global().fire(crate::faults::WORKER_PANIC) {
         panic!("injected fault: {}", crate::faults::WORKER_PANIC);
     }
-    let tracer = Tracer::create_with(trace_dir.is_some() || job.trace.active(), job.trace);
+    // Recording turns on for an explicit trace sink (file or wire) and
+    // whenever the process-global profile collector is live — the
+    // collapsed-stack profile needs full events, not just phase totals.
+    let record = trace_dir.is_some() || job.trace.active() || nqpv_telemetry::profile::enabled();
+    let tracer = Tracer::create_with(record, job.trace);
     let picked_up_us = wall_clock_us();
     if queued_wall_us != 0 && queued_wall_us <= picked_up_us {
         // The queue wait ended where this worker span begins; record it

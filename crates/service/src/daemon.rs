@@ -35,7 +35,9 @@ use nqpv_engine::{
     faults, record_cache_metrics, run_pool, Corpus, DiskCache, Job, JobReport, JobStatus,
     MemoCache, PoolObserver,
 };
-use nqpv_telemetry::{flight, log as tlog, MetricsServer, TraceContext};
+use nqpv_telemetry::{
+    flight, log as tlog, profile, HttpResponse, MetricsServer, SeriesRing, TraceContext,
+};
 use std::collections::{BTreeSet, HashSet, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -112,6 +114,21 @@ pub struct ServeOptions {
     pub log_level: tlog::Level,
     /// Emit stderr logs as JSON lines (`--log-json`) instead of text.
     pub log_json: bool,
+    /// Metrics sampling cadence in seconds (`--sample-secs N`): a
+    /// sampler thread snapshots the registry into the time-series ring
+    /// on this period — the history behind the `series` request, the
+    /// `/series` endpoint, and `nqpv top`'s windowed quantiles.
+    pub sample_secs: u64,
+    /// Per-job latency objective in milliseconds (`--slo-ms N`): each
+    /// verdict is counted into `nqpv_slo_jobs_total{within}`, and the
+    /// sampler derives a rolling error-budget burn rate (99% objective)
+    /// from the series ring. `None` disables SLO accounting.
+    pub slo_ms: Option<u64>,
+    /// Finished-trace FIFO capacity (`--trace-store N`): how many
+    /// traced jobs' daemon-side spans are retained for `trace` fetches;
+    /// evictions past the bound count into
+    /// `nqpv_trace_store_evicted_total`.
+    pub trace_store: usize,
 }
 
 impl Default for ServeOptions {
@@ -133,31 +150,49 @@ impl Default for ServeOptions {
             flight_dir: None,
             log_level: tlog::Level::Info,
             log_json: false,
+            sample_secs: 5,
+            slo_ms: None,
+            trace_store: TRACE_STORE_CAP,
         }
     }
 }
 
-/// How many finished traced jobs' daemon-side spans the daemon retains
-/// for `trace` fetches; the oldest entry is evicted beyond this.
+/// Default capacity of the finished-trace FIFO (`--trace-store`
+/// overrides); the oldest entry is evicted beyond this.
 const TRACE_STORE_CAP: usize = 256;
 
 /// Bounded FIFO of finished traced jobs' daemon-side Chrome trace
 /// events, keyed by job id — the server half a client stitches after its
 /// verdict arrives.
-#[derive(Default)]
 struct TraceStore {
+    cap: usize,
     map: std::collections::HashMap<u64, (String, String, String)>,
     order: VecDeque<u64>,
 }
 
 impl TraceStore {
+    fn new(cap: usize) -> TraceStore {
+        TraceStore {
+            cap: cap.max(1),
+            map: std::collections::HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
     fn insert(&mut self, id: u64, name: String, trace_hex: String, events: String) {
         if self.map.insert(id, (name, trace_hex, events)).is_none() {
             self.order.push_back(id);
         }
-        while self.order.len() > TRACE_STORE_CAP {
+        while self.order.len() > self.cap {
             if let Some(old) = self.order.pop_front() {
                 self.map.remove(&old);
+                nqpv_telemetry::global()
+                    .counter(
+                        "nqpv_trace_store_evicted_total",
+                        "Finished traces evicted from the bounded trace store.",
+                        &[],
+                    )
+                    .inc();
                 tlog::debug(
                     "daemon",
                     0,
@@ -221,6 +256,13 @@ struct Shared {
     traces: Mutex<TraceStore>,
     /// Where flight dumps land (`--flight-dir`), shared with the pool.
     flight_dir: Option<PathBuf>,
+    /// The metrics time-series ring the sampler thread feeds
+    /// (`--sample-secs`), served by `series` requests and `/series`.
+    series: SeriesRing,
+    /// The sampling cadence, echoed to `series` clients.
+    sample_secs: u64,
+    /// The `--slo-ms` per-job latency objective, when configured.
+    slo_ms: Option<u64>,
     /// Set while a `shutdown --drain` works off the backlog: admissions
     /// are refused, everything else keeps serving.
     draining: AtomicBool,
@@ -337,6 +379,12 @@ impl Shared {
         );
     }
 
+    /// Readiness for `/healthz`: accepting submissions — neither
+    /// draining a backlog nor shutting down.
+    fn ready(&self) -> bool {
+        !self.draining.load(Ordering::SeqCst) && !self.shutdown.load(Ordering::SeqCst)
+    }
+
     fn begin_shutdown(&self) {
         if !self.shutdown.swap(true, Ordering::SeqCst) {
             self.queue.close();
@@ -373,6 +421,16 @@ impl PoolObserver for Shared {
     fn job_finished(&self, seq: usize, report: &JobReport) {
         self.running.fetch_sub(1, Ordering::Relaxed);
         self.done.fetch_add(1, Ordering::Relaxed);
+        if let Some(slo) = self.slo_ms {
+            let within = report.ms <= slo as f64;
+            nqpv_telemetry::global()
+                .counter(
+                    "nqpv_slo_jobs_total",
+                    "Jobs by whether they finished within the --slo-ms objective.",
+                    &[("within", if within { "true" } else { "false" })],
+                )
+                .inc();
+        }
         match &report.status {
             JobStatus::Timeout { .. } => {
                 self.timed_out.fetch_add(1, Ordering::Relaxed);
@@ -419,6 +477,7 @@ pub struct Daemon {
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
     pool: Option<JoinHandle<()>>,
+    sampler: Option<JoinHandle<()>>,
     metrics: Option<MetricsServer>,
 }
 
@@ -432,6 +491,10 @@ impl Daemon {
     /// version mismatch) when `cache_dir` is set.
     pub fn start(opts: ServeOptions) -> std::io::Result<Daemon> {
         tlog::init(opts.log_level, opts.log_json);
+        // Every job's finished trace folds into the process-global
+        // self-time profile from here on — the `profile` request
+        // aggregates across jobs since startup.
+        profile::enable();
         let disk = match (&opts.cache_dir, opts.use_cache) {
             (Some(dir), true) => Some(Arc::new(DiskCache::open_with_budget(
                 dir,
@@ -460,8 +523,11 @@ impl Daemon {
             cancelled: AtomicU64::new(0),
             max_per_client: opts.max_per_client,
             pending_traces: Mutex::new(std::collections::HashMap::new()),
-            traces: Mutex::new(TraceStore::default()),
+            traces: Mutex::new(TraceStore::new(opts.trace_store)),
             flight_dir: opts.flight_dir.clone(),
+            series: SeriesRing::new(nqpv_telemetry::series::DEFAULT_CAPACITY),
+            sample_secs: opts.sample_secs.max(1),
+            slo_ms: opts.slo_ms,
             draining: AtomicBool::new(false),
             drain_timeout: opts.drain_timeout,
             shutdown: AtomicBool::new(false),
@@ -470,15 +536,72 @@ impl Daemon {
             next_conn: AtomicU64::new(0),
         });
 
+        // SLO accounting: register both label variants up front so the
+        // series ring and scrapers see continuous (zero) series from
+        // the first sample, not series that pop into existence on the
+        // first slow job.
+        if opts.slo_ms.is_some() {
+            for within in ["true", "false"] {
+                nqpv_telemetry::global().counter(
+                    "nqpv_slo_jobs_total",
+                    "Jobs by whether they finished within the --slo-ms objective.",
+                    &[("within", within)],
+                );
+            }
+        }
+
         // Bind the scrape endpoint before spawning any thread: a bad
         // `--metrics-addr` fails the whole start instead of leaving a
-        // half-started daemon behind.
+        // half-started daemon behind. `/healthz` and `/series` ride on
+        // the same listener.
         let metrics = match &opts.metrics_addr {
             Some(addr) => {
                 let shared = Arc::clone(&shared);
-                Some(MetricsServer::start(addr, move || render_metrics(&shared))?)
+                Some(MetricsServer::start_with_routes(
+                    addr,
+                    move |path| match path {
+                        "/" | "/metrics" => Some(HttpResponse::exposition(render_metrics(&shared))),
+                        "/healthz" => Some(if shared.ready() {
+                            HttpResponse::text(200, "ok\n".to_string())
+                        } else {
+                            HttpResponse::text(503, "not accepting submissions\n".to_string())
+                        }),
+                        "/series" => Some(HttpResponse::json(200, shared.series.to_json(0, None))),
+                        _ => None,
+                    },
+                )?)
             }
             None => None,
+        };
+
+        // The sampler: ticks the series ring every `--sample-secs`,
+        // then refreshes the SLO burn-rate gauge from the ring. Runs
+        // regardless of `--metrics-addr` — the `series` protocol
+        // request serves the ring too.
+        let sampler = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("nqpv-sampler".into())
+                .spawn(move || {
+                    let tick = Duration::from_secs(shared.sample_secs);
+                    while !shared.shutdown.load(Ordering::SeqCst) {
+                        // Sleep in short slices so shutdown is prompt even
+                        // with a long cadence.
+                        let wake = Instant::now() + tick;
+                        while Instant::now() < wake {
+                            if shared.shutdown.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            std::thread::sleep(Duration::from_millis(25));
+                        }
+                        refresh_sampled_gauges(&shared);
+                        shared.series.sample(nqpv_telemetry::global());
+                        if shared.slo_ms.is_some() {
+                            refresh_slo_burn(&shared);
+                        }
+                    }
+                })
+                .expect("spawn sampler thread")
         };
 
         let workers = if opts.jobs == 0 {
@@ -521,6 +644,7 @@ impl Daemon {
             addr,
             accept: Some(accept),
             pool: Some(pool),
+            sampler: Some(sampler),
             metrics,
         })
     }
@@ -559,6 +683,9 @@ impl Daemon {
         if let Some(h) = self.pool.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.sampler.take() {
+            let _ = h.join();
+        }
         if let Some(m) = self.metrics.take() {
             m.shutdown();
         }
@@ -592,7 +719,7 @@ pub fn serve_blocking(opts: ServeOptions) -> std::io::Result<()> {
     let daemon = Daemon::start(opts)?;
     println!("nqpv-service listening on {}", daemon.local_addr());
     if let Some(addr) = daemon.metrics_addr() {
-        println!("nqpv-service metrics on http://{addr}/metrics");
+        println!("nqpv-service metrics on http://{addr}/metrics (also /healthz, /series)");
     }
     daemon.wait();
     Ok(())
@@ -863,6 +990,21 @@ fn handle_request(req: Request, sub: &Arc<Subscriber>, shared: &Arc<Shared>) -> 
                 },
             }
         }
+        Request::Series { last, filter } => {
+            let json = shared.series.to_json(last as usize, filter.as_deref());
+            Event::Series {
+                sample_secs: shared.sample_secs as f64,
+                slo_ms: shared.slo_ms.unwrap_or(0),
+                data: Json::parse(&json).unwrap_or(Json::Null),
+            }
+        }
+        Request::Profile => {
+            let prof = profile::global();
+            Event::Profile {
+                jobs: prof.jobs(),
+                collapsed: prof.render(),
+            }
+        }
         Request::DumpFlight => {
             let path = shared.flight_dir.as_deref().and_then(|dir| {
                 flight::dump_to(dir, "request", "daemon", "")
@@ -1006,6 +1148,15 @@ fn submit_jobs(
 /// in the process-wide registry, then renders everything — including the
 /// job/phase/solver series the worker pool records on its own.
 fn render_metrics(shared: &Shared) -> String {
+    refresh_sampled_gauges(shared);
+    nqpv_telemetry::global().render()
+}
+
+/// Refreshes the daemon-owned gauges/mirrors in the process registry.
+/// Called on every `/metrics` scrape *and* on every sampler tick, so
+/// the series ring captures current queue depths even when nothing
+/// scrapes.
+fn refresh_sampled_gauges(shared: &Shared) {
     let reg = nqpv_telemetry::global();
     let stats = shared.queue_stats();
     reg.gauge(
@@ -1051,5 +1202,40 @@ fn render_metrics(shared: &Shared) -> String {
     if let Some(cache) = &shared.cache {
         record_cache_metrics(&cache.stats());
     }
-    reg.render()
+}
+
+/// Recomputes the rolling SLO error-budget burn rate from the series
+/// ring: the fraction of jobs over `--slo-ms` across every ring window,
+/// divided by the 1% error allowance of a 99% objective, stored ×1000
+/// in `nqpv_slo_burn_rate_milli` (the registry's gauges are integers).
+/// 1000 therefore means "burning budget exactly as fast as a 99%
+/// objective allows"; 0 means no violations in the ring's horizon.
+fn refresh_slo_burn(shared: &Shared) {
+    let mut good = 0u64;
+    let mut bad = 0u64;
+    for window in shared.series.window(0, Some("nqpv_slo_jobs_total")) {
+        for point in &window.points {
+            if let nqpv_telemetry::series::SeriesValue::Rate { delta, .. } = point.value {
+                if point.labels.contains("within=\"false\"") {
+                    bad += delta;
+                } else {
+                    good += delta;
+                }
+            }
+        }
+    }
+    let total = good + bad;
+    let burn_milli = if total == 0 {
+        0
+    } else {
+        ((bad as f64 / total as f64) / 0.01 * 1000.0).round() as i64
+    };
+    nqpv_telemetry::global()
+        .gauge(
+            "nqpv_slo_burn_rate_milli",
+            "Rolling SLO error-budget burn rate over the series ring, x1000 \
+             (1000 = burning exactly at a 99% objective's allowance).",
+            &[],
+        )
+        .set(burn_milli);
 }

@@ -698,3 +698,147 @@ fn metrics_endpoint_serves_prometheus_text_after_jobs() {
     }
     daemon.join();
 }
+
+/// One HTTP/1.0 GET against the daemon's observability listener.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response
+}
+
+#[test]
+fn series_ring_profile_and_http_endpoints_cover_live_jobs() {
+    let daemon = Daemon::start(ServeOptions {
+        jobs: 1,
+        sample_secs: 1,
+        slo_ms: Some(10_000),
+        metrics_addr: Some("127.0.0.1:0".into()),
+        ..ServeOptions::default()
+    })
+    .expect("daemon starts");
+    let metrics_addr = daemon.metrics_addr().expect("metrics listener bound");
+    let mut client = Client::connect(daemon.local_addr()).unwrap();
+    let ids: Vec<u64> = (0..3)
+        .map(|i| {
+            client
+                .submit_source(
+                    &format!("live-{i}"),
+                    "def pf := proof [q] : { Pp[q] }; [q] *= H; { P0[q] } end",
+                    0,
+                )
+                .unwrap()
+        })
+        .collect();
+    let verdicts = client.wait_verdicts(&ids).unwrap();
+    assert!(verdicts.iter().all(|v| v.status == "verified"));
+    // Two sampler ticks at --sample-secs 1 so quantiles and burn rate
+    // derive from at least two ring windows.
+    std::thread::sleep(Duration::from_millis(2300));
+
+    let (sample_secs, slo_ms, data) = client.series(0, None).unwrap();
+    assert_eq!(sample_secs, 1.0);
+    assert_eq!(slo_ms, 10_000);
+    let parsed = nqpv_service::Json::parse(&data).expect("series reply is valid JSON");
+    let samples = parsed
+        .get("samples")
+        .and_then(nqpv_service::Json::as_arr)
+        .expect("samples array");
+    assert!(samples.len() >= 2, "at least two ring samples: {data}");
+    assert!(
+        data.contains("nqpv_jobs_completed_total"),
+        "completions sampled into the ring: {data}"
+    );
+    assert!(
+        data.contains("nqpv_slo_jobs_total"),
+        "SLO counters sampled into the ring: {data}"
+    );
+    // The name filter narrows the dump to matching series only.
+    let (_, _, filtered) = client.series(0, Some("nqpv_uptime")).unwrap();
+    assert!(filtered.contains("nqpv_uptime_seconds"), "{filtered}");
+    assert!(
+        !filtered.contains("nqpv_jobs_completed_total"),
+        "{filtered}"
+    );
+
+    // The daemon-wide profile aggregated every job since startup (the
+    // collector is process-global, so other tests only push it higher).
+    let (jobs, collapsed) = client.profile().unwrap();
+    assert!(jobs >= 3, "profile folded the submitted jobs: {jobs}");
+    assert!(
+        collapsed.lines().any(|l| l.contains("wp:")),
+        "wp frames appear in the collapsed stacks:\n{collapsed}"
+    );
+
+    // Observability endpoints beside /metrics: readiness and the ring.
+    let healthz = http_get(metrics_addr, "/healthz");
+    assert!(healthz.starts_with("HTTP/1.0 200 OK\r\n"), "{healthz}");
+    assert!(healthz.ends_with("ok\n"), "{healthz}");
+    let series = http_get(metrics_addr, "/series");
+    assert!(series.starts_with("HTTP/1.0 200 OK\r\n"), "{series}");
+    assert!(series.contains("application/json"), "{series}");
+    assert!(series.contains("\"samples\":["), "{series}");
+    let missing = http_get(metrics_addr, "/nope");
+    assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+    // The SLO surface rides the ordinary exposition: per-objective
+    // counters plus the sampler-derived burn-rate gauge.
+    let metrics = http_get(metrics_addr, "/metrics");
+    assert!(
+        metrics.contains("nqpv_slo_jobs_total{within=\"true\"}"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("nqpv_slo_burn_rate_milli"), "{metrics}");
+    daemon.join();
+}
+
+#[test]
+fn trace_store_eviction_is_bounded_and_reported() {
+    let daemon = Daemon::start(ServeOptions {
+        jobs: 1,
+        trace_store: 1,
+        ..ServeOptions::default()
+    })
+    .expect("daemon starts");
+    let mut client = Client::connect(daemon.local_addr()).unwrap();
+    let source = "def pf := proof [q] : { Pp[q] }; [q] *= H; { P0[q] } end";
+    let first = client
+        .submit_source_traced(
+            "evicted",
+            source,
+            0,
+            Some(nqpv_telemetry::TraceContext::mint().to_hex()),
+        )
+        .unwrap();
+    client.wait_verdicts(&[first]).unwrap();
+    let second = client
+        .submit_source_traced(
+            "kept",
+            source,
+            0,
+            Some(nqpv_telemetry::TraceContext::mint().to_hex()),
+        )
+        .unwrap();
+    client.wait_verdicts(&[second]).unwrap();
+
+    // Capacity 1: the second finished trace evicted the first. The
+    // kept trace still serves; the evicted one answers with the
+    // structured error, not a hang or a protocol break.
+    let (name, _, events) = client.fetch_trace(second).unwrap();
+    assert_eq!(name, "kept");
+    assert!(events.starts_with('['), "trace events are a JSON array");
+    let err = client
+        .fetch_trace(first)
+        .expect_err("evicted trace is gone");
+    assert!(err.to_string().contains("evicted"), "{err}");
+    // The eviction shows up in the process-wide registry.
+    let text = nqpv_telemetry::global().render();
+    let evicted: u64 = text
+        .lines()
+        .filter(|l| l.starts_with("nqpv_trace_store_evicted_total"))
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert!(evicted >= 1, "eviction counted:\n{text}");
+    daemon.join();
+}

@@ -1,12 +1,15 @@
-//! A minimal loopback HTTP listener for the `/metrics` endpoint.
+//! A minimal loopback HTTP listener for the operational endpoints.
 //!
-//! Deliberately tiny: HTTP/1.0, `Connection: close`, GET only, two
-//! routes (`/` and `/metrics` both serve the exposition; anything else
-//! is 404). The accept loop runs on one background thread in
+//! Deliberately tiny: HTTP/1.0, `Connection: close`, GET only. The
+//! default [`MetricsServer::start`] serves the exposition on `/` and
+//! `/metrics`; [`MetricsServer::start_with_routes`] lets the daemon add
+//! side-doors (`/healthz`, `/series`) without growing a framework — a
+//! route is a closure from path to optional [`HttpResponse`], anything
+//! unrouted is 404. The accept loop runs on one background thread in
 //! non-blocking mode so shutdown is a flag-flip plus a join — no
 //! self-connect tricks, no extra threads per connection. Scrape traffic
-//! (one request every few seconds from one Prometheus) never needs
-//! more.
+//! (one request every few seconds from one Prometheus plus the odd
+//! readiness probe) never needs more.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -14,6 +17,45 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// What a route handler returns for a path it owns.
+pub struct HttpResponse {
+    /// HTTP status code (200, 503, …).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A 200 with the Prometheus text-exposition content type.
+    pub fn exposition(body: String) -> HttpResponse {
+        HttpResponse {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body,
+        }
+    }
+
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: String) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// A plain-text response with the given status.
+    pub fn text(status: u16, body: String) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body,
+        }
+    }
+}
 
 /// A running metrics listener; dropping it (or calling
 /// [`MetricsServer::shutdown`]) stops the accept loop.
@@ -34,6 +76,22 @@ impl MetricsServer {
     where
         F: Fn() -> String + Send + 'static,
     {
+        MetricsServer::start_with_routes(addr, move |path| {
+            (path == "/metrics" || path == "/").then(|| HttpResponse::exposition(render()))
+        })
+    }
+
+    /// Binds `addr` and dispatches every GET through `routes`: the
+    /// closure returns `Some(response)` for paths it serves and `None`
+    /// for a 404. Non-GET methods are rejected with 405 before routing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start_with_routes<R>(addr: &str, routes: R) -> std::io::Result<MetricsServer>
+    where
+        R: Fn(&str) -> Option<HttpResponse> + Send + 'static,
+    {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -44,7 +102,7 @@ impl MetricsServer {
             .spawn(move || {
                 while !stop_flag.load(Ordering::Relaxed) {
                     match listener.accept() {
-                        Ok((stream, _)) => handle_conn(stream, &render),
+                        Ok((stream, _)) => handle_conn(stream, &routes),
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(20));
                         }
@@ -84,7 +142,17 @@ impl Drop for MetricsServer {
     }
 }
 
-fn handle_conn<F: Fn() -> String>(mut stream: TcpStream, render: &F) {
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+fn handle_conn<R: Fn(&str) -> Option<HttpResponse>>(mut stream: TcpStream, routes: &R) {
     // The accept loop is non-blocking; per-connection I/O should block,
     // briefly.
     let _ = stream.set_nonblocking(false);
@@ -113,13 +181,14 @@ fn handle_conn<F: Fn() -> String>(mut stream: TcpStream, render: &F) {
     let path = path.split('?').next().unwrap_or("");
     let response = if method != "GET" {
         "HTTP/1.0 405 Method Not Allowed\r\nConnection: close\r\n\r\n".to_string()
-    } else if path == "/metrics" || path == "/" {
-        let body = render();
+    } else if let Some(resp) = routes(path) {
         format!(
-            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
-             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
-            body.len(),
-            body
+            "HTTP/1.0 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            resp.status,
+            status_reason(resp.status),
+            resp.content_type,
+            resp.body.len(),
+            resp.body
         )
     } else {
         "HTTP/1.0 404 Not Found\r\nConnection: close\r\n\r\n".to_string()
@@ -166,5 +235,31 @@ mod tests {
         let mut out = String::new();
         s.read_to_string(&mut out).unwrap();
         assert!(out.starts_with("HTTP/1.0 405"), "{out}");
+    }
+
+    #[test]
+    fn routed_server_dispatches_by_path() {
+        let server = MetricsServer::start_with_routes("127.0.0.1:0", |path| match path {
+            "/healthz" => Some(HttpResponse::text(200, "ok\n".into())),
+            "/series" => Some(HttpResponse::json(200, "{\"samples\":[]}".into())),
+            "/busy" => Some(HttpResponse::text(503, "draining\n".into())),
+            _ => None,
+        })
+        .expect("bind");
+        let addr = server.addr();
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.0 200 OK\r\n"), "{health}");
+        assert!(health.ends_with("ok\n"), "{health}");
+        let series = get(addr, "/series?last=5");
+        assert!(series.contains("application/json"), "{series}");
+        assert!(series.ends_with("{\"samples\":[]}"), "{series}");
+        let busy = get(addr, "/busy");
+        assert!(
+            busy.starts_with("HTTP/1.0 503 Service Unavailable"),
+            "{busy}"
+        );
+        let missing = get(addr, "/metrics"); // unrouted here → 404
+        assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+        server.shutdown();
     }
 }

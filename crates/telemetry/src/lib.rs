@@ -36,14 +36,17 @@ pub mod flight;
 mod http;
 pub mod log;
 mod metrics;
+pub mod profile;
+pub mod series;
 mod trace;
 
 pub use deadline::Deadline;
-pub use http::MetricsServer;
+pub use http::{HttpResponse, MetricsServer};
 pub use metrics::{
-    global, Counter, Gauge, Histogram, HistogramSnapshot, Registry, COST_RATIO_BOUNDS,
-    DEFAULT_LATENCY_BOUNDS,
+    global, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Sample, SampleValue,
+    COST_RATIO_BOUNDS, DEFAULT_LATENCY_BOUNDS,
 };
+pub use series::SeriesRing;
 pub use trace::{
     stitch_chrome_json, wall_clock_us, ArgValue, Phase, PhaseTotals, Span, TraceContext, TraceData,
     TraceEvent, Tracer, PHASE_COUNT,
@@ -52,10 +55,15 @@ pub use trace::{
 /// Folds one finished job's [`TraceData`] into the global metrics
 /// registry: completion counter by status, whole-job latency, per-phase
 /// latency histograms, and the solver path-mix tallies the sink
-/// accumulated. This is the single point where per-job trace sinks feed
-/// the process-wide Prometheus surface, called by the engine's worker
-/// pool after every job.
+/// accumulated. When the global [`profile`] collector is enabled, the
+/// trace also folds into the collapsed-stack profile here. This is the
+/// single point where per-job trace sinks feed the process-wide
+/// observability surface, called by the engine's worker pool after
+/// every job.
 pub fn record_job(status: &str, seconds: f64, data: &TraceData) {
+    if profile::enabled() {
+        profile::global().fold(data);
+    }
     let reg = global();
     reg.counter(
         "nqpv_jobs_completed_total",

@@ -102,6 +102,39 @@ pub struct HistogramSnapshot {
     pub count: u64,
 }
 
+impl HistogramSnapshot {
+    /// Interpolated quantile estimate for `q` in `[0, 1]`.
+    ///
+    /// Finds the bucket the target rank `q·count` lands in and
+    /// interpolates linearly between that bucket's lower and upper
+    /// bound (the first bucket's lower bound is 0, which is exact for
+    /// the latency/ratio families — both measure non-negative values).
+    /// Mass that lands in the implicit `+Inf` bucket clamps to the top
+    /// finite bound: the histogram carries no information past it, and
+    /// a bounded over-estimate beats a fabricated one. An empty
+    /// snapshot yields 0.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 || self.bounds.is_empty() {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut below = 0u64;
+        for (i, &cum) in self.cumulative.iter().enumerate() {
+            if (cum as f64) >= rank && cum > below {
+                if i >= self.bounds.len() {
+                    break; // +Inf bucket → clamp below
+                }
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let upper = self.bounds[i];
+                let frac = ((rank - below as f64) / (cum - below) as f64).clamp(0.0, 1.0);
+                return lower + (upper - lower) * frac;
+            }
+            below = cum;
+        }
+        *self.bounds.last().expect("bounds checked non-empty")
+    }
+}
+
 impl Histogram {
     /// Creates a histogram over `bounds` (must be finite, strictly
     /// ascending; panics otherwise — bucket layouts are compile-time
@@ -191,6 +224,30 @@ impl Histogram {
             count: self.count.load(Ordering::Relaxed),
         }
     }
+}
+
+/// A point-in-time value of one series inside a family; see
+/// [`Registry::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram state (cumulative buckets).
+    Histogram(HistogramSnapshot),
+}
+
+/// One `(family, label set)` series captured by [`Registry::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Family name (`nqpv_jobs_completed_total`, …).
+    pub name: String,
+    /// Rendered label block (`{k="v",…}`; empty for no labels), exactly
+    /// as the exposition format prints it — a stable series key.
+    pub labels: String,
+    /// The value at snapshot time.
+    pub value: SampleValue,
 }
 
 enum Metric {
@@ -323,6 +380,30 @@ impl Registry {
                         out.push_str(&format!("{name}_count{labels} {}\n", snap.count));
                     }
                 }
+            }
+        }
+        out
+    }
+
+    /// Structured point-in-time copy of every series, in the same
+    /// stable `(family, label set)` order the text exposition uses.
+    /// This is what the [`crate::series`] ring diffs between ticks —
+    /// scraping text and re-parsing it would be absurd in-process.
+    pub fn snapshot(&self) -> Vec<Sample> {
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = Vec::new();
+        for (name, family) in families.iter() {
+            for (labels, metric) in &family.metrics {
+                let value = match metric {
+                    Metric::Counter(c) => SampleValue::Counter(c.get()),
+                    Metric::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Metric::Histogram(h) => SampleValue::Histogram(h.snapshot()),
+                };
+                out.push(Sample {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    value,
+                });
             }
         }
         out
@@ -515,6 +596,77 @@ mod tests {
         assert_eq!(s.cumulative[1], 0);
         assert_eq!(s.cumulative[2], 1);
         let _ = Histogram::new(&COST_RATIO_BOUNDS);
+    }
+
+    #[test]
+    fn quantile_exact_on_single_bucket_mass() {
+        // All mass in one bucket: every quantile stays inside that
+        // bucket, and q=1 hits its upper bound exactly.
+        let h = Histogram::new(&[1.0, 2.0, 3.0]);
+        for _ in 0..10 {
+            h.observe(1.5);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(1.0), 2.0);
+        for q in [0.1, 0.5, 0.9] {
+            let v = s.quantile(q);
+            assert!((1.0..=2.0).contains(&v), "q={q} → {v}");
+        }
+        // Uniform interpolation within the bucket.
+        assert!((s.quantile(0.5) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_interpolates_mid_bucket() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe(0.5); // le 1.0
+        h.observe(1.1); // le 2.0
+        h.observe(1.2); // le 2.0
+        h.observe(1.3); // le 2.0
+        let s = h.snapshot();
+        // rank(0.75) = 3 → 2 of the 3 observations in (1,2] are below
+        // it → 1 + (3-1)/3 of the bucket width.
+        let p75 = s.quantile(0.75);
+        assert!((p75 - (1.0 + 2.0 / 3.0)).abs() < 1e-12, "{p75}");
+        // rank(0.25) = 1 → exactly the first bucket's full mass → its
+        // upper bound.
+        assert!((s.quantile(0.25) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_inf_bucket_clamps_to_top_finite_bound() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(50.0); // +Inf bucket
+        h.observe(60.0); // +Inf bucket
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.99), 2.0);
+        assert_eq!(s.quantile(1.0), 2.0);
+        // Empty snapshot is 0, not NaN.
+        assert_eq!(Histogram::new(&[1.0]).snapshot().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn registry_snapshot_is_structured_and_ordered() {
+        let reg = Registry::new();
+        reg.counter("b_total", "B.", &[("k", "v")]).add(7);
+        reg.gauge("a_gauge", "A.", &[]).set(-2);
+        reg.histogram("c_seconds", "C.", &[], &[1.0]).observe(0.5);
+        let samples = reg.snapshot();
+        let keys: Vec<(&str, &str)> = samples
+            .iter()
+            .map(|s| (s.name.as_str(), s.labels.as_str()))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![("a_gauge", ""), ("b_total", "{k=\"v\"}"), ("c_seconds", ""),]
+        );
+        assert_eq!(samples[0].value, SampleValue::Gauge(-2));
+        assert_eq!(samples[1].value, SampleValue::Counter(7));
+        match &samples[2].value {
+            SampleValue::Histogram(h) => assert_eq!(h.count, 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 
     #[test]

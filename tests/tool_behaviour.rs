@@ -845,3 +845,145 @@ fn cli_batch_quarantines_corrupt_cache_records_and_stays_correct() {
         "quarantined file kept for forensics"
     );
 }
+
+#[test]
+fn cli_profile_out_writes_collapsed_stacks() {
+    // `batch --profile-out` folds every job's span events into one
+    // collapsed-stack self-time profile (folded-flamegraph text).
+    let Some(bin) = nqpv_bin() else { return };
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let dir = std::env::temp_dir().join("nqpv_profile_out_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let batch_profile = dir.join("batch.folded");
+    let out = std::process::Command::new(&bin)
+        .current_dir(root)
+        .args([
+            "batch",
+            "--jobs",
+            "2",
+            "--profile-out",
+            batch_profile.to_str().unwrap(),
+            "examples/corpus",
+        ])
+        .output()
+        .expect("batch runs");
+    // Corpus has rejected and error jobs → exit 1, but the profile is
+    // written regardless of verdicts.
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let folded = std::fs::read_to_string(&batch_profile).expect("profile written");
+    let mut stacks = std::collections::HashSet::new();
+    for line in folded.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("'stack count' shape");
+        assert!(
+            count.parse::<u64>().expect("count is integer") > 0,
+            "{line}"
+        );
+        stacks.insert(stack.to_string());
+    }
+    assert!(
+        stacks.len() >= 3,
+        "at least three distinct stacks:\n{folded}"
+    );
+    assert!(
+        folded.lines().any(|l| l.contains(';')),
+        "nested frames appear (semicolon-joined):\n{folded}"
+    );
+
+    // `explain --profile-out` does the same for a single diagnosed file.
+    let explain_profile = dir.join("explain.folded");
+    let out = std::process::Command::new(&bin)
+        .current_dir(root)
+        .args([
+            "explain",
+            "--profile-out",
+            explain_profile.to_str().unwrap(),
+            "examples/corpus/rejected.nqpv",
+        ])
+        .output()
+        .expect("explain runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let folded = std::fs::read_to_string(&explain_profile).expect("profile written");
+    assert!(!folded.trim().is_empty(), "explain profile non-empty");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_top_once_renders_live_dashboard() {
+    // End to end over the real binary: a daemon sampling its metrics
+    // ring every second with an SLO armed, fed the corpus, then one
+    // `nqpv top --once` frame asserting the acceptance surface: queue
+    // state, jobs/s, cache hit ratio, and ring-derived latency
+    // quantiles.
+    let Some(bin) = nqpv_bin() else { return };
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut serve = std::process::Command::new(&bin)
+        .current_dir(root)
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--jobs",
+            "2",
+            "--sample-secs",
+            "1",
+            "--slo-ms",
+            "30000",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let addr = {
+        use std::io::{BufRead, BufReader};
+        let stdout = serve.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).expect("banner");
+        line.trim().rsplit(' ').next().expect("address").to_string()
+    };
+    let submit = std::process::Command::new(&bin)
+        .current_dir(root)
+        .args(["client", &addr, "submit", "examples/corpus"])
+        .output()
+        .expect("submit runs");
+    assert_eq!(submit.status.code(), Some(1), "{submit:?}");
+    // Let the 1s sampler take at least two ring samples over the
+    // finished jobs.
+    std::thread::sleep(std::time::Duration::from_millis(2300));
+
+    let top = std::process::Command::new(&bin)
+        .current_dir(root)
+        .args(["top", &addr, "--once"])
+        .output()
+        .expect("top runs");
+    assert_eq!(top.status.code(), Some(0), "{top:?}");
+    let frame = String::from_utf8_lossy(&top.stdout);
+    for needle in [
+        "queued",
+        "running",
+        "done",
+        "jobs/s",
+        "verdicts",
+        "cache",
+        "p50",
+        "p95",
+        "p99",
+        "  job ",
+        "slo",
+        "budget remaining",
+    ] {
+        assert!(frame.contains(needle), "missing {needle:?} in:\n{frame}");
+    }
+    assert!(
+        !frame.contains("warming up"),
+        "two 1s samples elapsed, quantiles must be live:\n{frame}"
+    );
+
+    let down = std::process::Command::new(&bin)
+        .current_dir(root)
+        .args(["client", &addr, "shutdown"])
+        .output()
+        .expect("shutdown runs");
+    assert!(String::from_utf8_lossy(&down.stdout).contains("shutting_down"));
+    let status = serve.wait().expect("daemon exits");
+    assert!(status.success(), "{status:?}");
+}
